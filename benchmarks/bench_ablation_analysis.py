@@ -1,0 +1,85 @@
+"""Benchmark (ablations/extensions): saturation ceiling, heterogeneity gain,
+and the marginal-analysis kernels.
+
+These regenerate the DESIGN.md-called-out ablations that the paper's
+framework implies but does not print, and time the closed-form analysis
+kernels (gradient, contributions) at cluster scale.
+"""
+
+import numpy as np
+
+from repro.analysis.marginal import computer_contributions, x_gradient
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.experiments import (
+    run_failure_rate_sweep,
+    run_failure_resilience,
+    run_heterogeneity_gain,
+    run_majorization_study,
+    run_moment_ablation,
+    run_saturation,
+    run_tau_sweep,
+)
+
+
+def test_saturation(benchmark, report_sink):
+    result = benchmark.pedantic(run_saturation, rounds=1, iterations=1)
+    report_sink("saturation", result.render())
+    assert (np.diff(result.metadata["curve"]) > 0.0).all()
+
+
+def test_heterogeneity_gain(benchmark, report_sink):
+    result = benchmark.pedantic(run_heterogeneity_gain, rounds=1, iterations=1)
+    report_sink("heterogeneity-gain", result.render())
+    assert result.metadata["large_n_win_rate"] > 0.9
+    assert (result.metadata["grid"].gain > 1.0).all()
+
+
+def test_moment_ablation(benchmark, report_sink):
+    result = benchmark.pedantic(run_moment_ablation, rounds=1, iterations=1)
+    report_sink("moment-ablation", result.render())
+    scores = result.metadata["mean_scores"]
+    assert scores["harmonic-mean"] > scores["variance"]
+
+
+def test_failure_resilience(benchmark, report_sink):
+    result = benchmark.pedantic(run_failure_resilience, rounds=1, iterations=1)
+    report_sink("failure-resilience", result.render())
+    salvages = result.metadata["strict_salvage_pct"]
+    assert salvages[0] == 0.0 and salvages == sorted(salvages)
+
+
+def test_majorization_study(benchmark, report_sink):
+    result = benchmark.pedantic(run_majorization_study, rounds=1, iterations=1)
+    report_sink("majorization", result.render())
+    assert result.metadata["comparable_wrong"] == 0
+    assert result.metadata["bad_but_comparable"] == 0
+
+
+def test_tau_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(run_tau_sweep, rounds=1, iterations=1)
+    report_sink("tau-sweep", result.render())
+    rates = [row[2] for row in result.rows]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_failure_rate_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(run_failure_rate_sweep,
+                                kwargs=dict(n_samples=80), rounds=1, iterations=1)
+    report_sink("failure-rate-sweep", result.render())
+    for row in result.rows:
+        assert row[3] >= row[1]  # skip policy dominates strict
+
+
+def test_gradient_kernel(benchmark):
+    """Closed-form ∂X/∂ρ for a 4096-computer cluster."""
+    profile = Profile.linear(4096)
+    grad = benchmark(x_gradient, profile, PAPER_TABLE1)
+    assert (grad < 0.0).all()
+
+
+def test_contributions_kernel(benchmark):
+    """Per-computer contribution for a 4096-computer cluster."""
+    profile = Profile.linear(4096)
+    contrib = benchmark(computer_contributions, profile, PAPER_TABLE1)
+    assert (contrib > 0.0).all()

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 3 (iterative speedups, phase 1).
+
+Reruns the paper's 16-round optimal-multiplicative-speedup experiment
+from ⟨1,1,1,1⟩ and prints the round table plus the ASCII bar-graph strip
+(the figure itself).  Asserts the exact choice sequence the paper
+narrates.
+"""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark, report_sink):
+    result = benchmark(run_fig3)
+    report_sink("fig3", result.render())
+    assert result.metadata["chosen_sequence"] == (
+        3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0)
+    final = result.metadata["final_profile"]
+    assert all(abs(r - 1 / 16) < 1e-12 for r in final)
+
+
+def test_fig3_larger_cluster(benchmark, report_sink):
+    """The same experiment on 8 computers: phase 1 takes 4 rounds each."""
+    result = benchmark(run_fig3, n_computers=8, n_rounds=32)
+    report_sink("fig3-n8", result.render())
+    chosen = result.metadata["chosen_sequence"]
+    # Each computer is ridden down for 4 consecutive rounds, fastest first.
+    assert chosen[:4] == (7, 7, 7, 7)
+    assert all(abs(r - 1 / 16) < 1e-12 for r in result.metadata["final_profile"])

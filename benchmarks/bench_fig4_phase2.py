@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (iterative speedups, phase 2).
+
+Continues the Figure-3 run past the homogeneous ⟨1/16,…⟩ profile and
+verifies the paper's phase-2 claim: condition (2) now governs every
+round, so the slowest computer is the one sped up each time.
+"""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4(benchmark, report_sink):
+    result = benchmark(run_fig4)
+    report_sink("fig4", result.render())
+    # Two complete slowest-first sweeps.
+    assert result.metadata["chosen_sequence"] == (3, 2, 1, 0, 3, 2, 1, 0)
+    for row in result.rows:
+        assert ("condition-2" in row[2]) or ("tie-break" in row[2])
+
+
+def test_fig4_long_horizon(benchmark, report_sink):
+    """Condition (2) persists arbitrarily deep into phase 2."""
+    result = benchmark(run_fig4, phase2_rounds=16)
+    report_sink("fig4-long", result.render())
+    assert result.metadata["chosen_sequence"] == (3, 2, 1, 0) * 4
+    assert all(abs(r - 1 / 256) < 1e-15
+               for r in result.metadata["final_profile"])

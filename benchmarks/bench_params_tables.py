@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Tables 1 and 2 (model parameters).
+
+The computation is trivial; the value of this bench is the regenerated
+artifact (the parameter tables with the paper's figures alongside) and a
+timing floor for the :class:`ModelParams` machinery.
+"""
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.experiments import run_table1, run_table2
+
+
+def test_table1(benchmark, report_sink):
+    result = benchmark(run_table1)
+    report_sink("table1", result.render())
+    assert len(result.rows) == 3
+
+
+def test_table2(benchmark, report_sink):
+    result = benchmark(run_table2)
+    report_sink("table2", result.render())
+    assert result.metadata["A"] == PAPER_TABLE1.A
+
+
+def test_params_construction_throughput(benchmark):
+    """Microbenchmark: parameter-object construction plus derived values."""
+    def build():
+        p = ModelParams(tau=1e-6, pi=1e-5, delta=1.0)
+        return p.A, p.B, p.speedup_threshold
+
+    A, B, threshold = benchmark(build)
+    assert A == PAPER_TABLE1.A and B == PAPER_TABLE1.B
+    assert threshold > 0

@@ -1,0 +1,47 @@
+"""Benchmark (ablation): Theorem 1 — FIFO optimality and order-invariance.
+
+Not a table in the paper, but the theorem every result stands on.  The
+bench quantifies the FIFO premium over LIFO/random protocols across
+communication intensities, and times the three scheduling routes
+(closed form, LP, discrete-event simulation) against each other.
+"""
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.experiments import run_protocol_optimality
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.general import lp_allocation
+from repro.simulation.runner import simulate_allocation
+
+
+def test_protocol_optimality(benchmark, report_sink):
+    result = benchmark.pedantic(run_protocol_optimality, rounds=1, iterations=1)
+    report_sink("protocol-optimality", result.render())
+    assert result.metadata["max_violation"] <= 1e-9
+    premiums = [row[4] for row in result.rows]
+    assert premiums == sorted(premiums)  # premium grows with tau
+
+
+#: Communication-visible but unsaturated: A·X ≈ 0.29 for this profile.
+_PARAMS = ModelParams(tau=0.002, pi=0.0002, delta=1.0)
+_PROFILE = Profile.harmonic(16)
+
+
+def test_route_closed_form(benchmark):
+    alloc = benchmark(fifo_allocation, _PROFILE, _PARAMS, 100.0)
+    assert alloc.total_work > 0
+
+
+def test_route_lp(benchmark):
+    order = tuple(range(_PROFILE.n))
+    alloc = benchmark(lp_allocation, _PROFILE, _PARAMS, 100.0, order, order)
+    closed = fifo_allocation(_PROFILE, _PARAMS, 100.0)
+    assert alloc.total_work == pytest.approx(closed.total_work, rel=1e-6)
+
+
+def test_route_simulation(benchmark):
+    alloc = fifo_allocation(_PROFILE, _PARAMS, 100.0)
+    result = benchmark(simulate_allocation, alloc)
+    assert result.completed_work == pytest.approx(alloc.total_work, rel=1e-9)

@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figures 1–2 (worksharing action/time diagrams).
+
+Builds the explicit FIFO timelines for one and three remote computers —
+the paper's Figs. 1 and 2 — renders them as interval listings, and
+checks the structural properties the figures depict (seriatim sends,
+contiguous results ending at L).
+"""
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.feasibility import check_timeline
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.timeline import build_timeline
+
+#: Communication-visible parameters so the diagram segments have width.
+_PARAMS = ModelParams(tau=0.03, pi=0.003, delta=1.0)
+
+
+def _render(timeline) -> str:
+    lines = []
+    for resource in timeline.resources:
+        lines.append(f"{resource}:")
+        for iv in timeline.on_resource(resource):
+            lines.append(f"  [{iv.start:10.4f}, {iv.end:10.4f})  "
+                         f"{iv.kind:<14s} C{iv.computer + 1}")
+    return "\n".join(lines)
+
+
+def test_fig1_single_worker(benchmark, report_sink):
+    profile = Profile([1.0])
+    alloc = fifo_allocation(profile, _PARAMS, 10.0)
+    timeline = benchmark(build_timeline, alloc)
+    report_sink("fig1-timeline", "Figure 1: one remote computer\n" + _render(timeline))
+    kinds = [iv.kind for iv in timeline.for_computer(0)]
+    assert kinds == ["work-prep", "work-transit", "busy", "result-transit"]
+    assert timeline.makespan == pytest.approx(10.0, rel=1e-12)
+
+
+def test_fig2_three_workers(benchmark, report_sink):
+    profile = Profile([1.0, 0.5, 1 / 3])
+    alloc = fifo_allocation(profile, _PARAMS, 10.0)
+    timeline = benchmark(build_timeline, alloc)
+    report_sink("fig2-timeline", "Figure 2: three remote computers\n" + _render(timeline))
+    report = check_timeline(timeline)
+    assert report.feasible, report.describe()
+    results = [iv for iv in timeline.on_resource("network")
+               if iv.kind == "result-transit"]
+    assert [iv.computer for iv in results] == [0, 1, 2]      # FIFO order
+    assert results[-1].end == pytest.approx(10.0, rel=1e-12)  # ends at L
+
+
+def test_timeline_scaling(benchmark):
+    """Timeline construction for a 256-computer cluster."""
+    profile = Profile.harmonic(256)
+    alloc = fifo_allocation(profile, ModelParams(tau=1e-5, pi=1e-6, delta=1.0), 10.0)
+    timeline = benchmark(build_timeline, alloc)
+    assert len(timeline.intervals) == 4 * 256

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 4 (additive-speedup work ratios).
+
+Prints our eq.-(1) work ratios next to the paper's printed column and
+asserts Theorem 3's shape (every ratio > 1, strictly increasing toward
+the fastest computer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.experiments import run_table4
+from repro.speedup.additive import additive_work_ratios
+
+
+def test_table4(benchmark, report_sink):
+    result = benchmark(run_table4)
+    report_sink("table4", result.render())
+    ratios = result.metadata["ratios"]
+    assert all(r > 1.0 for r in ratios)
+    assert list(ratios) == sorted(ratios)
+    assert result.metadata["best_index"] == 3
+
+
+@pytest.mark.parametrize("n", [4, 64, 512])
+def test_additive_sweep_scaling(benchmark, n):
+    """The n-candidate upgrade sweep is O(n²); timed at three scales."""
+    profile = Profile.harmonic(n)
+    phi = profile.fastest_rho / 2.0
+    ratios = benchmark(additive_work_ratios, profile, PAPER_TABLE1, phi)
+    assert (np.diff(ratios) > 0.0).all()

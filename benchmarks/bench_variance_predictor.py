@@ -1,0 +1,46 @@
+"""Benchmark: regenerate the §4.3 variance-predictor study.
+
+Reruns the accuracy-vs-cluster-size trials (the paper's k = 2…16
+powers-of-two sweep, truncated by default for runtime; pass larger
+sizes to go to 2^16) and asserts the paper's three findings:
+
+* bad pairs exist beyond n = 2 (Theorem 5(2) does not generalise);
+* accuracy settles into a plateau well above a coin flip (paper ≈76%);
+* bad pairs have systematically smaller HECR gaps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1
+from repro.experiments import run_variance_trials
+from repro.experiments.variance_trials import collect_trials
+
+
+def test_variance_trials(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_variance_trials,
+        kwargs=dict(sizes=(4, 8, 16, 32, 64, 128, 256, 512, 1024),
+                    trials_per_size=300, seed=2010),
+        rounds=1, iterations=1)
+    report_sink("variance-trials", result.render())
+
+    batches = result.metadata["batches"]
+    assert any(b.fraction_good < 1.0 for b in batches if b.n >= 8)
+    overall = result.metadata["overall_good"]
+    assert 0.70 <= overall <= 0.95, f"overall accuracy {overall}"
+    for b in batches:
+        if not np.isnan(b.mean_bad_hecr_gap):
+            assert b.mean_bad_hecr_gap < b.mean_good_hecr_gap
+
+
+def test_variance_trials_large_n(benchmark, report_sink):
+    """One paper-scale batch (n = 2^14) to exercise the vectorised path."""
+    rng = np.random.default_rng(7)
+    batch = benchmark.pedantic(
+        collect_trials, args=(rng, 2 ** 14, 40, PAPER_TABLE1),
+        rounds=1, iterations=1)
+    report_sink("variance-trials-16k",
+                f"n=2^14: {100 * batch.fraction_good:.1f}% good over "
+                f"{batch.n_trials} trials")
+    assert batch.fraction_good > 0.5

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate the §4.3 θ-threshold study (paper: θ = 0.167).
+
+Searches for the variance-gap level above which the variance predictor
+was never wrong, and prints the accuracy-vs-gap curve.
+"""
+
+from repro.experiments import run_threshold
+from repro.experiments.threshold import PAPER_THETA
+
+
+def test_variance_threshold(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_threshold,
+        kwargs=dict(sizes=(4, 8, 16, 32, 64, 128), trials_per_size=300,
+                    seed=167),
+        rounds=1, iterations=1)
+    report_sink("variance-threshold", result.render())
+
+    theta = result.metadata["empirical_theta"]
+    assert 0.0 < theta < 3 * PAPER_THETA  # same order as the paper's 0.167
+    # Accuracy at the paper's threshold: every pair with a gap >= 0.167
+    # must be predicted correctly (or no such pair sampled).
+    row_at_paper_theta = [row for row in result.rows if row[0] == PAPER_THETA][0]
+    if row_at_paper_theta[1] > 0:
+        assert row_at_paper_theta[2] == 100.0

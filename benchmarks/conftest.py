@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered report is printed (visible with ``pytest -s``) *and* written to
+``benchmarks/output/<experiment>.txt`` so the regenerated artifacts
+survive the run regardless of capture settings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a rendered experiment report to the output directory."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def sink(experiment_id: str, text: str) -> None:
+        (OUTPUT_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return sink

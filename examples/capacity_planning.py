@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analysis toolkit.
+
+A cluster operator's questions, answered with the closed forms the
+framework provides:
+
+* Which machine is most worth upgrading *right now*?  (gradient)
+* Which machine can we least afford to lose?  (contributions)
+* Is it worth buying machine n+1, and how fast must it be?  (marginal value)
+* When does adding machines stop paying?  (saturation analysis)
+* Would a faster network change which cluster we should rent?  (crossover)
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import ModelParams, Profile
+from repro.analysis import (
+    cluster_size_for_coverage,
+    computer_contributions,
+    find_tau_crossover,
+    marginal_computer_value,
+    marginal_speedup_value,
+    saturation_fraction,
+    saturation_x,
+    sweep_tau,
+)
+
+
+def main() -> None:
+    params = ModelParams(tau=1e-4, pi=1e-5, delta=1.0)
+    fleet = Profile([1.0, 0.8, 0.5, 0.5, 0.2, 0.1]).power_ordered()
+    print(f"fleet: {list(fleet)}   (environment: tau={params.tau:g}, "
+          f"pi={params.pi:g}, delta={params.delta:g})")
+
+    # --- who to upgrade, who to protect --------------------------------
+    value = marginal_speedup_value(fleet, params)
+    contrib = computer_contributions(fleet, params)
+    print("\nper-machine analysis:")
+    print(f"{'machine':>8s} {'rho':>6s} {'upgrade value':>14s} {'contribution':>13s}")
+    for c in range(fleet.n):
+        print(f"{'C' + str(c + 1):>8s} {fleet[c]:6.2f} {value[c]:14.2f} "
+              f"{contrib[c]:13.3f}")
+    print(f"best upgrade target : C{int(np.argmax(value)) + 1} (the fastest — Thm 3)")
+    print(f"most critical       : C{int(np.argmax(contrib)) + 1}")
+
+    # --- is machine n+1 worth it? ---------------------------------------
+    print("\nmarginal value of one more machine:")
+    for rho_new in (1.0, 0.5, 0.1):
+        gain = marginal_computer_value(fleet, params, rho_new)
+        print(f"  a rate-{rho_new:g} machine adds {gain:8.3f} to X "
+              f"({100 * gain / saturation_x(params):.3f}% of the ceiling)")
+
+    # --- how far from saturation are we? --------------------------------
+    frac = saturation_fraction(fleet, params)
+    print(f"\nceiling X_inf = {saturation_x(params):,.0f}; "
+          f"fleet uses {100 * frac:.2f}% of it")
+    n95 = cluster_size_for_coverage(0.5, params, 0.95)
+    print(f"reaching 95% of the ceiling with rate-0.5 machines takes "
+          f"{n95:,.0f} of them — diminishing returns are steep")
+
+    # --- network what-ifs ------------------------------------------------
+    taus = np.geomspace(1e-6, 0.05, 6)
+    sweep = sweep_tau(fleet, taus, pi=params.pi, delta=params.delta)
+    print("\nwork rate vs network transit rate:")
+    for tau, rate in zip(sweep.values, sweep.work_rate):
+        print(f"  tau = {tau:8.2e}: {rate:8.3f} work units per time unit")
+
+    rival = Profile.homogeneous(fleet.n, fleet.mean)
+    crossover = find_tau_crossover(fleet, rival, pi=params.pi, delta=params.delta)
+    if crossover is None:
+        print("\nthe heterogeneous fleet beats its equal-mean homogeneous "
+              "rival at every network speed tested")
+    else:
+        print(f"\nranking vs the equal-mean homogeneous rival flips at "
+              f"tau = {crossover:.4g}")
+
+
+if __name__ == "__main__":
+    main()

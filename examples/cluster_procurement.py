@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cluster procurement: spend a budget on machines, guided by the theory.
+
+A buyer with a fixed budget faces the paper's abstract question head-on:
+"Is one better off with a cluster that has one superfast computer and
+the rest of average speed, or with a cluster all of whose computers are
+moderately fast?"  This example prices three candidate fleets with equal
+mean speed, ranks them with every predictor the paper studies, checks
+the predictions against ground truth, and sizes the winner against a
+deadline using the Cluster-Rental dual.
+
+Run:  python examples/cluster_procurement.py
+"""
+
+from repro import PAPER_TABLE1, Profile, hecr, x_measure
+from repro.cep import ClusterRentalProblem, min_prefix_for_deadline
+from repro.predictors import (
+    cross_product_dominance,
+    minorization_predicts,
+    variance_prediction,
+)
+
+
+def main() -> None:
+    params = PAPER_TABLE1
+
+    fleets = {
+        "one hero + commodity": Profile([0.1] + [0.55] * 8),   # mean 0.5
+        "all mid-range":        Profile([0.5] * 9),            # mean 0.5
+        "two-tier":             Profile([0.3] * 4 + [0.66] * 5),  # mean 0.5
+    }
+    for name, fleet in fleets.items():
+        assert abs(fleet.mean - 0.5) < 1e-12, name
+
+    print("candidate fleets (equal mean rho = 0.5, i.e. equal total 'spend'):")
+    ranked = []
+    for name, fleet in fleets.items():
+        x = x_measure(fleet, params)
+        h = hecr(fleet, params)
+        ranked.append((x, name, fleet, h))
+        print(f"  {name:22s} var={fleet.variance:.4f}  X={x:7.2f}  HECR={h:.4f}")
+    ranked.sort(reverse=True)
+    print(f"\nground truth winner: {ranked[0][1]}")
+
+    # --- what the profile-only predictors say --------------------------
+    print("\npairwise predictor verdicts:")
+    names = list(fleets)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            a, b = fleets[names[i]], fleets[names[j]]
+            var_call = variance_prediction(a, b)
+            var_text = names[i] if var_call == 0 else (
+                names[j] if var_call == 1 else "no call")
+            cp = cross_product_dominance(a, b).verdict.value
+            mino = minorization_predicts(a, b).value
+            truth = names[i] if x_measure(a, params) > x_measure(b, params) else names[j]
+            print(f"  {names[i]} vs {names[j]}:")
+            print(f"    variance predicts : {var_text}")
+            print(f"    cross-product     : {cp}")
+            print(f"    minorization      : {mino}")
+            print(f"    ground truth      : {truth}")
+
+    # --- deadline sizing with the CRP dual ------------------------------
+    winner = ranked[0][2]
+    workload = 10_000.0
+    crp = ClusterRentalProblem(winner, params, workload)
+    print(f"\nrenting the winner for {workload:,.0f} work units takes "
+          f"{crp.optimal_lifespan:,.1f} time units")
+    deadline = crp.optimal_lifespan * 1.5
+    k = min_prefix_for_deadline(winner, params, workload, deadline)
+    print(f"with a {deadline:,.1f}-unit deadline, only the {k} fastest "
+          f"machines are actually needed")
+
+
+if __name__ == "__main__":
+    main()

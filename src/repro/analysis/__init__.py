@@ -1,0 +1,76 @@
+"""Analysis extensions built on the paper's framework.
+
+Closed-form consequences of eq. (1) the paper implies but never ships:
+
+* :mod:`~repro.analysis.marginal` — ∂X/∂ρᵢ gradients and per-computer
+  contributions (Theorem 3 in differential form; "which machine can we
+  least afford to lose?");
+* :mod:`~repro.analysis.sensitivity` — (τ, π, δ) sweeps and ranking
+  crossover finding;
+* :mod:`~repro.analysis.asymptotics` — the 1/(A−τδ) saturation ceiling
+  and diminishing-returns curves;
+* :mod:`~repro.analysis.phase` — Corollary-1 heterogeneity-gain maps.
+"""
+
+from repro.analysis.asymptotics import (
+    cluster_size_for_coverage,
+    homogeneous_returns_curve,
+    marginal_computer_value,
+    saturation_fraction,
+    saturation_x,
+)
+from repro.analysis.marginal import (
+    computer_contributions,
+    marginal_speedup_value,
+    most_critical_computer,
+    x_gradient,
+)
+from repro.analysis.overheads import (
+    latency_adjusted_work,
+    lifespan_efficiency,
+    min_lifespan_for_efficiency,
+)
+from repro.analysis.robustness import (
+    RobustnessEstimate,
+    expected_work_under_failures,
+)
+from repro.analysis.selection import RosterChoice, best_roster
+from repro.analysis.phase import (
+    HeterogeneityGainGrid,
+    equal_mean_gain,
+    heterogeneity_gain_grid,
+)
+from repro.analysis.sensitivity import (
+    SweepResult,
+    find_tau_crossover,
+    sweep_delta,
+    sweep_pi,
+    sweep_tau,
+)
+
+__all__ = [
+    "x_gradient",
+    "marginal_speedup_value",
+    "computer_contributions",
+    "most_critical_computer",
+    "SweepResult",
+    "sweep_tau",
+    "sweep_pi",
+    "sweep_delta",
+    "find_tau_crossover",
+    "saturation_x",
+    "saturation_fraction",
+    "homogeneous_returns_curve",
+    "cluster_size_for_coverage",
+    "marginal_computer_value",
+    "HeterogeneityGainGrid",
+    "heterogeneity_gain_grid",
+    "equal_mean_gain",
+    "latency_adjusted_work",
+    "lifespan_efficiency",
+    "min_lifespan_for_efficiency",
+    "RosterChoice",
+    "best_roster",
+    "RobustnessEstimate",
+    "expected_work_under_failures",
+]

@@ -1,0 +1,110 @@
+"""Asymptotics: saturation and diminishing returns.
+
+Eq. (1) bounds every cluster's X-measure by the environment constant
+
+.. math::
+
+    X(P) < X_∞ = \\frac{1}{A − τδ},
+
+approached as computers are added: once the send pipeline (A per unit)
+outpaces result return (τδ per unit), extra machines only absorb work
+the channel can no longer feed.  This module quantifies that ceiling:
+
+* :func:`saturation_x` — the ceiling itself;
+* :func:`saturation_fraction` — how much of it a cluster already uses;
+* :func:`homogeneous_returns_curve` — the n ↦ X diminishing-returns
+  curve for commodity clusters;
+* :func:`cluster_size_for_coverage` — the commodity-cluster size that
+  reaches a given fraction of the ceiling (the "knee" of the curve);
+* :func:`marginal_computer_value` — X gained by the (n+1)-st machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.homogeneous import homogeneous_size_for_x, homogeneous_x
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "saturation_x",
+    "saturation_fraction",
+    "homogeneous_returns_curve",
+    "cluster_size_for_coverage",
+    "marginal_computer_value",
+]
+
+
+def saturation_x(params: ModelParams) -> float:
+    """The ceiling ``X_∞ = 1/(A − τδ)``; ``inf`` in the A = τδ limit."""
+    gap = params.A_minus_tau_delta
+    if gap == 0.0:
+        return math.inf
+    return 1.0 / gap
+
+
+def saturation_fraction(profile: Union[Profile, Sequence[float]],
+                        params: ModelParams) -> float:
+    """``X(P)/X_∞`` ∈ (0, 1): the share of the ceiling already consumed.
+
+    Near 1, adding computers is futile and (by the Fig.-2 structural
+    condition ``A·X ≤ 1``) the clean send-then-receive layout is close
+    to breaking.
+    """
+    ceiling = saturation_x(params)
+    if math.isinf(ceiling):
+        return 0.0
+    return x_measure(profile, params) / ceiling
+
+
+def homogeneous_returns_curve(rho: float, params: ModelParams,
+                              sizes: Sequence[int]) -> np.ndarray:
+    """``X(P^(ρ))`` for each cluster size — the diminishing-returns curve."""
+    out = np.empty(len(sizes))
+    for k, n in enumerate(sizes):
+        out[k] = homogeneous_x(int(n), rho, params)
+    return out
+
+
+def cluster_size_for_coverage(rho: float, params: ModelParams,
+                              coverage: float = 0.95) -> float:
+    """Commodity machines of rate ρ needed to reach ``coverage·X_∞``.
+
+    Returns a real-valued size (ceil it for a purchase order).
+
+    Raises
+    ------
+    InvalidParameterError
+        If coverage is not in (0, 1), or the environment has no finite
+        ceiling (A = τδ: X grows without bound, every coverage of
+        infinity is meaningless).
+    """
+    if not (0.0 < coverage < 1.0):
+        raise InvalidParameterError(f"coverage must lie in (0, 1), got {coverage!r}")
+    ceiling = saturation_x(params)
+    if math.isinf(ceiling):
+        raise InvalidParameterError(
+            "environment has no saturation ceiling (A = τδ)")
+    return homogeneous_size_for_x(rho, coverage * ceiling, params)
+
+
+def marginal_computer_value(profile: Union[Profile, Sequence[float]],
+                            params: ModelParams, new_rho: float) -> float:
+    """X gained by appending one machine of rate ``new_rho``.
+
+    Closed form via the last-slot isolation:
+    ``ΔX = Π_j (Bρⱼ+τδ)/(Bρⱼ+A) · 1/(B·new_rho + A)`` — the existing
+    cluster's transfer product discounts the newcomer.
+    """
+    if new_rho <= 0 or not math.isfinite(new_rho):
+        raise InvalidParameterError(f"new_rho must be positive and finite, got {new_rho!r}")
+    rho = profile.rho if isinstance(profile, Profile) else np.asarray(profile, dtype=float)
+    A, B, td = params.A, params.B, params.tau_delta
+    transfer = float(np.prod((B * rho + td) / (B * rho + A)))
+    return transfer / (B * new_rho + A)

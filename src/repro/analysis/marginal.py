@@ -1,0 +1,115 @@
+"""Marginal analysis of cluster power: gradients and criticality.
+
+Order-invariance of ``X`` (Theorem 1(2)) lets any computer be moved to
+the last startup slot, where eq. (1) isolates it:
+
+.. math::
+
+    X(P) = X(P \\setminus i) + \\frac{R_{-i}}{Bρ_i + A},
+    \\qquad R_{-i} = \\prod_{j ≠ i} \\frac{Bρ_j + τδ}{Bρ_j + A}.
+
+Two closed forms fall out immediately:
+
+* the **gradient** ``∂X/∂ρᵢ = −B·R_{-i}/(Bρᵢ + A)²`` — the instantaneous
+  payoff of speeding computer i up (Theorem 3 is its corollary: the
+  magnitude grows as ρᵢ shrinks);
+* the **contribution** ``X(P) − X(P∖i) = R_{-i}/(Bρᵢ + A)`` — what
+  computer i adds to the cluster given the rest (the answer to "which
+  machine can we least afford to lose?").
+
+Both are O(n) for the whole cluster at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.util.arrays import validate_positive_vector
+
+__all__ = [
+    "x_gradient",
+    "marginal_speedup_value",
+    "computer_contributions",
+    "most_critical_computer",
+]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def _rho_array(profile: ProfileLike) -> np.ndarray:
+    if isinstance(profile, Profile):
+        return profile.rho
+    return validate_positive_vector(profile, name="profile")
+
+
+def _exclusive_ratio_products(rho: np.ndarray, params: ModelParams) -> np.ndarray:
+    """``R_{-i} = Π_{j≠i} (Bρⱼ+τδ)/(Bρⱼ+A)`` for every i, in O(n).
+
+    Computed as prefix·suffix products rather than ``R/rᵢ`` so a single
+    near-zero factor (τδ = 0 with a very fast computer) cannot poison
+    the whole vector.
+    """
+    A, B, td = params.A, params.B, params.tau_delta
+    ratios = (B * rho + td) / (B * rho + A)
+    n = rho.size
+    prefix = np.ones(n)
+    suffix = np.ones(n)
+    if n > 1:
+        np.cumprod(ratios[:-1], out=prefix[1:])
+        suffix[:-1] = np.cumprod(ratios[::-1][:-1])[::-1]
+    return prefix * suffix
+
+
+def x_gradient(profile: ProfileLike, params: ModelParams) -> np.ndarray:
+    """The full gradient ``∂X/∂ρᵢ`` — one closed-form pass, O(n).
+
+    Every entry is negative (slowing any computer hurts, Prop. 2
+    differentially); entries are ordered by the *combined* effect of the
+    ``1/(Bρᵢ + A)²`` curvature and the exclusive product.
+
+    Examples
+    --------
+    >>> from repro.core.params import PAPER_TABLE1
+    >>> g = x_gradient([1.0, 0.25], PAPER_TABLE1)
+    >>> bool(g[1] < g[0] < 0)     # the fast computer's rate matters more
+    True
+    """
+    rho = _rho_array(profile)
+    A, B = params.A, params.B
+    r_excl = _exclusive_ratio_products(rho, params)
+    return -B * r_excl / (B * rho + A) ** 2
+
+
+def marginal_speedup_value(profile: ProfileLike, params: ModelParams) -> np.ndarray:
+    """``−∂X/∂ρᵢ``: X gained per unit of rate improvement, per computer.
+
+    Theorem 3 in differential form — the argmax is (a) fastest computer.
+    """
+    return -x_gradient(profile, params)
+
+
+def computer_contributions(profile: ProfileLike, params: ModelParams) -> np.ndarray:
+    """``X(P) − X(P∖i)`` for every computer, in closed form (O(n)).
+
+    The value each machine adds to the cluster, holding the rest fixed.
+    Unlike the gradient, this is a *removal* measure: a slow machine can
+    have a tiny gradient payoff yet still a positive contribution.
+    """
+    rho = _rho_array(profile)
+    A, B = params.A, params.B
+    r_excl = _exclusive_ratio_products(rho, params)
+    return r_excl / (B * rho + A)
+
+
+def most_critical_computer(profile: ProfileLike, params: ModelParams) -> int:
+    """Index of the computer whose loss would cost the most X.
+
+    >>> from repro.core.params import PAPER_TABLE1
+    >>> most_critical_computer([1.0, 0.5, 0.1], PAPER_TABLE1)
+    2
+    """
+    return int(np.argmax(computer_contributions(profile, params)))

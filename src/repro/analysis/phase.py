@@ -1,0 +1,88 @@
+"""Heterogeneity phase maps: where does heterogeneity help, and by how much?
+
+Corollary 1 says a heterogeneous 2-computer cluster always beats its
+equal-mean homogeneous twin.  This module maps the *size* of that gain
+across (mean, spread) space and generalises the comparison to arbitrary
+cluster sizes (where Theorem 5(2) no longer guarantees a win but the
+gain is still overwhelmingly positive), producing the data behind the
+"heterogeneity lends power" ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.measure import work_rate
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["HeterogeneityGainGrid", "heterogeneity_gain_grid",
+           "equal_mean_gain"]
+
+
+def equal_mean_gain(profile: Union[Profile, Sequence[float]],
+                    params: ModelParams) -> float:
+    """Work ratio of a cluster vs its equal-mean homogeneous twin.
+
+    ``> 1`` means the cluster's heterogeneity lends it power; ``< 1``
+    means the spread hurts (possible for n > 2: e.g. spread concentrated
+    in the slow half).  For n = 2 the ratio exceeds 1 whenever the
+    profile is not already homogeneous (Corollary 1).
+    """
+    p = profile if isinstance(profile, Profile) else Profile(profile)
+    twin = Profile.homogeneous(p.n, p.mean)
+    return work_rate(p, params) / work_rate(twin, params)
+
+
+@dataclass(frozen=True)
+class HeterogeneityGainGrid:
+    """Corollary-1 gains over a (mean, relative-spread) grid.
+
+    ``gain[i, j]`` is the work ratio of ⟨mean_i(1+s_j), mean_i(1−s_j)⟩
+    over the homogeneous ⟨mean_i, mean_i⟩, where ``s_j`` is the
+    *relative* spread (spread = s·mean, clipped to keep ρ positive).
+    """
+
+    means: np.ndarray
+    relative_spreads: np.ndarray
+    gain: np.ndarray
+
+    def max_gain(self) -> tuple[float, float, float]:
+        """(mean, relative spread, gain) at the grid's largest gain."""
+        i, j = np.unravel_index(int(np.argmax(self.gain)), self.gain.shape)
+        return (float(self.means[i]), float(self.relative_spreads[j]),
+                float(self.gain[i, j]))
+
+
+def heterogeneity_gain_grid(params: ModelParams,
+                            means: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+                            relative_spreads: Sequence[float] = (0.1, 0.3, 0.5,
+                                                                 0.7, 0.9),
+                            ) -> HeterogeneityGainGrid:
+    """Tabulate Corollary 1's gain across (mean, spread) space.
+
+    Every entry must exceed 1 (Theorem 5(2)); the tests assert it, and
+    the grid shows the gain exploding as the spread approaches the mean
+    (one computer nearly free).
+    """
+    mean_arr = np.asarray(list(means), dtype=float)
+    spread_arr = np.asarray(list(relative_spreads), dtype=float)
+    if np.any(mean_arr <= 0) or np.any(mean_arr > 1):
+        raise InvalidParameterError("means must lie in (0, 1]")
+    if np.any(spread_arr <= 0) or np.any(spread_arr >= 1):
+        raise InvalidParameterError("relative spreads must lie in (0, 1)")
+    gain = np.empty((mean_arr.size, spread_arr.size))
+    for i, mean in enumerate(mean_arr):
+        for j, rel in enumerate(spread_arr):
+            spread = rel * min(mean, 1.0 - mean if mean < 1.0 else mean)
+            spread = min(spread, mean * 0.999)
+            hetero = Profile([mean + spread, mean - spread])
+            homog = Profile([mean, mean])
+            gain[i, j] = (work_rate(hetero, params)
+                          / work_rate(homog, params))
+    return HeterogeneityGainGrid(means=mean_arr, relative_spreads=spread_arr,
+                                 gain=gain)

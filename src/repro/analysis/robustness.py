@@ -1,0 +1,106 @@
+"""Statistical robustness: expected work under random worker failures.
+
+The failure-resilience experiment crashes chosen workers at chosen
+times; operators think in *rates*.  This module Monte-Carlo-estimates a
+schedule's expected completed work when each worker independently fails
+at an exponential rate, under either result-sequencing policy, and
+summarises the distribution (mean, standard error, quantiles).
+
+The strict-FIFO tail risk is vivid here: because one early crash can
+forfeit the whole round, the strict policy's *distribution* is bimodal
+long before its *mean* looks alarming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.protocols.base import WorkAllocation
+from repro.simulation.runner import simulate_allocation
+
+__all__ = ["RobustnessEstimate", "expected_work_under_failures"]
+
+
+@dataclass(frozen=True)
+class RobustnessEstimate:
+    """Monte-Carlo summary of completed work under random failures.
+
+    Attributes
+    ----------
+    samples:
+        The raw per-trial completed-work values.
+    failure_rate:
+        The per-worker exponential failure rate used.
+    """
+
+    samples: np.ndarray
+    failure_rate: float
+    skip_failed_results: bool
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std_error(self) -> float:
+        if self.samples.size < 2:
+            return float("nan")
+        return float(self.samples.std(ddof=1) / np.sqrt(self.samples.size))
+
+    def quantile(self, q: float) -> float:
+        """Distribution quantile of completed work (q in [0, 1])."""
+        if not (0.0 <= q <= 1.0):
+            raise InvalidParameterError(f"quantile must lie in [0, 1], got {q!r}")
+        return float(np.quantile(self.samples, q))
+
+    @property
+    def fraction_total_loss(self) -> float:
+        """Share of trials completing (essentially) nothing."""
+        return float(np.mean(self.samples <= 1e-12))
+
+
+def expected_work_under_failures(allocation: WorkAllocation,
+                                 failure_rate: float,
+                                 rng: np.random.Generator,
+                                 n_samples: int = 200,
+                                 *, skip_failed_results: bool = False
+                                 ) -> RobustnessEstimate:
+    """Estimate E[completed work] with i.i.d. exponential worker failures.
+
+    Parameters
+    ----------
+    allocation:
+        The schedule to stress.
+    failure_rate:
+        Each worker's failure intensity (events per time unit); a worker
+        whose sampled failure time exceeds the lifespan never fails.
+        Zero is allowed (degenerates to the failure-free run).
+    rng:
+        Randomness source (pass a seeded Generator for reproducibility).
+    n_samples:
+        Monte-Carlo trials.
+    skip_failed_results:
+        Result-sequencer recovery policy (see
+        :func:`repro.simulation.runner.simulate_allocation`).
+    """
+    if failure_rate < 0:
+        raise InvalidParameterError(
+            f"failure_rate must be nonnegative, got {failure_rate!r}")
+    if n_samples < 1:
+        raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
+    n = allocation.n
+    L = allocation.lifespan
+    samples = np.empty(n_samples)
+    for k in range(n_samples):
+        failures: dict[int, float] = {}
+        if failure_rate > 0.0:
+            times = rng.exponential(1.0 / failure_rate, size=n)
+            failures = {c: float(t) for c, t in enumerate(times) if t < L}
+        result = simulate_allocation(allocation, failures=failures,
+                                     skip_failed_results=skip_failed_results)
+        samples[k] = result.completed_work
+    return RobustnessEstimate(samples=samples, failure_rate=failure_rate,
+                              skip_failed_results=skip_failed_results)

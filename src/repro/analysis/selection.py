@@ -1,0 +1,103 @@
+"""Machine selection under fixed overheads: when fewer is more.
+
+In the pure fluid model every additional computer helps (Prop. 2 /
+:func:`repro.analysis.asymptotics.marginal_computer_value` is always
+positive), so "use everything" is trivially optimal.  Restore the fixed
+per-message latency λ of :mod:`repro.analysis.overheads` and the
+trade-off becomes real: each enlisted machine costs ``2λ`` of lifespan
+(one package out, one result back) against a diminishing X gain.
+
+Because a faster machine adds strictly more X than a slower one at the
+same fixed cost, the optimal roster is always a *fastest-first prefix*
+— so the search is O(n log n): sort by speed, scan prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.overheads import latency_adjusted_work
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["RosterChoice", "best_roster"]
+
+
+@dataclass(frozen=True)
+class RosterChoice:
+    """Outcome of an optimal machine-selection search.
+
+    Attributes
+    ----------
+    size:
+        Number of machines enlisted (fastest-first).
+    members:
+        Profile indices of the enlisted machines, fastest first.
+    roster:
+        The selected sub-profile.
+    work:
+        Latency-adjusted work of the selection.
+    work_all:
+        Latency-adjusted work of using every machine, for comparison.
+    """
+
+    size: int
+    members: tuple[int, ...]
+    roster: Profile
+    work: float
+    work_all: float
+
+    @property
+    def leaving_some_out_helps(self) -> bool:
+        """Whether the optimal roster is a strict subset."""
+        return self.work > self.work_all * (1.0 + 1e-12)
+
+
+def best_roster(profile: Profile, params: ModelParams, lifespan: float,
+                latency: float) -> RosterChoice:
+    """Choose which machines to enlist for one CEP round.
+
+    Evaluates every fastest-first prefix under the latency-adjusted work
+    model and returns the best.  With λ = 0 the answer is always "all
+    machines" (the fluid model's monotonicity); with λ > 0 and a short
+    lifespan, slow stragglers whose X contribution is worth less than
+    ``2λ`` of lifespan get benched.
+
+    Parameters
+    ----------
+    profile:
+        The full fleet.
+    params:
+        Architectural model parameters.
+    lifespan:
+        The engagement length ``L``.
+    latency:
+        Fixed per-message cost λ ≥ 0.
+    """
+    if lifespan <= 0:
+        raise InvalidParameterError(f"lifespan must be positive, got {lifespan!r}")
+    if latency < 0:
+        raise InvalidParameterError(f"latency must be nonnegative, got {latency!r}")
+    order = tuple(int(i) for i in np.argsort(profile.rho, kind="stable"))
+    best_size = 1
+    best_work = -np.inf
+    works = []
+    for k in range(1, profile.n + 1):
+        members = order[:k]
+        sub = Profile(profile.rho[list(members)])
+        work = latency_adjusted_work(sub, params, lifespan, latency)
+        works.append(work)
+        if work > best_work:
+            best_work = work
+            best_size = k
+    members = order[:best_size]
+    return RosterChoice(
+        size=best_size,
+        members=members,
+        roster=Profile(profile.rho[list(members)]),
+        work=float(best_work),
+        work_all=float(works[-1]),
+    )

@@ -1,0 +1,14 @@
+"""The CEP and its dual, the Cluster-Rental Problem (paper footnote 3)."""
+
+from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
+from repro.cep.rental import min_prefix_for_deadline, rent_cluster, scale_allocation
+from repro.cep.workload import Workload
+
+__all__ = [
+    "ClusterExploitationProblem",
+    "ClusterRentalProblem",
+    "rent_cluster",
+    "scale_allocation",
+    "min_prefix_for_deadline",
+    "Workload",
+]

@@ -1,0 +1,73 @@
+"""Problem definitions: CEP and its dual CRP (paper §1.2, footnote 3).
+
+* **Cluster-Exploitation Problem (CEP)** — given a lifespan ``L``,
+  complete as many work units as possible.
+* **Cluster-Rental Problem (CRP)** — given a workload ``W``, finish in
+  as few time units as possible.
+
+Under the FIFO asymptotics the two are inverse linear maps of each
+other: ``W(L) = L/(τδ + 1/X)`` and ``L(W) = W·(τδ + 1/X)``, so an
+optimal solution to one converts to an optimal solution of the other by
+rescaling every work quantum (footnote 3 cites the formal equivalence).
+These dataclasses give the two problems first-class, documented homes
+used by the examples and the rental module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.measure import work_rate
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["ClusterExploitationProblem", "ClusterRentalProblem"]
+
+
+@dataclass(frozen=True)
+class ClusterExploitationProblem:
+    """A CEP instance: maximise work over a fixed lifespan."""
+
+    profile: Profile
+    params: ModelParams
+    lifespan: float
+
+    def __post_init__(self) -> None:
+        if self.lifespan <= 0:
+            raise InvalidParameterError(
+                f"lifespan must be positive, got {self.lifespan!r}")
+
+    @property
+    def optimal_work(self) -> float:
+        """Theorem 2's optimum: ``W(L;P) = L/(τδ + 1/X(P))``."""
+        return self.lifespan * work_rate(self.profile, self.params)
+
+    def dual(self) -> "ClusterRentalProblem":
+        """The CRP whose optimal lifespan is this CEP's lifespan."""
+        return ClusterRentalProblem(profile=self.profile, params=self.params,
+                                    workload=self.optimal_work)
+
+
+@dataclass(frozen=True)
+class ClusterRentalProblem:
+    """A CRP instance: minimise the lifespan for a fixed workload."""
+
+    profile: Profile
+    params: ModelParams
+    workload: float
+
+    def __post_init__(self) -> None:
+        if self.workload <= 0:
+            raise InvalidParameterError(
+                f"workload must be positive, got {self.workload!r}")
+
+    @property
+    def optimal_lifespan(self) -> float:
+        """``L(W;P) = W·(τδ + 1/X(P))`` — the inverse of Theorem 2's map."""
+        return self.workload / work_rate(self.profile, self.params)
+
+    def dual(self) -> ClusterExploitationProblem:
+        """The CEP whose optimal work is this CRP's workload."""
+        return ClusterExploitationProblem(profile=self.profile, params=self.params,
+                                          lifespan=self.optimal_lifespan)

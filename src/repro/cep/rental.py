@@ -1,0 +1,81 @@
+"""Solving the Cluster-Rental Problem and converting CEP ⇄ CRP solutions.
+
+Footnote 3 of the paper: an optimal CEP solution converts efficiently
+into an optimal solution of its dual.  Concretely, the FIFO fluid
+schedule is homogeneous of degree 1 in ``L`` — scaling every quantum by
+``c`` scales both the work and the lifespan by ``c`` — so the CRP is
+solved by scaling a unit-lifespan CEP schedule to the requested
+workload.  :func:`rent_cluster` returns the schedule; helper functions
+answer capacity-planning questions built on it (e.g. the smallest
+cluster prefix that meets a deadline).
+"""
+
+from __future__ import annotations
+
+from repro.cep.problem import ClusterRentalProblem
+from repro.core.measure import work_rate
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.protocols.base import WorkAllocation
+from repro.protocols.fifo import fifo_allocation
+
+__all__ = ["rent_cluster", "scale_allocation", "min_prefix_for_deadline"]
+
+
+def scale_allocation(allocation: WorkAllocation, factor: float) -> WorkAllocation:
+    """Scale a fluid schedule: quanta and lifespan both multiply by ``factor``."""
+    if factor <= 0:
+        raise InvalidParameterError(f"scale factor must be positive, got {factor!r}")
+    return WorkAllocation(
+        profile=allocation.profile,
+        params=allocation.params,
+        lifespan=allocation.lifespan * factor,
+        w=allocation.w * factor,
+        startup_order=allocation.startup_order,
+        finishing_order=allocation.finishing_order,
+        protocol_name=allocation.protocol_name,
+    )
+
+
+def rent_cluster(problem: ClusterRentalProblem) -> WorkAllocation:
+    """Optimal CRP schedule: finish ``workload`` units as fast as possible.
+
+    Returns a FIFO allocation whose lifespan is the CRP optimum
+    ``W·(τδ + 1/X)`` and whose quanta sum to exactly the workload.
+    """
+    lifespan = problem.optimal_lifespan
+    allocation = fifo_allocation(problem.profile, problem.params, lifespan)
+    # Guard against accumulated rounding: renormalise the quanta so they
+    # sum to the workload exactly.
+    total = allocation.total_work
+    if total <= 0:
+        raise InvalidParameterError("degenerate rental: zero-work schedule")
+    return scale_allocation(allocation, problem.workload / total)
+
+
+def min_prefix_for_deadline(profile: Profile, params: ModelParams,
+                            workload: float, deadline: float) -> int:
+    """Capacity planning: how many of the cluster's fastest computers are
+    needed to finish ``workload`` within ``deadline``?
+
+    Considers prefixes of the power-ordered-by-speed cluster (fastest
+    first) and returns the smallest size whose CRP optimum meets the
+    deadline.
+
+    Returns
+    -------
+    int
+        The prefix size, or ``-1`` if even the full cluster misses the
+        deadline.
+    """
+    if workload <= 0 or deadline <= 0:
+        raise InvalidParameterError(
+            f"workload and deadline must be positive, got {workload!r}, {deadline!r}")
+    fastest_first = sorted(profile, key=float)
+    for k in range(1, profile.n + 1):
+        prefix = Profile(fastest_first[:k])
+        lifespan = workload / work_rate(prefix, params)
+        if lifespan <= deadline:
+            return k
+    return -1

@@ -1,0 +1,90 @@
+"""Task-based workload accounting (paper §1.2's applications).
+
+The CEP abstracts workloads into "work units"; real deployments (the
+paper cites data smoothing, pattern matching, ray tracing, Monte-Carlo
+simulation, chromosome mapping) think in *tasks* with a wall-clock time
+per task.  :class:`Workload` carries that bookkeeping and converts both
+ways:
+
+* a task count becomes a work-unit total (one unit ≡ one task, the
+  model's "uniform workload" convention);
+* dimensionless lifespans/rates convert to wall-clock via the task
+  granularity, with :meth:`repro.core.params.ModelParams.with_task_granularity`
+  handling the parameter side of the same change of units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A bag of equal-size independent tasks.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of tasks (= work units).
+    seconds_per_task:
+        Wall-clock compute time of one task on the reference (slowest,
+        ρ = 1) computer.
+    name:
+        Optional label for reports.
+    """
+
+    n_tasks: float
+    seconds_per_task: float = 1.0
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.n_tasks <= 0:
+            raise InvalidParameterError(f"n_tasks must be positive, got {self.n_tasks!r}")
+        if self.seconds_per_task <= 0:
+            raise InvalidParameterError(
+                f"seconds_per_task must be positive, got {self.seconds_per_task!r}")
+
+    @property
+    def work_units(self) -> float:
+        """One work unit per task (the model's uniform-workload convention)."""
+        return float(self.n_tasks)
+
+    def to_wall_clock(self, lifespan_units: float) -> float:
+        """Convert a dimensionless lifespan to seconds."""
+        return lifespan_units * self.seconds_per_task
+
+    def from_wall_clock(self, seconds: float) -> float:
+        """Convert seconds to dimensionless lifespan units."""
+        if seconds <= 0:
+            raise InvalidParameterError(f"seconds must be positive, got {seconds!r}")
+        return seconds / self.seconds_per_task
+
+    def rental_problem(self, profile: Profile,
+                       params: ModelParams) -> ClusterRentalProblem:
+        """The CRP instance 'finish this workload as fast as possible'.
+
+        ``params`` must already be expressed against this workload's
+        granularity (see
+        :meth:`~repro.core.params.ModelParams.with_task_granularity`).
+        """
+        return ClusterRentalProblem(profile=profile, params=params,
+                                    workload=self.work_units)
+
+    def exploitation_problem(self, profile: Profile, params: ModelParams,
+                             wall_clock_seconds: float) -> ClusterExploitationProblem:
+        """The CEP instance 'do as much of this as possible in T seconds'."""
+        return ClusterExploitationProblem(
+            profile=profile, params=params,
+            lifespan=self.from_wall_clock(wall_clock_seconds))
+
+    def completion_seconds(self, profile: Profile, params: ModelParams) -> float:
+        """Wall-clock seconds the optimal schedule needs for the whole bag."""
+        lifespan_units = self.rental_problem(profile, params).optimal_lifespan
+        return self.to_wall_clock(lifespan_units)

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro`` / ``repro-hetero``.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment.
+``run <experiment-id> [...]``
+    Run one experiment (or ``all``) and print its report.
+``hecr --profile 1,0.5,0.25``
+    Quick HECR/X computation for an ad-hoc profile.
+
+Examples
+--------
+::
+
+    repro-hetero list
+    repro-hetero run table3
+    repro-hetero run variance-trials --trials 200 --seed 7
+    repro-hetero hecr --profile 1,0.5,0.333,0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.hecr import hecr
+from repro.core.measure import work_rate, x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.experiments import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hetero",
+        description="Reproduction of Rosenberg & Chiang, 'Toward Understanding "
+                    "Heterogeneity in Computing' (IPDPS 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run an experiment and print its report")
+    run.add_argument("experiment", help="experiment id, or 'all'")
+    run.add_argument("--trials", type=int, default=None,
+                     help="trials per size for sampling experiments")
+    run.add_argument("--seed", type=int, default=None,
+                     help="RNG seed for sampling experiments")
+    run.add_argument("--format", choices=("text", "json", "csv"),
+                     default="text", help="output format (default: text)")
+    run.add_argument("--output", default=None, metavar="PATH",
+                     help="write the report to a file instead of stdout")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write one markdown report")
+    report.add_argument("--output", default="reproduction_report.md",
+                        metavar="PATH", help="report destination")
+    report.add_argument("--trials", type=int, default=None,
+                        help="trials per size for sampling experiments")
+
+    hecr_cmd = sub.add_parser("hecr", help="compute HECR/X for a profile")
+    hecr_cmd.add_argument("--profile", required=True,
+                          help="comma-separated rho values, e.g. 1,0.5,0.25")
+    hecr_cmd.add_argument("--tau", type=float, default=PAPER_TABLE1.tau)
+    hecr_cmd.add_argument("--pi", type=float, default=PAPER_TABLE1.pi)
+    hecr_cmd.add_argument("--delta", type=float, default=PAPER_TABLE1.delta)
+
+    compare_cmd = sub.add_parser(
+        "compare", help="compare two clusters with every measure/predictor")
+    compare_cmd.add_argument("--first", required=True,
+                             help="first profile, e.g. 0.9,0.1")
+    compare_cmd.add_argument("--second", required=True,
+                             help="second profile, e.g. 0.5,0.5")
+    compare_cmd.add_argument("--tau", type=float, default=PAPER_TABLE1.tau)
+    compare_cmd.add_argument("--pi", type=float, default=PAPER_TABLE1.pi)
+    compare_cmd.add_argument("--delta", type=float, default=PAPER_TABLE1.delta)
+    return parser
+
+
+#: Experiments that accept the sampling overrides.
+_SAMPLING_EXPERIMENTS = ("variance-trials", "variance-threshold",
+                         "moment-ablation")
+
+
+def _run_experiment(experiment_id: str, args: argparse.Namespace) -> None:
+    from repro.experiments.export import result_to_csv, result_to_json
+
+    runner = get_experiment(experiment_id)
+    kwargs = {}
+    if args.trials is not None and experiment_id in _SAMPLING_EXPERIMENTS:
+        kwargs["trials_per_size"] = args.trials
+    if args.seed is not None and experiment_id in _SAMPLING_EXPERIMENTS:
+        kwargs["seed"] = args.seed
+    result = runner(**kwargs)
+
+    fmt = getattr(args, "format", "text")
+    if fmt == "json":
+        text = result_to_json(result)
+    elif fmt == "csv":
+        text = result_to_csv(result)
+    else:
+        text = result.render() + "\n"
+
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {experiment_id} ({fmt}) to {output}")
+    else:
+        print(text)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        if args.experiment == "all":
+            for experiment_id in list_experiments():
+                _run_experiment(experiment_id, args)
+        else:
+            _run_experiment(args.experiment, args)
+        return 0
+
+    if args.command == "report":
+        lines = ["# Reproduction report",
+                 "",
+                 "Generated by `repro-hetero report`: every registered "
+                 "experiment, rendered.", ""]
+        for experiment_id in list_experiments():
+            runner = get_experiment(experiment_id)
+            kwargs = {}
+            if args.trials is not None and experiment_id in _SAMPLING_EXPERIMENTS:
+                kwargs["trials_per_size"] = args.trials
+            result = runner(**kwargs)
+            lines += [f"## {experiment_id}", "", "```", result.render(), "```", ""]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+        print(f"wrote {len(list_experiments())} experiments to {args.output}")
+        return 0
+
+    if args.command == "hecr":
+        try:
+            rho = [float(part) for part in args.profile.split(",") if part.strip()]
+        except ValueError:
+            print(f"error: could not parse profile {args.profile!r}", file=sys.stderr)
+            return 2
+        profile = Profile(rho)
+        params = ModelParams(tau=args.tau, pi=args.pi, delta=args.delta)
+        print(f"profile: {profile!r}")
+        print(f"X(P)      = {x_measure(profile, params):.6g}")
+        print(f"work rate = {work_rate(profile, params):.6g} work units/time unit")
+        print(f"HECR      = {hecr(profile, params):.6g}")
+        return 0
+
+    if args.command == "compare":
+        from repro.core.compare import compare_clusters
+        from repro.experiments.tables import render_table
+        try:
+            first = Profile([float(x) for x in args.first.split(",") if x.strip()])
+            second = Profile([float(x) for x in args.second.split(",") if x.strip()])
+        except ValueError:
+            print("error: could not parse profiles", file=sys.stderr)
+            return 2
+        params = ModelParams(tau=args.tau, pi=args.pi, delta=args.delta)
+        comparison = compare_clusters(first, second, params)
+        print(render_table(
+            ("quantity", "first", "second"),
+            [("profile", str(list(first)), str(list(second))),
+             ("X", round(comparison.x1, 6), round(comparison.x2, 6)),
+             ("HECR", round(comparison.hecr1, 6), round(comparison.hecr2, 6)),
+             ("work ratio first/second",
+              round(comparison.work_ratio_1_over_2, 6), "")],
+            title="cluster comparison"))
+        print()
+        print(render_table(("lens", "call", "agrees with truth"),
+                           comparison.verdict_rows()))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

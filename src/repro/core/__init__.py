@@ -1,0 +1,72 @@
+"""Core analytical framework: parameters, profiles, X-measure, HECR.
+
+This subpackage implements the paper's primary mathematical objects:
+
+* :class:`repro.core.params.ModelParams` — the architectural environment
+  (τ, π, δ) with derived constants A and B (paper §2.1, Tables 1–2);
+* :class:`repro.core.profile.Profile` — heterogeneity profiles (§1.1);
+* :mod:`repro.core.measure` — the X-measure and work production
+  (Theorem 2, eq. (1) and eq. (3));
+* :mod:`repro.core.homogeneous` — homogeneous-cluster closed forms (eq. (2));
+* :mod:`repro.core.hecr` — the Homogeneous-Equivalent Computing Rate
+  (Proposition 1);
+* :mod:`repro.core.exact` — exact-rational ground-truth evaluation.
+"""
+
+from repro.core.compare import ClusterComparison, compare_clusters
+from repro.core.exact import (
+    homogeneous_x_exact,
+    work_rate_exact,
+    work_ratio_exact,
+    x_measure_exact,
+)
+from repro.core.hecr import hecr, hecr_bisect, hecr_from_x, hecr_many
+from repro.core.homogeneous import (
+    homogeneous_size_for_x,
+    homogeneous_work_rate,
+    homogeneous_x,
+)
+from repro.core.measure import (
+    XDecomposition,
+    work_production,
+    work_rate,
+    work_ratio,
+    x_decomposition,
+    x_measure,
+    x_measure_many,
+)
+from repro.core.params import (
+    FIG34_CALIBRATION,
+    NEGLIGIBLE_OVERHEADS,
+    PAPER_TABLE1,
+    ModelParams,
+)
+from repro.core.profile import Profile
+
+__all__ = [
+    "ModelParams",
+    "ClusterComparison",
+    "compare_clusters",
+    "PAPER_TABLE1",
+    "FIG34_CALIBRATION",
+    "NEGLIGIBLE_OVERHEADS",
+    "Profile",
+    "x_measure",
+    "x_measure_many",
+    "work_rate",
+    "work_production",
+    "work_ratio",
+    "XDecomposition",
+    "x_decomposition",
+    "homogeneous_x",
+    "homogeneous_work_rate",
+    "homogeneous_size_for_x",
+    "hecr",
+    "hecr_from_x",
+    "hecr_bisect",
+    "hecr_many",
+    "x_measure_exact",
+    "work_rate_exact",
+    "work_ratio_exact",
+    "homogeneous_x_exact",
+]

@@ -1,0 +1,118 @@
+"""One-stop cluster comparison: every measure and predictor, side by side.
+
+The paper develops half a dozen lenses for "which cluster is more
+powerful?" — X, HECR, work ratios, minorization, cross-product
+dominance, variance, majorization.  :func:`compare_clusters` applies all
+of them to a pair and returns a structured verdict sheet, which the CLI
+(``repro-hetero compare``) and the procurement example render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hecr import hecr
+from repro.core.measure import work_ratio, x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.dominance import (
+    DominanceVerdict,
+    cross_product_dominance,
+    minorization_predicts,
+)
+from repro.predictors.majorization import majorization_prediction
+
+__all__ = ["ClusterComparison", "compare_clusters"]
+
+
+@dataclass(frozen=True)
+class ClusterComparison:
+    """Everything the framework can say about a pair of clusters.
+
+    Predictor fields use the convention 0 = first cluster, 1 = second,
+    −1 = no call.  ``winner`` is ground truth by X (−1 on an exact tie).
+    """
+
+    p1: Profile
+    p2: Profile
+    params: ModelParams
+    x1: float
+    x2: float
+    hecr1: float
+    hecr2: float
+    work_ratio_1_over_2: float
+    winner: int
+    minorization: DominanceVerdict
+    cross_product: DominanceVerdict
+    variance_call: int
+    majorization_call: int
+
+    @property
+    def equal_means(self) -> bool:
+        return abs(self.p1.mean - self.p2.mean) <= 1e-9 * max(self.p1.mean,
+                                                              self.p2.mean)
+
+    def verdict_rows(self) -> list[tuple[str, str, str]]:
+        """(lens, call, agrees-with-truth) rows for rendering."""
+        def call_name(call: int) -> str:
+            return {0: "first", 1: "second", -1: "no call"}[call]
+
+        def agreement(call: int) -> str:
+            if call == -1:
+                return "—"
+            return "yes" if call == self.winner else "NO"
+
+        rows = [
+            ("X-measure (ground truth)",
+             "first" if self.winner == 0 else "second" if self.winner == 1 else "tie",
+             "—"),
+            ("minorization (Prop. 2)", self.minorization.value,
+             agreement({"first": 0, "second": 1}.get(self.minorization.value, -1))),
+            ("cross-product (Prop. 3)", self.cross_product.value,
+             agreement({"first": 0, "second": 1}.get(self.cross_product.value, -1))),
+        ]
+        if self.equal_means:
+            rows.append(("variance (Thm. 5)", call_name(self.variance_call),
+                         agreement(self.variance_call)))
+            rows.append(("majorization", call_name(self.majorization_call),
+                         agreement(self.majorization_call)))
+        return rows
+
+
+def compare_clusters(p1: Profile, p2: Profile,
+                     params: ModelParams) -> ClusterComparison:
+    """Evaluate every measure and predictor on one cluster pair.
+
+    Equal-mean-only predictors (variance, majorization) return −1
+    ("no call") when the means differ.
+    """
+    if p1.n != p2.n:
+        raise InvalidProfileError(
+            f"comparisons need equal-size clusters (got {p1.n} vs {p2.n})")
+    x1 = x_measure(p1, params)
+    x2 = x_measure(p2, params)
+    winner = 0 if x1 > x2 else 1 if x2 > x1 else -1
+
+    equal_means = abs(p1.mean - p2.mean) <= 1e-9 * max(p1.mean, p2.mean)
+    variance_call = -1
+    majorization_call = -1
+    if equal_means:
+        v1, v2 = p1.variance, p2.variance
+        variance_call = 0 if v1 > v2 else 1 if v2 > v1 else -1
+        try:
+            majorization_call = majorization_prediction(p1, p2)
+        except InvalidProfileError:  # pragma: no cover - guarded by equal_means
+            majorization_call = -1
+
+    return ClusterComparison(
+        p1=p1, p2=p2, params=params,
+        x1=x1, x2=x2,
+        hecr1=hecr(p1, params), hecr2=hecr(p2, params),
+        work_ratio_1_over_2=work_ratio(p1, p2, params),
+        winner=winner,
+        minorization=minorization_predicts(p1, p2),
+        cross_product=cross_product_dominance(p1, p2).verdict,
+        variance_call=variance_call,
+        majorization_call=majorization_call,
+    )

@@ -1,0 +1,111 @@
+"""Exact-rational twins of the core formulas (ground truth for tests).
+
+Every quantity in the paper's framework — X(P), W(L;P), the eq.-(3)
+decomposition, the Lemma-1 coefficients — is a *rational* function of the
+parameters and ρ-values.  Evaluating them with :class:`fractions.Fraction`
+therefore yields exact results, which the property-based test suite uses
+to bound the floating-point implementations' error and to verify
+identities (Lemma 1, Proposition 3's cross products) with no tolerance
+fudging.
+
+These functions are O(n²)-ish with big rationals and are meant for small
+n (≲ 64); the float implementations in :mod:`repro.core.measure` handle
+the experiment-scale clusters.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+from repro.core.params import ExactParams, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+
+__all__ = [
+    "exact_rho_values",
+    "x_measure_exact",
+    "work_rate_exact",
+    "homogeneous_x_exact",
+    "work_ratio_exact",
+]
+
+NumberLike = Union[int, float, Fraction]
+
+
+def exact_rho_values(profile: Union[Profile, Iterable[NumberLike]]) -> tuple[Fraction, ...]:
+    """Convert a profile (or iterable of numbers) to exact Fractions.
+
+    Floats convert via their exact binary value, so float and Fraction
+    pipelines evaluate literally the same inputs.
+    """
+    if isinstance(profile, Profile):
+        return profile.exact_rho()
+    values = tuple(Fraction(v) for v in profile)
+    if not values:
+        raise InvalidProfileError("profile must be non-empty")
+    if any(v <= 0 for v in values):
+        raise InvalidProfileError("profile entries must be strictly positive")
+    return values
+
+
+def _exact_params(params: Union[ModelParams, ExactParams]) -> ExactParams:
+    return params if isinstance(params, ExactParams) else params.exact()
+
+
+def x_measure_exact(profile: Union[Profile, Iterable[NumberLike]],
+                    params: Union[ModelParams, ExactParams]) -> Fraction:
+    """Exact evaluation of eq. (1)'s ``X(P)``.
+
+    Returns
+    -------
+    fractions.Fraction
+        The exact rational value of X(P).
+    """
+    rho = exact_rho_values(profile)
+    p = _exact_params(params)
+    A, B, td = p.A, p.B, p.tau_delta
+    total = Fraction(0)
+    prefix = Fraction(1)
+    for r in rho:
+        denom = B * r + A
+        total += prefix / denom
+        prefix *= (B * r + td) / denom
+    return total
+
+
+def work_rate_exact(profile: Union[Profile, Iterable[NumberLike]],
+                    params: Union[ModelParams, ExactParams]) -> Fraction:
+    """Exact asymptotic work rate ``1/(τδ + 1/X(P))``."""
+    p = _exact_params(params)
+    X = x_measure_exact(profile, p)
+    return 1 / (p.tau_delta + 1 / X)
+
+
+def work_ratio_exact(new_profile: Union[Profile, Sequence[NumberLike]],
+                     old_profile: Union[Profile, Sequence[NumberLike]],
+                     params: Union[ModelParams, ExactParams]) -> Fraction:
+    """Exact work ratio ``W(L; P_new)/W(L; P_old)`` (lifespan cancels)."""
+    p = _exact_params(params)
+    return work_rate_exact(new_profile, p) / work_rate_exact(old_profile, p)
+
+
+def homogeneous_x_exact(n: int, rho: NumberLike,
+                        params: Union[ModelParams, ExactParams]) -> Fraction:
+    """Exact eq. (2): ``X(P^(ρ)) = (1 − qⁿ)/(A − τδ)`` with q the decay ratio.
+
+    Falls back to the telescoped sum ``n/(Bρ + A)`` in the A = τδ limit.
+    """
+    if n < 1:
+        raise InvalidProfileError(f"n must be >= 1, got {n}")
+    p = _exact_params(params)
+    r = Fraction(rho)
+    if r <= 0:
+        raise InvalidProfileError(f"rho must be positive, got {rho!r}")
+    A, B, td = p.A, p.B, p.tau_delta
+    denom = B * r + A
+    gap = A - td
+    if gap == 0:
+        return Fraction(n) / denom
+    q = (B * r + td) / denom
+    return (1 - q ** n) / gap

@@ -1,0 +1,193 @@
+"""The Homogeneous-Equivalent Computing Rate (paper §2.4, Proposition 1).
+
+``X(P)`` is tractable but "not very perspicuous": the paper therefore
+calibrates a heterogeneous cluster against homogeneous ones.  The HECR
+``ρ_C`` of a cluster ``C`` with profile ``P`` is the largest common rate
+``ρ`` such that the homogeneous n-computer cluster ``C^(ρ)`` is at least
+as powerful: ``X(P^(ρ_C)) ≥ X(P)``.  Since ``X(P^(ρ))`` is strictly
+decreasing in ρ (slower computers do less work), the HECR is simply the
+solution of ``X(P^(ρ)) = X(P)``; **smaller HECR ⇒ more powerful cluster**.
+
+Proposition 1 gives the closed form
+
+.. math::
+
+    ρ_C = \\frac{A − τδ}{B − (1 − (A − τδ)X(P))^{1/n} B} − \\frac{A}{B}.
+
+Numerical care: in the Table-1 regime ``(A − τδ)·X ≈ 10⁻⁵·X``, so the
+inner ``1 − (1 − ε)^{1/n}`` suffers catastrophic cancellation if evaluated
+naively.  We use ``-expm1(log1p(-ε)/n)`` instead, and we provide an
+independent bisection inverter used to cross-validate the closed form in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.homogeneous import homogeneous_x
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["hecr", "hecr_from_x", "hecr_bisect", "hecr_many"]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def hecr_from_x(x_value: float, n: int, params: ModelParams) -> float:
+    """Proposition 1's closed form: HECR of a cluster with X-measure ``x_value``.
+
+    Parameters
+    ----------
+    x_value:
+        The cluster's X(P); must satisfy ``0 < (A − τδ)·X < 1`` (every
+        realisable profile does — X saturates at ``1/(A − τδ)``).
+    n:
+        Number of computers in the cluster.
+    params:
+        Architectural model parameters.
+
+    Returns
+    -------
+    float
+        The equivalent homogeneous rate ρ_C (> 0; smaller is faster).
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if x_value <= 0 or not math.isfinite(x_value):
+        raise InvalidParameterError(f"x_value must be positive and finite, got {x_value!r}")
+    A, B, td = params.A, params.B, params.tau_delta
+    gap = A - td
+    if gap == 0.0:
+        # A = τδ limit: X(P^(ρ)) = n/(Bρ + A)  ⇒  ρ = (n/X − A)/B
+        rho = (n / x_value - A) / B
+    else:
+        eps = gap * x_value
+        if eps >= 1.0:
+            raise InvalidParameterError(
+                f"x_value={x_value!r} exceeds the saturation bound 1/(A−τδ)="
+                f"{1.0 / gap!r}; no homogeneous equivalent exists")
+        # one_minus_D = 1 − (1 − ε)^{1/n}, computed cancellation-free.
+        one_minus_D = -math.expm1(math.log1p(-eps) / n)
+        rho = gap / (B * one_minus_D) - A / B
+    if rho <= 0:
+        raise InvalidParameterError(
+            f"derived HECR is non-positive ({rho!r}): the cluster is more "
+            f"powerful than any homogeneous cluster of finite rate under "
+            f"these parameters")
+    return rho
+
+
+def hecr(profile: ProfileLike, params: ModelParams) -> float:
+    """The HECR ``ρ_C`` of a heterogeneous cluster (Proposition 1).
+
+    Examples
+    --------
+    >>> from repro.core.params import PAPER_TABLE1
+    >>> from repro.core.profile import Profile
+    >>> round(hecr(Profile.linear(8), PAPER_TABLE1), 3)   # Table 3, C1, n=8
+    0.368
+    """
+    if isinstance(profile, Profile):
+        n = profile.n
+    else:
+        profile = Profile(profile)
+        n = profile.n
+    return hecr_from_x(x_measure(profile, params), n, params)
+
+
+def hecr_many(profiles: np.ndarray, x_values: np.ndarray, params: ModelParams) -> np.ndarray:
+    """Vectorised Proposition-1 closed form for a batch of equal-size profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Array of shape ``(m, n)`` — only its column count ``n`` is used.
+    x_values:
+        Shape ``(m,)`` of precomputed X-measures (see
+        :func:`repro.core.measure.x_measure_many`).
+    params:
+        Architectural model parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m,)`` of HECRs.  Entries are NaN for *saturated*
+        clusters whose X rounds to the 1/(A−τδ) bound in float64 — such
+        clusters sit beyond the resolution of any finite homogeneous
+        equivalent.
+    """
+    arr = np.asarray(profiles, dtype=float)
+    x = np.asarray(x_values, dtype=float)
+    if arr.ndim != 2 or x.shape != (arr.shape[0],):
+        raise InvalidParameterError(
+            f"shape mismatch: profiles {arr.shape}, x_values {x.shape}")
+    n = arr.shape[1]
+    A, B, td = params.A, params.B, params.tau_delta
+    gap = A - td
+    if gap == 0.0:
+        return (n / x - A) / B
+    eps = gap * x
+    if np.any(eps <= 0.0):
+        raise InvalidParameterError("x_values must be positive")
+    # Mathematically eps < 1 − (τδ/A)^n strictly for every real profile,
+    # but extreme profiles (thousands of near-floor ρ values) can round
+    # eps to 1.0 in float64.  Those clusters are saturated — beyond any
+    # finite homogeneous equivalent's resolution — so report NaN for them
+    # instead of a garbage rate.
+    saturated = eps >= 1.0 - 1e-14
+    eps_safe = np.where(saturated, 0.5, eps)
+    one_minus_D = -np.expm1(np.log1p(-eps_safe) / n)
+    out = gap / (B * one_minus_D) - A / B
+    out[saturated] = np.nan
+    return out
+
+
+def hecr_bisect(profile: ProfileLike, params: ModelParams, *,
+                rtol: float = 1e-13, max_iter: int = 200) -> float:
+    """HECR by direct numeric inversion of eq. (2) — no closed form.
+
+    Solves ``X(P^(ρ)) = X(P)`` for ρ by bisection on the strictly
+    decreasing function ``ρ ↦ X(P^(ρ))``.  Slower than :func:`hecr` but
+    independent of Proposition 1's algebra; the two agreeing to ~13
+    significant digits is a regression test for both.
+
+    Parameters
+    ----------
+    profile:
+        The cluster's heterogeneity profile.
+    params:
+        Architectural model parameters.
+    rtol:
+        Relative width of the final bracket.
+    max_iter:
+        Bisection iteration cap.
+    """
+    if not isinstance(profile, Profile):
+        profile = Profile(profile)
+    n = profile.n
+    target = x_measure(profile, params)
+
+    # Bracket: a homogeneous cluster at the profile's fastest rate is at
+    # least as powerful (minorization), one at the slowest rate at most.
+    lo = profile.fastest_rho  # X(P^(lo)) >= target
+    hi = profile.slowest_rho  # X(P^(hi)) <= target
+    if homogeneous_x(n, lo, params) < target:  # numerical safety margin
+        lo *= 0.5
+    if homogeneous_x(n, hi, params) > target:
+        hi *= 2.0
+
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if homogeneous_x(n, mid, params) >= target:
+            lo = mid  # homogeneous cluster still at least as powerful
+        else:
+            hi = mid
+        if hi - lo <= rtol * hi:
+            break
+    return 0.5 * (lo + hi)

@@ -1,0 +1,92 @@
+"""Closed forms for homogeneous clusters (paper eq. (2)).
+
+For the homogeneous cluster ``C^(ρ)`` with profile ``P^(ρ) = ⟨ρ, …, ρ⟩``
+the X-measure's sum telescopes into the geometric-series closed form
+
+.. math::
+
+    X(P^{(ρ)}) = \\frac{1}{A − τδ}
+                 \\left(1 − \\Big(\\frac{Bρ + τδ}{Bρ + A}\\Big)^{n}\\right),
+
+with the ``A = τδ`` limit ``X = n/(Bρ + A)``.  These are the forms
+Proposition 1 inverts to define the HECR.  We compute the ``1 − qⁿ``
+difference via ``expm1``/``log1p`` so that the nearly-cancelling case
+``q → 1`` (communication costs ≪ compute costs, the Table 1 regime) keeps
+full relative accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import ModelParams
+from repro.errors import InvalidParameterError
+
+__all__ = ["homogeneous_x", "homogeneous_work_rate", "homogeneous_size_for_x"]
+
+
+def homogeneous_x(n: int, rho: float, params: ModelParams) -> float:
+    """``X(P^(ρ))`` for an n-computer homogeneous cluster — eq. (2).
+
+    Parameters
+    ----------
+    n:
+        Number of computers (≥ 1).
+    rho:
+        Common ρ-value (> 0; may exceed 1, since HECR calibration uses
+        un-normalised ρ).
+    params:
+        Architectural model parameters.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if rho <= 0 or not math.isfinite(rho):
+        raise InvalidParameterError(f"rho must be positive and finite, got {rho!r}")
+    A, B, td = params.A, params.B, params.tau_delta
+    gap = A - td
+    denom = B * rho + A
+    if gap == 0.0:
+        return n / denom
+    # q = (Bρ+τδ)/(Bρ+A) = 1 − gap/denom;  X = (1 − qⁿ)/gap.
+    # 1 − qⁿ = −expm1(n·log1p(−gap/denom)) keeps accuracy when gap/denom ≪ 1.
+    one_minus_qn = -math.expm1(n * math.log1p(-gap / denom))
+    return one_minus_qn / gap
+
+
+def homogeneous_work_rate(n: int, rho: float, params: ModelParams) -> float:
+    """Asymptotic per-time-unit work of an n-computer homogeneous cluster."""
+    X = homogeneous_x(n, rho, params)
+    return 1.0 / (params.tau_delta + 1.0 / X)
+
+
+def homogeneous_size_for_x(rho: float, target_x: float, params: ModelParams) -> float:
+    """Invert eq. (2) for ``n``: how many ρ-computers reach a given X?
+
+    Returns the (real-valued) cluster size ``n`` such that
+    ``homogeneous_x(n, rho) = target_x``; callers typically ceil it.  This
+    answers "how many commodity machines equal this heterogeneous
+    cluster?" — the complementary calibration to the HECR, which fixes n
+    and solves for ρ.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``target_x`` is not attainable: X is bounded above by
+        ``1/(A − τδ)`` as n → ∞ (for A > τδ).
+    """
+    if target_x <= 0 or not math.isfinite(target_x):
+        raise InvalidParameterError(f"target_x must be positive and finite, got {target_x!r}")
+    if rho <= 0 or not math.isfinite(rho):
+        raise InvalidParameterError(f"rho must be positive and finite, got {rho!r}")
+    A, B, td = params.A, params.B, params.tau_delta
+    gap = A - td
+    denom = B * rho + A
+    if gap == 0.0:
+        return target_x * denom
+    saturation = 1.0 / gap
+    if target_x >= saturation:
+        raise InvalidParameterError(
+            f"target X={target_x!r} is unattainable: homogeneous clusters of "
+            f"rho={rho!r} saturate at X={saturation!r}")
+    # target = (1 − qⁿ)/gap  ⇒  n = log(1 − gap·target)/log q
+    return math.log1p(-gap * target_x) / math.log1p(-gap / denom)

@@ -1,0 +1,245 @@
+"""The X-measure and work production (paper §2.4, Theorem 2).
+
+For a cluster with profile ``P = ⟨ρ₁, …, ρₙ⟩`` operating under the optimal
+FIFO worksharing protocol, the asymptotic work completed over a lifespan
+``L`` is
+
+.. math::
+
+    W(L; P) = \\frac{L}{τδ + 1/X(P)},\\qquad
+    X(P) = \\sum_{i=1}^{n} \\frac{1}{Bρ_i + A}
+           \\prod_{j=1}^{i-1} \\frac{Bρ_j + τδ}{Bρ_j + A}.
+
+``X(P)`` *tracks* work production — ``X(P₁) ≥ X(P₂)`` iff
+``W(L;P₁) ≥ W(L;P₂)`` — so it serves as the primary power measure
+throughout the paper.  Although eq. (1) is written against a particular
+computer ordering, ``X`` is a symmetric function of the profile
+(Lemma 1), hence independent of ordering; tests exercise this.
+
+This module also provides the decomposition of eq. (3), used in the
+Theorem 3/4 proofs, which isolates the last two computers of a chosen
+startup order:
+
+.. math::
+
+    X(P) = \\frac{A + B(ρ_{s_{n-1}} + ρ_{s_n}) + τδ}
+                 {A² + AB(ρ_{s_{n-1}} + ρ_{s_n}) + B²ρ_{s_{n-1}}ρ_{s_n}}
+           · Y(P) + Z(P)
+
+with ``Y(P) = Π_{k≤n-2} (Bρ_{s_k} + τδ)/(Bρ_{s_k} + A)`` and
+``Z(P) = X(ρ_{s_1}, …, ρ_{s_{n-2}})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.util.arrays import validate_positive_vector
+
+__all__ = [
+    "x_measure",
+    "work_rate",
+    "work_production",
+    "work_ratio",
+    "x_measure_many",
+    "XDecomposition",
+    "x_decomposition",
+]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def _rho_array(profile: ProfileLike) -> np.ndarray:
+    """Extract a validated ρ-array from a Profile or iterable."""
+    if isinstance(profile, Profile):
+        return profile.rho
+    return validate_positive_vector(profile, name="profile")
+
+
+def x_measure(profile: ProfileLike, params: ModelParams) -> float:
+    """Evaluate ``X(P)`` — eq. (1) of the paper.
+
+    Parameters
+    ----------
+    profile:
+        The cluster's heterogeneity profile (a :class:`Profile` or any
+        iterable of positive ρ-values).
+    params:
+        Architectural model parameters.
+
+    Returns
+    -------
+    float
+        ``X(P) > 0``.  Larger X means a more powerful cluster.
+
+    Notes
+    -----
+    Computed in one vectorised pass: with ``dᵢ = Bρᵢ + A`` and
+    ``rᵢ = (Bρᵢ + τδ)/dᵢ``, the i-th term is ``(Π_{j<i} rⱼ)/dᵢ``, i.e. an
+    exclusive cumulative product divided by d.  All rᵢ lie in (0, 1] under
+    τδ ≤ A, so the cumulative product is monotone and stable even for
+    n = 2¹⁶ computers.
+
+    Examples
+    --------
+    >>> from repro.core.params import PAPER_TABLE1
+    >>> round(x_measure([1.0], PAPER_TABLE1), 4)      # one ρ=1 computer
+    1.0
+    """
+    rho = _rho_array(profile)
+    A, B, td = params.A, params.B, params.tau_delta
+    denom = B * rho + A
+    ratios = (B * rho + td) / denom
+    # exclusive prefix product: [1, r1, r1·r2, …]
+    prefix = np.empty_like(denom)
+    prefix[0] = 1.0
+    if rho.size > 1:
+        np.cumprod(ratios[:-1], out=prefix[1:])
+    return float(np.sum(prefix / denom))
+
+
+def x_measure_many(profiles: np.ndarray, params: ModelParams) -> np.ndarray:
+    """Evaluate ``X`` for a batch of same-size profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Array of shape ``(m, n)``: m profiles of n computers each.  Every
+        entry must be positive.
+    params:
+        Architectural model parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m,)`` of X-values.
+
+    Notes
+    -----
+    Used by the §4.3 experiments, which compare tens of thousands of
+    random cluster pairs; batching the cumulative products row-wise is an
+    order of magnitude faster than looping over :func:`x_measure`.
+    """
+    arr = np.asarray(profiles, dtype=float)
+    if arr.ndim != 2:
+        raise InvalidParameterError(f"profiles must be 2-D (m, n), got shape {arr.shape}")
+    if arr.size == 0 or np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("profiles must be non-empty, positive and finite")
+    A, B, td = params.A, params.B, params.tau_delta
+    denom = B * arr + A
+    ratios = (B * arr + td) / denom
+    prefix = np.ones_like(denom)
+    np.cumprod(ratios[:, :-1], axis=1, out=prefix[:, 1:])
+    return np.sum(prefix / denom, axis=1)
+
+
+def work_rate(profile: ProfileLike, params: ModelParams) -> float:
+    """Asymptotic work completed per time unit: ``W(L;P)/L = 1/(τδ + 1/X)``."""
+    X = x_measure(profile, params)
+    return 1.0 / (params.tau_delta + 1.0 / X)
+
+
+def work_production(profile: ProfileLike, params: ModelParams, lifespan: float) -> float:
+    """Theorem 2's asymptotic work completed in ``lifespan`` time units.
+
+    Parameters
+    ----------
+    profile:
+        The cluster's heterogeneity profile.
+    params:
+        Architectural model parameters.
+    lifespan:
+        The CEP lifespan ``L > 0``.
+
+    Returns
+    -------
+    float
+        ``W(L; P) = L / (τδ + 1/X(P))`` in work units.
+    """
+    if lifespan <= 0 or not np.isfinite(lifespan):
+        raise InvalidParameterError(f"lifespan must be positive and finite, got {lifespan!r}")
+    return lifespan * work_rate(profile, params)
+
+
+def work_ratio(new_profile: ProfileLike, old_profile: ProfileLike,
+               params: ModelParams) -> float:
+    """``W(L; P_new) / W(L; P_old)`` — the paper's profile-comparison ratio.
+
+    Independent of ``L`` because W is linear in L; this is what Table 4
+    tabulates for the additive-speedup scenario.
+    """
+    return work_rate(new_profile, params) / work_rate(old_profile, params)
+
+
+@dataclass(frozen=True, slots=True)
+class XDecomposition:
+    """The eq.-(3) split of ``X(P)`` around the last two computers.
+
+    Attributes
+    ----------
+    lead:
+        The lead fraction
+        ``(A + B(ρᵢ+ρⱼ) + τδ) / (A² + AB(ρᵢ+ρⱼ) + B²ρᵢρⱼ)``.
+    Y:
+        ``Π_{k ≤ n-2} (Bρ_{s_k} + τδ)/(Bρ_{s_k} + A)`` — positive and
+        independent of ρᵢ, ρⱼ.
+    Z:
+        ``X(ρ_{s_1}, …, ρ_{s_{n-2}})`` — also independent of ρᵢ, ρⱼ
+        (zero when n = 2).
+    """
+
+    lead: float
+    Y: float
+    Z: float
+
+    @property
+    def x_value(self) -> float:
+        """Reassemble ``X(P) = lead·Y + Z``."""
+        return self.lead * self.Y + self.Z
+
+
+def x_decomposition(profile: ProfileLike, params: ModelParams,
+                    i: int, j: int) -> XDecomposition:
+    """Compute eq. (3)'s decomposition with computers ``i`` and ``j`` last.
+
+    Places computer ``j`` at startup position n−1 and computer ``i`` at
+    position n (the arrangement used in the Theorem 3/4 proofs), then
+    returns the lead fraction together with the Y and Z factors.  Because
+    X is startup-order invariant, ``x_decomposition(...).x_value`` equals
+    :func:`x_measure` for any valid (i, j) — a property the test suite
+    checks.
+
+    Parameters
+    ----------
+    profile:
+        The cluster's profile (n ≥ 2).
+    params:
+        Architectural model parameters.
+    i, j:
+        Distinct zero-based indices of the two focus computers.
+    """
+    rho = _rho_array(profile)
+    n = rho.size
+    if n < 2:
+        raise InvalidParameterError("x_decomposition needs at least 2 computers")
+    if i == j or not (0 <= i < n) or not (0 <= j < n):
+        raise InvalidParameterError(
+            f"i and j must be distinct indices in [0, {n}), got i={i}, j={j}")
+    A, B, td = params.A, params.B, params.tau_delta
+    rho_i, rho_j = float(rho[i]), float(rho[j])
+    rest = np.delete(rho, [i, j])
+
+    s = rho_i + rho_j
+    lead = (A + B * s + td) / (A * A + A * B * s + B * B * rho_i * rho_j)
+    if rest.size:
+        Y = float(np.prod((B * rest + td) / (B * rest + A)))
+        Z = x_measure(rest, params)
+    else:
+        Y, Z = 1.0, 0.0
+    return XDecomposition(lead=lead, Y=Y, Z=Z)

@@ -1,0 +1,324 @@
+"""Heterogeneity profiles (paper §1.1).
+
+A cluster ``C`` of n computers is abstracted by its *(heterogeneity)
+profile* ``P = ⟨ρ₁, …, ρₙ⟩``: computer ``Cᵢ`` completes one unit of work in
+``ρᵢ`` time units, so **smaller ρ means a faster computer**.  The paper's
+conventions, which :class:`Profile` can enforce or establish on demand:
+
+* *power indexing*: ρ₁ ≥ ρ₂ ≥ … ≥ ρₙ (C₁ slowest, Cₙ fastest);
+* *normalisation*: the slowest computer has ρ₁ = 1.
+
+Profiles are immutable value objects.  All "mutating" operations
+(:meth:`Profile.with_rho_at`, :meth:`Profile.power_ordered`, …) return new
+profiles.  The underlying NumPy array is exposed read-only through
+:attr:`Profile.rho` so vectorised code can consume it without copying.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidProfileError
+from repro.util.arrays import is_nonincreasing, validate_positive_vector
+
+__all__ = ["Profile"]
+
+
+class Profile:
+    """An immutable vector of ρ-values describing a heterogeneous cluster.
+
+    Parameters
+    ----------
+    rho:
+        Iterable of per-computer ρ-values (time units per work unit).
+        Every entry must be strictly positive and finite.
+    require_power_order:
+        If True, reject inputs that are not sorted nonincreasing.
+    require_normalized:
+        If True, additionally require ``max(ρ) == 1``.
+
+    Examples
+    --------
+    >>> p = Profile([1.0, 0.5, 1/3, 0.25])
+    >>> p.n
+    4
+    >>> p.fastest_rho
+    0.25
+    >>> p.is_power_ordered
+    True
+    """
+
+    __slots__ = ("_rho",)
+
+    def __init__(self, rho: Iterable[float], *,
+                 require_power_order: bool = False,
+                 require_normalized: bool = False) -> None:
+        arr = validate_positive_vector(rho, name="rho")
+        if require_power_order and not is_nonincreasing(arr):
+            raise InvalidProfileError(
+                "profile is not power-ordered (ρ must be nonincreasing); "
+                "use Profile.power_ordered() to sort")
+        if require_normalized and arr.max() != 1.0:
+            raise InvalidProfileError(
+                f"profile is not normalised (max ρ must be 1, got {arr.max()!r}); "
+                "use Profile.normalized()")
+        arr.setflags(write=False)
+        self._rho = arr
+
+    # ------------------------------------------------------------------
+    # Factory constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, n: int, rho: float = 1.0) -> "Profile":
+        """A homogeneous cluster ``P^(ρ) = ⟨ρ, …, ρ⟩`` of ``n`` computers."""
+        if n < 1:
+            raise InvalidProfileError(f"cluster size must be >= 1, got {n}")
+        return cls(np.full(n, float(rho)))
+
+    @classmethod
+    def linear(cls, n: int) -> "Profile":
+        """The paper's cluster C₁: ``ρᵢ = 1 − (i − 1)/n`` (§2.5).
+
+        Speeds spread evenly over ``[1/n, 1]``; e.g. for n = 8 the profile
+        is ⟨1, 7/8, …, 1/8⟩.
+        """
+        if n < 1:
+            raise InvalidProfileError(f"cluster size must be >= 1, got {n}")
+        i = np.arange(1, n + 1, dtype=float)
+        return cls(1.0 - (i - 1.0) / n)
+
+    @classmethod
+    def harmonic(cls, n: int) -> "Profile":
+        """The paper's cluster C₂: ``ρᵢ = 1/i`` (§2.5).
+
+        Speeds weighted into the fast half of the range; for n = 8 the
+        profile is ⟨1, 1/2, …, 1/8⟩.
+        """
+        if n < 1:
+            raise InvalidProfileError(f"cluster size must be >= 1, got {n}")
+        i = np.arange(1, n + 1, dtype=float)
+        return cls(1.0 / i)
+
+    @classmethod
+    def geometric(cls, n: int, ratio: float = 0.5) -> "Profile":
+        """``ρᵢ = ratioⁱ⁻¹`` — each computer ``1/ratio`` times faster.
+
+        The profiles arising in the Figure 3/4 experiment (powers of 1/2)
+        have this shape.
+        """
+        if n < 1:
+            raise InvalidProfileError(f"cluster size must be >= 1, got {n}")
+        if not (0.0 < ratio <= 1.0):
+            raise InvalidProfileError(f"ratio must lie in (0, 1], got {ratio!r}")
+        return cls(ratio ** np.arange(n, dtype=float))
+
+    @classmethod
+    def two_point(cls, n_slow: int, n_fast: int, rho_slow: float = 1.0,
+                  rho_fast: float = 0.1) -> "Profile":
+        """A bimodal cluster: ``n_slow`` computers at ``rho_slow`` plus
+        ``n_fast`` at ``rho_fast``.
+
+        Useful for "one superfast computer and the rest average" questions
+        from the paper's abstract.
+        """
+        if n_slow < 0 or n_fast < 0 or n_slow + n_fast < 1:
+            raise InvalidProfileError(
+                f"need at least one computer, got n_slow={n_slow}, n_fast={n_fast}")
+        if rho_fast > rho_slow:
+            raise InvalidProfileError(
+                f"rho_fast ({rho_fast!r}) must not exceed rho_slow ({rho_slow!r})")
+        return cls(np.concatenate([np.full(n_slow, float(rho_slow)),
+                                   np.full(n_fast, float(rho_fast))]))
+
+    @classmethod
+    def from_speeds(cls, speeds: Iterable[float]) -> "Profile":
+        """Build a profile from *speeds* (work units per time unit).
+
+        ρ is the reciprocal of speed, so the fastest machine gets the
+        smallest ρ.  The result is power-ordered and normalised so the
+        slowest machine has ρ = 1.
+        """
+        s = validate_positive_vector(speeds, name="speeds")
+        return cls(1.0 / s).power_ordered().normalized()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def rho(self) -> np.ndarray:
+        """The ρ-vector as a read-only ``float64`` array."""
+        return self._rho
+
+    @property
+    def n(self) -> int:
+        """Number of computers in the cluster."""
+        return int(self._rho.size)
+
+    @property
+    def slowest_rho(self) -> float:
+        """Largest ρ-value (the slowest computer's rate)."""
+        return float(self._rho.max())
+
+    @property
+    def fastest_rho(self) -> float:
+        """Smallest ρ-value (the fastest computer's rate)."""
+        return float(self._rho.min())
+
+    @property
+    def is_power_ordered(self) -> bool:
+        """Whether ρ₁ ≥ ρ₂ ≥ … ≥ ρₙ holds."""
+        return is_nonincreasing(self._rho)
+
+    @property
+    def is_normalized(self) -> bool:
+        """Whether the slowest computer has ρ = 1."""
+        return self.slowest_rho == 1.0
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all computers share the same ρ-value."""
+        return bool(np.all(self._rho == self._rho[0]))
+
+    # ------------------------------------------------------------------
+    # Statistics (paper §4.2)
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the ρ-values: ``F₁⁽ⁿ⁾/n``."""
+        return float(self._rho.mean())
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the ρ-values — eq. (7) of the paper."""
+        return float(self._rho.var())
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the ρ-values."""
+        return float(self._rho.std())
+
+    @property
+    def geometric_mean(self) -> float:
+        """Geometric mean of the ρ-values: ``(Fₙ⁽ⁿ⁾)^{1/n}``."""
+        return float(np.exp(np.mean(np.log(self._rho))))
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate compute speed Σ 1/ρᵢ (work units per time unit).
+
+        This is the communication-free upper envelope that ``X(P)``
+        approaches as τ, π → 0.
+        """
+        return float(np.sum(1.0 / self._rho))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def power_ordered(self) -> "Profile":
+        """Return the profile sorted nonincreasing (C₁ slowest … Cₙ fastest)."""
+        if self.is_power_ordered:
+            return self
+        return Profile(np.sort(self._rho)[::-1])
+
+    def normalized(self) -> "Profile":
+        """Return the profile rescaled so the slowest computer has ρ = 1.
+
+        Power indexing only identifies computers, so this rescaling is a
+        pure change of time unit and does not alter relative comparisons.
+        """
+        if self.is_normalized:
+            return self
+        return Profile(self._rho / self.slowest_rho)
+
+    def with_rho_at(self, index: int, rho: float) -> "Profile":
+        """Return a copy with the ρ-value at ``index`` replaced by ``rho``."""
+        if not (0 <= index < self.n):
+            raise InvalidProfileError(f"index {index} out of range for n={self.n}")
+        if rho <= 0 or not np.isfinite(rho):
+            raise InvalidProfileError(f"replacement rho must be positive and finite, got {rho!r}")
+        new = self._rho.copy()
+        new[index] = rho
+        return Profile(new)
+
+    def without(self, index: int) -> "Profile":
+        """Return the (n−1)-computer profile with computer ``index`` removed."""
+        if self.n == 1:
+            raise InvalidProfileError("cannot remove the only computer")
+        if not (0 <= index < self.n):
+            raise InvalidProfileError(f"index {index} out of range for n={self.n}")
+        return Profile(np.delete(self._rho, index))
+
+    def extended(self, rho: float) -> "Profile":
+        """Return the (n+1)-computer profile with a new computer appended."""
+        if rho <= 0 or not np.isfinite(rho):
+            raise InvalidProfileError(f"new rho must be positive and finite, got {rho!r}")
+        return Profile(np.append(self._rho, float(rho)))
+
+    def permuted(self, order: Sequence[int]) -> "Profile":
+        """Return the profile reordered by ``order`` (a permutation of range(n)).
+
+        By Theorem 1(2) all orderings are equally productive, so this only
+        matters for presentation and for exercising order-invariance in
+        tests.
+        """
+        idx = np.asarray(order, dtype=int)
+        if idx.shape != (self.n,) or sorted(idx.tolist()) != list(range(self.n)):
+            raise InvalidProfileError(f"order must be a permutation of range({self.n})")
+        return Profile(self._rho[idx])
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def minorizes(self, other: "Profile") -> bool:
+        """Prop. 2's sufficient dominance condition, applied entrywise.
+
+        ``self`` minorizes ``other`` when, comparing the power-ordered
+        vectors entry by entry, every ρ of ``self`` is ≤ the corresponding
+        ρ of ``other`` and at least one is strictly smaller.  Minorization
+        implies ``self`` outperforms ``other`` (it is sufficient but — as
+        the ⟨0.99, 0.02⟩ vs ⟨0.5, 0.5⟩ example shows — not necessary).
+        """
+        if not isinstance(other, Profile):
+            raise TypeError(f"expected Profile, got {type(other).__name__}")
+        if self.n != other.n:
+            raise InvalidProfileError(
+                f"minorization compares equal-size clusters (got {self.n} vs {other.n})")
+        a = np.sort(self._rho)[::-1]
+        b = np.sort(other._rho)[::-1]
+        return bool(np.all(a <= b) and np.any(a < b))
+
+    # ------------------------------------------------------------------
+    # Exact arithmetic
+    # ------------------------------------------------------------------
+    def exact_rho(self) -> tuple[Fraction, ...]:
+        """The ρ-values as exact :class:`fractions.Fraction` objects."""
+        return tuple(Fraction(float(r)) for r in self._rho)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._rho.tolist())
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._rho[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return self.n == other.n and bool(np.all(self._rho == other._rho))
+
+    def __hash__(self) -> int:
+        return hash(self._rho.tobytes())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r:g}" for r in self._rho[:8])
+        if self.n > 8:
+            inner += f", … ({self.n} computers)"
+        return f"Profile([{inner}])"

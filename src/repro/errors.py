@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while standard Python
+errors (``TypeError`` from bad argument *types*, for instance) propagate
+unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidProfileError",
+    "InfeasibleScheduleError",
+    "ProtocolError",
+    "SimulationError",
+    "SamplingError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An architectural model parameter (τ, π, δ, L, …) is out of range.
+
+    Raised, for example, for a negative transit rate, for δ > 1 (the model
+    requires each unit of work to produce at most one unit of results), or
+    when a parameter combination violates the standing assumption
+    ``τδ ≤ A ≤ B`` of Section 4 of the paper.
+    """
+
+
+class InvalidProfileError(ReproError, ValueError):
+    """A heterogeneity profile violates the model's invariants.
+
+    Profiles must be non-empty vectors of finite ρ-values with
+    ``0 < ρᵢ`` for every computer; several operations additionally require
+    values ``≤ 1`` (the paper's normalisation) or strict orderings.
+    """
+
+
+class InfeasibleScheduleError(ReproError, ValueError):
+    """A worksharing schedule cannot be realised.
+
+    Typical causes: a lifespan ``L`` too short for the requested protocol
+    (Theorem 1 only applies to "sufficiently long" lifespans), or an
+    allocation whose message timeline would need two messages in transit
+    at once.
+    """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A worksharing protocol specification is malformed.
+
+    For example a startup or finishing order that is not a permutation of
+    the cluster's computers.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SamplingError(ReproError, ValueError):
+    """A random-profile sampler could not satisfy its constraints.
+
+    The equal-mean pair generators, for instance, raise this when asked for
+    a target mean that cannot be met with ρ-values in (0, 1].
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment was misconfigured or failed to produce a result."""

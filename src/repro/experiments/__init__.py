@@ -1,0 +1,89 @@
+"""Experiment registry: one runner per table/figure of the paper.
+
+Importing this package registers every experiment:
+
+========================  =====================================================
+id                        reproduces
+========================  =====================================================
+``table1``                Table 1 — model parameters
+``table2``                Table 2 — derived constants A, B
+``table3``                Table 3 — HECRs of the linear/harmonic clusters
+``table4``                Table 4 — additive-speedup work ratios
+``fig3``                  Figure 3 — multiplicative speedups, phase 1
+``fig4``                  Figure 4 — multiplicative speedups, phase 2
+``sec4-example``          §4 — ⟨0.99, 0.02⟩ vs ⟨0.5, 0.5⟩
+``variance-trials``       §4.3 — variance-predictor accuracy vs cluster size
+``variance-threshold``    §4.3 — the θ = 0.167 perfect-prediction threshold
+``protocol-optimality``   Theorem 1 — FIFO optimality/invariance (ablation)
+``saturation``            extension — the 1/(A−τδ) ceiling, diminishing returns
+``heterogeneity-gain``    extension — Corollary 1 quantified across (mean, spread)
+``moment-ablation``       extension — which moment predicts power best ([13]'s study)
+``failure-resilience``    extension — cost of a mid-round worker crash
+``majorization``          extension — the partial order behind Theorem 5
+``tau-sweep``             extension — environment sensitivity across network speeds
+``failure-rate-sweep``    extension — expected work under random crashes
+========================  =====================================================
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+    run_experiment,
+)
+from repro.experiments.barchart import render_profile_bars, render_snapshot_strip
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.failure_rate_sweep import run_failure_rate_sweep
+from repro.experiments.failure_resilience import run_failure_resilience
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.heterogeneity_gain import run_heterogeneity_gain
+from repro.experiments.majorization_study import run_majorization_study
+from repro.experiments.minorization_demo import run_minorization_demo
+from repro.experiments.moment_ablation import run_moment_ablation
+from repro.experiments.params_tables import run_table1, run_table2
+from repro.experiments.protocol_optimality import run_protocol_optimality
+from repro.experiments.saturation import run_saturation
+from repro.experiments.sensitivity_sweep import run_tau_sweep
+from repro.experiments.table3 import PAPER_TABLE3_VALUES, run_table3
+from repro.experiments.table4 import PAPER_TABLE4_RATIOS, run_table4
+from repro.experiments.tables import render_table
+from repro.experiments.threshold import PAPER_THETA, run_threshold
+from repro.experiments.variance_trials import (
+    TrialBatch,
+    collect_trials,
+    run_variance_trials,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_table",
+    "render_profile_bars",
+    "render_snapshot_strip",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig3",
+    "run_fig4",
+    "run_minorization_demo",
+    "run_variance_trials",
+    "run_threshold",
+    "run_protocol_optimality",
+    "run_saturation",
+    "run_heterogeneity_gain",
+    "run_moment_ablation",
+    "run_failure_resilience",
+    "run_majorization_study",
+    "run_tau_sweep",
+    "run_failure_rate_sweep",
+    "collect_trials",
+    "TrialBatch",
+    "PAPER_TABLE3_VALUES",
+    "PAPER_TABLE4_RATIOS",
+    "PAPER_THETA",
+]

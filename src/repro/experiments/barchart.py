@@ -1,0 +1,138 @@
+"""ASCII bar-graph rendering of profile snapshots (Figs. 3–4 style).
+
+The paper depicts the iterative-speedup experiment as a strip of bar
+graphs — one per round, bar heights being the ρ-values.  With no
+plotting dependencies available offline, this module renders the same
+information as text: vertical bars on a log₂ grid (the experiment's
+speeds are powers of 1/2, so a log grid shows every level distinctly).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_profile_bars", "render_snapshot_strip", "render_series"]
+
+
+def render_series(xs: Sequence[float], ys: Sequence[float], *,
+                  height: int = 10, width: int = 60,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as an ASCII scatter-line chart.
+
+    Points are binned onto a ``width × height`` character grid; the y
+    axis is annotated with its min/max, the x axis with its endpoints.
+    Intended for the sweep experiments (work rate vs τ and friends)
+    where no plotting backend is available.
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) points of equal length")
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x, y):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = int((yv - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "●"
+    margin = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    lines = []
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:.4g}".rjust(margin)
+        elif r == height - 1:
+            label = f"{y_lo:.4g}".rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    footer = f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width // 2)
+    lines.append(" " * (margin + 2) + footer)
+    lines.append(" " * (margin + 2) + f"{x_label}  (y = {y_label})")
+    return "\n".join(lines)
+
+
+def render_profile_bars(rho: Sequence[float], *, height: int = 8,
+                        rho_max: float | None = None,
+                        label: str = "") -> str:
+    """Render one profile as a vertical ASCII bar graph.
+
+    Bars are scaled logarithmically: a bar's height is proportional to
+    ``log2(rho / rho_min_display)`` so halving a ρ-value drops the bar by
+    a fixed number of rows — the visual grammar of the paper's figures.
+
+    Parameters
+    ----------
+    rho:
+        The ρ-values, left to right.
+    height:
+        Number of character rows for the tallest bar.
+    rho_max:
+        Value mapped to full height (default: max of ``rho``).
+    label:
+        Caption line printed under the graph.
+    """
+    values = np.asarray(list(rho), dtype=float)
+    if values.size == 0 or np.any(values <= 0):
+        raise ValueError("rho values must be positive")
+    top = rho_max if rho_max is not None else float(values.max())
+    # Display floor: 1/2^height of the top value.
+    levels = np.array([
+        max(0, min(height, height + int(round(math.log2(v / top)))))
+        if v > 0 else 0
+        for v in values
+    ])
+    lines = []
+    for row in range(height, 0, -1):
+        lines.append(" ".join("█" if lvl >= row else " " for lvl in levels))
+    lines.append("-" * (2 * values.size - 1))
+    lines.append(" ".join(str(i + 1) for i in range(values.size)))
+    if label:
+        lines.append(label)
+    return "\n".join(lines)
+
+
+def render_snapshot_strip(profiles: np.ndarray, *, height: int = 8,
+                          labels: Sequence[str] | None = None,
+                          per_row: int = 6) -> str:
+    """Render a sequence of profile snapshots side by side.
+
+    Parameters
+    ----------
+    profiles:
+        Array of shape ``(k, n)`` — k snapshots of an n-computer cluster.
+    height:
+        Bar-graph height in rows.
+    labels:
+        Per-snapshot captions (default: ``round 0 … round k−1``).
+    per_row:
+        Snapshots per output row before wrapping.
+    """
+    profiles = np.asarray(profiles, dtype=float)
+    if profiles.ndim != 2:
+        raise ValueError(f"profiles must be 2-D, got shape {profiles.shape}")
+    k = profiles.shape[0]
+    if labels is None:
+        labels = [f"round {i}" for i in range(k)]
+    top = float(profiles.max())
+    blocks = [
+        render_profile_bars(profiles[i], height=height, rho_max=top,
+                            label=str(labels[i])).split("\n")
+        for i in range(k)
+    ]
+    out_lines: list[str] = []
+    for group_start in range(0, k, per_row):
+        group = blocks[group_start:group_start + per_row]
+        depth = max(len(b) for b in group)
+        width = max(len(line) for b in group for line in b)
+        for row in range(depth):
+            out_lines.append("   ".join(
+                (b[row] if row < len(b) else "").ljust(width) for b in group
+            ).rstrip())
+        out_lines.append("")
+    return "\n".join(out_lines).rstrip()

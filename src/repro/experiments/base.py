@@ -1,0 +1,92 @@
+"""Experiment framework: result objects and a registry.
+
+Every table and figure of the paper is reproduced by a registered
+experiment — a named callable returning an :class:`ExperimentResult` with
+structured rows plus a human-readable rendering.  The benchmarks and the
+CLI both go through this registry, so "what regenerates Table 4?" has
+exactly one answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import render_table
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments",
+           "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"table3"``.
+    title:
+        What the experiment reproduces.
+    headers, rows:
+        The tabular payload (rows are tuples of printable values).
+    notes:
+        Free-form annotations: parameter calibrations, paper-vs-measured
+        remarks, caveats.
+    metadata:
+        Machine-readable extras (seeds, parameters, derived scalars)
+        consumed by tests and benchmarks.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[tuple]
+    notes: Sequence[str] = field(default_factory=tuple)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The experiment's report as monospace text."""
+        parts = [render_table(self.headers, self.rows,
+                              title=f"{self.experiment_id}: {self.title}")]
+        extra = self.metadata.get("figure_text")
+        if extra:
+            parts.append(str(extra))
+        if self.notes:
+            parts.append("\n".join(f"note: {n}" for n in self.notes))
+        return "\n\n".join(parts)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Decorator: add an experiment runner to the registry."""
+    def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        func.experiment_id = experiment_id  # type: ignore[attr-defined]
+        return func
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment runner by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run a registered experiment with keyword overrides."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,86 @@
+"""Structured export of experiment results (JSON / CSV).
+
+Downstream users rarely want ASCII tables; these helpers serialise an
+:class:`~repro.experiments.base.ExperimentResult` losslessly enough to
+plot or diff.  NumPy scalars/arrays, Fractions, enums, dataclasses and
+the library's own value objects are converted to plain JSON types;
+anything else falls back to ``str``.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from enum import Enum
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["result_to_json", "result_to_csv", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Convert ``value`` into something ``json.dumps`` accepts.
+
+    Conversion rules, in order: None/bool/int/float/str pass through;
+    NumPy scalars/arrays become Python scalars/lists; Fractions become
+    floats (their ``str`` form is kept alongside nothing — callers who
+    need exactness should export before converting); Enums become their
+    values; Profiles become ρ-lists; dataclasses become dicts; mappings
+    and sequences convert recursively; everything else becomes ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return None if value != value else value  # NaN -> null
+    if isinstance(value, np.generic):
+        return jsonable(value.item())
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, Fraction):
+        return float(value)
+    if isinstance(value, Enum):
+        return jsonable(value.value)
+    if isinstance(value, Profile):
+        return [float(r) for r in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+def result_to_json(result: ExperimentResult, *, indent: int = 2) -> str:
+    """Serialise a result (rows + notes + metadata) as a JSON document."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [jsonable(row) for row in result.rows],
+        "notes": list(result.notes),
+        "metadata": jsonable(result.metadata),
+    }
+    return json.dumps(payload, indent=indent, allow_nan=False)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Serialise the tabular payload (headers + rows) as CSV.
+
+    Notes and metadata are out of band by design — CSV carries the
+    table a plotting script wants, nothing else.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([jsonable(cell) for cell in row])
+    return buffer.getvalue()

@@ -1,0 +1,77 @@
+"""Ablation: expected work vs worker failure rate (extension).
+
+The failure-resilience experiment crashes chosen workers
+deterministically; here each worker fails independently at an
+exponential rate and the Monte-Carlo mean of completed work is swept
+across rates, for both result-sequencing policies.  The strict FIFO
+contract's *tail risk* shows up as a rapidly growing probability of
+losing the entire round, well before the mean looks bad under the
+skip-recovery policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.robustness import expected_work_under_failures
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.experiments.barchart import render_series
+from repro.experiments.base import ExperimentResult, register
+from repro.protocols.fifo import fifo_allocation
+
+__all__ = ["run_failure_rate_sweep"]
+
+
+@register("failure-rate-sweep")
+def run_failure_rate_sweep(tau: float = 0.01, pi: float = 0.001,
+                           delta: float = 1.0, lifespan: float = 50.0,
+                           rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01,
+                                                     0.02, 0.05),
+                           n_samples: int = 120,
+                           seed: int = 41) -> ExperimentResult:
+    """Sweep the failure rate; tabulate strict vs skip expected work."""
+    params = ModelParams(tau=tau, pi=pi, delta=delta)
+    profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+    allocation = fifo_allocation(profile, params, lifespan)
+    total = allocation.total_work
+
+    rows = []
+    strict_means = []
+    for rate in rates:
+        strict = expected_work_under_failures(
+            allocation, rate, np.random.default_rng(seed), n_samples=n_samples)
+        skip = expected_work_under_failures(
+            allocation, rate, np.random.default_rng(seed), n_samples=n_samples,
+            skip_failed_results=True)
+        strict_means.append(100.0 * strict.mean / total)
+        rows.append((
+            rate,
+            round(100.0 * strict.mean / total, 1),
+            round(100.0 * strict.fraction_total_loss, 1),
+            round(100.0 * skip.mean / total, 1),
+            round(100.0 * skip.fraction_total_loss, 1),
+        ))
+
+    chart = render_series(list(rates), strict_means, x_label="failure rate",
+                          y_label="strict mean completed %")
+    return ExperimentResult(
+        experiment_id="failure-rate-sweep",
+        title="Expected work under random worker failures [extension]",
+        headers=("rate", "strict mean %", "strict total-loss %",
+                 "skip mean %", "skip total-loss %"),
+        rows=rows,
+        notes=(
+            "identical failure draws feed both policies (same seed), so the "
+            "columns differ only by the sequencing contract",
+            "strict FIFO accumulates total-loss probability (one early crash "
+            "forfeits the round); the skip heuristic's losses stay "
+            "proportional to the dead quanta",
+            f"profile ⟨1, 1/2, 1/3, 1/4⟩, τ={tau:g}, π={pi:g}, δ={delta:g}, "
+            f"L={lifespan:g}, {n_samples} Monte-Carlo samples per cell",
+        ),
+        metadata={"strict_means_pct": strict_means, "total_work": total,
+                  "figure_text": chart, "seed": seed},
+    )

@@ -1,0 +1,66 @@
+"""Ablation: failure resilience of FIFO worksharing (extension).
+
+The FIFO protocol's optimality rests on a strict finishing-order
+contract, which buys throughput but concentrates risk: a worker that
+dies before delivering stalls *every* result queued behind it.  This
+experiment crashes each computer in turn at the midpoint of its busy
+period and tabulates the work salvaged under (a) the strict protocol
+and (b) a skip-the-dead recovery heuristic — quantifying a fragility
+the paper's asymptotic analysis abstracts away.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.experiments.base import ExperimentResult, register
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.timeline import build_timeline
+from repro.simulation.runner import simulate_allocation
+
+__all__ = ["run_failure_resilience"]
+
+
+@register("failure-resilience")
+def run_failure_resilience(tau: float = 0.02, pi: float = 0.002,
+                           delta: float = 1.0,
+                           lifespan: float = 60.0) -> ExperimentResult:
+    """Crash each computer mid-busy-period; tabulate the salvage rates."""
+    params = ModelParams(tau=tau, pi=pi, delta=delta)
+    profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+    alloc = fifo_allocation(profile, params, lifespan)
+    timeline = build_timeline(alloc)
+    total = alloc.total_work
+
+    rows = []
+    strict_salvages = []
+    for c in range(profile.n):
+        busy = [iv for iv in timeline.for_computer(c) if iv.kind == "busy"][0]
+        crash = 0.5 * (busy.start + busy.end)
+        strict = simulate_allocation(alloc, failures={c: crash})
+        skip = simulate_allocation(alloc, failures={c: crash},
+                                   skip_failed_results=True)
+        strict_pct = 100.0 * strict.completed_work / total
+        skip_pct = 100.0 * skip.completed_work / total
+        strict_salvages.append(strict_pct)
+        rows.append((f"C{c + 1}", round(float(profile.rho[c]), 4),
+                     c + 1, round(strict_pct, 1), round(skip_pct, 1)))
+
+    return ExperimentResult(
+        experiment_id="failure-resilience",
+        title="What one mid-round crash costs FIFO worksharing [extension]",
+        headers=("crashed", "rho", "finishing position", "strict salvage %",
+                 "skip-recovery salvage %"),
+        rows=rows,
+        notes=(
+            "strict FIFO loses everything queued behind the failure: a "
+            "crash of the FIRST finisher forfeits the whole round, while "
+            "the LAST finisher's crash costs only its own quantum",
+            "the skip heuristic always salvages all but the dead quantum — "
+            "the gap is the price of the finishing-order contract",
+            f"profile ⟨1, 1/2, 1/3, 1/4⟩, τ={tau:g}, π={pi:g}, δ={delta:g}, "
+            f"L={lifespan:g}",
+        ),
+        metadata={"strict_salvage_pct": strict_salvages,
+                  "total_work": total, "params": params},
+    )

@@ -1,0 +1,67 @@
+"""Figure 4: iterative multiplicative speedup, phase 2 (paper §3.2.2).
+
+Continuing the Figure-3 experiment past round 16: every computer is now
+"very fast" (ρ = 1/16), all pairwise products ``ψ·ρᵢ·ρⱼ`` sit *below*
+the threshold ``A·τδ/B²``, and Theorem 4's condition (2) takes over —
+**each round speeds up the slowest computer** (with tie-breaks among
+equal-slowest).  The cluster walks down level by level,
+⟨1/16,…⟩ → ⟨1/32,…⟩, never re-speeding a computer until all its peers
+have caught up.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import FIG34_CALIBRATION, ModelParams
+from repro.core.profile import Profile
+from repro.experiments.barchart import render_snapshot_strip
+from repro.experiments.base import ExperimentResult, register
+from repro.speedup.multiplicative import SpeedupRegime
+from repro.speedup.trajectory import run_trajectory
+
+__all__ = ["run_fig4"]
+
+
+@register("fig4")
+def run_fig4(params: ModelParams = FIG34_CALIBRATION, psi: float = 0.5,
+             phase1_rounds: int = 16, phase2_rounds: int = 8,
+             n_computers: int = 4) -> ExperimentResult:
+    """Reproduce Figure 4: the post-phase-1 rounds under condition (2)."""
+    trajectory = run_trajectory(Profile.homogeneous(n_computers), params, psi,
+                                phase1_rounds + phase2_rounds)
+    phase2 = trajectory.rounds[phase1_rounds:]
+    rows = []
+    for snap in phase2:
+        reason = ("tie-break (homogeneous)" if snap.regime is None
+                  else snap.regime.value + (" + tie-break" if snap.was_tie_break else ""))
+        profile_text = "⟨" + ", ".join(f"{r:g}" for r in snap.profile_after.rho) + "⟩"
+        rows.append((snap.round_index, f"C{snap.chosen + 1}", reason, profile_text,
+                     round(snap.x_after, 4)))
+
+    n_condition2 = sum(
+        1 for snap in phase2
+        if snap.regime in (SpeedupRegime.SLOWER_WINS, None))
+    import numpy as np
+    phase2_profiles = np.vstack(
+        [trajectory.rounds[phase1_rounds - 1].profile_after.rho]
+        + [s.profile_after.rho for s in phase2])
+    strip = render_snapshot_strip(phase2_profiles, height=5, per_row=6,
+                                  labels=[f"round {phase1_rounds + i}"
+                                          for i in range(len(phase2) + 1)])
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Optimal multiplicative speedups, phase 2 (paper Fig. 4)",
+        headers=("round", "sped up", "governing rule", "profile after", "X after"),
+        rows=rows,
+        notes=(
+            "all computers are 'very fast': condition (2) governs every round, "
+            "so the slowest computer is always the one sped up",
+            f"{n_condition2}/{len(phase2)} phase-2 rounds chose a slowest-class "
+            f"computer (condition 2 or homogeneous tie-break)",
+        ),
+        metadata={
+            "chosen_sequence": tuple(s.chosen for s in phase2),
+            "final_profile": tuple(trajectory.final_profile.rho.tolist()),
+            "figure_text": strip,
+            "params": params,
+        },
+    )

@@ -1,0 +1,55 @@
+"""The §4 opening example: minorization is sufficient but not necessary,
+and mean speed is not a valid predictor.
+
+The paper's witness: P₁ = ⟨0.99, 0.02⟩ outperforms P₂ = ⟨0.5, 0.5⟩ even
+though (a) P₁ does not minorize P₂ (its slow computer is slower than
+both of P₂'s) and (b) P₁'s *mean* ρ is worse.  What does align with the
+outcome is the variance (Theorem 5(2): for n = 2, larger variance ⇔
+more power among equal-... here means differ, but the 2-computer
+biconditional is exercised separately; this demo reports every
+predictor's verdict side by side).
+"""
+
+from __future__ import annotations
+
+from repro.core.hecr import hecr
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.experiments.base import ExperimentResult, register
+from repro.predictors.dominance import cross_product_dominance, minorization_predicts
+
+__all__ = ["run_minorization_demo"]
+
+
+@register("sec4-example")
+def run_minorization_demo(params: ModelParams = PAPER_TABLE1) -> ExperimentResult:
+    """Reproduce the ⟨0.99, 0.02⟩ vs ⟨0.5, 0.5⟩ comparison."""
+    p1 = Profile([0.99, 0.02])
+    p2 = Profile([0.5, 0.5])
+    x1, x2 = x_measure(p1, params), x_measure(p2, params)
+    rows = [
+        ("X-measure", round(x1, 3), round(x2, 3),
+         "P1 wins" if x1 > x2 else "P2 wins"),
+        ("HECR (smaller = faster)", round(hecr(p1, params), 4),
+         round(hecr(p2, params), 4), "P1 wins"),
+        ("mean ρ (smaller = faster)", p1.mean, p2.mean,
+         "P2 'wins' — mean mispredicts"),
+        ("variance", round(p1.variance, 4), round(p2.variance, 4),
+         "P1 larger — aligns with outcome"),
+        ("minorizes the other?", minorization_predicts(p1, p2).value, "—",
+         "indeterminate: sufficient, not necessary"),
+        ("cross-product dominance", cross_product_dominance(p1, p2).verdict.value,
+         "—", "indeterminate: means differ"),
+    ]
+    return ExperimentResult(
+        experiment_id="sec4-example",
+        title="⟨0.99, 0.02⟩ outperforms ⟨0.5, 0.5⟩ (paper §4 example)",
+        headers=("quantity", "P1 = ⟨0.99, 0.02⟩", "P2 = ⟨0.5, 0.5⟩", "reading"),
+        rows=rows,
+        notes=(
+            "P1 outperforms despite the larger mean ρ: one very fast computer "
+            "outweighs one very slow one — heterogeneity as a source of power",
+        ),
+        metadata={"x1": x1, "x2": x2, "params": params},
+    )

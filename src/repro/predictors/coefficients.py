@@ -1,0 +1,141 @@
+"""Lemma 1: X(P) as a ratio of symmetric-function linear forms.
+
+Lemma 1 of the paper states that for every cluster size n there are
+positive constants α₀…α_{n−1} and β₀…β_n — depending only on the
+environment (A, B, τδ), not on the profile — such that
+
+.. math::
+
+    X(P) = \\frac{α_0 F_0 + α_1 F_1 + ⋯ + α_{n-1} F_{n-1}}
+                 {β_0 F_0 + β_1 F_1 + ⋯ + β_n F_n},
+
+with
+
+.. math::
+
+    α_i = B^i \\sum_{k=0}^{n-1-i} A^{n-1-k-i} (τδ)^k,
+    \\qquad
+    β_i = B^i A^{n-i}.
+
+(The denominator is just ``Π (Bρᵢ + A)`` expanded; the numerator's
+coefficients come from the I–J product analysis in the lemma's proof.)
+
+This module computes the coefficient vectors, evaluates X through them
+(an O(n²) route that must — and in tests does — agree with eq. (1)'s
+O(n) route), and exposes Claim 1 of Proposition 3's proof:
+``αᵢβⱼ > αⱼβᵢ`` for all i < j, the inequality that makes cross-product
+dominance (Proposition 3) sufficient for outperformance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.params import ExactParams, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.predictors.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_exact,
+)
+
+__all__ = [
+    "lemma1_coefficients",
+    "lemma1_coefficients_exact",
+    "x_from_symmetric_functions",
+    "x_from_symmetric_functions_exact",
+    "claim1_margin",
+]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def lemma1_coefficients(n: int, params: ModelParams) -> tuple[np.ndarray, np.ndarray]:
+    """The Lemma-1 coefficient vectors ``(α, β)`` for cluster size n.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``alpha`` of length n (orders 0 … n−1) and ``beta`` of length
+        n + 1 (orders 0 … n).  All entries are positive.
+
+    Notes
+    -----
+    ``α_i = B^i Σ_{k≤n−1−i} A^{n−1−k−i} (τδ)^k`` is a finite geometric
+    sum in ``τδ/A``; we evaluate it by cumulative summation over the
+    anti-diagonal rather than the closed form to stay exact when
+    ``A = τδ``.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    A, B, td = params.A, params.B, params.tau_delta
+    i = np.arange(n)
+    beta = B ** np.arange(n + 1) * A ** (n - np.arange(n + 1))
+    # α_i: sum over k of A^{n−1−k−i}·(τδ)^k, k = 0 … n−1−i.
+    alpha = np.empty(n)
+    for idx in range(n):
+        k = np.arange(n - idx)
+        alpha[idx] = (B ** idx) * np.sum(A ** (n - 1 - k - idx) * td ** k)
+    _ = i
+    return alpha, beta
+
+
+def lemma1_coefficients_exact(n: int, params: Union[ModelParams, ExactParams]
+                              ) -> tuple[tuple[Fraction, ...], tuple[Fraction, ...]]:
+    """Exact-rational Lemma-1 coefficients."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    p = params if isinstance(params, ExactParams) else params.exact()
+    A, B, td = p.A, p.B, p.tau_delta
+    beta = tuple(B ** i * A ** (n - i) for i in range(n + 1))
+    alpha = tuple(
+        B ** i * sum((A ** (n - 1 - k - i) * td ** k for k in range(n - i)),
+                     Fraction(0))
+        for i in range(n)
+    )
+    return alpha, beta
+
+
+def x_from_symmetric_functions(profile: ProfileLike, params: ModelParams) -> float:
+    """Evaluate ``X(P)`` through Lemma 1's symmetric-function expansion.
+
+    An independent route to the same number as
+    :func:`repro.core.measure.x_measure`; the property-based tests pit
+    the two against each other across random profiles and parameters.
+    """
+    e = elementary_symmetric(profile)
+    n = e.size - 1
+    alpha, beta = lemma1_coefficients(n, params)
+    numerator = float(np.dot(alpha, e[:n]))
+    denominator = float(np.dot(beta, e))
+    return numerator / denominator
+
+
+def x_from_symmetric_functions_exact(profile: ProfileLike,
+                                     params: Union[ModelParams, ExactParams]) -> Fraction:
+    """Exact-rational Lemma-1 evaluation of X(P)."""
+    e = elementary_symmetric_exact(profile)
+    n = len(e) - 1
+    alpha, beta = lemma1_coefficients_exact(n, params)
+    numerator = sum((a * f for a, f in zip(alpha, e[:n])), Fraction(0))
+    denominator = sum((b * f for b, f in zip(beta, e)), Fraction(0))
+    return numerator / denominator
+
+
+def claim1_margin(i: int, j: int, n: int, params: ModelParams) -> float:
+    """Claim 1 of Proposition 3's proof: the positive margin ``αᵢβⱼ − αⱼβᵢ``.
+
+    For indices ``i < j ≤ n`` the claim asserts this is strictly positive
+    (with the convention ``α_n = 0``, covering j = n).  The closed form
+    from the proof is ``B^{i+j} Σ_{k=n−j}^{n−1−i} A^{2n−1−k−i−j}(τδ)^k``;
+    we evaluate the plain difference, which the tests compare against
+    exact arithmetic.
+    """
+    if not (0 <= i < j <= n):
+        raise InvalidParameterError(f"need 0 <= i < j <= n, got i={i}, j={j}, n={n}")
+    alpha, beta = lemma1_coefficients(n, params)
+    alpha_full = np.append(alpha, 0.0)  # α_n = 0: F_n never appears upstairs
+    return float(alpha_full[i] * beta[j] - alpha_full[j] * beta[i])

@@ -1,0 +1,126 @@
+"""Profile-dominance predictors (paper §4, Propositions 2 and 3).
+
+Two sufficient conditions let one cluster's superiority be read off the
+profiles alone, without evaluating X:
+
+* **Minorization** (from Proposition 2): entrywise ρ-domination after
+  power-ordering.  Sufficient but far from necessary — the paper's
+  ⟨0.99, 0.02⟩ vs ⟨0.5, 0.5⟩ example beats a cluster it doesn't minorize.
+* **Cross-product dominance** (Proposition 3): for all index pairs
+  i < j, ``F_i(P₁)·F_j(P₂) ≥ F_i(P₂)·F_j(P₁)`` with at least one strict
+  inequality.  Via Claim 1 (``αᵢβⱼ > αⱼβᵢ``) this forces
+  ``X(P₁) > X(P₂)``.
+
+Both tests return rich result objects so the experiments can report *why*
+a prediction fired and how often each sufficient condition applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.symmetric import elementary_symmetric
+
+__all__ = [
+    "DominanceVerdict",
+    "CrossProductResult",
+    "cross_product_dominance",
+    "minorization_predicts",
+]
+
+
+class DominanceVerdict(Enum):
+    """Outcome of a sufficient-condition dominance test."""
+
+    FIRST_DOMINATES = "first"
+    SECOND_DOMINATES = "second"
+    INDETERMINATE = "indeterminate"   # the condition fires in neither direction
+
+
+@dataclass(frozen=True)
+class CrossProductResult:
+    """Detailed outcome of Proposition 3's system of inequalities.
+
+    Attributes
+    ----------
+    verdict:
+        Which profile (if either) the system certifies as more powerful.
+    holds_forward, holds_backward:
+        Whether the inequality system holds with P₁ (resp. P₂) in the
+        leading role.
+    strict_pairs_forward, strict_pairs_backward:
+        Number of strictly-satisfied (i, j) pairs in each direction.
+    n_pairs:
+        Total number of index pairs tested, ``(n+1)·n/2``.
+    """
+
+    verdict: DominanceVerdict
+    holds_forward: bool
+    holds_backward: bool
+    strict_pairs_forward: int
+    strict_pairs_backward: int
+    n_pairs: int
+
+
+def cross_product_dominance(p1: Profile, p2: Profile) -> CrossProductResult:
+    """Apply Proposition 3's test in both directions.
+
+    Parameters
+    ----------
+    p1, p2:
+        Equal-size profiles (the symmetric functions compared are
+        ``F_0 … F_n`` of each).
+
+    Notes
+    -----
+    The test needs only the two profiles — remarkably, not the
+    environment parameters: whenever it certifies a winner, that cluster
+    wins for *every* parameter setting satisfying the standing assumption
+    τδ ≤ A ≤ B.  The property-based tests exploit exactly that
+    quantifier.
+    """
+    if p1.n != p2.n:
+        raise InvalidProfileError(
+            f"cross-product dominance compares equal-size clusters "
+            f"(got {p1.n} vs {p2.n})")
+    e1 = elementary_symmetric(p1)
+    e2 = elementary_symmetric(p2)
+    # All pairwise products F_i(a)·F_j(b) at once; keep the i<j triangle.
+    fwd = np.outer(e1, e2) - np.outer(e2, e1)   # entry (i,j): F_i(1)F_j(2) − F_i(2)F_j(1)
+    iu = np.triu_indices(e1.size, k=1)
+    diffs = fwd[iu]
+    n_pairs = diffs.size
+
+    holds_forward = bool(np.all(diffs >= 0.0))
+    holds_backward = bool(np.all(diffs <= 0.0))
+    strict_fwd = int(np.count_nonzero(diffs > 0.0))
+    strict_bwd = int(np.count_nonzero(diffs < 0.0))
+
+    if holds_forward and strict_fwd > 0:
+        verdict = DominanceVerdict.FIRST_DOMINATES
+    elif holds_backward and strict_bwd > 0:
+        verdict = DominanceVerdict.SECOND_DOMINATES
+    else:
+        verdict = DominanceVerdict.INDETERMINATE
+    return CrossProductResult(
+        verdict=verdict,
+        holds_forward=holds_forward and strict_fwd > 0,
+        holds_backward=holds_backward and strict_bwd > 0,
+        strict_pairs_forward=strict_fwd,
+        strict_pairs_backward=strict_bwd,
+        n_pairs=n_pairs,
+    )
+
+
+def minorization_predicts(p1: Profile, p2: Profile) -> DominanceVerdict:
+    """Prop. 2's entrywise test, as a two-sided verdict."""
+    if p1.minorizes(p2):
+        return DominanceVerdict.FIRST_DOMINATES
+    if p2.minorizes(p1):
+        return DominanceVerdict.SECOND_DOMINATES
+    return DominanceVerdict.INDETERMINATE

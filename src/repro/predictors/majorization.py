@@ -1,0 +1,107 @@
+"""Majorization as a power predictor (extension beyond Theorem 5).
+
+Variance is a *scalar* summary of spread; **majorization** is the full
+partial order.  For equal-sum vectors, ``P₁ ⪰ P₂`` (P₁ majorizes P₂)
+when every top-k partial sum of the descending-sorted ρ-values of P₁
+dominates P₂'s:
+
+.. math::
+
+    \\sum_{i≤k} ρ^↓_{1i} \\;≥\\; \\sum_{i≤k} ρ^↓_{2i}
+    \\quad (k = 1 … n−1),\\qquad
+    \\sum_i ρ_{1i} = \\sum_i ρ_{2i}.
+
+The X-measure is *Schur-convex* on equal-mean profiles — majorization
+implies at-least-equal power.  Proof sketch (docs/THEORY.md §8): a
+mean-preserving spread of two components fixes their sum and lowers
+their product, which lowers the denominator of eq. (3)'s lead fraction
+while leaving its numerator and the Y/Z factors untouched, so every MPS
+step weakly raises X; majorization is exactly reachability by MPS
+steps.  Since majorization is strictly finer than variance (P₁ ⪰ P₂
+implies VAR(P₁) ≥ VAR(P₂) but not conversely), this predictor can never
+do worse than variance where it speaks — and the §4.3 "bad pairs" turn
+out to be exactly pairs the majorization order cannot compare.  The
+``majorization`` experiment measures all of this; the property suite
+verifies the MPS monotonicity over randomized environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+
+__all__ = ["MajorizationResult", "compare_majorization",
+           "majorization_prediction"]
+
+#: Relative tolerance for the equal-sum precondition and the partial-sum
+#: comparisons (float profiles carry rounding from their construction).
+_RTOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class MajorizationResult:
+    """Outcome of a majorization comparison between equal-sum profiles.
+
+    Attributes
+    ----------
+    first_majorizes, second_majorizes:
+        The two one-sided dominance verdicts.  Both True only for equal
+        (as multisets) profiles; both False means *incomparable* — the
+        regime where scalar predictors like variance start guessing.
+    """
+
+    first_majorizes: bool
+    second_majorizes: bool
+
+    @property
+    def comparable(self) -> bool:
+        return self.first_majorizes or self.second_majorizes
+
+    @property
+    def equivalent(self) -> bool:
+        """Equal as multisets (each majorizes the other)."""
+        return self.first_majorizes and self.second_majorizes
+
+
+def compare_majorization(p1: Profile, p2: Profile) -> MajorizationResult:
+    """Full two-sided majorization comparison.
+
+    Raises
+    ------
+    InvalidProfileError
+        If the profiles differ in size or total speed budget (sum of ρ):
+        majorization is an equal-sum order.
+    """
+    if p1.n != p2.n:
+        raise InvalidProfileError(
+            f"majorization compares equal-size clusters (got {p1.n} vs {p2.n})")
+    a = np.sort(p1.rho)[::-1]
+    b = np.sort(p2.rho)[::-1]
+    total = float(a.sum())
+    if abs(total - float(b.sum())) > _RTOL * max(total, 1e-300):
+        raise InvalidProfileError(
+            f"majorization compares equal-sum profiles "
+            f"(got {total!r} vs {float(b.sum())!r})")
+    ca = np.cumsum(a)
+    cb = np.cumsum(b)
+    tol = _RTOL * max(total, 1e-300)
+    first = bool(np.all(ca[:-1] >= cb[:-1] - tol))
+    second = bool(np.all(cb[:-1] >= ca[:-1] - tol))
+    return MajorizationResult(first_majorizes=first, second_majorizes=second)
+
+
+def majorization_prediction(p1: Profile, p2: Profile) -> int:
+    """Predict the more powerful equal-mean cluster by majorization.
+
+    Returns 0 if P₁ majorizes (strictly), 1 if P₂ does, −1 when the
+    profiles are incomparable or equivalent — the predictor *abstains*
+    rather than guesses, which is exactly what variance cannot do.
+    """
+    result = compare_majorization(p1, p2)
+    if result.equivalent or not result.comparable:
+        return -1
+    return 0 if result.first_majorizes else 1

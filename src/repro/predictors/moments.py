@@ -1,0 +1,119 @@
+"""Statistical moments of profiles and their symmetric-function ties
+(paper §4.2, eqs. (7)–(8)).
+
+The bridge the paper exploits:
+
+* arithmetic mean  = ``F₁/n``;
+* geometric mean   = ``Fₙ^{1/n}``;
+* variance         = ``(p₂ − F₁²/n)/n`` where ``p₂ = Σρᵢ²``  (eq. 7);
+* ``F₂ = (F₁² − p₂)/2``                                        (eq. 8),
+
+so for profiles sharing a mean, **larger variance ⇔ smaller F₂** — the
+identity that turns Proposition 3's F₂-inequality into Theorem 5's
+variance statement.  This module computes the moment summary and both
+directions of the variance/F₂ conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.util.arrays import validate_positive_vector
+
+__all__ = [
+    "MomentSummary",
+    "moment_summary",
+    "variance_from_symmetric",
+    "f2_from_mean_and_variance",
+]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def _values(profile: ProfileLike) -> np.ndarray:
+    if isinstance(profile, Profile):
+        return profile.rho
+    return validate_positive_vector(profile, name="profile")
+
+
+@dataclass(frozen=True, slots=True)
+class MomentSummary:
+    """The moment fingerprint of a profile."""
+
+    n: int
+    mean: float
+    variance: float
+    std: float
+    geometric_mean: float
+    harmonic_mean: float
+    skewness: float
+    kurtosis_excess: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std/mean — scale-free heterogeneity measure."""
+        return self.std / self.mean
+
+
+def moment_summary(profile: ProfileLike) -> MomentSummary:
+    """Compute all moments the §4 analyses touch, in one pass.
+
+    Population (not sample) normalisation throughout, matching eq. (7).
+    Skewness/kurtosis of a homogeneous profile are defined as 0.
+    """
+    v = _values(profile)
+    n = v.size
+    mean = float(v.mean())
+    centered = v - mean
+    var = float(np.mean(centered ** 2))
+    std = var ** 0.5
+    if std > 0.0:
+        skew = float(np.mean(centered ** 3)) / std ** 3
+        kurt = float(np.mean(centered ** 4)) / std ** 4 - 3.0
+    else:
+        skew = 0.0
+        kurt = 0.0
+    return MomentSummary(
+        n=n,
+        mean=mean,
+        variance=var,
+        std=std,
+        geometric_mean=float(np.exp(np.mean(np.log(v)))),
+        harmonic_mean=float(n / np.sum(1.0 / v)),
+        skewness=skew,
+        kurtosis_excess=kurt,
+    )
+
+
+def variance_from_symmetric(f1: float, f2: float, n: int) -> float:
+    """Variance from ``F₁`` and ``F₂`` via eqs. (7)–(8).
+
+    ``p₂ = F₁² − 2F₂`` (eq. 8 rearranged), then
+    ``VAR = p₂/n − (F₁/n)²`` (eq. 7).
+    """
+    if n < 1:
+        raise InvalidProfileError(f"n must be >= 1, got {n}")
+    p2 = f1 * f1 - 2.0 * f2
+    return p2 / n - (f1 / n) ** 2
+
+
+def f2_from_mean_and_variance(mean: float, variance: float, n: int) -> float:
+    """``F₂`` of any profile with the given mean and variance.
+
+    Inverting :func:`variance_from_symmetric`:
+    ``F₂ = ((n−1)·F₁²/n − n·VAR)/2`` with ``F₁ = n·mean``.  Profiles
+    sharing a mean trade F₂ against variance one-for-one — Theorem 5's
+    pivot.
+    """
+    if n < 1:
+        raise InvalidProfileError(f"n must be >= 1, got {n}")
+    if variance < 0:
+        raise InvalidProfileError(f"variance must be nonnegative, got {variance!r}")
+    f1 = n * mean
+    p2 = n * variance + f1 * f1 / n
+    return (f1 * f1 - p2) / 2.0

@@ -1,0 +1,147 @@
+"""Elementary symmetric functions of profiles (paper §4.1, Table 5).
+
+For a profile ``P = ⟨ρ₁, …, ρₙ⟩`` the paper writes ``F_k^(n)(P)`` for the
+k-th *elementary symmetric polynomial* — the sum of all products of k
+distinct ρ-values — with the convention ``F₀ ≡ 1``:
+
+.. math::
+
+    F_1 = Σ ρ_i,\\quad F_2 = Σ_{i<j} ρ_iρ_j,\\quad …,\\quad F_n = Π ρ_i.
+
+These are the coordinates in which ``X(P)`` becomes a ratio of linear
+forms (Lemma 1) and through which variance enters the story (Theorem 5).
+
+Implementation: the classic O(n²) dynamic program (each value updates the
+coefficient vector of ``Π (1 + ρᵢ t)``), in a float and an exact-Fraction
+variant, plus Newton's identities as an independent cross-check route
+from power sums.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.util.arrays import as_float_vector
+
+__all__ = [
+    "elementary_symmetric",
+    "elementary_symmetric_exact",
+    "symmetric_function",
+    "power_sums",
+    "elementary_from_power_sums",
+]
+
+ProfileLike = Union[Profile, Iterable[float]]
+
+
+def _values(profile: ProfileLike) -> np.ndarray:
+    if isinstance(profile, Profile):
+        return profile.rho
+    return as_float_vector(profile, name="profile")
+
+
+def elementary_symmetric(profile: ProfileLike) -> np.ndarray:
+    """All elementary symmetric functions ``[F₀, F₁, …, Fₙ]`` at once.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``n + 1``; entry k is ``F_k^(n)``; entry 0 is 1.
+
+    Notes
+    -----
+    The DP multiplies out ``Π (1 + ρᵢ t)`` one factor at a time; each
+    update is a vectorised slice operation, so the whole computation is
+    O(n²) flops with O(n) NumPy calls.  For ρ ∈ (0, 1] all coefficients
+    are positive and bounded by binomial(n, k), so no cancellation
+    occurs.
+
+    Examples
+    --------
+    >>> elementary_symmetric([1.0, 2.0, 3.0]).tolist()
+    [1.0, 6.0, 11.0, 6.0]
+    """
+    values = _values(profile)
+    n = values.size
+    e = np.zeros(n + 1)
+    e[0] = 1.0
+    for k, v in enumerate(values, start=1):
+        # RHS is evaluated into a temporary before assignment, so the
+        # shifted self-reference is safe.
+        e[1:k + 1] = e[1:k + 1] + v * e[0:k]
+    return e
+
+
+def elementary_symmetric_exact(profile: ProfileLike) -> tuple[Fraction, ...]:
+    """Exact-rational ``[F₀, …, Fₙ]`` (ground truth for the float DP)."""
+    if isinstance(profile, Profile):
+        values: Sequence[Fraction] = profile.exact_rho()
+    else:
+        values = [Fraction(v) for v in profile]
+        if not values:
+            raise InvalidProfileError("profile must be non-empty")
+    e: list[Fraction] = [Fraction(1)] + [Fraction(0)] * len(values)
+    for k, v in enumerate(values, start=1):
+        for i in range(k, 0, -1):
+            e[i] += v * e[i - 1]
+    return tuple(e)
+
+
+def symmetric_function(profile: ProfileLike, k: int) -> float:
+    """A single ``F_k^(n)`` value.
+
+    Computes the whole DP; if you need several k's, call
+    :func:`elementary_symmetric` once instead.
+    """
+    values = _values(profile)
+    if not (0 <= k <= values.size):
+        raise InvalidProfileError(
+            f"symmetric-function order k must lie in [0, n={values.size}], got {k}")
+    return float(elementary_symmetric(values)[k])
+
+
+def power_sums(profile: ProfileLike, max_order: int) -> np.ndarray:
+    """Power sums ``p_k = Σ ρᵢᵏ`` for ``k = 1 … max_order``.
+
+    ``p₁`` and ``p₂`` are the moments behind eq. (7)'s variance; higher
+    orders feed Newton's identities.
+    """
+    values = _values(profile)
+    if max_order < 1:
+        raise InvalidProfileError(f"max_order must be >= 1, got {max_order}")
+    powers = values[None, :] ** np.arange(1, max_order + 1)[:, None]
+    return powers.sum(axis=1)
+
+
+def elementary_from_power_sums(p: np.ndarray, n: int) -> np.ndarray:
+    """Newton's identities: recover ``[F₀ … F_m]`` from power sums.
+
+    Parameters
+    ----------
+    p:
+        Power sums ``p₁ … p_m`` (1-indexed conceptually; ``p[0]`` is p₁).
+    n:
+        Number of underlying values (only orders up to ``min(m, n)`` are
+        meaningful elementary functions; beyond n they vanish).
+
+    Notes
+    -----
+    ``k·F_k = Σ_{i=1}^{k} (−1)^{i−1} F_{k−i} p_i``.  Unlike the DP this
+    route *does* involve cancellation, so it serves as an accuracy
+    cross-check rather than the production path.
+    """
+    p = np.asarray(p, dtype=float)
+    m = p.size
+    e = np.zeros(m + 1)
+    e[0] = 1.0
+    for k in range(1, m + 1):
+        signs = (-1.0) ** np.arange(k)
+        e[k] = np.dot(signs * p[:k], e[k - 1::-1]) / k
+    if m > n:
+        e = e[:n + 1]
+    return e

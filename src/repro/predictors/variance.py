@@ -1,0 +1,185 @@
+"""The variance predictor (paper Theorem 5, Corollary 1, §4.3).
+
+For clusters of equal mean speed the paper proposes predicting the more
+powerful cluster from the ρ-variances alone:
+
+* **Theorem 5(1)**: if Proposition 3's inequality system certifies P₁,
+  then VAR(P₁) > VAR(P₂) — larger variance is *necessary* for certified
+  dominance among equal-mean profiles.
+* **Theorem 5(2)**: for n = 2 it is a biconditional: the
+  larger-variance cluster *is* the more powerful one.
+* **Corollary 1**: heterogeneity lends power — a heterogeneous
+  2-computer cluster beats the homogeneous cluster of the same mean.
+* **§4.3 (empirical)**: for larger n the prediction is right ≈76% of
+  the time, and (empirically) always when the variance gap exceeds
+  θ = 0.167.
+
+This module implements the predictor, its evaluation against ground
+truth (X/HECR comparison), and a set of alternative moment predictors
+used in the ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.core.hecr import hecr
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+
+__all__ = [
+    "PredictionOutcome",
+    "PairEvaluation",
+    "variance_prediction",
+    "evaluate_pair",
+    "heterogeneity_gain",
+    "MOMENT_PREDICTORS",
+]
+
+#: Relative tolerance for the equal-mean precondition check.
+MEAN_RTOL = 1e-9
+
+
+class PredictionOutcome(Enum):
+    """How a profile-based prediction fared against ground truth."""
+
+    CORRECT = "good"          # the paper's "good" label
+    INCORRECT = "bad"         # the paper's "bad" label
+    INDECISIVE = "indecisive"  # predictor had no opinion (equal statistic)
+
+
+@dataclass(frozen=True)
+class PairEvaluation:
+    """Ground truth and prediction for one equal-mean cluster pair.
+
+    Attributes
+    ----------
+    outcome:
+        CORRECT iff the higher-variance profile has the larger X
+        (equivalently the smaller HECR).
+    variance_gap:
+        ``|VAR(P₁) − VAR(P₂)|`` — the quantity the §4.3 threshold θ
+        gates on.
+    hecr_gap:
+        ``|HECR(P₁) − HECR(P₂)|`` — the paper notes "bad" pairs have
+        small HECR gaps.
+    predicted_winner, actual_winner:
+        0 or 1 (profile position), −1 when indeterminate.
+    """
+
+    outcome: PredictionOutcome
+    variance_gap: float
+    hecr_gap: float
+    predicted_winner: int
+    actual_winner: int
+
+
+def _require_equal_means(p1: Profile, p2: Profile) -> None:
+    scale = max(abs(p1.mean), abs(p2.mean), 1e-300)
+    if abs(p1.mean - p2.mean) > MEAN_RTOL * scale:
+        raise InvalidProfileError(
+            f"variance prediction requires equal mean speeds "
+            f"(got {p1.mean!r} vs {p2.mean!r})")
+
+
+def variance_prediction(p1: Profile, p2: Profile) -> int:
+    """Predict the more powerful of two equal-mean clusters by variance.
+
+    Returns 0 if P₁ is predicted to win (larger variance), 1 if P₂,
+    −1 if the variances tie (no prediction).
+    """
+    _require_equal_means(p1, p2)
+    v1, v2 = p1.variance, p2.variance
+    if v1 > v2:
+        return 0
+    if v2 > v1:
+        return 1
+    return -1
+
+
+def evaluate_pair(p1: Profile, p2: Profile, params: ModelParams,
+                  *, compute_hecr_gap: bool = True) -> PairEvaluation:
+    """Run the §4.3 trial protocol on one equal-mean pair.
+
+    Ground truth is the X-measure comparison (equivalent to the paper's
+    HECR comparison — HECR is strictly decreasing in X for fixed n — but
+    numerically cheaper); the HECR gap is additionally reported because
+    the paper uses it to characterise "bad" pairs.
+    """
+    predicted = variance_prediction(p1, p2)
+    x1 = x_measure(p1, params)
+    x2 = x_measure(p2, params)
+    if x1 > x2:
+        actual = 0
+    elif x2 > x1:
+        actual = 1
+    else:
+        actual = -1
+
+    if predicted == -1 or actual == -1:
+        outcome = PredictionOutcome.INDECISIVE
+    elif predicted == actual:
+        outcome = PredictionOutcome.CORRECT
+    else:
+        outcome = PredictionOutcome.INCORRECT
+
+    hecr_gap = float("nan")
+    if compute_hecr_gap:
+        hecr_gap = abs(hecr(p1, params) - hecr(p2, params))
+    return PairEvaluation(
+        outcome=outcome,
+        variance_gap=abs(p1.variance - p2.variance),
+        hecr_gap=hecr_gap,
+        predicted_winner=predicted,
+        actual_winner=actual,
+    )
+
+
+def heterogeneity_gain(mean: float, spread: float, params: ModelParams) -> float:
+    """Corollary 1 quantified: the power a 2-computer cluster gains from
+    heterogeneity.
+
+    Compares ``⟨mean + spread, mean − spread⟩`` against the homogeneous
+    ``⟨mean, mean⟩`` of the same mean speed and returns the work ratio
+    ``W(heterogeneous)/W(homogeneous)`` — strictly greater than 1 for any
+    ``0 < spread < mean`` (Theorem 5(2)).
+    """
+    if not (0.0 < spread < mean):
+        raise InvalidProfileError(
+            f"need 0 < spread < mean, got spread={spread!r}, mean={mean!r}")
+    hetero = Profile([mean + spread, mean - spread])
+    homog = Profile([mean, mean])
+    x_het = x_measure(hetero, params)
+    x_hom = x_measure(homog, params)
+    td = params.tau_delta
+    return (td + 1.0 / x_hom) / (td + 1.0 / x_het)
+
+
+def _predict_by(stat: Callable[[Profile], float], larger_wins: bool
+                ) -> Callable[[Profile, Profile], int]:
+    def predictor(p1: Profile, p2: Profile) -> int:
+        s1, s2 = stat(p1), stat(p2)
+        if s1 == s2:
+            return -1
+        first_larger = s1 > s2
+        return 0 if first_larger == larger_wins else 1
+    return predictor
+
+
+#: Alternative moment predictors for the ablation study: each maps an
+#: equal-mean pair to 0/1/−1 like :func:`variance_prediction`.  Smaller
+#: geometric/harmonic mean intuitively signals faster computers hiding in
+#: the profile, hence "larger_wins=False" for those.
+MOMENT_PREDICTORS: dict[str, Callable[[Profile, Profile], int]] = {
+    "variance": _predict_by(lambda p: p.variance, larger_wins=True),
+    "geometric-mean": _predict_by(lambda p: p.geometric_mean, larger_wins=False),
+    "harmonic-mean": _predict_by(
+        lambda p: p.n / float(np.sum(1.0 / p.rho)), larger_wins=False),
+    "min-rho": _predict_by(lambda p: p.fastest_rho, larger_wins=False),
+}

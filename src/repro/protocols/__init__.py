@@ -1,0 +1,52 @@
+"""Worksharing protocols for the CEP (the substrate from reference [1]).
+
+* :class:`~repro.protocols.fifo.FifoProtocol` — the optimal family
+  (closed form);
+* :class:`~repro.protocols.lifo.LifoProtocol` — the classic suboptimal
+  baseline (closed form);
+* :class:`~repro.protocols.general.GeneralProtocol` — any (Σ, Φ) pair,
+  solved as a linear program;
+* :mod:`~repro.protocols.timeline` — explicit action/time diagrams
+  (Figs. 1–2);
+* :mod:`~repro.protocols.feasibility` — invariant checking.
+"""
+
+from repro.protocols.base import Protocol, WorkAllocation, validate_order
+from repro.protocols.conformance import check_protocol_conformance
+from repro.protocols.feasibility import (
+    FeasibilityReport,
+    Violation,
+    check_allocation,
+    check_timeline,
+)
+from repro.protocols.fifo import (
+    FifoProtocol,
+    fifo_allocation,
+    fifo_saturation_index,
+    fifo_work_fractions,
+)
+from repro.protocols.general import GeneralProtocol, lp_allocation
+from repro.protocols.lifo import LifoProtocol, lifo_allocation
+from repro.protocols.timeline import Interval, Timeline, build_timeline
+
+__all__ = [
+    "Protocol",
+    "WorkAllocation",
+    "validate_order",
+    "FifoProtocol",
+    "fifo_allocation",
+    "fifo_saturation_index",
+    "fifo_work_fractions",
+    "LifoProtocol",
+    "lifo_allocation",
+    "GeneralProtocol",
+    "lp_allocation",
+    "Interval",
+    "Timeline",
+    "build_timeline",
+    "FeasibilityReport",
+    "Violation",
+    "check_allocation",
+    "check_timeline",
+    "check_protocol_conformance",
+]

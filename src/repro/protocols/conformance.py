@@ -1,0 +1,85 @@
+"""Protocol-conformance checking for downstream implementers.
+
+Anyone adding a new :class:`~repro.protocols.base.Protocol` subclass
+(a different ordering family, an approximation, a heuristic) can point
+:func:`check_protocol_conformance` at it and get the model's contract
+checked mechanically:
+
+1. `allocate` returns a well-formed :class:`WorkAllocation` for the
+   requested cluster/lifespan;
+2. the schedule is *feasible* (timeline invariants hold) whenever the
+   environment is below the FIFO saturation boundary;
+3. the schedule never *out-produces* FIFO (Theorem 1's optimality —
+   a protocol claiming more work than the optimum is miscounting);
+4. production scales linearly with the lifespan (fluid-model
+   consistency);
+5. allocation is deterministic (two calls agree).
+
+Violations are returned, not raised, so test suites can assert on the
+full list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.base import Protocol, WorkAllocation
+from repro.protocols.feasibility import check_allocation
+from repro.protocols.fifo import fifo_allocation, fifo_saturation_index
+
+__all__ = ["check_protocol_conformance"]
+
+
+def check_protocol_conformance(protocol: Protocol, profile: Profile,
+                               params: ModelParams, lifespan: float = 50.0,
+                               *, rtol: float = 1e-9) -> list[str]:
+    """Run the protocol contract checks; return human-readable violations."""
+    violations: list[str] = []
+
+    try:
+        allocation = protocol.allocate(profile, params, lifespan)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the harness
+        return [f"allocate raised {type(exc).__name__}: {exc}"]
+
+    # 1. Well-formedness.
+    if not isinstance(allocation, WorkAllocation):
+        return [f"allocate returned {type(allocation).__name__}, "
+                f"not WorkAllocation"]
+    if allocation.profile is not profile and allocation.profile != profile:
+        violations.append("allocation.profile does not match the request")
+    if allocation.lifespan != lifespan:
+        violations.append(
+            f"allocation.lifespan {allocation.lifespan!r} != requested {lifespan!r}")
+
+    below_saturation = fifo_saturation_index(profile, params) <= 1.0
+
+    # 2. Feasibility (only meaningful below the structural boundary).
+    if below_saturation:
+        report = check_allocation(allocation)
+        if not report.feasible:
+            violations.append("infeasible schedule: " + "; ".join(
+                str(v) for v in report.violations[:3]))
+
+    # 3. Theorem-1 bound.
+    fifo_total = fifo_allocation(profile, params, lifespan).total_work
+    if allocation.total_work > fifo_total * (1.0 + rtol):
+        violations.append(
+            f"claims more work than the FIFO optimum "
+            f"({allocation.total_work!r} > {fifo_total!r})")
+
+    # 4. Fluid scaling.
+    doubled = protocol.allocate(profile, params, 2.0 * lifespan)
+    if not np.isclose(doubled.total_work, 2.0 * allocation.total_work,
+                      rtol=1e-6):
+        violations.append(
+            f"production not linear in lifespan "
+            f"({doubled.total_work!r} vs 2×{allocation.total_work!r})")
+
+    # 5. Determinism.
+    again = protocol.allocate(profile, params, lifespan)
+    if not np.allclose(again.w, allocation.w, rtol=1e-12, atol=0.0):
+        violations.append("allocate is not deterministic")
+
+    return violations

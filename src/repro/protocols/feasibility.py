@@ -1,0 +1,142 @@
+"""Feasibility checking for worksharing schedules.
+
+Theorem 1 promises FIFO optimality "over any sufficiently long lifespan".
+The fluid model used throughout the paper is scale-invariant — doubling L
+doubles every quantum — so what "sufficiently long" rules out is not a
+structural property of the fluid schedule but the fixed per-message
+latencies the model deliberately ignores (§2.1).  What *can* go wrong
+structurally, and what this module detects, is:
+
+* two messages in transit at once (the model's cardinal invariant);
+* a worker computing before its work has arrived;
+* result slots that start before their workers finished packaging;
+* activity spilling past the lifespan ``L``;
+* on saturated clusters, the outgoing-send block colliding with the
+  incoming-result block.
+
+The checker consumes a :class:`~repro.protocols.timeline.Timeline` and
+reports every violation, so it works for *any* protocol family — FIFO,
+LIFO, LP-derived, or hand-built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.base import WorkAllocation
+from repro.protocols.timeline import Timeline, build_timeline
+
+__all__ = ["Violation", "FeasibilityReport", "check_timeline", "check_allocation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected schedule violation."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check.
+
+    ``feasible`` is True iff no violations were found; ``violations``
+    lists every problem detected (the check does not stop at the first).
+    """
+
+    feasible: bool
+    violations: tuple[Violation, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        if self.feasible:
+            return "schedule feasible: all invariants hold"
+        lines = [f"schedule INFEASIBLE: {len(self.violations)} violation(s)"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _tolerance(lifespan: float) -> float:
+    """Absolute slack for float comparisons, scaled to the schedule."""
+    return 1e-9 * max(1.0, lifespan)
+
+
+def check_timeline(timeline: Timeline) -> FeasibilityReport:
+    """Verify every model invariant on an explicit timeline."""
+    alloc = timeline.allocation
+    tol = _tolerance(alloc.lifespan)
+    violations: list[Violation] = []
+
+    # 1. No resource runs two activities at once (in particular: at most
+    #    one message in transit on the network).
+    for resource in timeline.resources:
+        ivs = timeline.on_resource(resource)
+        for prev, cur in zip(ivs, ivs[1:]):
+            if cur.start < prev.end - tol:
+                violations.append(Violation(
+                    "overlap",
+                    f"{resource}: {prev.kind}(C{prev.computer}) "
+                    f"[{prev.start:.6g},{prev.end:.6g}) overlaps "
+                    f"{cur.kind}(C{cur.computer}) [{cur.start:.6g},{cur.end:.6g})"))
+
+    # 2. Nothing before time zero or after the lifespan.
+    for iv in timeline.intervals:
+        if iv.start < -tol:
+            violations.append(Violation(
+                "before-start", f"{iv.resource}/{iv.kind} for C{iv.computer} "
+                                f"starts at {iv.start:.6g} < 0"))
+        if iv.end > alloc.lifespan + tol:
+            violations.append(Violation(
+                "past-lifespan", f"{iv.resource}/{iv.kind} for C{iv.computer} "
+                                 f"ends at {iv.end:.6g} > L={alloc.lifespan:g}"))
+
+    # 3. Causality per computer: work-prep ≤ work-transit ≤ busy ≤ result.
+    for c in range(alloc.n):
+        stages = {iv.kind: iv for iv in timeline.for_computer(c)}
+        chain = ["work-prep", "work-transit", "busy", "result-transit"]
+        present = [stages[k] for k in chain if k in stages]
+        for a, b in zip(present, present[1:]):
+            if b.start < a.end - tol:
+                violations.append(Violation(
+                    "causality", f"C{c}: {b.kind} starts at {b.start:.6g} "
+                                 f"before {a.kind} ends at {a.end:.6g}"))
+
+    # 4. Every computer with work has a complete stage chain.
+    for c in range(alloc.n):
+        if alloc.w[c] > 0.0:
+            kinds = {iv.kind for iv in timeline.for_computer(c)}
+            missing = {"work-prep", "work-transit", "busy"} - kinds
+            if alloc.params.delta > 0.0:
+                missing |= {"result-transit"} - kinds
+            if missing:
+                violations.append(Violation(
+                    "incomplete", f"C{c} has work but no {sorted(missing)} stage(s)"))
+
+    return FeasibilityReport(feasible=not violations,
+                             violations=tuple(violations))
+
+
+def check_allocation(allocation: WorkAllocation, *,
+                     results_as_late_as_possible: bool = True) -> FeasibilityReport:
+    """Build the allocation's timeline and check it.
+
+    A timeline that cannot even be built (a worker misses its result
+    slot) is reported as a single ``slot-missed`` violation rather than
+    raising, so callers can treat feasibility uniformly.
+    """
+    from repro.errors import InfeasibleScheduleError
+    try:
+        timeline = build_timeline(allocation,
+                                  results_as_late_as_possible=results_as_late_as_possible)
+    except InfeasibleScheduleError as exc:
+        return FeasibilityReport(
+            feasible=False,
+            violations=(Violation("slot-missed", str(exc)),))
+    return check_timeline(timeline)

@@ -1,0 +1,136 @@
+"""Optimal scheduling of *arbitrary* (Σ, Φ) worksharing protocols via LP.
+
+The FIFO closed form covers Σ = Φ.  For any other startup/finishing order
+pair the optimal work allocation is the solution of a small linear
+program, which this module builds and solves with
+:func:`scipy.optimize.linprog`.  Having an independent optimiser for every
+protocol shape lets the test suite *verify* Theorem 1 — FIFO protocols
+are optimal and startup-order invariant — instead of assuming it, and it
+powers the protocol-optimality ablation benchmark.
+
+LP formulation
+--------------
+Variables: work quanta ``w_c ≥ 0``.  Writing ``spos(c)``/``fpos(c)`` for
+computer c's startup/finishing positions, the constraints say that each
+computer finishes packaging its results no later than its result slot
+opens, where result slots sit contiguously at the end of the lifespan
+(the latest — hence least constraining — placement):
+
+.. math::
+
+    (π+τ) \\sum_{spos(d) ≤ spos(c)} w_d \\; + \\; Bρ_c w_c \\; + \\;
+    τδ \\sum_{fpos(d) ≥ fpos(c)} w_d \\;\\; ≤ \\;\\; L
+    \\qquad\\text{for every } c,
+
+plus (optionally) the block-separation constraint
+``(π + τ + τδ)·Σ w ≤ L`` ensuring the outgoing-send block clears the
+channel before the result block begins.  The objective maximises
+``Σ w_c``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InfeasibleScheduleError, ProtocolError
+from repro.protocols.base import Protocol, WorkAllocation, validate_order
+
+__all__ = ["GeneralProtocol", "lp_allocation"]
+
+
+def lp_allocation(profile: Profile, params: ModelParams, lifespan: float,
+                  startup_order: Sequence[int],
+                  finishing_order: Sequence[int],
+                  *, enforce_separation: bool = True,
+                  protocol_name: str = "LP") -> WorkAllocation:
+    """Work-maximising allocation for a fixed (Σ, Φ) protocol pair.
+
+    Parameters
+    ----------
+    profile, params, lifespan:
+        The cluster, environment and CEP lifespan.
+    startup_order, finishing_order:
+        Σ and Φ as permutations of computer indices.
+    enforce_separation:
+        Require the send block to clear the channel before the first
+        result transit (the layout of Figs. 1–2).  Disable only for
+        experiments on saturated clusters.
+    protocol_name:
+        Label recorded on the returned allocation.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If the LP solver fails (should not happen: w = 0 is always
+        feasible).
+    """
+    if lifespan <= 0 or not np.isfinite(lifespan):
+        raise ProtocolError(f"lifespan must be positive and finite, got {lifespan!r}")
+    n = profile.n
+    sigma = validate_order(startup_order, n, name="startup_order")
+    phi = validate_order(finishing_order, n, name="finishing_order")
+    rho = profile.rho
+    A_send = params.pi + params.tau          # per-unit send cost (π+τ)
+    td = params.tau_delta
+    B = params.B
+
+    spos = np.empty(n, dtype=int)
+    fpos = np.empty(n, dtype=int)
+    spos[np.asarray(sigma)] = np.arange(n)
+    fpos[np.asarray(phi)] = np.arange(n)
+
+    rows = []
+    for c in range(n):
+        row = np.zeros(n)
+        row[spos <= spos[c]] += A_send       # all sends up to and incl. c's
+        row[c] += B * rho[c]                 # c's own busy period
+        row[fpos >= fpos[c]] += td           # c's result and all later ones
+        rows.append(row)
+    if enforce_separation and td > 0.0:
+        rows.append(np.full(n, A_send + td))
+    A_ub = np.vstack(rows)
+    b_ub = np.full(A_ub.shape[0], float(lifespan))
+
+    result = linprog(c=-np.ones(n), A_ub=A_ub, b_ub=b_ub,
+                     bounds=[(0.0, None)] * n, method="highs")
+    if not result.success:  # pragma: no cover - w = 0 is always feasible
+        raise InfeasibleScheduleError(
+            f"LP solver failed for ({protocol_name}) protocol: {result.message}")
+    w = np.clip(result.x, 0.0, None)
+    return WorkAllocation(profile=profile, params=params, lifespan=lifespan,
+                          w=w, startup_order=sigma, finishing_order=phi,
+                          protocol_name=protocol_name)
+
+
+class GeneralProtocol(Protocol):
+    """An arbitrary worksharing protocol: any startup order, any finishing order.
+
+    Parameters
+    ----------
+    startup_order, finishing_order:
+        Fixed Σ and Φ (permutations of computer indices, sized to the
+        clusters this protocol will schedule).
+    enforce_separation:
+        See :func:`lp_allocation`.
+    """
+
+    name = "general-LP"
+
+    def __init__(self, startup_order: Sequence[int],
+                 finishing_order: Sequence[int],
+                 *, enforce_separation: bool = True) -> None:
+        self._sigma = tuple(int(i) for i in startup_order)
+        self._phi = tuple(int(i) for i in finishing_order)
+        self._enforce_separation = enforce_separation
+
+    def allocate(self, profile: Profile, params: ModelParams,
+                 lifespan: float) -> WorkAllocation:
+        label = "FIFO-LP" if self._sigma == self._phi else "general-LP"
+        return lp_allocation(profile, params, lifespan, self._sigma, self._phi,
+                             enforce_separation=self._enforce_separation,
+                             protocol_name=label)

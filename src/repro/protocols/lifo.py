@@ -1,0 +1,99 @@
+"""LIFO worksharing protocols — the natural non-FIFO baseline.
+
+Under LIFO the finishing order is the *reverse* of the startup order: the
+last computer to receive work is the first to return results.  LIFO is
+the classic alternative in divisible-load scheduling; in this model it is
+strictly suboptimal (Theorem 1 gives FIFO the crown), and quantifying the
+gap is the point of the protocol-optimality ablation benchmark.
+
+Closed-form allocation
+----------------------
+With computers in startup order (rates ρ₍₁₎ … ρ₍ₙ₎), worker k's result
+slot is followed on the channel by exactly the slots of workers
+1 … k−1 (they return later), so making every packaging-finish meet its
+slot start exactly gives, with ``T_k = Σ_{j≤k} w_{(j)}``,
+
+.. math::
+
+    (A + τδ)·T_k + Bρ_{(k)}·(T_k − T_{k-1}) = L
+    \\qquad⇒\\qquad
+    T_k = \\frac{L + Bρ_{(k)}·T_{k-1}}{A + τδ + Bρ_{(k)}},
+
+an O(n) recurrence.  All quanta are automatically nonnegative because
+``T_k < L/(A+τδ)`` inductively.  The LP of
+:mod:`repro.protocols.general` confirms this all-tight solution is the
+LIFO optimum (a test).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import ProtocolError
+from repro.protocols.base import Protocol, WorkAllocation, validate_order
+
+__all__ = ["LifoProtocol", "lifo_allocation"]
+
+
+def lifo_allocation(profile: Profile, params: ModelParams, lifespan: float,
+                    startup_order: Sequence[int] | None = None) -> WorkAllocation:
+    """Exact work-maximising LIFO allocation (closed-form recurrence).
+
+    Parameters
+    ----------
+    profile:
+        The cluster's heterogeneity profile.
+    params:
+        Architectural model parameters.
+    lifespan:
+        The CEP lifespan ``L > 0``.
+    startup_order:
+        Σ; Φ is its reverse.  Defaults to profile order.
+
+    Notes
+    -----
+    Empirically, LIFO production — like FIFO's (Theorem 1(2)) — is
+    *invariant* under the startup order: unrolling the recurrence shows
+    ``T_n`` is a symmetric function of the ρ-values.  The test suite
+    verifies the invariance across permutations; individual computers'
+    quanta do depend on the order, only the total does not.
+    """
+    if lifespan <= 0 or not np.isfinite(lifespan):
+        raise ProtocolError(f"lifespan must be positive and finite, got {lifespan!r}")
+    n = profile.n
+    order = validate_order(startup_order if startup_order is not None else range(n), n,
+                           name="startup_order")
+    rho = profile.rho[np.asarray(order)]
+    A, B, td = params.A, params.B, params.tau_delta
+
+    T_prev = 0.0
+    w_in_order = np.empty(n)
+    for k in range(n):
+        brk = B * rho[k]
+        T_k = (lifespan + brk * T_prev) / (A + td + brk)
+        w_in_order[k] = T_k - T_prev
+        T_prev = T_k
+
+    w = np.empty(n)
+    w[np.asarray(order)] = w_in_order
+    return WorkAllocation(profile=profile, params=params, lifespan=lifespan,
+                          w=w, startup_order=order,
+                          finishing_order=tuple(reversed(order)),
+                          protocol_name="LIFO")
+
+
+class LifoProtocol(Protocol):
+    """The LIFO protocol family (Φ = reverse Σ)."""
+
+    name = "LIFO"
+
+    def __init__(self, startup_order: Sequence[int] | None = None) -> None:
+        self._startup_order = tuple(startup_order) if startup_order is not None else None
+
+    def allocate(self, profile: Profile, params: ModelParams,
+                 lifespan: float) -> WorkAllocation:
+        return lifo_allocation(profile, params, lifespan, self._startup_order)

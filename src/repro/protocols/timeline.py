@@ -1,0 +1,191 @@
+"""Explicit schedule timelines (the action/time diagrams of Figs. 1–2).
+
+A :class:`WorkAllocation` says *how much* work each computer gets; this
+module reconstructs *when* everything happens, as busy intervals on each
+resource:
+
+* ``server`` — C₀ packaging outbound work, ``π·w`` per computer, seriatim;
+* ``network`` — the single shared channel: a ``τ·w`` transit for each work
+  message and a ``τδ·w`` transit for each result message (at most one
+  message in transit at a time is the model's invariant);
+* ``worker:<c>`` — computer c's busy period ``B·ρ_c·w`` (unpackage,
+  compute, package results — the balanced-architecture bundle).
+
+Timing rules (the gap-free protocol of paper §2.2):
+
+1. The server prepares and sends packages in startup order with no
+   intervening gaps; package k occupies the server during
+   ``[P_k, P_k + π w]`` and the network during ``[P_k + π w, P_k + (π+τ) w]``
+   with ``P_{k+1} = P_k + (π+τ) w_k``.
+2. A worker starts its busy period the moment its package arrives.
+3. Result messages occupy the network in finishing order, each no earlier
+   than its worker finished packaging, each no earlier than the previous
+   result completed, and (matching the optimal layout of [1]) as *late*
+   as possible so that the last result completes exactly at L.
+
+The resulting timeline is what the feasibility checker inspects and what
+the discrete-event simulator independently re-derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InfeasibleScheduleError
+from repro.protocols.base import WorkAllocation
+
+__all__ = ["Interval", "Timeline", "build_timeline"]
+
+_EPS_KINDS = ("work-prep", "work-transit", "busy", "result-transit")
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open busy interval ``[start, end)`` on a named resource.
+
+    Attributes
+    ----------
+    resource:
+        ``"server"``, ``"network"`` or ``"worker:<c>"``.
+    kind:
+        One of ``work-prep``, ``work-transit``, ``busy``, ``result-transit``.
+    computer:
+        Profile index of the computer the interval concerns.
+    """
+
+    resource: str
+    kind: str
+    computer: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two half-open intervals intersect in time."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """All busy intervals of a scheduled protocol, plus derived views."""
+
+    allocation: WorkAllocation
+    intervals: tuple[Interval, ...]
+
+    def on_resource(self, resource: str) -> list[Interval]:
+        """All intervals on one resource, sorted by start time."""
+        return sorted((iv for iv in self.intervals if iv.resource == resource),
+                      key=lambda iv: (iv.start, iv.end))
+
+    def for_computer(self, computer: int) -> list[Interval]:
+        """All intervals involving one computer, sorted by start time."""
+        return sorted((iv for iv in self.intervals if iv.computer == computer),
+                      key=lambda iv: (iv.start, iv.end))
+
+    @property
+    def resources(self) -> list[str]:
+        """Sorted list of distinct resource names."""
+        return sorted({iv.resource for iv in self.intervals})
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last interval."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def utilization(self, resource: str) -> float:
+        """Fraction of the lifespan the resource spends busy."""
+        busy = sum(iv.duration for iv in self.on_resource(resource))
+        return busy / self.allocation.lifespan
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+
+def build_timeline(allocation: WorkAllocation, *,
+                   results_as_late_as_possible: bool = True) -> Timeline:
+    """Reconstruct the explicit schedule of a work allocation.
+
+    Parameters
+    ----------
+    allocation:
+        The allocation to expand.
+    results_as_late_as_possible:
+        If True (the paper's optimal layout), result slots are placed
+        contiguously so the final result completes exactly at ``L``;
+        workers that finish early wait.  If False, results are placed
+        *greedily* (each as soon as both its worker and the channel in
+        finishing order allow) — the layout a work-conserving executor
+        would produce; same work, earlier completion.
+
+    Returns
+    -------
+    Timeline
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If, with late placement, some worker could not finish packaging
+        before its result slot starts — i.e. the allocation over-commits
+        the lifespan.
+    """
+    alloc = allocation
+    params = alloc.params
+    rho = alloc.profile.rho
+    pi, tau, delta, B = params.pi, params.tau, params.delta, params.B
+    td = params.tau_delta
+    w = alloc.w
+
+    intervals: list[Interval] = []
+
+    # --- sends: seriatim in startup order --------------------------------
+    finish_pack: dict[int, float] = {}   # computer -> time its results are ready
+    t = 0.0
+    for c in alloc.startup_order:
+        wc = float(w[c])
+        if wc == 0.0:
+            finish_pack[c] = 0.0
+            continue
+        prep_end = t + pi * wc
+        arrive = prep_end + tau * wc
+        intervals.append(Interval("server", "work-prep", c, t, prep_end))
+        intervals.append(Interval("network", "work-transit", c, prep_end, arrive))
+        busy_end = arrive + B * rho[c] * wc
+        intervals.append(Interval(f"worker:{c}", "busy", c, arrive, busy_end))
+        finish_pack[c] = busy_end
+        t = arrive  # next prep starts immediately: spacing (π+τ)·w
+
+    # --- result transits in finishing order ------------------------------
+    active = [c for c in alloc.finishing_order if w[c] > 0.0]
+    durations = [td * float(w[c]) for c in active]
+    if delta == 0.0 or not active:
+        starts = [finish_pack[c] for c in active]  # zero-length markers
+    elif results_as_late_as_possible:
+        # Contiguous block ending at L: slot k starts at
+        # L − Σ_{j≥k} τδ·w_j.  Verify every worker makes its slot.
+        suffix = np.cumsum(durations[::-1])[::-1]
+        starts = [alloc.lifespan - s for s in suffix]
+        for c, s in zip(active, starts):
+            if finish_pack[c] > s + 1e-9 * max(1.0, alloc.lifespan):
+                raise InfeasibleScheduleError(
+                    f"computer {c} finishes packaging at {finish_pack[c]:.6g} "
+                    f"but its result slot starts at {s:.6g}; the allocation "
+                    f"over-commits lifespan L={alloc.lifespan:g}")
+    else:
+        starts = []
+        channel_free = 0.0
+        for c, d in zip(active, durations):
+            s = max(finish_pack[c], channel_free)
+            starts.append(s)
+            channel_free = s + d
+
+    if delta > 0.0:
+        for c, s, d in zip(active, starts, durations):
+            intervals.append(Interval("network", "result-transit", c, s, s + d))
+
+    return Timeline(allocation=alloc, intervals=tuple(intervals))

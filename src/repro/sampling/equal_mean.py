@@ -1,0 +1,178 @@
+"""Equal-mean cluster-pair generation (the §4.3 experimental setup).
+
+Each §4.3 trial needs two n-computer profiles with (a) identical mean
+speed and (b) different variances.  Two documented strategies:
+
+``rescale``
+    Draw both profiles i.i.d. uniform, then rescale the second so its
+    mean matches the first's: ``P₂ ← P₂ · (mean(P₁)/mean(P₂))``.
+    Rejection-resample while any rescaled entry leaves (0, 1].  Produces
+    pairs whose variances differ by typically modest amounts — the
+    regime where the predictor's ≈76% accuracy lives.
+
+``spread``
+    Start from a common random profile and apply opposite-signed
+    *mean-preserving spread* transforms: repeatedly pick two entries of
+    P₁ and push them apart (raising variance), and two entries of P₂
+    and pull them together (lowering variance), always within (0, 1].
+    Means are preserved exactly by construction, and the variance gap is
+    controllable — the tool for mapping the θ-threshold curve.
+
+``window``
+    Draw P₁ uniform over (low, 1], then P₂ uniform over the window
+    ``[m − h, m + h]`` around P₁'s mean ``m`` with a random half-width
+    ``h``, rescaled to match the mean exactly.  The variance gap is
+    ``Θ(1)`` regardless of n, so the predictor's accuracy *plateaus*
+    with cluster size the way the paper's does.
+
+``mixed``
+    Each call picks ``rescale`` or ``window`` uniformly at random —
+    the default for the §4.3 trials: rescale pairs dominate at small n
+    (small gaps, occasional errors) while window pairs keep the error
+    rate from collapsing to a coin flip at large n, reproducing the
+    paper's grow-then-plateau accuracy curve.
+
+Both return profiles whose means agree to machine precision; the trial
+harness (:mod:`repro.experiments.variance_trials`) enforces the
+difference-in-variance requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import SamplingError
+from repro.sampling.generators import RHO_FLOOR
+
+__all__ = ["equal_mean_pair", "mean_preserving_spread"]
+
+_MAX_REJECTIONS = 1000
+
+
+def _uniform(rng: np.random.Generator, n: int, low: float) -> np.ndarray:
+    return low + (1.0 - low) * rng.random(n)
+
+
+def mean_preserving_spread(rng: np.random.Generator, values: np.ndarray, *,
+                           steps: int, widen: bool,
+                           low: float = RHO_FLOOR, high: float = 1.0) -> np.ndarray:
+    """Apply ``steps`` random mean-preserving spread transforms.
+
+    Each step picks two distinct entries and moves them symmetrically —
+    apart when ``widen`` (variance up), together otherwise (variance
+    down) — by a random admissible amount that keeps both entries inside
+    ``[low, high]``.  The sum (hence mean) is invariant under every step.
+
+    Returns a new array; the input is not modified.
+    """
+    if values.size < 2:
+        raise SamplingError("mean-preserving spread needs at least 2 entries")
+    out = values.astype(float).copy()
+    n = out.size
+    for _ in range(steps):
+        i, j = rng.choice(n, size=2, replace=False)
+        a, b = out[i], out[j]
+        if widen:
+            # push a up, b down (or vice versa) without leaving the box
+            room = min(high - max(a, b), min(a, b) - low)
+            if room <= 0.0:
+                continue
+            shift = rng.random() * room
+            if a >= b:
+                out[i], out[j] = a + shift, b - shift
+            else:
+                out[i], out[j] = a - shift, b + shift
+        else:
+            # move both toward their midpoint
+            shift = rng.random() * 0.5 * abs(a - b)
+            if a >= b:
+                out[i], out[j] = a - shift, b + shift
+            else:
+                out[i], out[j] = a + shift, b - shift
+    return out
+
+
+def _window_pair(rng: np.random.Generator, n: int,
+                 low: float) -> tuple[Profile, Profile]:
+    """The ``window`` strategy: broad profile vs narrow same-mean profile."""
+    for _ in range(_MAX_REJECTIONS):
+        a = _uniform(rng, n, low)
+        m = float(a.mean())
+        h_max = min(m - low, 1.0 - m)
+        if h_max <= 0.0:
+            continue
+        h = rng.random() * h_max
+        b = m - h + 2.0 * h * rng.random(n)
+        b_mean = float(b.mean())
+        if b_mean <= 0.0:
+            continue
+        b_scaled = b * (m / b_mean)
+        if low <= b_scaled.min() and b_scaled.max() <= 1.0:
+            return Profile(a), Profile(b_scaled)
+    raise SamplingError(
+        f"could not generate a window pair within {_MAX_REJECTIONS} attempts "
+        f"(n={n}, low={low!r})")
+
+
+def equal_mean_pair(rng: np.random.Generator, n: int, *,
+                    strategy: Literal["rescale", "spread", "window",
+                                      "mixed"] = "rescale",
+                    low: float = RHO_FLOOR,
+                    spread_steps: int | None = None) -> tuple[Profile, Profile]:
+    """Generate one §4.3 trial pair: equal means, (generically) unequal
+    variances.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    n:
+        Cluster size (≥ 2; a 1-computer pair with equal means is equal
+        outright).
+    strategy:
+        ``"rescale"``, ``"spread"``, ``"window"`` or ``"mixed"`` (see
+        module docstring).
+    low:
+        ρ floor passed to the underlying samplers.
+    spread_steps:
+        For the spread strategy: transforms per side (default ``2n``).
+
+    Returns
+    -------
+    (Profile, Profile)
+        Means agree to float precision; variances differ almost surely.
+
+    Raises
+    ------
+    SamplingError
+        If rescale rejection-sampling exhausts its retry budget (only
+        possible for extreme ``low``).
+    """
+    if n < 2:
+        raise SamplingError(f"equal-mean pairs need n >= 2, got {n}")
+    if strategy == "mixed":
+        strategy = "rescale" if rng.random() < 0.5 else "window"
+    if strategy == "window":
+        return _window_pair(rng, n, low)
+    if strategy == "rescale":
+        for _ in range(_MAX_REJECTIONS):
+            a = _uniform(rng, n, low)
+            b = _uniform(rng, n, low)
+            b_scaled = b * (a.mean() / b.mean())
+            if b_scaled.max() <= 1.0 and b_scaled.min() >= low:
+                return Profile(a), Profile(b_scaled)
+        raise SamplingError(
+            f"could not rescale a mean-matched profile within "
+            f"{_MAX_REJECTIONS} attempts (n={n}, low={low!r})")
+    if strategy == "spread":
+        steps = spread_steps if spread_steps is not None else 2 * n
+        base = _uniform(rng, n, low)
+        widened = mean_preserving_spread(rng, base, steps=steps, widen=True, low=low)
+        tightened = mean_preserving_spread(rng, base, steps=steps, widen=False, low=low)
+        return Profile(widened), Profile(tightened)
+    raise SamplingError(
+        f"unknown strategy {strategy!r}; use 'rescale', 'spread', 'window' "
+        f"or 'mixed'")

@@ -1,0 +1,103 @@
+"""Random heterogeneity-profile generators.
+
+The §4.3 experiments need streams of random clusters.  The companion
+paper's generation procedure is unavailable (see DESIGN.md §4,
+substitution 2), so this module provides a family of documented samplers
+over ρ ∈ (0, 1]:
+
+* ``uniform`` — i.i.d. Uniform(lo, 1];
+* ``beta`` — i.i.d. scaled Beta(a, b) (skewable toward fast or slow);
+* ``power`` — ρ = U^γ, concentrating mass near fast (γ > 1) or slow
+  (γ < 1) machines;
+* ``two-point`` — a random mix of two speed classes (bimodal clusters).
+
+All randomness flows through an explicit :class:`numpy.random.Generator`,
+keeping every experiment reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import SamplingError
+
+__all__ = [
+    "uniform_profile",
+    "beta_profile",
+    "power_profile",
+    "two_point_profile",
+    "PROFILE_SAMPLERS",
+]
+
+#: Smallest ρ a sampler will emit; keeps X and HECR finite and
+#: well-conditioned (a literal ρ = 0 computer is infinitely fast and
+#: outside the model).
+RHO_FLOOR = 1e-6
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise SamplingError(f"cluster size must be >= 1, got {n}")
+
+
+def uniform_profile(rng: np.random.Generator, n: int, *,
+                    low: float = RHO_FLOOR) -> Profile:
+    """i.i.d. ρ ~ Uniform(low, 1]."""
+    _check_n(n)
+    if not (0.0 < low < 1.0):
+        raise SamplingError(f"low must lie in (0, 1), got {low!r}")
+    return Profile(low + (1.0 - low) * rng.random(n))
+
+
+def beta_profile(rng: np.random.Generator, n: int, *, a: float = 2.0,
+                 b: float = 2.0, low: float = RHO_FLOOR) -> Profile:
+    """i.i.d. ρ ~ low + (1−low)·Beta(a, b).
+
+    ``a < b`` skews toward fast machines (small ρ), ``a > b`` toward
+    slow ones.
+    """
+    _check_n(n)
+    if a <= 0 or b <= 0:
+        raise SamplingError(f"beta shapes must be positive, got a={a!r}, b={b!r}")
+    return Profile(low + (1.0 - low) * rng.beta(a, b, size=n))
+
+
+def power_profile(rng: np.random.Generator, n: int, *, gamma: float = 2.0,
+                  low: float = RHO_FLOOR) -> Profile:
+    """i.i.d. ρ = low + (1−low)·U^γ for U ~ Uniform(0, 1].
+
+    γ > 1 yields clusters dominated by fast machines with a slow tail —
+    the shape of volunteer-computing populations.
+    """
+    _check_n(n)
+    if gamma <= 0:
+        raise SamplingError(f"gamma must be positive, got {gamma!r}")
+    u = rng.random(n)
+    return Profile(low + (1.0 - low) * u ** gamma)
+
+
+def two_point_profile(rng: np.random.Generator, n: int, *,
+                      rho_fast: float = 0.1, rho_slow: float = 1.0,
+                      p_fast: float = 0.5) -> Profile:
+    """Each computer independently fast (ρ_fast) or slow (ρ_slow)."""
+    _check_n(n)
+    if not (0.0 < rho_fast <= rho_slow <= 1.0):
+        raise SamplingError(
+            f"need 0 < rho_fast <= rho_slow <= 1, got {rho_fast!r}, {rho_slow!r}")
+    if not (0.0 <= p_fast <= 1.0):
+        raise SamplingError(f"p_fast must lie in [0, 1], got {p_fast!r}")
+    fast = rng.random(n) < p_fast
+    return Profile(np.where(fast, rho_fast, rho_slow))
+
+
+#: Named samplers with their default hyperparameters, for experiments
+#: that sweep over sampling distributions.
+PROFILE_SAMPLERS: dict[str, Callable[[np.random.Generator, int], Profile]] = {
+    "uniform": uniform_profile,
+    "beta": beta_profile,
+    "power": power_profile,
+    "two-point": two_point_profile,
+}

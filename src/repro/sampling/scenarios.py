@@ -1,0 +1,85 @@
+"""Named fleet scenarios: realistic cluster shapes for examples and studies.
+
+The paper motivates its model with clusters, grids, global/volunteer
+computing and clouds (§1).  These factories produce profile shapes
+matching those stories, each documented with what it stresses:
+
+* ``aging_lab`` — machines bought one per year, each generation ~1.4×
+  faster: geometric speed decay, the classic NOW cluster;
+* ``two_tier_datacenter`` — a big slow tier plus a small fast tier:
+  bimodal, the shape where minorization/means mislead;
+* ``volunteer_swarm`` — power-law speeds with a long slow tail
+  (SETI@home-style populations);
+* ``cloud_spot_mix`` — mostly uniform mid-range with occasional very
+  fast and very slow outliers (noisy-neighbour clouds);
+* ``hero_and_herd`` — one superfast machine among commodity boxes: the
+  abstract's "one superfast computer and the rest of average speed".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import SamplingError
+from repro.sampling.generators import RHO_FLOOR
+
+__all__ = ["aging_lab", "two_tier_datacenter", "volunteer_swarm",
+           "cloud_spot_mix", "hero_and_herd", "SCENARIOS"]
+
+
+def aging_lab(n: int = 8, *, generation_speedup: float = 1.4) -> Profile:
+    """One machine per purchasing cycle, each generation faster."""
+    if n < 1:
+        raise SamplingError(f"need n >= 1, got {n}")
+    if generation_speedup <= 1.0:
+        raise SamplingError(
+            f"generation_speedup must exceed 1, got {generation_speedup!r}")
+    return Profile((1.0 / generation_speedup) ** np.arange(n))
+
+
+def two_tier_datacenter(n_slow: int = 12, n_fast: int = 4, *,
+                        tier_ratio: float = 4.0) -> Profile:
+    """A large commodity tier plus a small accelerated tier."""
+    if tier_ratio <= 1.0:
+        raise SamplingError(f"tier_ratio must exceed 1, got {tier_ratio!r}")
+    return Profile.two_point(n_slow, n_fast, rho_slow=1.0,
+                             rho_fast=1.0 / tier_ratio)
+
+
+def volunteer_swarm(rng: np.random.Generator, n: int = 100, *,
+                    gamma: float = 3.0) -> Profile:
+    """Power-law speeds: many fast donors, a long slow tail."""
+    from repro.sampling.generators import power_profile
+    return power_profile(rng, n, gamma=gamma).power_ordered()
+
+
+def cloud_spot_mix(rng: np.random.Generator, n: int = 32, *,
+                   outlier_fraction: float = 0.1) -> Profile:
+    """Uniform mid-range instances with fast/slow noisy-neighbour outliers."""
+    if not (0.0 <= outlier_fraction < 1.0):
+        raise SamplingError(
+            f"outlier_fraction must lie in [0, 1), got {outlier_fraction!r}")
+    rho = rng.uniform(0.4, 0.6, n)
+    outliers = rng.random(n) < outlier_fraction
+    rho[outliers] = np.where(rng.random(outliers.sum()) < 0.5,
+                             rng.uniform(RHO_FLOOR + 0.05, 0.15, outliers.sum()),
+                             rng.uniform(0.85, 1.0, outliers.sum()))
+    return Profile(rho)
+
+
+def hero_and_herd(n_herd: int = 9, *, hero_speedup: float = 10.0) -> Profile:
+    """One superfast machine among commodity boxes (the abstract's question)."""
+    if hero_speedup <= 1.0:
+        raise SamplingError(f"hero_speedup must exceed 1, got {hero_speedup!r}")
+    return Profile([1.0] * n_herd + [1.0 / hero_speedup])
+
+
+#: Deterministic scenarios by name (the RNG-based ones take a Generator).
+SCENARIOS: dict[str, Callable[..., Profile]] = {
+    "aging-lab": aging_lab,
+    "two-tier-datacenter": two_tier_datacenter,
+    "hero-and-herd": hero_and_herd,
+}

@@ -1,0 +1,95 @@
+"""The discrete-event simulation engine.
+
+A conventional event-driven core: the engine pops the earliest event,
+advances the clock to its firing time, and runs its callback (which may
+schedule further events).  The clock never moves backwards; scheduling
+into the past raises.  The engine itself knows nothing about clusters —
+the CEP semantics live in :mod:`repro.simulation.entities`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop with a monotone clock.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule_at(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, action: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self._now!r}, "
+                f"requested={time!r} ({label or 'unlabelled'})")
+        return self._queue.push(time, action, label)
+
+    def schedule_after(self, delay: float, action: Callable[[], None],
+                       label: str = "") -> Event:
+        """Schedule ``action`` ``delay`` time units from now (delay ≥ 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be nonnegative, got {delay!r}")
+        return self._queue.push(self._now + delay, action, label)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire *after* this
+            time (the clock is left at ``until``).  Events scheduled
+            exactly at ``until`` still fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while not self._queue.empty:
+                next_time = self._queue.next_time
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._events_processed += 1
+                event.action()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,92 @@
+"""Event primitives for the discrete-event simulator.
+
+A tiny, dependency-free event core: :class:`Event` couples a firing time
+with a callback, and :class:`EventQueue` is a stable priority queue
+(ties broken by insertion order, so same-time events fire
+deterministically in the order they were scheduled — important for
+reproducible traces).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event.
+
+    Ordering is by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker assigned by the queue.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the event handle."""
+        if time < 0 or time != time:  # NaN check
+            raise SimulationError(f"cannot schedule event at time {time!r}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty (callers should check :meth:`empty`).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("event queue is empty")
+
+    @property
+    def empty(self) -> bool:
+        """True when no live (non-cancelled) events remain."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return not self._heap
+
+    @property
+    def next_time(self) -> float | None:
+        """Firing time of the earliest live event, or None if empty."""
+        if self.empty:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventQueue(len={len(self)}, next={self.next_time})"
+
+
+# re-export Any for typing convenience of submodules
+_ = Any

@@ -1,0 +1,89 @@
+"""The single-message-in-transit network resource.
+
+The model's cardinal communication constraint (paper §1.2) is that *at
+most one intercomputer message is in transit at a time*.
+:class:`SingleChannelNetwork` serialises transits: a reservation request
+is granted at the latest of the requested time and the channel's
+free-time, and every granted transit is recorded for post-hoc
+verification (the trace's network intervals must be pairwise disjoint —
+a simulator self-check, not an assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["Transit", "SingleChannelNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transit:
+    """One granted channel reservation."""
+
+    kind: str          # "work" or "result"
+    computer: int      # destination (work) or source (result) computer
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SingleChannelNetwork:
+    """Serialising reservation manager for the shared channel."""
+
+    def __init__(self) -> None:
+        self._free_at = 0.0
+        self._transits: list[Transit] = []
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a new transit could start."""
+        return self._free_at
+
+    @property
+    def transits(self) -> tuple[Transit, ...]:
+        """All granted transits, in grant order."""
+        return tuple(self._transits)
+
+    def reserve(self, kind: str, computer: int, earliest: float,
+                duration: float) -> Transit:
+        """Reserve the channel for ``duration`` at or after ``earliest``.
+
+        Returns the granted :class:`Transit` (whose ``start`` may be later
+        than ``earliest`` if the channel was busy).
+        """
+        if duration < 0:
+            raise SimulationError(f"transit duration must be nonnegative, got {duration!r}")
+        if earliest < 0 or earliest != earliest:
+            raise SimulationError(f"invalid reservation time {earliest!r}")
+        start = max(earliest, self._free_at)
+        transit = Transit(kind=kind, computer=computer, start=start,
+                          end=start + duration)
+        self._free_at = transit.end
+        self._transits.append(transit)
+        return transit
+
+    def assert_serial(self) -> None:
+        """Self-check: verify no two recorded transits overlap.
+
+        Raises
+        ------
+        SimulationError
+            If the single-message invariant was violated (indicates an
+            engine bug; reservations are serialised by construction).
+        """
+        ordered = sorted(self._transits, key=lambda t: (t.start, t.end))
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end - 1e-12 * max(1.0, prev.end):
+                raise SimulationError(
+                    f"two messages in transit at once: "
+                    f"{prev.kind}(C{prev.computer}) [{prev.start:.6g},{prev.end:.6g}) and "
+                    f"{cur.kind}(C{cur.computer}) [{cur.start:.6g},{cur.end:.6g})")
+
+    def busy_time(self) -> float:
+        """Total time the channel spends occupied."""
+        return sum(t.duration for t in self._transits)

@@ -1,0 +1,189 @@
+"""High-level simulation driver and result object.
+
+:func:`simulate_allocation` wires a :class:`~repro.simulation.engine.Simulator`,
+a :class:`~repro.simulation.network.SingleChannelNetwork`, one
+:class:`~repro.simulation.entities.Worker` per computer and a
+:class:`~repro.simulation.entities.Server` together, executes the given
+:class:`~repro.protocols.base.WorkAllocation`, and reports what actually
+completed within the lifespan.
+
+The key output, :attr:`SimulationResult.completed_work`, counts a
+computer's quantum only when its results fully reached the server by
+``L``.  For FIFO allocations this equals the analytic ``W(L;P)`` exactly
+(the fluid schedule has no end effects beyond the ones it already
+budgets), which the integration test suite verifies over random clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import SimulationError
+from repro.protocols.base import Protocol, WorkAllocation
+from repro.protocols.timeline import Interval, Timeline
+from repro.simulation.engine import Simulator
+from repro.simulation.entities import ResultSequencer, Server, Worker, WorkerRecord
+from repro.simulation.network import SingleChannelNetwork
+
+__all__ = ["SimulationResult", "simulate_allocation", "simulate_protocol"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything observed during one simulated CEP run."""
+
+    allocation: WorkAllocation
+    records: tuple[WorkerRecord, ...]
+    completed_work: float
+    completed_computers: tuple[int, ...]
+    events_processed: int
+    network_busy_time: float
+    makespan: float
+    failed_computers: tuple[int, ...] = ()
+
+    @property
+    def lifespan(self) -> float:
+        return self.allocation.lifespan
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every positive-work computer finished in time."""
+        active = [r for r in self.records if r.work > 0.0]
+        return len(self.completed_computers) == len(active)
+
+    def record_for(self, computer: int) -> WorkerRecord:
+        """The milestone record of one computer."""
+        for r in self.records:
+            if r.computer == computer:
+                return r
+        raise SimulationError(f"no record for computer {computer}")
+
+    def to_timeline(self) -> Timeline:
+        """Convert observed milestones into a checkable :class:`Timeline`."""
+        params = self.allocation.params
+        intervals: list[Interval] = []
+        for r in self.records:
+            if r.work == 0.0 or np.isnan(r.send_prep_start):
+                continue
+            prep_end = r.send_prep_start + params.pi * r.work
+            intervals.append(Interval("server", "work-prep", r.computer,
+                                      r.send_prep_start, prep_end))
+            if not np.isnan(r.arrived):
+                intervals.append(Interval("network", "work-transit", r.computer,
+                                          r.arrived - params.tau * r.work, r.arrived))
+            if not np.isnan(r.busy_end):
+                intervals.append(Interval(f"worker:{r.computer}", "busy", r.computer,
+                                          r.arrived, r.busy_end))
+            if params.delta > 0.0 and not np.isnan(r.result_end):
+                intervals.append(Interval("network", "result-transit", r.computer,
+                                          r.result_start, r.result_end))
+        return Timeline(allocation=self.allocation, intervals=tuple(intervals))
+
+
+def simulate_allocation(allocation: WorkAllocation, *,
+                        results_policy: str = "late",
+                        failures: dict[int, float] | None = None,
+                        skip_failed_results: bool = False) -> SimulationResult:
+    """Execute a work allocation at event granularity.
+
+    Parameters
+    ----------
+    allocation:
+        The schedule to execute.
+    results_policy:
+        ``"late"`` — results use the contiguous end-of-lifespan slots of
+        the paper's layout; ``"greedy"`` — results go as early as the
+        finishing order and channel allow.
+    failures:
+        Failure injection: maps computer index → crash time.  A crashed
+        worker performs no further actions; work on its bench is lost.
+        Results already handed to the channel still arrive.
+    skip_failed_results:
+        Recovery heuristic for the result sequencer: step past dead
+        workers so the tail of the finishing order can still deliver.
+        Off by default — the strict FIFO contract stalls everything
+        queued behind a failure, which is precisely the fragility worth
+        measuring.
+
+    Returns
+    -------
+    SimulationResult
+    """
+    if results_policy not in ("late", "greedy"):
+        raise SimulationError(f"unknown results_policy {results_policy!r}")
+    failures = dict(failures or {})
+    for c, t in failures.items():
+        if not (0 <= c < allocation.n):
+            raise SimulationError(f"failure injected for unknown computer {c}")
+        if t < 0 or t != t:
+            raise SimulationError(f"invalid failure time {t!r} for computer {c}")
+    params = allocation.params
+    profile = allocation.profile
+    sim = Simulator()
+    network = SingleChannelNetwork()
+
+    slot_starts: dict[int, float] | None = None
+    if results_policy == "late" and params.delta > 0.0:
+        active = [c for c in allocation.finishing_order if allocation.w[c] > 0.0]
+        durations = [params.tau_delta * float(allocation.w[c]) for c in active]
+        suffix = np.cumsum(durations[::-1])[::-1] if active else np.array([])
+        slot_starts = {c: float(allocation.lifespan - s)
+                       for c, s in zip(active, suffix)}
+
+    sequencer: ResultSequencer | None = None
+    if params.delta > 0.0:
+        sequencer = ResultSequencer(
+            sim, network,
+            tuple(c for c in allocation.finishing_order if allocation.w[c] > 0.0),
+            slot_starts,
+            skip_failed=skip_failed_results)
+
+    records: dict[int, WorkerRecord] = {}
+    workers: dict[int, Worker] = {}
+    for c in range(profile.n):
+        wc = float(allocation.w[c])
+        record = WorkerRecord(computer=c, work=wc)
+        records[c] = record
+        workers[c] = Worker(
+            sim, record,
+            busy_time=params.B * float(profile.rho[c]) * wc,
+            result_duration=params.tau_delta * wc,
+            sequencer=sequencer,
+            failure_time=failures.get(c))
+
+    Server(sim, network, allocation, workers).start()
+    sim.run()
+    network.assert_serial()
+
+    tol = 1e-9 * max(1.0, allocation.lifespan)
+    completed = tuple(
+        c for c in range(profile.n)
+        if allocation.w[c] > 0.0
+        and records[c].completed
+        and records[c].result_end <= allocation.lifespan + tol)
+    completed_work = float(sum(allocation.w[c] for c in completed))
+    makespan = max((r.result_end for r in records.values() if r.completed),
+                   default=0.0)
+
+    return SimulationResult(
+        allocation=allocation,
+        records=tuple(records[c] for c in range(profile.n)),
+        completed_work=completed_work,
+        completed_computers=completed,
+        events_processed=sim.events_processed,
+        network_busy_time=network.busy_time(),
+        makespan=makespan,
+        failed_computers=tuple(c for c in sorted(failures)
+                               if workers[c].failed),
+    )
+
+
+def simulate_protocol(protocol: Protocol, profile: Profile, params: ModelParams,
+                      lifespan: float, *, results_policy: str = "late") -> SimulationResult:
+    """Allocate with ``protocol`` and execute the result in the simulator."""
+    allocation = protocol.allocate(profile, params, lifespan)
+    return simulate_allocation(allocation, results_policy=results_policy)

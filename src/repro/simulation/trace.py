@@ -1,0 +1,121 @@
+"""Post-hoc analysis of simulation results: utilization and idle time.
+
+The runner records per-worker milestones; this module turns them into
+the operational statistics an operator asks for:
+
+* per-resource **utilization** (server, channel, each worker);
+* per-worker **idle anatomy**: waiting for work vs waiting for the
+  channel after packaging (the FIFO result-slot wait);
+* a chronological **event log** for debugging and teaching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.runner import SimulationResult
+
+__all__ = ["UtilizationSummary", "WorkerIdleBreakdown", "utilization_summary",
+           "event_log"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerIdleBreakdown:
+    """Where one worker's lifespan went."""
+
+    computer: int
+    busy: float            # unpackage + compute + package
+    waiting_for_work: float   # from t=0 until its package arrived
+    waiting_for_slot: float   # from packaging done to result-transit start
+    returning: float       # result message in transit
+    after_done: float      # from result completion to the lifespan's end
+
+    @property
+    def total(self) -> float:
+        """Sum of all phases — the lifespan, for a completed worker."""
+        return (self.busy + self.waiting_for_work + self.waiting_for_slot
+                + self.returning + self.after_done)
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy / self.total if self.total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Cluster-wide utilization of one simulated round."""
+
+    lifespan: float
+    network_utilization: float
+    server_utilization: float
+    worker_breakdowns: tuple[WorkerIdleBreakdown, ...]
+
+    @property
+    def mean_worker_busy_fraction(self) -> float:
+        if not self.worker_breakdowns:
+            return 0.0
+        return float(np.mean([w.busy_fraction for w in self.worker_breakdowns]))
+
+    def least_utilized_worker(self) -> int:
+        """Profile index of the worker with the smallest busy fraction."""
+        breakdowns = self.worker_breakdowns
+        return min(breakdowns, key=lambda w: w.busy_fraction).computer
+
+
+def utilization_summary(result: SimulationResult) -> UtilizationSummary:
+    """Compute the utilization statistics of a finished simulation."""
+    alloc = result.allocation
+    params = alloc.params
+    L = alloc.lifespan
+
+    server_busy = float(np.sum(params.pi * alloc.w))
+    breakdowns = []
+    for rec in result.records:
+        if rec.work == 0.0 or np.isnan(rec.arrived):
+            continue
+        busy = (rec.busy_end - rec.arrived) if not np.isnan(rec.busy_end) else 0.0
+        waiting_for_work = rec.arrived
+        if not np.isnan(rec.result_start) and not np.isnan(rec.busy_end):
+            waiting_for_slot = rec.result_start - rec.busy_end
+            returning = rec.result_end - rec.result_start
+            after_done = max(0.0, L - rec.result_end)
+        else:
+            waiting_for_slot = 0.0
+            returning = 0.0
+            after_done = 0.0
+        breakdowns.append(WorkerIdleBreakdown(
+            computer=rec.computer,
+            busy=busy,
+            waiting_for_work=waiting_for_work,
+            waiting_for_slot=waiting_for_slot,
+            returning=returning,
+            after_done=after_done,
+        ))
+    return UtilizationSummary(
+        lifespan=L,
+        network_utilization=result.network_busy_time / L,
+        server_utilization=server_busy / L,
+        worker_breakdowns=tuple(breakdowns),
+    )
+
+
+def event_log(result: SimulationResult) -> list[str]:
+    """A chronological, human-readable log of the round's milestones."""
+    events: list[tuple[float, str]] = []
+    for rec in result.records:
+        if rec.work == 0.0:
+            continue
+        if not np.isnan(rec.send_prep_start):
+            events.append((rec.send_prep_start,
+                           f"server starts packaging {rec.work:.4g} units for C{rec.computer + 1}"))
+        if not np.isnan(rec.arrived):
+            events.append((rec.arrived, f"C{rec.computer + 1} receives its work"))
+        if not np.isnan(rec.busy_end):
+            events.append((rec.busy_end, f"C{rec.computer + 1} finishes computing/packaging"))
+        if not np.isnan(rec.result_end) and rec.result_end > rec.busy_end:
+            events.append((rec.result_start, f"C{rec.computer + 1} begins returning results"))
+            events.append((rec.result_end, f"C{rec.computer + 1}'s results arrive at the server"))
+    events.sort(key=lambda pair: pair[0])
+    return [f"t={t:12.6g}  {text}" for t, text in events]

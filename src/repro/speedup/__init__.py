@@ -1,0 +1,68 @@
+"""Speedup (upgrade) analysis — paper §3.
+
+* :mod:`~repro.speedup.additive` — Theorem 3: the fastest computer is
+  always the best additive-upgrade target;
+* :mod:`~repro.speedup.multiplicative` — Theorem 4: the threshold
+  ``A·τδ/B²`` decides between the faster and slower computer;
+* :mod:`~repro.speedup.planner` — greedy and exhaustive upgrade
+  sequencing;
+* :mod:`~repro.speedup.budget` — budget-constrained upgrade selection
+  (multiple-choice knapsack; exact branch-and-bound + greedy heuristic);
+* :mod:`~repro.speedup.trajectory` — the Figure 3/4 iterative experiment.
+"""
+
+from repro.speedup.budget import (
+    BudgetPlan,
+    UpgradeOption,
+    greedy_budgeted_upgrades,
+    plan_budgeted_upgrades,
+)
+from repro.speedup.additive import (
+    UpgradeChoice,
+    additive_work_ratios,
+    apply_additive,
+    best_additive_upgrade,
+    compare_additive,
+    max_additive_term,
+)
+from repro.speedup.multiplicative import (
+    SpeedupRegime,
+    apply_multiplicative,
+    best_multiplicative_upgrade,
+    compare_multiplicative,
+    theorem4_margin,
+    theorem4_regime,
+)
+from repro.speedup.planner import (
+    UpgradePlan,
+    exhaustive_multiplicative_plan,
+    plan_additive,
+    plan_multiplicative,
+)
+from repro.speedup.trajectory import RoundSnapshot, Trajectory, run_trajectory
+
+__all__ = [
+    "UpgradeChoice",
+    "max_additive_term",
+    "apply_additive",
+    "compare_additive",
+    "best_additive_upgrade",
+    "additive_work_ratios",
+    "SpeedupRegime",
+    "apply_multiplicative",
+    "theorem4_margin",
+    "theorem4_regime",
+    "compare_multiplicative",
+    "best_multiplicative_upgrade",
+    "UpgradePlan",
+    "UpgradeOption",
+    "BudgetPlan",
+    "plan_budgeted_upgrades",
+    "greedy_budgeted_upgrades",
+    "plan_additive",
+    "plan_multiplicative",
+    "exhaustive_multiplicative_plan",
+    "RoundSnapshot",
+    "Trajectory",
+    "run_trajectory",
+]

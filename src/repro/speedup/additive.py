@@ -1,0 +1,153 @@
+"""Additive speedups (paper §3.2.1, Theorem 3).
+
+An *additive* speedup replaces a computer of rate ρ with one of rate
+ρ − φ for a fixed term ``0 < φ < ρₙ`` (φ below the fastest computer's
+rate, so every computer is eligible).  Theorem 3: **the most advantageous
+single computer to speed up additively is always the cluster's fastest.**
+
+The module provides the profile transform, the pairwise Theorem-3
+comparison, an exhaustive best-upgrade search (used both by the planner
+and, in the tests, to verify the theorem), and the Table-4 work-ratio
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.measure import work_ratio, x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "max_additive_term",
+    "apply_additive",
+    "compare_additive",
+    "best_additive_upgrade",
+    "additive_work_ratios",
+    "UpgradeChoice",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UpgradeChoice:
+    """Outcome of a best-single-upgrade search.
+
+    Attributes
+    ----------
+    index:
+        Profile index of the computer to speed up.
+    new_profile:
+        The profile after the upgrade.
+    x_before, x_after:
+        X-measures before/after (``x_after > x_before`` always, by
+        Proposition 2).
+    work_ratio:
+        ``W(L; after)/W(L; before)`` — the upgrade's payoff.
+    """
+
+    index: int
+    new_profile: Profile
+    x_before: float
+    x_after: float
+    work_ratio: float
+
+
+def max_additive_term(profile: Profile) -> float:
+    """The supremum of admissible additive terms: ``φ < ρₙ`` (fastest rate).
+
+    The constraint guarantees *every* computer can absorb the speedup and
+    stay at a positive rate.
+    """
+    return profile.fastest_rho
+
+
+def apply_additive(profile: Profile, index: int, phi: float) -> Profile:
+    """Speed up computer ``index`` additively: ρ → ρ − φ.
+
+    Raises
+    ------
+    InvalidParameterError
+        If φ is not in ``(0, ρ_index)``.
+    """
+    rho = profile[index]
+    if not (0.0 < phi < rho):
+        raise InvalidParameterError(
+            f"additive term must satisfy 0 < φ < ρ (φ={phi!r}, ρ={rho!r})")
+    return profile.with_rho_at(index, rho - phi)
+
+
+def compare_additive(profile: Profile, params: ModelParams,
+                     i: int, j: int, phi: float) -> int:
+    """Theorem-3 comparison: is it better to speed up computer ``i`` or ``j``?
+
+    Returns ``+1`` if speeding up ``i`` completes (strictly) more work,
+    ``-1`` if ``j`` does, ``0`` on an exact tie (equal rates).  Theorem 3
+    says the *faster* (smaller-ρ) computer always wins — the test suite
+    checks this function agrees.
+    """
+    xi = x_measure(apply_additive(profile, i, phi), params)
+    xj = x_measure(apply_additive(profile, j, phi), params)
+    if xi > xj:
+        return 1
+    if xj > xi:
+        return -1
+    return 0
+
+
+def best_additive_upgrade(profile: Profile, params: ModelParams,
+                          phi: float, *, tie_break_highest_index: bool = True
+                          ) -> UpgradeChoice:
+    """Exhaustively find the single most advantageous additive upgrade.
+
+    Evaluates X after speeding up each computer in turn and returns the
+    winner.  Ties (equal-rate computers) go to the larger profile index,
+    matching the paper's Fig.-3/4 convention, unless
+    ``tie_break_highest_index`` is False (then the smaller index wins).
+
+    Theorem 3 predicts the winner is always (one of) the fastest
+    computer(s); this function does not assume that, so it doubles as the
+    theorem's empirical check.
+    """
+    if not (0.0 < phi < max_additive_term(profile)):
+        raise InvalidParameterError(
+            f"additive term must satisfy 0 < φ < ρₙ={max_additive_term(profile)!r}, "
+            f"got {phi!r}")
+    x_before = x_measure(profile, params)
+    best_index = -1
+    best_x = -np.inf
+    for c in range(profile.n):
+        x_c = x_measure(apply_additive(profile, c, phi), params)
+        better = x_c > best_x
+        tie = x_c == best_x
+        if better or (tie and tie_break_highest_index):
+            best_index, best_x = c, x_c
+    new_profile = apply_additive(profile, best_index, phi)
+    return UpgradeChoice(
+        index=best_index,
+        new_profile=new_profile,
+        x_before=x_before,
+        x_after=best_x,
+        work_ratio=work_ratio(new_profile, profile, params),
+    )
+
+
+def additive_work_ratios(profile: Profile, params: ModelParams,
+                         phi: float) -> np.ndarray:
+    """Table 4's column: work ratio from speeding up each computer in turn.
+
+    Returns ``ratios[c] = W(L; P^(c))/W(L; P)`` where ``P^(c)`` speeds up
+    computer ``c`` by φ.  Every entry exceeds 1 (Proposition 2) and the
+    entries increase toward faster computers (Theorem 3).
+    """
+    if not (0.0 < phi < max_additive_term(profile)):
+        raise InvalidParameterError(
+            f"additive term must satisfy 0 < φ < ρₙ={max_additive_term(profile)!r}, "
+            f"got {phi!r}")
+    return np.array([
+        work_ratio(apply_additive(profile, c, phi), profile, params)
+        for c in range(profile.n)
+    ])

@@ -1,0 +1,207 @@
+"""Budget-constrained upgrade selection (extension of paper §3).
+
+Theorems 3–4 answer "which *one* machine should be replaced?".  The
+procurement-shaped version: given a catalogue of candidate upgrades —
+each replacing one machine's rate at a price — and a budget, choose the
+set maximising the cluster's power, with at most one upgrade per
+machine.  This is a multiple-choice knapsack; the module provides
+
+* :func:`plan_budgeted_upgrades` — exact branch-and-bound search
+  (suitable for catalogues up to ~20 machines with a few options each),
+* :func:`greedy_budgeted_upgrades` — a marginal-X-per-cost heuristic
+  for large catalogues,
+
+and the test suite measures the greedy/exact gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+__all__ = ["UpgradeOption", "BudgetPlan", "plan_budgeted_upgrades",
+           "greedy_budgeted_upgrades"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpgradeOption:
+    """One purchasable upgrade: machine ``index`` becomes rate ``new_rho``
+    for ``cost``."""
+
+    index: int
+    new_rho: float
+    cost: float
+
+    def validate(self, profile: Profile) -> None:
+        if not (0 <= self.index < profile.n):
+            raise InvalidParameterError(
+                f"option targets unknown machine {self.index}")
+        if self.new_rho <= 0 or self.new_rho >= profile[self.index]:
+            raise InvalidParameterError(
+                f"option must strictly speed machine {self.index} up "
+                f"(rho {profile[self.index]!r} → {self.new_rho!r})")
+        if self.cost < 0:
+            raise InvalidParameterError(f"cost must be nonnegative, got {self.cost!r}")
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """A chosen set of upgrades and its outcome."""
+
+    chosen: tuple[UpgradeOption, ...]
+    new_profile: Profile
+    x_before: float
+    x_after: float
+    total_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative X gain of the plan."""
+        return self.x_after / self.x_before - 1.0
+
+
+def _apply(profile: Profile, chosen: Sequence[UpgradeOption]) -> Profile:
+    rho = profile.rho.copy()
+    for option in chosen:
+        rho[option.index] = option.new_rho
+    return Profile(rho)
+
+
+def _validate_inputs(profile: Profile, options: Sequence[UpgradeOption],
+                     budget: float) -> None:
+    if budget < 0:
+        raise InvalidParameterError(f"budget must be nonnegative, got {budget!r}")
+    for option in options:
+        option.validate(profile)
+
+
+def plan_budgeted_upgrades(profile: Profile, params: ModelParams,
+                           options: Sequence[UpgradeOption],
+                           budget: float) -> BudgetPlan:
+    """Exact optimum of the budgeted-upgrade problem.
+
+    Depth-first branch and bound over machines (choices per machine: any
+    affordable option or none).  Pruning uses the admissible bound of
+    taking every remaining machine's best option for free, so typical
+    catalogues resolve far faster than the worst case; the worst case is
+    ``Π (1 + options_i)`` leaves.
+
+    Raises
+    ------
+    InvalidParameterError
+        For malformed options or a search space beyond 2 million leaves.
+    """
+    _validate_inputs(profile, options, budget)
+    by_machine: dict[int, list[UpgradeOption]] = {}
+    for option in options:
+        by_machine.setdefault(option.index, []).append(option)
+    machines = sorted(by_machine)
+
+    leaves = 1.0
+    for m in machines:
+        leaves *= 1 + len(by_machine[m])
+    if leaves > 2e6:
+        raise InvalidParameterError(
+            f"catalogue too large for exact search ({leaves:.0f} leaves); "
+            f"use greedy_budgeted_upgrades")
+
+    x_before = x_measure(profile, params)
+    best_x = x_before
+    best_choice: tuple[UpgradeOption, ...] = ()
+
+    # Admissible bound: X if every remaining machine took its fastest
+    # option for free (X is monotone in speeding machines up).
+    def optimistic_x(position: int, rho: np.ndarray) -> float:
+        optimistic = rho.copy()
+        for m in machines[position:]:
+            fastest = min(opt.new_rho for opt in by_machine[m])
+            optimistic[m] = min(optimistic[m], fastest)
+        return x_measure(optimistic, params)
+
+    def search(position: int, rho: np.ndarray, spent: float,
+               chosen: list[UpgradeOption]) -> None:
+        nonlocal best_x, best_choice
+        if position == len(machines):
+            x = x_measure(rho, params)
+            if x > best_x:
+                best_x = x
+                best_choice = tuple(chosen)
+            return
+        if optimistic_x(position, rho) <= best_x:
+            return  # even free upgrades can't beat the incumbent
+        machine = machines[position]
+        # Option: skip this machine.
+        search(position + 1, rho, spent, chosen)
+        for option in by_machine[machine]:
+            if spent + option.cost <= budget:
+                new_rho = rho.copy()
+                new_rho[machine] = option.new_rho
+                chosen.append(option)
+                search(position + 1, new_rho, spent + option.cost, chosen)
+                chosen.pop()
+
+    search(0, profile.rho.copy(), 0.0, [])
+    new_profile = _apply(profile, best_choice)
+    return BudgetPlan(
+        chosen=best_choice,
+        new_profile=new_profile,
+        x_before=x_before,
+        x_after=best_x,
+        total_cost=sum(o.cost for o in best_choice),
+    )
+
+
+def greedy_budgeted_upgrades(profile: Profile, params: ModelParams,
+                             options: Sequence[UpgradeOption],
+                             budget: float) -> BudgetPlan:
+    """Greedy heuristic: repeatedly buy the best affordable ΔX-per-cost.
+
+    Each round evaluates every remaining affordable option against the
+    current profile and buys the one with the largest X gain per unit
+    cost (free options rank by raw gain); a machine is upgraded at most
+    once.  O(rounds · |options| · n).
+    """
+    _validate_inputs(profile, options, budget)
+    x_before = x_measure(profile, params)
+    current = profile
+    remaining = list(options)
+    spent = 0.0
+    chosen: list[UpgradeOption] = []
+    upgraded: set[int] = set()
+
+    while True:
+        x_current = x_measure(current, params)
+        best_option = None
+        best_score = 0.0
+        for option in remaining:
+            if option.index in upgraded or spent + option.cost > budget:
+                continue
+            if option.new_rho >= current[option.index]:
+                continue  # a previous purchase made this option moot
+            gain = x_measure(current.with_rho_at(option.index, option.new_rho),
+                             params) - x_current
+            score = gain / option.cost if option.cost > 0 else np.inf if gain > 0 else 0.0
+            if score > best_score:
+                best_score = score
+                best_option = option
+        if best_option is None:
+            break
+        chosen.append(best_option)
+        upgraded.add(best_option.index)
+        spent += best_option.cost
+        current = current.with_rho_at(best_option.index, best_option.new_rho)
+
+    return BudgetPlan(
+        chosen=tuple(chosen),
+        new_profile=current,
+        x_before=x_before,
+        x_after=x_measure(current, params),
+        total_cost=spent,
+    )

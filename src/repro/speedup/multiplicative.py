@@ -1,0 +1,143 @@
+"""Multiplicative speedups (paper §3.2.2, Theorem 4).
+
+A *multiplicative* speedup replaces a computer of rate ρ with one of rate
+ψ·ρ for a factor ``0 < ψ < 1``.  Unlike the additive case, the best
+target depends on a threshold: for computers Cᵢ (slower, rate ρᵢ) and Cⱼ
+(faster, rate ρⱼ < ρᵢ),
+
+* if ``ψ·ρᵢ·ρⱼ > A·τδ/B²`` — speed up the **faster** computer Cⱼ
+  (Theorem 4, condition 1);
+* if ``ψ·ρᵢ·ρⱼ < A·τδ/B²`` — speed up the **slower** computer Cᵢ
+  (condition 2: the faster computer is already "very fast", or ψ is
+  very aggressive).
+
+The proof's sign identity,
+
+.. math::
+
+    Ξ^{[j]} − Ξ^{[i]} = B·(B²ψρ_iρ_j − Aτδ)·(1 − ψ)(ρ_i − ρ_j),
+
+is exposed directly (:func:`theorem4_margin`) so tests can verify the
+predicate against both brute-force X comparison and the exact-rational
+evaluation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.measure import work_ratio, x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.additive import UpgradeChoice
+
+__all__ = [
+    "SpeedupRegime",
+    "apply_multiplicative",
+    "theorem4_margin",
+    "theorem4_regime",
+    "compare_multiplicative",
+    "best_multiplicative_upgrade",
+]
+
+
+class SpeedupRegime(Enum):
+    """Which Theorem-4 condition governs a pairwise comparison."""
+
+    FASTER_WINS = "condition-1"     # ψρᵢρⱼ > Aτδ/B²
+    SLOWER_WINS = "condition-2"     # ψρᵢρⱼ < Aτδ/B²
+    BOUNDARY = "boundary"           # exact equality: either choice ties
+    MIXED = "mixed"                 # a middle computer won: condition 1
+    #                                 against slower peers, condition 2
+    #                                 against faster ones (trajectory use)
+
+
+def apply_multiplicative(profile: Profile, index: int, psi: float) -> Profile:
+    """Speed up computer ``index`` multiplicatively: ρ → ψ·ρ.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ψ is not in ``(0, 1)``.
+    """
+    if not (0.0 < psi < 1.0):
+        raise InvalidParameterError(f"multiplicative factor must satisfy 0 < ψ < 1, got {psi!r}")
+    return profile.with_rho_at(index, psi * profile[index])
+
+
+def theorem4_margin(rho_i: float, rho_j: float, psi: float,
+                    params: ModelParams) -> float:
+    """The decisive quantity ``ψ·ρᵢ·ρⱼ − A·τδ/B²``.
+
+    Positive ⇒ condition 1 (speed up the faster computer); negative ⇒
+    condition 2 (speed up the slower).  Symmetric in ρᵢ, ρⱼ.
+    """
+    if rho_i <= 0 or rho_j <= 0:
+        raise InvalidParameterError(
+            f"rho values must be positive, got {rho_i!r}, {rho_j!r}")
+    if not (0.0 < psi < 1.0):
+        raise InvalidParameterError(f"multiplicative factor must satisfy 0 < ψ < 1, got {psi!r}")
+    return psi * rho_i * rho_j - params.speedup_threshold
+
+
+def theorem4_regime(rho_i: float, rho_j: float, psi: float,
+                    params: ModelParams) -> SpeedupRegime:
+    """Classify a pairwise comparison into Theorem 4's regimes."""
+    margin = theorem4_margin(rho_i, rho_j, psi, params)
+    if margin > 0.0:
+        return SpeedupRegime.FASTER_WINS
+    if margin < 0.0:
+        return SpeedupRegime.SLOWER_WINS
+    return SpeedupRegime.BOUNDARY
+
+
+def compare_multiplicative(profile: Profile, params: ModelParams,
+                           i: int, j: int, psi: float) -> int:
+    """Brute-force comparison: speed up ``i`` or ``j`` by the factor ψ?
+
+    Returns ``+1`` if speeding up ``i`` yields strictly more work, ``-1``
+    for ``j``, ``0`` on a tie.  Theorem 4 predicts the sign from
+    :func:`theorem4_margin` alone whenever ρᵢ ≠ ρⱼ; the tests confirm.
+    """
+    xi = x_measure(apply_multiplicative(profile, i, psi), params)
+    xj = x_measure(apply_multiplicative(profile, j, psi), params)
+    if xi > xj:
+        return 1
+    if xj > xi:
+        return -1
+    return 0
+
+
+def best_multiplicative_upgrade(profile: Profile, params: ModelParams,
+                                psi: float, *, tie_break_highest_index: bool = True,
+                                tie_tolerance: float = 0.0) -> UpgradeChoice:
+    """Exhaustively find the best single multiplicative upgrade.
+
+    Evaluates X after speeding each computer up by ψ and picks the
+    winner; ties go to the larger index (the Fig.-3/4 convention) when
+    ``tie_break_highest_index`` is set.  ``tie_tolerance`` widens the tie
+    test to a relative band — useful because equal-rate computers give
+    X-values agreeing only to rounding error.
+    """
+    if not (0.0 < psi < 1.0):
+        raise InvalidParameterError(f"multiplicative factor must satisfy 0 < ψ < 1, got {psi!r}")
+    x_before = x_measure(profile, params)
+    x_after = np.array([
+        x_measure(apply_multiplicative(profile, c, psi), params)
+        for c in range(profile.n)
+    ])
+    best_x = float(x_after.max())
+    tol = tie_tolerance * max(abs(best_x), 1.0)
+    candidates = np.flatnonzero(x_after >= best_x - tol)
+    best_index = int(candidates.max() if tie_break_highest_index else candidates.min())
+    new_profile = apply_multiplicative(profile, best_index, psi)
+    return UpgradeChoice(
+        index=best_index,
+        new_profile=new_profile,
+        x_before=x_before,
+        x_after=float(x_after[best_index]),
+        work_ratio=work_ratio(new_profile, profile, params),
+    )

@@ -1,0 +1,166 @@
+"""Upgrade planning: sequencing and budgeting cluster speedups.
+
+The paper answers "which single computer should I replace?" (Theorems 3
+and 4).  A practitioner usually faces the sequential version: *given a
+budget of k upgrades, which sequence maximises the cluster's power?*
+This module provides that layer on top of the single-step theory:
+
+* :func:`plan_additive` / :func:`plan_multiplicative` — greedy sequences
+  of optimal single upgrades (each step provably optimal in isolation);
+* :func:`exhaustive_multiplicative_plan` — brute-force search over all
+  length-k upgrade sequences, used in tests and ablations to measure how
+  close greedy comes to the true optimum;
+* :class:`UpgradePlan` — the recorded sequence with per-step payoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.measure import work_ratio, x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.additive import UpgradeChoice, best_additive_upgrade
+from repro.speedup.multiplicative import (
+    apply_multiplicative,
+    best_multiplicative_upgrade,
+)
+
+__all__ = [
+    "UpgradePlan",
+    "plan_additive",
+    "plan_multiplicative",
+    "exhaustive_multiplicative_plan",
+]
+
+
+@dataclass(frozen=True)
+class UpgradePlan:
+    """A sequence of single-computer upgrades and its cumulative payoff.
+
+    Attributes
+    ----------
+    initial_profile, final_profile:
+        Cluster before the first and after the last upgrade.
+    steps:
+        Per-step :class:`~repro.speedup.additive.UpgradeChoice` records.
+    total_work_ratio:
+        ``W(L; final)/W(L; initial)`` — the plan's overall payoff.
+    """
+
+    initial_profile: Profile
+    final_profile: Profile
+    steps: tuple[UpgradeChoice, ...]
+    total_work_ratio: float
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def chosen_sequence(self) -> tuple[int, ...]:
+        """Profile indices upgraded, in order."""
+        return tuple(step.index for step in self.steps)
+
+
+def plan_additive(profile: Profile, params: ModelParams, phi: float,
+                  n_steps: int) -> UpgradePlan:
+    """Greedy plan: ``n_steps`` optimal additive upgrades of term φ each.
+
+    By Theorem 3 each greedy step targets the then-fastest computer, so
+    the plan concentrates all upgrades on one machine (whose rate drops
+    by φ per step).  φ must stay admissible throughout:
+    ``n_steps·φ < ρₙ`` is *not* required a priori, but the plan raises if
+    an intermediate step would drive a rate to zero or below.
+    """
+    if n_steps < 0:
+        raise InvalidParameterError(f"n_steps must be nonnegative, got {n_steps}")
+    steps: list[UpgradeChoice] = []
+    current = profile
+    for _ in range(n_steps):
+        choice = best_additive_upgrade(current, params, phi)
+        steps.append(choice)
+        current = choice.new_profile
+    return UpgradePlan(
+        initial_profile=profile,
+        final_profile=current,
+        steps=tuple(steps),
+        total_work_ratio=work_ratio(current, profile, params),
+    )
+
+
+def plan_multiplicative(profile: Profile, params: ModelParams, psi: float,
+                        n_steps: int, *, tie_break_highest_index: bool = True,
+                        tie_tolerance: float = 1e-12) -> UpgradePlan:
+    """Greedy plan: ``n_steps`` optimal multiplicative upgrades of factor ψ.
+
+    This is the engine behind the Figure 3/4 experiment (via
+    :mod:`repro.speedup.trajectory`, which additionally classifies each
+    round).
+    """
+    if n_steps < 0:
+        raise InvalidParameterError(f"n_steps must be nonnegative, got {n_steps}")
+    steps: list[UpgradeChoice] = []
+    current = profile
+    for _ in range(n_steps):
+        choice = best_multiplicative_upgrade(
+            current, params, psi,
+            tie_break_highest_index=tie_break_highest_index,
+            tie_tolerance=tie_tolerance)
+        steps.append(choice)
+        current = choice.new_profile
+    return UpgradePlan(
+        initial_profile=profile,
+        final_profile=current,
+        steps=tuple(steps),
+        total_work_ratio=work_ratio(current, profile, params),
+    )
+
+
+def exhaustive_multiplicative_plan(profile: Profile, params: ModelParams,
+                                   psi: float, n_steps: int) -> UpgradePlan:
+    """Brute-force the best length-k multiplicative upgrade *sequence*.
+
+    Enumerates all ``n^k`` assignment sequences (the order within a
+    sequence does not affect the final profile, but enumerating
+    sequences keeps the comparison with greedy transparent) and returns
+    the best final profile.  Exponential — intended for the small
+    clusters of tests and ablations (n·k ≲ 20).
+    """
+    if n_steps < 0:
+        raise InvalidParameterError(f"n_steps must be nonnegative, got {n_steps}")
+    if profile.n ** n_steps > 200_000:
+        raise InvalidParameterError(
+            f"exhaustive search over {profile.n}^{n_steps} sequences is too large; "
+            f"use plan_multiplicative instead")
+    best_x = -float("inf")
+    best_sequence: tuple[int, ...] = ()
+    for sequence in product(range(profile.n), repeat=n_steps):
+        candidate = profile
+        for index in sequence:
+            candidate = apply_multiplicative(candidate, index, psi)
+        x = x_measure(candidate, params)
+        if x > best_x:
+            best_x = x
+            best_sequence = sequence
+
+    # Re-walk the best sequence to produce step records.
+    steps: list[UpgradeChoice] = []
+    current = profile
+    for index in best_sequence:
+        new_profile = apply_multiplicative(current, index, psi)
+        steps.append(UpgradeChoice(
+            index=index,
+            new_profile=new_profile,
+            x_before=x_measure(current, params),
+            x_after=x_measure(new_profile, params),
+            work_ratio=work_ratio(new_profile, current, params),
+        ))
+        current = new_profile
+    return UpgradePlan(
+        initial_profile=profile,
+        final_profile=current,
+        steps=tuple(steps),
+        total_work_ratio=work_ratio(current, profile, params),
+    )

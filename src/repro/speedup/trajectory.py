@@ -1,0 +1,199 @@
+"""Iterative optimal-speedup trajectories (the experiment of Figs. 3–4).
+
+The paper's simulation-based experiment starts from a homogeneous
+4-computer cluster ⟨1,1,1,1⟩ and repeatedly applies the *best* single
+multiplicative speedup (ψ = 1/2), breaking ties toward the larger index.
+Theorem 4 predicts the observed two-phase behaviour:
+
+* **Phase 1** (Fig. 3): while ``ψ·ρᵢ·ρⱼ`` exceeds the threshold
+  ``A·τδ/B²`` for the relevant pairs, the *fastest* computer is sped up
+  again and again — each computer rides down 1 → 1/2 → … → 1/16 in turn.
+* **Phase 2** (Fig. 4): once every computer is "very fast" (all products
+  fall below the threshold), every subsequent round speeds up the
+  *slowest* computer.
+
+:func:`run_trajectory` reproduces the experiment for any starting
+profile, factor and parameters, recording one :class:`RoundSnapshot` per
+round with the chosen computer, the tie set, and the Theorem-4 regime
+that explains the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.multiplicative import (
+    SpeedupRegime,
+    apply_multiplicative,
+)
+
+__all__ = ["RoundSnapshot", "Trajectory", "run_trajectory"]
+
+#: Relative tolerance under which two candidate X-values count as tied.
+#: Speeding up equal-rate computers yields mathematically identical X but
+#: the cumulative products round differently, so exact comparison would
+#: turn ties into accidents of ordering.
+TIE_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """One round of the iterative-speedup experiment.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number.
+    profile_before, profile_after:
+        Cluster profiles at the round's start and end.
+    chosen:
+        Profile index of the computer that was sped up.
+    tied:
+        All indices whose candidate X was within tolerance of the best
+        (``len(tied) > 1`` means the tie-break rule decided).
+    regime:
+        The Theorem-4 condition that explains the choice: ``FASTER_WINS``
+        when the chosen computer belongs to the fastest speed class,
+        ``SLOWER_WINS`` when it belongs to the slowest, ``MIXED`` when a
+        middle computer won (condition 1 against slower peers, condition
+        2 against faster ones), ``None`` for a homogeneous cluster
+        (pure tie-break).
+    x_before, x_after:
+        X-measures around the round.
+    """
+
+    round_index: int
+    profile_before: Profile
+    profile_after: Profile
+    chosen: int
+    tied: tuple[int, ...]
+    regime: SpeedupRegime | None
+    x_before: float
+    x_after: float
+
+    @property
+    def was_tie_break(self) -> bool:
+        """Whether more than one candidate tied for best."""
+        return len(self.tied) > 1
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A full iterative-speedup run: the sequence of round snapshots."""
+
+    initial_profile: Profile
+    params: ModelParams
+    psi: float
+    rounds: tuple[RoundSnapshot, ...]
+
+    @property
+    def final_profile(self) -> Profile:
+        return self.rounds[-1].profile_after if self.rounds else self.initial_profile
+
+    def profiles_matrix(self) -> np.ndarray:
+        """Stack of profiles: row 0 the initial, row k after round k.
+
+        This is the data behind the paper's bar-graph snapshot figures.
+        """
+        rows = [self.initial_profile.rho]
+        rows += [snap.profile_after.rho for snap in self.rounds]
+        return np.vstack(rows)
+
+    def chosen_sequence(self) -> tuple[int, ...]:
+        """Profile indices sped up, round by round."""
+        return tuple(snap.chosen for snap in self.rounds)
+
+    def regime_sequence(self) -> tuple[SpeedupRegime | None, ...]:
+        """The governing Theorem-4 regime, round by round."""
+        return tuple(snap.regime for snap in self.rounds)
+
+    def __iter__(self) -> Iterator[RoundSnapshot]:
+        return iter(self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+def _classify(profile: Profile, chosen: int, psi: float,
+              params: ModelParams) -> SpeedupRegime | None:
+    """Explain a round's choice in Theorem-4 terms.
+
+    Compares the chosen computer's speed class against the profile's
+    distinct speed classes: choosing from the fastest class is
+    condition 1 behaviour, from the slowest class condition 2; a
+    homogeneous profile has nothing to compare (None).
+    """
+    rho = profile.rho
+    distinct = np.unique(rho)
+    if distinct.size == 1:
+        return None
+    chosen_rho = rho[chosen]
+    if chosen_rho == distinct[0]:       # fastest class: condition-1 behaviour
+        return SpeedupRegime.FASTER_WINS
+    if chosen_rho == distinct[-1]:      # slowest class: condition-2 behaviour
+        return SpeedupRegime.SLOWER_WINS
+    # A middle computer won: it beat its slower peers under condition 1
+    # and its faster peers under condition 2 simultaneously.
+    return SpeedupRegime.MIXED
+
+
+def run_trajectory(initial_profile: Profile, params: ModelParams, psi: float,
+                   n_rounds: int, *, tie_break_highest_index: bool = True) -> Trajectory:
+    """Run ``n_rounds`` of the optimal-multiplicative-speedup experiment.
+
+    Parameters
+    ----------
+    initial_profile:
+        Starting cluster (the paper uses ``Profile.homogeneous(4)``).
+    params:
+        Architectural parameters (the paper's figures need the
+        :data:`repro.core.params.FIG34_CALIBRATION` threshold — see
+        DESIGN.md).
+    psi:
+        Multiplicative factor per round, ``0 < ψ < 1`` (paper: 1/2).
+    n_rounds:
+        Number of speedup rounds to perform.
+    tie_break_highest_index:
+        The paper's convention: among tied candidates, speed up the one
+        with the larger index.
+    """
+    if n_rounds < 0:
+        raise InvalidParameterError(f"n_rounds must be nonnegative, got {n_rounds}")
+    if not (0.0 < psi < 1.0):
+        raise InvalidParameterError(f"psi must satisfy 0 < ψ < 1, got {psi!r}")
+
+    snapshots: list[RoundSnapshot] = []
+    profile = initial_profile
+    for round_index in range(1, n_rounds + 1):
+        x_before = x_measure(profile, params)
+        x_candidates = np.array([
+            x_measure(apply_multiplicative(profile, c, psi), params)
+            for c in range(profile.n)
+        ])
+        best = float(x_candidates.max())
+        tol = TIE_RTOL * max(abs(best), 1.0)
+        tied = tuple(int(i) for i in np.flatnonzero(x_candidates >= best - tol))
+        chosen = max(tied) if tie_break_highest_index else min(tied)
+        regime = _classify(profile, chosen, psi, params)
+        new_profile = apply_multiplicative(profile, chosen, psi)
+        snapshots.append(RoundSnapshot(
+            round_index=round_index,
+            profile_before=profile,
+            profile_after=new_profile,
+            chosen=chosen,
+            tied=tied,
+            regime=regime,
+            x_before=x_before,
+            x_after=float(x_candidates[chosen]),
+        ))
+        profile = new_profile
+
+    return Trajectory(initial_profile=initial_profile, params=params, psi=psi,
+                      rounds=tuple(snapshots))

@@ -1,0 +1,25 @@
+"""Shared utilities: array validation, number formatting, ASCII rendering."""
+
+from repro.util.arrays import (
+    as_float_vector,
+    is_nonincreasing,
+    is_nondecreasing,
+    validate_positive_vector,
+)
+from repro.util.format import (
+    format_quantity,
+    format_ratio,
+    format_seconds,
+    significant,
+)
+
+__all__ = [
+    "as_float_vector",
+    "is_nonincreasing",
+    "is_nondecreasing",
+    "validate_positive_vector",
+    "format_quantity",
+    "format_ratio",
+    "format_seconds",
+    "significant",
+]

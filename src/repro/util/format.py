@@ -1,0 +1,60 @@
+"""Small formatting helpers for experiment reports and CLI output."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["significant", "format_seconds", "format_ratio", "format_quantity"]
+
+_SI_PREFIXES = [
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "µs"),
+    (1e-9, "ns"),
+]
+
+
+def significant(x: float, digits: int = 3) -> str:
+    """Format ``x`` with ``digits`` significant figures.
+
+    >>> significant(0.123456, 3)
+    '0.123'
+    >>> significant(12345.6, 3)
+    '1.23e+04'
+    """
+    if x == 0:
+        return "0"
+    if not math.isfinite(x):
+        return str(x)
+    magnitude = math.floor(math.log10(abs(x)))
+    if -4 <= magnitude < digits + 1:
+        decimals = max(0, digits - 1 - magnitude)
+        return f"{x:.{decimals}f}"
+    return f"{x:.{digits - 1}e}"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration in the most natural SI unit.
+
+    >>> format_seconds(1.1e-05)
+    '11 µs'
+    """
+    if t == 0:
+        return "0 s"
+    for scale, unit in _SI_PREFIXES:
+        if abs(t) >= scale:
+            value = t / scale
+            text = f"{value:.6g}"
+            return f"{text} {unit}"
+    return f"{t:.3e} s"
+
+
+def format_ratio(r: float, decimals: int = 3) -> str:
+    """Render a work/power ratio the way the paper's tables do (e.g. 1.159)."""
+    return f"{r:.{decimals}f}"
+
+
+def format_quantity(value: float, unit: str = "") -> str:
+    """Render ``value`` with 6 significant digits and an optional unit suffix."""
+    text = f"{value:.6g}"
+    return f"{text} {unit}".strip()

@@ -1,0 +1,95 @@
+"""Unit tests for repro.analysis.asymptotics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.asymptotics import (
+    cluster_size_for_coverage,
+    homogeneous_returns_curve,
+    marginal_computer_value,
+    saturation_fraction,
+    saturation_x,
+)
+from repro.core.homogeneous import homogeneous_x
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+
+class TestSaturation:
+    def test_ceiling_value(self, paper_params):
+        assert saturation_x(paper_params) == pytest.approx(
+            1.0 / paper_params.A_minus_tau_delta)
+
+    def test_degenerate_ceiling_infinite(self):
+        params = ModelParams(tau=0.2, pi=0.0, delta=1.0)
+        assert math.isinf(saturation_x(params))
+        assert saturation_fraction(Profile([1.0, 0.5]), params) == 0.0
+
+    def test_fraction_in_unit_interval(self, paper_params, table4_profile):
+        frac = saturation_fraction(table4_profile, paper_params)
+        assert 0.0 < frac < 1.0
+
+    def test_fraction_grows_with_cluster(self, paper_params):
+        fracs = [saturation_fraction(Profile.linear(n), paper_params)
+                 for n in (4, 16, 64)]
+        assert fracs == sorted(fracs)
+
+
+class TestReturnsCurve:
+    def test_matches_closed_form(self, paper_params):
+        sizes = [1, 2, 8, 64]
+        curve = homogeneous_returns_curve(0.5, paper_params, sizes)
+        for n, x in zip(sizes, curve):
+            assert x == pytest.approx(homogeneous_x(n, 0.5, paper_params))
+
+    def test_concave_increasing(self, paper_params):
+        sizes = list(range(1, 40))
+        curve = homogeneous_returns_curve(0.5, paper_params, sizes)
+        diffs = np.diff(curve)
+        assert (diffs > 0.0).all()           # increasing
+        assert (np.diff(diffs) <= 1e-12).all()  # diminishing returns
+
+
+class TestCoverage:
+    def test_roundtrip_through_closed_form(self, paper_params):
+        n = cluster_size_for_coverage(1.0, paper_params, 0.5)
+        x = homogeneous_x(int(round(n)), 1.0, paper_params)
+        target = 0.5 * saturation_x(paper_params)
+        assert x == pytest.approx(target, rel=1e-3)
+
+    def test_higher_coverage_needs_more_machines(self, paper_params):
+        n50 = cluster_size_for_coverage(1.0, paper_params, 0.5)
+        n95 = cluster_size_for_coverage(1.0, paper_params, 0.95)
+        assert n95 > n50
+
+    def test_invalid_coverage(self, paper_params):
+        for bad in (0.0, 1.0, 1.5):
+            with pytest.raises(InvalidParameterError):
+                cluster_size_for_coverage(1.0, paper_params, bad)
+
+    def test_degenerate_environment_rejected(self):
+        params = ModelParams(tau=0.2, pi=0.0, delta=1.0)
+        with pytest.raises(InvalidParameterError):
+            cluster_size_for_coverage(1.0, params, 0.9)
+
+
+class TestMarginalComputer:
+    def test_matches_extension_difference(self, heavy_comm_params, table4_profile):
+        for new_rho in (1.0, 0.3, 0.05):
+            delta = marginal_computer_value(table4_profile, heavy_comm_params, new_rho)
+            direct = (x_measure(table4_profile.extended(new_rho), heavy_comm_params)
+                      - x_measure(table4_profile, heavy_comm_params))
+            assert delta == pytest.approx(direct, rel=1e-11)
+
+    def test_faster_newcomer_worth_more(self, paper_params, table4_profile):
+        slow = marginal_computer_value(table4_profile, paper_params, 1.0)
+        fast = marginal_computer_value(table4_profile, paper_params, 0.1)
+        assert fast > slow
+
+    def test_rejects_bad_rho(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            marginal_computer_value(table4_profile, paper_params, 0.0)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.analysis.marginal."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.marginal import (
+    computer_contributions,
+    marginal_speedup_value,
+    most_critical_computer,
+    x_gradient,
+)
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestGradient:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_matches_finite_differences(self, profile, params):
+        grad = x_gradient(profile, params)
+        eps = 1e-7
+        for i in range(profile.n):
+            bumped = profile.with_rho_at(i, profile[i] + eps)
+            fd = (x_measure(bumped, params) - x_measure(profile, params)) / eps
+            assert grad[i] == pytest.approx(fd, rel=5e-5), i
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_all_entries_negative(self, params, table4_profile):
+        assert (x_gradient(table4_profile, params) < 0.0).all()
+
+    def test_theorem3_differential_form(self, paper_params):
+        # Marginal speedup value is largest for the fastest computer.
+        profile = Profile([1.0, 0.6, 0.3, 0.1])
+        value = marginal_speedup_value(profile, paper_params)
+        assert int(np.argmax(value)) == 3
+        assert (np.diff(value) > 0.0).all()
+
+    def test_single_computer(self, paper_params):
+        grad = x_gradient([0.5], paper_params)
+        B, A = paper_params.B, paper_params.A
+        assert grad[0] == pytest.approx(-B / (B * 0.5 + A) ** 2, rel=1e-12)
+
+    def test_order_invariance(self, heavy_comm_params, rng):
+        profile = Profile([1.0, 0.5, 0.25, 0.125])
+        grad = x_gradient(profile, heavy_comm_params)
+        order = rng.permutation(4)
+        permuted_grad = x_gradient(profile.permuted(order), heavy_comm_params)
+        assert permuted_grad == pytest.approx(grad[order], rel=1e-12)
+
+    def test_delta_zero_fast_computer_stable(self):
+        # τδ = 0 makes one ratio factor tiny; the prefix/suffix product
+        # formulation must stay finite and correct.
+        params = ModelParams(tau=1e-3, pi=1e-4, delta=0.0)
+        profile = Profile([1.0, 1e-6])
+        grad = x_gradient(profile, params)
+        assert np.all(np.isfinite(grad))
+        eps = 1e-10
+        fd = (x_measure(profile.with_rho_at(1, 1e-6 + eps), params)
+              - x_measure(profile, params)) / eps
+        assert grad[1] == pytest.approx(fd, rel=1e-3)
+
+
+class TestContributions:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_matches_removal_difference(self, params, table4_profile):
+        contrib = computer_contributions(table4_profile, params)
+        x_full = x_measure(table4_profile, params)
+        for i in range(table4_profile.n):
+            x_without = x_measure(table4_profile.without(i), params)
+            assert contrib[i] == pytest.approx(x_full - x_without, rel=1e-11), i
+
+    def test_all_positive(self, paper_params, table4_profile):
+        assert (computer_contributions(table4_profile, paper_params) > 0.0).all()
+
+    def test_fastest_contributes_most_in_calm_regime(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.1])
+        assert most_critical_computer(profile, paper_params) == 2
+
+    def test_single_computer_contribution_is_x(self, paper_params):
+        profile = Profile([0.5])
+        contrib = computer_contributions(profile, paper_params)
+        assert contrib[0] == pytest.approx(x_measure(profile, paper_params))

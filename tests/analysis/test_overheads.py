@@ -1,0 +1,78 @@
+"""Unit tests for repro.analysis.overheads."""
+
+import pytest
+
+from repro.analysis.overheads import (
+    latency_adjusted_work,
+    lifespan_efficiency,
+    min_lifespan_for_efficiency,
+)
+from repro.core.measure import work_production
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+
+class TestLatencyAdjustedWork:
+    def test_zero_latency_recovers_fluid_model(self, paper_params, table4_profile):
+        assert latency_adjusted_work(table4_profile, paper_params, 100.0, 0.0) == (
+            pytest.approx(work_production(table4_profile, paper_params, 100.0)))
+
+    def test_latency_costs_exactly_2n_lambda_of_lifespan(self, paper_params,
+                                                         table4_profile):
+        lam = 0.5
+        full = latency_adjusted_work(table4_profile, paper_params, 100.0, 0.0)
+        adj = latency_adjusted_work(table4_profile, paper_params, 100.0, lam)
+        lost_time = 2 * table4_profile.n * lam
+        assert adj == pytest.approx(full * (100.0 - lost_time) / 100.0, rel=1e-12)
+
+    def test_too_short_lifespan_produces_nothing(self, paper_params):
+        profile = Profile.linear(50)
+        # 2·50·2 = 200 > L = 100: the round's fixed costs eat the lifespan.
+        assert latency_adjusted_work(profile, paper_params, 100.0, 2.0) == 0.0
+
+    def test_cluster_can_be_too_large(self, paper_params):
+        # With fixed costs, the bigger cluster can deliver LESS work over
+        # a short engagement — impossible in the pure fluid model.
+        lam, L = 1.0, 85.0
+        small = latency_adjusted_work(Profile.homogeneous(4, 0.25),
+                                      paper_params, L, lam)
+        large = latency_adjusted_work(Profile.homogeneous(40, 0.25),
+                                      paper_params, L, lam)
+        assert large < small
+
+    def test_rejects_negative_latency(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            latency_adjusted_work(table4_profile, paper_params, 10.0, -1.0)
+
+
+class TestEfficiency:
+    def test_formula(self, table4_profile):
+        assert lifespan_efficiency(table4_profile, 100.0, 0.5) == pytest.approx(
+            1.0 - 2 * 4 * 0.5 / 100.0)
+
+    def test_clamped_at_zero(self, table4_profile):
+        assert lifespan_efficiency(table4_profile, 1.0, 10.0) == 0.0
+
+    def test_improves_with_lifespan(self, table4_profile):
+        effs = [lifespan_efficiency(table4_profile, L, 0.1)
+                for L in (10.0, 100.0, 1000.0)]
+        assert effs == sorted(effs)
+
+
+class TestMinLifespan:
+    def test_inverse_of_efficiency(self, table4_profile):
+        lam, target = 0.25, 0.95
+        L = min_lifespan_for_efficiency(table4_profile, lam, target)
+        assert lifespan_efficiency(table4_profile, L, lam) == pytest.approx(target)
+
+    def test_scales_with_cluster_size(self, paper_params):
+        lam = 0.1
+        small = min_lifespan_for_efficiency(Profile.linear(4), lam)
+        large = min_lifespan_for_efficiency(Profile.linear(16), lam)
+        assert large == pytest.approx(4.0 * small)
+
+    def test_target_validated(self, table4_profile):
+        for bad in (0.0, 1.0, 2.0):
+            with pytest.raises(InvalidParameterError):
+                min_lifespan_for_efficiency(table4_profile, 0.1, bad)

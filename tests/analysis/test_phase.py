@@ -1,0 +1,62 @@
+"""Unit tests for repro.analysis.phase."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase import (
+    HeterogeneityGainGrid,
+    equal_mean_gain,
+    heterogeneity_gain_grid,
+)
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+
+class TestEqualMeanGain:
+    def test_corollary1_two_computers(self, paper_params):
+        assert equal_mean_gain(Profile([0.9, 0.1]), paper_params) > 1.0
+
+    def test_homogeneous_cluster_gains_nothing(self, paper_params):
+        assert equal_mean_gain(Profile([0.5, 0.5]), paper_params) == pytest.approx(1.0)
+
+    def test_can_lose_for_larger_n(self, paper_params):
+        # Spread concentrated in the slow half: heterogeneity hurts.
+        # ⟨0.98, 0.98, 0.02, 0.02⟩ (mean 0.5) vs ⟨0.5,…⟩: the two nearly
+        # free computers win; flip it: spread that only *slows* machines.
+        losing = Profile([0.505, 0.505, 0.505, 0.485])
+        # mean 0.5, variance > 0 but dominated by slower-than-mean machines?
+        gain = equal_mean_gain(losing, paper_params)
+        # Not asserting < 1 (regime-dependent); assert well-defined & near 1.
+        assert gain == pytest.approx(1.0, abs=0.05)
+
+    def test_accepts_plain_sequence(self, paper_params):
+        assert equal_mean_gain([0.9, 0.1], paper_params) == pytest.approx(
+            equal_mean_gain(Profile([0.9, 0.1]), paper_params))
+
+
+class TestGainGrid:
+    @pytest.fixture(scope="class")
+    def grid(self) -> HeterogeneityGainGrid:
+        return heterogeneity_gain_grid(PAPER_TABLE1)
+
+    def test_every_entry_exceeds_one(self, grid):
+        # Theorem 5(2)/Corollary 1 across the whole grid.
+        assert (grid.gain > 1.0).all()
+
+    def test_gain_monotone_in_spread(self, grid):
+        assert (np.diff(grid.gain, axis=1) > 0.0).all()
+
+    def test_max_gain_location(self, grid):
+        mean, rel_spread, gain = grid.max_gain()
+        assert rel_spread == grid.relative_spreads.max()
+        assert gain == grid.gain.max()
+
+    def test_shape(self, grid):
+        assert grid.gain.shape == (grid.means.size, grid.relative_spreads.size)
+
+    def test_invalid_grids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            heterogeneity_gain_grid(PAPER_TABLE1, means=(0.0, 0.5))
+        with pytest.raises(InvalidParameterError):
+            heterogeneity_gain_grid(PAPER_TABLE1, relative_spreads=(1.0,))

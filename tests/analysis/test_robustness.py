@@ -1,0 +1,70 @@
+"""Unit tests for repro.analysis.robustness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import expected_work_under_failures
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.protocols.fifo import fifo_allocation
+
+
+@pytest.fixture
+def alloc():
+    params = ModelParams(tau=0.01, pi=0.001, delta=1.0)
+    return fifo_allocation(Profile([1.0, 0.5, 1 / 3, 0.25]), params, 50.0)
+
+
+class TestExpectedWork:
+    def test_zero_rate_equals_failure_free(self, alloc, rng):
+        estimate = expected_work_under_failures(alloc, 0.0, rng, n_samples=5)
+        assert estimate.mean == pytest.approx(alloc.total_work, rel=1e-9)
+        assert estimate.fraction_total_loss == 0.0
+
+    def test_higher_rate_lower_mean(self, alloc):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        low = expected_work_under_failures(alloc, 0.001, rng1, n_samples=100,
+                                           skip_failed_results=True)
+        high = expected_work_under_failures(alloc, 0.05, rng2, n_samples=100,
+                                            skip_failed_results=True)
+        assert high.mean < low.mean
+
+    def test_skip_policy_dominates_strict(self, alloc):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        strict = expected_work_under_failures(alloc, 0.02, rng1, n_samples=150)
+        skipping = expected_work_under_failures(alloc, 0.02, rng2, n_samples=150,
+                                                skip_failed_results=True)
+        assert skipping.mean >= strict.mean
+
+    def test_strict_policy_has_total_loss_mass(self, alloc):
+        # Strict FIFO's tail risk: some trials lose everything.
+        rng = np.random.default_rng(11)
+        estimate = expected_work_under_failures(alloc, 0.05, rng, n_samples=150)
+        assert estimate.fraction_total_loss > 0.0
+        assert estimate.quantile(0.0) == 0.0
+
+    def test_reproducible_from_seed(self, alloc):
+        a = expected_work_under_failures(alloc, 0.02,
+                                         np.random.default_rng(7), n_samples=40)
+        b = expected_work_under_failures(alloc, 0.02,
+                                         np.random.default_rng(7), n_samples=40)
+        assert a.samples == pytest.approx(b.samples)
+
+    def test_std_error_shrinks_with_samples(self, alloc):
+        small = expected_work_under_failures(alloc, 0.02,
+                                             np.random.default_rng(1), n_samples=30)
+        large = expected_work_under_failures(alloc, 0.02,
+                                             np.random.default_rng(1), n_samples=300)
+        assert large.std_error < small.std_error
+
+    def test_validation(self, alloc, rng):
+        with pytest.raises(InvalidParameterError):
+            expected_work_under_failures(alloc, -0.1, rng)
+        with pytest.raises(InvalidParameterError):
+            expected_work_under_failures(alloc, 0.1, rng, n_samples=0)
+        estimate = expected_work_under_failures(alloc, 0.1, rng, n_samples=5)
+        with pytest.raises(InvalidParameterError):
+            estimate.quantile(1.5)

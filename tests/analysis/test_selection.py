@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.selection."""
+
+import pytest
+
+from repro.analysis.overheads import latency_adjusted_work
+from repro.analysis.selection import best_roster
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+
+class TestBestRoster:
+    def test_zero_latency_uses_everything(self, paper_params, table4_profile):
+        choice = best_roster(table4_profile, paper_params, 30.0, 0.0)
+        assert choice.size == 4
+        assert not choice.leaving_some_out_helps
+
+    def test_stragglers_benched_under_latency(self, paper_params):
+        fleet = Profile([1.0] * 10 + [0.1] * 3)
+        choice = best_roster(fleet, paper_params, 30.0, 1.0)
+        assert choice.leaving_some_out_helps
+        assert choice.size < fleet.n
+        # The three fast machines must all be enlisted.
+        assert set(choice.members) >= {10, 11, 12}
+
+    def test_members_fastest_first(self, paper_params):
+        fleet = Profile([0.5, 1.0, 0.1, 0.3])
+        choice = best_roster(fleet, paper_params, 30.0, 0.1)
+        rhos = [fleet[i] for i in choice.members]
+        assert rhos == sorted(rhos)
+
+    def test_choice_beats_every_prefix(self, paper_params):
+        fleet = Profile([1.0, 0.9, 0.5, 0.2, 0.05])
+        L, lam = 20.0, 0.5
+        choice = best_roster(fleet, paper_params, L, lam)
+        fastest_first = sorted(fleet, key=float)
+        for k in range(1, fleet.n + 1):
+            prefix_work = latency_adjusted_work(
+                Profile(fastest_first[:k]), paper_params, L, lam)
+            assert choice.work >= prefix_work - 1e-12
+
+    def test_work_all_matches_full_fleet(self, paper_params, table4_profile):
+        L, lam = 30.0, 0.3
+        choice = best_roster(table4_profile, paper_params, L, lam)
+        assert choice.work_all == pytest.approx(
+            latency_adjusted_work(table4_profile.power_ordered().permuted(
+                list(range(table4_profile.n))[::-1]), paper_params, L, lam))
+
+    def test_huge_latency_single_machine(self, paper_params):
+        fleet = Profile([1.0, 0.5, 0.25])
+        choice = best_roster(fleet, paper_params, 10.0, 2.0)
+        assert choice.size == 1
+        assert fleet[choice.members[0]] == fleet.fastest_rho
+
+    def test_validation(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            best_roster(table4_profile, paper_params, 0.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            best_roster(table4_profile, paper_params, 10.0, -0.1)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.cep — CEP/CRP duality and rental solving."""
+
+import pytest
+
+from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
+from repro.cep.rental import min_prefix_for_deadline, rent_cluster, scale_allocation
+from repro.core.measure import work_production, work_rate
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.protocols.feasibility import check_allocation
+from repro.protocols.fifo import fifo_allocation
+from repro.simulation.runner import simulate_allocation
+
+
+class TestProblems:
+    def test_cep_optimal_work(self, paper_params, table4_profile):
+        cep = ClusterExploitationProblem(table4_profile, paper_params, 100.0)
+        assert cep.optimal_work == pytest.approx(
+            work_production(table4_profile, paper_params, 100.0))
+
+    def test_crp_optimal_lifespan(self, paper_params, table4_profile):
+        crp = ClusterRentalProblem(table4_profile, paper_params, 500.0)
+        assert crp.optimal_lifespan == pytest.approx(
+            500.0 / work_rate(table4_profile, paper_params))
+
+    def test_duality_roundtrip(self, paper_params, table4_profile):
+        cep = ClusterExploitationProblem(table4_profile, paper_params, 100.0)
+        assert cep.dual().dual().lifespan == pytest.approx(100.0, rel=1e-12)
+
+    def test_crp_dual_roundtrip(self, paper_params, table4_profile):
+        crp = ClusterRentalProblem(table4_profile, paper_params, 42.0)
+        assert crp.dual().dual().workload == pytest.approx(42.0, rel=1e-12)
+
+    def test_rejects_bad_inputs(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            ClusterExploitationProblem(table4_profile, paper_params, -1.0)
+        with pytest.raises(InvalidParameterError):
+            ClusterRentalProblem(table4_profile, paper_params, 0.0)
+
+
+class TestRental:
+    def test_rent_cluster_hits_workload_exactly(self, paper_params, table4_profile):
+        crp = ClusterRentalProblem(table4_profile, paper_params, 123.0)
+        alloc = rent_cluster(crp)
+        assert alloc.total_work == pytest.approx(123.0, rel=1e-12)
+        assert alloc.lifespan == pytest.approx(crp.optimal_lifespan, rel=1e-12)
+
+    def test_rented_schedule_feasible_and_simulable(self, heavy_comm_params,
+                                                    table4_profile):
+        crp = ClusterRentalProblem(table4_profile, heavy_comm_params, 50.0)
+        alloc = rent_cluster(crp)
+        assert check_allocation(alloc).feasible
+        result = simulate_allocation(alloc)
+        assert result.completed_work == pytest.approx(50.0, rel=1e-9)
+
+    def test_scale_allocation(self, paper_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, paper_params, 10.0)
+        doubled = scale_allocation(alloc, 2.0)
+        assert doubled.total_work == pytest.approx(2.0 * alloc.total_work)
+        assert doubled.lifespan == pytest.approx(20.0)
+
+    def test_scale_rejects_nonpositive(self, paper_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, paper_params, 10.0)
+        with pytest.raises(InvalidParameterError):
+            scale_allocation(alloc, 0.0)
+
+
+class TestCapacityPlanning:
+    def test_fastest_prefix_suffices(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.25, 0.125])
+        # Workload small enough that the single fastest machine meets it.
+        k = min_prefix_for_deadline(profile, paper_params, workload=1.0,
+                                    deadline=10.0)
+        assert k == 1
+
+    def test_more_work_needs_more_machines(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.25, 0.125])
+        k_small = min_prefix_for_deadline(profile, paper_params, 10.0, 2.0)
+        k_large = min_prefix_for_deadline(profile, paper_params, 25.0, 2.0)
+        assert k_large >= k_small
+
+    def test_impossible_deadline(self, paper_params):
+        profile = Profile([1.0, 0.5])
+        assert min_prefix_for_deadline(profile, paper_params, 1000.0, 0.5) == -1
+
+    def test_rejects_bad_inputs(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            min_prefix_for_deadline(table4_profile, paper_params, -1.0, 1.0)

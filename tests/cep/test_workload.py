@@ -1,0 +1,76 @@
+"""Unit tests for repro.cep.workload and the granularity rescaling."""
+
+import pytest
+
+from repro.cep.workload import Workload
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+
+
+class TestGranularityRescale:
+    def test_finer_tasks_scale_rates_up(self):
+        finer = PAPER_TABLE1.with_task_granularity(0.1)
+        assert finer.tau == pytest.approx(1e-5)
+        assert finer.pi == pytest.approx(1e-4)
+        assert finer.delta == PAPER_TABLE1.delta
+
+    def test_identity_rescale(self):
+        same = PAPER_TABLE1.with_task_granularity(1.0)
+        assert same == PAPER_TABLE1
+
+    def test_table2_fine_row(self):
+        # B for 0.1 s tasks, re-expressed in seconds: 0.1·(1 + (1+δ)π').
+        finer = PAPER_TABLE1.with_task_granularity(0.1)
+        assert 0.1 * finer.B == pytest.approx(0.100020)
+
+    def test_roundtrip(self):
+        there = PAPER_TABLE1.with_task_granularity(0.25)
+        back = there.with_task_granularity(1.0, reference_seconds_per_task=0.25)
+        assert back.tau == pytest.approx(PAPER_TABLE1.tau)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(InvalidParameterError):
+            PAPER_TABLE1.with_task_granularity(0.0)
+
+
+class TestWorkload:
+    def test_work_units_equal_tasks(self):
+        assert Workload(n_tasks=500).work_units == 500.0
+
+    def test_wall_clock_roundtrip(self):
+        w = Workload(n_tasks=10, seconds_per_task=0.2)
+        assert w.from_wall_clock(w.to_wall_clock(42.0)) == pytest.approx(42.0)
+
+    def test_completion_seconds_consistency(self, paper_params, table4_profile):
+        w = Workload(n_tasks=1000, seconds_per_task=1.0)
+        seconds = w.completion_seconds(table4_profile, paper_params)
+        crp = w.rental_problem(table4_profile, paper_params)
+        assert seconds == pytest.approx(crp.optimal_lifespan)
+
+    def test_finer_tasks_same_wall_clock_story(self, table4_profile):
+        # 1000 coarse tasks at 1 s/task vs 10000 fine tasks at 0.1 s/task:
+        # the same total computation; wall-clock completion must agree to
+        # within the (tiny) change in communication overhead share.
+        coarse = Workload(n_tasks=1000, seconds_per_task=1.0)
+        fine = Workload(n_tasks=10_000, seconds_per_task=0.1)
+        t_coarse = coarse.completion_seconds(table4_profile, PAPER_TABLE1)
+        t_fine = fine.completion_seconds(
+            table4_profile, PAPER_TABLE1.with_task_granularity(0.1))
+        # Fine tasks pay 10x the per-compute communication, so they finish
+        # slightly LATER — by about the overhead share (~0.1%), no more.
+        assert t_fine > t_coarse
+        assert t_fine == pytest.approx(t_coarse, rel=2e-3)
+
+    def test_exploitation_problem_lifespan_units(self, paper_params, table4_profile):
+        w = Workload(n_tasks=10, seconds_per_task=0.5)
+        cep = w.exploitation_problem(table4_profile, paper_params, 30.0)
+        assert cep.lifespan == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(n_tasks=0)
+        with pytest.raises(InvalidParameterError):
+            Workload(n_tasks=5, seconds_per_task=-1.0)
+        with pytest.raises(InvalidParameterError):
+            Workload(n_tasks=5).from_wall_clock(0.0)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+
+
+@pytest.fixture
+def paper_params() -> ModelParams:
+    """The Table-1 environment (τ=1e-6, π=1e-5, δ=1)."""
+    return PAPER_TABLE1
+
+
+@pytest.fixture
+def fig34_params() -> ModelParams:
+    """The Figure-3/4 calibration (τ=0.2)."""
+    return FIG34_CALIBRATION
+
+
+@pytest.fixture
+def heavy_comm_params() -> ModelParams:
+    """A communication-heavy but still schedulable environment."""
+    return ModelParams(tau=0.05, pi=0.01, delta=1.0)
+
+
+@pytest.fixture
+def table4_profile() -> Profile:
+    """The paper's 4-computer cluster ⟨1, 1/2, 1/3, 1/4⟩."""
+    return Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible sampling tests."""
+    return np.random.default_rng(20100419)
+
+
+#: A spread of environments used by parametrised tests: from the paper's
+#: compute-dominant regime to strongly communication-flavoured ones.
+PARAM_GRID = [
+    PAPER_TABLE1,
+    ModelParams(tau=1e-3, pi=1e-4, delta=1.0),
+    ModelParams(tau=1e-2, pi=1e-3, delta=0.5),
+    ModelParams(tau=0.05, pi=0.01, delta=1.0),
+    ModelParams(tau=1e-4, pi=0.0, delta=0.0),
+    FIG34_CALIBRATION,
+]
+
+#: A spread of cluster shapes used by parametrised tests.
+PROFILE_GRID = [
+    Profile([1.0]),
+    Profile([1.0, 1.0]),
+    Profile([1.0, 0.5]),
+    Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0]),
+    Profile.linear(8),
+    Profile.harmonic(8),
+    Profile.geometric(6, 0.5),
+    Profile.two_point(3, 2, 1.0, 0.1),
+]

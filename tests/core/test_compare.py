@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.compare."""
+
+import pytest
+
+from repro.core.compare import compare_clusters
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.dominance import DominanceVerdict
+
+
+class TestCompareClusters:
+    def test_paper_example(self, paper_params):
+        comparison = compare_clusters(Profile([0.99, 0.02]), Profile([0.5, 0.5]),
+                                      paper_params)
+        assert comparison.winner == 0
+        assert comparison.x1 > comparison.x2
+        assert comparison.hecr1 < comparison.hecr2
+        assert comparison.work_ratio_1_over_2 > 1.0
+        assert comparison.minorization is DominanceVerdict.INDETERMINATE
+        # Means differ: equal-mean predictors abstain.
+        assert not comparison.equal_means
+        assert comparison.variance_call == -1
+        assert comparison.majorization_call == -1
+
+    def test_equal_mean_pair_gets_all_predictors(self, paper_params):
+        comparison = compare_clusters(Profile([0.9, 0.1]), Profile([0.6, 0.4]),
+                                      paper_params)
+        assert comparison.equal_means
+        assert comparison.variance_call == 0
+        assert comparison.majorization_call == 0
+        assert comparison.winner == 0
+
+    def test_minorizing_pair(self, paper_params):
+        comparison = compare_clusters(Profile([0.9, 0.4]), Profile([1.0, 0.5]),
+                                      paper_params)
+        assert comparison.minorization is DominanceVerdict.FIRST_DOMINATES
+        assert comparison.cross_product is DominanceVerdict.FIRST_DOMINATES
+        assert comparison.winner == 0
+
+    def test_identical_clusters_tie(self, paper_params):
+        p = Profile([1.0, 0.5])
+        comparison = compare_clusters(p, Profile([1.0, 0.5]), paper_params)
+        assert comparison.winner == -1
+
+    def test_verdict_rows_shape(self, paper_params):
+        comparison = compare_clusters(Profile([0.9, 0.1]), Profile([0.6, 0.4]),
+                                      paper_params)
+        rows = comparison.verdict_rows()
+        assert len(rows) == 5  # truth + 2 dominance + 2 equal-mean lenses
+        lenses = [row[0] for row in rows]
+        assert any("majorization" in lens for lens in lenses)
+
+    def test_size_mismatch_rejected(self, paper_params):
+        with pytest.raises(InvalidProfileError):
+            compare_clusters(Profile([1.0]), Profile([1.0, 0.5]), paper_params)
+
+
+class TestCliCompare:
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+        assert main(["compare", "--first", "0.9,0.1", "--second", "0.6,0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "majorization" in out
+        assert "HECR" in out
+
+    def test_compare_bad_profile(self, capsys):
+        from repro.cli import main
+        assert main(["compare", "--first", "x", "--second", "0.5,0.5"]) == 2

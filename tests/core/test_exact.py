@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.exact — the Fraction ground truth."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.exact import (
+    exact_rho_values,
+    homogeneous_x_exact,
+    work_rate_exact,
+    work_ratio_exact,
+    x_measure_exact,
+)
+from repro.core.homogeneous import homogeneous_x
+from repro.core.measure import work_rate, x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestExactX:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_float_within_ulps(self, profile, params):
+        exact = x_measure_exact(profile, params)
+        approx = x_measure(profile, params)
+        assert approx == pytest.approx(float(exact), rel=1e-13)
+
+    def test_returns_fraction(self, paper_params):
+        assert isinstance(x_measure_exact([1, Fraction(1, 2)], paper_params), Fraction)
+
+    def test_single_computer_exact_value(self):
+        params = ModelParams(tau=0.25, pi=0.5, delta=1.0)
+        # A = 3/4, B = 2, rho = 1: X = 1/(2 + 3/4) = 4/11.
+        assert x_measure_exact([1], params) == Fraction(4, 11)
+
+    def test_accepts_fractions_directly(self, paper_params):
+        x1 = x_measure_exact([Fraction(1), Fraction(1, 3)], paper_params)
+        x2 = x_measure_exact([1.0, 1 / 3], paper_params)
+        # 1/3 as float is not Fraction(1,3); the two must differ slightly.
+        assert x1 != x2
+
+    def test_empty_rejected(self, paper_params):
+        with pytest.raises(InvalidProfileError):
+            x_measure_exact([], paper_params)
+
+    def test_nonpositive_rejected(self, paper_params):
+        with pytest.raises(InvalidProfileError):
+            x_measure_exact([1, 0], paper_params)
+
+
+class TestExactWork:
+    def test_work_rate_matches_float(self, paper_params, table4_profile):
+        exact = work_rate_exact(table4_profile, paper_params)
+        assert work_rate(table4_profile, paper_params) == pytest.approx(
+            float(exact), rel=1e-13)
+
+    def test_work_ratio_exact_ordering(self):
+        # Theorem 3 sanity at exact precision: speeding the fastest wins.
+        params = ModelParams(tau=0.25, pi=0.125, delta=1.0)
+        base = [Fraction(1), Fraction(1, 2)]
+        speed_slow = [Fraction(3, 4), Fraction(1, 2)]
+        speed_fast = [Fraction(1), Fraction(1, 4)]
+        r_slow = work_ratio_exact(speed_slow, base, params)
+        r_fast = work_ratio_exact(speed_fast, base, params)
+        assert r_fast > r_slow > 1
+
+
+class TestExactHomogeneous:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_matches_float(self, n, paper_params):
+        exact = homogeneous_x_exact(n, Fraction(1, 2), paper_params)
+        assert homogeneous_x(n, 0.5, paper_params) == pytest.approx(
+            float(exact), rel=1e-12)
+
+    def test_degenerate_branch(self):
+        params = ModelParams(tau=0.25, pi=0.0, delta=1.0)
+        assert homogeneous_x_exact(4, Fraction(1, 2), params) == Fraction(4) / (
+            Fraction(1, 2) + Fraction(1, 4))
+
+    def test_matches_general_exact(self, paper_params):
+        direct = x_measure_exact([Fraction(1, 2)] * 3, paper_params)
+        closed = homogeneous_x_exact(3, Fraction(1, 2), paper_params)
+        assert direct == closed
+
+
+class TestExactRhoValues:
+    def test_profile_roundtrip(self):
+        p = Profile([1.0, 0.5])
+        assert exact_rho_values(p) == (Fraction(1), Fraction(1, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidProfileError):
+            exact_rho_values([])

@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.hecr (Proposition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hecr import hecr, hecr_bisect, hecr_from_x, hecr_many
+from repro.core.homogeneous import homogeneous_x
+from repro.core.measure import x_measure, x_measure_many
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestClosedForm:
+    def test_homogeneous_cluster_is_its_own_equivalent(self, paper_params):
+        for rho in (1.0, 0.5, 0.125):
+            p = Profile.homogeneous(6, rho)
+            assert hecr(p, paper_params) == pytest.approx(rho, rel=1e-10)
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_defining_property(self, profile, params):
+        # X(P^(HECR)) == X(P): the homogeneous cluster at the HECR matches.
+        rho_c = hecr(profile, params)
+        assert homogeneous_x(profile.n, rho_c, params) == pytest.approx(
+            x_measure(profile, params), rel=1e-9)
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_bisect_agrees_with_closed_form(self, profile, params):
+        assert hecr_bisect(profile, params) == pytest.approx(
+            hecr(profile, params), rel=1e-10)
+
+    def test_bracketed_by_extremes(self, paper_params):
+        p = Profile([1.0, 0.5, 0.25])
+        rho_c = hecr(p, paper_params)
+        assert p.fastest_rho < rho_c < p.slowest_rho
+
+    def test_degenerate_params(self):
+        params = ModelParams(tau=0.2, pi=0.0, delta=1.0)
+        assert params.is_degenerate
+        p = Profile([1.0, 0.5])
+        rho_c = hecr(p, params)
+        assert homogeneous_x(2, rho_c, params) == pytest.approx(
+            x_measure(p, params), rel=1e-12)
+
+    def test_accepts_iterable(self, paper_params):
+        assert hecr([1.0, 0.5], paper_params) == hecr(Profile([1.0, 0.5]), paper_params)
+
+
+class TestTable3Values:
+    """The paper's Table 3, reproduced to its printed precision ±0.006."""
+
+    @pytest.mark.parametrize("n,expected", [(8, 0.366), (16, 0.298), (32, 0.251)])
+    def test_linear_cluster(self, n, expected, paper_params):
+        assert hecr(Profile.linear(n), paper_params) == pytest.approx(expected, abs=6e-3)
+
+    @pytest.mark.parametrize("n,expected", [(8, 0.216), (16, 0.116), (32, 0.060)])
+    def test_harmonic_cluster(self, n, expected, paper_params):
+        assert hecr(Profile.harmonic(n), paper_params) == pytest.approx(expected, abs=7e-3)
+
+    def test_harmonic_more_powerful_at_every_size(self, paper_params):
+        for n in (8, 16, 32):
+            assert hecr(Profile.harmonic(n), paper_params) < hecr(
+                Profile.linear(n), paper_params)
+
+    def test_ratio_grows_with_n(self, paper_params):
+        ratios = [
+            hecr(Profile.linear(n), paper_params) / hecr(Profile.harmonic(n), paper_params)
+            for n in (8, 16, 32)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 4.0  # "more than 4 for 32 computers"
+
+
+class TestHecrFromX:
+    def test_monotone_decreasing_in_x(self, paper_params):
+        # More powerful (larger X) ⇒ smaller equivalent rate.
+        xs = [5.0, 10.0, 20.0]
+        hecrs = [hecr_from_x(x, 4, paper_params) for x in xs]
+        assert hecrs == sorted(hecrs, reverse=True)
+
+    def test_rejects_nonpositive_x(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            hecr_from_x(0.0, 4, paper_params)
+
+    def test_rejects_saturated_x(self, paper_params):
+        bound = 1.0 / paper_params.A_minus_tau_delta
+        with pytest.raises(InvalidParameterError):
+            hecr_from_x(bound, 4, paper_params)
+
+    def test_rejects_bad_n(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            hecr_from_x(1.0, 0, paper_params)
+
+
+class TestHecrMany:
+    def test_matches_scalar(self, paper_params, rng):
+        profiles = rng.uniform(0.1, 1.0, size=(12, 5))
+        xs = x_measure_many(profiles, paper_params)
+        batch = hecr_many(profiles, xs, paper_params)
+        for row, h in zip(profiles, batch):
+            assert h == pytest.approx(hecr(Profile(row), paper_params), rel=1e-11)
+
+    def test_saturated_rows_become_nan(self, paper_params):
+        # Force eps to round to 1: report NaN, not garbage.
+        n = 4
+        profiles = np.full((1, n), 0.5)
+        bound = 1.0 / paper_params.A_minus_tau_delta
+        batch = hecr_many(profiles, np.array([bound * (1 - 1e-16)]), paper_params)
+        assert np.isnan(batch[0])
+
+    def test_shape_mismatch_rejected(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            hecr_many(np.ones((3, 2)), np.ones(2), paper_params)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.homogeneous (eq. (2))."""
+
+import pytest
+
+from repro.core.homogeneous import (
+    homogeneous_size_for_x,
+    homogeneous_work_rate,
+    homogeneous_x,
+)
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from tests.conftest import PARAM_GRID
+
+
+class TestHomogeneousX:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("n", [1, 2, 7, 32])
+    @pytest.mark.parametrize("rho", [1.0, 0.5, 0.01])
+    def test_matches_general_formula(self, n, rho, params):
+        closed = homogeneous_x(n, rho, params)
+        general = x_measure(Profile.homogeneous(n, rho), params)
+        assert closed == pytest.approx(general, rel=1e-12)
+
+    def test_degenerate_limit(self):
+        # π = 0, δ = 1 gives A = τδ: the telescoped form n/(Bρ + A).
+        params = ModelParams(tau=0.25, pi=0.0, delta=1.0)
+        assert params.is_degenerate
+        x = homogeneous_x(4, 0.5, params)
+        assert x == pytest.approx(4.0 / (0.5 + 0.25), rel=1e-14)
+        assert x == pytest.approx(
+            x_measure(Profile.homogeneous(4, 0.5), params), rel=1e-13)
+
+    def test_monotone_decreasing_in_rho(self, paper_params):
+        xs = [homogeneous_x(8, rho, paper_params) for rho in (0.1, 0.2, 0.5, 1.0)]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_monotone_increasing_in_n(self, paper_params):
+        xs = [homogeneous_x(n, 0.5, paper_params) for n in (1, 2, 4, 8)]
+        assert xs == sorted(xs)
+
+    def test_saturates_at_bound(self, paper_params):
+        # Strictly below mathematically; equal to the bound within
+        # float rounding at extreme n.
+        bound = 1.0 / paper_params.A_minus_tau_delta
+        assert homogeneous_x(10 ** 6, 1e-3, paper_params) <= bound * (1.0 + 1e-12)
+        assert homogeneous_x(10, 1e-3, paper_params) < bound
+
+    def test_rejects_bad_inputs(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            homogeneous_x(0, 1.0, paper_params)
+        with pytest.raises(InvalidParameterError):
+            homogeneous_x(4, 0.0, paper_params)
+
+    def test_work_rate_consistent(self, paper_params):
+        n, rho = 8, 0.5
+        x = homogeneous_x(n, rho, paper_params)
+        expected = 1.0 / (paper_params.tau_delta + 1.0 / x)
+        assert homogeneous_work_rate(n, rho, paper_params) == pytest.approx(expected)
+
+
+class TestSizeInversion:
+    @pytest.mark.parametrize("n", [1, 3, 10, 100])
+    def test_roundtrip(self, n, paper_params):
+        rho = 0.4
+        x = homogeneous_x(n, rho, paper_params)
+        recovered = homogeneous_size_for_x(rho, x, paper_params)
+        assert recovered == pytest.approx(n, rel=1e-9)
+
+    def test_degenerate_roundtrip(self):
+        params = ModelParams(tau=0.25, pi=0.0, delta=1.0)
+        x = homogeneous_x(6, 0.5, params)
+        assert homogeneous_size_for_x(0.5, x, params) == pytest.approx(6.0)
+
+    def test_unattainable_target_rejected(self, paper_params):
+        bound = 1.0 / paper_params.A_minus_tau_delta
+        with pytest.raises(InvalidParameterError):
+            homogeneous_size_for_x(0.5, bound * 1.01, paper_params)
+
+    def test_how_many_commodity_machines(self, paper_params):
+        # A practical reading: how many rho=1 machines match the paper's
+        # 4-computer cluster ⟨1, 1/2, 1/3, 1/4⟩?  X ≈ 10 ⇒ about 10.
+        x = x_measure(Profile([1, 0.5, 1 / 3, 0.25]), paper_params)
+        n = homogeneous_size_for_x(1.0, x, paper_params)
+        assert 9.9 < n < 10.1

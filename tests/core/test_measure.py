@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.measure (eq. (1), Theorem 2, eq. (3))."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import (
+    work_production,
+    work_rate,
+    work_ratio,
+    x_decomposition,
+    x_measure,
+    x_measure_many,
+)
+from repro.core.params import NEGLIGIBLE_OVERHEADS, PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestXMeasure:
+    def test_single_computer_closed_form(self, paper_params):
+        # n = 1: X = 1/(Bρ + A).
+        x = x_measure([0.5], paper_params)
+        expected = 1.0 / (paper_params.B * 0.5 + paper_params.A)
+        assert x == pytest.approx(expected, rel=1e-14)
+
+    def test_two_computer_hand_expansion(self, paper_params):
+        A, B, td = paper_params.A, paper_params.B, paper_params.tau_delta
+        rho = [1.0, 0.5]
+        expected = 1.0 / (B * 1.0 + A) + (B * 1.0 + td) / ((B * 1.0 + A) * (B * 0.5 + A))
+        assert x_measure(rho, paper_params) == pytest.approx(expected, rel=1e-14)
+
+    def test_negligible_overheads_approach_total_speed(self):
+        p = Profile([1.0, 0.5, 0.25])
+        x = x_measure(p, NEGLIGIBLE_OVERHEADS)
+        assert x == pytest.approx(p.total_speed, rel=1e-6)
+
+    def test_accepts_profile_and_iterable(self, paper_params):
+        p = Profile([1.0, 0.5])
+        assert x_measure(p, paper_params) == x_measure([1.0, 0.5], paper_params)
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_positive_everywhere(self, profile, params):
+        assert x_measure(profile, params) > 0.0
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_order_invariance(self, params, rng):
+        # Theorem 1(2): X is a symmetric function of the profile.
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25, 0.125])
+        base = x_measure(profile, params)
+        for _ in range(5):
+            order = rng.permutation(profile.n)
+            assert x_measure(profile.permuted(order), params) == pytest.approx(
+                base, rel=1e-12)
+
+    def test_saturation_bound(self, paper_params):
+        # X < 1/(A − τδ) mathematically; float rounding may graze the
+        # bound at extreme saturation, so allow a few ulps.
+        bound = 1.0 / paper_params.A_minus_tau_delta
+        x = x_measure(Profile.homogeneous(10_000, 1e-4), paper_params)
+        assert x <= bound * (1.0 + 1e-12)
+
+    def test_adding_a_computer_increases_x(self, paper_params):
+        p = Profile([1.0, 0.5])
+        assert x_measure(p.extended(0.7), paper_params) > x_measure(p, paper_params)
+
+
+class TestProposition2:
+    """Faster clusters complete more work."""
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_speeding_any_computer_increases_x(self, params):
+        p = Profile([1.0, 0.5, 1 / 3, 0.25])
+        base = x_measure(p, params)
+        for i in range(p.n):
+            sped = p.with_rho_at(i, p[i] * 0.9)
+            assert x_measure(sped, params) > base
+
+    def test_minorization_implies_larger_x(self, paper_params):
+        slower = Profile([1.0, 0.6, 0.5])
+        faster = Profile([0.9, 0.6, 0.4])
+        assert faster.minorizes(slower)
+        assert x_measure(faster, paper_params) > x_measure(slower, paper_params)
+
+
+class TestWorkProduction:
+    def test_linear_in_lifespan(self, paper_params, table4_profile):
+        w1 = work_production(table4_profile, paper_params, 10.0)
+        w2 = work_production(table4_profile, paper_params, 20.0)
+        assert w2 == pytest.approx(2.0 * w1, rel=1e-14)
+
+    def test_matches_theorem2_formula(self, paper_params, table4_profile):
+        X = x_measure(table4_profile, paper_params)
+        expected = 100.0 / (paper_params.tau_delta + 1.0 / X)
+        assert work_production(table4_profile, paper_params, 100.0) == pytest.approx(
+            expected, rel=1e-14)
+
+    def test_rejects_bad_lifespan(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            work_production(table4_profile, paper_params, 0.0)
+        with pytest.raises(InvalidParameterError):
+            work_production(table4_profile, paper_params, -1.0)
+
+    def test_work_rate_tracks_x(self, paper_params):
+        # X(P1) >= X(P2) iff W(L;P1) >= W(L;P2).
+        p1, p2 = Profile([0.99, 0.02]), Profile([0.5, 0.5])
+        assert x_measure(p1, paper_params) > x_measure(p2, paper_params)
+        assert work_rate(p1, paper_params) > work_rate(p2, paper_params)
+
+    def test_work_ratio_reciprocal(self, paper_params):
+        p1, p2 = Profile([1.0, 0.5]), Profile([1.0, 0.4])
+        r = work_ratio(p1, p2, paper_params)
+        assert work_ratio(p2, p1, paper_params) == pytest.approx(1.0 / r, rel=1e-14)
+
+
+class TestXMeasureMany:
+    def test_matches_scalar(self, paper_params, rng):
+        profiles = rng.uniform(0.05, 1.0, size=(20, 6))
+        batch = x_measure_many(profiles, paper_params)
+        for row, x in zip(profiles, batch):
+            assert x == pytest.approx(x_measure(row, paper_params), rel=1e-13)
+
+    def test_rejects_1d(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            x_measure_many(np.ones(4), paper_params)
+
+    def test_rejects_nonpositive(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            x_measure_many(np.array([[1.0, 0.0]]), paper_params)
+
+
+class TestXDecomposition:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_reassembles_x(self, params):
+        p = Profile([1.0, 0.5, 1 / 3, 0.25])
+        for i, j in [(0, 1), (2, 3), (0, 3), (3, 1)]:
+            dec = x_decomposition(p, params, i, j)
+            assert dec.x_value == pytest.approx(x_measure(p, params), rel=1e-11)
+
+    def test_two_computers_have_zero_z(self, paper_params):
+        dec = x_decomposition(Profile([1.0, 0.5]), paper_params, 0, 1)
+        assert dec.Z == 0.0
+        assert dec.Y == 1.0
+
+    def test_symmetric_in_ij(self, paper_params, table4_profile):
+        a = x_decomposition(table4_profile, paper_params, 1, 2)
+        b = x_decomposition(table4_profile, paper_params, 2, 1)
+        assert a.lead == pytest.approx(b.lead, rel=1e-14)
+
+    def test_y_and_z_positive(self, paper_params, table4_profile):
+        dec = x_decomposition(table4_profile, paper_params, 0, 3)
+        assert dec.Y > 0.0
+        assert dec.Z > 0.0
+
+    def test_rejects_single_computer(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            x_decomposition(Profile([1.0]), paper_params, 0, 0)
+
+    def test_rejects_equal_indices(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            x_decomposition(table4_profile, paper_params, 2, 2)

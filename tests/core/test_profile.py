@@ -1,0 +1,229 @@
+"""Unit tests for repro.core.profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Profile([1.0, 0.5])
+        assert p.n == 2
+        assert list(p) == [1.0, 0.5]
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([])
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidProfileError):
+            Profile(np.ones((2, 2)))
+
+    def test_rho_read_only(self):
+        p = Profile([1.0, 0.5])
+        with pytest.raises(ValueError):
+            p.rho[0] = 2.0
+
+    def test_input_not_aliased(self):
+        src = np.array([1.0, 0.5])
+        p = Profile(src)
+        src[0] = 99.0
+        assert p[0] == 1.0
+
+    def test_require_power_order(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([0.5, 1.0], require_power_order=True)
+        Profile([1.0, 0.5], require_power_order=True)
+
+    def test_require_normalized(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([0.5, 0.25], require_normalized=True)
+        Profile([1.0, 0.25], require_normalized=True)
+
+
+class TestFactories:
+    def test_homogeneous(self):
+        p = Profile.homogeneous(5, 0.3)
+        assert p.is_homogeneous
+        assert p.n == 5
+        assert p[0] == 0.3
+
+    def test_linear_matches_paper(self):
+        # n = 8: ⟨1, 7/8, …, 1/8⟩
+        p = Profile.linear(8)
+        assert p.rho == pytest.approx([1, 7 / 8, 6 / 8, 5 / 8, 4 / 8, 3 / 8, 2 / 8, 1 / 8])
+
+    def test_harmonic_matches_paper(self):
+        p = Profile.harmonic(8)
+        assert p.rho == pytest.approx([1 / i for i in range(1, 9)])
+
+    def test_linear_and_harmonic_are_power_ordered_and_normalized(self):
+        for p in (Profile.linear(16), Profile.harmonic(16)):
+            assert p.is_power_ordered
+            assert p.is_normalized
+
+    def test_geometric(self):
+        p = Profile.geometric(4, 0.5)
+        assert p.rho == pytest.approx([1.0, 0.5, 0.25, 0.125])
+
+    def test_geometric_bad_ratio(self):
+        with pytest.raises(InvalidProfileError):
+            Profile.geometric(4, 1.5)
+
+    def test_two_point(self):
+        p = Profile.two_point(2, 3, 1.0, 0.2)
+        assert p.n == 5
+        assert list(p) == [1.0, 1.0, 0.2, 0.2, 0.2]
+
+    def test_two_point_ordering_enforced(self):
+        with pytest.raises(InvalidProfileError):
+            Profile.two_point(1, 1, rho_slow=0.1, rho_fast=0.5)
+
+    def test_from_speeds(self):
+        p = Profile.from_speeds([1.0, 2.0, 4.0])
+        # slowest machine (speed 1) gets rho 1; fastest rho 0.25
+        assert p.rho == pytest.approx([1.0, 0.5, 0.25])
+        assert p.is_normalized
+        assert p.is_power_ordered
+
+    def test_zero_size_rejected(self):
+        for factory in (Profile.homogeneous, Profile.linear, Profile.harmonic):
+            with pytest.raises(InvalidProfileError):
+                factory(0)
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert Profile([1.0, 0.5]).mean == pytest.approx(0.75)
+
+    def test_variance_population(self):
+        assert Profile([1.0, 0.5]).variance == pytest.approx(0.0625)
+
+    def test_geometric_mean(self):
+        assert Profile([1.0, 0.25]).geometric_mean == pytest.approx(0.5)
+
+    def test_total_speed(self):
+        assert Profile([1.0, 0.5, 0.25]).total_speed == pytest.approx(7.0)
+
+    def test_slowest_fastest(self):
+        p = Profile([0.3, 1.0, 0.1])
+        assert p.slowest_rho == 1.0
+        assert p.fastest_rho == 0.1
+
+
+class TestTransformations:
+    def test_power_ordered(self):
+        p = Profile([0.25, 1.0, 0.5]).power_ordered()
+        assert list(p) == [1.0, 0.5, 0.25]
+
+    def test_power_ordered_identity_fastpath(self):
+        p = Profile([1.0, 0.5])
+        assert p.power_ordered() is p
+
+    def test_normalized(self):
+        p = Profile([0.5, 0.25]).normalized()
+        assert list(p) == [1.0, 0.5]
+
+    def test_normalized_identity_fastpath(self):
+        p = Profile([1.0, 0.5])
+        assert p.normalized() is p
+
+    def test_with_rho_at(self):
+        p = Profile([1.0, 0.5])
+        q = p.with_rho_at(1, 0.4)
+        assert list(q) == [1.0, 0.4]
+        assert list(p) == [1.0, 0.5]  # original unchanged
+
+    def test_with_rho_at_bad_index(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0]).with_rho_at(1, 0.5)
+
+    def test_with_rho_at_bad_value(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0]).with_rho_at(0, -0.5)
+
+    def test_without(self):
+        p = Profile([1.0, 0.5, 0.25]).without(1)
+        assert list(p) == [1.0, 0.25]
+
+    def test_without_last_computer_rejected(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0]).without(0)
+
+    def test_extended(self):
+        p = Profile([1.0]).extended(0.5)
+        assert list(p) == [1.0, 0.5]
+
+    def test_permuted(self):
+        p = Profile([1.0, 0.5, 0.25]).permuted([2, 0, 1])
+        assert list(p) == [0.25, 1.0, 0.5]
+
+    def test_permuted_rejects_non_permutation(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0, 0.5]).permuted([0, 0])
+
+
+class TestMinorization:
+    def test_strict_dominance(self):
+        assert Profile([0.9, 0.4]).minorizes(Profile([1.0, 0.5]))
+
+    def test_equal_profiles_do_not_minorize(self):
+        p = Profile([1.0, 0.5])
+        assert not p.minorizes(Profile([1.0, 0.5]))
+
+    def test_partial_improvement_counts(self):
+        assert Profile([1.0, 0.4]).minorizes(Profile([1.0, 0.5]))
+
+    def test_order_insensitive(self):
+        assert Profile([0.4, 1.0]).minorizes(Profile([0.5, 1.0]))
+
+    def test_paper_example_does_not_minorize(self):
+        # ⟨0.99, 0.02⟩ outperforms ⟨0.5, 0.5⟩ but does not minorize it.
+        assert not Profile([0.99, 0.02]).minorizes(Profile([0.5, 0.5]))
+
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidProfileError):
+            Profile([1.0]).minorizes(Profile([1.0, 0.5]))
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            Profile([1.0]).minorizes([1.0])  # type: ignore[arg-type]
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Profile([1.0, 0.5])
+        b = Profile([1.0, 0.5])
+        c = Profile([0.5, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_getitem(self):
+        assert Profile([1.0, 0.5])[1] == 0.5
+
+    def test_len(self):
+        assert len(Profile.linear(7)) == 7
+
+    def test_repr_truncates(self):
+        text = repr(Profile.linear(20))
+        assert "20 computers" in text
+
+    def test_exact_rho_roundtrip(self):
+        p = Profile([1.0, 1 / 3])
+        exact = p.exact_rho()
+        assert [float(f) for f in exact] == list(p)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.experiments.export and the moment ablation."""
+
+import json
+from enum import Enum
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.profile import Profile
+from repro.experiments import run_moment_ablation, run_table3, run_table4
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import jsonable, result_to_csv, result_to_json
+
+
+class TestJsonable:
+    def test_passthrough_scalars(self):
+        assert jsonable(5) == 5
+        assert jsonable("x") == "x"
+        assert jsonable(True) is True
+        assert jsonable(None) is None
+
+    def test_nan_becomes_null(self):
+        assert jsonable(float("nan")) is None
+
+    def test_numpy_types(self):
+        assert jsonable(np.float64(0.5)) == 0.5
+        assert jsonable(np.int32(7)) == 7
+        assert jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_fraction(self):
+        assert jsonable(Fraction(1, 4)) == 0.25
+
+    def test_enum(self):
+        class Color(Enum):
+            RED = "red"
+        assert jsonable(Color.RED) == "red"
+
+    def test_profile(self):
+        assert jsonable(Profile([1.0, 0.5])) == [1.0, 0.5]
+
+    def test_nested_structures(self):
+        data = {"a": (1, np.float64(2.0)), "b": {Fraction(1, 2)}}
+        out = jsonable(data)
+        assert out["a"] == [1, 2.0]
+        assert out["b"] == [0.5]
+
+    def test_fallback_to_str(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+        assert jsonable(Weird()) == "weird"
+
+
+class TestResultToJson:
+    def test_roundtrips_through_json(self):
+        result = run_table3()
+        payload = json.loads(result_to_json(result))
+        assert payload["experiment_id"] == "table3"
+        assert payload["rows"][0][0] == 8
+        assert "metadata" in payload
+
+    def test_handles_rich_metadata(self):
+        # variance-trials metadata holds dataclasses with ndarrays.
+        from repro.experiments import run_variance_trials
+        result = run_variance_trials(sizes=(4,), trials_per_size=20, seed=1)
+        payload = json.loads(result_to_json(result))
+        assert isinstance(payload["metadata"]["batches"], list)
+
+
+class TestResultToCsv:
+    def test_header_and_rows(self):
+        result = run_table4()
+        text = result_to_csv(result)
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("i,")
+        assert len(lines) == 5  # header + 4 rows
+
+    def test_quotes_cells_with_commas(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="t", headers=("a",),
+            rows=[("x, y",)])
+        assert '"x, y"' in result_to_csv(result)
+
+
+class TestMomentAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_moment_ablation(sizes=(4, 16), trials_per_size=150, seed=5)
+
+    def test_harmonic_mean_is_best(self, result):
+        assert result.metadata["best"] == "harmonic-mean"
+        assert result.metadata["mean_scores"]["harmonic-mean"] > 0.97
+
+    def test_ordering_of_predictors(self, result):
+        scores = result.metadata["mean_scores"]
+        assert scores["harmonic-mean"] > scores["geometric-mean"] > scores["variance"]
+
+    def test_rows_have_all_predictors(self, result):
+        assert len(result.rows[0]) == 1 + len(result.metadata["mean_scores"])

@@ -1,0 +1,45 @@
+"""Tests for the extension experiments (saturation, heterogeneity-gain)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_heterogeneity_gain, run_saturation
+
+
+class TestSaturation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_saturation(sizes=(1, 16, 256, 4096, 65536))
+
+    def test_curve_increasing(self, result):
+        curve = result.metadata["curve"]
+        assert (np.diff(curve) > 0.0).all()
+
+    def test_curve_below_ceiling(self, result):
+        assert (result.metadata["curve"] < result.metadata["ceiling"]).all()
+
+    def test_large_cluster_meaningfully_saturated(self, result):
+        # At n = 65536 the share of the ceiling is substantial (>30%).
+        assert result.metadata["curve"][-1] > 0.3 * result.metadata["ceiling"]
+
+    def test_notes_mention_knees(self, result):
+        text = "\n".join(result.notes)
+        assert "50%" in text and "99%" in text
+
+
+class TestHeterogeneityGain:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_heterogeneity_gain(trials=100, n_large=16, seed=2)
+
+    def test_grid_all_above_one(self, result):
+        assert (result.metadata["grid"].gain > 1.0).all()
+
+    def test_large_n_overwhelmingly_wins(self, result):
+        assert result.metadata["large_n_win_rate"] > 0.9
+
+    def test_gains_array_shape(self, result):
+        assert result.metadata["large_n_gains"].shape == (100,)
+
+    def test_render_mentions_corollary(self, result):
+        assert "Corollary 1" in result.render()

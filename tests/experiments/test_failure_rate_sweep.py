@@ -1,0 +1,35 @@
+"""Tests for the failure-rate-sweep extension experiment."""
+
+import pytest
+
+from repro.experiments import run_failure_rate_sweep
+
+
+class TestFailureRateSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_failure_rate_sweep(rates=(0.0, 0.005, 0.02), n_samples=60,
+                                      seed=3)
+
+    def test_zero_rate_full_work(self, result):
+        row0 = result.rows[0]
+        assert row0[1] == 100.0 and row0[3] == 100.0
+        assert row0[2] == 0.0 and row0[4] == 0.0
+
+    def test_means_decrease_with_rate(self, result):
+        strict = [row[1] for row in result.rows]
+        skip = [row[3] for row in result.rows]
+        assert strict == sorted(strict, reverse=True)
+        assert skip == sorted(skip, reverse=True)
+
+    def test_skip_dominates_strict_everywhere(self, result):
+        for row in result.rows:
+            assert row[3] >= row[1]
+
+    def test_strict_total_loss_grows(self, result):
+        losses = [row[2] for row in result.rows]
+        assert losses == sorted(losses)
+        assert losses[-1] > 0.0
+
+    def test_chart_present(self, result):
+        assert "failure rate" in result.metadata["figure_text"]

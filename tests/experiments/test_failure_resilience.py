@@ -1,0 +1,32 @@
+"""Tests for the failure-resilience ablation experiment."""
+
+import pytest
+
+from repro.experiments import run_failure_resilience
+
+
+class TestFailureResilience:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_failure_resilience()
+
+    def test_first_finisher_crash_forfeits_round(self, result):
+        assert result.metadata["strict_salvage_pct"][0] == 0.0
+
+    def test_strict_salvage_grows_with_finishing_position(self, result):
+        salvages = result.metadata["strict_salvage_pct"]
+        assert salvages == sorted(salvages)
+
+    def test_skip_always_at_least_strict(self, result):
+        for row in result.rows:
+            assert row[4] >= row[3]
+
+    def test_last_finisher_strict_equals_skip(self, result):
+        # Nothing is queued behind the last finisher: the contract costs 0.
+        last = result.rows[-1]
+        assert last[3] == pytest.approx(last[4])
+
+    def test_skip_salvage_is_total_minus_quantum(self, result):
+        # Every skip row must equal 100% minus the dead computer's share.
+        skip_pcts = [row[4] for row in result.rows]
+        assert sum(100.0 - pct for pct in skip_pcts) == pytest.approx(100.0, abs=0.2)

@@ -1,0 +1,28 @@
+"""Tests for the majorization extension experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestMajorizationStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("majorization", sizes=(2, 4, 8),
+                              trials_per_size=200, seed=7)
+
+    def test_never_wrong_when_comparable(self, result):
+        assert result.metadata["comparable_wrong"] == 0
+
+    def test_all_variance_errors_are_incomparable(self, result):
+        assert result.metadata["bad_but_comparable"] == 0
+
+    def test_n2_always_comparable(self, result):
+        # Two-element equal-sum vectors are always majorization-comparable.
+        row_n2 = result.rows[0]
+        assert row_n2[0] == 2
+        assert row_n2[2] == 100.0
+
+    def test_coverage_decreases_with_n(self, result):
+        coverages = [row[2] for row in result.rows]
+        assert coverages[0] >= coverages[-1]

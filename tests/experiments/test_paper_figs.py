@@ -1,0 +1,68 @@
+"""Reproduction tests: Figures 3–4 and the §4 example."""
+
+import pytest
+
+from repro.experiments import run_fig3, run_fig4, run_minorization_demo
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3()
+
+    def test_sixteen_rounds(self, result):
+        assert len(result.rows) == 16
+
+    def test_chosen_sequence(self, result):
+        assert result.metadata["chosen_sequence"] == (
+            3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0)
+
+    def test_ends_at_one_sixteenth(self, result):
+        assert result.metadata["final_profile"] == pytest.approx([1 / 16] * 4)
+
+    def test_round1_is_tie_break(self, result):
+        assert "tie-break" in result.rows[0][2]
+
+    def test_rounds_2_to_4_condition1(self, result):
+        for row in result.rows[1:4]:
+            assert "condition-1" in row[2]
+
+    def test_figure_text_present(self, result):
+        assert "█" in result.metadata["figure_text"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4()
+
+    def test_phase2_rounds(self, result):
+        assert len(result.rows) == 8
+
+    def test_slowest_first_cycling(self, result):
+        # After ⟨1/16,…⟩: rounds 17-20 re-walk C4..C1, 21-24 again.
+        assert result.metadata["chosen_sequence"] == (3, 2, 1, 0, 3, 2, 1, 0)
+
+    def test_all_rounds_condition2_or_tiebreak(self, result):
+        for row in result.rows:
+            assert ("condition-2" in row[2]) or ("tie-break" in row[2])
+
+    def test_final_profile_after_two_more_sweeps(self, result):
+        # Eight phase-2 rounds = two full slowest-first sweeps: 1/16 → 1/64.
+        assert result.metadata["final_profile"] == pytest.approx([1 / 64] * 4)
+
+
+class TestSec4Example:
+    def test_p1_wins_on_x(self):
+        result = run_minorization_demo()
+        assert result.metadata["x1"] > result.metadata["x2"]
+
+    def test_x_values_match_paper_magnitudes(self):
+        # X(⟨0.99, 0.02⟩) ≈ 51, X(⟨0.5, 0.5⟩) ≈ 4.
+        result = run_minorization_demo()
+        assert result.metadata["x1"] == pytest.approx(51.0, abs=0.5)
+        assert result.metadata["x2"] == pytest.approx(4.0, abs=0.05)
+
+    def test_report_mentions_mean_misprediction(self):
+        text = run_minorization_demo().render()
+        assert "mispredict" in text

@@ -1,0 +1,74 @@
+"""Reproduction tests: Tables 1–4 experiments against the paper."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE3_VALUES,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+class TestTable1:
+    def test_parameter_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 3
+        values = {row[1]: row[2] for row in result.rows}
+        assert values["τ"] == 1e-6
+        assert values["π"] == 1e-5
+        assert values["δ"] == 1.0
+
+
+class TestTable2:
+    def test_A_matches_paper(self):
+        result = run_table2()
+        assert result.metadata["A"] == pytest.approx(1.1e-5)
+
+    def test_B_follows_definition_not_typo(self):
+        # B = 1 + (1+δ)π = 1.00002, not the paper's printed 1.000011.
+        result = run_table2()
+        assert result.metadata["B"] == pytest.approx(1.00002)
+
+    def test_discrepancies_flagged(self):
+        result = run_table2()
+        assert any("discrepanc" in n or "appears to" in n for n in result.notes)
+
+
+class TestTable3:
+    def test_measured_matches_paper_within_rounding(self):
+        result = run_table3()
+        for (cluster, n), paper_value in PAPER_TABLE3_VALUES.items():
+            measured = result.metadata["measured"][(cluster, n)]
+            assert measured == pytest.approx(paper_value, abs=7e-3), (cluster, n)
+
+    def test_ratio_trend(self):
+        result = run_table3()
+        ratios = result.metadata["ratios"]
+        assert ratios[8] < ratios[16] < ratios[32]
+        assert ratios[32] > 4.0
+
+    def test_rows_cover_all_sizes(self):
+        result = run_table3(sizes=(4, 8))
+        assert [row[0] for row in result.rows] == [4, 8]
+
+
+class TestTable4:
+    def test_shape_matches_theorem3(self):
+        result = run_table4()
+        ratios = result.metadata["ratios"]
+        assert all(r > 1.0 for r in ratios)
+        assert list(ratios) == sorted(ratios)
+
+    def test_best_upgrade_is_fastest(self):
+        assert run_table4().metadata["best_index"] == 3
+
+    def test_paper_values_shown_side_by_side(self):
+        result = run_table4()
+        assert result.rows[3][3] == 1.159  # the paper's printed number
+
+    def test_measured_values(self):
+        result = run_table4()
+        assert result.metadata["ratios"] == pytest.approx(
+            (1.0067, 1.0286, 1.0692, 1.1333), abs=2e-4)

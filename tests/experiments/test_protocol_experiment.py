@@ -1,0 +1,29 @@
+"""Reproduction tests: the Theorem-1 protocol-optimality ablation."""
+
+import pytest
+
+from repro.experiments import run_protocol_optimality
+
+
+class TestProtocolOptimality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_protocol_optimality(taus=(1e-6, 1e-2, 5e-2), seed=4)
+
+    def test_no_protocol_beats_fifo(self, result):
+        assert result.metadata["max_violation"] <= 1e-9
+        for row in result.rows:
+            assert row[-1] == "no"
+
+    def test_fifo_matches_analytic(self, result):
+        for row in result.rows:
+            assert row[1] == pytest.approx(row[2], rel=1e-6)
+
+    def test_fifo_premium_grows_with_tau(self, result):
+        premiums = [row[4] for row in result.rows]
+        assert premiums == sorted(premiums)
+        assert premiums[-1] > 1.0
+
+    def test_order_spread_negligible(self, result):
+        for row in result.rows:
+            assert float(row[5]) < 1e-9

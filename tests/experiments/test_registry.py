@@ -1,0 +1,53 @@
+"""Unit tests for the experiment registry and result objects."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.base import register
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = list_experiments()
+        for required in ("table1", "table2", "table3", "table4", "fig3", "fig4",
+                         "sec4-example", "variance-trials", "variance-threshold",
+                         "protocol-optimality"):
+            assert required in ids
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(ExperimentError, match="table3"):
+            get_experiment("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+            @register("table3")
+            def clash():  # pragma: no cover
+                pass
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "table1"
+
+
+class TestExperimentResult:
+    def test_render_contains_title_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="A demo", headers=("a", "b"),
+            rows=[(1, 2.5)], notes=("something to know",))
+        text = result.render()
+        assert "demo: A demo" in text
+        assert "2.5" in text
+        assert "note: something to know" in text
+
+    def test_render_includes_figure_text(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="t", headers=("a",), rows=[(1,)],
+            metadata={"figure_text": "ASCII-ART"})
+        assert "ASCII-ART" in result.render()

@@ -1,0 +1,81 @@
+"""Unit tests for the table and bar-chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.barchart import render_profile_bars, render_snapshot_strip
+from repro.experiments.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_six_sig_figs(self):
+        assert format_cell(0.123456789) == "0.123457"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["n", "value"], [(1, 0.5), (100, 0.25)])
+        lines = text.split("\n")
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title_underlined(self):
+        text = render_table(["a"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_ragged_rows_padded(self):
+        text = render_table(["a", "b"], [(1,), (2, 3)])
+        assert "2" in text and "3" in text
+
+
+class TestRenderProfileBars:
+    def test_full_height_for_max(self):
+        text = render_profile_bars([1.0, 0.5], height=4)
+        first_row = text.split("\n")[0]
+        assert first_row[0] == "█"       # rho=1 bar reaches the top
+        assert first_row[2] == " "       # rho=0.5 bar is one level short
+
+    def test_halving_drops_one_level(self):
+        text = render_profile_bars([1.0, 0.5, 0.25], height=4)
+        rows = text.split("\n")[:4]
+        heights = [sum(1 for row in rows if row[2 * i] == "█") for i in range(3)]
+        assert heights == [4, 3, 2]
+
+    def test_labels_appended(self):
+        text = render_profile_bars([1.0], label="round 3")
+        assert text.strip().endswith("round 3")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_profile_bars([0.0, 1.0])
+
+
+class TestRenderSnapshotStrip:
+    def test_wraps_rows(self):
+        profiles = np.tile([1.0, 0.5], (7, 1))
+        text = render_snapshot_strip(profiles, per_row=3)
+        # 7 snapshots at 3 per row => 3 groups.
+        assert text.count("round 0") == 1
+        assert "round 6" in text
+
+    def test_common_scale_across_snapshots(self):
+        profiles = np.array([[1.0, 1.0], [0.5, 0.5]])
+        text = render_snapshot_strip(profiles, height=4, per_row=2)
+        top_row = text.split("\n")[0]
+        # Only the first (rho=1) snapshot reaches the top row.
+        assert "█" in top_row[:4]
+        assert "█" not in top_row[4:]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_snapshot_strip(np.ones(4))

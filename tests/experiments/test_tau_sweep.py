@@ -1,0 +1,51 @@
+"""Tests for the tau-sweep extension experiment and the series renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.barchart import render_series
+
+
+class TestTauSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("tau-sweep", points=8)
+
+    def test_work_rate_monotone_decreasing(self, result):
+        rates = [row[2] for row in result.rows]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_premium_nondecreasing(self, result):
+        premiums = [row[4] for row in result.rows if row[4] != "saturated"]
+        assert premiums == sorted(premiums)
+
+    def test_chart_embedded(self, result):
+        assert "log10(tau)" in result.metadata["figure_text"]
+        assert "●" in result.metadata["figure_text"]
+
+
+class TestRenderSeries:
+    def test_axes_annotated(self):
+        text = render_series([0, 1, 2], [10.0, 5.0, 0.0],
+                             x_label="t", y_label="v")
+        assert "10" in text and "0" in text
+        assert "t  (y = v)" in text
+
+    def test_monotone_series_descends_visually(self):
+        text = render_series([0, 1], [1.0, 0.0], height=4, width=10)
+        lines = text.split("\n")
+        assert "●" in lines[0]        # max at top-left
+        assert "●" in lines[3]        # min at bottom-right
+
+    def test_constant_series_handled(self):
+        text = render_series([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "●" in text
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1, 2, 3])

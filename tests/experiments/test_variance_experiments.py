@@ -1,0 +1,86 @@
+"""Reproduction tests: the §4.3 variance-predictor experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1
+from repro.experiments import collect_trials, run_threshold, run_variance_trials
+from repro.experiments.threshold import PAPER_THETA
+
+
+class TestCollectTrials:
+    def test_batch_shapes(self, rng):
+        batch = collect_trials(rng, 8, 50, PAPER_TABLE1)
+        assert batch.n == 8
+        assert batch.n_trials == 50
+        assert batch.variance_gaps.shape == (50,)
+        assert batch.good.dtype == bool
+
+    def test_predictor_scores_between_0_and_1(self, rng):
+        batch = collect_trials(rng, 8, 50, PAPER_TABLE1)
+        for name, score in batch.predictor_scores.items():
+            assert 0.0 <= score <= 1.0, name
+
+    def test_deterministic_given_seed(self):
+        a = collect_trials(np.random.default_rng(5), 8, 30, PAPER_TABLE1)
+        b = collect_trials(np.random.default_rng(5), 8, 30, PAPER_TABLE1)
+        assert (a.good == b.good).all()
+        assert a.variance_gaps == pytest.approx(b.variance_gaps)
+
+
+class TestVarianceTrialsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_variance_trials(sizes=(4, 16, 64, 256), trials_per_size=200,
+                                   seed=11)
+
+    def test_bad_pairs_exist_at_larger_sizes(self, result):
+        # Theorem 5(2) does not generalise: bad pairs appear beyond n=2.
+        batches = result.metadata["batches"]
+        assert any(b.fraction_good < 1.0 for b in batches if b.n >= 16)
+
+    def test_accuracy_in_paper_ballpark(self, result):
+        # Paper: ≈76–77% correct overall with plateau ≈23% bad.
+        overall = result.metadata["overall_good"]
+        assert 0.70 <= overall <= 0.95
+
+    def test_plateau_not_a_coin_flip(self, result):
+        batches = result.metadata["batches"]
+        large = [b for b in batches if b.n >= 64]
+        for b in large:
+            assert b.fraction_good > 0.6
+
+    def test_bad_pairs_have_smaller_hecr_gaps(self, result):
+        # The paper's observation 2.
+        batches = result.metadata["batches"]
+        for b in batches:
+            if np.isnan(b.mean_bad_hecr_gap):
+                continue
+            assert b.mean_bad_hecr_gap < b.mean_good_hecr_gap
+
+    def test_two_computer_clusters_always_good(self):
+        # Theorem 5(2) is a theorem for n = 2: zero bad pairs.
+        result = run_variance_trials(sizes=(2,), trials_per_size=300, seed=3)
+        batch = result.metadata["batches"][0]
+        assert batch.fraction_good == 1.0
+
+
+class TestThresholdExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_threshold(sizes=(4, 16, 64), trials_per_size=150, seed=9)
+
+    def test_empirical_theta_same_order_as_paper(self, result):
+        theta = result.metadata["empirical_theta"]
+        assert 0.0 < theta < 3 * PAPER_THETA
+
+    def test_accuracy_increases_with_gap(self, result):
+        accuracies = [row[2] for row in result.rows if row[2] != "—"]
+        assert accuracies[-1] >= accuracies[0]
+
+    def test_perfect_above_empirical_theta(self, result):
+        # In-sample by construction, but worth asserting end to end.
+        assert result.metadata["n_bad"] >= 0
+        last_row = result.rows[-1]
+        if last_row[1] > 0:  # pairs exist above the largest grid gap
+            assert last_row[2] == 100.0

@@ -1,0 +1,96 @@
+"""Cross-cutting consistency matrix.
+
+One parametrised sweep over (protocol family × results policy ×
+environment × cluster shape), asserting the invariants that tie the
+subsystems together:
+
+* the allocation conforms to the protocol contract;
+* the DES completes exactly the allocated work (below saturation);
+* predicted and observed timelines agree;
+* Theorem 1's FIFO bound holds;
+* utilization statistics are self-consistent.
+
+This is deliberately broad-and-shallow: each cell re-checks the whole
+pipeline on a distinct configuration, catching interface drift that
+focused unit tests can miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.conformance import check_protocol_conformance
+from repro.protocols.fifo import FifoProtocol, fifo_allocation, fifo_saturation_index
+from repro.protocols.general import GeneralProtocol
+from repro.protocols.lifo import LifoProtocol
+from repro.sampling.scenarios import aging_lab, hero_and_herd, two_tier_datacenter
+from repro.simulation.runner import simulate_allocation
+from repro.simulation.trace import utilization_summary
+
+ENVIRONMENTS = [
+    ModelParams(tau=1e-6, pi=1e-5, delta=1.0),     # paper Table 1
+    ModelParams(tau=1e-3, pi=1e-4, delta=0.5),     # moderate comms
+    ModelParams(tau=5e-3, pi=5e-4, delta=0.0),     # no result return
+    ModelParams(tau=8e-3, pi=2e-3, delta=1.0),     # comm-flavoured
+]
+
+CLUSTERS = [
+    aging_lab(5),
+    two_tier_datacenter(4, 2),
+    hero_and_herd(4, hero_speedup=8.0),
+    Profile([1.0]),
+]
+
+
+def _protocols(n):
+    rng = np.random.default_rng(n)
+    sigma = tuple(rng.permutation(n).tolist())
+    phi = tuple(rng.permutation(n).tolist())
+    return [FifoProtocol(), LifoProtocol(), GeneralProtocol(sigma, phi)]
+
+
+@pytest.mark.parametrize("params", ENVIRONMENTS,
+                         ids=[f"env{i}" for i in range(len(ENVIRONMENTS))])
+@pytest.mark.parametrize("profile", CLUSTERS,
+                         ids=["aging", "two-tier", "hero", "solo"])
+def test_full_pipeline_cell(profile, params):
+    lifespan = 40.0
+    if fifo_saturation_index(profile, params) > 1.0:
+        pytest.skip("saturated configuration")
+    fifo_total = fifo_allocation(profile, params, lifespan).total_work
+
+    for protocol in _protocols(profile.n):
+        # Contract.
+        violations = check_protocol_conformance(protocol, profile, params,
+                                                lifespan)
+        assert violations == [], (protocol.name, violations)
+
+        allocation = protocol.allocate(profile, params, lifespan)
+        # Theorem-1 bound (redundant with conformance, asserted tightly).
+        assert allocation.total_work <= fifo_total * (1 + 1e-9)
+
+        for policy in ("late", "greedy"):
+            result = simulate_allocation(allocation, results_policy=policy)
+            assert result.all_completed, (protocol.name, policy)
+            assert result.completed_work == pytest.approx(
+                allocation.total_work, rel=1e-7), (protocol.name, policy)
+
+            summary = utilization_summary(result)
+            assert 0.0 <= summary.network_utilization <= 1.0 + 1e-9
+            for breakdown in summary.worker_breakdowns:
+                assert breakdown.total == pytest.approx(lifespan, rel=1e-7)
+
+
+@pytest.mark.parametrize("params", ENVIRONMENTS[:2],
+                         ids=["table1", "moderate"])
+def test_random_clusters_pipeline(params, rng):
+    for _ in range(5):
+        n = int(rng.integers(2, 9))
+        profile = Profile(rng.uniform(0.05, 1.0, n))
+        if fifo_saturation_index(profile, params) > 1.0:
+            continue
+        allocation = fifo_allocation(profile, params, 25.0)
+        result = simulate_allocation(allocation)
+        assert result.completed_work == pytest.approx(
+            allocation.total_work, rel=1e-9)

@@ -1,0 +1,124 @@
+"""Integration tests: the full pipeline, module boundaries crossed.
+
+Each test chains several subsystems: analytic measure → protocol
+scheduling → timeline → feasibility → discrete-event execution →
+observed work, plus the CEP/CRP duality and the upgrade planner feeding
+back into scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
+from repro.cep.rental import rent_cluster
+from repro.core.hecr import hecr
+from repro.core.measure import work_production, work_rate, x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.protocols.feasibility import check_allocation, check_timeline
+from repro.protocols.fifo import FifoProtocol, fifo_allocation
+from repro.protocols.general import lp_allocation
+from repro.protocols.lifo import LifoProtocol
+from repro.protocols.timeline import build_timeline
+from repro.simulation.runner import simulate_allocation, simulate_protocol
+from repro.speedup.planner import plan_multiplicative
+
+
+class TestThreeRoutesAgree:
+    """Closed form, LP, and DES must produce the same number."""
+
+    @pytest.mark.parametrize("profile", [
+        Profile([1.0, 0.5, 1 / 3, 0.25]),
+        Profile.linear(6),
+        Profile.two_point(2, 2, 1.0, 0.2),
+    ])
+    def test_three_routes(self, profile, heavy_comm_params):
+        params = heavy_comm_params
+        L = 80.0
+        analytic = work_production(profile, params, L)
+        closed = fifo_allocation(profile, params, L)
+        lp = lp_allocation(profile, params, L,
+                           tuple(range(profile.n)), tuple(range(profile.n)))
+        sim = simulate_allocation(closed)
+        assert closed.total_work == pytest.approx(analytic, rel=1e-10)
+        assert lp.total_work == pytest.approx(analytic, rel=1e-6)
+        assert sim.completed_work == pytest.approx(analytic, rel=1e-9)
+
+
+class TestUpgradeThenSchedule:
+    def test_planned_upgrades_deliver_predicted_work(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.25])
+        plan = plan_multiplicative(profile, paper_params, 0.5, 4)
+        upgraded = plan.final_profile
+        # The plan's payoff must materialise end to end in the simulator.
+        before = simulate_protocol(FifoProtocol(), profile, paper_params, 50.0)
+        after = simulate_protocol(FifoProtocol(), upgraded, paper_params, 50.0)
+        assert (after.completed_work / before.completed_work
+                == pytest.approx(plan.total_work_ratio, rel=1e-9))
+
+
+class TestCepCrpPipeline:
+    def test_rental_executes_on_time(self, heavy_comm_params):
+        profile = Profile([1.0, 0.6, 0.3])
+        crp = ClusterRentalProblem(profile, heavy_comm_params, workload=40.0)
+        alloc = rent_cluster(crp)
+        result = simulate_allocation(alloc)
+        assert result.completed_work == pytest.approx(40.0, rel=1e-9)
+        assert result.makespan <= crp.optimal_lifespan * (1 + 1e-9)
+
+    def test_cep_crp_consistency(self, paper_params):
+        profile = Profile([1.0, 0.5])
+        cep = ClusterExploitationProblem(profile, paper_params, lifespan=30.0)
+        crp = cep.dual()
+        assert crp.optimal_lifespan == pytest.approx(30.0, rel=1e-12)
+
+
+class TestHecrAsPredictorOfSimulatedWork:
+    def test_smaller_hecr_means_more_simulated_work(self, heavy_comm_params):
+        params = heavy_comm_params
+        p1 = Profile([1.0, 0.2, 0.2])
+        p2 = Profile([0.8, 0.6, 0.4])
+        h1, h2 = hecr(p1, params), hecr(p2, params)
+        w1 = simulate_protocol(FifoProtocol(), p1, params, 50.0).completed_work
+        w2 = simulate_protocol(FifoProtocol(), p2, params, 50.0).completed_work
+        assert (h1 < h2) == (w1 > w2)
+
+
+class TestTimelineSimulatorConsistency:
+    def test_predicted_and_observed_timelines_match(self, heavy_comm_params):
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        alloc = fifo_allocation(profile, heavy_comm_params, 60.0)
+        predicted = build_timeline(alloc)
+        observed = simulate_allocation(alloc).to_timeline()
+        assert check_timeline(observed).feasible
+        for c in range(profile.n):
+            pred_busy = [iv for iv in predicted.for_computer(c) if iv.kind == "busy"][0]
+            obs_busy = [iv for iv in observed.for_computer(c) if iv.kind == "busy"][0]
+            assert obs_busy.start == pytest.approx(pred_busy.start, rel=1e-10)
+            assert obs_busy.end == pytest.approx(pred_busy.end, rel=1e-10)
+
+
+class TestProtocolComparisonPipeline:
+    def test_fifo_lifo_gap_positive_and_consistent(self, heavy_comm_params):
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        fifo = simulate_protocol(FifoProtocol(), profile, heavy_comm_params, 60.0)
+        lifo = simulate_protocol(LifoProtocol(), profile, heavy_comm_params, 60.0)
+        assert fifo.completed_work > lifo.completed_work
+        # Both honest executions of feasible schedules.
+        assert fifo.all_completed and lifo.all_completed
+
+
+class TestScaleSweep:
+    def test_work_rate_improves_with_each_added_computer(self, paper_params):
+        rates = []
+        for n in range(1, 9):
+            rates.append(work_rate(Profile.harmonic(n), paper_params))
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_large_cluster_end_to_end(self, paper_params):
+        profile = Profile.harmonic(64)
+        alloc = fifo_allocation(profile, paper_params, 10.0)
+        assert check_allocation(alloc).feasible
+        result = simulate_allocation(alloc)
+        assert result.all_completed
+        assert result.events_processed >= 4 * 64

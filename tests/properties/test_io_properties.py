@@ -1,0 +1,63 @@
+"""Property-based tests for the persistence round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    params_from_dict,
+    params_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.lifo import lifo_allocation
+
+profiles = st.lists(st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    min_size=1, max_size=10)
+
+params_strategy = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=0.1),
+    pi=st.floats(min_value=0.0, max_value=0.1),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(rhos=profiles)
+@settings(max_examples=100, deadline=None)
+def test_profile_roundtrip_exact(rhos):
+    p = Profile(rhos)
+    assert profile_from_dict(json.loads(json.dumps(profile_to_dict(p)))) == p
+
+
+@given(params=params_strategy)
+@settings(max_examples=100, deadline=None)
+def test_params_roundtrip_exact(params):
+    rebuilt = params_from_dict(json.loads(json.dumps(params_to_dict(params))))
+    assert rebuilt == params
+
+
+@given(rhos=profiles, params=params_strategy,
+       lifespan=st.floats(min_value=1.0, max_value=1e4),
+       lifo=st.booleans())
+@settings(max_examples=75, deadline=None)
+def test_allocation_roundtrip_bit_exact(rhos, params, lifespan, lifo):
+    profile = Profile(rhos)
+    if lifo and profile.n > 1:
+        alloc = lifo_allocation(profile, params, lifespan)
+    else:
+        alloc = fifo_allocation(profile, params, lifespan)
+    rebuilt = allocation_from_dict(
+        json.loads(json.dumps(allocation_to_dict(alloc))))
+    # Bit-exact: floats survive JSON (repr round-trip) unchanged.
+    assert rebuilt.w.tolist() == alloc.w.tolist()
+    assert rebuilt.total_work == alloc.total_work
+    assert rebuilt.startup_order == alloc.startup_order
+    assert rebuilt.finishing_order == alloc.finishing_order

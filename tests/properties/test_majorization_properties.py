@@ -1,0 +1,92 @@
+"""Property-based tests: Schur-convexity of X and the majorization order.
+
+The empirical law the majorization experiment rests on: any
+mean-preserving spread (MPS) of two profile components raises X, for
+every admissible environment.  This is the differential form of
+"majorization implies at-least-equal power".
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.predictors.majorization import (
+    compare_majorization,
+    majorization_prediction,
+)
+
+params_strategy = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=0.3),
+    pi=st.floats(min_value=0.0, max_value=0.3),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+profiles = st.lists(st.floats(min_value=0.05, max_value=0.95,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=8)
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=250, deadline=None)
+def test_mean_preserving_spread_raises_x(rhos, params, data):
+    """Schur-convexity, differentially: every MPS step weakly raises X."""
+    v = np.asarray(rhos)
+    n = v.size
+    i = data.draw(st.integers(0, n - 1))
+    j = data.draw(st.integers(0, n - 1))
+    assume(i != j)
+    a, b = v[i], v[j]
+    room = min(1.0 - max(a, b), min(a, b) - 0.01)
+    assume(room > 1e-6)
+    shift = data.draw(st.floats(min_value=1e-6, max_value=float(room)))
+    w = v.copy()
+    if a >= b:
+        w[i], w[j] = a + shift, b - shift
+    else:
+        w[i], w[j] = a - shift, b + shift
+    x_before = x_measure(v, params)
+    x_after = x_measure(w, params)
+    assert x_after >= x_before * (1.0 - 1e-13)
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_majorization_prediction_agrees_with_x(rhos, params, data):
+    """Construct a comparable pair by stacking MPS steps; the majorizer
+    must not lose."""
+    v = np.asarray(rhos)
+    n = v.size
+    w = v.copy()
+    for _ in range(data.draw(st.integers(1, 4))):
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1))
+        if i == j:
+            continue
+        a, b = w[i], w[j]
+        room = min(1.0 - max(a, b), min(a, b) - 0.01)
+        if room <= 1e-9:
+            continue
+        shift = data.draw(st.floats(min_value=0.0, max_value=float(room)))
+        if a >= b:
+            w[i], w[j] = a + shift, b - shift
+        else:
+            w[i], w[j] = a - shift, b + shift
+    p_wide, p_base = Profile(w), Profile(v)
+    result = compare_majorization(p_wide, p_base)
+    assert result.first_majorizes  # MPS chains always majorize the base
+    call = majorization_prediction(p_wide, p_base)
+    if call == 0:
+        assert x_measure(p_wide, params) >= x_measure(p_base, params) * (1 - 1e-12)
+
+
+@given(rhos=profiles)
+@settings(max_examples=100, deadline=None)
+def test_majorization_is_reflexive_up_to_permutation(rhos):
+    p = Profile(rhos)
+    shuffled = Profile(sorted(rhos))
+    assert compare_majorization(p, shuffled).equivalent

@@ -1,0 +1,106 @@
+"""Property-based tests for the X-measure (hypothesis).
+
+These pin down the paper's structural claims over *random* profiles and
+environments rather than hand-picked cases:
+
+* Prop. 2 monotonicity — speeding any computer strictly raises X;
+* Theorem 1(2) symmetry — X is invariant under profile permutations;
+* Lemma 1 — the symmetric-function expansion equals eq. (1), checked in
+  exact rational arithmetic (no tolerance at all);
+* float-vs-exact accuracy of the production implementation.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import x_measure_exact
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.predictors.coefficients import x_from_symmetric_functions_exact
+
+# -- strategies ------------------------------------------------------------
+
+rhos = st.lists(st.floats(min_value=0.01, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=10)
+
+#: Rational parameter triples satisfying the model constraints; Fractions
+#: keep the exact tests exact.
+exact_params = st.tuples(
+    st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(1, 2)),   # tau
+    st.fractions(min_value=Fraction(0), max_value=Fraction(1, 2)),         # pi
+    st.fractions(min_value=Fraction(0), max_value=Fraction(1)),            # delta
+)
+
+
+def _params_from(triple) -> ModelParams:
+    tau, pi, delta = triple
+    return ModelParams(tau=float(tau), pi=float(pi), delta=float(delta))
+
+
+# -- properties ------------------------------------------------------------
+
+@given(rhos=rhos, triple=exact_params)
+@settings(max_examples=150, deadline=None)
+def test_x_positive_and_below_saturation(rhos, triple):
+    params = _params_from(triple)
+    x = x_measure(rhos, params)
+    assert x > 0.0
+    if params.A_minus_tau_delta > 0:
+        assert x <= 1.0 / params.A_minus_tau_delta * (1 + 1e-12)
+
+
+@given(rhos=rhos, triple=exact_params, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_permutation_invariance(rhos, triple, data):
+    params = _params_from(triple)
+    perm = data.draw(st.permutations(rhos))
+    assert x_measure(perm, params) == pytest.approx(
+        x_measure(rhos, params), rel=1e-10)
+
+
+@given(rhos=rhos, triple=exact_params, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_proposition2_speedup_increases_x(rhos, triple, data):
+    params = _params_from(triple)
+    index = data.draw(st.integers(min_value=0, max_value=len(rhos) - 1))
+    factor = data.draw(st.floats(min_value=0.1, max_value=0.95))
+    base = x_measure(rhos, params)
+    sped = list(rhos)
+    sped[index] *= factor
+    assert x_measure(sped, params) > base
+
+
+@given(rhos=rhos, triple=exact_params)
+@settings(max_examples=100, deadline=None)
+def test_float_matches_exact(rhos, triple):
+    params = _params_from(triple)
+    exact = x_measure_exact(rhos, params)
+    assert x_measure(rhos, params) == pytest.approx(float(exact), rel=1e-11)
+
+
+@given(triple=exact_params,
+       rationals=st.lists(st.fractions(min_value=Fraction(1, 100),
+                                       max_value=Fraction(1)),
+                          min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_lemma1_exact_identity(triple, rationals):
+    """Lemma 1 as an exact rational identity — zero tolerance."""
+    params = _params_from(triple)
+    direct = x_measure_exact(rationals, params)
+    expanded = x_from_symmetric_functions_exact(rationals, params)
+    assert direct == expanded
+
+
+@given(rhos=rhos, triple=exact_params,
+       scale=st.floats(min_value=0.2, max_value=5.0))
+@settings(max_examples=80, deadline=None)
+def test_extending_cluster_increases_x(rhos, triple, scale):
+    params = _params_from(triple)
+    extra = min(1.0, max(0.01, scale * rhos[0]))
+    assert x_measure(rhos + [extra], params) > x_measure(rhos, params)

@@ -1,0 +1,80 @@
+"""Property-based tests for the protocol engines and the simulator."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import work_production
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.feasibility import check_allocation
+from repro.protocols.fifo import fifo_allocation, fifo_saturation_index
+from repro.protocols.lifo import lifo_allocation
+from repro.simulation.runner import simulate_allocation
+
+profiles = st.lists(st.floats(min_value=0.05, max_value=1.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=8)
+
+#: Compute-dominant environments where the Fig.-2 layout always exists
+#: for the profile sizes above.
+calm_params = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=2e-3),
+    pi=st.floats(min_value=0.0, max_value=2e-3),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(rhos=profiles, params=calm_params,
+       lifespan=st.floats(min_value=1.0, max_value=1e4))
+@settings(max_examples=100, deadline=None)
+def test_fifo_total_equals_theorem2(rhos, params, lifespan):
+    profile = Profile(rhos)
+    assume(fifo_saturation_index(profile, params) <= 1.0)
+    alloc = fifo_allocation(profile, params, lifespan)
+    assert alloc.total_work == pytest.approx(
+        work_production(profile, params, lifespan), rel=1e-10)
+
+
+@given(rhos=profiles, params=calm_params, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_fifo_order_invariance(rhos, params, data):
+    profile = Profile(rhos)
+    order = data.draw(st.permutations(range(profile.n)))
+    base = fifo_allocation(profile, params, 100.0).total_work
+    permuted = fifo_allocation(profile, params, 100.0, order).total_work
+    assert permuted == pytest.approx(base, rel=1e-11)
+
+
+@given(rhos=profiles, params=calm_params)
+@settings(max_examples=75, deadline=None)
+def test_fifo_feasible_and_simulation_agrees(rhos, params):
+    profile = Profile(rhos)
+    assume(fifo_saturation_index(profile, params) <= 0.99)
+    alloc = fifo_allocation(profile, params, 50.0)
+    assert check_allocation(alloc).feasible
+    result = simulate_allocation(alloc)
+    assert result.all_completed
+    assert result.completed_work == pytest.approx(alloc.total_work, rel=1e-9)
+
+
+@given(rhos=st.lists(st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+                     min_size=2, max_size=8),
+       params=calm_params)
+@settings(max_examples=100, deadline=None)
+def test_lifo_never_beats_fifo(rhos, params):
+    profile = Profile(rhos)
+    lifo = lifo_allocation(profile, params, 50.0).total_work
+    fifo = fifo_allocation(profile, params, 50.0).total_work
+    assert lifo <= fifo * (1.0 + 1e-11)
+
+
+@given(rhos=profiles, params=calm_params,
+       factor=st.floats(min_value=0.25, max_value=4.0))
+@settings(max_examples=75, deadline=None)
+def test_fifo_scale_invariance(rhos, params, factor):
+    profile = Profile(rhos)
+    a = fifo_allocation(profile, params, 10.0)
+    b = fifo_allocation(profile, params, 10.0 * factor)
+    assert b.total_work == pytest.approx(factor * a.total_work, rel=1e-11)

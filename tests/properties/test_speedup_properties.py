@@ -1,0 +1,90 @@
+"""Property-based tests for Theorems 3 and 4 (hypothesis).
+
+The theorems are proven via the eq.-(3) algebra; here we confirm them
+*behaviourally* against brute-force X comparison over random profiles,
+factors and environments — including environments with large overheads
+where the multiplicative threshold genuinely bites.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.speedup.additive import apply_additive, best_additive_upgrade
+from repro.speedup.multiplicative import (
+    apply_multiplicative,
+    theorem4_margin,
+)
+
+profiles = st.lists(st.floats(min_value=0.02, max_value=1.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=8)
+
+params_strategy = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=0.5),
+    pi=st.floats(min_value=0.0, max_value=0.5),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_theorem3_faster_always_wins_additively(rhos, params, data):
+    profile = Profile(rhos)
+    phi = data.draw(st.floats(min_value=profile.fastest_rho * 0.05,
+                              max_value=profile.fastest_rho * 0.95))
+    i = data.draw(st.integers(0, profile.n - 1))
+    j = data.draw(st.integers(0, profile.n - 1))
+    assume(profile[i] > profile[j])  # i strictly slower than j
+    # Rates a float-ulp apart leave the X comparison below resolution.
+    assume(profile[i] - profile[j] > 1e-9 * profile[i])
+    x_i = x_measure(apply_additive(profile, i, phi), params)
+    x_j = x_measure(apply_additive(profile, j, phi), params)
+    assert x_j > x_i
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_theorem3_best_upgrade_targets_a_fastest_computer(rhos, params, data):
+    profile = Profile(rhos)
+    phi = data.draw(st.floats(min_value=profile.fastest_rho * 0.05,
+                              max_value=profile.fastest_rho * 0.95))
+    choice = best_additive_upgrade(profile, params, phi)
+    # Near-ties (ρ values within float resolution) can fall either way;
+    # the chosen computer must be the fastest up to that resolution.
+    assert profile[choice.index] == pytest.approx(profile.fastest_rho, rel=1e-9)
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=250, deadline=None)
+def test_theorem4_sign_matches_brute_force(rhos, params, data):
+    profile = Profile(rhos)
+    psi = data.draw(st.floats(min_value=0.05, max_value=0.95))
+    i = data.draw(st.integers(0, profile.n - 1))
+    j = data.draw(st.integers(0, profile.n - 1))
+    assume(profile[i] > profile[j])
+    # The X gap scales with (1−ψ)(ρᵢ−ρⱼ)·(margin); either factor at
+    # float-resolution scale makes the brute-force comparison undecidable.
+    assume(profile[i] - profile[j] > 1e-9 * profile[i])
+    margin = theorem4_margin(profile[i], profile[j], psi, params)
+    assume(abs(margin) > 1e-9 * max(1.0, params.speedup_threshold))
+    x_slower = x_measure(apply_multiplicative(profile, i, psi), params)
+    x_faster = x_measure(apply_multiplicative(profile, j, psi), params)
+    if margin > 0:
+        assert x_faster > x_slower
+    else:
+        assert x_slower > x_faster
+
+
+@given(rhos=profiles, params=params_strategy, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_any_single_speedup_improves_work(rhos, params, data):
+    profile = Profile(rhos)
+    psi = data.draw(st.floats(min_value=0.05, max_value=0.95))
+    index = data.draw(st.integers(0, profile.n - 1))
+    assert (x_measure(apply_multiplicative(profile, index, psi), params)
+            > x_measure(profile, params))

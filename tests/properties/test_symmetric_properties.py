@@ -1,0 +1,95 @@
+"""Property-based tests for symmetric functions and Proposition 3."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.predictors.coefficients import lemma1_coefficients_exact
+from repro.predictors.dominance import DominanceVerdict, cross_product_dominance
+from repro.predictors.moments import variance_from_symmetric
+from repro.predictors.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_exact,
+)
+
+values_strategy = st.lists(st.floats(min_value=0.01, max_value=1.0,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=12)
+
+
+@given(values=values_strategy)
+@settings(max_examples=150, deadline=None)
+def test_dp_matches_exact(values):
+    approx = elementary_symmetric(values)
+    exact = elementary_symmetric_exact(values)
+    for a, x in zip(approx, exact):
+        assert a == pytest.approx(float(x), rel=1e-12)
+
+
+@given(values=values_strategy, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_permutation_invariance(values, data):
+    perm = data.draw(st.permutations(values))
+    assert elementary_symmetric(perm) == pytest.approx(
+        elementary_symmetric(values), rel=1e-12)
+
+
+@given(values=st.lists(st.floats(min_value=0.05, max_value=1.0,
+                                 allow_nan=False), min_size=2, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_variance_identity(values):
+    # eqs. (7)/(8): variance from (F1, F2) equals direct variance.
+    e = elementary_symmetric(values)
+    p = Profile(values)
+    assert variance_from_symmetric(e[1], e[2], p.n) == pytest.approx(
+        p.variance, abs=1e-10)
+
+
+@given(
+    tau=st.fractions(min_value=Fraction(1, 100), max_value=Fraction(1, 3)),
+    pi=st.fractions(min_value=Fraction(0), max_value=Fraction(1, 3)),
+    delta=st.fractions(min_value=Fraction(0), max_value=Fraction(1)),
+    n=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_claim1_exact_for_random_params(tau, pi, delta, n):
+    """αᵢβⱼ > αⱼβᵢ for all i < j, at exact precision."""
+    params = ModelParams(tau=float(tau), pi=float(pi), delta=float(delta))
+    assume(params.satisfies_standing_assumption)
+    alpha, beta = lemma1_coefficients_exact(n, params.exact())
+    alpha_full = list(alpha) + [Fraction(0)]
+    exact = params.exact()
+    for i in range(n + 1):
+        for j in range(i + 1, n + 1):
+            margin = alpha_full[i] * beta[j] - alpha_full[j] * beta[i]
+            assert margin >= 0
+            # Strictness: the proof's sum Σ_{k=n−j}^{n−1−i} A^…(τδ)^k has
+            # all-positive terms when τδ > 0; when τδ = 0 only the k = 0
+            # term survives, which the range includes exactly when j = n.
+            if exact.tau_delta > 0 or j == n:
+                assert margin > 0, (i, j)
+
+
+@given(
+    rhos1=st.lists(st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+                   min_size=2, max_size=6),
+    factor=st.floats(min_value=0.5, max_value=0.99),
+    params_tau=st.floats(min_value=1e-5, max_value=0.2),
+    params_pi=st.floats(min_value=0.0, max_value=0.2),
+)
+@settings(max_examples=150, deadline=None)
+def test_proposition3_verdict_implies_x_order(rhos1, factor, params_tau, params_pi):
+    """When the cross-product test fires, the X ordering follows for any
+    admissible environment."""
+    params = ModelParams(tau=params_tau, pi=params_pi, delta=1.0)
+    assume(params.satisfies_standing_assumption)
+    p1 = Profile(rhos1)
+    p2 = Profile([r * factor for r in rhos1])  # p2 minorizes p1
+    result = cross_product_dominance(p2, p1)
+    assert result.verdict is DominanceVerdict.FIRST_DOMINATES
+    assert x_measure(p2, params) > x_measure(p1, params)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.protocols.conformance."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.base import Protocol, WorkAllocation
+from repro.protocols.conformance import check_protocol_conformance
+from repro.protocols.fifo import FifoProtocol
+from repro.protocols.general import GeneralProtocol
+from repro.protocols.lifo import LifoProtocol
+
+PARAMS = ModelParams(tau=0.01, pi=0.001, delta=1.0)
+PROFILE = Profile([1.0, 0.5, 1 / 3, 0.25])
+
+
+class TestBuiltinsConform:
+    def test_fifo(self):
+        assert check_protocol_conformance(FifoProtocol(), PROFILE, PARAMS) == []
+
+    def test_lifo(self):
+        assert check_protocol_conformance(LifoProtocol(), PROFILE, PARAMS) == []
+
+    def test_general_lp(self):
+        proto = GeneralProtocol((0, 1, 2, 3), (2, 0, 3, 1))
+        assert check_protocol_conformance(proto, PROFILE, PARAMS) == []
+
+
+class _Overclaiming(Protocol):
+    """A deliberately broken protocol claiming impossible production."""
+
+    name = "overclaim"
+
+    def allocate(self, profile, params, lifespan):
+        from repro.protocols.fifo import fifo_allocation
+        honest = fifo_allocation(profile, params, lifespan)
+        return WorkAllocation(profile=profile, params=params, lifespan=lifespan,
+                              w=honest.w * 2.0,
+                              startup_order=honest.startup_order,
+                              finishing_order=honest.finishing_order,
+                              protocol_name="overclaim")
+
+
+class _Raising(Protocol):
+    name = "raising"
+
+    def allocate(self, profile, params, lifespan):
+        raise RuntimeError("boom")
+
+
+class _NonDeterministic(Protocol):
+    name = "random"
+
+    def __init__(self):
+        self._rng = np.random.default_rng(0)
+
+    def allocate(self, profile, params, lifespan):
+        from repro.protocols.fifo import fifo_allocation
+        honest = fifo_allocation(profile, params, lifespan)
+        jitter = 1.0 + 0.01 * self._rng.random()
+        return WorkAllocation(profile=profile, params=params, lifespan=lifespan,
+                              w=honest.w * 0.5 * jitter,
+                              startup_order=honest.startup_order,
+                              finishing_order=honest.finishing_order,
+                              protocol_name="random")
+
+
+class TestBrokenProtocolsCaught:
+    def test_overclaim_detected(self):
+        violations = check_protocol_conformance(_Overclaiming(), PROFILE, PARAMS)
+        assert any("more work than the FIFO optimum" in v for v in violations)
+
+    def test_overclaim_also_infeasible(self):
+        violations = check_protocol_conformance(_Overclaiming(), PROFILE, PARAMS)
+        assert any("infeasible" in v for v in violations)
+
+    def test_raising_reported(self):
+        violations = check_protocol_conformance(_Raising(), PROFILE, PARAMS)
+        assert violations == ["allocate raised RuntimeError: boom"]
+
+    def test_nondeterminism_detected(self):
+        violations = check_protocol_conformance(_NonDeterministic(), PROFILE, PARAMS)
+        assert any("deterministic" in v or "linear" in v for v in violations)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.protocols.feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.protocols.base import WorkAllocation
+from repro.protocols.feasibility import (
+    FeasibilityReport,
+    Violation,
+    check_allocation,
+    check_timeline,
+)
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.lifo import lifo_allocation
+from repro.protocols.timeline import Interval, Timeline, build_timeline
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestFeasibleSchedules:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_fifo_feasible_below_saturation(self, profile, params):
+        from repro.protocols.fifo import fifo_saturation_index
+        if fifo_saturation_index(profile, params) > 1.0:
+            pytest.skip("communication-dominated: Fig.-2 layout does not exist")
+        report = check_allocation(fifo_allocation(profile, params, 40.0))
+        assert report.feasible, report.describe()
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_fifo_infeasibility_detected_above_saturation(self, profile, params):
+        from repro.protocols.fifo import fifo_saturation_index
+        if fifo_saturation_index(profile, params) <= 1.0:
+            pytest.skip("schedulable regime")
+        report = check_allocation(fifo_allocation(profile, params, 40.0))
+        assert not report.feasible  # the checker catches the over-promise
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_lifo_feasible_in_grid(self, params, table4_profile):
+        from repro.protocols.fifo import fifo_saturation_index
+        if fifo_saturation_index(table4_profile, params) > 1.0:
+            pytest.skip("communication-dominated regime")
+        report = check_allocation(lifo_allocation(table4_profile, params, 40.0))
+        assert report.feasible, report.describe()
+
+    def test_greedy_placement_also_feasible(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 40.0)
+        report = check_allocation(alloc, results_as_late_as_possible=False)
+        assert report.feasible, report.describe()
+
+    def test_report_bool_and_describe(self, paper_params, table4_profile):
+        report = check_allocation(fifo_allocation(table4_profile, paper_params, 10.0))
+        assert bool(report)
+        assert "feasible" in report.describe()
+
+
+class TestViolationDetection:
+    def _timeline_with(self, intervals, lifespan=10.0):
+        profile = Profile([1.0, 0.5])
+        alloc = WorkAllocation(profile=profile, params=PAPER_TABLE1,
+                               lifespan=lifespan, w=np.array([1.0, 1.0]),
+                               startup_order=(0, 1), finishing_order=(0, 1))
+        return Timeline(allocation=alloc, intervals=tuple(intervals))
+
+    def test_detects_network_overlap(self):
+        tl = self._timeline_with([
+            Interval("network", "work-transit", 0, 0.0, 2.0),
+            Interval("network", "result-transit", 1, 1.0, 3.0),
+        ])
+        report = check_timeline(tl)
+        assert not report.feasible
+        assert any(v.code == "overlap" for v in report.violations)
+
+    def test_detects_past_lifespan(self):
+        tl = self._timeline_with([
+            Interval("network", "work-transit", 0, 0.0, 11.0),
+        ])
+        report = check_timeline(tl)
+        assert any(v.code == "past-lifespan" for v in report.violations)
+
+    def test_detects_negative_start(self):
+        tl = self._timeline_with([
+            Interval("server", "work-prep", 0, -1.0, 1.0),
+        ])
+        report = check_timeline(tl)
+        assert any(v.code == "before-start" for v in report.violations)
+
+    def test_detects_causality_violation(self):
+        tl = self._timeline_with([
+            Interval("server", "work-prep", 0, 2.0, 3.0),
+            Interval("network", "work-transit", 0, 1.0, 2.0),  # before prep!
+        ])
+        report = check_timeline(tl)
+        assert any(v.code == "causality" for v in report.violations)
+
+    def test_detects_incomplete_stage_chain(self):
+        tl = self._timeline_with([
+            Interval("server", "work-prep", 0, 0.0, 1.0),
+        ])
+        report = check_timeline(tl)
+        assert any(v.code == "incomplete" for v in report.violations)
+
+    def test_overcommitted_allocation_reported_not_raised(self, paper_params):
+        alloc = WorkAllocation(profile=Profile([1.0]), params=paper_params,
+                               lifespan=1.0, w=np.array([100.0]),
+                               startup_order=(0,), finishing_order=(0,))
+        report = check_allocation(alloc)
+        assert not report.feasible
+        assert report.violations[0].code == "slot-missed"
+
+    def test_violation_str(self):
+        v = Violation("overlap", "two messages collided")
+        assert "overlap" in str(v)
+        assert "collided" in str(v)
+
+    def test_infeasible_describe_lists_all(self):
+        report = FeasibilityReport(feasible=False, violations=(
+            Violation("a", "first"), Violation("b", "second")))
+        text = report.describe()
+        assert "first" in text and "second" in text and "2" in text

@@ -1,0 +1,117 @@
+"""Unit tests for repro.protocols.fifo — the optimal CEP solutions."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.core.measure import work_production, x_measure
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import ProtocolError
+from repro.protocols.fifo import (
+    FifoProtocol,
+    fifo_allocation,
+    fifo_saturation_index,
+    fifo_work_fractions,
+)
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestWorkFractions:
+    def test_sum_to_one(self, paper_params, table4_profile):
+        assert fifo_work_fractions(table4_profile, paper_params).sum() == pytest.approx(1.0)
+
+    def test_recurrence_holds(self, heavy_comm_params, table4_profile):
+        # w_{k+1}(Bρ_{k+1} + A) = w_k(Bρ_k + τδ) along the startup order.
+        params = heavy_comm_params
+        w = fifo_work_fractions(table4_profile, params)
+        rho = table4_profile.rho
+        A, B, td = params.A, params.B, params.tau_delta
+        for k in range(table4_profile.n - 1):
+            lhs = w[k + 1] * (B * rho[k + 1] + A)
+            rhs = w[k] * (B * rho[k] + td)
+            assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_faster_computers_get_more_work(self, paper_params, table4_profile):
+        # In the compute-dominant regime the work shares scale like 1/ρ.
+        w = fifo_work_fractions(table4_profile, paper_params)
+        assert list(w) == sorted(w)
+
+    def test_startup_order_changes_shares(self, heavy_comm_params, table4_profile):
+        w_default = fifo_work_fractions(table4_profile, heavy_comm_params)
+        w_reversed = fifo_work_fractions(table4_profile, heavy_comm_params,
+                                         startup_order=[3, 2, 1, 0])
+        assert not np.allclose(w_default, w_reversed)
+
+    def test_bad_order_rejected(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            fifo_work_fractions(table4_profile, paper_params, startup_order=[0, 1])
+
+
+class TestAllocation:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_total_matches_theorem2(self, profile, params):
+        alloc = fifo_allocation(profile, params, 50.0)
+        assert alloc.total_work == pytest.approx(
+            work_production(profile, params, 50.0), rel=1e-12)
+
+    def test_order_invariance_theorem1_part2(self, heavy_comm_params, table4_profile):
+        totals = {
+            round(fifo_allocation(table4_profile, heavy_comm_params, 100.0,
+                                  order).total_work, 9)
+            for order in permutations(range(4))
+        }
+        assert len(totals) == 1
+
+    def test_is_fifo(self, paper_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, paper_params, 10.0)
+        assert alloc.is_fifo
+        assert alloc.protocol_name == "FIFO"
+
+    def test_scale_invariance(self, paper_params, table4_profile):
+        a1 = fifo_allocation(table4_profile, paper_params, 10.0)
+        a2 = fifo_allocation(table4_profile, paper_params, 30.0)
+        assert a2.w == pytest.approx(3.0 * a1.w, rel=1e-12)
+
+    def test_single_computer(self, paper_params):
+        alloc = fifo_allocation(Profile([0.5]), paper_params, 10.0)
+        assert alloc.total_work == pytest.approx(
+            work_production(Profile([0.5]), paper_params, 10.0))
+
+    def test_rejects_bad_lifespan(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            fifo_allocation(table4_profile, paper_params, -1.0)
+
+
+class TestProtocolClass:
+    def test_allocate_delegates(self, paper_params, table4_profile):
+        proto = FifoProtocol()
+        alloc = proto.allocate(table4_profile, paper_params, 10.0)
+        assert alloc.total_work == pytest.approx(
+            fifo_allocation(table4_profile, paper_params, 10.0).total_work)
+
+    def test_fixed_startup_order(self, paper_params, table4_profile):
+        proto = FifoProtocol(startup_order=[3, 2, 1, 0])
+        alloc = proto.allocate(table4_profile, paper_params, 10.0)
+        assert alloc.startup_order == (3, 2, 1, 0)
+
+    def test_work_production_helper(self, paper_params, table4_profile):
+        assert FifoProtocol().work_production(
+            table4_profile, paper_params, 10.0) == pytest.approx(
+            work_production(table4_profile, paper_params, 10.0))
+
+
+class TestSaturationIndex:
+    def test_paper_regime_far_from_saturation(self, paper_params, table4_profile):
+        assert fifo_saturation_index(table4_profile, paper_params) < 0.01
+
+    def test_heavy_comm_regime_can_saturate(self):
+        params = ModelParams(tau=0.2, pi=0.01, delta=1.0)
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        assert fifo_saturation_index(profile, params) > 1.0
+
+    def test_index_is_a_times_x(self, paper_params, table4_profile):
+        assert fifo_saturation_index(table4_profile, paper_params) == pytest.approx(
+            paper_params.A * x_measure(table4_profile, paper_params))

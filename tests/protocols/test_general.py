@@ -1,0 +1,75 @@
+"""Unit tests for repro.protocols.general — the LP scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import ProtocolError
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.general import GeneralProtocol, lp_allocation
+
+
+class TestLpAllocation:
+    def test_fifo_lp_matches_closed_form(self, heavy_comm_params, table4_profile):
+        order = (0, 1, 2, 3)
+        lp = lp_allocation(table4_profile, heavy_comm_params, 20.0, order, order)
+        closed = fifo_allocation(table4_profile, heavy_comm_params, 20.0, order)
+        assert lp.total_work == pytest.approx(closed.total_work, rel=1e-7)
+        assert lp.w == pytest.approx(closed.w, rel=1e-5)
+
+    def test_no_sampled_protocol_beats_fifo(self, heavy_comm_params, table4_profile, rng):
+        fifo = fifo_allocation(table4_profile, heavy_comm_params, 20.0).total_work
+        for _ in range(15):
+            sigma = tuple(rng.permutation(4).tolist())
+            phi = tuple(rng.permutation(4).tolist())
+            w = lp_allocation(table4_profile, heavy_comm_params, 20.0,
+                              sigma, phi).total_work
+            assert w <= fifo * (1.0 + 1e-9)
+
+    def test_quanta_nonnegative(self, heavy_comm_params, table4_profile):
+        alloc = lp_allocation(table4_profile, heavy_comm_params, 20.0,
+                              (3, 1, 0, 2), (0, 2, 3, 1))
+        assert (alloc.w >= 0.0).all()
+
+    def test_scales_linearly_with_lifespan(self, heavy_comm_params, table4_profile):
+        a1 = lp_allocation(table4_profile, heavy_comm_params, 10.0,
+                           (0, 1, 2, 3), (1, 0, 3, 2))
+        a2 = lp_allocation(table4_profile, heavy_comm_params, 20.0,
+                           (0, 1, 2, 3), (1, 0, 3, 2))
+        assert a2.total_work == pytest.approx(2.0 * a1.total_work, rel=1e-7)
+
+    def test_single_computer(self, paper_params):
+        alloc = lp_allocation(Profile([1.0]), paper_params, 10.0, (0,), (0,))
+        closed = fifo_allocation(Profile([1.0]), paper_params, 10.0)
+        assert alloc.total_work == pytest.approx(closed.total_work, rel=1e-9)
+
+    def test_rejects_bad_order(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            lp_allocation(table4_profile, paper_params, 10.0, (0, 1), (0, 1, 2, 3))
+
+    def test_rejects_bad_lifespan(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            lp_allocation(table4_profile, paper_params, 0.0,
+                          (0, 1, 2, 3), (0, 1, 2, 3))
+
+    def test_separation_constraint_binds_under_saturation(self, table4_profile):
+        # In a communication-dominated regime, disabling the separation
+        # constraint can only increase (never decrease) the LP optimum.
+        params = ModelParams(tau=0.2, pi=0.01, delta=1.0)
+        order = (0, 1, 2, 3)
+        with_sep = lp_allocation(table4_profile, params, 10.0, order, order,
+                                 enforce_separation=True).total_work
+        without = lp_allocation(table4_profile, params, 10.0, order, order,
+                                enforce_separation=False).total_work
+        assert without >= with_sep
+
+
+class TestGeneralProtocolClass:
+    def test_labels_fifo_shapes(self, paper_params, table4_profile):
+        proto = GeneralProtocol((0, 1, 2, 3), (0, 1, 2, 3))
+        assert proto.allocate(table4_profile, paper_params, 5.0).protocol_name == "FIFO-LP"
+
+    def test_labels_general_shapes(self, paper_params, table4_profile):
+        proto = GeneralProtocol((0, 1, 2, 3), (3, 2, 1, 0))
+        assert proto.allocate(table4_profile, paper_params, 5.0).protocol_name == "general-LP"

@@ -1,0 +1,82 @@
+"""Unit tests for repro.protocols.lifo."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import ProtocolError
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.general import lp_allocation
+from repro.protocols.lifo import LifoProtocol, lifo_allocation
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestLifoAllocation:
+    def test_finishing_order_is_reverse(self, paper_params, table4_profile):
+        alloc = lifo_allocation(table4_profile, paper_params, 10.0)
+        assert alloc.finishing_order == tuple(reversed(alloc.startup_order))
+        assert not alloc.is_fifo
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_never_beats_fifo(self, profile, params):
+        # Theorem 1: FIFO is optimal.
+        if profile.n == 1:
+            pytest.skip("LIFO == FIFO for one computer")
+        lifo = lifo_allocation(profile, params, 25.0).total_work
+        fifo = fifo_allocation(profile, params, 25.0).total_work
+        assert lifo <= fifo * (1.0 + 1e-12)
+
+    def test_strictly_worse_when_comm_matters(self, heavy_comm_params, table4_profile):
+        lifo = lifo_allocation(table4_profile, heavy_comm_params, 25.0).total_work
+        fifo = fifo_allocation(table4_profile, heavy_comm_params, 25.0).total_work
+        assert lifo < fifo
+
+    @pytest.mark.parametrize("params", PARAM_GRID[:4])
+    def test_matches_lp_optimum(self, params, table4_profile):
+        # The all-tight recurrence is the LIFO optimum: the LP agrees.
+        closed = lifo_allocation(table4_profile, params, 10.0)
+        lp = lp_allocation(table4_profile, params, 10.0,
+                           closed.startup_order, closed.finishing_order)
+        assert closed.total_work == pytest.approx(lp.total_work, rel=1e-7)
+
+    def test_all_quanta_positive(self, heavy_comm_params, table4_profile):
+        alloc = lifo_allocation(table4_profile, heavy_comm_params, 10.0)
+        assert (alloc.w > 0.0).all()
+
+    def test_recurrence_constraints_tight(self, heavy_comm_params, table4_profile):
+        # (A + τδ)·T_k + Bρ_k·w_k = L for every startup prefix.
+        params = heavy_comm_params
+        alloc = lifo_allocation(table4_profile, params, 10.0)
+        w = alloc.w_in_startup_order()
+        rho = table4_profile.rho[list(alloc.startup_order)]
+        T = 0.0
+        for k in range(table4_profile.n):
+            T += w[k]
+            lhs = (params.A + params.tau_delta) * T + params.B * rho[k] * w[k]
+            assert lhs == pytest.approx(10.0, rel=1e-12)
+
+    def test_lifo_total_is_order_invariant(self, heavy_comm_params, table4_profile):
+        # Like FIFO, LIFO's *total* is a symmetric function of the profile
+        # (individual quanta are not).
+        default = lifo_allocation(table4_profile, heavy_comm_params, 10.0)
+        reverse = lifo_allocation(table4_profile, heavy_comm_params, 10.0,
+                                  startup_order=[3, 2, 1, 0])
+        assert default.total_work == pytest.approx(reverse.total_work, rel=1e-12)
+        assert not np.allclose(default.w, reverse.w)
+
+    def test_rejects_bad_lifespan(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            lifo_allocation(table4_profile, paper_params, float("inf"))
+
+
+class TestLifoProtocolClass:
+    def test_allocate(self, paper_params, table4_profile):
+        alloc = LifoProtocol().allocate(table4_profile, paper_params, 10.0)
+        assert alloc.protocol_name == "LIFO"
+
+    def test_fixed_order(self, paper_params, table4_profile):
+        alloc = LifoProtocol([1, 0, 3, 2]).allocate(table4_profile, paper_params, 10.0)
+        assert alloc.startup_order == (1, 0, 3, 2)
+        assert alloc.finishing_order == (2, 3, 0, 1)

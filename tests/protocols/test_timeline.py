@@ -1,0 +1,117 @@
+"""Unit tests for repro.protocols.timeline (Figs. 1–2 reconstruction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InfeasibleScheduleError
+from repro.protocols.base import WorkAllocation
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.lifo import lifo_allocation
+from repro.protocols.timeline import Interval, build_timeline
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval("network", "work-transit", 0, 1.0, 3.0)
+        assert iv.duration == 2.0
+
+    def test_overlap_detection(self):
+        a = Interval("network", "work-transit", 0, 0.0, 2.0)
+        b = Interval("network", "result-transit", 1, 1.0, 3.0)
+        c = Interval("network", "result-transit", 1, 2.0, 3.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: touching is not overlap
+
+
+class TestBuildTimelineFifo:
+    def test_figure1_single_worker_structure(self, heavy_comm_params):
+        # Fig. 1: prep → transit → busy → result, ending exactly at L.
+        profile = Profile([1.0])
+        alloc = fifo_allocation(profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        kinds = [iv.kind for iv in tl.for_computer(0)]
+        assert kinds == ["work-prep", "work-transit", "busy", "result-transit"]
+        assert tl.makespan == pytest.approx(10.0, rel=1e-12)
+
+    def test_figure2_three_workers_contiguous_sends(self, heavy_comm_params):
+        profile = Profile([1.0, 0.5, 1 / 3])
+        alloc = fifo_allocation(profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        preps = [iv for iv in tl.on_resource("server") if iv.kind == "work-prep"]
+        transits = [iv for iv in tl.on_resource("network") if iv.kind == "work-transit"]
+        # Seriatim: prep k+1 starts exactly when transit k ends.
+        for transit, nxt in zip(transits, preps[1:]):
+            assert nxt.start == pytest.approx(transit.end, rel=1e-12)
+
+    def test_results_contiguous_and_end_at_lifespan(self, heavy_comm_params):
+        profile = Profile([1.0, 0.5, 1 / 3])
+        alloc = fifo_allocation(profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        results = [iv for iv in tl.on_resource("network") if iv.kind == "result-transit"]
+        for prev, cur in zip(results, results[1:]):
+            assert cur.start == pytest.approx(prev.end, rel=1e-12)
+        assert results[-1].end == pytest.approx(10.0, rel=1e-12)
+
+    def test_busy_duration_is_B_rho_w(self, heavy_comm_params):
+        profile = Profile([1.0, 0.5])
+        alloc = fifo_allocation(profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        for c in range(2):
+            busy = [iv for iv in tl.for_computer(c) if iv.kind == "busy"][0]
+            expected = heavy_comm_params.B * profile.rho[c] * alloc.w[c]
+            assert busy.duration == pytest.approx(expected, rel=1e-12)
+
+    def test_utilization_bounded(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        for resource in tl.resources:
+            assert 0.0 < tl.utilization(resource) <= 1.0 + 1e-12
+
+
+class TestBuildTimelineLifo:
+    def test_lifo_results_in_reverse_order(self, heavy_comm_params, table4_profile):
+        alloc = lifo_allocation(table4_profile, heavy_comm_params, 10.0)
+        tl = build_timeline(alloc)
+        results = [iv for iv in tl.on_resource("network")
+                   if iv.kind == "result-transit"]
+        assert [iv.computer for iv in results] == [3, 2, 1, 0]
+
+
+class TestGreedyPlacement:
+    def test_greedy_never_later_than_late(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 10.0)
+        late = build_timeline(alloc, results_as_late_as_possible=True)
+        greedy = build_timeline(alloc, results_as_late_as_possible=False)
+        for c in range(4):
+            late_result = [iv for iv in late.for_computer(c)
+                           if iv.kind == "result-transit"][0]
+            greedy_result = [iv for iv in greedy.for_computer(c)
+                             if iv.kind == "result-transit"][0]
+            assert greedy_result.start <= late_result.start + 1e-12
+
+
+class TestEdgeCases:
+    def test_zero_work_computer_skipped(self, paper_params):
+        profile = Profile([1.0, 0.5])
+        alloc = WorkAllocation(profile=profile, params=paper_params, lifespan=10.0,
+                               w=np.array([5.0, 0.0]), startup_order=(0, 1),
+                               finishing_order=(0, 1))
+        tl = build_timeline(alloc)
+        assert tl.for_computer(1) == []
+
+    def test_delta_zero_produces_no_result_transits(self, table4_profile):
+        params = ModelParams(tau=1e-3, pi=1e-4, delta=0.0)
+        alloc = fifo_allocation(table4_profile, params, 10.0)
+        tl = build_timeline(alloc)
+        assert all(iv.kind != "result-transit" for iv in tl)
+
+    def test_overcommitted_allocation_raises(self, paper_params):
+        # Hand-build an allocation that can't meet its result slots.
+        profile = Profile([1.0])
+        alloc = WorkAllocation(profile=profile, params=paper_params, lifespan=1.0,
+                               w=np.array([100.0]), startup_order=(0,),
+                               finishing_order=(0,))
+        with pytest.raises(InfeasibleScheduleError):
+            build_timeline(alloc)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.sampling.equal_mean."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.equal_mean import equal_mean_pair, mean_preserving_spread
+
+
+class TestRescaleStrategy:
+    def test_means_match(self, rng):
+        for _ in range(20):
+            a, b = equal_mean_pair(rng, 8, strategy="rescale")
+            assert b.mean == pytest.approx(a.mean, rel=1e-12)
+
+    def test_values_in_range(self, rng):
+        a, b = equal_mean_pair(rng, 64, strategy="rescale")
+        for p in (a, b):
+            assert p.fastest_rho > 0.0
+            assert p.slowest_rho <= 1.0
+
+    def test_variances_generically_differ(self, rng):
+        diffs = [abs(a.variance - b.variance)
+                 for a, b in (equal_mean_pair(rng, 8) for _ in range(10))]
+        assert all(d > 0.0 for d in diffs)
+
+
+class TestSpreadStrategy:
+    def test_means_match_exactly_by_construction(self, rng):
+        a, b = equal_mean_pair(rng, 16, strategy="spread")
+        assert a.mean == pytest.approx(b.mean, abs=1e-12)
+
+    def test_widened_has_larger_variance(self, rng):
+        for _ in range(10):
+            a, b = equal_mean_pair(rng, 16, strategy="spread")
+            assert a.variance >= b.variance
+
+    def test_spread_steps_parameter(self, rng):
+        a, b = equal_mean_pair(rng, 8, strategy="spread", spread_steps=100)
+        assert a.variance > b.variance
+
+
+class TestWindowStrategy:
+    def test_means_match(self, rng):
+        for _ in range(20):
+            a, b = equal_mean_pair(rng, 32, strategy="window")
+            assert b.mean == pytest.approx(a.mean, rel=1e-12)
+
+    def test_gap_does_not_collapse_with_n(self, rng):
+        gaps_small = np.mean([abs(a.variance - b.variance)
+                              for a, b in (equal_mean_pair(rng, 8, strategy="window")
+                                           for _ in range(60))])
+        gaps_large = np.mean([abs(a.variance - b.variance)
+                              for a, b in (equal_mean_pair(rng, 512, strategy="window")
+                                           for _ in range(60))])
+        # O(1) gaps at every size (the rescale strategy's gaps vanish).
+        assert gaps_large > 0.25 * gaps_small
+
+
+class TestMixedStrategy:
+    def test_produces_valid_pairs(self, rng):
+        for _ in range(10):
+            a, b = equal_mean_pair(rng, 16, strategy="mixed")
+            assert a.mean == pytest.approx(b.mean, rel=1e-12)
+
+
+class TestMeanPreservingSpread:
+    def test_sum_invariant(self, rng):
+        values = rng.uniform(0.1, 0.9, 10)
+        out = mean_preserving_spread(rng, values, steps=50, widen=True)
+        assert out.sum() == pytest.approx(values.sum(), rel=1e-12)
+
+    def test_widen_increases_variance(self, rng):
+        values = rng.uniform(0.3, 0.7, 10)
+        out = mean_preserving_spread(rng, values, steps=50, widen=True)
+        assert out.var() >= values.var()
+
+    def test_tighten_decreases_variance(self, rng):
+        values = rng.uniform(0.1, 0.9, 10)
+        out = mean_preserving_spread(rng, values, steps=50, widen=False)
+        assert out.var() <= values.var()
+
+    def test_stays_in_box(self, rng):
+        values = rng.uniform(0.1, 0.9, 10)
+        out = mean_preserving_spread(rng, values, steps=200, widen=True,
+                                     low=0.05, high=0.95)
+        assert out.min() >= 0.05 - 1e-12
+        assert out.max() <= 0.95 + 1e-12
+
+    def test_input_not_modified(self, rng):
+        values = rng.uniform(0.1, 0.9, 10)
+        copy = values.copy()
+        mean_preserving_spread(rng, values, steps=10, widen=True)
+        assert (values == copy).all()
+
+    def test_needs_two_entries(self, rng):
+        with pytest.raises(SamplingError):
+            mean_preserving_spread(rng, np.array([0.5]), steps=1, widen=True)
+
+
+class TestValidation:
+    def test_rejects_n1(self, rng):
+        with pytest.raises(SamplingError):
+            equal_mean_pair(rng, 1)
+
+    def test_rejects_unknown_strategy(self, rng):
+        with pytest.raises(SamplingError):
+            equal_mean_pair(rng, 4, strategy="bogus")  # type: ignore[arg-type]

@@ -1,0 +1,90 @@
+"""Unit tests for repro.sampling.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.generators import (
+    PROFILE_SAMPLERS,
+    RHO_FLOOR,
+    beta_profile,
+    power_profile,
+    two_point_profile,
+    uniform_profile,
+)
+
+
+class TestUniform:
+    def test_in_range(self, rng):
+        p = uniform_profile(rng, 1000)
+        assert p.fastest_rho >= RHO_FLOOR
+        assert p.slowest_rho <= 1.0
+
+    def test_reproducible_from_seed(self):
+        a = uniform_profile(np.random.default_rng(7), 10)
+        b = uniform_profile(np.random.default_rng(7), 10)
+        assert a == b
+
+    def test_rejects_bad_low(self, rng):
+        with pytest.raises(SamplingError):
+            uniform_profile(rng, 4, low=1.5)
+
+    def test_rejects_bad_n(self, rng):
+        with pytest.raises(SamplingError):
+            uniform_profile(rng, 0)
+
+
+class TestBeta:
+    def test_in_range(self, rng):
+        p = beta_profile(rng, 500, a=0.5, b=3.0)
+        assert p.fastest_rho >= RHO_FLOOR
+        assert p.slowest_rho <= 1.0
+
+    def test_skew_direction(self, rng):
+        fast_heavy = beta_profile(rng, 4000, a=1.0, b=5.0)
+        slow_heavy = beta_profile(rng, 4000, a=5.0, b=1.0)
+        assert fast_heavy.mean < slow_heavy.mean
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(SamplingError):
+            beta_profile(rng, 4, a=0.0)
+
+
+class TestPower:
+    def test_gamma_concentrates_fast(self, rng):
+        heavy = power_profile(rng, 4000, gamma=4.0)
+        flat = power_profile(rng, 4000, gamma=1.0)
+        assert heavy.mean < flat.mean
+
+    def test_rejects_bad_gamma(self, rng):
+        with pytest.raises(SamplingError):
+            power_profile(rng, 4, gamma=-1.0)
+
+
+class TestTwoPoint:
+    def test_only_two_values(self, rng):
+        p = two_point_profile(rng, 200, rho_fast=0.2, rho_slow=0.9)
+        assert set(np.unique(p.rho)) <= {0.2, 0.9}
+
+    def test_p_fast_extremes(self, rng):
+        all_fast = two_point_profile(rng, 50, p_fast=1.0)
+        assert all_fast.is_homogeneous
+        all_slow = two_point_profile(rng, 50, p_fast=0.0)
+        assert all_slow.slowest_rho == 1.0
+
+    def test_rejects_inverted_rates(self, rng):
+        with pytest.raises(SamplingError):
+            two_point_profile(rng, 4, rho_fast=0.9, rho_slow=0.2)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(SamplingError):
+            two_point_profile(rng, 4, p_fast=1.5)
+
+
+class TestRegistry:
+    def test_all_samplers_produce_valid_profiles(self, rng):
+        for name, sampler in PROFILE_SAMPLERS.items():
+            p = sampler(rng, 16)
+            assert p.n == 16, name
+            assert p.fastest_rho > 0.0, name
+            assert p.slowest_rho <= 1.0, name

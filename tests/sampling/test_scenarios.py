@@ -1,0 +1,83 @@
+"""Unit tests for repro.sampling.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.scenarios import (
+    SCENARIOS,
+    aging_lab,
+    cloud_spot_mix,
+    hero_and_herd,
+    two_tier_datacenter,
+    volunteer_swarm,
+)
+
+
+class TestAgingLab:
+    def test_geometric_decay(self):
+        p = aging_lab(4, generation_speedup=2.0)
+        assert list(p) == pytest.approx([1.0, 0.5, 0.25, 0.125])
+
+    def test_power_ordered_and_normalized(self):
+        p = aging_lab(6)
+        assert p.is_power_ordered
+        assert p.is_normalized
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            aging_lab(0)
+        with pytest.raises(SamplingError):
+            aging_lab(4, generation_speedup=1.0)
+
+
+class TestTwoTier:
+    def test_sizes(self):
+        p = two_tier_datacenter(5, 2, tier_ratio=4.0)
+        assert p.n == 7
+        assert sorted(set(p))[0] == 0.25
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            two_tier_datacenter(tier_ratio=0.5)
+
+
+class TestVolunteerSwarm:
+    def test_shape(self, rng):
+        p = volunteer_swarm(rng, 50)
+        assert p.n == 50
+        assert p.is_power_ordered
+        # Power-law concentrates toward fast machines: median below mean.
+        assert np.median(p.rho) < p.mean
+
+
+class TestCloudSpotMix:
+    def test_mostly_mid_range(self, rng):
+        p = cloud_spot_mix(rng, 200, outlier_fraction=0.1)
+        mid = np.sum((p.rho >= 0.4) & (p.rho <= 0.6))
+        assert mid >= 0.8 * 200
+
+    def test_no_outliers_case(self, rng):
+        p = cloud_spot_mix(rng, 50, outlier_fraction=0.0)
+        assert p.fastest_rho >= 0.4
+
+    def test_validation(self, rng):
+        with pytest.raises(SamplingError):
+            cloud_spot_mix(rng, 10, outlier_fraction=1.0)
+
+
+class TestHeroAndHerd:
+    def test_shape(self):
+        p = hero_and_herd(3, hero_speedup=5.0)
+        assert list(p) == [1.0, 1.0, 1.0, 0.2]
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            hero_and_herd(hero_speedup=1.0)
+
+
+class TestRegistry:
+    def test_deterministic_scenarios_runnable(self):
+        for name, factory in SCENARIOS.items():
+            profile = factory()
+            assert profile.n >= 2, name

@@ -1,0 +1,89 @@
+"""Unit tests for repro.simulation.engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(2.0, lambda: times.append(sim.now))
+        sim.schedule_at(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            sim.schedule_after(0.5, lambda: log.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert log == [1.5]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.now == 4.0
+        assert sim.events_processed == 5
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock moved to the horizon
+
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [1, 3]
+
+    def test_scheduling_into_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule_at(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,69 @@
+"""Unit tests for repro.simulation.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append(3))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        while not q.empty:
+            q.pop().action()
+        assert fired == [1, 2, 3]
+
+    def test_stable_for_ties(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(1.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("c"))
+        while not q.empty:
+            q.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, lambda: fired.append("x"))
+        q.push(2.0, lambda: fired.append("y"))
+        event.cancel()
+        while not q.empty:
+            q.pop().action()
+        assert fired == ["y"]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time is None
+        q.push(5.0, lambda: None)
+        assert q.next_time == 5.0
+
+    def test_empty_after_cancelling_everything(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        assert q.empty
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)

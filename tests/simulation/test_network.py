@@ -1,0 +1,62 @@
+"""Unit tests for repro.simulation.network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.network import SingleChannelNetwork
+
+
+class TestSingleChannelNetwork:
+    def test_grants_at_requested_time_when_free(self):
+        net = SingleChannelNetwork()
+        t = net.reserve("work", 0, earliest=1.0, duration=2.0)
+        assert (t.start, t.end) == (1.0, 3.0)
+
+    def test_serialises_conflicting_requests(self):
+        net = SingleChannelNetwork()
+        net.reserve("work", 0, earliest=0.0, duration=2.0)
+        t = net.reserve("work", 1, earliest=1.0, duration=1.0)
+        assert t.start == 2.0  # pushed to when the channel frees
+
+    def test_no_push_when_gap_exists(self):
+        net = SingleChannelNetwork()
+        net.reserve("work", 0, earliest=0.0, duration=1.0)
+        t = net.reserve("result", 1, earliest=5.0, duration=1.0)
+        assert t.start == 5.0
+
+    def test_free_at_tracks_last_grant(self):
+        net = SingleChannelNetwork()
+        net.reserve("work", 0, earliest=0.0, duration=2.5)
+        assert net.free_at == 2.5
+
+    def test_zero_duration_allowed(self):
+        net = SingleChannelNetwork()
+        t = net.reserve("result", 0, earliest=1.0, duration=0.0)
+        assert t.start == t.end == 1.0
+
+    def test_busy_time(self):
+        net = SingleChannelNetwork()
+        net.reserve("work", 0, earliest=0.0, duration=2.0)
+        net.reserve("result", 0, earliest=5.0, duration=1.5)
+        assert net.busy_time() == pytest.approx(3.5)
+
+    def test_assert_serial_passes(self):
+        net = SingleChannelNetwork()
+        for i in range(5):
+            net.reserve("work", i, earliest=float(i), duration=0.5)
+        net.assert_serial()  # must not raise
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            SingleChannelNetwork().reserve("work", 0, earliest=0.0, duration=-1.0)
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(SimulationError):
+            SingleChannelNetwork().reserve("work", 0, earliest=-1.0, duration=1.0)
+
+    def test_transits_recorded_in_grant_order(self):
+        net = SingleChannelNetwork()
+        net.reserve("work", 7, earliest=0.0, duration=1.0)
+        net.reserve("result", 3, earliest=0.0, duration=1.0)
+        kinds = [(t.kind, t.computer) for t in net.transits]
+        assert kinds == [("work", 7), ("result", 3)]

@@ -1,0 +1,116 @@
+"""Unit tests for repro.simulation.runner — the DES vs the analytics."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import work_production
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import SimulationError
+from repro.protocols.feasibility import check_timeline
+from repro.protocols.fifo import FifoProtocol, fifo_allocation, fifo_saturation_index
+from repro.protocols.lifo import LifoProtocol, lifo_allocation
+from repro.simulation.runner import simulate_allocation, simulate_protocol
+from tests.conftest import PARAM_GRID, PROFILE_GRID
+
+
+class TestFifoAgreement:
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("profile", PROFILE_GRID)
+    def test_simulated_work_matches_theorem2(self, profile, params):
+        if fifo_saturation_index(profile, params) > 1.0:
+            pytest.skip("communication-dominated regime")
+        result = simulate_allocation(fifo_allocation(profile, params, 60.0))
+        assert result.all_completed
+        assert result.completed_work == pytest.approx(
+            work_production(profile, params, 60.0), rel=1e-9)
+
+    @pytest.mark.parametrize("policy", ["late", "greedy"])
+    def test_policies_complete_same_work(self, policy, heavy_comm_params,
+                                         table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        result = simulate_allocation(alloc, results_policy=policy)
+        assert result.completed_work == pytest.approx(alloc.total_work, rel=1e-9)
+
+    def test_greedy_makespan_no_later(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        late = simulate_allocation(alloc, results_policy="late")
+        greedy = simulate_allocation(alloc, results_policy="greedy")
+        assert greedy.makespan <= late.makespan + 1e-9
+
+    def test_observed_timeline_is_feasible(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        result = simulate_allocation(alloc)
+        report = check_timeline(result.to_timeline())
+        assert report.feasible, report.describe()
+
+
+class TestLifoAgreement:
+    def test_simulated_lifo_matches_closed_form(self, heavy_comm_params,
+                                                table4_profile):
+        alloc = lifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        result = simulate_allocation(alloc)
+        assert result.all_completed
+        assert result.completed_work == pytest.approx(alloc.total_work, rel=1e-9)
+
+    def test_lifo_results_arrive_in_reverse_order(self, heavy_comm_params,
+                                                  table4_profile):
+        alloc = lifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        result = simulate_allocation(alloc)
+        ends = [result.record_for(c).result_end for c in alloc.finishing_order]
+        assert ends == sorted(ends)
+
+
+class TestOversubscription:
+    def test_overcommitted_schedule_loses_work(self):
+        # In a saturated regime the analytic W over-promises; the DES
+        # honestly reports the shortfall.
+        params = ModelParams(tau=0.2, pi=0.01, delta=1.0)
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        assert fifo_saturation_index(profile, params) > 1.0
+        alloc = fifo_allocation(profile, params, 60.0)
+        result = simulate_allocation(alloc)
+        assert not result.all_completed
+        assert result.completed_work < alloc.total_work
+
+
+class TestBookkeeping:
+    def test_network_busy_time(self, heavy_comm_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, heavy_comm_params, 60.0)
+        result = simulate_allocation(alloc)
+        params = heavy_comm_params
+        expected = (params.tau + params.tau_delta) * alloc.total_work
+        assert result.network_busy_time == pytest.approx(expected, rel=1e-9)
+
+    def test_records_cover_all_computers(self, paper_params, table4_profile):
+        result = simulate_protocol(FifoProtocol(), table4_profile, paper_params, 60.0)
+        assert [r.computer for r in result.records] == [0, 1, 2, 3]
+
+    def test_record_for_unknown_computer(self, paper_params, table4_profile):
+        result = simulate_protocol(FifoProtocol(), table4_profile, paper_params, 60.0)
+        with pytest.raises(SimulationError):
+            result.record_for(99)
+
+    def test_event_count_scales_with_cluster(self, paper_params):
+        small = simulate_protocol(FifoProtocol(), Profile.linear(2), paper_params, 60.0)
+        large = simulate_protocol(FifoProtocol(), Profile.linear(8), paper_params, 60.0)
+        assert large.events_processed > small.events_processed
+
+    def test_unknown_policy_rejected(self, paper_params, table4_profile):
+        alloc = fifo_allocation(table4_profile, paper_params, 60.0)
+        with pytest.raises(SimulationError):
+            simulate_allocation(alloc, results_policy="whenever")
+
+    def test_delta_zero_completion_via_busy_end(self, table4_profile):
+        params = ModelParams(tau=1e-3, pi=1e-4, delta=0.0)
+        result = simulate_protocol(FifoProtocol(), table4_profile, params, 60.0)
+        assert result.all_completed
+        rec = result.record_for(0)
+        assert rec.result_end == rec.busy_end
+
+    def test_milestones_ordered(self, heavy_comm_params, table4_profile):
+        result = simulate_protocol(LifoProtocol(), table4_profile,
+                                   heavy_comm_params, 60.0)
+        for rec in result.records:
+            assert rec.send_prep_start <= rec.arrived <= rec.busy_end
+            assert rec.busy_end <= rec.result_start <= rec.result_end

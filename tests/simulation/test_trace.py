@@ -1,0 +1,87 @@
+"""Unit tests for repro.simulation.trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.fifo import fifo_allocation
+from repro.simulation.runner import simulate_allocation
+from repro.simulation.trace import event_log, utilization_summary
+
+
+@pytest.fixture
+def sim_result(heavy_comm_params, table4_profile):
+    alloc = fifo_allocation(table4_profile, heavy_comm_params, 60.0)
+    return simulate_allocation(alloc)
+
+
+class TestUtilizationSummary:
+    def test_network_utilization_matches_busy_time(self, sim_result):
+        summary = utilization_summary(sim_result)
+        assert summary.network_utilization == pytest.approx(
+            sim_result.network_busy_time / 60.0)
+
+    def test_utilizations_in_unit_interval(self, sim_result):
+        summary = utilization_summary(sim_result)
+        assert 0.0 < summary.network_utilization <= 1.0
+        assert 0.0 < summary.server_utilization <= 1.0
+        for w in summary.worker_breakdowns:
+            assert 0.0 < w.busy_fraction <= 1.0
+
+    def test_worker_breakdown_sums_to_lifespan(self, sim_result):
+        summary = utilization_summary(sim_result)
+        for w in summary.worker_breakdowns:
+            assert w.total == pytest.approx(60.0, rel=1e-9)
+
+    def test_busy_matches_model(self, sim_result):
+        params = sim_result.allocation.params
+        profile = sim_result.allocation.profile
+        summary = utilization_summary(sim_result)
+        for w in summary.worker_breakdowns:
+            expected = params.B * profile.rho[w.computer] * sim_result.allocation.w[w.computer]
+            assert w.busy == pytest.approx(expected, rel=1e-9)
+
+    def test_later_started_workers_wait_longer_for_work(self, sim_result):
+        summary = utilization_summary(sim_result)
+        waits = [w.waiting_for_work for w in summary.worker_breakdowns]
+        assert waits == sorted(waits)  # startup order = profile order here
+
+    def test_least_utilized_worker_identified(self, sim_result):
+        summary = utilization_summary(sim_result)
+        fractions = {w.computer: w.busy_fraction for w in summary.worker_breakdowns}
+        least = summary.least_utilized_worker()
+        assert fractions[least] == min(fractions.values())
+
+    def test_mean_busy_fraction(self, sim_result):
+        summary = utilization_summary(sim_result)
+        manual = np.mean([w.busy_fraction for w in summary.worker_breakdowns])
+        assert summary.mean_worker_busy_fraction == pytest.approx(manual)
+
+
+class TestEventLog:
+    def test_chronological(self, sim_result):
+        log = event_log(sim_result)
+        times = [float(line[2:14]) for line in log]  # "t={t:12.6g}" field
+        assert times == sorted(times)
+
+    def test_mentions_every_computer(self, sim_result):
+        text = "\n".join(event_log(sim_result))
+        for c in range(4):
+            assert f"C{c + 1}" in text
+
+    def test_five_milestones_per_worker(self, sim_result):
+        # prep, receive, finish, begin-return, arrive for each of 4 workers.
+        assert len(event_log(sim_result)) == 20
+
+    def test_zero_work_computers_absent(self, paper_params):
+        profile = Profile([1.0, 0.5])
+        alloc = fifo_allocation(profile, paper_params, 10.0)
+        import numpy as np
+        from repro.protocols.base import WorkAllocation
+        silent = WorkAllocation(profile=profile, params=paper_params,
+                                lifespan=10.0, w=np.array([5.0, 0.0]),
+                                startup_order=(0, 1), finishing_order=(0, 1))
+        result = simulate_allocation(silent)
+        text = "\n".join(event_log(result))
+        assert "C2" not in text

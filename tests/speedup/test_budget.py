@@ -1,0 +1,141 @@
+"""Unit tests for repro.speedup.budget (budgeted upgrade selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.budget import (
+    UpgradeOption,
+    greedy_budgeted_upgrades,
+    plan_budgeted_upgrades,
+)
+
+
+@pytest.fixture
+def fleet():
+    return Profile([1.0, 0.6, 0.3])
+
+
+@pytest.fixture
+def catalogue(fleet):
+    return [
+        UpgradeOption(index=0, new_rho=0.5, cost=3.0),
+        UpgradeOption(index=0, new_rho=0.8, cost=1.0),
+        UpgradeOption(index=1, new_rho=0.3, cost=2.0),
+        UpgradeOption(index=2, new_rho=0.15, cost=2.5),
+        UpgradeOption(index=2, new_rho=0.25, cost=0.5),
+    ]
+
+
+class TestExactPlanner:
+    def test_zero_budget_buys_nothing(self, fleet, catalogue, paper_params):
+        plan = plan_budgeted_upgrades(fleet, paper_params, catalogue, 0.0)
+        assert plan.chosen == ()
+        assert plan.improvement == 0.0
+
+    def test_unlimited_budget_buys_best_option_per_machine(self, fleet,
+                                                           catalogue, paper_params):
+        plan = plan_budgeted_upgrades(fleet, paper_params, catalogue, 100.0)
+        assert plan.new_profile == Profile([0.5, 0.3, 0.15])
+
+    def test_respects_budget(self, fleet, catalogue, paper_params):
+        for budget in (0.5, 2.0, 4.0, 6.0):
+            plan = plan_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+            assert plan.total_cost <= budget + 1e-12
+
+    def test_beats_every_feasible_subset(self, fleet, catalogue, paper_params):
+        from itertools import combinations
+        budget = 4.0
+        plan = plan_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+        for r in range(len(catalogue) + 1):
+            for subset in combinations(catalogue, r):
+                if sum(o.cost for o in subset) > budget:
+                    continue
+                if len({o.index for o in subset}) != len(subset):
+                    continue  # one option per machine
+                rho = fleet.rho.copy()
+                for o in subset:
+                    rho[o.index] = o.new_rho
+                assert plan.x_after >= x_measure(rho, paper_params) - 1e-12
+
+    def test_at_most_one_option_per_machine(self, fleet, catalogue, paper_params):
+        plan = plan_budgeted_upgrades(fleet, paper_params, catalogue, 100.0)
+        indices = [o.index for o in plan.chosen]
+        assert len(indices) == len(set(indices))
+
+    def test_rejects_bogus_options(self, fleet, paper_params):
+        with pytest.raises(InvalidParameterError):
+            plan_budgeted_upgrades(
+                fleet, paper_params,
+                [UpgradeOption(index=0, new_rho=1.5, cost=1.0)], 10.0)
+        with pytest.raises(InvalidParameterError):
+            plan_budgeted_upgrades(
+                fleet, paper_params,
+                [UpgradeOption(index=5, new_rho=0.1, cost=1.0)], 10.0)
+
+    def test_rejects_negative_budget(self, fleet, catalogue, paper_params):
+        with pytest.raises(InvalidParameterError):
+            plan_budgeted_upgrades(fleet, paper_params, catalogue, -1.0)
+
+    def test_search_space_guard(self, paper_params):
+        big = Profile([1.0] * 40)
+        options = [UpgradeOption(index=i, new_rho=0.5, cost=1.0)
+                   for i in range(40)]
+        with pytest.raises(InvalidParameterError):
+            plan_budgeted_upgrades(big, paper_params, options, 10.0)
+
+
+class TestGreedyPlanner:
+    def test_never_beats_exact(self, fleet, catalogue, paper_params):
+        for budget in (0.5, 3.0, 100.0):
+            exact = plan_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+            greedy = greedy_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+            assert greedy.x_after <= exact.x_after + 1e-12
+
+    def test_matches_exact_when_cheap_options_do_not_trap(self, fleet, paper_params):
+        # One option per machine: greedy's per-cost ranking is exact here.
+        catalogue = [
+            UpgradeOption(index=0, new_rho=0.8, cost=1.0),
+            UpgradeOption(index=1, new_rho=0.3, cost=2.0),
+            UpgradeOption(index=2, new_rho=0.15, cost=2.5),
+        ]
+        for budget in (1.0, 3.0, 10.0):
+            exact = plan_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+            greedy = greedy_budgeted_upgrades(fleet, paper_params, catalogue, budget)
+            assert greedy.x_after == pytest.approx(exact.x_after, rel=1e-12)
+
+    def test_cheap_option_trap_documented(self, fleet, catalogue, paper_params):
+        # Greedy buys the cheap machine-2 option first and, under the
+        # one-upgrade-per-machine rule, locks itself out of the better
+        # one — the known failure mode of per-cost greedy on
+        # multiple-choice knapsacks.
+        exact = plan_budgeted_upgrades(fleet, paper_params, catalogue, 100.0)
+        greedy = greedy_budgeted_upgrades(fleet, paper_params, catalogue, 100.0)
+        assert greedy.x_after < exact.x_after
+        assert greedy.x_after >= exact.x_after * 0.7  # bounded, not catastrophic
+
+    def test_never_exceeds_budget(self, fleet, catalogue, paper_params):
+        plan = greedy_budgeted_upgrades(fleet, paper_params, catalogue, 2.9)
+        assert plan.total_cost <= 2.9
+
+    def test_prefers_high_value_per_cost(self, paper_params):
+        fleet = Profile([1.0, 0.2])
+        options = [
+            UpgradeOption(index=0, new_rho=0.9, cost=1.0),   # tiny gain
+            UpgradeOption(index=1, new_rho=0.1, cost=1.0),   # huge gain
+        ]
+        plan = greedy_budgeted_upgrades(fleet, paper_params, options, 1.0)
+        assert plan.chosen[0].index == 1
+
+    def test_handles_large_catalogue(self, paper_params):
+        rng = np.random.default_rng(5)
+        fleet = Profile(rng.uniform(0.3, 1.0, 50))
+        options = [UpgradeOption(index=i, new_rho=float(fleet[i]) * 0.5,
+                                 cost=float(rng.uniform(0.5, 2.0)))
+                   for i in range(50)]
+        plan = greedy_budgeted_upgrades(fleet, paper_params, options, 10.0)
+        assert plan.total_cost <= 10.0
+        assert plan.x_after > plan.x_before

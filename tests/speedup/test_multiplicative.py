@@ -1,0 +1,99 @@
+"""Unit tests for repro.speedup.multiplicative (Theorem 4)."""
+
+import pytest
+
+from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.multiplicative import (
+    SpeedupRegime,
+    apply_multiplicative,
+    best_multiplicative_upgrade,
+    compare_multiplicative,
+    theorem4_margin,
+    theorem4_regime,
+)
+from tests.conftest import PARAM_GRID
+
+
+class TestApplyMultiplicative:
+    def test_basic(self):
+        p = apply_multiplicative(Profile([1.0, 0.5]), 0, 0.5)
+        assert list(p) == [0.5, 0.5]
+
+    def test_psi_range_enforced(self):
+        for psi in (0.0, 1.0, 1.5, -0.5):
+            with pytest.raises(InvalidParameterError):
+                apply_multiplicative(Profile([1.0]), 0, psi)
+
+
+class TestTheorem4Predicate:
+    def test_margin_symmetric(self, fig34_params):
+        m1 = theorem4_margin(1.0, 0.5, 0.5, fig34_params)
+        m2 = theorem4_margin(0.5, 1.0, 0.5, fig34_params)
+        assert m1 == m2
+
+    def test_condition1_for_paper_round2(self, fig34_params):
+        # Profile ⟨1,1,1,1/2⟩: pair (1, 1/2), ψ=1/2 ⇒ product 1/4 > 0.04.
+        assert theorem4_regime(1.0, 0.5, 0.5, fig34_params) is SpeedupRegime.FASTER_WINS
+
+    def test_condition2_for_paper_round5(self, fig34_params):
+        # Pair (1, 1/16), ψ=1/2 ⇒ product 1/32 < 0.04.
+        assert theorem4_regime(1.0, 1 / 16, 0.5, fig34_params) is SpeedupRegime.SLOWER_WINS
+
+    def test_boundary_detected(self):
+        params = ModelParams(tau=0.2, pi=0.0, delta=1.0)  # threshold 0.04
+        psi, rho_i = 0.5, 1.0
+        rho_j = params.speedup_threshold / (psi * rho_i)
+        assert theorem4_regime(rho_i, rho_j, psi, params) is SpeedupRegime.BOUNDARY
+
+    def test_rejects_bad_inputs(self, fig34_params):
+        with pytest.raises(InvalidParameterError):
+            theorem4_margin(-1.0, 0.5, 0.5, fig34_params)
+        with pytest.raises(InvalidParameterError):
+            theorem4_margin(1.0, 0.5, 1.5, fig34_params)
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    @pytest.mark.parametrize("psi", [0.3, 0.5, 0.9])
+    def test_predicate_matches_brute_force(self, params, psi):
+        # Theorem 4 vs direct X comparison, across regimes.
+        profile = Profile([1.0, 0.6, 0.3, 0.05])
+        for i in range(4):
+            for j in range(4):
+                if profile[i] <= profile[j]:
+                    continue  # need ρᵢ > ρⱼ (i slower)
+                margin = theorem4_margin(profile[i], profile[j], psi, params)
+                observed = compare_multiplicative(profile, params, i, j, psi)
+                if margin < 0:
+                    assert observed == 1, (i, j, margin)  # slower (i) wins
+                elif margin > 0:
+                    assert observed == -1, (i, j, margin)  # faster (j) wins
+
+
+class TestBestUpgrade:
+    def test_paper_phase1_prefers_fastest(self, fig34_params):
+        profile = Profile([1.0, 1.0, 1.0, 0.5])
+        choice = best_multiplicative_upgrade(profile, fig34_params, 0.5)
+        assert choice.index == 3
+
+    def test_paper_phase2_prefers_slowest(self, fig34_params):
+        profile = Profile([1 / 16, 1 / 16, 1 / 16, 1 / 32])
+        choice = best_multiplicative_upgrade(profile, fig34_params, 0.5,
+                                             tie_tolerance=1e-12)
+        assert choice.index in (0, 1, 2)
+        assert choice.index == 2  # tie-break to the largest index
+
+    def test_table1_regime_behaves_additively(self, paper_params):
+        # Threshold ≈ 1e-11: condition 1 everywhere ⇒ fastest wins.
+        profile = Profile([1.0, 0.7, 0.4, 0.2])
+        assert best_multiplicative_upgrade(profile, paper_params, 0.5).index == 3
+
+    def test_improvement_guaranteed(self, fig34_params):
+        profile = Profile([1.0, 0.5, 0.25, 0.125])
+        choice = best_multiplicative_upgrade(profile, fig34_params, 0.5)
+        assert choice.work_ratio > 1.0
+        assert choice.x_after > choice.x_before
+
+    def test_psi_validated(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            best_multiplicative_upgrade(table4_profile, paper_params, 1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.speedup.planner."""
+
+import pytest
+
+from repro.core.measure import x_measure
+from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.planner import (
+    exhaustive_multiplicative_plan,
+    plan_additive,
+    plan_multiplicative,
+)
+
+
+class TestAdditivePlan:
+    def test_concentrates_on_fastest(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.25])
+        plan = plan_additive(profile, paper_params, 0.02, 3)
+        assert plan.chosen_sequence() == (2, 2, 2)
+        assert plan.final_profile[2] == pytest.approx(0.25 - 3 * 0.02)
+
+    def test_payoff_compounds(self, paper_params):
+        profile = Profile([1.0, 0.5, 0.25])
+        plan = plan_additive(profile, paper_params, 0.02, 3)
+        product = 1.0
+        for step in plan.steps:
+            product *= step.work_ratio
+        assert plan.total_work_ratio == pytest.approx(product, rel=1e-12)
+
+    def test_zero_steps(self, paper_params, table4_profile):
+        plan = plan_additive(table4_profile, paper_params, 0.01, 0)
+        assert plan.n_steps == 0
+        assert plan.total_work_ratio == pytest.approx(1.0)
+
+    def test_negative_steps_rejected(self, paper_params, table4_profile):
+        with pytest.raises(InvalidParameterError):
+            plan_additive(table4_profile, paper_params, 0.01, -1)
+
+    def test_exhausting_phi_raises(self, paper_params):
+        # After enough steps the fastest rate falls below phi.
+        profile = Profile([1.0, 0.1])
+        with pytest.raises(InvalidParameterError):
+            plan_additive(profile, paper_params, 0.06, 3)
+
+
+class TestMultiplicativePlan:
+    def test_reproduces_fig3_sequence(self, fig34_params):
+        plan = plan_multiplicative(Profile.homogeneous(4), fig34_params, 0.5, 16)
+        assert plan.chosen_sequence() == (3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1,
+                                          0, 0, 0, 0)
+        assert list(plan.final_profile) == pytest.approx([1 / 16] * 4)
+
+    def test_greedy_matches_exhaustive_small(self, fig34_params):
+        profile = Profile([1.0, 0.5])
+        greedy = plan_multiplicative(profile, fig34_params, 0.5, 3)
+        brute = exhaustive_multiplicative_plan(profile, fig34_params, 0.5, 3)
+        assert greedy.total_work_ratio == pytest.approx(
+            brute.total_work_ratio, rel=1e-9)
+
+    def test_exhaustive_never_worse_than_greedy(self, paper_params):
+        profile = Profile([1.0, 0.4, 0.15])
+        greedy = plan_multiplicative(profile, paper_params, 0.6, 3)
+        brute = exhaustive_multiplicative_plan(profile, paper_params, 0.6, 3)
+        assert (x_measure(brute.final_profile, paper_params)
+                >= x_measure(greedy.final_profile, paper_params) * (1 - 1e-12))
+
+    def test_exhaustive_size_guard(self, paper_params):
+        with pytest.raises(InvalidParameterError):
+            exhaustive_multiplicative_plan(Profile.linear(10), paper_params, 0.5, 8)
+
+    def test_step_records_consistent(self, fig34_params):
+        plan = plan_multiplicative(Profile.homogeneous(3), fig34_params, 0.5, 2)
+        assert plan.steps[0].new_profile == plan.steps[1].new_profile.with_rho_at(
+            plan.steps[1].index, plan.steps[0].new_profile[plan.steps[1].index])

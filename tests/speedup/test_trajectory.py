@@ -1,0 +1,91 @@
+"""Unit tests for repro.speedup.trajectory (the Figs. 3–4 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.speedup.multiplicative import SpeedupRegime
+from repro.speedup.trajectory import run_trajectory
+
+
+class TestFig3Phase:
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        return run_trajectory(Profile.homogeneous(4), FIG34_CALIBRATION, 0.5, 24)
+
+    def test_chosen_sequence_matches_paper(self, trajectory):
+        # C4 ×4, C3 ×4, C2 ×4, C1 ×4 — then slowest-first cycling.
+        assert trajectory.chosen_sequence()[:16] == (
+            3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0)
+
+    def test_round1_is_homogeneous_tie_break(self, trajectory):
+        first = trajectory.rounds[0]
+        assert first.regime is None
+        assert first.was_tie_break
+        assert first.tied == (0, 1, 2, 3)
+
+    def test_rounds_2_to_4_are_condition1(self, trajectory):
+        for snap in trajectory.rounds[1:4]:
+            assert snap.regime is SpeedupRegime.FASTER_WINS
+            assert not snap.was_tie_break
+
+    def test_round5_condition2_with_tie_break(self, trajectory):
+        snap = trajectory.rounds[4]
+        assert snap.regime is SpeedupRegime.SLOWER_WINS
+        assert snap.was_tie_break
+        assert snap.chosen == 2
+
+    def test_phase1_ends_homogeneous_at_sixteenth(self, trajectory):
+        after16 = trajectory.rounds[15].profile_after
+        assert list(after16) == pytest.approx([1 / 16] * 4)
+
+    def test_phase2_speeds_slowest_each_round(self, trajectory):
+        for snap in trajectory.rounds[16:]:
+            slowest = snap.profile_before.slowest_rho
+            assert snap.profile_before[snap.chosen] == slowest
+
+    def test_x_strictly_increases(self, trajectory):
+        xs = [snap.x_after for snap in trajectory]
+        assert all(b > a for a, b in zip(xs, xs[1:]))
+
+    def test_profiles_matrix_shape(self, trajectory):
+        m = trajectory.profiles_matrix()
+        assert m.shape == (25, 4)
+        assert m[0] == pytest.approx([1.0] * 4)
+
+
+class TestGeneralBehaviour:
+    def test_zero_rounds(self, fig34_params):
+        t = run_trajectory(Profile.homogeneous(4), fig34_params, 0.5, 0)
+        assert len(t) == 0
+        assert t.final_profile == Profile.homogeneous(4)
+
+    def test_table1_regime_rides_fastest_forever(self, paper_params):
+        # Threshold ≈ 1e-11: condition 1 persists; the fastest computer
+        # is sped up every round after the first tie-break.
+        t = run_trajectory(Profile.homogeneous(3), paper_params, 0.5, 6)
+        assert t.chosen_sequence() == (2, 2, 2, 2, 2, 2)
+
+    def test_tie_break_low_option(self, fig34_params):
+        t = run_trajectory(Profile.homogeneous(4), fig34_params, 0.5, 1,
+                           tie_break_highest_index=False)
+        assert t.rounds[0].chosen == 0
+
+    def test_regime_sequence_lengths(self, fig34_params):
+        t = run_trajectory(Profile.homogeneous(4), fig34_params, 0.5, 5)
+        assert len(t.regime_sequence()) == 5
+
+    def test_mixed_regime_label_for_middle_choice(self, fig34_params):
+        # Round 6 of the paper's run: profile ⟨1,1,1/2,1/16⟩, chosen C3
+        # (middle class) — condition 1 downward, condition 2 upward.
+        t = run_trajectory(Profile([1.0, 1.0, 0.5, 1 / 16]), fig34_params, 0.5, 1)
+        assert t.rounds[0].chosen == 2
+        assert t.rounds[0].regime is SpeedupRegime.MIXED
+
+    def test_invalid_inputs(self, fig34_params):
+        with pytest.raises(InvalidParameterError):
+            run_trajectory(Profile.homogeneous(2), fig34_params, 0.5, -1)
+        with pytest.raises(InvalidParameterError):
+            run_trajectory(Profile.homogeneous(2), fig34_params, 1.0, 1)

@@ -1,0 +1,85 @@
+"""Unit tests for the CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig4" in out
+
+
+class TestRun:
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "HECR" in out
+
+    def test_run_with_overrides(self, capsys):
+        assert main(["run", "variance-trials", "--trials", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "good %" in out
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            main(["run", "bogus-experiment"])
+
+    def test_run_json_format(self, capsys):
+        import json
+        assert main(["run", "table3", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "table3"
+
+    def test_run_csv_format(self, capsys):
+        assert main(["run", "table4", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("i,")
+
+    def test_run_output_file(self, capsys, tmp_path):
+        target = tmp_path / "t3.json"
+        assert main(["run", "table3", "--format", "json",
+                     "--output", str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_writes_markdown(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["report", "--trials", "20", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## table3" in text
+        assert "## fig4" in text
+
+
+class TestHecr:
+    def test_computes(self, capsys):
+        assert main(["hecr", "--profile", "1,0.5,0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "HECR" in out
+        assert "X(P)" in out
+
+    def test_custom_params(self, capsys):
+        assert main(["hecr", "--profile", "1,0.5", "--tau", "0.01",
+                     "--pi", "0.001", "--delta", "0.5"]) == 0
+
+    def test_bad_profile_returns_error_code(self, capsys):
+        assert main(["hecr", "--profile", "1,abc"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "table4"])
+        assert args.command == "run"
+        assert args.experiment == "table4"

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, "the deliverable requires at least 3 examples"
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_agreement():
+    proc = subprocess.run([sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+                          capture_output=True, text=True, timeout=120)
+    assert "drift" in proc.stdout
+    assert "HECR" in proc.stdout
+
+
+def test_upgrade_planner_names_theorems():
+    proc = subprocess.run([sys.executable, str(EXAMPLES_DIR / "upgrade_planner.py")],
+                          capture_output=True, text=True, timeout=120)
+    assert "Theorem 3" in proc.stdout
+    assert "condition" in proc.stdout

@@ -1,0 +1,98 @@
+"""Unit tests for repro.io — persistence round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError, InvalidProfileError
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    params_from_dict,
+    params_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_allocation,
+)
+from repro.protocols.fifo import fifo_allocation
+from repro.simulation.runner import simulate_allocation
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip(self):
+        p = Profile([1.0, 0.5, 1 / 3])
+        assert profile_from_dict(profile_to_dict(p)) == p
+
+    def test_missing_key(self):
+        with pytest.raises(InvalidParameterError):
+            profile_from_dict({})
+
+    def test_validation_applies(self):
+        with pytest.raises(InvalidProfileError):
+            profile_from_dict({"rho": [1.0, -0.5]})
+
+
+class TestParamsRoundtrip:
+    def test_roundtrip(self):
+        p = ModelParams(tau=0.01, pi=0.002, delta=0.5)
+        assert params_from_dict(params_to_dict(p)) == p
+
+    def test_validation_applies(self):
+        with pytest.raises(InvalidParameterError):
+            params_from_dict({"tau": -1.0, "pi": 0.0, "delta": 1.0})
+
+
+class TestAllocationRoundtrip:
+    @pytest.fixture
+    def alloc(self):
+        return fifo_allocation(Profile([1.0, 0.5, 0.25]), PAPER_TABLE1, 30.0)
+
+    def test_roundtrip_preserves_everything(self, alloc):
+        rebuilt = allocation_from_dict(allocation_to_dict(alloc))
+        assert rebuilt.profile == alloc.profile
+        assert rebuilt.params == alloc.params
+        assert rebuilt.lifespan == alloc.lifespan
+        assert rebuilt.w == pytest.approx(alloc.w, rel=0, abs=0)
+        assert rebuilt.startup_order == alloc.startup_order
+        assert rebuilt.finishing_order == alloc.finishing_order
+        assert rebuilt.protocol_name == alloc.protocol_name
+
+    def test_roundtrip_is_json_clean(self, alloc):
+        text = json.dumps(allocation_to_dict(alloc))
+        rebuilt = allocation_from_dict(json.loads(text))
+        assert rebuilt.total_work == pytest.approx(alloc.total_work, rel=0)
+
+    def test_rebuilt_schedule_executes_identically(self, alloc):
+        rebuilt = allocation_from_dict(allocation_to_dict(alloc))
+        original = simulate_allocation(alloc)
+        replayed = simulate_allocation(rebuilt)
+        assert replayed.completed_work == original.completed_work
+
+    def test_file_roundtrip(self, alloc, tmp_path):
+        path = tmp_path / "schedule.json"
+        save_allocation(alloc, str(path))
+        loaded = load_allocation(str(path))
+        assert loaded.total_work == pytest.approx(alloc.total_work, rel=0)
+
+    def test_schema_version_checked(self, alloc):
+        data = allocation_to_dict(alloc)
+        data["schema_version"] = 99
+        with pytest.raises(InvalidParameterError):
+            allocation_from_dict(data)
+
+    def test_corrupted_quanta_rejected(self, alloc):
+        data = allocation_to_dict(alloc)
+        data["w"] = [-1.0] * 3
+        from repro.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            allocation_from_dict(data)
+
+    def test_missing_key_reported(self, alloc):
+        data = allocation_to_dict(alloc)
+        del data["lifespan"]
+        with pytest.raises(InvalidParameterError):
+            allocation_from_dict(data)

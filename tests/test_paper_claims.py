@@ -1,0 +1,174 @@
+"""The paper contract: one test per headline claim, end to end.
+
+Every claim the paper makes in its abstract and conclusions, asserted in
+a single readable file.  Each test exercises the public API only — if a
+refactor breaks the reproduction, this file says *which paper claim*
+broke.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FIG34_CALIBRATION,
+    PAPER_TABLE1,
+    Profile,
+    compare_clusters,
+    hecr,
+    work_production,
+    x_measure,
+)
+from repro.experiments import run_variance_trials
+from repro.predictors import heterogeneity_gain, variance_prediction
+from repro.protocols import fifo_allocation, lifo_allocation
+from repro.sampling import equal_mean_pair
+from repro.simulation import simulate_allocation
+from repro.speedup import (
+    best_additive_upgrade,
+    best_multiplicative_upgrade,
+    run_trajectory,
+    theorem4_regime,
+)
+
+
+class TestHighlight1_ReplaceTheFastest:
+    """Abstract highlight (1): if one can replace only one computer by a
+    faster one, it is provably (almost) always most advantageous to
+    replace the fastest one."""
+
+    def test_additive_always_the_fastest(self):
+        # "This is always true for additive speedups (Theorem 3)."
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            profile = Profile(rng.uniform(0.05, 1.0, rng.integers(2, 7)))
+            phi = profile.fastest_rho * 0.5
+            choice = best_additive_upgrade(profile, PAPER_TABLE1, phi)
+            assert profile[choice.index] == profile.fastest_rho
+
+    def test_multiplicative_almost_always(self):
+        # "...and almost always for multiplicative ones (Theorem 4)":
+        # under realistic (Table-1) parameters the threshold is ~1e-11,
+        # so the fastest computer always wins...
+        profile = Profile([1.0, 0.6, 0.3, 0.1])
+        choice = best_multiplicative_upgrade(profile, PAPER_TABLE1, 0.5)
+        assert profile[choice.index] == profile.fastest_rho
+        # ...but "almost": when every machine is already very fast
+        # relative to the threshold, condition (2) flips the advice.
+        fast_profile = Profile([1 / 16, 1 / 16, 1 / 16, 1 / 32])
+        flipped = best_multiplicative_upgrade(fast_profile, FIG34_CALIBRATION, 0.5)
+        assert fast_profile[flipped.index] == fast_profile.slowest_rho
+
+
+class TestHighlight2_VariancePredicts:
+    """Abstract highlight (2): among equal-mean clusters, the one with
+    larger speed variance is (almost) always the faster one."""
+
+    def test_provably_for_two_computers(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            mean = rng.uniform(0.2, 0.8)
+            cap = min(mean, 1 - mean) * 0.99
+            s1, s2 = sorted(rng.uniform(0, cap, 2))
+            if s1 == s2:
+                continue
+            wide = Profile([mean + s2, mean - s2])
+            tight = Profile([mean + s1, mean - s1])
+            assert variance_prediction(wide, tight) == 0
+            assert x_measure(wide, PAPER_TABLE1) > x_measure(tight, PAPER_TABLE1)
+
+    def test_almost_always_for_larger_clusters(self):
+        # "empirically, it is true 76% of the time for larger clusters"
+        result = run_variance_trials(sizes=(64, 256), trials_per_size=250,
+                                     seed=2010)
+        overall = result.metadata["overall_good"]
+        assert 0.70 <= overall <= 0.90
+
+    def test_perfect_above_a_variance_gap(self):
+        # "true 100% of the time when the difference in variances is
+        # sufficiently large" — spread-strategy pairs have large gaps.
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            wide, tight = equal_mean_pair(rng, 16, strategy="spread")
+            if wide.variance - tight.variance < 0.167:
+                continue
+            assert x_measure(wide, PAPER_TABLE1) > x_measure(tight, PAPER_TABLE1)
+
+
+class TestHighlight3_HeterogeneityLendsPower:
+    """Abstract highlight (3) / Corollary 1: heterogeneity can actually
+    lend power to a cluster."""
+
+    def test_two_computer_corollary(self):
+        for mean in (0.3, 0.5, 0.7):
+            for rel in (0.2, 0.5, 0.9):
+                spread = rel * min(mean, 1 - mean) * 0.999
+                assert heterogeneity_gain(mean, spread, PAPER_TABLE1) > 1.0
+
+    def test_sec4_witness_beats_better_mean(self):
+        # ⟨0.99, 0.02⟩ beats ⟨0.5, 0.5⟩ despite the worse mean.
+        comparison = compare_clusters(Profile([0.99, 0.02]), Profile([0.5, 0.5]),
+                                      PAPER_TABLE1)
+        assert comparison.winner == 0
+        assert comparison.p1.mean > comparison.p2.mean
+
+
+class TestTheorem1_Foundation:
+    """Theorem 1 (from [1]): FIFO solves the CEP optimally and its
+    production is startup-order independent."""
+
+    def test_order_independence_and_lifo_gap(self):
+        from repro.core.params import ModelParams
+        params = ModelParams(tau=0.02, pi=0.002, delta=1.0)
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        a = fifo_allocation(profile, params, 80.0, startup_order=[0, 1, 2, 3])
+        b = fifo_allocation(profile, params, 80.0, startup_order=[3, 1, 0, 2])
+        assert a.total_work == pytest.approx(b.total_work, rel=1e-12)
+        assert lifo_allocation(profile, params, 80.0).total_work < a.total_work
+
+
+class TestTheorem2_WorkProduction:
+    """Theorem 2: W(L;P) = L/(τδ + 1/X(P)) — and a real execution
+    delivers it."""
+
+    def test_formula_realised_by_simulation(self):
+        profile = Profile([1.0, 0.5, 1 / 3, 0.25])
+        promised = work_production(profile, PAPER_TABLE1, 3600.0)
+        delivered = simulate_allocation(
+            fifo_allocation(profile, PAPER_TABLE1, 3600.0)).completed_work
+        assert delivered == pytest.approx(promised, rel=1e-9)
+
+
+class TestFigures3And4_Narrative:
+    """The iterative-speedup experiment's two phases, round for round."""
+
+    def test_phase_structure(self):
+        trajectory = run_trajectory(Profile.homogeneous(4), FIG34_CALIBRATION,
+                                    0.5, 20)
+        assert trajectory.chosen_sequence()[:16] == (
+            3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0)
+        assert list(trajectory.rounds[15].profile_after) == pytest.approx(
+            [1 / 16] * 4)
+        for snap in trajectory.rounds[16:]:
+            assert snap.profile_before[snap.chosen] == snap.profile_before.slowest_rho
+
+    def test_threshold_semantics(self):
+        from repro.speedup import SpeedupRegime
+        assert theorem4_regime(1.0, 0.5, 0.5,
+                               FIG34_CALIBRATION) is SpeedupRegime.FASTER_WINS
+        assert theorem4_regime(1 / 16, 1 / 16, 0.5,
+                               FIG34_CALIBRATION) is SpeedupRegime.SLOWER_WINS
+
+
+class TestTable3_Calibration:
+    """Table 3's HECR values, to the paper's print precision."""
+
+    def test_values(self):
+        expectations = {
+            (Profile.linear, 8): 0.366, (Profile.linear, 16): 0.298,
+            (Profile.linear, 32): 0.251,
+            (Profile.harmonic, 8): 0.216, (Profile.harmonic, 16): 0.116,
+            (Profile.harmonic, 32): 0.060,
+        }
+        for (factory, n), expected in expectations.items():
+            assert hecr(factory(n), PAPER_TABLE1) == pytest.approx(
+                expected, abs=7e-3)

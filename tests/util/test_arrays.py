@@ -1,0 +1,76 @@
+"""Unit tests for repro.util.arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProfileError
+from repro.util.arrays import (
+    as_float_vector,
+    is_nondecreasing,
+    is_nonincreasing,
+    validate_positive_vector,
+)
+
+
+class TestAsFloatVector:
+    def test_list(self):
+        v = as_float_vector([1, 2, 3])
+        assert v.dtype == np.float64
+        assert v.tolist() == [1.0, 2.0, 3.0]
+
+    def test_generator(self):
+        v = as_float_vector(x for x in (1.5, 2.5))
+        assert v.tolist() == [1.5, 2.5]
+
+    def test_copies_input(self):
+        src = np.array([1.0, 2.0])
+        v = as_float_vector(src)
+        src[0] = 9.0
+        assert v[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidProfileError):
+            as_float_vector([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidProfileError):
+            as_float_vector(np.ones((2, 2)))
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidProfileError):
+            as_float_vector([1.0, float("inf")])
+
+    def test_error_mentions_name(self):
+        with pytest.raises(InvalidProfileError, match="speeds"):
+            as_float_vector([], name="speeds")
+
+
+class TestValidatePositive:
+    def test_accepts_positive(self):
+        validate_positive_vector([0.1, 1.0])
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidProfileError):
+            validate_positive_vector([0.0, 1.0])
+
+    def test_upper_bound(self):
+        with pytest.raises(InvalidProfileError):
+            validate_positive_vector([0.5, 1.5], upper=1.0)
+        validate_positive_vector([0.5, 1.0], upper=1.0)
+
+
+class TestMonotone:
+    def test_nonincreasing(self):
+        assert is_nonincreasing(np.array([3.0, 2.0, 2.0, 1.0]))
+        assert not is_nonincreasing(np.array([1.0, 2.0]))
+
+    def test_nondecreasing(self):
+        assert is_nondecreasing(np.array([1.0, 2.0, 2.0]))
+        assert not is_nondecreasing(np.array([2.0, 1.0]))
+
+    def test_tolerance(self):
+        assert is_nonincreasing(np.array([1.0, 1.0 + 1e-12]), tol=1e-9)
+
+    def test_singletons_and_empty(self):
+        assert is_nonincreasing(np.array([5.0]))
+        assert is_nondecreasing(np.array([]))

@@ -1,0 +1,54 @@
+"""Unit tests for repro.util.format."""
+
+from repro.util.format import format_quantity, format_ratio, format_seconds, significant
+
+
+class TestSignificant:
+    def test_small(self):
+        assert significant(0.123456, 3) == "0.123"
+
+    def test_large_scientific(self):
+        assert significant(12345.6, 3) == "1.23e+04"
+
+    def test_zero(self):
+        assert significant(0.0) == "0"
+
+    def test_nonfinite(self):
+        assert significant(float("inf")) == "inf"
+
+    def test_negative(self):
+        assert significant(-0.5, 2).startswith("-0.5")
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(1.1e-5) == "11 µs"
+
+    def test_milliseconds(self):
+        assert format_seconds(2e-3) == "2 ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.5 s"
+
+    def test_zero(self):
+        assert format_seconds(0.0) == "0 s"
+
+    def test_nanoseconds(self):
+        assert format_seconds(3e-9) == "3 ns"
+
+    def test_below_nano_falls_back(self):
+        assert "e" in format_seconds(1e-12)
+
+
+class TestRatioAndQuantity:
+    def test_ratio_three_decimals(self):
+        assert format_ratio(1.159) == "1.159"
+
+    def test_ratio_custom_decimals(self):
+        assert format_ratio(1.5, 1) == "1.5"
+
+    def test_quantity_with_unit(self):
+        assert format_quantity(42.0, "work units") == "42 work units"
+
+    def test_quantity_without_unit(self):
+        assert format_quantity(0.125) == "0.125"
