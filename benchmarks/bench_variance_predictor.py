@@ -10,7 +10,6 @@ sizes to go to 2^16) and asserts the paper's three findings:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.params import PAPER_TABLE1
 from repro.experiments import run_variance_trials

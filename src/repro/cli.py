@@ -52,8 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="RNG seed for sampling experiments")
     run.add_argument("--format", choices=("text", "json", "csv"),
                      default="text", help="output format (default: text)")
+    run.add_argument("--json", action="store_true",
+                     help="shorthand for --format json; with 'all', emits "
+                          "one JSON array of every result")
     run.add_argument("--output", default=None, metavar="PATH",
                      help="write the report to a file instead of stdout")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="stream a JSONL span/event trace of the run to PATH")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write a Prometheus-format metrics dump to PATH")
 
     report = sub.add_parser(
         "report", help="run every experiment and write one markdown report")
@@ -86,32 +93,98 @@ _SAMPLING_EXPERIMENTS = ("variance-trials", "variance-threshold",
                          "moment-ablation")
 
 
-def _run_experiment(experiment_id: str, args: argparse.Namespace) -> None:
-    from repro.experiments.export import result_to_csv, result_to_json
-
-    runner = get_experiment(experiment_id)
+def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
     kwargs = {}
     if args.trials is not None and experiment_id in _SAMPLING_EXPERIMENTS:
         kwargs["trials_per_size"] = args.trials
     if args.seed is not None and experiment_id in _SAMPLING_EXPERIMENTS:
         kwargs["seed"] = args.seed
-    result = runner(**kwargs)
+    return kwargs
 
-    fmt = getattr(args, "format", "text")
+
+def _render_result(result, fmt: str) -> str:
+    from repro.experiments.export import result_to_csv, result_to_json
     if fmt == "json":
-        text = result_to_json(result)
-    elif fmt == "csv":
-        text = result_to_csv(result)
-    else:
-        text = result.render() + "\n"
+        return result_to_json(result)
+    if fmt == "csv":
+        return result_to_csv(result)
+    return result.render() + "\n"
 
-    output = getattr(args, "output", None)
+
+def _emit(text: str, fmt: str, label: str, output: str | None) -> None:
     if output:
         with open(output, "w", encoding="utf-8") as fh:
             fh.write(text if text.endswith("\n") else text + "\n")
-        print(f"wrote {experiment_id} ({fmt}) to {output}")
+        print(f"wrote {label} ({fmt}) to {output}")
     else:
         print(text)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """The ``run`` subcommand: exit 0 on success, 1 on experiment
+    failure, 2 for an unknown experiment id."""
+    from contextlib import nullcontext
+
+    from repro.experiments import run_experiment
+    from repro.io import results_to_json
+    from repro.obs import (JsonlTraceWriter, Observation, Tracer,
+                           default_registry, observe, write_metrics)
+
+    fmt = "json" if args.json else args.format
+    known = list_experiments()
+    if args.experiment == "all":
+        experiment_ids = known
+    elif args.experiment in known:
+        experiment_ids = [args.experiment]
+    else:
+        print(f"error: unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(known)}", file=sys.stderr)
+        return 2
+
+    try:
+        trace_writer = JsonlTraceWriter(args.trace) if args.trace else None
+    except OSError as exc:
+        print(f"error: cannot open trace file {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    obs_ctx = None
+    if args.trace or args.metrics:
+        tracer = Tracer(sink=trace_writer, keep_records=False) if trace_writer else None
+        obs_ctx = Observation(tracer=tracer, registry=default_registry())
+
+    results, failures = [], []
+    try:
+        with observe(obs_ctx) if obs_ctx is not None else nullcontext():
+            for experiment_id in experiment_ids:
+                try:
+                    result = run_experiment(
+                        experiment_id, **_experiment_kwargs(experiment_id, args))
+                except Exception as exc:
+                    failures.append(experiment_id)
+                    print(f"error: experiment {experiment_id!r} failed: {exc}",
+                          file=sys.stderr)
+                    continue
+                results.append(result)
+                if not (fmt == "json" and args.experiment == "all"):
+                    _emit(_render_result(result, fmt), fmt, experiment_id,
+                          args.output)
+    finally:
+        if trace_writer is not None:
+            trace_writer.close()
+    if fmt == "json" and args.experiment == "all":
+        _emit(results_to_json(results), fmt, "all experiments", args.output)
+    if args.metrics:
+        try:
+            write_metrics(default_registry(), args.metrics)
+        except OSError as exc:
+            print(f"error: cannot write metrics file {args.metrics!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    if args.trace:
+        print(f"wrote {trace_writer.records_written} trace records to "
+              f"{args.trace}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -125,12 +198,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        if args.experiment == "all":
-            for experiment_id in list_experiments():
-                _run_experiment(experiment_id, args)
-        else:
-            _run_experiment(args.experiment, args)
-        return 0
+        return _cmd_run(args)
 
     if args.command == "report":
         lines = ["# Reproduction report",

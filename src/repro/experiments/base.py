@@ -9,11 +9,19 @@ exactly one answer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.tables import render_table
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import current_observation
+
+try:  # POSIX-only; gives peak RSS for the obs block when present.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 __all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments",
            "run_experiment"]
@@ -87,6 +95,48 @@ def list_experiments() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def _peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, or None if unavailable."""
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    import sys
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
 def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
-    """Run a registered experiment with keyword overrides."""
-    return get_experiment(experiment_id)(**kwargs)
+    """Run a registered experiment with keyword overrides.
+
+    Every run is timed: the returned result carries an ``"obs"`` block
+    in its metadata (``wall_seconds``, ``peak_rss_bytes``), the global
+    metrics registry records ``experiment_runs_total`` and
+    ``experiment_seconds``, and — when an ambient observation is active
+    — the run executes inside an ``experiment:<id>`` span so any
+    simulations underneath nest into one trace tree.
+    """
+    runner = get_experiment(experiment_id)
+    ctx = current_observation()
+    registry = (ctx.registry if ctx is not None and ctx.registry is not None
+                else default_registry())
+    start = time.perf_counter()
+    try:
+        if ctx is not None and ctx.tracer is not None:
+            with ctx.tracer.span(f"experiment:{experiment_id}") as span_attrs:
+                result = runner(**kwargs)
+                span_attrs["rows"] = len(result.rows)
+        else:
+            result = runner(**kwargs)
+    except Exception:
+        registry.counter("experiment_failures_total",
+                         "experiment runs that raised"
+                         ).inc(experiment=experiment_id)
+        raise
+    wall = time.perf_counter() - start
+    registry.counter("experiment_runs_total",
+                     "experiment runs completed").inc(experiment=experiment_id)
+    registry.timer("experiment_seconds",
+                   "wall-clock duration of experiment runs"
+                   ).observe(wall, experiment=experiment_id)
+    obs_block = {"wall_seconds": wall, "peak_rss_bytes": _peak_rss_bytes()}
+    return replace(result, metadata={**result.metadata, "obs": obs_block})

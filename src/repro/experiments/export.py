@@ -60,16 +60,13 @@ def jsonable(value: Any) -> Any:
 
 
 def result_to_json(result: ExperimentResult, *, indent: int = 2) -> str:
-    """Serialise a result (rows + notes + metadata) as a JSON document."""
-    payload = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "headers": list(result.headers),
-        "rows": [jsonable(row) for row in result.rows],
-        "notes": list(result.notes),
-        "metadata": jsonable(result.metadata),
-    }
-    return json.dumps(payload, indent=indent, allow_nan=False)
+    """Serialise a result (rows + notes + metadata) as a JSON document.
+
+    The payload shape is owned by :func:`repro.io.result_to_dict` so the
+    CLI, pipelines and this helper agree on one schema.
+    """
+    from repro.io import result_to_dict
+    return json.dumps(result_to_dict(result), indent=indent, allow_nan=False)
 
 
 def result_to_csv(result: ExperimentResult) -> str:

@@ -27,6 +27,7 @@ __all__ = [
     "params_to_dict", "params_from_dict",
     "allocation_to_dict", "allocation_from_dict",
     "save_allocation", "load_allocation",
+    "result_to_dict", "results_to_json",
 ]
 
 _SCHEMA_VERSION = 1
@@ -91,6 +92,30 @@ def allocation_from_dict(data: dict[str, Any]) -> WorkAllocation:
         )
     except KeyError as exc:
         raise InvalidParameterError(f"allocation dict missing key: {exc}") from exc
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Plain-dict form of an :class:`~repro.experiments.base.ExperimentResult`.
+
+    JSON-safe throughout (NumPy scalars, Fractions, dataclasses and the
+    library's value objects are converted) — the CLI's ``--json`` output
+    and any downstream pipeline read this shape.
+    """
+    from repro.experiments.export import jsonable
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [jsonable(row) for row in result.rows],
+        "notes": list(result.notes),
+        "metadata": jsonable(result.metadata),
+    }
+
+
+def results_to_json(results: list[Any], *, indent: int = 2) -> str:
+    """Serialise several experiment results as one JSON array document."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent,
+                      allow_nan=False)
 
 
 def save_allocation(allocation: WorkAllocation, path: str) -> None:

@@ -1,0 +1,57 @@
+"""Observability: metrics registry, structured tracing, exporters, profiling.
+
+The instrumentation layer the rest of the library reports into:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms, timers and a
+  process-global :func:`default_registry`;
+* :mod:`repro.obs.tracing` — nestable spans, point events, the
+  :func:`traced` decorator, and the ambient :func:`observe` context the
+  simulator and experiment framework pick up automatically;
+* :mod:`repro.obs.export` — JSONL trace streams, Prometheus text
+  exposition, human-readable run summaries;
+* :mod:`repro.obs.profile` — an opt-in hot-path profiler for benchmarks.
+
+Everything here is dependency-free and pay-for-what-you-use: with no
+:class:`Observation` installed, the instrumented code paths reduce to a
+single ``is not None`` check.
+"""
+
+from repro.obs.export import (
+    JsonlTraceWriter,
+    prometheus_text,
+    read_jsonl,
+    run_summary,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.profile import DEFAULT_TARGETS, FunctionStat, HotPathProfiler
+from repro.obs.tracing import (
+    Observation,
+    SimulationObserver,
+    Tracer,
+    current_observation,
+    observe,
+    traced,
+)
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
+    "default_registry", "set_default_registry",
+    # tracing
+    "Tracer", "Observation", "SimulationObserver", "observe",
+    "current_observation", "traced",
+    # export
+    "JsonlTraceWriter", "read_jsonl", "prometheus_text", "write_metrics",
+    "run_summary",
+    # profiling
+    "HotPathProfiler", "FunctionStat", "DEFAULT_TARGETS",
+]

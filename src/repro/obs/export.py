@@ -1,0 +1,131 @@
+"""Exporters: JSONL trace streams, Prometheus text format, run summaries.
+
+Three ways out of the observability layer:
+
+* :class:`JsonlTraceWriter` — a tracer sink that appends one JSON object
+  per line, flushed eagerly so a running simulation can be tailed;
+* :func:`prometheus_text` — the classic ``# HELP`` / ``# TYPE`` text
+  exposition of a :class:`~repro.obs.metrics.MetricsRegistry`;
+* :func:`run_summary` — a human-readable digest for the end of a run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["JsonlTraceWriter", "read_jsonl", "prometheus_text",
+           "write_metrics", "run_summary"]
+
+
+class JsonlTraceWriter:
+    """A tracer sink that streams records to a JSONL file.
+
+    Usable directly as the ``sink=`` argument of
+    :class:`~repro.obs.tracing.Tracer`; also a context manager so the
+    CLI can guarantee the stream is closed.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.obs.tracing import Tracer
+    >>> path = tempfile.mktemp()
+    >>> with JsonlTraceWriter(path) as writer:
+    ...     tracer = Tracer(sink=writer)
+    ...     tracer.event("hello", answer=42)
+    >>> read_jsonl(path)[0]["attrs"]["answer"]
+    42
+    >>> os.unlink(path)
+    """
+
+    def __init__(self, path: str, *, flush_every: int = 64) -> None:
+        self._fh: TextIO | None = open(path, "w", encoding="utf-8")
+        self.path = path
+        self.records_written = 0
+        self._flush_every = max(1, flush_every)
+
+    def __call__(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, separators=(",", ":"),
+                                  default=str) + "\n")
+        self.records_written += 1
+        if self.records_written % self._flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Load a JSONL trace back into a list of records (validates JSON)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+                 .replace('"', r"\""))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for sample in metric.samples():
+            if sample.labels:
+                label_text = ",".join(
+                    f'{k}="{_escape_label_value(v)}"' for k, v in sample.labels)
+                lines.append(f"{sample.name}{{{label_text}}} "
+                             f"{_format_value(sample.value)}")
+            else:
+                lines.append(f"{sample.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry's Prometheus text dump to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))
+
+
+def run_summary(registry: MetricsRegistry) -> str:
+    """A short human-readable digest of every metric in the registry."""
+    lines = ["run summary", "-----------"]
+    metrics = registry.collect()
+    if not metrics:
+        lines.append("(no metrics recorded)")
+    for metric in metrics:
+        for sample in metric.samples():
+            label_text = ", ".join(f"{k}={v}" for k, v in sample.labels)
+            name = f"{sample.name} [{label_text}]" if label_text else sample.name
+            lines.append(f"  {name:<48s} {_format_value(sample.value)}")
+    return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""Metrics primitives: counters, gauges, histograms, timers, and a registry.
+
+A zero-dependency metrics core in the spirit of ``prometheus_client``,
+small enough to embed in the simulator's hot path.  Every metric supports
+labels (keyword arguments on the update call), each metric guards its
+cells with a lock so concurrent experiment runners can share a registry,
+and a process-global default registry gives the CLI and the experiment
+framework one well-known place to meet.
+
+Design constraints, in order of importance:
+
+* **disabled must be free** — nothing in this module runs unless a
+  caller explicitly updates a metric; the simulator's no-observer path
+  never touches it;
+* **enabled must be cheap** — one dict lookup + one lock per update;
+* **export-friendly** — :meth:`MetricsRegistry.collect` yields plain
+  samples the exporters in :mod:`repro.obs.export` can render without
+  knowing metric internals.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterator
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "Timer", "Sample",
+           "MetricsRegistry", "default_registry", "set_default_registry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Prometheus' classic latency buckets (seconds) — good from ~5ms to 10s.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.25, 0.5,
+                   0.75, 1.0, 2.5, 5.0, 7.5, 10.0)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Sample:
+    """One exported time-series point: ``name{labels} value``."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey, value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label_text = ",".join(f"{k}={v!r}" for k, v in self.labels)
+        return f"Sample({self.name}{{{label_text}}} {self.value})"
+
+
+class _Metric:
+    """Shared bookkeeping for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise InvalidParameterError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def samples(self) -> Iterator[Sample]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events processed, runs started)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be ≥ 0) to the labelled cell."""
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (amount={amount!r})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current count of one labelled cell (0.0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Sample]:
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in sorted(items):
+            yield Sample(self.name, key, value)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, in-flight work)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set_to_max(self, value: float, **labels: Any) -> None:
+        """Keep the cell at the maximum it has ever been set to."""
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._values.get(key, float("-inf")):
+                self._values[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Sample]:
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in sorted(items):
+            yield Sample(self.name, key, value)
+
+
+class _HistogramCell:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets  # cumulative at export time only
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(_Metric):
+    """A distribution with fixed upper-bound buckets (durations, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or any(b != b for b in bounds):
+            raise InvalidParameterError(f"invalid histogram buckets {buckets!r}")
+        self.buckets = bounds
+        self._cells: dict[LabelKey, _HistogramCell] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into its bucket."""
+        key = _label_key(labels)
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _HistogramCell(len(self.buckets) + 1)
+            cell.bucket_counts[min(idx, len(self.buckets))] += 1
+            cell.count += 1
+            cell.sum += value
+
+    def count(self, **labels: Any) -> int:
+        cell = self._cells.get(_label_key(labels))
+        return cell.count if cell else 0
+
+    def sum(self, **labels: Any) -> float:
+        cell = self._cells.get(_label_key(labels))
+        return cell.sum if cell else 0.0
+
+    def bucket_counts(self, **labels: Any) -> dict[float, int]:
+        """Cumulative per-bucket counts, keyed by upper bound (inf last)."""
+        cell = self._cells.get(_label_key(labels))
+        bounds = list(self.buckets) + [float("inf")]
+        if cell is None:
+            return {b: 0 for b in bounds}
+        cumulative, total = {}, 0
+        for bound, n in zip(bounds, cell.bucket_counts):
+            total += n
+            cumulative[bound] = total
+        return cumulative
+
+    def samples(self) -> Iterator[Sample]:
+        with self._lock:
+            cells = {k: (list(c.bucket_counts), c.count, c.sum)
+                     for k, c in self._cells.items()}
+        bounds = list(self.buckets) + [float("inf")]
+        for key, (counts, count, total) in sorted(cells.items()):
+            cumulative = 0
+            for bound, n in zip(bounds, counts):
+                cumulative += n
+                le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                yield Sample(f"{self.name}_bucket", key + (("le", le),),
+                             float(cumulative))
+            yield Sample(f"{self.name}_sum", key, total)
+            yield Sample(f"{self.name}_count", key, float(count))
+
+
+class Timer(Histogram):
+    """A histogram of elapsed seconds with a context-manager front end.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> timer = registry.timer("step_seconds")
+    >>> with timer.time(step="solve"):
+    ...     pass
+    >>> timer.count(step="solve")
+    1
+    """
+
+    kind = "histogram"
+
+    def time(self, **labels: Any) -> "_TimerContext":
+        return _TimerContext(self, labels)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_labels", "_start", "elapsed")
+
+    def __init__(self, timer: Timer, labels: dict[str, Any]) -> None:
+        self._timer = timer
+        self._labels = labels
+        self.elapsed = float("nan")
+
+    def __enter__(self) -> "_TimerContext":
+        import time
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        import time
+        self.elapsed = time.perf_counter() - self._start
+        self._timer.observe(self.elapsed, **self._labels)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create semantics.
+
+    ``registry.counter("x")`` always returns the same object for the
+    same name; asking for an existing name with a different kind raises,
+    so two subsystems cannot silently fight over one series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       **kwargs: Any) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise InvalidParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def timer(self, name: str, help: str = "",
+              buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Timer:
+        return self._get_or_create(Timer, name, help, buckets=buckets)
+
+    def collect(self) -> list[_Metric]:
+        """All registered metrics, sorted by name (for exporters)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict dump of every sample (JSON-safe)."""
+        out: dict[str, Any] = {}
+        for metric in self.collect():
+            series = {}
+            for sample in metric.samples():
+                label_text = ",".join(f"{k}={v}" for k, v in sample.labels)
+                series[f"{sample.name}{{{label_text}}}" if label_text
+                       else sample.name] = sample.value
+            out[metric.name] = {"kind": metric.kind, "help": metric.help,
+                                "series": series}
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry shared by CLI, experiments, simulator."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (returns the previous one, for restoring)."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

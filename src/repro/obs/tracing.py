@@ -1,0 +1,241 @@
+"""Structured tracing: nestable spans, point events, and an ambient context.
+
+A :class:`Tracer` produces a stream of *records* — plain dicts with a
+``type`` of ``"span"`` or ``"event"`` — that can be kept in memory for
+tests, streamed to JSONL via :class:`repro.obs.export.JsonlTraceWriter`,
+or both.  Spans nest through a context manager (or the :func:`traced`
+decorator); point events capture instants such as every event the
+discrete-event simulator pops.
+
+The *ambient observation* (:func:`observe` / :func:`current_observation`)
+is how instrumentation reaches code it does not call directly: the CLI
+installs an :class:`Observation` around an experiment run, and any
+:func:`repro.simulation.runner.simulate_allocation` performed underneath
+it picks the tracer and registry up automatically.  When no observation
+is active, every hook in the library resolves to ``None`` and the hot
+paths skip instrumentation with a single ``is not None`` branch.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Tracer", "Observation", "SimulationObserver", "observe",
+           "current_observation", "traced"]
+
+
+class Tracer:
+    """Emits span/event records to an in-memory list and optional sinks.
+
+    Records are dicts with stable keys:
+
+    ``{"type": "span", "name", "ts", "dur", "depth", "attrs"}``
+        A closed span.  ``ts`` is seconds since the tracer's epoch
+        (monotonic clock); ``dur`` is the span's wall duration.
+    ``{"type": "event", "name", "ts", "depth", "attrs"}``
+        A point event.  Simulation events carry their *simulated* time
+        in ``attrs["t"]``; ``ts`` stays in the tracer's wall domain.
+    """
+
+    def __init__(self, sink: Callable[[dict], None] | None = None,
+                 keep_records: bool = True) -> None:
+        self._sinks: list[Callable[[dict], None]] = [sink] if sink else []
+        self._keep = keep_records
+        self._records: list[dict] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, record: dict) -> None:
+        if self._keep:
+            with self._lock:
+                self._records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        """Attach another record consumer (e.g. a JSONL writer)."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict]:
+        """Open a nested span; the record is emitted when the span closes.
+
+        The yielded dict is the span's mutable ``attrs`` — handlers may
+        add fields (row counts, outcomes) before the span closes.
+        """
+        stack = self._stack()
+        depth = len(stack)
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield attrs
+        except BaseException:
+            attrs.setdefault("error", True)
+            raise
+        finally:
+            end = time.perf_counter()
+            stack.pop()
+            self._emit({"type": "span", "name": name,
+                        "ts": start - self.epoch, "dur": end - start,
+                        "depth": depth, "attrs": attrs})
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a point event at the current instant."""
+        self._emit({"type": "event", "name": name,
+                    "ts": time.perf_counter() - self.epoch,
+                    "depth": len(self._stack()), "attrs": attrs})
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> tuple[dict, ...]:
+        """Every record emitted so far (empty if ``keep_records=False``)."""
+        with self._lock:
+            return tuple(self._records)
+
+    def records_named(self, name: str) -> list[dict]:
+        """All records with the given name, in emission order."""
+        return [r for r in self.records if r["name"] == name]
+
+    @property
+    def active_depth(self) -> int:
+        """How many spans are currently open on this thread."""
+        return len(self._stack())
+
+
+class Observation:
+    """A tracer/registry pair installed for the duration of a run."""
+
+    __slots__ = ("tracer", "registry")
+
+    def __init__(self, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer
+        self.registry = registry
+
+
+_current: contextvars.ContextVar[Observation | None] = contextvars.ContextVar(
+    "repro_observation", default=None)
+
+
+def current_observation() -> Observation | None:
+    """The ambient observation, or None when instrumentation is off."""
+    return _current.get()
+
+
+@contextmanager
+def observe(observation: Observation) -> Iterator[Observation]:
+    """Install ``observation`` as the ambient context for this block."""
+    token = _current.set(observation)
+    try:
+        yield observation
+    finally:
+        _current.reset(token)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator: run the function inside a span on the ambient tracer.
+
+    Resolution happens per call, so decorated functions stay no-ops when
+    no observation is active — the disabled cost is one context-variable
+    read.
+    """
+    def wrap(func: Callable) -> Callable:
+        span_name = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            ctx = _current.get()
+            if ctx is None or ctx.tracer is None:
+                return func(*args, **kwargs)
+            with ctx.tracer.span(span_name):
+                return func(*args, **kwargs)
+        inner.__traced__ = span_name  # type: ignore[attr-defined]
+        return inner
+    return wrap
+
+
+class SimulationObserver:
+    """Bridges live simulator callbacks to a tracer and a registry.
+
+    The engine calls :meth:`on_event` on **every** event pop, so this
+    class keeps per-call work minimal: tracer emission plus plain
+    attribute bookkeeping; registry counters are updated once per run in
+    :meth:`on_run_end`, not per event.
+    """
+
+    __slots__ = ("tracer", "registry", "events_seen", "peak_queue_depth",
+                 "transits_seen", "_run_started_at", "last_run_wall_seconds")
+
+    def __init__(self, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer
+        self.registry = registry
+        self.events_seen = 0
+        self.peak_queue_depth = 0
+        self.transits_seen = 0
+        self._run_started_at = 0.0
+        self.last_run_wall_seconds = 0.0
+
+    # -- engine hooks ---------------------------------------------------
+    def on_run_start(self, sim: Any) -> None:
+        self._run_started_at = time.perf_counter()
+        if self.tracer is not None:
+            self.tracer.event("sim.run_start", t=sim.now)
+
+    def on_event(self, t: float, label: str, queue_depth: int) -> None:
+        """One simulator event was popped at simulated time ``t``."""
+        self.events_seen += 1
+        if queue_depth > self.peak_queue_depth:
+            self.peak_queue_depth = queue_depth
+        if self.tracer is not None:
+            self.tracer.event("sim.event", t=t, label=label,
+                              queue_depth=queue_depth)
+
+    def on_run_end(self, sim: Any) -> None:
+        wall = time.perf_counter() - self._run_started_at
+        self.last_run_wall_seconds = wall
+        if self.tracer is not None:
+            self.tracer.event("sim.run_end", t=sim.now,
+                              events=sim.events_processed,
+                              wall_seconds=wall)
+        reg = self.registry
+        if reg is not None:
+            reg.counter("sim_runs_total",
+                        "simulation runs executed").inc()
+            reg.counter("sim_events_total",
+                        "simulator events processed").inc(sim.events_processed)
+            reg.gauge("sim_queue_depth_peak",
+                      "peak event-queue depth of the most recent run"
+                      ).set(sim.peak_queue_depth)
+            if wall > 0 and sim.events_processed:
+                reg.gauge("sim_events_per_second",
+                          "event throughput of the most recent run"
+                          ).set(sim.events_processed / wall)
+            reg.timer("sim_run_seconds",
+                      "wall-clock duration of simulation runs").observe(wall)
+
+    # -- network hook ---------------------------------------------------
+    def on_transit(self, transit: Any) -> None:
+        """The shared channel granted one reservation."""
+        self.transits_seen += 1
+        if self.tracer is not None:
+            self.tracer.event("sim.transit", kind=transit.kind,
+                              computer=transit.computer,
+                              start=transit.start, end=transit.end)

@@ -9,16 +9,25 @@ the CEP semantics live in :mod:`repro.simulation.entities`.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.simulation.events import Event, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.tracing import SimulationObserver
 
 __all__ = ["Simulator"]
 
 
 class Simulator:
     """Event loop with a monotone clock.
+
+    An optional *observer* (see
+    :class:`repro.obs.tracing.SimulationObserver`) receives a callback
+    on every event pop, so runs can be traced live instead of
+    reconstructed post-hoc.  With ``observer=None`` (the default) the
+    loop's only extra work is one ``is not None`` branch per event.
 
     Examples
     --------
@@ -31,11 +40,13 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: "SimulationObserver | None" = None) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._peak_queue_depth = 0
+        self._observer = observer
 
     # ------------------------------------------------------------------
     @property
@@ -47,6 +58,21 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far."""
         return self._events_processed
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Largest event-queue size seen at any pop (cancelled included)."""
+        return self._peak_queue_depth
+
+    @property
+    def queue_depth(self) -> int:
+        """Current event-queue size (cancelled-but-unreaped included)."""
+        return self._queue.size
+
+    @property
+    def observer(self) -> "SimulationObserver | None":
+        """The attached live observer, if any."""
+        return self._observer
 
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, action: Callable[[], None],
@@ -79,17 +105,35 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
+        observer = self._observer
+        if observer is not None:
+            observer.on_run_start(self)
         try:
-            while not self._queue.empty:
-                next_time = self._queue.next_time
+            queue = self._queue
+            # The heap list object is stable across push/pop, so len() on
+            # this alias is the cheapest possible queue-depth probe — the
+            # disabled-observer loop must stay within noise of the
+            # uninstrumented engine (see benchmarks/bench_obs_overhead.py).
+            heap = queue._heap
+            peak = self._peak_queue_depth
+            while not queue.empty:
+                next_time = queue.next_time
                 assert next_time is not None
                 if until is not None and next_time > until:
                     break
-                event = self._queue.pop()
+                depth = len(heap)
+                if depth > peak:
+                    peak = depth
+                event = queue.pop()
                 self._now = event.time
                 self._events_processed += 1
+                if observer is not None:
+                    observer.on_event(event.time, event.label, depth)
                 event.action()
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._peak_queue_depth = peak
             self._running = False
+            if observer is not None:
+                observer.on_run_end(self)

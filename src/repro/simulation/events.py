@@ -68,6 +68,16 @@ class EventQueue:
         raise SimulationError("event queue is empty")
 
     @property
+    def size(self) -> int:
+        """Heap size in O(1): counts cancelled-but-unreaped events too.
+
+        The engine samples this on every pop for queue-depth telemetry,
+        so it must stay constant-time — use :func:`len` for the exact
+        live-event count.
+        """
+        return len(self._heap)
+
+    @property
     def empty(self) -> bool:
         """True when no live (non-cancelled) events remain."""
         while self._heap and self._heap[0].cancelled:

@@ -12,8 +12,12 @@ a simulator self-check, not an assumption).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.tracing import SimulationObserver
 
 __all__ = ["Transit", "SingleChannelNetwork"]
 
@@ -33,11 +37,17 @@ class Transit:
 
 
 class SingleChannelNetwork:
-    """Serialising reservation manager for the shared channel."""
+    """Serialising reservation manager for the shared channel.
 
-    def __init__(self) -> None:
+    An optional *observer* is notified of every granted reservation, so
+    channel occupancy can be traced live; with ``observer=None`` the
+    grant path's only extra work is one ``is not None`` branch.
+    """
+
+    def __init__(self, observer: "SimulationObserver | None" = None) -> None:
         self._free_at = 0.0
         self._transits: list[Transit] = []
+        self._observer = observer
 
     @property
     def free_at(self) -> float:
@@ -65,6 +75,8 @@ class SingleChannelNetwork:
                           end=start + duration)
         self._free_at = transit.end
         self._transits.append(transit)
+        if self._observer is not None:
+            self._observer.on_transit(transit)
         return transit
 
     def assert_serial(self) -> None:

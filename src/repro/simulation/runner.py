@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import SimulationError
+from repro.obs.tracing import SimulationObserver, current_observation
 from repro.protocols.base import Protocol, WorkAllocation
 from repro.protocols.timeline import Interval, Timeline
 from repro.simulation.engine import Simulator
@@ -44,6 +45,12 @@ class SimulationResult:
     network_busy_time: float
     makespan: float
     failed_computers: tuple[int, ...] = ()
+    #: Largest event-queue depth the engine saw (final queue is empty by
+    #: construction — the loop drains it).  One source of truth with the
+    #: metrics layer's ``sim_queue_depth_peak`` gauge.
+    peak_queue_depth: int = 0
+    #: Channel reservations granted during the run.
+    transits_granted: int = 0
 
     @property
     def lifespan(self) -> float:
@@ -87,7 +94,8 @@ class SimulationResult:
 def simulate_allocation(allocation: WorkAllocation, *,
                         results_policy: str = "late",
                         failures: dict[int, float] | None = None,
-                        skip_failed_results: bool = False) -> SimulationResult:
+                        skip_failed_results: bool = False,
+                        observer: SimulationObserver | None = None) -> SimulationResult:
     """Execute a work allocation at event granularity.
 
     Parameters
@@ -108,6 +116,12 @@ def simulate_allocation(allocation: WorkAllocation, *,
         Off by default — the strict FIFO contract stalls everything
         queued behind a failure, which is precisely the fragility worth
         measuring.
+    observer:
+        Live instrumentation hook.  When omitted, the ambient
+        :func:`repro.obs.tracing.current_observation` (if any) supplies
+        one, so a CLI- or benchmark-installed trace/metrics context
+        reaches simulations it never constructed; with no observation
+        active the run is uninstrumented.
 
     Returns
     -------
@@ -123,8 +137,12 @@ def simulate_allocation(allocation: WorkAllocation, *,
             raise SimulationError(f"invalid failure time {t!r} for computer {c}")
     params = allocation.params
     profile = allocation.profile
-    sim = Simulator()
-    network = SingleChannelNetwork()
+    if observer is None:
+        ctx = current_observation()
+        if ctx is not None:
+            observer = SimulationObserver(ctx.tracer, ctx.registry)
+    sim = Simulator(observer=observer)
+    network = SingleChannelNetwork(observer=observer)
 
     slot_starts: dict[int, float] | None = None
     if results_policy == "late" and params.delta > 0.0:
@@ -155,9 +173,21 @@ def simulate_allocation(allocation: WorkAllocation, *,
             sequencer=sequencer,
             failure_time=failures.get(c))
 
-    Server(sim, network, allocation, workers).start()
-    sim.run()
+    if observer is not None and observer.tracer is not None:
+        with observer.tracer.span("sim.run", n=profile.n,
+                                  lifespan=allocation.lifespan,
+                                  protocol=allocation.protocol_name,
+                                  policy=results_policy) as span_attrs:
+            Server(sim, network, allocation, workers).start()
+            sim.run()
+            span_attrs["events"] = sim.events_processed
+    else:
+        Server(sim, network, allocation, workers).start()
+        sim.run()
     network.assert_serial()
+
+    if observer is not None and observer.registry is not None:
+        _record_run_metrics(observer.registry, network, records)
 
     tol = 1e-9 * max(1.0, allocation.lifespan)
     completed = tuple(
@@ -179,11 +209,39 @@ def simulate_allocation(allocation: WorkAllocation, *,
         makespan=makespan,
         failed_computers=tuple(c for c in sorted(failures)
                                if workers[c].failed),
+        peak_queue_depth=sim.peak_queue_depth,
+        transits_granted=len(network.transits),
     )
 
 
+def _record_run_metrics(registry, network: SingleChannelNetwork,
+                        records: dict[int, WorkerRecord]) -> None:
+    """Fold one finished run's channel and milestone facts into metrics."""
+    registry.counter(
+        "sim_channel_busy_time",
+        "simulated time units the shared channel spent occupied"
+    ).inc(network.busy_time())
+    registry.counter(
+        "sim_transits_total", "channel reservations granted"
+    ).inc(len(network.transits))
+    milestones = registry.counter(
+        "sim_worker_milestones_total",
+        "per-worker milestones reached, by milestone kind")
+    arrived = sum(1 for r in records.values() if not np.isnan(r.arrived))
+    computed = sum(1 for r in records.values() if not np.isnan(r.busy_end))
+    delivered = sum(1 for r in records.values() if r.completed)
+    if arrived:
+        milestones.inc(arrived, milestone="work_arrived")
+    if computed:
+        milestones.inc(computed, milestone="compute_done")
+    if delivered:
+        milestones.inc(delivered, milestone="result_delivered")
+
+
 def simulate_protocol(protocol: Protocol, profile: Profile, params: ModelParams,
-                      lifespan: float, *, results_policy: str = "late") -> SimulationResult:
+                      lifespan: float, *, results_policy: str = "late",
+                      observer: SimulationObserver | None = None) -> SimulationResult:
     """Allocate with ``protocol`` and execute the result in the simulator."""
     allocation = protocol.allocate(profile, params, lifespan)
-    return simulate_allocation(allocation, results_policy=results_policy)
+    return simulate_allocation(allocation, results_policy=results_policy,
+                               observer=observer)

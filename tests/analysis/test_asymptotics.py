@@ -14,7 +14,7 @@ from repro.analysis.asymptotics import (
 )
 from repro.core.homogeneous import homogeneous_x
 from repro.core.measure import x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 

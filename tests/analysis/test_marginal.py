@@ -10,7 +10,7 @@ from repro.analysis.marginal import (
     x_gradient,
 )
 from repro.core.measure import x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from tests.conftest import PARAM_GRID, PROFILE_GRID
 

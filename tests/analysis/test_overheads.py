@@ -8,7 +8,6 @@ from repro.analysis.overheads import (
     min_lifespan_for_efficiency,
 )
 from repro.core.measure import work_production
-from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.overheads import latency_adjusted_work
 from repro.analysis.selection import best_roster
-from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 

@@ -5,7 +5,6 @@ import pytest
 from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
 from repro.cep.rental import min_prefix_for_deadline, rent_cluster, scale_allocation
 from repro.core.measure import work_production, work_rate
-from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.protocols.feasibility import check_allocation

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.cep.workload import Workload
-from repro.core.params import PAPER_TABLE1, ModelParams
-from repro.core.profile import Profile
+from repro.core.params import PAPER_TABLE1
 from repro.errors import InvalidParameterError
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.compare import compare_clusters
-from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidProfileError
 from repro.predictors.dominance import DominanceVerdict

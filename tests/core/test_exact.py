@@ -13,7 +13,7 @@ from repro.core.exact import (
 )
 from repro.core.homogeneous import homogeneous_x
 from repro.core.measure import work_rate, x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidProfileError
 from tests.conftest import PARAM_GRID, PROFILE_GRID

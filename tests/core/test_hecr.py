@@ -6,7 +6,7 @@ import pytest
 from repro.core.hecr import hecr, hecr_bisect, hecr_from_x, hecr_many
 from repro.core.homogeneous import homogeneous_x
 from repro.core.measure import x_measure, x_measure_many
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from tests.conftest import PARAM_GRID, PROFILE_GRID

@@ -11,7 +11,7 @@ from repro.core.measure import (
     x_measure,
     x_measure_many,
 )
-from repro.core.params import NEGLIGIBLE_OVERHEADS, PAPER_TABLE1, ModelParams
+from repro.core.params import NEGLIGIBLE_OVERHEADS
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from tests.conftest import PARAM_GRID, PROFILE_GRID

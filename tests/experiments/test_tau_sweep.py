@@ -1,6 +1,5 @@
 """Tests for the tau-sweep extension experiment and the series renderer."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import run_experiment

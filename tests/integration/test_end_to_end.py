@@ -6,14 +6,12 @@ observed work, plus the CEP/CRP duality and the upgrade planner feeding
 back into scheduling.
 """
 
-import numpy as np
 import pytest
 
 from repro.cep.problem import ClusterExploitationProblem, ClusterRentalProblem
 from repro.cep.rental import rent_cluster
 from repro.core.hecr import hecr
-from repro.core.measure import work_production, work_rate, x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.measure import work_production, work_rate
 from repro.core.profile import Profile
 from repro.protocols.feasibility import check_allocation, check_timeline
 from repro.protocols.fifo import FifoProtocol, fifo_allocation

@@ -1,0 +1,113 @@
+"""Unit tests for repro.obs.export: JSONL round-trip, Prometheus text."""
+
+import json
+
+from repro.obs.export import (
+    JsonlTraceWriter,
+    prometheus_text,
+    read_jsonl,
+    run_summary,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestJsonlRoundTrip:
+    def test_writer_streams_and_reader_restores(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceWriter(path) as writer:
+            tracer = Tracer(sink=writer)
+            tracer.event("first", t=1.0)
+            with tracer.span("work", n=4):
+                tracer.event("inner")
+        records = read_jsonl(path)
+        assert [r["name"] for r in records] == ["first", "inner", "work"]
+        assert records[0]["attrs"]["t"] == 1.0
+        assert records[2]["attrs"]["n"] == 4
+        assert writer.records_written == 3
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceWriter(path) as writer:
+            for i in range(10):
+                writer({"type": "event", "name": f"e{i}", "ts": i,
+                        "depth": 0, "attrs": {}})
+        for line in open(path, encoding="utf-8"):
+            json.loads(line)
+
+    def test_write_after_close_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = JsonlTraceWriter(path)
+        writer({"type": "event", "name": "a", "ts": 0, "depth": 0, "attrs": {}})
+        writer.close()
+        writer({"type": "event", "name": "b", "ts": 1, "depth": 0, "attrs": {}})
+        assert len(read_jsonl(path)) == 1
+
+    def test_non_json_attr_values_stringified(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceWriter(path) as writer:
+            writer({"type": "event", "name": "odd", "ts": 0, "depth": 0,
+                    "attrs": {"obj": object()}})
+        assert isinstance(read_jsonl(path)[0]["attrs"]["obj"], str)
+
+
+class TestPrometheusText:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "number of runs").inc(3, kind="sim")
+        registry.gauge("depth", "queue depth").set(7)
+        registry.histogram("lat_seconds", "latency", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_help_and_type_lines(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP runs_total number of runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_sample_lines(self):
+        text = prometheus_text(self._registry())
+        assert 'runs_total{kind="sim"} 3' in text
+        assert "\ndepth 7" in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_parseable_shape(self):
+        """Every non-comment line must be `name{labels} value` or `name value`."""
+        import re
+        pattern = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$')
+        for line in prometheus_text(self._registry()).strip().splitlines():
+            if not line.startswith("#"):
+                assert pattern.match(line), line
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(label='quote"back\\slash\nnl')
+        text = prometheus_text(registry)
+        assert r'\"' in text and r'\\' in text and r'\n' in text
+        assert "\nnl" not in text  # the newline itself must not survive
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_metrics_file(self, tmp_path):
+        path = tmp_path / "m.prom"
+        write_metrics(self._registry(), str(path))
+        assert "runs_total" in path.read_text()
+
+
+class TestRunSummary:
+    def test_mentions_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(1, zone="x")
+        text = run_summary(registry)
+        assert "a_total" in text and "b [zone=x]" in text
+
+    def test_empty_registry(self):
+        assert "(no metrics recorded)" in run_summary(MetricsRegistry())

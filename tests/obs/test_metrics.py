@@ -1,0 +1,177 @@
+"""Unit tests for repro.obs.metrics: counter/gauge/histogram/timer semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events_total")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_cells_are_independent(self):
+        c = Counter("runs_total")
+        c.inc(experiment="table3")
+        c.inc(3, experiment="fig4")
+        assert c.value(experiment="table3") == 1.0
+        assert c.value(experiment="fig4") == 3.0
+        assert c.value(experiment="nope") == 0.0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_cannot_decrease(self):
+        with pytest.raises(InvalidParameterError):
+            Counter("down_total").inc(-1)
+
+    def test_thread_safety_exact_total(self):
+        c = Counter("racy_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000.0
+
+    def test_samples(self):
+        c = Counter("s_total")
+        c.inc(5, kind="a")
+        samples = list(c.samples())
+        assert len(samples) == 1
+        assert samples[0].name == "s_total"
+        assert samples[0].labels == (("kind", "a"),)
+        assert samples[0].value == 5.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value() == 7.0
+
+    def test_set_to_max_keeps_high_water_mark(self):
+        g = Gauge("peak")
+        g.set_to_max(3)
+        g.set_to_max(9)
+        g.set_to_max(5)
+        assert g.value() == 9.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_le_inclusive(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1.0)   # == bound: falls in the le=1 bucket
+        h.observe(5.0)
+        h.observe(100.0)  # overflow -> +Inf
+        counts = h.bucket_counts()
+        assert counts[1.0] == 2
+        assert counts[10.0] == 3            # cumulative
+        assert counts[float("inf")] == 4
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(106.5)
+
+    def test_labelled_cells(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5, op="read")
+        h.observe(2.0, op="write")
+        assert h.count(op="read") == 1
+        assert h.count(op="write") == 1
+        assert h.count() == 0
+
+    def test_invalid_buckets_raise(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", buckets=())
+
+    def test_samples_include_bucket_sum_count(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        names = [s.name for s in h.samples()]
+        assert names == ["lat_bucket", "lat_bucket", "lat_sum", "lat_count"]
+
+
+class TestTimer:
+    def test_time_context_records_elapsed(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("step_seconds")
+        with timer.time(step="noop") as t:
+            pass
+        assert timer.count(step="noop") == 1
+        assert t.elapsed >= 0.0
+        assert timer.sum(step="noop") == pytest.approx(t.elapsed)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("thing")
+
+    def test_timer_and_histogram_are_distinct_kinds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        with pytest.raises(InvalidParameterError):
+            registry.timer("h")
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total")
+        registry.gauge("aa")
+        assert [m.name for m in registry.collect()] == ["aa", "zz_total"]
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help text").inc(2, k="v")
+        snap = registry.snapshot()
+        json.dumps(snap)
+        assert snap["c_total"]["kind"] == "counter"
+        assert snap["c_total"]["series"]["c_total{k=v}"] == 2.0
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_invalid_metric_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MetricsRegistry().counter("bad name!")
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous

@@ -1,0 +1,80 @@
+"""Unit tests for repro.obs.profile: the opt-in hot-path profiler."""
+
+import pytest
+
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.obs.profile import DEFAULT_TARGETS, HotPathProfiler, _resolve
+
+
+class TestResolve:
+    def test_module_function(self):
+        owner, attr, func = _resolve("repro.core.measure:x_measure")
+        assert attr == "x_measure"
+        assert callable(func)
+
+    def test_class_method(self):
+        owner, attr, func = _resolve("repro.simulation.engine:Simulator.run")
+        assert attr == "run"
+        assert callable(func)
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(InvalidParameterError):
+            _resolve("no-colon-here")
+
+    def test_non_callable_raises(self):
+        with pytest.raises(InvalidParameterError):
+            _resolve("repro.core.params:PAPER_TABLE1")
+
+
+class TestHotPathProfiler:
+    def test_counts_calls_and_time(self):
+        import repro.core.measure as measure
+        prof = HotPathProfiler(targets=("repro.core.measure:x_measure",))
+        with prof:
+            measure.x_measure(Profile([1.0, 0.5]), PAPER_TABLE1)
+            measure.x_measure(Profile([1.0]), PAPER_TABLE1)
+        (stat,) = prof.stats()
+        assert stat.calls == 2
+        assert stat.cumulative_seconds >= 0.0
+        assert stat.mean_seconds == stat.cumulative_seconds / 2
+
+    def test_disable_restores_original(self):
+        import repro.core.measure as measure
+        original = measure.x_measure
+        prof = HotPathProfiler(targets=("repro.core.measure:x_measure",))
+        prof.enable()
+        assert measure.x_measure is not original
+        prof.disable()
+        assert measure.x_measure is original
+
+    def test_enable_is_idempotent(self):
+        import repro.core.measure as measure
+        original = measure.x_measure
+        prof = HotPathProfiler(targets=("repro.core.measure:x_measure",))
+        prof.enable()
+        wrapped = measure.x_measure
+        prof.enable()
+        assert measure.x_measure is wrapped
+        prof.disable()
+        assert measure.x_measure is original
+
+    def test_default_targets_all_resolve_and_profile_simulation(self):
+        from repro.protocols.fifo import FifoProtocol
+        from repro.simulation.runner import simulate_protocol
+        with HotPathProfiler() as prof:
+            result = simulate_protocol(FifoProtocol(), Profile.linear(4),
+                                       PAPER_TABLE1, 100.0)
+        assert result.all_completed
+        by_target = {s.target: s for s in prof.stats()}
+        assert set(by_target) == set(DEFAULT_TARGETS)
+        assert by_target["repro.simulation.engine:Simulator.run"].calls == 1
+        assert by_target["repro.protocols.fifo:fifo_allocation"].calls >= 1
+
+    def test_report_is_a_table(self):
+        with HotPathProfiler() as prof:
+            pass
+        report = prof.report()
+        assert "target" in report and "calls" in report
+        assert all(t in report for t in DEFAULT_TARGETS)

@@ -2,13 +2,11 @@
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.core.exact import x_measure_exact
 from repro.core.measure import x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
-from repro.core.profile import Profile
+from repro.core.params import ModelParams
 from repro.errors import InvalidParameterError
 from repro.predictors.coefficients import (
     claim1_margin,

@@ -1,6 +1,5 @@
 """Unit tests for repro.predictors.majorization."""
 
-import numpy as np
 import pytest
 
 from repro.core.measure import x_measure

@@ -1,6 +1,5 @@
 """Unit tests for repro.predictors.moments (eqs. (7)–(8))."""
 
-import numpy as np
 import pytest
 
 from repro.core.profile import Profile

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.measure import x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidProfileError
 from repro.predictors.variance import (

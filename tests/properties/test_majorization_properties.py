@@ -7,7 +7,6 @@ every admissible environment.  This is the differential form of
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

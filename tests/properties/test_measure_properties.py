@@ -12,7 +12,6 @@ environments rather than hand-picked cases:
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -20,7 +19,6 @@ from hypothesis import strategies as st
 from repro.core.exact import x_measure_exact
 from repro.core.measure import x_measure
 from repro.core.params import ModelParams
-from repro.core.profile import Profile
 from repro.predictors.coefficients import x_from_symmetric_functions_exact
 
 # -- strategies ------------------------------------------------------------

@@ -1,7 +1,6 @@
 """Unit tests for repro.protocols.conformance."""
 
 import numpy as np
-import pytest
 
 from repro.core.params import ModelParams
 from repro.core.profile import Profile

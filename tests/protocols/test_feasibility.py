@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.protocols.base import WorkAllocation
 from repro.protocols.feasibility import (
@@ -14,7 +14,7 @@ from repro.protocols.feasibility import (
 )
 from repro.protocols.fifo import fifo_allocation
 from repro.protocols.lifo import lifo_allocation
-from repro.protocols.timeline import Interval, Timeline, build_timeline
+from repro.protocols.timeline import Interval, Timeline
 from tests.conftest import PARAM_GRID, PROFILE_GRID
 
 

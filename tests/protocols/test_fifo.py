@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.measure import work_production, x_measure
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import ProtocolError
 from repro.protocols.fifo import (

@@ -1,9 +1,8 @@
 """Unit tests for repro.protocols.general — the LP scheduler."""
 
-import numpy as np
 import pytest
 
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import ProtocolError
 from repro.protocols.fifo import fifo_allocation

@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.params import PAPER_TABLE1, ModelParams
-from repro.core.profile import Profile
 from repro.errors import ProtocolError
 from repro.protocols.fifo import fifo_allocation
 from repro.protocols.general import lp_allocation

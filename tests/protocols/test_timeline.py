@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InfeasibleScheduleError
 from repro.protocols.base import WorkAllocation

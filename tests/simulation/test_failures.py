@@ -6,7 +6,6 @@ queued behind the failure stalls) versus the skip-failed recovery
 heuristic (only the dead worker's quantum is lost).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.params import ModelParams

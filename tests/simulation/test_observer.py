@@ -1,0 +1,135 @@
+"""Integration: live observation of simulation runs.
+
+The contract under test: a traced ``simulate_protocol`` run emits
+exactly one ``sim.event`` record per processed engine event, the
+metrics registry and the :class:`SimulationResult` agree on every
+shared statistic, and an unobserved run emits nothing.
+"""
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Observation, SimulationObserver, Tracer, observe
+from repro.protocols.fifo import FifoProtocol, fifo_allocation
+from repro.simulation.engine import Simulator
+from repro.simulation.runner import simulate_allocation, simulate_protocol
+
+_PARAMS = ModelParams(tau=0.01, pi=0.001, delta=1.0)
+
+
+def _observed_run(n=6, lifespan=200.0):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    observer = SimulationObserver(tracer, registry)
+    result = simulate_protocol(FifoProtocol(), Profile.linear(n), _PARAMS,
+                               lifespan, observer=observer)
+    return tracer, registry, observer, result
+
+
+class TestSpanStreamMatchesEngine:
+    def test_one_sim_event_record_per_processed_event(self):
+        tracer, _, observer, result = _observed_run()
+        events = tracer.records_named("sim.event")
+        assert len(events) == result.events_processed
+        assert observer.events_seen == result.events_processed
+
+    def test_event_records_carry_sim_time_and_label(self):
+        tracer, _, _, result = _observed_run()
+        events = tracer.records_named("sim.event")
+        times = [r["attrs"]["t"] for r in events]
+        assert times == sorted(times)  # simulated time is monotone
+        assert all(isinstance(r["attrs"]["label"], str) for r in events)
+
+    def test_run_span_wraps_all_events(self):
+        tracer, _, _, result = _observed_run()
+        (span,) = tracer.records_named("sim.run")
+        assert span["type"] == "span"
+        assert span["attrs"]["events"] == result.events_processed
+        assert span["attrs"]["protocol"] == "FIFO"
+        # every sim.event is nested inside the run span
+        assert all(r["depth"] == span["depth"] + 1
+                   for r in tracer.records_named("sim.event"))
+
+    def test_transit_records_match_result(self):
+        tracer, _, _, result = _observed_run()
+        transits = tracer.records_named("sim.transit")
+        assert len(transits) == result.transits_granted
+        kinds = {r["attrs"]["kind"] for r in transits}
+        assert kinds == {"work", "result"}
+
+
+class TestMetricsAgreeWithResult:
+    def test_single_source_of_truth(self):
+        _, registry, _, result = _observed_run()
+        assert registry.counter("sim_events_total").value() == \
+            result.events_processed
+        assert registry.gauge("sim_queue_depth_peak").value() == \
+            result.peak_queue_depth
+        assert registry.counter("sim_transits_total").value() == \
+            result.transits_granted
+        assert registry.counter("sim_channel_busy_time").value() == \
+            pytest.approx(result.network_busy_time)
+        assert registry.counter("sim_runs_total").value() == 1.0
+
+    def test_worker_milestone_counters(self):
+        _, registry, _, result = _observed_run()
+        milestones = registry.counter("sim_worker_milestones_total")
+        active = sum(1 for r in result.records if r.work > 0.0)
+        assert milestones.value(milestone="work_arrived") == active
+        assert milestones.value(milestone="compute_done") == active
+        assert milestones.value(milestone="result_delivered") == \
+            len(result.completed_computers)
+
+
+class TestAmbientPickup:
+    def test_simulation_inherits_ambient_observation(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with observe(Observation(tracer=tracer, registry=registry)):
+            result = simulate_protocol(FifoProtocol(), Profile.linear(4),
+                                       _PARAMS, 100.0)
+        assert len(tracer.records_named("sim.event")) == result.events_processed
+        assert registry.counter("sim_runs_total").value() == 1.0
+
+    def test_explicit_observer_wins_over_ambient(self):
+        ambient = Tracer()
+        mine = SimulationObserver(Tracer())
+        with observe(Observation(tracer=ambient)):
+            alloc = fifo_allocation(Profile.linear(3), _PARAMS, 100.0)
+            simulate_allocation(alloc, observer=mine)
+        assert ambient.records == ()
+        assert mine.tracer.records_named("sim.event")
+
+
+class TestDisabledPath:
+    def test_unobserved_run_unchanged_and_untraced(self):
+        alloc = fifo_allocation(Profile.linear(5), _PARAMS, 150.0)
+        plain = simulate_allocation(alloc)
+        observer = SimulationObserver(Tracer())
+        traced_result = simulate_allocation(alloc, observer=observer)
+        assert plain.completed_work == traced_result.completed_work
+        assert plain.events_processed == traced_result.events_processed
+        assert plain.peak_queue_depth == traced_result.peak_queue_depth
+
+    def test_engine_without_observer_has_no_observer(self):
+        sim = Simulator()
+        assert sim.observer is None
+
+
+class TestQueueStatsExposed:
+    def test_peak_queue_depth_surfaced_in_result(self):
+        alloc = fifo_allocation(Profile.linear(8), _PARAMS, 200.0)
+        result = simulate_allocation(alloc)
+        assert result.peak_queue_depth >= 1
+        assert result.transits_granted == 16  # one work + one result per worker
+
+    def test_engine_tracks_peak_depth(self):
+        sim = Simulator()
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.peak_queue_depth == 3
+        assert sim.queue_depth == 0
+        assert sim.events_processed == 3

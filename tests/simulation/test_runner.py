@@ -1,10 +1,9 @@
 """Unit tests for repro.simulation.runner — the DES vs the analytics."""
 
-import numpy as np
 import pytest
 
 from repro.core.measure import work_production
-from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import SimulationError
 from repro.protocols.feasibility import check_timeline

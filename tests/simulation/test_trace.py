@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.protocols.fifo import fifo_allocation
 from repro.simulation.runner import simulate_allocation

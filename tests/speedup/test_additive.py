@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.speedup.additive import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.measure import x_measure
-from repro.core.params import PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.speedup.budget import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1, ModelParams
+from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.speedup.multiplicative import (

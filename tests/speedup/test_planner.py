@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.measure import x_measure
-from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.speedup.planner import (

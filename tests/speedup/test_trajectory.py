@@ -1,9 +1,8 @@
 """Unit tests for repro.speedup.trajectory (the Figs. 3–4 engine)."""
 
-import numpy as np
 import pytest
 
-from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1
+from repro.core.params import FIG34_CALIBRATION
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
 from repro.speedup.multiplicative import SpeedupRegime

@@ -24,10 +24,18 @@ class TestRun:
         out = capsys.readouterr().out
         assert "good %" in out
 
-    def test_run_unknown_experiment_raises(self):
-        from repro.errors import ExperimentError
-        with pytest.raises(ExperimentError):
-            main(["run", "bogus-experiment"])
+    def test_run_unknown_experiment_exit_code_2(self, capsys):
+        assert main(["run", "bogus-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_failing_experiment_exit_code_1(self, capsys, monkeypatch):
+        from repro.experiments import base
+
+        def boom():
+            raise RuntimeError("kaboom")
+        monkeypatch.setitem(base._REGISTRY, "boom", boom)
+        assert main(["run", "boom"]) == 1
+        assert "kaboom" in capsys.readouterr().err
 
     def test_run_json_format(self, capsys):
         import json
@@ -46,6 +54,49 @@ class TestRun:
                      "--output", str(target)]) == 0
         assert target.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestRunObservability:
+    def test_json_flag_is_format_shorthand(self, capsys):
+        import json
+        assert main(["run", "table3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "table3"
+        assert payload["metadata"]["obs"]["wall_seconds"] >= 0.0
+
+    def test_run_all_json_is_one_array(self, capsys, monkeypatch):
+        import json
+        from repro.experiments import base
+        # Shrink the registry so 'all' stays fast.
+        monkeypatch.setattr(base, "_REGISTRY", {
+            k: base._REGISTRY[k] for k in ("table3", "table4")})
+        assert main(["run", "all", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["experiment_id"] for p in payload] == ["table3", "table4"]
+
+    def test_trace_metrics_json_in_one_run(self, capsys, tmp_path):
+        import json
+        trace = tmp_path / "t.jsonl"
+        prom = tmp_path / "m.prom"
+        assert main(["run", "table3", "--trace", str(trace),
+                     "--metrics", str(prom), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "table3"
+        records = [json.loads(line) for line in
+                   trace.read_text().strip().splitlines()]
+        assert any(r["name"] == "experiment:table3" for r in records)
+        text = prom.read_text()
+        assert "# TYPE experiment_runs_total counter" in text
+        assert 'experiment_runs_total{experiment="table3"}' in text
+
+    def test_trace_captures_simulation_events(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "sim.jsonl"
+        assert main(["run", "failure-resilience", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().strip().splitlines()}
+        assert {"sim.run", "sim.event", "sim.transit"} <= names
 
 
 class TestReport:

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core.params import PAPER_TABLE1, ModelParams
