@@ -1,0 +1,87 @@
+"""Batch-engine speedup benchmark: ``--jobs N`` vs ``--jobs 1``.
+
+Runs the sampling experiments (the shardable, compute-bound ones) through
+:func:`repro.batch.run_batch` sequentially and on a worker pool, checks
+the parallel rows are identical to the sequential rows, and records the
+wall clocks to ``BENCH_batch_speedup.json`` at the repo root.
+
+The speedup floor is conditional on hardware: the engine cannot beat
+Amdahl on a single core, so the ≥1.5× assertion only arms when the
+runner has at least 4 CPUs (the CI runner does); below that the run
+still records honest numbers for the baseline file, with the core count
+alongside so readers can interpret them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.batch import run_batch
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_speedup.json"
+
+#: The shardable sampling experiments — the ones worth parallelising.
+_EXPERIMENT_IDS = ["variance-trials", "variance-threshold", "majorization"]
+_KWARGS = {
+    "variance-trials": {"trials_per_size": 600, "seed": 20100419},
+    "variance-threshold": {"trials_per_size": 600, "seed": 20100419},
+    "majorization": {"trials_per_size": 600, "seed": 20100419},
+}
+_JOBS = 4
+
+#: Required parallel speedup on a proper multi-core runner.
+_SPEEDUP_FLOOR = 1.5
+
+
+def _run(jobs: int):
+    start = time.perf_counter()
+    report = run_batch(_EXPERIMENT_IDS, kwargs_by_id=_KWARGS, jobs=jobs,
+                       cache=None)
+    wall = time.perf_counter() - start
+    assert not report.failures, [i.error for i in report.failures]
+    return wall, report.results
+
+
+def test_parallel_batch_speedup(report_sink):
+    cores = os.cpu_count() or 1
+    sequential_s, sequential_results = _run(jobs=1)
+    parallel_s, parallel_results = _run(jobs=_JOBS)
+    speedup = sequential_s / parallel_s
+
+    # Determinism first: the speedup is worthless if rows drift.
+    for seq, par in zip(sequential_results, parallel_results):
+        assert seq.experiment_id == par.experiment_id
+        assert seq.rows == par.rows, f"{seq.experiment_id} rows differ"
+
+    floor_armed = cores >= 4
+    baseline = {
+        "cpu_count": cores,
+        "jobs": _JOBS,
+        "experiments": _EXPERIMENT_IDS,
+        "sequential_seconds": round(sequential_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 4),
+        "speedup_floor": _SPEEDUP_FLOOR,
+        "floor_armed": floor_armed,
+        "note": ("floor asserted (>=4 cores)" if floor_armed else
+                 f"floor not asserted: only {cores} core(s) available, "
+                 "parallel speedup is not physically possible"),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    report_sink("batch-speedup", "\n".join([
+        "batch speedup benchmark",
+        f"  cpus        {cores}",
+        f"  sequential  {sequential_s:6.2f} s",
+        f"  --jobs {_JOBS}    {parallel_s:6.2f} s",
+        f"  speedup     x{speedup:.2f} "
+        f"(floor x{_SPEEDUP_FLOOR} {'armed' if floor_armed else 'not armed'})",
+    ]))
+
+    if floor_armed:
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"--jobs {_JOBS} was only {speedup:.2f}x faster than --jobs 1 "
+            f"on a {cores}-core runner (floor {_SPEEDUP_FLOOR}x)")

@@ -1,0 +1,22 @@
+"""Parallel batch execution: worker pools, shard fan-out, result cache.
+
+The subsystem behind ``repro-hetero run all --jobs N``:
+
+* :mod:`repro.batch.engine` — a process-pool executor that runs
+  registered experiments (and, for experiments declaring a
+  :class:`~repro.experiments.base.ShardSpec`, their independent trial
+  shards) across cores, deterministically: ``--jobs N`` is row-for-row
+  identical to ``--jobs 1``.
+* :mod:`repro.batch.cache` — a content-addressed on-disk result cache
+  keyed by ``(experiment_id, kwargs, seed, package version)`` so
+  repeated ``run all`` / ``report`` invocations skip unchanged work.
+
+See ``docs/BATCH.md`` for the execution model, the seeding scheme and
+the observability-merge semantics.
+"""
+
+from repro.batch.cache import ResultCache, default_cache_dir
+from repro.batch.engine import BatchItem, BatchReport, run_batch
+
+__all__ = ["BatchItem", "BatchReport", "ResultCache", "default_cache_dir",
+           "run_batch"]

@@ -1,0 +1,121 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every registered experiment is a pure function of its keyword arguments
+(all RNG use is seeded through them), so a completed result can be
+reused whenever ``(experiment_id, kwargs, seed, package version)`` is
+unchanged.  The cache key is the SHA-256 of that tuple's canonical JSON
+form — the seed rides inside ``kwargs``, and the package version folds
+in so a code change invalidates every entry at once.
+
+Entries are JSON documents holding :func:`repro.io.result_to_dict`
+payloads.  A hit rebuilds the result with
+:func:`repro.io.result_from_dict`, whose re-serialisation is
+byte-identical to the stored document — so warmed ``run all --json`` /
+``report`` invocations are bit-reproducible.  Anything unreadable,
+mismatched or unserialisable degrades to a miss (or a skipped store):
+the cache can lose entries, never corrupt results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import jsonable
+from repro.io import result_from_dict, result_to_dict
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Where cached results live unless overridden.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise the platform cache home
+    (``$XDG_CACHE_HOME`` or ``~/.cache``) under ``repro-hetero``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-hetero"
+
+
+class ResultCache:
+    """A directory of content-addressed experiment results.
+
+    Safe under concurrent writers: entries are written to a temp file
+    and atomically renamed, and two processes computing the same key
+    write identical content anyway.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def key(self, experiment_id: str, kwargs: dict[str, Any]) -> str:
+        """The content address of one experiment invocation."""
+        canonical = json.dumps(
+            {"experiment_id": experiment_id, "kwargs": jsonable(kwargs),
+             "version": __version__},
+            sort_keys=True, separators=(",", ":"), allow_nan=False)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, experiment_id: str, key: str) -> Path:
+        return self.root / f"{experiment_id}-{key[:16]}.json"
+
+    def get(self, experiment_id: str, kwargs: dict[str, Any]
+            ) -> ExperimentResult | None:
+        """The cached result, or None on any kind of miss.
+
+        Corrupt, unreadable, stale-schema or key-mismatched files all
+        count as misses — a damaged cache degrades to recomputation.
+        """
+        path = self._path(experiment_id, self.key(experiment_id, kwargs))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema_version") != _SCHEMA_VERSION:
+                return None
+            if payload.get("key") != self.key(experiment_id, kwargs):
+                return None
+            return result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, experiment_id: str, kwargs: dict[str, Any],
+            result: ExperimentResult) -> bool:
+        """Store a result; returns False when it cannot be serialised.
+
+        Results whose metadata defies JSON (e.g. infinities) are simply
+        not cached — callers lose the speedup, never the result.
+        """
+        key = self.key(experiment_id, kwargs)
+        path = self._path(experiment_id, key)
+        try:
+            document = json.dumps(
+                {"schema_version": _SCHEMA_VERSION, "key": key,
+                 "experiment_id": experiment_id, "version": __version__,
+                 "kwargs": jsonable(kwargs), "result": result_to_dict(result)},
+                indent=2, allow_nan=False)
+        except (TypeError, ValueError):
+            return False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(document)
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            return False
+        return True

@@ -1,0 +1,360 @@
+"""Process-pool batch execution of registered experiments.
+
+The engine behind ``repro-hetero run all --jobs N``: it fans registered
+experiments — and, for experiments with a
+:class:`~repro.experiments.base.ShardSpec`, their independent trial
+shards — out across a pool of worker processes, then reassembles
+everything in the parent.
+
+Design invariants, in order of importance:
+
+* **determinism** — ``--jobs N`` must be row-for-row identical to
+  ``--jobs 1``.  Shard plans are pure functions of the experiment
+  kwargs (never of the worker count), every shard carries its own
+  ``SeedSequence``-spawned seed, and merges always happen in shard
+  order, so how the shards land on workers cannot change the result.
+* **truthful observability** — each worker task runs inside its own
+  :class:`~repro.obs.tracing.Observation`; its metrics registry dump
+  and trace records travel back with the payload and are folded into
+  the session registry/tracer, so PR 1's instrumentation reports the
+  same series under parallelism as it does sequentially.
+* **isolation of failures** — one failing experiment (or shard) marks
+  that experiment failed and the batch carries on, exactly like the
+  sequential CLI loop.
+
+Dispatch is straggler-aware in the LPT sense: tasks are submitted
+longest-estimated-first so a slow shard starts early instead of
+dangling off the end of the schedule.  The estimates are heuristic and
+affect only scheduling quality, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.experiments.base import (ExperimentResult, _peak_rss_bytes,
+                                    get_shard_spec, record_experiment_metrics,
+                                    run_experiment)
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Observation, Tracer, current_observation, observe
+
+from repro.batch.cache import ResultCache
+
+__all__ = ["BatchItem", "BatchReport", "run_batch"]
+
+#: Rough relative costs of the unshardable experiments (arbitrary units
+#: comparable to a shard's ``chunk_trials * n``), measured once on the
+#: reference box.  Used only to order submissions (LPT); an absent or
+#: stale entry costs scheduling quality, nothing else.
+_COST_HINTS = {
+    "moment-ablation": 30_000,
+    "failure-rate-sweep": 27_000,
+    "protocol-optimality": 15_000,
+    "heterogeneity-gain": 3_500,
+    "fig4": 1_000,
+    "fig3": 700,
+}
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of worker-pool work: a whole experiment or one shard."""
+
+    experiment_id: str
+    kwargs: dict[str, Any]
+    shard_index: int | None = None  # None -> run the whole experiment
+    capture_trace: bool = False
+
+    @property
+    def cost(self) -> float:
+        """Heuristic runtime estimate for LPT submission order."""
+        if self.shard_index is not None:
+            trials = self.kwargs.get("chunk_trials")
+            if trials is not None:
+                return float(trials) * float(self.kwargs.get("n", 1))
+            return 50.0
+        return float(_COST_HINTS.get(self.experiment_id, 100.0))
+
+
+@dataclass
+class _TaskOutput:
+    experiment_id: str
+    shard_index: int | None
+    value: Any = None
+    error: str | None = None
+    wall_seconds: float = 0.0
+    rss_delta_bytes: int | None = None
+    worker_pid: int = 0
+    metrics_dump: dict | None = None
+    trace_records: tuple = ()
+
+
+def _execute_task(task: _Task) -> _TaskOutput:
+    """Worker-side entry point: run one task inside its own observation.
+
+    Must stay importable at module level (the pool pickles a reference,
+    not the function) and must never raise — errors come back as data
+    so one bad experiment cannot take the pool down.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(keep_records=True) if task.capture_trace else None
+    rss_before = _peak_rss_bytes()
+    start = time.perf_counter()
+    out = _TaskOutput(experiment_id=task.experiment_id,
+                      shard_index=task.shard_index, worker_pid=os.getpid())
+    with observe(Observation(tracer=tracer, registry=registry)):
+        try:
+            if task.shard_index is None:
+                out.value = run_experiment(task.experiment_id, **task.kwargs)
+            else:
+                spec = get_shard_spec(task.experiment_id)
+                if spec is None:  # pragma: no cover - defensive
+                    raise InvalidParameterError(
+                        f"experiment {task.experiment_id!r} has no shard spec")
+                name = f"shard:{task.experiment_id}[{task.shard_index}]"
+                if tracer is not None:
+                    with tracer.span(name):
+                        out.value = spec.runner(**task.kwargs)
+                else:
+                    out.value = spec.runner(**task.kwargs)
+                registry.counter(
+                    "experiment_shards_total", "experiment shards completed"
+                ).inc(experiment=task.experiment_id)
+        except Exception as exc:
+            out.error = f"{type(exc).__name__}: {exc}"
+            out.value = None
+            traceback.clear_frames(exc.__traceback__)
+    out.wall_seconds = time.perf_counter() - start
+    rss_after = _peak_rss_bytes()
+    if rss_before is not None and rss_after is not None:
+        out.rss_delta_bytes = max(0, rss_after - rss_before)
+    out.metrics_dump = registry.dump()
+    if tracer is not None:
+        out.trace_records = tracer.records
+    return out
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one experiment within a batch."""
+
+    experiment_id: str
+    result: ExperimentResult | None = None
+    error: str | None = None
+    cached: bool = False
+    shards: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """Everything ``run_batch`` did, in input order."""
+
+    items: list[BatchItem] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [item.result for item in self.items if item.result is not None]
+
+    @property
+    def failures(self) -> list[BatchItem]:
+        return [item for item in self.items if item.error is not None]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext | None:
+    """Prefer fork: workers inherit the loaded interpreter (no re-import
+    tax) and any in-process experiment registrations, e.g. from tests."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None  # pragma: no cover - non-POSIX platforms
+
+
+def run_batch(experiment_ids: Sequence[str], *,
+              kwargs_by_id: Mapping[str, dict[str, Any]] | None = None,
+              jobs: int = 1,
+              cache: ResultCache | None = None) -> BatchReport:
+    """Run experiments (optionally sharded) across a worker pool.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Registered ids, executed/reported in this order.
+    kwargs_by_id:
+        Keyword overrides per experiment (the CLI's sampling flags).
+    jobs:
+        Worker processes.  ``1`` runs everything in-process — same
+        decomposition, same seeds, same merge — which is both the
+        compatibility path and the honest baseline for speedup claims.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are stored back.
+
+    Observability: metrics and (when a tracer is ambient) trace records
+    from every worker are merged into the session's ambient observation
+    or the process-global default registry.
+    """
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    kwargs_by_id = dict(kwargs_by_id or {})
+    ctx = current_observation()
+    registry = (ctx.registry if ctx is not None and ctx.registry is not None
+                else default_registry())
+    tracer = ctx.tracer if ctx is not None else None
+
+    report = BatchReport(jobs=jobs)
+    batch_start = time.perf_counter()
+    items: dict[str, BatchItem] = {}
+    pending: list[str] = []
+    for experiment_id in experiment_ids:
+        item = BatchItem(experiment_id=experiment_id)
+        items[experiment_id] = item
+        report.items.append(item)
+        kwargs = kwargs_by_id.get(experiment_id, {})
+        cached = cache.get(experiment_id, kwargs) if cache is not None else None
+        if cached is not None:
+            item.result = cached
+            item.cached = True
+            report.cache_hits += 1
+            registry.counter("batch_cache_hits_total",
+                             "batch results served from the on-disk cache"
+                             ).inc(experiment=experiment_id)
+            continue
+        if cache is not None:
+            report.cache_misses += 1
+            registry.counter("batch_cache_misses_total",
+                             "batch results not found in the on-disk cache"
+                             ).inc(experiment=experiment_id)
+        pending.append(experiment_id)
+
+    if jobs == 1:
+        for experiment_id in pending:
+            item = items[experiment_id]
+            start = time.perf_counter()
+            try:
+                item.result = run_experiment(experiment_id,
+                                             **kwargs_by_id.get(experiment_id, {}))
+            except Exception as exc:
+                item.error = f"{type(exc).__name__}: {exc}"
+            item.wall_seconds = time.perf_counter() - start
+    elif pending:
+        _run_pool(pending, kwargs_by_id, jobs, items, registry, tracer)
+
+    if cache is not None:
+        for experiment_id in pending:
+            item = items[experiment_id]
+            if item.result is not None:
+                cache.put(experiment_id, kwargs_by_id.get(experiment_id, {}),
+                          item.result)
+
+    report.wall_seconds = time.perf_counter() - batch_start
+    registry.counter("batch_runs_total", "batch invocations").inc()
+    registry.timer("batch_seconds", "wall-clock duration of batch runs"
+                   ).observe(report.wall_seconds)
+    return report
+
+
+def _run_pool(pending: Sequence[str], kwargs_by_id: Mapping[str, dict],
+              jobs: int, items: Mapping[str, BatchItem],
+              registry: MetricsRegistry, tracer: Tracer | None) -> None:
+    """Execute the cache-missed experiments on a process pool."""
+    capture = tracer is not None
+    tasks: list[_Task] = []
+    shard_specs: dict[str, Any] = {}
+    shard_counts: dict[str, int] = {}
+    for experiment_id in pending:
+        kwargs = kwargs_by_id.get(experiment_id, {})
+        spec = get_shard_spec(experiment_id)
+        if spec is not None:
+            try:
+                shards = spec.split(**kwargs)
+            except Exception as exc:
+                items[experiment_id].error = f"{type(exc).__name__}: {exc}"
+                continue
+            shard_specs[experiment_id] = spec
+            shard_counts[experiment_id] = len(shards)
+            items[experiment_id].shards = len(shards)
+            tasks.extend(
+                _Task(experiment_id, shard_kwargs, shard_index=index,
+                      capture_trace=capture)
+                for index, shard_kwargs in enumerate(shards))
+        else:
+            tasks.append(_Task(experiment_id, kwargs, capture_trace=capture))
+
+    outputs: dict[tuple[str, int | None], _TaskOutput] = {}
+    submission_order = sorted(tasks, key=lambda t: t.cost, reverse=True)
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=_pool_context()) as pool:
+        futures = {pool.submit(_execute_task, task): task
+                   for task in submission_order}
+        for future, task in futures.items():
+            try:
+                output = future.result()
+            except Exception as exc:  # BrokenProcessPool and friends
+                output = _TaskOutput(experiment_id=task.experiment_id,
+                                     shard_index=task.shard_index,
+                                     error=f"{type(exc).__name__}: {exc}")
+            outputs[(task.experiment_id, task.shard_index)] = output
+            if output.metrics_dump:
+                registry.merge(output.metrics_dump)
+            if tracer is not None and output.trace_records:
+                tracer.ingest(output.trace_records,
+                              worker_pid=output.worker_pid)
+
+    for experiment_id in pending:
+        item = items[experiment_id]
+        if item.error is not None:  # split() already failed
+            continue
+        if experiment_id not in shard_specs:
+            output = outputs[(experiment_id, None)]
+            item.wall_seconds = output.wall_seconds
+            if output.error is not None:
+                item.error = output.error
+            else:
+                item.result = output.value
+            continue
+        shard_outputs = [outputs[(experiment_id, index)]
+                         for index in range(shard_counts[experiment_id])]
+        item.wall_seconds = sum(o.wall_seconds for o in shard_outputs)
+        errors = [o.error for o in shard_outputs if o.error is not None]
+        if errors:
+            item.error = errors[0]
+            registry.counter("experiment_failures_total",
+                             "experiment runs that raised"
+                             ).inc(experiment=experiment_id)
+            continue
+        spec = shard_specs[experiment_id]
+        kwargs = kwargs_by_id.get(experiment_id, {})
+        try:
+            merged = spec.merge([o.value for o in shard_outputs], **kwargs)
+        except Exception as exc:
+            item.error = f"{type(exc).__name__}: {exc}"
+            registry.counter("experiment_failures_total",
+                             "experiment runs that raised"
+                             ).inc(experiment=experiment_id)
+            continue
+        record_experiment_metrics(registry, experiment_id, item.wall_seconds)
+        rss_deltas = [o.rss_delta_bytes for o in shard_outputs
+                      if o.rss_delta_bytes is not None]
+        obs_block = {
+            # Aggregate worker-side compute seconds (the shards ran
+            # concurrently, so this is CPU time, not elapsed time).
+            "wall_seconds": item.wall_seconds,
+            # Largest high-water-mark rise any worker attributed to a
+            # shard of this experiment — per-worker RSS, not inherited
+            # from whatever ran before in the parent.
+            "peak_rss_bytes": max(rss_deltas) if rss_deltas else None,
+            "shards": len(shard_outputs),
+        }
+        item.result = replace(
+            merged, metadata={**merged.metadata, "obs": obs_block})

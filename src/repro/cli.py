@@ -29,9 +29,21 @@ from repro.core.hecr import hecr
 from repro.core.measure import work_rate, x_measure
 from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.core.profile import Profile
-from repro.experiments import get_experiment, list_experiments
+from repro.experiments import list_experiments
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
+    """The batch-engine knobs shared by ``run`` and ``report``."""
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for batch execution "
+                             "(default: 1 = in-process sequential)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; skip the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or the platform cache home)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,11 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shorthand for --format json; with 'all', emits "
                           "one JSON array of every result")
     run.add_argument("--output", default=None, metavar="PATH",
-                     help="write the report to a file instead of stdout")
+                     help="write the report to a file instead of stdout; "
+                          "with 'all' in csv mode, one file per experiment "
+                          "(id suffixed)")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="stream a JSONL span/event trace of the run to PATH")
     run.add_argument("--metrics", default=None, metavar="PATH",
                      help="write a Prometheus-format metrics dump to PATH")
+    _add_batch_flags(run)
 
     report = sub.add_parser(
         "report", help="run every experiment and write one markdown report")
@@ -68,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH", help="report destination")
     report.add_argument("--trials", type=int, default=None,
                         help="trials per size for sampling experiments")
+    _add_batch_flags(report)
 
     hecr_cmd = sub.add_parser("hecr", help="compute HECR/X for a profile")
     hecr_cmd.add_argument("--profile", required=True,
@@ -120,12 +136,56 @@ def _emit(text: str, fmt: str, label: str, output: str | None) -> None:
         print(text)
 
 
+def _suffixed_path(output: str, experiment_id: str) -> str:
+    """``out.csv`` -> ``out.<experiment_id>.csv`` (id before the suffix)."""
+    from pathlib import Path
+    path = Path(output)
+    return str(path.with_name(f"{path.stem}.{experiment_id}{path.suffix}"))
+
+
+def _emit_many(rendered: list[tuple[str, str]], fmt: str,
+               output: str | None) -> None:
+    """Emit several experiments' reports without clobbering each other.
+
+    To stdout: print in order, as before.  To a file: text becomes one
+    concatenated document; csv becomes one file per experiment with the
+    id spliced into the name (concatenated CSV would repeat headers and
+    parse as garbage).
+    """
+    if not output:
+        for _, text in rendered:
+            print(text)
+        return
+    if fmt == "csv":
+        for experiment_id, text in rendered:
+            _emit(text, fmt, experiment_id, _suffixed_path(output, experiment_id))
+        return
+    document = "\n".join(text if text.endswith("\n") else text + "\n"
+                         for _, text in rendered)
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    print(f"wrote {len(rendered)} experiments ({fmt}) to {output}")
+
+
+def _warn_ignored_sampling_flags(args: argparse.Namespace) -> None:
+    """Satellite fix: say so instead of silently dropping ``--seed``/
+    ``--trials`` for experiments that take neither."""
+    if args.experiment == "all" or args.experiment in _SAMPLING_EXPERIMENTS:
+        return
+    for flag, value in (("--trials", args.trials), ("--seed", args.seed)):
+        if value is not None:
+            print(f"warning: {flag} ignored — experiment "
+                  f"{args.experiment!r} is not a sampling experiment "
+                  f"(sampling: {', '.join(_SAMPLING_EXPERIMENTS)})",
+                  file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """The ``run`` subcommand: exit 0 on success, 1 on experiment
     failure, 2 for an unknown experiment id."""
     from contextlib import nullcontext
 
-    from repro.experiments import run_experiment
+    from repro.batch import ResultCache, default_cache_dir, run_batch
     from repro.io import results_to_json
     from repro.obs import (JsonlTraceWriter, Observation, Tracer,
                            default_registry, observe, write_metrics)
@@ -140,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: unknown experiment {args.experiment!r}; "
               f"known: {', '.join(known)}", file=sys.stderr)
         return 2
+    _warn_ignored_sampling_flags(args)
 
     try:
         trace_writer = JsonlTraceWriter(args.trace) if args.trace else None
@@ -152,27 +213,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer = Tracer(sink=trace_writer, keep_records=False) if trace_writer else None
         obs_ctx = Observation(tracer=tracer, registry=default_registry())
 
-    results, failures = [], []
+    cache = None
+    if args.experiment == "all" and not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    kwargs_by_id = {experiment_id: _experiment_kwargs(experiment_id, args)
+                    for experiment_id in experiment_ids}
+
     try:
         with observe(obs_ctx) if obs_ctx is not None else nullcontext():
-            for experiment_id in experiment_ids:
-                try:
-                    result = run_experiment(
-                        experiment_id, **_experiment_kwargs(experiment_id, args))
-                except Exception as exc:
-                    failures.append(experiment_id)
-                    print(f"error: experiment {experiment_id!r} failed: {exc}",
-                          file=sys.stderr)
-                    continue
-                results.append(result)
-                if not (fmt == "json" and args.experiment == "all"):
-                    _emit(_render_result(result, fmt), fmt, experiment_id,
-                          args.output)
+            batch = run_batch(experiment_ids, kwargs_by_id=kwargs_by_id,
+                              jobs=args.jobs, cache=cache)
     finally:
         if trace_writer is not None:
             trace_writer.close()
+
+    for item in batch.failures:
+        print(f"error: experiment {item.experiment_id!r} failed: "
+              f"{item.error}", file=sys.stderr)
+    results = batch.results
     if fmt == "json" and args.experiment == "all":
         _emit(results_to_json(results), fmt, "all experiments", args.output)
+    elif args.experiment == "all":
+        _emit_many([(r.experiment_id, _render_result(r, fmt)) for r in results],
+                   fmt, args.output)
+    elif results:
+        _emit(_render_result(results[0], fmt), fmt, results[0].experiment_id,
+              args.output)
+    if args.experiment == "all":
+        cache_note = (f", {batch.cache_hits} cached" if cache is not None else "")
+        print(f"ran {len(results)}/{len(experiment_ids)} experiments with "
+              f"--jobs {args.jobs} in {batch.wall_seconds:.2f}s{cache_note}",
+              file=sys.stderr)
     if args.metrics:
         try:
             write_metrics(default_registry(), args.metrics)
@@ -184,7 +255,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"wrote {trace_writer.records_written} trace records to "
               f"{args.trace}", file=sys.stderr)
-    return 1 if failures else 0
+    return 1 if batch.failures else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -201,21 +272,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
 
     if args.command == "report":
+        from repro.batch import ResultCache, default_cache_dir, run_batch
+        experiment_ids = list_experiments()
+        kwargs_by_id = {}
+        for experiment_id in experiment_ids:
+            kwargs = {}
+            if args.trials is not None and experiment_id in _SAMPLING_EXPERIMENTS:
+                kwargs["trials_per_size"] = args.trials
+            kwargs_by_id[experiment_id] = kwargs
+        cache = (None if args.no_cache
+                 else ResultCache(args.cache_dir or default_cache_dir()))
+        batch = run_batch(experiment_ids, kwargs_by_id=kwargs_by_id,
+                          jobs=args.jobs, cache=cache)
+        for item in batch.failures:
+            print(f"error: experiment {item.experiment_id!r} failed: "
+                  f"{item.error}", file=sys.stderr)
         lines = ["# Reproduction report",
                  "",
                  "Generated by `repro-hetero report`: every registered "
                  "experiment, rendered.", ""]
-        for experiment_id in list_experiments():
-            runner = get_experiment(experiment_id)
-            kwargs = {}
-            if args.trials is not None and experiment_id in _SAMPLING_EXPERIMENTS:
-                kwargs["trials_per_size"] = args.trials
-            result = runner(**kwargs)
-            lines += [f"## {experiment_id}", "", "```", result.render(), "```", ""]
+        for result in batch.results:
+            lines += [f"## {result.experiment_id}", "", "```",
+                      result.render(), "```", ""]
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines))
-        print(f"wrote {len(list_experiments())} experiments to {args.output}")
-        return 0
+        print(f"wrote {len(batch.results)} experiments to {args.output}")
+        return 1 if batch.failures else 0
 
     if args.command == "hecr":
         try:

@@ -27,10 +27,13 @@ id                        reproduces
 
 from repro.experiments.base import (
     ExperimentResult,
+    ShardSpec,
     get_experiment,
+    get_shard_spec,
     list_experiments,
     register,
     run_experiment,
+    run_sharded,
 )
 from repro.experiments.barchart import render_profile_bars, render_snapshot_strip
 from repro.experiments.fig3 import run_fig3
@@ -52,15 +55,21 @@ from repro.experiments.threshold import PAPER_THETA, run_threshold
 from repro.experiments.variance_trials import (
     TrialBatch,
     collect_trials,
+    merge_trial_batches,
+    run_trial_shard,
     run_variance_trials,
+    trial_shards,
 )
 
 __all__ = [
     "ExperimentResult",
+    "ShardSpec",
     "register",
     "get_experiment",
+    "get_shard_spec",
     "list_experiments",
     "run_experiment",
+    "run_sharded",
     "render_table",
     "render_profile_bars",
     "render_snapshot_strip",
@@ -82,6 +91,9 @@ __all__ = [
     "run_tau_sweep",
     "run_failure_rate_sweep",
     "collect_trials",
+    "trial_shards",
+    "run_trial_shard",
+    "merge_trial_batches",
     "TrialBatch",
     "PAPER_TABLE3_VALUES",
     "PAPER_TABLE4_RATIOS",

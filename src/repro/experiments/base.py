@@ -1,21 +1,31 @@
-"""Experiment framework: result objects and a registry.
+"""Experiment framework: result objects, a registry, and a shard contract.
 
 Every table and figure of the paper is reproduced by a registered
 experiment — a named callable returning an :class:`ExperimentResult` with
 structured rows plus a human-readable rendering.  The benchmarks and the
 CLI both go through this registry, so "what regenerates Table 4?" has
 exactly one answer.
+
+Experiments whose cost lives in embarrassingly parallel loops (the
+Monte-Carlo trial studies, parameter sweeps) can additionally register a
+:class:`ShardSpec` — a declarative *split / runner / merge* contract.
+The experiment function itself is then defined as
+``merge(map(runner, split(kwargs)))`` via :func:`run_sharded`, so a
+sequential run and the batch engine's fan-out over a process pool
+(:mod:`repro.batch`) compute **identical** statistics by construction:
+same shard decomposition, same per-shard seed, same merge order.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.tables import render_table
-from repro.obs.metrics import default_registry
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import current_observation
 
 try:  # POSIX-only; gives peak RSS for the obs block when present.
@@ -23,8 +33,9 @@ try:  # POSIX-only; gives peak RSS for the obs block when present.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     _resource = None
 
-__all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments",
-           "run_experiment"]
+__all__ = ["ExperimentResult", "ShardSpec", "register", "get_experiment",
+           "get_shard_spec", "list_experiments", "run_experiment",
+           "run_sharded", "record_experiment_metrics"]
 
 
 @dataclass(frozen=True)
@@ -66,15 +77,53 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """Declarative split/run/merge contract for parallelisable experiments.
+
+    Attributes
+    ----------
+    split:
+        ``(**kwargs) -> list[dict]`` — decompose one experiment
+        invocation into independent shard-kwargs.  The decomposition
+        must be a pure function of the experiment kwargs (never of the
+        worker count), and each shard must carry its own deterministic
+        seed — the convention is children of
+        ``np.random.SeedSequence(seed).spawn(...)`` assigned in shard
+        order.
+    runner:
+        ``(**shard_kwargs) -> payload`` — execute one shard.  Must be a
+        module-level (picklable) callable returning a picklable payload;
+        it runs inside worker processes under the batch engine.
+    merge:
+        ``(payloads, **kwargs) -> ExperimentResult`` — recombine the
+        payloads, given in ``split`` order regardless of completion
+        order, into the experiment's result.  Merging must not depend
+        on how shards were distributed over workers.
+    """
+
+    split: Callable[..., list[dict]]
+    runner: Callable[..., Any]
+    merge: Callable[..., ExperimentResult]
+
+
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+_SHARD_SPECS: dict[str, ShardSpec] = {}
 
 
-def register(experiment_id: str) -> Callable:
-    """Decorator: add an experiment runner to the registry."""
+def register(experiment_id: str, *, shardable: ShardSpec | None = None) -> Callable:
+    """Decorator: add an experiment runner to the registry.
+
+    ``shardable`` optionally declares the experiment's
+    :class:`ShardSpec` so the batch engine can fan its independent
+    pieces out across worker processes.
+    """
     def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         if experiment_id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = func
+        if shardable is not None:
+            _SHARD_SPECS[experiment_id] = shardable
         func.experiment_id = experiment_id  # type: ignore[attr-defined]
         return func
     return wrap
@@ -90,19 +139,57 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
             f"unknown experiment {experiment_id!r}; known: {known}") from None
 
 
+def get_shard_spec(experiment_id: str) -> ShardSpec | None:
+    """The experiment's :class:`ShardSpec`, or None if it is unshardable."""
+    get_experiment(experiment_id)  # raise on unknown ids
+    return _SHARD_SPECS.get(experiment_id)
+
+
+def run_sharded(spec: ShardSpec, **kwargs: Any) -> ExperimentResult:
+    """Execute a sharded experiment sequentially: merge(map(runner, split)).
+
+    This is the reference implementation of the shard contract — the
+    experiment functions delegate to it, and the batch engine reproduces
+    exactly this computation with the ``runner`` calls distributed over
+    a process pool.
+    """
+    payloads = [spec.runner(**shard_kwargs) for shard_kwargs in spec.split(**kwargs)]
+    return spec.merge(payloads, **kwargs)
+
+
 def list_experiments() -> list[str]:
     """All registered experiment ids, sorted."""
     return sorted(_REGISTRY)
 
 
 def _peak_rss_bytes() -> int | None:
-    """Peak resident set size of this process, or None if unavailable."""
+    """Peak resident set size of this process, or None if unavailable.
+
+    This is ``ru_maxrss`` — a **process-wide high-water mark** that only
+    ever rises.  It says "the largest this process has ever been", not
+    "what this stretch of code allocated"; per-experiment attribution
+    must difference two readings (see :func:`run_experiment`).
+    """
     if _resource is None:
         return None
     peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
     # Linux reports kilobytes; macOS reports bytes.
-    import sys
     return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def record_experiment_metrics(registry: MetricsRegistry, experiment_id: str,
+                              wall_seconds: float) -> None:
+    """Record one completed experiment run into a metrics registry.
+
+    Shared by :func:`run_experiment` and the batch engine (which merges
+    sharded results in the parent process) so a `run all` session shows
+    the same series regardless of how the work was executed.
+    """
+    registry.counter("experiment_runs_total",
+                     "experiment runs completed").inc(experiment=experiment_id)
+    registry.timer("experiment_seconds",
+                   "wall-clock duration of experiment runs"
+                   ).observe(wall_seconds, experiment=experiment_id)
 
 
 def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
@@ -114,11 +201,19 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
     ``experiment_seconds``, and — when an ambient observation is active
     — the run executes inside an ``experiment:<id>`` span so any
     simulations underneath nest into one trace tree.
+
+    ``peak_rss_bytes`` is the amount by which *this run* raised the
+    process-wide RSS high-water mark (a reading is taken before and
+    after, and the delta recorded).  A run that stayed under the
+    existing peak reports 0 — earlier experiments' peaks are never
+    inherited.  The absolute high-water mark after the run is kept
+    alongside as ``peak_rss_high_water_bytes``.
     """
     runner = get_experiment(experiment_id)
     ctx = current_observation()
     registry = (ctx.registry if ctx is not None and ctx.registry is not None
                 else default_registry())
+    rss_before = _peak_rss_bytes()
     start = time.perf_counter()
     try:
         if ctx is not None and ctx.tracer is not None:
@@ -133,10 +228,10 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
                          ).inc(experiment=experiment_id)
         raise
     wall = time.perf_counter() - start
-    registry.counter("experiment_runs_total",
-                     "experiment runs completed").inc(experiment=experiment_id)
-    registry.timer("experiment_seconds",
-                   "wall-clock duration of experiment runs"
-                   ).observe(wall, experiment=experiment_id)
-    obs_block = {"wall_seconds": wall, "peak_rss_bytes": _peak_rss_bytes()}
+    record_experiment_metrics(registry, experiment_id, wall)
+    rss_after = _peak_rss_bytes()
+    rss_delta = (max(0, rss_after - rss_before)
+                 if rss_before is not None and rss_after is not None else None)
+    obs_block = {"wall_seconds": wall, "peak_rss_bytes": rss_delta,
+                 "peak_rss_high_water_bytes": rss_after}
     return replace(result, metadata={**result.metadata, "obs": obs_block})

@@ -25,55 +25,84 @@ import numpy as np
 
 from repro.core.measure import x_measure
 from repro.core.params import PAPER_TABLE1, ModelParams
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import (ExperimentResult, ShardSpec, register,
+                                    run_sharded)
+from repro.experiments.variance_trials import trial_shards
 from repro.predictors.majorization import majorization_prediction
 from repro.sampling.equal_mean import equal_mean_pair
 
-__all__ = ["run_majorization_study"]
+__all__ = ["run_majorization_study", "run_majorization_shard"]
+
+_DEFAULT_SIZES = (2, 4, 8, 16, 32)
 
 
-@register("majorization")
-def run_majorization_study(params: ModelParams = PAPER_TABLE1,
-                           sizes: Sequence[int] = (2, 4, 8, 16, 32),
-                           trials_per_size: int = 300,
-                           seed: int = 31,
-                           strategy: str = "mixed") -> ExperimentResult:
-    """Score the majorization predictor against variance on §4.3 pairs."""
-    rng = np.random.default_rng(seed)
+def run_majorization_shard(*, n: int, strategy: str, chunk_trials: int,
+                           seed_seq: np.random.SeedSequence,
+                           params: ModelParams) -> dict:
+    """Score one chunk of §4.3 pairs (picklable worker entry point)."""
+    rng = np.random.default_rng(seed_seq)
+    counts = {"n": n, "trials": chunk_trials, "comparable": 0, "correct": 0,
+              "comparable_wrong": 0, "var_bad": 0, "var_bad_incomparable": 0,
+              "bad_but_comparable": 0}
+    for _ in range(chunk_trials):
+        p1, p2 = equal_mean_pair(rng, n, strategy=strategy)
+        x1, x2 = x_measure(p1, params), x_measure(p2, params)
+        truth = 0 if x1 > x2 else 1
+        call = majorization_prediction(p1, p2)
+        if call != -1:
+            counts["comparable"] += 1
+            if call == truth:
+                counts["correct"] += 1
+            else:
+                counts["comparable_wrong"] += 1
+        var_call = 0 if p1.variance > p2.variance else 1
+        if var_call != truth:
+            counts["var_bad"] += 1
+            if call == -1:
+                counts["var_bad_incomparable"] += 1
+            else:
+                counts["bad_but_comparable"] += 1
+    return counts
+
+
+def _split_majorization(params: ModelParams = PAPER_TABLE1,
+                        sizes: Sequence[int] = _DEFAULT_SIZES,
+                        trials_per_size: int = 300,
+                        seed: int = 31,
+                        strategy: str = "mixed") -> list[dict]:
+    return trial_shards(sizes=sizes, trials_per_size=trials_per_size,
+                        seed=seed, strategies=(strategy,), params=params)
+
+
+def _merge_majorization(payloads: Sequence[dict],
+                        params: ModelParams = PAPER_TABLE1,
+                        sizes: Sequence[int] = _DEFAULT_SIZES,
+                        trials_per_size: int = 300,
+                        seed: int = 31,
+                        strategy: str = "mixed") -> ExperimentResult:
+    per_size: dict[int, dict] = {}
+    for counts in payloads:
+        cell = per_size.setdefault(counts["n"], dict.fromkeys(counts, 0))
+        for key, value in counts.items():
+            if key != "n":
+                cell[key] += value
     rows = []
     total_comparable_wrong = 0
     total_bad_but_comparable = 0
     for n in sizes:
-        comparable = 0
-        correct = 0
-        var_bad = 0
-        var_bad_incomparable = 0
-        for _ in range(trials_per_size):
-            p1, p2 = equal_mean_pair(rng, n, strategy=strategy)
-            x1, x2 = x_measure(p1, params), x_measure(p2, params)
-            truth = 0 if x1 > x2 else 1
-            call = majorization_prediction(p1, p2)
-            if call != -1:
-                comparable += 1
-                if call == truth:
-                    correct += 1
-                else:
-                    total_comparable_wrong += 1
-            var_call = 0 if p1.variance > p2.variance else 1
-            if var_call != truth:
-                var_bad += 1
-                if call == -1:
-                    var_bad_incomparable += 1
-                else:
-                    total_bad_but_comparable += 1
-        accuracy = 100.0 * correct / comparable if comparable else float("nan")
+        cell = per_size[int(n)]
+        comparable = cell["comparable"]
+        total_comparable_wrong += cell["comparable_wrong"]
+        total_bad_but_comparable += cell["bad_but_comparable"]
+        accuracy = (100.0 * cell["correct"] / comparable if comparable
+                    else float("nan"))
         rows.append((
             n,
             trials_per_size,
             round(100.0 * comparable / trials_per_size, 1),
             round(accuracy, 2) if comparable else "—",
-            var_bad,
-            var_bad_incomparable,
+            cell["var_bad"],
+            cell["var_bad_incomparable"],
         ))
     return ExperimentResult(
         experiment_id="majorization",
@@ -97,3 +126,25 @@ def run_majorization_study(params: ModelParams = PAPER_TABLE1,
             "params": params,
         },
     )
+
+
+MAJORIZATION_SHARDS = ShardSpec(split=_split_majorization,
+                                runner=run_majorization_shard,
+                                merge=_merge_majorization)
+
+
+@register("majorization", shardable=MAJORIZATION_SHARDS)
+def run_majorization_study(params: ModelParams = PAPER_TABLE1,
+                           sizes: Sequence[int] = _DEFAULT_SIZES,
+                           trials_per_size: int = 300,
+                           seed: int = 31,
+                           strategy: str = "mixed") -> ExperimentResult:
+    """Score the majorization predictor against variance on §4.3 pairs.
+
+    Defined as the merge of per-``(size, chunk)`` shards so the batch
+    engine can fan the pair loop out across workers without changing the
+    statistics.
+    """
+    return run_sharded(MAJORIZATION_SHARDS, params=params, sizes=sizes,
+                       trials_per_size=trials_per_size, seed=seed,
+                       strategy=strategy)

@@ -5,45 +5,76 @@ network transit rate τ across six orders of magnitude and tracks the
 paper's 4-computer cluster's work rate, HECR and the FIFO/LIFO premium,
 rendering the work-rate curve as an ASCII series — the "what if the
 network were slower?" companion to every table above.
+
+Each grid point is independent, so the sweep is registered as a sharded
+experiment: one shard per τ, merged back into the grid order.  The
+per-point arithmetic is exactly :func:`repro.analysis.sensitivity.sweep_tau`'s,
+so sequential and parallel runs agree to the last bit.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.analysis.sensitivity import sweep_tau
+from repro.analysis.sensitivity import SweepResult
+from repro.core.hecr import hecr
+from repro.core.measure import work_rate, x_measure
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.experiments.barchart import render_series
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import (ExperimentResult, ShardSpec, register,
+                                    run_sharded)
 from repro.protocols.fifo import fifo_allocation, fifo_saturation_index
 from repro.protocols.lifo import lifo_allocation
 
-__all__ = ["run_tau_sweep"]
+__all__ = ["run_tau_sweep", "run_tau_point"]
+
+#: The paper's 4-computer harmonic cluster, evaluated at every τ.
+_PROFILE_RHO = (1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0)
+
+#: Lifespan used for the FIFO/LIFO premium column.
+_PREMIUM_LIFESPAN = 100.0
 
 
-@register("tau-sweep")
-def run_tau_sweep(pi: float = 1e-5, delta: float = 1.0,
-                  tau_low: float = 1e-6, tau_high: float = 0.1,
-                  points: int = 13) -> ExperimentResult:
-    """Sweep τ and tabulate/plot the cluster's responses."""
-    profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+def run_tau_point(*, tau: float, pi: float, delta: float) -> dict:
+    """Evaluate the cluster at one transit rate (picklable worker entry)."""
+    profile = Profile(list(_PROFILE_RHO))
+    params = ModelParams(tau=tau, pi=pi, delta=delta)
+    x = x_measure(profile, params)
+    rate = work_rate(profile, params)
+    hecr_value = hecr(profile, params)
+    if fifo_saturation_index(profile, params) <= 1.0:
+        fifo = fifo_allocation(profile, params, _PREMIUM_LIFESPAN).total_work
+        lifo = lifo_allocation(profile, params, _PREMIUM_LIFESPAN).total_work
+        premium = round(fifo / lifo, 5)
+    else:
+        premium = "saturated"
+    return {"tau": tau, "x": float(x), "work_rate": float(rate),
+            "hecr": float(hecr_value), "premium": premium}
+
+
+def _split_tau_sweep(pi: float = 1e-5, delta: float = 1.0,
+                     tau_low: float = 1e-6, tau_high: float = 0.1,
+                     points: int = 13) -> list[dict]:
     taus = np.geomspace(tau_low, tau_high, points)
-    sweep = sweep_tau(profile, taus, pi=pi, delta=delta)
+    return [{"tau": float(tau), "pi": pi, "delta": delta} for tau in taus]
 
-    rows = []
-    for tau, x, rate, hecr_value in zip(sweep.values, sweep.x,
-                                        sweep.work_rate, sweep.hecr):
-        params = ModelParams(tau=float(tau), pi=pi, delta=delta)
-        if fifo_saturation_index(profile, params) <= 1.0:
-            fifo = fifo_allocation(profile, params, 100.0).total_work
-            lifo = lifo_allocation(profile, params, 100.0).total_work
-            premium = round(fifo / lifo, 5)
-        else:
-            premium = "saturated"
-        rows.append((float(tau), round(float(x), 4), round(float(rate), 4),
-                     round(float(hecr_value), 4), premium))
 
+def _merge_tau_sweep(payloads: Sequence[dict], pi: float = 1e-5,
+                     delta: float = 1.0, tau_low: float = 1e-6,
+                     tau_high: float = 0.1, points: int = 13
+                     ) -> ExperimentResult:
+    sweep = SweepResult(
+        parameter="tau",
+        values=np.array([p["tau"] for p in payloads]),
+        x=np.array([p["x"] for p in payloads]),
+        work_rate=np.array([p["work_rate"] for p in payloads]),
+        hecr=np.array([p["hecr"] for p in payloads]),
+    )
+    rows = [(p["tau"], round(p["x"], 4), round(p["work_rate"], 4),
+             round(p["hecr"], 4), p["premium"]) for p in payloads]
     chart = render_series(np.log10(sweep.values), sweep.work_rate,
                           x_label="log10(tau)", y_label="work rate")
     return ExperimentResult(
@@ -58,3 +89,16 @@ def run_tau_sweep(pi: float = 1e-5, delta: float = 1.0,
         ),
         metadata={"sweep": sweep, "figure_text": chart},
     )
+
+
+TAU_SWEEP_SHARDS = ShardSpec(split=_split_tau_sweep, runner=run_tau_point,
+                             merge=_merge_tau_sweep)
+
+
+@register("tau-sweep", shardable=TAU_SWEEP_SHARDS)
+def run_tau_sweep(pi: float = 1e-5, delta: float = 1.0,
+                  tau_low: float = 1e-6, tau_high: float = 0.1,
+                  points: int = 13) -> ExperimentResult:
+    """Sweep τ and tabulate/plot the cluster's responses."""
+    return run_sharded(TAU_SWEEP_SHARDS, pi=pi, delta=delta, tau_low=tau_low,
+                       tau_high=tau_high, points=points)

@@ -22,34 +22,41 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.params import PAPER_TABLE1, ModelParams
-from repro.experiments.base import ExperimentResult, register
-from repro.experiments.variance_trials import collect_trials
+from repro.experiments.base import (ExperimentResult, ShardSpec, register,
+                                    run_sharded)
+from repro.experiments.variance_trials import (TrialBatch, run_trial_shard,
+                                               trial_shards)
 
 __all__ = ["run_threshold", "PAPER_THETA"]
 
 #: The paper's empirically determined threshold.
 PAPER_THETA = 0.167
 
+#: Both samplers are run at every size (rescale for realistic small gaps,
+#: spread so large gaps actually occur along the θ curve).
+_STRATEGIES = ("rescale", "spread")
 
-@register("variance-threshold")
-def run_threshold(params: ModelParams = PAPER_TABLE1,
-                  sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
-                  trials_per_size: int = 400,
-                  seed: int = 167,
-                  gap_grid: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1,
-                                               0.167, 0.25)) -> ExperimentResult:
-    """Reproduce the θ-threshold study."""
-    rng = np.random.default_rng(seed)
-    gaps_all: list[np.ndarray] = []
-    good_all: list[np.ndarray] = []
-    for n in sizes:
-        for strategy in ("rescale", "spread"):
-            batch = collect_trials(rng, n, trials_per_size, params,
-                                   strategy=strategy)
-            gaps_all.append(batch.variance_gaps)
-            good_all.append(batch.good)
-    gaps = np.concatenate(gaps_all)
-    good = np.concatenate(good_all)
+_DEFAULT_GAP_GRID = (0.0, 0.01, 0.02, 0.05, 0.1, 0.167, 0.25)
+
+
+def _split_threshold(params: ModelParams = PAPER_TABLE1,
+                     sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                     trials_per_size: int = 400,
+                     seed: int = 167,
+                     gap_grid: Sequence[float] = _DEFAULT_GAP_GRID) -> list[dict]:
+    return trial_shards(sizes=sizes, trials_per_size=trials_per_size,
+                        seed=seed, strategies=_STRATEGIES, params=params)
+
+
+def _merge_threshold(payloads: Sequence[TrialBatch],
+                     params: ModelParams = PAPER_TABLE1,
+                     sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                     trials_per_size: int = 400,
+                     seed: int = 167,
+                     gap_grid: Sequence[float] = _DEFAULT_GAP_GRID
+                     ) -> ExperimentResult:
+    gaps = np.concatenate([b.variance_gaps for b in payloads])
+    good = np.concatenate([b.good for b in payloads])
 
     bad_gaps = gaps[~good]
     empirical_theta = float(bad_gaps.max()) if bad_gaps.size else 0.0
@@ -83,3 +90,26 @@ def run_threshold(params: ModelParams = PAPER_TABLE1,
             "params": params,
         },
     )
+
+
+THRESHOLD_SHARDS = ShardSpec(split=_split_threshold, runner=run_trial_shard,
+                             merge=_merge_threshold)
+
+
+@register("variance-threshold", shardable=THRESHOLD_SHARDS)
+def run_threshold(params: ModelParams = PAPER_TABLE1,
+                  sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                  trials_per_size: int = 400,
+                  seed: int = 167,
+                  gap_grid: Sequence[float] = _DEFAULT_GAP_GRID
+                  ) -> ExperimentResult:
+    """Reproduce the θ-threshold study.
+
+    Defined as the merge of its ``(size, strategy, chunk)`` shard plan —
+    this is by far the costliest experiment in the registry, and the
+    sharding is what lets ``run all --jobs N`` spread its trial pool
+    across every core.
+    """
+    return run_sharded(THRESHOLD_SHARDS, params=params, sizes=sizes,
+                       trials_per_size=trials_per_size, seed=seed,
+                       gap_grid=tuple(gap_grid))

@@ -13,6 +13,17 @@ reports, for n = 2^k, k = 2 … 16:
 :func:`run_variance_trials` reproduces all three findings and, as an
 ablation, scores the alternative moment predictors of
 :data:`repro.predictors.variance.MOMENT_PREDICTORS` on the same pairs.
+
+Sharding
+--------
+The trial loop is embarrassingly parallel, so the experiment is defined
+as a *sharded* computation: :func:`trial_shards` decomposes the run into
+``(size, strategy, chunk-of-trials)`` cells, each seeded by its own
+child of ``np.random.SeedSequence(seed).spawn(...)``, and the experiment
+merges the per-cell :class:`TrialBatch` payloads.  The decomposition
+depends only on the experiment kwargs — never on worker count — so a
+sequential run and :mod:`repro.batch`'s process-pool fan-out produce
+bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -26,15 +37,23 @@ from repro.core.hecr import hecr_many
 from repro.core.measure import x_measure_many
 from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.errors import ExperimentError
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import (ExperimentResult, ShardSpec, register,
+                                    run_sharded)
 from repro.predictors.variance import MOMENT_PREDICTORS
 from repro.sampling.equal_mean import equal_mean_pair
 
-__all__ = ["run_variance_trials", "TrialBatch", "collect_trials"]
+__all__ = ["run_variance_trials", "TrialBatch", "collect_trials",
+           "trial_shards", "run_trial_shard", "merge_trial_batches",
+           "TRIALS_PER_SHARD"]
 
 #: Default sizes: powers of two as in the paper (truncated so the default
 #: run stays laptop-quick; pass larger sizes explicitly to go to 2^16).
 DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Shard granularity: each (size, strategy) cell is cut into chunks of at
+#: most this many trials, so a worker pool has enough independent pieces
+#: to load-balance even when one cluster size dominates the cost.
+TRIALS_PER_SHARD = 100
 
 
 @dataclass(frozen=True)
@@ -144,18 +163,92 @@ def collect_trials(rng: np.random.Generator, n: int, n_trials: int,
     )
 
 
-@register("variance-trials")
-def run_variance_trials(params: ModelParams = PAPER_TABLE1,
-                        sizes: Sequence[int] = DEFAULT_SIZES,
-                        trials_per_size: int = 400,
-                        seed: int = 2010,
-                        strategy: str = "mixed") -> ExperimentResult:
-    """Reproduce the §4.3 accuracy-vs-size study (plus moment ablation)."""
-    rng = np.random.default_rng(seed)
+def _chunk_counts(total: int, chunk: int = TRIALS_PER_SHARD) -> list[int]:
+    """Canonical chunking of ``total`` trials: full chunks, then the rest."""
+    if total < 1:
+        raise ExperimentError(f"trials_per_size must be >= 1, got {total}")
+    counts = [chunk] * (total // chunk)
+    if total % chunk:
+        counts.append(total % chunk)
+    return counts
+
+
+def trial_shards(*, sizes: Sequence[int], trials_per_size: int, seed: int,
+                 strategies: Sequence[str], params: ModelParams) -> list[dict]:
+    """The canonical shard plan for a §4.3-style trial study.
+
+    One shard per ``(size, strategy, chunk)`` cell, in size-major order,
+    each carrying its own child of ``SeedSequence(seed).spawn(...)``.
+    The plan is a pure function of the experiment kwargs, which is what
+    makes sequential and parallel execution statistically identical.
+    """
+    shards = []
+    for n in sizes:
+        for strategy in strategies:
+            for chunk_trials in _chunk_counts(trials_per_size):
+                shards.append({"n": int(n), "strategy": strategy,
+                               "chunk_trials": chunk_trials, "params": params})
+    for shard, seed_seq in zip(shards,
+                               np.random.SeedSequence(seed).spawn(len(shards))):
+        shard["seed_seq"] = seed_seq
+    return shards
+
+
+def run_trial_shard(*, n: int, strategy: str, chunk_trials: int,
+                    seed_seq: np.random.SeedSequence,
+                    params: ModelParams) -> TrialBatch:
+    """Execute one shard of the trial plan (picklable worker entry point)."""
+    rng = np.random.default_rng(seed_seq)
+    return collect_trials(rng, n, chunk_trials, params, strategy=strategy)
+
+
+def merge_trial_batches(batches: Sequence[TrialBatch]) -> TrialBatch:
+    """Recombine same-size chunk batches into one.
+
+    Arrays concatenate in shard order; predictor scores recombine
+    exactly by recovering integer hit counts from each chunk's fraction.
+    """
+    if not batches:
+        raise ExperimentError("cannot merge zero trial batches")
+    if len({b.n for b in batches}) != 1:
+        raise ExperimentError("cannot merge trial batches of different sizes")
+    if len(batches) == 1:
+        return batches[0]
+    total = sum(b.n_trials for b in batches)
+    scores = {name: sum(round(b.predictor_scores[name] * b.n_trials)
+                        for b in batches) / total
+              for name in batches[0].predictor_scores}
+    return TrialBatch(
+        n=batches[0].n,
+        variance_gaps=np.concatenate([b.variance_gaps for b in batches]),
+        good=np.concatenate([b.good for b in batches]),
+        hecr_gaps=np.concatenate([b.hecr_gaps for b in batches]),
+        predictor_scores=scores,
+    )
+
+
+def _split_variance_trials(params: ModelParams = PAPER_TABLE1,
+                           sizes: Sequence[int] = DEFAULT_SIZES,
+                           trials_per_size: int = 400,
+                           seed: int = 2010,
+                           strategy: str = "mixed") -> list[dict]:
+    return trial_shards(sizes=sizes, trials_per_size=trials_per_size,
+                        seed=seed, strategies=(strategy,), params=params)
+
+
+def _merge_variance_trials(payloads: Sequence[TrialBatch],
+                           params: ModelParams = PAPER_TABLE1,
+                           sizes: Sequence[int] = DEFAULT_SIZES,
+                           trials_per_size: int = 400,
+                           seed: int = 2010,
+                           strategy: str = "mixed") -> ExperimentResult:
+    per_size: dict[int, list[TrialBatch]] = {}
+    for batch in payloads:
+        per_size.setdefault(batch.n, []).append(batch)
     rows = []
     batches: list[TrialBatch] = []
     for n in sizes:
-        batch = collect_trials(rng, n, trials_per_size, params, strategy=strategy)
+        batch = merge_trial_batches(per_size[int(n)])
         batches.append(batch)
         rows.append((
             n,
@@ -191,3 +284,25 @@ def run_variance_trials(params: ModelParams = PAPER_TABLE1,
             "params": params,
         },
     )
+
+
+VARIANCE_TRIALS_SHARDS = ShardSpec(split=_split_variance_trials,
+                                   runner=run_trial_shard,
+                                   merge=_merge_variance_trials)
+
+
+@register("variance-trials", shardable=VARIANCE_TRIALS_SHARDS)
+def run_variance_trials(params: ModelParams = PAPER_TABLE1,
+                        sizes: Sequence[int] = DEFAULT_SIZES,
+                        trials_per_size: int = 400,
+                        seed: int = 2010,
+                        strategy: str = "mixed") -> ExperimentResult:
+    """Reproduce the §4.3 accuracy-vs-size study (plus moment ablation).
+
+    Defined as the merge of its shard plan (see the module docstring),
+    so this sequential entry point and a parallel batch run agree
+    bit-for-bit.
+    """
+    return run_sharded(VARIANCE_TRIALS_SHARDS, params=params, sizes=sizes,
+                       trials_per_size=trials_per_size, seed=seed,
+                       strategy=strategy)

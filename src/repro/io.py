@@ -27,7 +27,7 @@ __all__ = [
     "params_to_dict", "params_from_dict",
     "allocation_to_dict", "allocation_from_dict",
     "save_allocation", "load_allocation",
-    "result_to_dict", "results_to_json",
+    "result_to_dict", "result_from_dict", "results_to_json",
 ]
 
 _SCHEMA_VERSION = 1
@@ -110,6 +110,30 @@ def result_to_dict(result: Any) -> dict[str, Any]:
         "notes": list(result.notes),
         "metadata": jsonable(result.metadata),
     }
+
+
+def result_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild an :class:`~repro.experiments.base.ExperimentResult`.
+
+    The inverse of :func:`result_to_dict` *up to JSON fidelity*: rows
+    come back as tuples of plain JSON values and metadata as plain
+    dicts/lists (NumPy arrays and dataclasses do not round-trip — they
+    were flattened on the way out).  Re-serialising the rebuilt result
+    therefore reproduces the original document byte for byte, which is
+    the property the batch result cache relies on.
+    """
+    from repro.experiments.base import ExperimentResult
+    try:
+        return ExperimentResult(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            notes=tuple(data.get("notes", ())),
+            metadata=dict(data.get("metadata", {})),
+        )
+    except KeyError as exc:
+        raise InvalidParameterError(f"result dict missing key: {exc}") from exc
 
 
 def results_to_json(results: list[Any], *, indent: int = 2) -> str:

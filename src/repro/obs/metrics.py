@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import InvalidParameterError
 
@@ -73,6 +73,12 @@ class _Metric:
     def samples(self) -> Iterator[Sample]:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def dump_cells(self) -> list:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def merge_cell(self, labels: LabelKey, payload: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
 
 class Counter(_Metric):
     """A monotonically increasing count (events processed, runs started)."""
@@ -101,6 +107,14 @@ class Counter(_Metric):
             items = list(self._values.items())
         for key, value in sorted(items):
             yield Sample(self.name, key, value)
+
+    def dump_cells(self) -> list:
+        with self._lock:
+            return [[list(k), v] for k, v in sorted(self._values.items())]
+
+    def merge_cell(self, labels: LabelKey, payload: Any) -> None:
+        with self._lock:
+            self._values[labels] = self._values.get(labels, 0.0) + float(payload)
 
 
 class Gauge(_Metric):
@@ -139,6 +153,15 @@ class Gauge(_Metric):
             items = list(self._values.items())
         for key, value in sorted(items):
             yield Sample(self.name, key, value)
+
+    def dump_cells(self) -> list:
+        with self._lock:
+            return [[list(k), v] for k, v in sorted(self._values.items())]
+
+    def merge_cell(self, labels: LabelKey, payload: Any) -> None:
+        # Gauges are last-writer metrics; across workers "the largest any
+        # worker saw" is the only order-independent combination.
+        self.set_to_max(float(payload), **dict(labels))
 
 
 class _HistogramCell:
@@ -210,6 +233,27 @@ class Histogram(_Metric):
                              float(cumulative))
             yield Sample(f"{self.name}_sum", key, total)
             yield Sample(f"{self.name}_count", key, float(count))
+
+    def dump_cells(self) -> list:
+        with self._lock:
+            return [[list(k), {"bucket_counts": list(c.bucket_counts),
+                               "count": c.count, "sum": c.sum}]
+                    for k, c in sorted(self._cells.items())]
+
+    def merge_cell(self, labels: LabelKey, payload: Any) -> None:
+        counts = payload["bucket_counts"]
+        if len(counts) != len(self.buckets) + 1:
+            raise InvalidParameterError(
+                f"histogram {self.name!r}: cannot merge a cell with "
+                f"{len(counts)} buckets into {len(self.buckets) + 1}")
+        with self._lock:
+            cell = self._cells.get(labels)
+            if cell is None:
+                cell = self._cells[labels] = _HistogramCell(len(counts))
+            for i, n in enumerate(counts):
+                cell.bucket_counts[i] += int(n)
+            cell.count += int(payload["count"])
+            cell.sum += float(payload["sum"])
 
 
 class Timer(Histogram):
@@ -307,6 +351,52 @@ class MetricsRegistry:
             out[metric.name] = {"kind": metric.kind, "help": metric.help,
                                 "series": series}
         return out
+
+    def dump(self) -> dict[str, Any]:
+        """A structured, mergeable dump of every metric.
+
+        Unlike :meth:`snapshot` (which flattens to export strings), the
+        dump keeps enough structure — metric class, buckets, raw cell
+        payloads — for :meth:`merge` to fold it into another registry.
+        The payload is plain JSON types plus nothing else, so it crosses
+        process boundaries (pickle or JSON) unchanged.  This is how the
+        batch engine ships each worker's metrics back to the session
+        registry.
+        """
+        metrics = []
+        for metric in self.collect():
+            entry: dict[str, Any] = {"name": metric.name,
+                                     "class": type(metric).__name__,
+                                     "help": metric.help,
+                                     "cells": metric.dump_cells()}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+    def merge(self, dump: dict[str, Any]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters and histograms/timers add cell-wise; gauges keep the
+        maximum either side has seen (the only order-independent choice).
+        Metrics absent here are created with the dumped help/buckets.
+        """
+        factories: dict[str, Callable[..., _Metric]] = {
+            "Counter": self.counter, "Gauge": self.gauge,
+            "Histogram": self.histogram, "Timer": self.timer}
+        for entry in dump.get("metrics", ()):
+            try:
+                factory = factories[entry["class"]]
+            except KeyError:
+                raise InvalidParameterError(
+                    f"cannot merge unknown metric class {entry['class']!r}")
+            kwargs: dict[str, Any] = {}
+            if entry["class"] in ("Histogram", "Timer") and "buckets" in entry:
+                kwargs["buckets"] = tuple(entry["buckets"])
+            metric = factory(entry["name"], entry.get("help", ""), **kwargs)
+            for labels, payload in entry["cells"]:
+                key = tuple((str(k), str(v)) for k, v in labels)
+                metric.merge_cell(key, payload)
 
     def reset(self) -> None:
         """Drop every metric (test isolation)."""

@@ -23,7 +23,7 @@ import functools
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -101,6 +101,24 @@ class Tracer:
         self._emit({"type": "event", "name": name,
                     "ts": time.perf_counter() - self.epoch,
                     "depth": len(self._stack()), "attrs": attrs})
+
+    def ingest(self, records: Iterable[dict], **extra_attrs: Any) -> int:
+        """Re-emit records produced by another tracer (returns the count).
+
+        The batch engine uses this to fold each worker's trace back into
+        the session tracer: records keep their own ``ts``/``depth``
+        (each worker has its own epoch and span stack), and any
+        ``extra_attrs`` — typically a worker/task id — are merged into
+        each record's ``attrs`` so the provenance survives.
+        """
+        count = 0
+        for record in records:
+            merged = dict(record)
+            if extra_attrs:
+                merged["attrs"] = {**merged.get("attrs", {}), **extra_attrs}
+            self._emit(merged)
+            count += 1
+        return count
 
     # ------------------------------------------------------------------
     @property

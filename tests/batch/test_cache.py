@@ -1,0 +1,105 @@
+"""Unit tests for the content-addressed result cache (repro.batch.cache)."""
+
+import json
+
+from repro.batch.cache import ResultCache, default_cache_dir
+from repro.experiments.base import ExperimentResult
+
+
+def _result(**overrides) -> ExperimentResult:
+    fields = dict(experiment_id="table3", title="t",
+                  headers=("a", "b"), rows=((1, 2.5), (3, None)),
+                  notes=("a note",), metadata={"k": "v"})
+    fields.update(overrides)
+    return ExperimentResult(**fields)
+
+
+class TestKey:
+    def test_stable_across_calls(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert (cache.key("table3", {"seed": 1})
+                == cache.key("table3", {"seed": 1}))
+
+    def test_sensitive_to_id_kwargs_and_order_insensitive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("table3", {"seed": 1, "trials_per_size": 10})
+        assert cache.key("table4", {"seed": 1, "trials_per_size": 10}) != base
+        assert cache.key("table3", {"seed": 2, "trials_per_size": 10}) != base
+        # Canonical JSON: kwarg insertion order must not matter.
+        assert cache.key("table3", {"trials_per_size": 10, "seed": 1}) == base
+
+    def test_folds_in_package_version(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        before = cache.key("table3", {})
+        monkeypatch.setattr("repro.batch.cache.__version__", "999.0.0")
+        assert cache.key("table3", {}) != before
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("table3", {"seed": 1}) is None
+        assert cache.put("table3", {"seed": 1}, _result()) is True
+        got = cache.get("table3", {"seed": 1})
+        assert got is not None
+        assert got.rows == ((1, 2.5), (3, None))
+        assert got.metadata == {"k": "v"}
+
+    def test_different_kwargs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("table3", {"seed": 1}, _result(title="one"))
+        cache.put("table3", {"seed": 2}, _result(title="two"))
+        assert cache.get("table3", {"seed": 1}).title == "one"
+        assert cache.get("table3", {"seed": 2}).title == "two"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("table3", {}, _result())
+        entry, = tmp_path.glob("table3-*.json")
+        entry.write_text("{not json")
+        assert cache.get("table3", {}) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("table3", {}, _result())
+        entry, = tmp_path.glob("table3-*.json")
+        payload = json.loads(entry.read_text())
+        payload["schema_version"] = 0
+        entry.write_text(json.dumps(payload))
+        assert cache.get("table3", {}) is None
+
+    def test_unserialisable_result_is_skipped_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = _result(metadata={"inf": float("inf")})
+        assert cache.put("table3", {}, bad) is False
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_unwritable_root_degrades_to_no_store(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the cache dir should go")
+        cache = ResultCache(target)
+        assert cache.put("table3", {}, _result()) is False
+        assert cache.get("table3", {}) is None
+
+
+class TestDefaultDir:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))
+        assert default_cache_dir() == tmp_path / "mine"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-hetero"
+
+
+class TestBitReproducibility:
+    def test_warmed_hit_reserialises_byte_identically(self, tmp_path):
+        from repro.experiments import run_table3
+        from repro.io import result_to_dict
+        cache = ResultCache(tmp_path)
+        fresh = run_table3()
+        cache.put("table3", {}, fresh)
+        warmed = cache.get("table3", {})
+        assert (json.dumps(result_to_dict(warmed), sort_keys=True)
+                == json.dumps(result_to_dict(fresh), sort_keys=True))

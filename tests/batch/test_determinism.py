@@ -1,0 +1,71 @@
+"""Determinism guarantees of the batch engine, end to end through the CLI.
+
+The contract under test (see docs/BATCH.md): ``run all --jobs N --seed S``
+is row-for-row identical to ``--jobs 1 --seed S``, and a warmed cache
+serves bit-identical JSON exports.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import base
+
+#: Registry subset exercised end to end: two sharded sampling
+#: experiments plus two deterministic closed-form ones.
+_SUBSET = ("variance-trials", "majorization", "table3", "table4")
+
+
+@pytest.fixture()
+def small_registry(monkeypatch):
+    monkeypatch.setattr(base, "_REGISTRY", {
+        k: base._REGISTRY[k] for k in _SUBSET})
+
+
+def _run_all_json(capsys, *extra) -> list[dict]:
+    assert main(["run", "all", "--json", "--trials", "60", "--seed", "9",
+                 "--no-cache", *extra]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestJobsInvariance:
+    def test_jobs4_rows_identical_to_jobs1(self, capsys, small_registry):
+        sequential = _run_all_json(capsys, "--jobs", "1")
+        parallel = _run_all_json(capsys, "--jobs", "4")
+        assert [p["experiment_id"] for p in parallel] == sorted(_SUBSET)
+        for seq, par in zip(sequential, parallel):
+            assert seq["experiment_id"] == par["experiment_id"]
+            assert seq["rows"] == par["rows"], (
+                f"{seq['experiment_id']}: --jobs 4 drifted from --jobs 1")
+            assert seq["notes"] == par["notes"]
+
+    def test_same_seed_same_rows_across_invocations(self, capsys,
+                                                    small_registry):
+        first = _run_all_json(capsys, "--jobs", "2")
+        second = _run_all_json(capsys, "--jobs", "2")
+        assert [p["rows"] for p in first] == [p["rows"] for p in second]
+
+
+class TestWarmedCache:
+    def test_warmed_cache_exports_are_bit_identical(self, tmp_path, capsys,
+                                                    small_registry):
+        out = tmp_path / "all.json"
+        argv = ["run", "all", "--json", "--trials", "60", "--seed", "9",
+                "--cache-dir", str(tmp_path / "cache"), "--output", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        cold = out.read_bytes()
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert f"{len(_SUBSET)} cached" in err
+        assert out.read_bytes() == cold
+
+    def test_no_cache_flag_forces_recompute(self, tmp_path, capsys,
+                                            small_registry):
+        argv = ["run", "all", "--json", "--trials", "60", "--seed", "9",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--no-cache"]) == 0
+        assert "cached" not in capsys.readouterr().err

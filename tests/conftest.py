@@ -9,6 +9,18 @@ from repro.core.params import FIG34_CALIBRATION, PAPER_TABLE1, ModelParams
 from repro.core.profile import Profile
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Keep the batch result cache out of the user's real cache home.
+
+    Tests that exercise the cache pass an explicit ``--cache-dir``; this
+    guard catches everything else (e.g. ``run all`` defaults) so a test
+    run never reads or pollutes ``~/.cache/repro-hetero``.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("result-cache")))
+
+
 @pytest.fixture
 def paper_params() -> ModelParams:
     """The Table-1 environment (τ=1e-6, π=1e-5, δ=1)."""

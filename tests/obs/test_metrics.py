@@ -175,3 +175,68 @@ class TestDefaultRegistry:
         finally:
             set_default_registry(previous)
         assert default_registry() is previous
+
+
+class TestDumpMerge:
+    """Cross-process transport: dump() in a worker, merge() in the parent."""
+
+    def test_counter_cells_add(self):
+        worker = MetricsRegistry()
+        worker.counter("runs_total", "help").inc(3, experiment="a")
+        worker.counter("runs_total").inc(1, experiment="b")
+        parent = MetricsRegistry()
+        parent.counter("runs_total").inc(2, experiment="a")
+        parent.merge(worker.dump())
+        assert parent.counter("runs_total").value(experiment="a") == 5.0
+        assert parent.counter("runs_total").value(experiment="b") == 1.0
+
+    def test_gauge_merges_as_high_water_mark(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(3.0)
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(7.0)
+        parent.merge(worker.dump())
+        assert parent.gauge("depth").value() == 7.0  # max, not overwrite
+        low = MetricsRegistry()
+        low.gauge("depth").set(2.0)
+        parent.merge(low.dump())
+        assert parent.gauge("depth").value() == 7.0
+
+    def test_histogram_buckets_add_cellwise(self):
+        worker = MetricsRegistry()
+        h = worker.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(1.0, 10.0)).observe(20.0)
+        parent.merge(worker.dump())
+        merged = parent.histogram("lat", buckets=(1.0, 10.0))
+        samples = {s.name + str(dict(s.labels)): s.value
+                   for s in merged.samples()}
+        assert samples["lat_count{}"] == 3.0
+        assert samples["lat_sum{}"] == 25.5
+
+    def test_merge_into_empty_registry_recreates_metrics(self):
+        worker = MetricsRegistry()
+        worker.counter("c_total", "counted things").inc(4)
+        worker.timer("t_seconds", "timed things").observe(0.25)
+        parent = MetricsRegistry()
+        parent.merge(worker.dump())
+        assert parent.counter("c_total").value() == 4.0
+        names = [m.name for m in parent.collect()]
+        assert names == ["c_total", "t_seconds"]
+
+    def test_dump_is_json_safe(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(k="v")
+        registry.histogram("h").observe(2.0)
+        json.dumps(registry.dump())
+
+    def test_merge_mismatched_buckets_raises(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+        with pytest.raises(InvalidParameterError):
+            parent.merge(worker.dump())

@@ -135,3 +135,39 @@ class TestSimulationObserver:
         assert registry.counter("sim_runs_total").value() == 1.0
         assert registry.counter("sim_events_total").value() == 12.0
         assert registry.gauge("sim_queue_depth_peak").value() == 4.0
+
+
+class TestIngest:
+    """Folding worker-process trace records back into a session tracer."""
+
+    def test_reemits_records_and_counts(self):
+        worker = Tracer(keep_records=True)
+        with worker.span("shard:x[0]"):
+            worker.event("tick")
+        session = Tracer(keep_records=True)
+        assert session.ingest(worker.records) == 2
+        assert [r["name"] for r in session.records] == ["tick", "shard:x[0]"]
+
+    def test_extra_attrs_mark_provenance(self):
+        worker = Tracer(keep_records=True)
+        with worker.span("work", n=8):
+            pass
+        session = Tracer(keep_records=True)
+        session.ingest(worker.records, worker_pid=4242)
+        record, = session.records
+        assert record["attrs"]["worker_pid"] == 4242
+        assert record["attrs"]["n"] == 8  # original attrs survive
+
+    def test_ingested_records_reach_sinks(self):
+        seen = []
+        session = Tracer(keep_records=False)
+        session.add_sink(seen.append)
+        session.ingest([{"type": "event", "name": "e", "ts": 0.0,
+                         "depth": 0, "attrs": {}}], task="t1")
+        assert seen[0]["attrs"] == {"task": "t1"}
+
+    def test_source_records_are_not_mutated(self):
+        original = {"type": "event", "name": "e", "ts": 0.0,
+                    "depth": 0, "attrs": {}}
+        Tracer(keep_records=True).ingest([original], worker_pid=1)
+        assert original["attrs"] == {}

@@ -99,14 +99,112 @@ class TestRunObservability:
         assert {"sim.run", "sim.event", "sim.transit"} <= names
 
 
+class TestRunAllOutput:
+    """Regression tests for the `run all --output` clobbering bug: the
+    old loop reopened the file in "w" mode per experiment, so only the
+    last report survived."""
+
+    @pytest.fixture()
+    def small_registry(self, monkeypatch):
+        from repro.experiments import base
+        monkeypatch.setattr(base, "_REGISTRY", {
+            k: base._REGISTRY[k] for k in ("table3", "table4", "fig3")})
+
+    def test_text_output_contains_every_report(self, capsys, tmp_path,
+                                               small_registry):
+        target = tmp_path / "all.txt"
+        assert main(["run", "all", "--output", str(target),
+                     "--no-cache"]) == 0
+        text = target.read_text()
+        for marker in ("Table 3", "Table 4", "Fig. 3"):
+            assert marker in text, f"{marker!r} clobbered from {target}"
+
+    def test_csv_output_writes_one_file_per_experiment(self, capsys, tmp_path,
+                                                       small_registry):
+        target = tmp_path / "out.csv"
+        assert main(["run", "all", "--format", "csv",
+                     "--output", str(target), "--no-cache"]) == 0
+        names = sorted(p.name for p in tmp_path.glob("*.csv"))
+        assert names == ["out.fig3.csv", "out.table3.csv", "out.table4.csv"]
+        assert not target.exists()  # the unsuffixed name is never written
+
+    def test_json_output_is_one_array_document(self, capsys, tmp_path,
+                                               small_registry):
+        import json
+        target = tmp_path / "all.json"
+        assert main(["run", "all", "--json", "--output", str(target),
+                     "--no-cache"]) == 0
+        payload = json.loads(target.read_text())
+        assert [p["experiment_id"] for p in payload] == [
+            "fig3", "table3", "table4"]
+
+    def test_summary_line_on_stderr(self, capsys, small_registry):
+        assert main(["run", "all", "--no-cache", "--jobs", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "ran 3/3 experiments with --jobs 2" in err
+
+
+class TestSamplingFlagWarning:
+    """`--seed`/`--trials` are sampling-only knobs; passing them to a
+    closed-form experiment must warn instead of silently ignoring."""
+
+    def test_warns_and_result_is_unchanged(self, capsys):
+        assert main(["run", "table3"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "table3", "--seed", "7", "--trials", "50"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert captured.err.count("warning:") == 2
+        assert "--seed ignored" in captured.err
+        assert "--trials ignored" in captured.err
+        assert "not a sampling experiment" in captured.err
+
+    def test_no_warning_for_sampling_experiment(self, capsys):
+        assert main(["run", "variance-trials", "--trials", "10",
+                     "--seed", "1"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_no_warning_for_all(self, capsys, monkeypatch):
+        from repro.experiments import base
+        monkeypatch.setattr(base, "_REGISTRY", {
+            "table3": base._REGISTRY["table3"]})
+        assert main(["run", "all", "--seed", "7", "--no-cache"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+
 class TestReport:
     def test_writes_markdown(self, capsys, tmp_path):
         target = tmp_path / "report.md"
-        assert main(["report", "--trials", "20", "--output", str(target)]) == 0
+        assert main(["report", "--trials", "20", "--output", str(target),
+                     "--no-cache"]) == 0
         text = target.read_text()
         assert text.startswith("# Reproduction report")
         assert "## table3" in text
         assert "## fig4" in text
+
+    def test_parallel_report_matches_sequential(self, capsys, tmp_path,
+                                                monkeypatch):
+        from repro.experiments import base
+        monkeypatch.setattr(base, "_REGISTRY", {
+            k: base._REGISTRY[k] for k in ("table3", "majorization")})
+        seq, par = tmp_path / "seq.md", tmp_path / "par.md"
+        assert main(["report", "--trials", "30", "--output", str(seq),
+                     "--no-cache", "--jobs", "1"]) == 0
+        assert main(["report", "--trials", "30", "--output", str(par),
+                     "--no-cache", "--jobs", "2"]) == 0
+        assert par.read_text() == seq.read_text()
+
+    def test_warmed_cache_round_trip(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments import base
+        monkeypatch.setattr(base, "_REGISTRY", {
+            "table3": base._REGISTRY["table3"]})
+        target = tmp_path / "report.md"
+        argv = ["report", "--output", str(target),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = target.read_text()
+        assert main(argv) == 0
+        assert target.read_text() == cold
 
 
 class TestHecr:
@@ -134,3 +232,17 @@ class TestParser:
         args = build_parser().parse_args(["run", "table4"])
         assert args.command == "run"
         assert args.experiment == "table4"
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_parses_batch_flags(self):
+        args = build_parser().parse_args(
+            ["run", "all", "-j", "4", "--no-cache", "--cache-dir", "/tmp/c"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/c"
+
+    def test_report_takes_batch_flags(self):
+        args = build_parser().parse_args(["report", "--jobs", "2"])
+        assert args.jobs == 2
