@@ -14,6 +14,7 @@ long before its *mean* looks alarming.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,7 +22,11 @@ from repro.errors import InvalidParameterError
 from repro.protocols.base import WorkAllocation
 from repro.simulation.runner import simulate_allocation
 
-__all__ = ["RobustnessEstimate", "expected_work_under_failures"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.recovery import RecoveryPolicy
+
+__all__ = ["RobustnessEstimate", "expected_work_under_failures",
+           "completed_work_for_failure_times"]
 
 
 @dataclass(frozen=True)
@@ -62,11 +67,56 @@ class RobustnessEstimate:
         return float(np.mean(self.samples <= 1e-12))
 
 
+def completed_work_for_failure_times(allocation: WorkAllocation,
+                                     failure_times: np.ndarray,
+                                     *, skip_failed_results: bool = False,
+                                     recovery: "RecoveryPolicy | None" = None
+                                     ) -> np.ndarray:
+    """Completed work for each row of a ``(trials, n)`` failure-time array.
+
+    A worker whose failure time is at or beyond the lifespan never
+    fails (so ``np.inf`` means "healthy").  Separating the draw from
+    the evaluation lets callers reuse *one* set of base exponential
+    draws across a whole rate sweep (scale-coupled sampling) or across
+    shards of a batch run — which is what keeps sharded Monte-Carlo
+    sweeps bit-identical to their sequential counterparts.
+
+    With ``recovery`` given, each trial runs the full multi-round
+    rescheduler (:func:`repro.faults.recovery.simulate_with_recovery`)
+    instead of the single-round simulator, and the sample counts work
+    completed across all rounds.
+    """
+    failure_times = np.asarray(failure_times, dtype=float)
+    if failure_times.ndim != 2 or failure_times.shape[1] != allocation.n:
+        raise InvalidParameterError(
+            f"failure_times must have shape (trials, {allocation.n}), "
+            f"got {failure_times.shape}")
+    L = allocation.lifespan
+    samples = np.empty(failure_times.shape[0])
+    for k, times in enumerate(failure_times):
+        failures = {c: float(t) for c, t in enumerate(times) if t < L}
+        if recovery is not None:
+            from repro.faults.models import PermanentCrash
+            from repro.faults.recovery import simulate_with_recovery
+            from repro.faults.spec import FaultScenario
+            scenario = FaultScenario(faults=tuple(
+                PermanentCrash(c, t) for c, t in failures.items()))
+            outcome = simulate_with_recovery(allocation, scenario)
+            samples[k] = outcome.completed_work
+        else:
+            result = simulate_allocation(
+                allocation, failures=failures,
+                skip_failed_results=skip_failed_results)
+            samples[k] = result.completed_work
+    return samples
+
+
 def expected_work_under_failures(allocation: WorkAllocation,
                                  failure_rate: float,
                                  rng: np.random.Generator,
                                  n_samples: int = 200,
-                                 *, skip_failed_results: bool = False
+                                 *, skip_failed_results: bool = False,
+                                 recovery: "RecoveryPolicy | None" = None
                                  ) -> RobustnessEstimate:
     """Estimate E[completed work] with i.i.d. exponential worker failures.
 
@@ -85,6 +135,10 @@ def expected_work_under_failures(allocation: WorkAllocation,
     skip_failed_results:
         Result-sequencer recovery policy (see
         :func:`repro.simulation.runner.simulate_allocation`).
+    recovery:
+        When given, each trial runs the multi-round rescheduler under
+        this policy and the estimate counts work recovered in later
+        rounds too.
     """
     if failure_rate < 0:
         raise InvalidParameterError(
@@ -92,15 +146,12 @@ def expected_work_under_failures(allocation: WorkAllocation,
     if n_samples < 1:
         raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
     n = allocation.n
-    L = allocation.lifespan
-    samples = np.empty(n_samples)
-    for k in range(n_samples):
-        failures: dict[int, float] = {}
-        if failure_rate > 0.0:
-            times = rng.exponential(1.0 / failure_rate, size=n)
-            failures = {c: float(t) for c, t in enumerate(times) if t < L}
-        result = simulate_allocation(allocation, failures=failures,
-                                     skip_failed_results=skip_failed_results)
-        samples[k] = result.completed_work
+    if failure_rate > 0.0:
+        times = rng.exponential(1.0 / failure_rate, size=(n_samples, n))
+    else:
+        times = np.full((n_samples, n), np.inf)
+    samples = completed_work_for_failure_times(
+        allocation, times, skip_failed_results=skip_failed_results,
+        recovery=recovery)
     return RobustnessEstimate(samples=samples, failure_rate=failure_rate,
                               skip_failed_results=skip_failed_results)

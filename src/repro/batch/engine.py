@@ -21,6 +21,13 @@ Design invariants, in order of importance:
 * **isolation of failures** — one failing experiment (or shard) marks
   that experiment failed and the batch carries on, exactly like the
   sequential CLI loop.
+* **survival** — a worker that crashes (``BrokenProcessPool``), hangs
+  past ``task_timeout``, or fails transiently does not doom the batch:
+  failed attempts are retried with exponential backoff up to the
+  ``retries`` budget, the pool is respawned (in-flight tasks requeued)
+  up to ``max_pool_respawns`` times, and past that the engine degrades
+  gracefully to sequential in-process execution with a warning.  Every
+  recovery action is surfaced as a ``batch_*`` counter.
 
 Dispatch is straggler-aware in the LPT sense: tasks are submitted
 longest-estimated-first so a slow shard starts early instead of
@@ -34,7 +41,9 @@ import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
@@ -183,7 +192,11 @@ def _pool_context() -> multiprocessing.context.BaseContext | None:
 def run_batch(experiment_ids: Sequence[str], *,
               kwargs_by_id: Mapping[str, dict[str, Any]] | None = None,
               jobs: int = 1,
-              cache: ResultCache | None = None) -> BatchReport:
+              cache: ResultCache | None = None,
+              task_timeout: float | None = None,
+              retries: int = 1,
+              retry_backoff: float = 0.05,
+              max_pool_respawns: int = 2) -> BatchReport:
     """Run experiments (optionally sharded) across a worker pool.
 
     Parameters
@@ -196,9 +209,27 @@ def run_batch(experiment_ids: Sequence[str], *,
         Worker processes.  ``1`` runs everything in-process — same
         decomposition, same seeds, same merge — which is both the
         compatibility path and the honest baseline for speedup claims.
+        The hardening knobs below apply to the pool path only.
     cache:
         Optional :class:`ResultCache`; hits skip execution entirely and
         fresh results are stored back.
+    task_timeout:
+        Wall-clock seconds a single task may run before it is declared
+        hung.  A hung worker cannot be cancelled, so the whole pool is
+        abandoned (and its processes terminated), innocent in-flight
+        tasks are requeued without penalty, and the overdue task is
+        retried or failed.  ``None`` disables the watchdog.
+    retries:
+        How many times a task may be *re*-executed after a failed
+        attempt (an error outcome, a timeout, or a pool crash while it
+        was in flight).  ``0`` fails fast on the first error.
+    retry_backoff:
+        Base of the exponential backoff slept before re-queueing attempt
+        ``k`` (``retry_backoff * 2**(k-1)`` seconds).
+    max_pool_respawns:
+        Pool rebuild budget.  Once exhausted, remaining tasks degrade to
+        sequential in-process execution (a warning is emitted and
+        ``batch_sequential_fallback_total`` is incremented).
 
     Observability: metrics and (when a tracer is ambient) trace records
     from every worker are merged into the session's ambient observation
@@ -206,6 +237,17 @@ def run_batch(experiment_ids: Sequence[str], *,
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise InvalidParameterError(f"retries must be >= 0, got {retries}")
+    if max_pool_respawns < 0:
+        raise InvalidParameterError(
+            f"max_pool_respawns must be >= 0, got {max_pool_respawns}")
+    if task_timeout is not None and not task_timeout > 0:
+        raise InvalidParameterError(
+            f"task_timeout must be positive, got {task_timeout!r}")
+    if retry_backoff < 0:
+        raise InvalidParameterError(
+            f"retry_backoff must be >= 0, got {retry_backoff!r}")
     kwargs_by_id = dict(kwargs_by_id or {})
     ctx = current_observation()
     registry = (ctx.registry if ctx is not None and ctx.registry is not None
@@ -248,7 +290,10 @@ def run_batch(experiment_ids: Sequence[str], *,
                 item.error = f"{type(exc).__name__}: {exc}"
             item.wall_seconds = time.perf_counter() - start
     elif pending:
-        _run_pool(pending, kwargs_by_id, jobs, items, registry, tracer)
+        _run_pool(pending, kwargs_by_id, jobs, items, registry, tracer,
+                  task_timeout=task_timeout, retries=retries,
+                  retry_backoff=retry_backoff,
+                  max_pool_respawns=max_pool_respawns)
 
     if cache is not None:
         for experiment_id in pending:
@@ -264,10 +309,166 @@ def run_batch(experiment_ids: Sequence[str], *,
     return report
 
 
+#: How long one ``wait()`` poll blocks before the watchdog re-checks
+#: in-flight deadlines.  Scheduling granularity, not a correctness knob.
+_POLL_SECONDS = 0.05
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Walk away from a broken or hung pool without blocking on it."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    # A genuinely hung worker survives a non-blocking shutdown; reap it
+    # so retried tasks do not compete with zombies for cores.  The
+    # process table is a private attribute, hence the defensive reach.
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+
+def _execute_hardened(tasks: Sequence[_Task], jobs: int,
+                      registry: MetricsRegistry, tracer: Tracer | None, *,
+                      task_timeout: float | None, retries: int,
+                      retry_backoff: float, max_pool_respawns: int
+                      ) -> dict[tuple[str, int | None], _TaskOutput]:
+    """Run tasks on a process pool that survives crashes and hangs.
+
+    At most ``jobs`` tasks are in flight at a time (so a submission
+    timestamp is an execution timestamp and the ``task_timeout``
+    watchdog measures actual runtime, not queue time).  Failed attempts
+    are retried with exponential backoff up to ``retries``; a crash or
+    hang abandons the pool, requeues the in-flight tasks and respawns,
+    up to ``max_pool_respawns`` times; past that budget the remaining
+    tasks run sequentially in-process.
+    """
+    outputs: dict[tuple[str, int | None], _TaskOutput] = {}
+    queue: deque[tuple[_Task, int]] = deque(
+        (task, 0) for task in sorted(tasks, key=lambda t: t.cost, reverse=True))
+    inflight: dict[Any, tuple[_Task, int, float]] = {}
+    respawns = 0
+    pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+        max_workers=jobs, mp_context=_pool_context())
+
+    def record(task: _Task, output: _TaskOutput) -> None:
+        outputs[(task.experiment_id, task.shard_index)] = output
+        if output.metrics_dump:
+            registry.merge(output.metrics_dump)
+        if tracer is not None and output.trace_records:
+            tracer.ingest(output.trace_records, worker_pid=output.worker_pid)
+
+    def retry_or_fail(task: _Task, attempt: int, error: str) -> None:
+        if attempt < retries:
+            registry.counter(
+                "batch_task_retries_total",
+                "batch task attempts retried after a failure"
+            ).inc(experiment=task.experiment_id)
+            if retry_backoff > 0:
+                time.sleep(retry_backoff * (2.0 ** attempt))
+            queue.append((task, attempt + 1))
+        else:
+            record(task, _TaskOutput(experiment_id=task.experiment_id,
+                                     shard_index=task.shard_index,
+                                     error=error))
+
+    def respawn_or_fallback() -> None:
+        nonlocal pool, respawns
+        _abandon_pool(pool)
+        respawns += 1
+        if respawns > max_pool_respawns:
+            pool = None
+            registry.counter(
+                "batch_sequential_fallback_total",
+                "batches degraded to sequential in-process execution"
+            ).inc()
+            warnings.warn(
+                f"batch pool irrecoverable after {respawns - 1} respawns; "
+                f"degrading to sequential in-process execution",
+                RuntimeWarning, stacklevel=2)
+        else:
+            registry.counter(
+                "batch_pool_respawns_total",
+                "process pools respawned after a crash or hang"
+            ).inc()
+            pool = ProcessPoolExecutor(max_workers=jobs,
+                                       mp_context=_pool_context())
+
+    while queue or inflight:
+        if pool is None:
+            # Graceful degradation: no pool left, run what remains in
+            # this process.  Timeouts are unenforceable here; errors
+            # still come back as data via _execute_task.
+            while queue:
+                task, attempt = queue.popleft()
+                record(task, _execute_task(task))
+            break
+        while queue and len(inflight) < jobs:
+            task, attempt = queue.popleft()
+            inflight[pool.submit(_execute_task, task)] = (
+                task, attempt, time.monotonic())
+        done, _ = wait(list(inflight), timeout=_POLL_SECONDS,
+                       return_when=FIRST_COMPLETED)
+        if not done:
+            if task_timeout is None:
+                continue
+            now = time.monotonic()
+            overdue = {f for f, (_, _, started) in inflight.items()
+                       if now - started > task_timeout}
+            if not overdue:
+                continue
+            # A hung worker cannot be cancelled: abandon the whole pool.
+            # Overdue tasks burn an attempt; innocent in-flight tasks
+            # are requeued (front, to keep LPT order) without penalty.
+            for future in list(inflight):
+                task, attempt, _ = inflight.pop(future)
+                if future in overdue:
+                    registry.counter(
+                        "batch_task_timeouts_total",
+                        "batch tasks declared hung past --task-timeout"
+                    ).inc(experiment=task.experiment_id)
+                    retry_or_fail(
+                        task, attempt,
+                        f"TimeoutError: task exceeded task_timeout="
+                        f"{task_timeout}s")
+                else:
+                    queue.appendleft((task, attempt))
+            respawn_or_fallback()
+            continue
+        broken = False
+        for future in done:
+            task, attempt, _ = inflight.pop(future)
+            try:
+                output = future.result()
+            except Exception as exc:  # BrokenProcessPool and friends
+                broken = True
+                retry_or_fail(task, attempt, f"{type(exc).__name__}: {exc}")
+                continue
+            if output.error is not None and attempt < retries:
+                retry_or_fail(task, attempt, output.error)
+            else:
+                record(task, output)
+        if broken:
+            # Whoever crashed the pool was in `done` and has been
+            # penalised; the rest were collateral damage — requeue them
+            # with their attempt count intact.
+            for future in list(inflight):
+                task, attempt, _ = inflight.pop(future)
+                queue.appendleft((task, attempt))
+            respawn_or_fallback()
+    if pool is not None:
+        pool.shutdown()
+    return outputs
+
+
 def _run_pool(pending: Sequence[str], kwargs_by_id: Mapping[str, dict],
               jobs: int, items: Mapping[str, BatchItem],
-              registry: MetricsRegistry, tracer: Tracer | None) -> None:
-    """Execute the cache-missed experiments on a process pool."""
+              registry: MetricsRegistry, tracer: Tracer | None, *,
+              task_timeout: float | None = None, retries: int = 1,
+              retry_backoff: float = 0.05,
+              max_pool_respawns: int = 2) -> None:
+    """Execute the cache-missed experiments on a (hardened) process pool."""
     capture = tracer is not None
     tasks: list[_Task] = []
     shard_specs: dict[str, Any] = {}
@@ -291,25 +492,10 @@ def _run_pool(pending: Sequence[str], kwargs_by_id: Mapping[str, dict],
         else:
             tasks.append(_Task(experiment_id, kwargs, capture_trace=capture))
 
-    outputs: dict[tuple[str, int | None], _TaskOutput] = {}
-    submission_order = sorted(tasks, key=lambda t: t.cost, reverse=True)
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=_pool_context()) as pool:
-        futures = {pool.submit(_execute_task, task): task
-                   for task in submission_order}
-        for future, task in futures.items():
-            try:
-                output = future.result()
-            except Exception as exc:  # BrokenProcessPool and friends
-                output = _TaskOutput(experiment_id=task.experiment_id,
-                                     shard_index=task.shard_index,
-                                     error=f"{type(exc).__name__}: {exc}")
-            outputs[(task.experiment_id, task.shard_index)] = output
-            if output.metrics_dump:
-                registry.merge(output.metrics_dump)
-            if tracer is not None and output.trace_records:
-                tracer.ingest(output.trace_records,
-                              worker_pid=output.worker_pid)
+    outputs = _execute_hardened(tasks, jobs, registry, tracer,
+                                task_timeout=task_timeout, retries=retries,
+                                retry_backoff=retry_backoff,
+                                max_pool_respawns=max_pool_respawns)
 
     for experiment_id in pending:
         item = items[experiment_id]

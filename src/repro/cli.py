@@ -29,9 +29,16 @@ from repro.core.hecr import hecr
 from repro.core.measure import work_rate, x_measure
 from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.core.profile import Profile
+from repro.errors import FaultInjectionError, RecoveryError, SimulationError
 from repro.experiments import list_experiments
 
 __all__ = ["main", "build_parser"]
+
+#: Exception families the CLI maps to exit code 3 (fault/simulation),
+#: both when raised directly and when reported back by a batch worker
+#: as an ``"ExcName: message"`` item error.
+_FAULT_ERROR_NAMES = ("SimulationError", "FaultInjectionError",
+                      "FaultSpecError", "RecoveryError")
 
 
 def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
@@ -44,6 +51,14 @@ def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or the platform cache home)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="declare a batch worker task hung past this "
+                             "many wall-clock seconds (pool respawned, task "
+                             "retried; default: no timeout)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="re-executions granted to a failed batch task "
+                             "(error, timeout, or pool crash; default: 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream a JSONL span/event trace of the run to PATH")
     run.add_argument("--metrics", default=None, metavar="PATH",
                      help="write a Prometheus-format metrics dump to PATH")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault scenario for fault-aware experiments, e.g. "
+                          "'outage:1@10+5,slow:0@2+20x3,loss:0.05,seed:7' "
+                          "(see docs/FAULTS.md for the grammar)")
     _add_batch_flags(run)
 
     report = sub.add_parser(
@@ -108,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
 _SAMPLING_EXPERIMENTS = ("variance-trials", "variance-threshold",
                          "moment-ablation")
 
+#: Experiments that accept a ``--faults`` scenario.
+_FAULT_EXPERIMENTS = ("failure-resilience",)
+
 
 def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
     kwargs = {}
@@ -115,6 +137,8 @@ def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
         kwargs["trials_per_size"] = args.trials
     if args.seed is not None and experiment_id in _SAMPLING_EXPERIMENTS:
         kwargs["seed"] = args.seed
+    if getattr(args, "faults", None) and experiment_id in _FAULT_EXPERIMENTS:
+        kwargs["faults"] = args.faults
     return kwargs
 
 
@@ -180,9 +204,32 @@ def _warn_ignored_sampling_flags(args: argparse.Namespace) -> None:
                   file=sys.stderr)
 
 
+def _warn_ignored_faults_flag(args: argparse.Namespace) -> None:
+    if not getattr(args, "faults", None):
+        return
+    if args.experiment == "all" or args.experiment in _FAULT_EXPERIMENTS:
+        return
+    print(f"warning: --faults ignored — experiment {args.experiment!r} is "
+          f"not fault-aware (fault-aware: {', '.join(_FAULT_EXPERIMENTS)})",
+          file=sys.stderr)
+
+
+def _failure_exit_code(batch) -> int:
+    """0 clean; 3 when every failure is in the fault/simulation family
+    (so scripts can distinguish 'the scenario broke the run' from an
+    ordinary experiment bug); 1 otherwise."""
+    if not batch.failures:
+        return 0
+    if all((item.error or "").split(":", 1)[0] in _FAULT_ERROR_NAMES
+           for item in batch.failures):
+        return 3
+    return 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """The ``run`` subcommand: exit 0 on success, 1 on experiment
-    failure, 2 for an unknown experiment id."""
+    failure, 2 for an unknown experiment id, 3 for fault/simulation
+    errors (a bad ``--faults`` spec included)."""
     from contextlib import nullcontext
 
     from repro.batch import ResultCache, default_cache_dir, run_batch
@@ -201,6 +248,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"known: {', '.join(known)}", file=sys.stderr)
         return 2
     _warn_ignored_sampling_flags(args)
+    _warn_ignored_faults_flag(args)
+    if args.faults:
+        # Validate the spec before any work: a malformed clause raises
+        # FaultSpecError, which main() maps to exit code 3.
+        from repro.faults.spec import parse_faults
+        parse_faults(args.faults)
 
     try:
         trace_writer = JsonlTraceWriter(args.trace) if args.trace else None
@@ -222,7 +275,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         with observe(obs_ctx) if obs_ctx is not None else nullcontext():
             batch = run_batch(experiment_ids, kwargs_by_id=kwargs_by_id,
-                              jobs=args.jobs, cache=cache)
+                              jobs=args.jobs, cache=cache,
+                              task_timeout=args.task_timeout,
+                              retries=args.retries)
     finally:
         if trace_writer is not None:
             trace_writer.close()
@@ -255,14 +310,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"wrote {trace_writer.records_written} trace records to "
               f"{args.trace}", file=sys.stderr)
-    return 1 if batch.failures else 0
+    return _failure_exit_code(batch)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success; 1 experiment failure; 2 unknown experiment
+    or unparseable input; 3 fault/simulation errors (malformed
+    ``--faults`` specs, :class:`~repro.errors.SimulationError` and the
+    fault/recovery error family) — reported as one stderr line, not a
+    traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except (SimulationError, FaultInjectionError, RecoveryError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
+
+def _dispatch(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> int:
     if args.command == "list":
         for experiment_id in list_experiments():
             print(experiment_id)
@@ -283,7 +353,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache = (None if args.no_cache
                  else ResultCache(args.cache_dir or default_cache_dir()))
         batch = run_batch(experiment_ids, kwargs_by_id=kwargs_by_id,
-                          jobs=args.jobs, cache=cache)
+                          jobs=args.jobs, cache=cache,
+                          task_timeout=args.task_timeout,
+                          retries=args.retries)
         for item in batch.failures:
             print(f"error: experiment {item.experiment_id!r} failed: "
                   f"{item.error}", file=sys.stderr)

@@ -17,6 +17,9 @@ __all__ = [
     "SimulationError",
     "SamplingError",
     "ExperimentError",
+    "FaultInjectionError",
+    "FaultSpecError",
+    "RecoveryError",
 ]
 
 
@@ -75,3 +78,27 @@ class SamplingError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment was misconfigured or failed to produce a result."""
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault model or scenario is malformed.
+
+    Raised for negative fault times, slowdown factors below 1, loss
+    probabilities outside [0, 1), or faults addressed to computers the
+    cluster does not have.
+    """
+
+
+class FaultSpecError(FaultInjectionError):
+    """A textual ``--faults`` specification could not be parsed.
+
+    See :func:`repro.faults.spec.parse_faults` for the grammar.
+    """
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """The recovery layer was misconfigured or reached an absurd state.
+
+    Raised, for example, for a non-positive recovery-round budget or a
+    detection timeout that is negative.
+    """

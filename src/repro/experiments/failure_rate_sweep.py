@@ -7,55 +7,152 @@ across rates, for both result-sequencing policies.  The strict FIFO
 contract's *tail risk* shows up as a rapidly growing probability of
 losing the entire round, well before the mean looks bad under the
 skip-recovery policy.
+
+Sharding
+--------
+The Monte-Carlo loop is embarrassingly parallel across trials, so the
+experiment follows the :class:`~repro.experiments.base.ShardSpec`
+contract: :func:`sweep_shards` cuts the trial budget into chunks, each
+carrying its own child of ``np.random.SeedSequence(seed).spawn(...)``.
+A shard draws one matrix of *base* unit-exponential failure times and
+rescales it per rate (``times = base / rate``), so all rates — and both
+policies — see comonotone failure draws, and the decomposition depends
+only on the experiment kwargs, never on worker count: ``--jobs N`` is
+row-for-row identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.analysis.robustness import expected_work_under_failures
+from repro.analysis.robustness import completed_work_for_failure_times
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
+from repro.errors import ExperimentError
 from repro.experiments.barchart import render_series
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import (ExperimentResult, ShardSpec, register,
+                                    run_sharded)
 from repro.protocols.fifo import fifo_allocation
 
-__all__ = ["run_failure_rate_sweep"]
+__all__ = ["run_failure_rate_sweep", "SweepBatch", "sweep_shards",
+           "run_sweep_shard", "merge_sweep_batches", "SAMPLES_PER_SHARD"]
+
+#: Shard granularity: trials per (chunk) cell.  Small enough that the
+#: default run splits into several independent pieces for the pool.
+SAMPLES_PER_SHARD = 40
+
+_DEFAULT_RATES = (0.0, 0.002, 0.005, 0.01, 0.02, 0.05)
 
 
-@register("failure-rate-sweep")
-def run_failure_rate_sweep(tau: float = 0.01, pi: float = 0.001,
-                           delta: float = 1.0, lifespan: float = 50.0,
-                           rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01,
-                                                     0.02, 0.05),
-                           n_samples: int = 120,
-                           seed: int = 41) -> ExperimentResult:
-    """Sweep the failure rate; tabulate strict vs skip expected work."""
+@dataclass(frozen=True)
+class SweepBatch:
+    """One chunk's completed-work samples, all rates × both policies.
+
+    ``strict``/``skip`` have shape ``(chunk_trials, len(rates))``; the
+    same failure draws feed both columns of a row.
+    """
+
+    rates: tuple[float, ...]
+    strict: np.ndarray
+    skip: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.strict.shape[0])
+
+
+def sweep_shards(*, tau: float, pi: float, delta: float, lifespan: float,
+                 rates: Sequence[float], n_samples: int,
+                 seed: int) -> list[dict]:
+    """Canonical shard plan: trial chunks, each with a spawned seed."""
+    if n_samples < 1:
+        raise ExperimentError(f"n_samples must be >= 1, got {n_samples}")
+    counts = [SAMPLES_PER_SHARD] * (n_samples // SAMPLES_PER_SHARD)
+    if n_samples % SAMPLES_PER_SHARD:
+        counts.append(n_samples % SAMPLES_PER_SHARD)
+    shards = [{"tau": tau, "pi": pi, "delta": delta, "lifespan": lifespan,
+               "rates": tuple(rates), "chunk_trials": count}
+              for count in counts]
+    for shard, seed_seq in zip(shards,
+                               np.random.SeedSequence(seed).spawn(len(shards))):
+        shard["seed_seq"] = seed_seq
+    return shards
+
+
+def run_sweep_shard(*, tau: float, pi: float, delta: float, lifespan: float,
+                    rates: tuple[float, ...], chunk_trials: int,
+                    seed_seq: np.random.SeedSequence) -> SweepBatch:
+    """Execute one trial chunk (picklable worker entry point).
+
+    One matrix of unit-exponential base draws serves every rate: the
+    failure times for rate r are ``base / r`` (comonotone coupling), so
+    the per-rate columns differ only by the rate, not by sampling noise.
+    """
+    params = ModelParams(tau=tau, pi=pi, delta=delta)
+    profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+    allocation = fifo_allocation(profile, params, lifespan)
+    rng = np.random.default_rng(seed_seq)
+    base = rng.exponential(1.0, size=(chunk_trials, profile.n))
+
+    strict = np.empty((chunk_trials, len(rates)))
+    skip = np.empty((chunk_trials, len(rates)))
+    for j, rate in enumerate(rates):
+        times = base / rate if rate > 0.0 else np.full_like(base, np.inf)
+        strict[:, j] = completed_work_for_failure_times(allocation, times)
+        skip[:, j] = completed_work_for_failure_times(
+            allocation, times, skip_failed_results=True)
+    return SweepBatch(rates=tuple(rates), strict=strict, skip=skip)
+
+
+def merge_sweep_batches(batches: Sequence[SweepBatch]) -> SweepBatch:
+    """Concatenate chunk batches in shard order."""
+    if not batches:
+        raise ExperimentError("cannot merge zero sweep batches")
+    if len({b.rates for b in batches}) != 1:
+        raise ExperimentError("cannot merge sweep batches of different rates")
+    if len(batches) == 1:
+        return batches[0]
+    return SweepBatch(rates=batches[0].rates,
+                      strict=np.concatenate([b.strict for b in batches]),
+                      skip=np.concatenate([b.skip for b in batches]))
+
+
+def _split_sweep(tau: float = 0.01, pi: float = 0.001, delta: float = 1.0,
+                 lifespan: float = 50.0,
+                 rates: Sequence[float] = _DEFAULT_RATES,
+                 n_samples: int = 120, seed: int = 41) -> list[dict]:
+    return sweep_shards(tau=tau, pi=pi, delta=delta, lifespan=lifespan,
+                        rates=rates, n_samples=n_samples, seed=seed)
+
+
+def _merge_sweep(payloads: Sequence[SweepBatch],
+                 tau: float = 0.01, pi: float = 0.001, delta: float = 1.0,
+                 lifespan: float = 50.0,
+                 rates: Sequence[float] = _DEFAULT_RATES,
+                 n_samples: int = 120, seed: int = 41) -> ExperimentResult:
     params = ModelParams(tau=tau, pi=pi, delta=delta)
     profile = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
     allocation = fifo_allocation(profile, params, lifespan)
     total = allocation.total_work
+    batch = merge_sweep_batches(payloads)
 
     rows = []
     strict_means = []
-    for rate in rates:
-        strict = expected_work_under_failures(
-            allocation, rate, np.random.default_rng(seed), n_samples=n_samples)
-        skip = expected_work_under_failures(
-            allocation, rate, np.random.default_rng(seed), n_samples=n_samples,
-            skip_failed_results=True)
-        strict_means.append(100.0 * strict.mean / total)
-        rows.append((
-            rate,
-            round(100.0 * strict.mean / total, 1),
-            round(100.0 * strict.fraction_total_loss, 1),
-            round(100.0 * skip.mean / total, 1),
-            round(100.0 * skip.fraction_total_loss, 1),
-        ))
+    tol = 1e-12
+    for j, rate in enumerate(batch.rates):
+        strict_mean = 100.0 * float(batch.strict[:, j].mean()) / total
+        skip_mean = 100.0 * float(batch.skip[:, j].mean()) / total
+        strict_loss = 100.0 * float(np.mean(batch.strict[:, j] <= tol))
+        skip_loss = 100.0 * float(np.mean(batch.skip[:, j] <= tol))
+        strict_means.append(strict_mean)
+        rows.append((rate, round(strict_mean, 1), round(strict_loss, 1),
+                     round(skip_mean, 1), round(skip_loss, 1)))
 
-    chart = render_series(list(rates), strict_means, x_label="failure rate",
+    chart = render_series(list(batch.rates), strict_means,
+                          x_label="failure rate",
                           y_label="strict mean completed %")
     return ExperimentResult(
         experiment_id="failure-rate-sweep",
@@ -64,8 +161,9 @@ def run_failure_rate_sweep(tau: float = 0.01, pi: float = 0.001,
                  "skip mean %", "skip total-loss %"),
         rows=rows,
         notes=(
-            "identical failure draws feed both policies (same seed), so the "
-            "columns differ only by the sequencing contract",
+            "identical failure draws feed both policies and (rescaled) "
+            "every rate, so the columns differ only by the sequencing "
+            "contract and the rate itself",
             "strict FIFO accumulates total-loss probability (one early crash "
             "forfeits the round); the skip heuristic's losses stay "
             "proportional to the dead quanta",
@@ -75,3 +173,25 @@ def run_failure_rate_sweep(tau: float = 0.01, pi: float = 0.001,
         metadata={"strict_means_pct": strict_means, "total_work": total,
                   "figure_text": chart, "seed": seed},
     )
+
+
+FAILURE_RATE_SWEEP_SHARDS = ShardSpec(split=_split_sweep,
+                                      runner=run_sweep_shard,
+                                      merge=_merge_sweep)
+
+
+@register("failure-rate-sweep", shardable=FAILURE_RATE_SWEEP_SHARDS)
+def run_failure_rate_sweep(tau: float = 0.01, pi: float = 0.001,
+                           delta: float = 1.0, lifespan: float = 50.0,
+                           rates: Sequence[float] = _DEFAULT_RATES,
+                           n_samples: int = 120,
+                           seed: int = 41) -> ExperimentResult:
+    """Sweep the failure rate; tabulate strict vs skip expected work.
+
+    Defined as the merge of its shard plan (see the module docstring),
+    so this sequential entry point and a parallel batch run agree
+    bit-for-bit.
+    """
+    return run_sharded(FAILURE_RATE_SWEEP_SHARDS, tau=tau, pi=pi, delta=delta,
+                       lifespan=lifespan, rates=tuple(rates),
+                       n_samples=n_samples, seed=seed)

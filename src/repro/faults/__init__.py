@@ -1,0 +1,61 @@
+"""Fault injection and recovery for CEP worksharing simulations.
+
+The paper's FIFO-optimality result rests on a strict finishing-order
+contract; this package measures what that contract costs when the world
+misbehaves.  It generalises the simulator's original single fault shape
+(a permanent crash at a fixed time) into a pluggable fault model:
+
+* :class:`~repro.faults.models.PermanentCrash` — the classic crash;
+* :class:`~repro.faults.models.TransientOutage` — down for an interval,
+  then back (progress pauses, nothing is forgotten);
+* :class:`~repro.faults.models.DegradedSpeed` — a straggler whose ρ is
+  inflated by a factor over a window;
+* :class:`~repro.faults.models.ChannelLoss` — message loss on the shared
+  channel, with retransmission under a
+  :class:`~repro.faults.models.RetransmitPolicy`.
+
+Scenarios are declared with :class:`~repro.faults.spec.FaultScenario`
+(a list of fault specs plus an optional seeded stochastic generator) or
+parsed from the CLI's compact ``--faults`` grammar by
+:func:`~repro.faults.spec.parse_faults`.  Materialisation is a pure
+function of the scenario and its seed, so fault-injected runs stay
+deterministic and batch-shardable.
+
+Recovery lives in :mod:`repro.faults.recovery`: timeout-based failure
+detection, retransmit budgets, and an adaptive multi-round rescheduler
+(:func:`~repro.faults.recovery.simulate_with_recovery`) that reallocates
+lost quanta across surviving workers with the FIFO allocator on the
+residual lifespan.
+"""
+
+from repro.faults.models import (
+    ChannelLoss,
+    DegradedSpeed,
+    FaultTimeline,
+    PermanentCrash,
+    RetransmitPolicy,
+    TransientOutage,
+)
+from repro.faults.recovery import (
+    RecoveryOutcome,
+    RecoveryPolicy,
+    RecoveryTelemetry,
+    simulate_with_recovery,
+)
+from repro.faults.spec import FaultScenario, MaterializedFaults, parse_faults
+
+__all__ = [
+    "PermanentCrash",
+    "TransientOutage",
+    "DegradedSpeed",
+    "FaultTimeline",
+    "ChannelLoss",
+    "RetransmitPolicy",
+    "FaultScenario",
+    "MaterializedFaults",
+    "parse_faults",
+    "RecoveryPolicy",
+    "RecoveryTelemetry",
+    "RecoveryOutcome",
+    "simulate_with_recovery",
+]

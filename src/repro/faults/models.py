@@ -1,0 +1,321 @@
+"""Fault models: per-worker fault timelines and channel-loss processes.
+
+A *worker fault* is a declarative statement about one computer —
+"crashes at t", "down over [t, t+d)", "runs ``factor×`` slower over a
+window".  :class:`FaultTimeline` compiles any mix of them into the two
+questions the simulator actually asks:
+
+* :meth:`FaultTimeline.crashes_by` — has the worker permanently died by
+  a given instant?
+* :meth:`FaultTimeline.completion_time` — when does a compute quantum
+  started at ``t`` with nominal duration ``D`` actually finish, given
+  that progress pauses during outages and dilates inside slowdown
+  windows?
+
+Channel faults are separate: :class:`ChannelLoss` decides whether a
+given transmission *attempt* is lost, and :class:`RetransmitPolicy`
+bounds how the network retries.  Loss draws are keyed by
+``(salt, kind, computer, attempt)`` through ``np.random.SeedSequence``
+spawn keys, so they are deterministic **and independent of event
+order** — the property that keeps fault-injected runs batch-shardable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["PermanentCrash", "TransientOutage", "DegradedSpeed",
+           "FaultTimeline", "ChannelLoss", "RetransmitPolicy"]
+
+
+def _check_time(value: float, name: str) -> float:
+    value = float(value)
+    if value < 0.0 or not np.isfinite(value):
+        raise FaultInjectionError(
+            f"{name} must be nonnegative and finite, got {value!r}")
+    return value
+
+
+def _check_duration(value: float, name: str) -> float:
+    value = float(value)
+    if value <= 0.0 or not np.isfinite(value):
+        raise FaultInjectionError(
+            f"{name} must be positive and finite, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class PermanentCrash:
+    """Computer ``computer`` dies at time ``at`` and never recovers."""
+
+    computer: int
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.at, "crash time")
+
+
+@dataclass(frozen=True)
+class TransientOutage:
+    """Computer ``computer`` is unreachable over ``[start, start+duration)``.
+
+    Progress made before the outage is retained: computation *pauses*
+    and resumes when the worker comes back (a reboot that keeps the
+    bench intact).  Work arriving mid-outage waits for the worker.
+    """
+
+    computer: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.start, "outage start")
+        _check_duration(self.duration, "outage duration")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class DegradedSpeed:
+    """Computer ``computer`` computes ``factor×`` slower over a window.
+
+    Equivalent to inflating ρ by ``factor`` for the stretch of the busy
+    period that overlaps ``[start, start+duration)``.
+    """
+
+    computer: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.start, "slowdown start")
+        _check_duration(self.duration, "slowdown duration")
+        if self.factor < 1.0 or not np.isfinite(self.factor):
+            raise FaultInjectionError(
+                f"slowdown factor must be >= 1 and finite, got {self.factor!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class FaultTimeline:
+    """One worker's compiled fault behaviour.
+
+    Parameters
+    ----------
+    crash_at:
+        Permanent-crash instant, or None.  Multiple crashes compile to
+        the earliest.
+    outages:
+        ``(start, end)`` pairs during which progress is paused.
+    slowdowns:
+        ``(start, end, factor)`` triples; where windows overlap the
+        *largest* factor applies (faults don't cancel each other).
+    """
+
+    __slots__ = ("crash_at", "outages", "slowdowns")
+
+    def __init__(self, crash_at: float | None = None,
+                 outages: Iterable[tuple[float, float]] = (),
+                 slowdowns: Iterable[tuple[float, float, float]] = ()) -> None:
+        self.crash_at = None if crash_at is None else float(crash_at)
+        self.outages = tuple(sorted((float(s), float(e)) for s, e in outages))
+        self.slowdowns = tuple(sorted(
+            (float(s), float(e), float(f)) for s, e, f in slowdowns))
+
+    @classmethod
+    def compile(cls, faults: Iterable[object]) -> "FaultTimeline":
+        """Fold declarative fault specs for one computer into a timeline."""
+        crash_at: float | None = None
+        outages: list[tuple[float, float]] = []
+        slowdowns: list[tuple[float, float, float]] = []
+        for fault in faults:
+            if isinstance(fault, PermanentCrash):
+                crash_at = fault.at if crash_at is None else min(crash_at, fault.at)
+            elif isinstance(fault, TransientOutage):
+                if fault.duration > 0.0:
+                    outages.append((fault.start, fault.end))
+            elif isinstance(fault, DegradedSpeed):
+                if fault.duration > 0.0 and fault.factor > 1.0:
+                    slowdowns.append((fault.start, fault.end, fault.factor))
+            else:
+                raise FaultInjectionError(
+                    f"unknown worker fault {fault!r}")
+        return cls(crash_at=crash_at, outages=outages, slowdowns=slowdowns)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_benign(self) -> bool:
+        """Whether this timeline changes nothing about the worker."""
+        return (self.crash_at is None and not self.outages
+                and not self.slowdowns)
+
+    def crashes_by(self, time: float) -> bool:
+        """Has the worker permanently died by ``time`` (inclusive)?"""
+        return self.crash_at is not None and time >= self.crash_at
+
+    def _speed(self, t: float) -> float:
+        """Instantaneous progress rate at time ``t`` (crash ignored)."""
+        for start, end in self.outages:
+            if start <= t < end:
+                return 0.0
+        factor = 1.0
+        for start, end, f in self.slowdowns:
+            if start <= t < end and f > factor:
+                factor = f
+        return 1.0 / factor
+
+    def completion_time(self, start: float, nominal: float) -> float:
+        """When a quantum started at ``start`` with nominal duration
+        ``nominal`` finishes, ignoring any permanent crash.
+
+        Progress integrates a piecewise-constant speed: 0 inside
+        outages, ``1/factor`` inside slowdown windows, 1 otherwise.
+        The caller compares the returned instant against
+        :attr:`crash_at` to decide whether the worker lives to see it.
+        """
+        if nominal <= 0.0:
+            return start
+        breakpoints = sorted(
+            {b for s, e in self.outages for b in (s, e) if b > start}
+            | {b for s, e, _ in self.slowdowns for b in (s, e) if b > start})
+        t = float(start)
+        remaining = float(nominal)
+        for b in breakpoints:
+            speed = self._speed(t)
+            seg = b - t
+            if speed > 0.0 and remaining <= seg * speed + 1e-15 * nominal:
+                return t + remaining / speed
+            remaining -= seg * speed
+            t = b
+        # Past the last breakpoint the worker runs at full speed.
+        speed = self._speed(t)
+        assert speed > 0.0, "outages have finite duration"
+        return t + remaining / speed
+
+    def shifted(self, offset: float) -> "FaultTimeline":
+        """The same timeline as seen from a clock started ``offset`` later.
+
+        Used by the multi-round rescheduler: recovery round k simulates
+        from its own time zero, so absolute fault instants move back by
+        the time already elapsed.  Windows that ended in the past drop
+        out; windows straddling the origin are clipped to start at 0.
+        """
+        crash = None
+        if self.crash_at is not None:
+            crash = max(0.0, self.crash_at - offset)
+        outages = [(max(0.0, s - offset), e - offset)
+                   for s, e in self.outages if e > offset]
+        slowdowns = [(max(0.0, s - offset), e - offset, f)
+                     for s, e, f in self.slowdowns if e > offset]
+        return FaultTimeline(crash_at=crash, outages=outages,
+                             slowdowns=slowdowns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultTimeline(crash_at={self.crash_at!r}, "
+                f"outages={self.outages!r}, slowdowns={self.slowdowns!r})")
+
+
+#: Stable integer ids for the two message kinds, used in loss spawn keys.
+_KIND_IDS = {"work": 0, "result": 1}
+
+
+@dataclass(frozen=True)
+class ChannelLoss:
+    """Message loss on the shared channel.
+
+    Attributes
+    ----------
+    p_loss:
+        Probability that any given transmission attempt is lost.
+    seed:
+        Entropy for the loss draws.  Each draw is keyed by
+        ``(salt, kind, computer, attempt)`` via a ``SeedSequence`` spawn
+        key, so the decision for a given attempt is a pure function of
+        the scenario — independent of the order in which the simulator
+        happens to reserve the channel.
+    drops:
+        Deterministic losses: ``(kind, computer, attempt)`` triples that
+        are always lost (attempt 0 is the first transmission).  Useful
+        for tests and worst-case scenarios.
+    salt:
+        Extra entropy mixed into every draw; the multi-round rescheduler
+        re-salts per round so retransmission patterns differ between
+        rounds while staying deterministic.
+    """
+
+    p_loss: float = 0.0
+    seed: int = 0
+    drops: frozenset[tuple[str, int, int]] = frozenset()
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p_loss < 1.0):
+            raise FaultInjectionError(
+                f"p_loss must lie in [0, 1), got {self.p_loss!r}")
+        for kind, computer, attempt in self.drops:
+            if kind not in _KIND_IDS:
+                raise FaultInjectionError(f"unknown message kind {kind!r}")
+            if computer < 0 or attempt < 0:
+                raise FaultInjectionError(
+                    f"invalid drop entry {(kind, computer, attempt)!r}")
+
+    @property
+    def is_benign(self) -> bool:
+        return self.p_loss == 0.0 and not self.drops
+
+    def lost(self, kind: str, computer: int, attempt: int) -> bool:
+        """Whether transmission ``attempt`` of this message is lost."""
+        if (kind, computer, attempt) in self.drops:
+            return True
+        if self.p_loss <= 0.0:
+            return False
+        seq = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=(self.salt, _KIND_IDS[kind], computer, attempt))
+        return bool(np.random.default_rng(seq).random() < self.p_loss)
+
+    def with_salt(self, salt: int) -> "ChannelLoss":
+        """A copy drawing from a fresh, equally deterministic stream."""
+        return replace(self, salt=salt)
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """How the network retries lost messages.
+
+    A lost attempt still occupies the channel (the time is spent); the
+    sender then waits an exponentially growing backoff before the next
+    attempt, up to ``max_retransmits`` retries.  A message that exhausts
+    its budget is *permanently lost* — for a work package the quantum
+    never reaches its worker, for a result the finishing-order contract
+    decides what stalls.
+    """
+
+    max_retransmits: int = 3
+    backoff: float = 0.1
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retransmits < 0:
+            raise FaultInjectionError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}")
+        if self.backoff < 0.0 or not np.isfinite(self.backoff):
+            raise FaultInjectionError(
+                f"backoff must be nonnegative and finite, got {self.backoff!r}")
+        if self.backoff_factor < 1.0 or not np.isfinite(self.backoff_factor):
+            raise FaultInjectionError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
+
+    def delay(self, retransmit_index: int) -> float:
+        """Backoff before retransmit ``retransmit_index`` (1-based)."""
+        return self.backoff * self.backoff_factor ** (retransmit_index - 1)

@@ -1,0 +1,265 @@
+"""Server-side recovery: failure detection and multi-round rescheduling.
+
+The simulator's ``skip_failed_results`` heuristic already rescues the
+*tail* of a broken round; this module rescues the *lost work*.  After a
+fault-injected round, :func:`simulate_with_recovery` measures which
+quanta never made it back, charges the round's elapsed time (last
+delivery plus a detection timeout) against the total lifespan, and
+reallocates the lost work across the surviving computers with the
+existing FIFO allocator on the residual lifespan — round after round,
+until everything is recovered or the :class:`RecoveryPolicy` budget
+(rounds, residual time, survivors) runs out.
+
+The rescheduler is *adaptive* in the allocator's sense: each recovery
+round re-derives an optimal FIFO allocation for whichever computers are
+still alive, scaled down so it never schedules more than the work
+actually missing.  Faults persist across rounds — the materialised
+scenario is time-shifted into each round's local clock, and the channel
+loss process is re-salted per round — so recovery itself can fail and be
+retried, which is exactly the regime the straggler literature cares
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import (InfeasibleScheduleError, ProtocolError,
+                          RecoveryError)
+from repro.faults.spec import FaultScenario, MaterializedFaults, parse_faults
+from repro.obs.tracing import SimulationObserver, current_observation
+from repro.protocols.base import WorkAllocation
+from repro.protocols.fifo import fifo_allocation
+
+if TYPE_CHECKING:  # pragma: no cover - break the faults <-> simulation cycle
+    from repro.simulation.runner import SimulationResult
+
+__all__ = ["RecoveryPolicy", "RecoveryTelemetry", "RecoveryOutcome",
+           "simulate_with_recovery"]
+
+#: Work below this fraction of the original total counts as recovered.
+_WORK_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the server detects failures and budgets recovery.
+
+    Attributes
+    ----------
+    detection_timeout:
+        Simulated time the server waits after a round's last successful
+        delivery before declaring the missing results dead and starting
+        a recovery round.  Smaller timeouts leave more residual lifespan
+        for recovery; the cap is always the round's own deadline.
+    max_rounds:
+        Total round budget, the first round included.  ``1`` disables
+        recovery entirely.
+    min_residual:
+        Stop rescheduling once the residual lifespan drops below this.
+    """
+
+    detection_timeout: float = 1.0
+    max_rounds: int = 3
+    min_residual: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.detection_timeout < 0.0 or not np.isfinite(self.detection_timeout):
+            raise RecoveryError(
+                f"detection_timeout must be nonnegative and finite, "
+                f"got {self.detection_timeout!r}")
+        if self.max_rounds < 1:
+            raise RecoveryError(
+                f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.min_residual <= 0.0:
+            raise RecoveryError(
+                f"min_residual must be positive, got {self.min_residual!r}")
+
+
+@dataclass(frozen=True)
+class RecoveryTelemetry:
+    """What recovery cost and what it bought, across all rounds."""
+
+    rounds: int = 1
+    retries: int = 0            # recovery rounds launched (rounds - 1)
+    retransmits: int = 0        # channel-level retransmissions, all rounds
+    messages_lost: int = 0      # messages lost past their budget, all rounds
+    work_recovered: float = 0.0  # work completed in rounds >= 2
+    work_lost: float = 0.0       # work still missing when recovery stopped
+    faults_injected: int = 0
+    elapsed: float = 0.0         # simulated time consumed, detection included
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for experiment metadata and JSON export."""
+        return {"rounds": self.rounds, "retries": self.retries,
+                "retransmits": self.retransmits,
+                "messages_lost": self.messages_lost,
+                "work_recovered": self.work_recovered,
+                "work_lost": self.work_lost,
+                "faults_injected": self.faults_injected,
+                "elapsed": self.elapsed}
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Everything observed across a fault-injected run with recovery."""
+
+    rounds: tuple[SimulationResult, ...]
+    telemetry: RecoveryTelemetry
+    #: Original-profile computer indices that permanently crashed.
+    crashed_computers: tuple[int, ...]
+
+    @property
+    def completed_work(self) -> float:
+        """Work delivered across all rounds."""
+        return float(sum(r.completed_work for r in self.rounds))
+
+    @property
+    def first_round(self) -> SimulationResult:
+        return self.rounds[0]
+
+
+def _lost_work(result: SimulationResult) -> float:
+    """Work assigned in this round that never made it back."""
+    return float(result.allocation.total_work - result.completed_work)
+
+
+def simulate_with_recovery(allocation: WorkAllocation,
+                           faults: "FaultScenario | MaterializedFaults | str | None",
+                           *, policy: RecoveryPolicy | None = None,
+                           results_policy: str = "late",
+                           observer: SimulationObserver | None = None
+                           ) -> RecoveryOutcome:
+    """Execute ``allocation`` under ``faults`` with multi-round recovery.
+
+    Round 1 runs the given allocation with the skip-failed sequencer (a
+    server that reschedules has, a fortiori, given up on the strict
+    contract).  While work is missing and the :class:`RecoveryPolicy`
+    budget allows, surviving computers are re-profiled, the FIFO
+    allocator is run on the residual lifespan, the resulting quanta are
+    scaled down to the work actually lost, and the round is simulated
+    with the fault scenario shifted into the round's local clock.
+
+    Returns a :class:`RecoveryOutcome`; recovery telemetry is also
+    recorded into the ambient (or ``observer``'s) metrics registry as
+    ``sim_recovery_*`` series.
+    """
+    # Imported here, not at module scope: runner itself imports the fault
+    # spec, and an eager import would close the cycle.
+    from repro.simulation.runner import simulate_allocation
+
+    policy = policy or RecoveryPolicy()
+    if isinstance(faults, str):
+        faults = parse_faults(faults)
+    if isinstance(faults, FaultScenario):
+        faults = faults.materialize(allocation.n, allocation.lifespan)
+    if faults is None:
+        faults = MaterializedFaults()
+
+    total_work = allocation.total_work
+    params = allocation.params
+    rho = allocation.profile.rho
+
+    rounds: list[SimulationResult] = []
+    #: alive[i] = original index of the computer at position i of the
+    #: *current* round's profile.
+    alive = list(range(allocation.n))
+    crashed: list[int] = []
+    current_alloc = allocation
+    current_faults = faults
+    residual = allocation.lifespan
+    elapsed_total = 0.0
+    retransmits = 0
+    messages_lost = 0
+    work_recovered = 0.0
+
+    while True:
+        result = simulate_allocation(current_alloc, faults=current_faults,
+                                     results_policy=results_policy,
+                                     skip_failed_results=True,
+                                     observer=observer)
+        rounds.append(result)
+        retransmits += result.retransmits
+        messages_lost += result.messages_lost
+        if len(rounds) > 1:
+            work_recovered += result.completed_work
+        crashed.extend(alive[c] for c in result.failed_computers)
+
+        lost = _lost_work(result)
+        if lost <= _WORK_EPS * max(1.0, total_work):
+            elapsed_total += result.makespan
+            lost = 0.0
+            break
+        # Timeout-based detection: the server waits `detection_timeout`
+        # past the last successful delivery for stragglers, capped at the
+        # round's own deadline, before declaring the rest dead.
+        elapsed = min(current_alloc.lifespan,
+                      result.makespan + policy.detection_timeout)
+        elapsed_total += elapsed
+        residual = allocation.lifespan - elapsed_total
+
+        survivors = [c for c in alive if c not in set(
+            alive[i] for i in result.failed_computers)]
+        if (len(rounds) >= policy.max_rounds or not survivors
+                or residual <= policy.min_residual):
+            break
+        sub_profile = Profile([float(rho[c]) for c in survivors])
+        try:
+            plan = fifo_allocation(sub_profile, params, residual)
+        except (InfeasibleScheduleError, ProtocolError):
+            break  # residual too short for any schedule: give up
+        scale = min(1.0, lost / plan.total_work) if plan.total_work > 0 else 0.0
+        if scale <= 0.0:
+            break
+        current_alloc = WorkAllocation(
+            profile=sub_profile, params=params, lifespan=residual,
+            w=plan.w * scale, startup_order=plan.startup_order,
+            finishing_order=plan.finishing_order,
+            protocol_name="fifo-recovery")
+        current_faults = faults.shifted(
+            elapsed_total, survivors=survivors, salt=len(rounds))
+        alive = survivors
+
+    telemetry = RecoveryTelemetry(
+        rounds=len(rounds),
+        retries=len(rounds) - 1,
+        retransmits=retransmits,
+        messages_lost=messages_lost,
+        work_recovered=work_recovered,
+        work_lost=lost,
+        faults_injected=faults.faults_injected,
+        elapsed=elapsed_total,
+    )
+    _record_recovery_metrics(telemetry, observer)
+    return RecoveryOutcome(rounds=tuple(rounds), telemetry=telemetry,
+                           crashed_computers=tuple(sorted(set(crashed))))
+
+
+def _record_recovery_metrics(telemetry: RecoveryTelemetry,
+                             observer: SimulationObserver | None) -> None:
+    """Fold recovery telemetry into the observer or ambient registry."""
+    registry = observer.registry if observer is not None else None
+    if registry is None:
+        ctx = current_observation()
+        registry = ctx.registry if ctx is not None else None
+    if registry is None:
+        return
+    registry.counter("sim_recovery_rounds_total",
+                     "simulation rounds executed under recovery"
+                     ).inc(telemetry.rounds)
+    if telemetry.retries:
+        registry.counter("sim_recovery_retries_total",
+                         "recovery rounds launched to reclaim lost work"
+                         ).inc(telemetry.retries)
+    if telemetry.work_recovered:
+        registry.counter("sim_work_recovered_total",
+                         "work units recovered by rescheduling"
+                         ).inc(telemetry.work_recovered)
+    if telemetry.work_lost:
+        registry.counter("sim_work_lost_total",
+                         "work units still missing after recovery"
+                         ).inc(telemetry.work_lost)

@@ -1,0 +1,357 @@
+"""Declarative fault scenarios and the compact ``--faults`` grammar.
+
+A :class:`FaultScenario` bundles explicit per-computer fault specs, an
+optional channel-loss process, a retransmission policy, and an optional
+*seeded stochastic generator* (per-worker exponential crash/outage/slow
+arrival rates).  :meth:`FaultScenario.materialize` compiles it — for a
+concrete cluster size and lifespan — into per-worker
+:class:`~repro.faults.models.FaultTimeline` objects plus the channel
+model.  Materialisation is a pure function of ``(scenario, n,
+lifespan)``: the stochastic draws come from per-worker children of
+``np.random.SeedSequence(seed)``, so the same scenario replays
+bit-identically anywhere, including across batch-engine shards.
+
+Grammar
+-------
+``parse_faults`` accepts a comma- (or semicolon-) separated list of
+clauses.  Computer indices are 0-based and may be written ``2`` or
+``C2``.
+
+=========================  ==================================================
+clause                     meaning
+=========================  ==================================================
+``crash:<c>@<t>``          permanent crash of computer c at time t
+``outage:<c>@<t>+<d>``     computer c down over [t, t+d)
+``slow:<c>@<t>+<d>x<f>``   computer c runs f× slower over [t, t+d)
+``crash~<rate>``           each worker crashes at exponential rate `rate`
+``outage~<rate>+<d>``      each worker suffers one outage of length d,
+                           arriving at exponential rate `rate`
+``slow~<rate>+<d>x<f>``    each worker suffers one f× slowdown window of
+                           length d, arriving at exponential rate `rate`
+``loss:<p>``               every channel message attempt lost w.p. p
+``drop:<kind>:<c>:<k>``    attempt k of computer c's work/result message
+                           is deterministically lost
+``retransmits:<n>``        retransmission budget per message (default 3)
+``backoff:<t>``            base retransmission backoff in sim time units
+``seed:<n>``               entropy for the stochastic draws (default 0)
+=========================  ==================================================
+
+Example: ``outage:1@10+5,slow:0@2+20x3,loss:0.05,seed:7`` — a transient
++ straggler + channel-loss mix, fully deterministic under seed 7.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FaultInjectionError, FaultSpecError
+from repro.faults.models import (ChannelLoss, DegradedSpeed, FaultTimeline,
+                                 PermanentCrash, RetransmitPolicy,
+                                 TransientOutage)
+
+__all__ = ["FaultScenario", "MaterializedFaults", "parse_faults"]
+
+WorkerFault = PermanentCrash | TransientOutage | DegradedSpeed
+
+
+@dataclass(frozen=True)
+class MaterializedFaults:
+    """A scenario compiled against a concrete cluster.
+
+    Attributes
+    ----------
+    timelines:
+        Per-computer fault timelines (computers with no faults may be
+        absent).
+    channel:
+        The channel-loss process, or None for a reliable channel.
+    retransmit:
+        The network's retransmission policy.
+    faults_injected:
+        How many individual fault events the compilation produced —
+        recovery telemetry, not behaviour.
+    """
+
+    timelines: Mapping[int, FaultTimeline] = field(default_factory=dict)
+    channel: ChannelLoss | None = None
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    faults_injected: int = 0
+
+    def shifted(self, offset: float, *, survivors: list[int] | None = None,
+                salt: int = 0) -> "MaterializedFaults":
+        """Re-express the faults for a recovery round.
+
+        ``offset`` is the simulated time already elapsed; ``survivors``
+        optionally remaps original computer indices to the recovery
+        round's compact sub-profile indices (position in the list).  The
+        channel process is re-salted so the round's loss draws are fresh
+        but still deterministic.
+        """
+        if survivors is None:
+            timelines = {c: tl.shifted(offset)
+                         for c, tl in self.timelines.items()}
+        else:
+            timelines = {i: self.timelines[c].shifted(offset)
+                         for i, c in enumerate(survivors)
+                         if c in self.timelines}
+        timelines = {c: tl for c, tl in timelines.items() if not tl.is_benign}
+        channel = self.channel.with_salt(salt) if self.channel is not None else None
+        return MaterializedFaults(timelines=timelines, channel=channel,
+                                  retransmit=self.retransmit,
+                                  faults_injected=self.faults_injected)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A declarative, optionally stochastic, fault scenario.
+
+    Explicit ``faults`` apply as written.  The stochastic generator adds,
+    per worker, at most one crash / outage / slowdown whose arrival time
+    is exponential with the given rate (arrivals past the lifespan are
+    discarded) — drawn from per-worker ``SeedSequence(seed)`` children,
+    so materialisation is deterministic and independent of job count.
+    """
+
+    faults: tuple[WorkerFault, ...] = ()
+    channel: ChannelLoss | None = None
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    crash_rate: float = 0.0
+    outage_rate: float = 0.0
+    outage_duration: float = 0.0
+    slow_rate: float = 0.0
+    slow_duration: float = 0.0
+    slow_factor: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "outage_rate", "slow_rate"):
+            value = getattr(self, name)
+            if value < 0.0 or not np.isfinite(value):
+                raise FaultInjectionError(
+                    f"{name} must be nonnegative and finite, got {value!r}")
+        if self.outage_rate > 0.0 and self.outage_duration <= 0.0:
+            raise FaultInjectionError(
+                "outage_rate needs a positive outage_duration")
+        if self.slow_rate > 0.0 and (self.slow_duration <= 0.0
+                                     or self.slow_factor <= 1.0):
+            raise FaultInjectionError(
+                "slow_rate needs a positive slow_duration and factor > 1")
+
+    @property
+    def is_stochastic(self) -> bool:
+        return (self.crash_rate > 0.0 or self.outage_rate > 0.0
+                or self.slow_rate > 0.0)
+
+    def materialize(self, n: int, lifespan: float) -> MaterializedFaults:
+        """Compile the scenario for an ``n``-computer cluster."""
+        for fault in self.faults:
+            if not (0 <= fault.computer < n):
+                raise FaultInjectionError(
+                    f"fault {fault!r} addresses unknown computer "
+                    f"{fault.computer} (cluster has {n})")
+        per_worker: dict[int, list[WorkerFault]] = {}
+        count = 0
+        for fault in self.faults:
+            per_worker.setdefault(fault.computer, []).append(fault)
+            count += 1
+        if self.is_stochastic:
+            for c, seq in enumerate(np.random.SeedSequence(self.seed).spawn(n)):
+                rng = np.random.default_rng(seq)
+                # Fixed draw order per worker keeps the scenario stable
+                # when one rate is toggled: crash, then outage, then slow.
+                if self.crash_rate > 0.0:
+                    t = float(rng.exponential(1.0 / self.crash_rate))
+                    if t < lifespan:
+                        per_worker.setdefault(c, []).append(
+                            PermanentCrash(c, t))
+                        count += 1
+                if self.outage_rate > 0.0:
+                    t = float(rng.exponential(1.0 / self.outage_rate))
+                    if t < lifespan:
+                        per_worker.setdefault(c, []).append(
+                            TransientOutage(c, t, self.outage_duration))
+                        count += 1
+                if self.slow_rate > 0.0:
+                    t = float(rng.exponential(1.0 / self.slow_rate))
+                    if t < lifespan:
+                        per_worker.setdefault(c, []).append(
+                            DegradedSpeed(c, t, self.slow_duration,
+                                          self.slow_factor))
+                        count += 1
+        timelines = {c: FaultTimeline.compile(faults)
+                     for c, faults in per_worker.items()}
+        timelines = {c: tl for c, tl in timelines.items() if not tl.is_benign}
+        channel = self.channel
+        if channel is not None and channel.is_benign:
+            channel = None
+        if channel is not None:
+            channel = replace(channel, seed=channel.seed or self.seed)
+            count += 1
+        return MaterializedFaults(timelines=timelines, channel=channel,
+                                  retransmit=self.retransmit,
+                                  faults_injected=count)
+
+
+# ----------------------------------------------------------------------
+# The --faults grammar.
+
+_COMPUTER = re.compile(r"^[cC]?(\d+)$")
+
+
+def _computer(token: str, clause: str) -> int:
+    m = _COMPUTER.match(token)
+    if m is None:
+        raise FaultSpecError(
+            f"bad computer index {token!r} in clause {clause!r}")
+    return int(m.group(1))
+
+
+def _number(token: str, clause: str, what: str = "number") -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad {what} {token!r} in clause {clause!r}") from None
+
+
+def _integer(token: str, clause: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad integer {token!r} in clause {clause!r}") from None
+
+
+def _split_window(body: str, clause: str) -> tuple[str, str]:
+    if "+" not in body:
+        raise FaultSpecError(
+            f"clause {clause!r} needs a '+<duration>' window")
+    at, _, duration = body.partition("+")
+    return at, duration
+
+
+def parse_faults(text: str) -> FaultScenario:
+    """Parse the compact ``--faults`` grammar (see the module docstring).
+
+    Raises
+    ------
+    FaultSpecError
+        On any malformed clause — the CLI maps this (with the rest of
+        the fault/recovery family) to exit code 3.
+    """
+    faults: list[WorkerFault] = []
+    drops: set[tuple[str, int, int]] = set()
+    p_loss = 0.0
+    seed = 0
+    retransmits: int | None = None
+    backoff: float | None = None
+    rates: dict[str, float] = {}
+
+    clauses = [c.strip() for c in re.split(r"[,;]", text) if c.strip()]
+    if not clauses:
+        raise FaultSpecError(f"empty fault specification {text!r}")
+    for clause in clauses:
+        stochastic = False
+        if ":" in clause:
+            head, _, body = clause.partition(":")
+        elif "~" in clause:
+            head, _, body = clause.partition("~")
+            stochastic = True
+        else:
+            raise FaultSpecError(f"unparseable fault clause {clause!r}")
+        head = head.strip().lower()
+        if not stochastic and "~" in head:
+            raise FaultSpecError(f"unparseable fault clause {clause!r}")
+
+        if head == "seed":
+            seed = _integer(body, clause)
+        elif head == "loss":
+            p_loss = _number(body, clause, "loss probability")
+        elif head == "retransmits":
+            retransmits = _integer(body, clause)
+        elif head == "backoff":
+            backoff = _number(body, clause, "backoff")
+        elif head == "drop":
+            parts = body.split(":")
+            if len(parts) != 3:
+                raise FaultSpecError(
+                    f"drop clause must be drop:<kind>:<c>:<attempt>, "
+                    f"got {clause!r}")
+            kind = parts[0].strip().lower()
+            drops.add((kind, _computer(parts[1], clause),
+                       _integer(parts[2], clause)))
+        elif head == "crash":
+            if stochastic:
+                rates["crash_rate"] = _number(body, clause, "rate")
+            else:
+                if "@" not in body:
+                    raise FaultSpecError(
+                        f"crash clause must be crash:<c>@<t>, got {clause!r}")
+                c, _, t = body.partition("@")
+                faults.append(PermanentCrash(_computer(c, clause),
+                                             _number(t, clause, "time")))
+        elif head == "outage":
+            if stochastic:
+                rate, duration = _split_window(body, clause)
+                rates["outage_rate"] = _number(rate, clause, "rate")
+                rates["outage_duration"] = _number(duration, clause, "duration")
+            else:
+                if "@" not in body:
+                    raise FaultSpecError(
+                        f"outage clause must be outage:<c>@<t>+<d>, "
+                        f"got {clause!r}")
+                c, _, window = body.partition("@")
+                at, duration = _split_window(window, clause)
+                faults.append(TransientOutage(
+                    _computer(c, clause), _number(at, clause, "time"),
+                    _number(duration, clause, "duration")))
+        elif head == "slow":
+            if stochastic:
+                rate, window = _split_window(body, clause)
+                if "x" not in window:
+                    raise FaultSpecError(
+                        f"slow clause needs 'x<factor>', got {clause!r}")
+                duration, _, factor = window.partition("x")
+                rates["slow_rate"] = _number(rate, clause, "rate")
+                rates["slow_duration"] = _number(duration, clause, "duration")
+                rates["slow_factor"] = _number(factor, clause, "factor")
+            else:
+                if "@" not in body:
+                    raise FaultSpecError(
+                        f"slow clause must be slow:<c>@<t>+<d>x<f>, "
+                        f"got {clause!r}")
+                c, _, window = body.partition("@")
+                at, rest = _split_window(window, clause)
+                if "x" not in rest:
+                    raise FaultSpecError(
+                        f"slow clause needs 'x<factor>', got {clause!r}")
+                duration, _, factor = rest.partition("x")
+                faults.append(DegradedSpeed(
+                    _computer(c, clause), _number(at, clause, "time"),
+                    _number(duration, clause, "duration"),
+                    _number(factor, clause, "factor")))
+        else:
+            raise FaultSpecError(f"unknown fault clause {clause!r}")
+
+    channel = None
+    if p_loss > 0.0 or drops:
+        try:
+            channel = ChannelLoss(p_loss=p_loss, seed=seed,
+                                  drops=frozenset(drops))
+        except FaultInjectionError as exc:
+            raise FaultSpecError(str(exc)) from exc
+    retransmit_kwargs = {}
+    if retransmits is not None:
+        retransmit_kwargs["max_retransmits"] = retransmits
+    if backoff is not None:
+        retransmit_kwargs["backoff"] = backoff
+    try:
+        return FaultScenario(faults=tuple(faults), channel=channel,
+                             retransmit=RetransmitPolicy(**retransmit_kwargs),
+                             seed=seed, **rates)
+    except FaultInjectionError as exc:
+        raise FaultSpecError(str(exc)) from exc

@@ -19,6 +19,16 @@ returned in finishing order under one of two policies:
 The entities deliberately *recompute nothing* from the closed forms: all
 timing emerges from event ordering, so agreement between simulated and
 analytic work production is a genuine check of Theorem 2.
+
+Faults
+------
+Each worker optionally carries a
+:class:`~repro.faults.models.FaultTimeline`: permanent crashes kill it
+mid-action exactly like the original single ``failure_time``; transient
+outages pause its progress; degraded-speed windows dilate its busy
+period.  Channel faults live in the network — the entities only have to
+cope with a transit that comes back ``delivered=False`` (a work quantum
+that never reaches its worker, or a result the server never sees).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.faults.models import FaultTimeline
 from repro.protocols.base import WorkAllocation
 from repro.simulation.engine import Simulator
 from repro.simulation.network import SingleChannelNetwork
@@ -75,6 +86,8 @@ class ResultSequencer:
         self._next = 0
         self._grants: dict[int, tuple[float, float]] = {}
         self._callbacks: dict[int, callable] = {}
+        #: Results whose transmission exhausted its retransmit budget.
+        self.results_lost = 0
 
     def skip(self, computer: int) -> None:
         """Remove a zero-work computer from the sequence."""
@@ -88,7 +101,7 @@ class ResultSequencer:
         self._advance()
 
     def mark_failed(self, computer: int) -> None:
-        """A worker died before delivering results.
+        """A worker will never deliver (it died, or its work never arrived).
 
         Under the ``skip_failed`` recovery heuristic the sequencer steps
         past the dead worker so later results can flow; under the strict
@@ -115,6 +128,15 @@ class ResultSequencer:
             if self._slot_starts is not None:
                 earliest = max(earliest, self._slot_starts[c])
             transit = self._network.reserve("result", c, earliest, duration)
+            if not transit.delivered:
+                # The channel ate the result: the server never saw Φ(k).
+                self._failed.add(c)
+                del self._ready[c]
+                self.results_lost += 1
+                if not self._skip_failed:
+                    return  # strict protocol: the contract is broken
+                self._next += 1
+                continue
             self._grants[c] = (transit.start, transit.end)
             self._next += 1
             self._sim.schedule_at(transit.end,
@@ -125,39 +147,61 @@ class ResultSequencer:
 class Worker:
     """One cluster computer: unpackage, compute, package, transmit.
 
-    An optional *failure time* models a permanent crash: from that
-    instant the worker performs no further actions, so work still on its
-    bench (or results not yet handed to the channel) is lost.
+    The optional *fault timeline* models everything that can go wrong on
+    the worker itself: a permanent crash freezes it mid-action (work on
+    its bench is lost), a transient outage pauses its progress, and a
+    degraded-speed window dilates its busy period.  The plain
+    ``failure_time`` argument survives as sugar for a crash-only
+    timeline.
     """
 
     def __init__(self, sim: Simulator, record: WorkerRecord, busy_time: float,
                  result_duration: float, sequencer: ResultSequencer | None,
-                 failure_time: float | None = None) -> None:
+                 failure_time: float | None = None,
+                 fault: FaultTimeline | None = None) -> None:
+        if failure_time is not None:
+            crash = failure_time if fault is None else (
+                failure_time if fault.crash_at is None
+                else min(failure_time, fault.crash_at))
+            fault = FaultTimeline(crash_at=crash,
+                                  outages=fault.outages if fault else (),
+                                  slowdowns=fault.slowdowns if fault else ())
         self._sim = sim
         self.record = record
         self._busy_time = busy_time
         self._result_duration = result_duration
         self._sequencer = sequencer
-        self._failure_time = failure_time
+        self._fault = fault if fault is not None and not fault.is_benign else None
         self.failed = False
-
-    def _fails_by(self, time: float) -> bool:
-        return self._failure_time is not None and time >= self._failure_time
 
     def receive(self, arrival_time: float) -> None:
         """Package arrived: start the busy period (unless already dead)."""
-        if self._fails_by(arrival_time):
-            self._die()
-            return
+        fault = self._fault
+        if fault is None:
+            busy_end = arrival_time + self._busy_time
+        else:
+            if fault.crashes_by(arrival_time):
+                self._die()
+                return
+            busy_end = fault.completion_time(arrival_time, self._busy_time)
+            if fault.crashes_by(busy_end):
+                # Dies mid-computation: the quantum is lost.
+                self.record.arrived = arrival_time
+                self._sim.schedule_at(fault.crash_at, self._die,
+                                      label=f"failure C{self.record.computer}")
+                return
         self.record.arrived = arrival_time
-        busy_end = arrival_time + self._busy_time
-        if self._fails_by(busy_end):
-            # Dies mid-computation: the quantum is lost.
-            self._sim.schedule_at(self._failure_time, self._die,
-                                  label=f"failure C{self.record.computer}")
-            return
         self._sim.schedule_at(busy_end, self._finish_busy,
                               label=f"busy-end C{self.record.computer}")
+
+    def starve(self) -> None:
+        """The work package never arrived (lost in the channel).
+
+        The worker is alive but has nothing to compute; the sequencer
+        must not wait for it.
+        """
+        if self._sequencer is not None:
+            self._sequencer.mark_failed(self.record.computer)
 
     def _die(self) -> None:
         self.failed = True
@@ -212,9 +256,16 @@ class Server:
         worker.record.send_prep_start = self._sim.now
         prep_end = self._sim.now + pi * wc
         transit = self._network.reserve("work", c, prep_end, tau * wc)
-        self._sim.schedule_at(transit.end,
-                              lambda w=worker, t=transit.end: w.receive(t),
-                              label=f"arrive C{c}")
+        if transit.delivered:
+            self._sim.schedule_at(transit.end,
+                                  lambda w=worker, t=transit.end: w.receive(t),
+                                  label=f"arrive C{c}")
+        else:
+            # The channel lost the package past its retransmit budget:
+            # the quantum never reaches its worker.
+            self._sim.schedule_at(transit.end,
+                                  lambda w=worker: w.starve(),
+                                  label=f"work-lost C{c}")
         # Seriatim: next package's preparation begins the moment this
         # package has fully left the server+channel pipeline.
         self._sim.schedule_at(transit.end, self._send_next,

@@ -7,6 +7,17 @@ is granted at the latest of the requested time and the channel's
 free-time, and every granted transit is recorded for post-hoc
 verification (the trace's network intervals must be pairwise disjoint —
 a simulator self-check, not an assumption).
+
+Channel faults
+--------------
+With a :class:`~repro.faults.models.ChannelLoss` attached, individual
+transmission attempts can be *lost*: the attempt still occupies the
+channel (the time is spent), but delivery fails and the message is
+retransmitted after an exponential backoff, up to the
+:class:`~repro.faults.models.RetransmitPolicy` budget.  A message that
+exhausts its budget comes back with ``delivered=False`` and the entities
+decide what that costs (a work quantum that never arrives; a result that
+stalls or is skipped by the finishing-order contract).
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.faults.models import ChannelLoss, RetransmitPolicy
     from repro.obs.tracing import SimulationObserver
 
 __all__ = ["Transit", "SingleChannelNetwork"]
@@ -24,12 +36,16 @@ __all__ = ["Transit", "SingleChannelNetwork"]
 
 @dataclass(frozen=True, slots=True)
 class Transit:
-    """One granted channel reservation."""
+    """One granted channel reservation (one transmission attempt)."""
 
     kind: str          # "work" or "result"
     computer: int      # destination (work) or source (result) computer
     start: float
     end: float
+    #: Which transmission attempt this is (0 = first try).
+    attempt: int = 0
+    #: Whether the message actually arrived (False = lost attempt).
+    delivered: bool = True
 
     @property
     def duration(self) -> float:
@@ -42,12 +58,25 @@ class SingleChannelNetwork:
     An optional *observer* is notified of every granted reservation, so
     channel occupancy can be traced live; with ``observer=None`` the
     grant path's only extra work is one ``is not None`` branch.
+
+    ``faults``/``retransmit`` inject message loss: see the module
+    docstring.  With ``faults=None`` (the default) the reserve path is
+    byte-for-byte the original single-attempt grant.
     """
 
-    def __init__(self, observer: "SimulationObserver | None" = None) -> None:
+    def __init__(self, observer: "SimulationObserver | None" = None,
+                 faults: "ChannelLoss | None" = None,
+                 retransmit: "RetransmitPolicy | None" = None) -> None:
         self._free_at = 0.0
         self._transits: list[Transit] = []
         self._observer = observer
+        self._faults = faults
+        if faults is not None and retransmit is None:
+            from repro.faults.models import RetransmitPolicy
+            retransmit = RetransmitPolicy()
+        self._retransmit = retransmit
+        self._retransmits = 0
+        self._messages_lost = 0
 
     @property
     def free_at(self) -> float:
@@ -56,28 +85,60 @@ class SingleChannelNetwork:
 
     @property
     def transits(self) -> tuple[Transit, ...]:
-        """All granted transits, in grant order."""
+        """All granted transits, in grant order (lost attempts included)."""
         return tuple(self._transits)
 
-    def reserve(self, kind: str, computer: int, earliest: float,
-                duration: float) -> Transit:
-        """Reserve the channel for ``duration`` at or after ``earliest``.
+    @property
+    def retransmits(self) -> int:
+        """How many attempts were repeats of a lost transmission."""
+        return self._retransmits
 
-        Returns the granted :class:`Transit` (whose ``start`` may be later
-        than ``earliest`` if the channel was busy).
-        """
-        if duration < 0:
-            raise SimulationError(f"transit duration must be nonnegative, got {duration!r}")
-        if earliest < 0 or earliest != earliest:
-            raise SimulationError(f"invalid reservation time {earliest!r}")
+    @property
+    def messages_lost(self) -> int:
+        """Messages that exhausted their retransmission budget."""
+        return self._messages_lost
+
+    def _grant(self, kind: str, computer: int, earliest: float,
+               duration: float, attempt: int, delivered: bool) -> Transit:
         start = max(earliest, self._free_at)
         transit = Transit(kind=kind, computer=computer, start=start,
-                          end=start + duration)
+                          end=start + duration, attempt=attempt,
+                          delivered=delivered)
         self._free_at = transit.end
         self._transits.append(transit)
         if self._observer is not None:
             self._observer.on_transit(transit)
         return transit
+
+    def reserve(self, kind: str, computer: int, earliest: float,
+                duration: float) -> Transit:
+        """Reserve the channel for ``duration`` at or after ``earliest``.
+
+        Returns the final :class:`Transit` of the message: the first
+        successful attempt or, if the retransmission budget runs out,
+        the last lost attempt with ``delivered=False``.  Every attempt
+        (lost or not) occupies the channel and is recorded.
+        """
+        if duration < 0:
+            raise SimulationError(f"transit duration must be nonnegative, got {duration!r}")
+        if earliest < 0 or earliest != earliest:
+            raise SimulationError(f"invalid reservation time {earliest!r}")
+        faults = self._faults
+        if faults is None:
+            return self._grant(kind, computer, earliest, duration, 0, True)
+        attempt = 0
+        while True:
+            lost = faults.lost(kind, computer, attempt)
+            transit = self._grant(kind, computer, earliest, duration,
+                                  attempt, not lost)
+            if not lost:
+                return transit
+            attempt += 1
+            if attempt > self._retransmit.max_retransmits:
+                self._messages_lost += 1
+                return transit
+            self._retransmits += 1
+            earliest = transit.end + self._retransmit.delay(attempt)
 
     def assert_serial(self) -> None:
         """Self-check: verify no two recorded transits overlap.
@@ -97,5 +158,5 @@ class SingleChannelNetwork:
                     f"{cur.kind}(C{cur.computer}) [{cur.start:.6g},{cur.end:.6g})")
 
     def busy_time(self) -> float:
-        """Total time the channel spends occupied."""
+        """Total time the channel spends occupied (lost attempts included)."""
         return sum(t.duration for t in self._transits)

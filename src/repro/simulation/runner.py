@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import SimulationError
+from repro.faults.spec import FaultScenario, MaterializedFaults, parse_faults
 from repro.obs.tracing import SimulationObserver, current_observation
 from repro.protocols.base import Protocol, WorkAllocation
 from repro.protocols.timeline import Interval, Timeline
@@ -49,8 +50,14 @@ class SimulationResult:
     #: construction — the loop drains it).  One source of truth with the
     #: metrics layer's ``sim_queue_depth_peak`` gauge.
     peak_queue_depth: int = 0
-    #: Channel reservations granted during the run.
+    #: Channel reservations granted during the run (lost attempts included).
     transits_granted: int = 0
+    #: Channel attempts that repeated a lost transmission.
+    retransmits: int = 0
+    #: Messages (work or result) that exhausted their retransmit budget.
+    messages_lost: int = 0
+    #: Individual fault events the scenario injected into this run.
+    faults_injected: int = 0
 
     @property
     def lifespan(self) -> float:
@@ -94,6 +101,7 @@ class SimulationResult:
 def simulate_allocation(allocation: WorkAllocation, *,
                         results_policy: str = "late",
                         failures: dict[int, float] | None = None,
+                        faults: "FaultScenario | MaterializedFaults | str | None" = None,
                         skip_failed_results: bool = False,
                         observer: SimulationObserver | None = None) -> SimulationResult:
     """Execute a work allocation at event granularity.
@@ -109,7 +117,15 @@ def simulate_allocation(allocation: WorkAllocation, *,
     failures:
         Failure injection: maps computer index → crash time.  A crashed
         worker performs no further actions; work on its bench is lost.
-        Results already handed to the channel still arrive.
+        Results already handed to the channel still arrive.  Sugar for a
+        crash-only fault scenario; combines with ``faults``.
+    faults:
+        General fault injection: a
+        :class:`~repro.faults.spec.FaultScenario` (or an already
+        materialised one, or a ``--faults`` grammar string).  Scenarios
+        are materialised against this allocation's cluster size and
+        lifespan; the materialisation is seeded and deterministic, so
+        fault-injected runs replay bit-identically.
     skip_failed_results:
         Recovery heuristic for the result sequencer: step past dead
         workers so the tail of the finishing order can still deliver.
@@ -135,6 +151,15 @@ def simulate_allocation(allocation: WorkAllocation, *,
             raise SimulationError(f"failure injected for unknown computer {c}")
         if t < 0 or t != t:
             raise SimulationError(f"invalid failure time {t!r} for computer {c}")
+    if isinstance(faults, str):
+        faults = parse_faults(faults)
+    if isinstance(faults, FaultScenario):
+        faults = faults.materialize(allocation.n, allocation.lifespan)
+    if faults is not None:
+        for c in faults.timelines:
+            if not (0 <= c < allocation.n):
+                raise SimulationError(
+                    f"fault timeline for unknown computer {c}")
     params = allocation.params
     profile = allocation.profile
     if observer is None:
@@ -142,7 +167,10 @@ def simulate_allocation(allocation: WorkAllocation, *,
         if ctx is not None:
             observer = SimulationObserver(ctx.tracer, ctx.registry)
     sim = Simulator(observer=observer)
-    network = SingleChannelNetwork(observer=observer)
+    network = SingleChannelNetwork(
+        observer=observer,
+        faults=faults.channel if faults is not None else None,
+        retransmit=faults.retransmit if faults is not None else None)
 
     slot_starts: dict[int, float] | None = None
     if results_policy == "late" and params.delta > 0.0:
@@ -162,6 +190,7 @@ def simulate_allocation(allocation: WorkAllocation, *,
 
     records: dict[int, WorkerRecord] = {}
     workers: dict[int, Worker] = {}
+    timelines = faults.timelines if faults is not None else {}
     for c in range(profile.n):
         wc = float(allocation.w[c])
         record = WorkerRecord(computer=c, work=wc)
@@ -171,7 +200,8 @@ def simulate_allocation(allocation: WorkAllocation, *,
             busy_time=params.B * float(profile.rho[c]) * wc,
             result_duration=params.tau_delta * wc,
             sequencer=sequencer,
-            failure_time=failures.get(c))
+            failure_time=failures.get(c),
+            fault=timelines.get(c))
 
     if observer is not None and observer.tracer is not None:
         with observer.tracer.span("sim.run", n=profile.n,
@@ -187,7 +217,9 @@ def simulate_allocation(allocation: WorkAllocation, *,
     network.assert_serial()
 
     if observer is not None and observer.registry is not None:
-        _record_run_metrics(observer.registry, network, records)
+        _record_run_metrics(observer.registry, network, records,
+                            faults.faults_injected if faults is not None
+                            else len(failures))
 
     tol = 1e-9 * max(1.0, allocation.lifespan)
     completed = tuple(
@@ -207,16 +239,25 @@ def simulate_allocation(allocation: WorkAllocation, *,
         events_processed=sim.events_processed,
         network_busy_time=network.busy_time(),
         makespan=makespan,
-        failed_computers=tuple(c for c in sorted(failures)
+        failed_computers=tuple(c for c in range(profile.n)
                                if workers[c].failed),
         peak_queue_depth=sim.peak_queue_depth,
         transits_granted=len(network.transits),
+        retransmits=network.retransmits,
+        messages_lost=network.messages_lost,
+        faults_injected=(faults.faults_injected if faults is not None
+                         else len(failures)),
     )
 
 
 def _record_run_metrics(registry, network: SingleChannelNetwork,
-                        records: dict[int, WorkerRecord]) -> None:
+                        records: dict[int, WorkerRecord],
+                        faults_injected: int = 0) -> None:
     """Fold one finished run's channel and milestone facts into metrics."""
+    if faults_injected:
+        registry.counter(
+            "sim_faults_injected_total", "fault events injected into runs"
+        ).inc(faults_injected)
     registry.counter(
         "sim_channel_busy_time",
         "simulated time units the shared channel spent occupied"
@@ -224,6 +265,16 @@ def _record_run_metrics(registry, network: SingleChannelNetwork,
     registry.counter(
         "sim_transits_total", "channel reservations granted"
     ).inc(len(network.transits))
+    if network.retransmits:
+        registry.counter(
+            "sim_retransmits_total",
+            "channel attempts repeating a lost transmission"
+        ).inc(network.retransmits)
+    if network.messages_lost:
+        registry.counter(
+            "sim_messages_lost_total",
+            "messages that exhausted their retransmit budget"
+        ).inc(network.messages_lost)
     milestones = registry.counter(
         "sim_worker_milestones_total",
         "per-worker milestones reached, by milestone kind")

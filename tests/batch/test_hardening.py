@@ -1,0 +1,162 @@
+"""Fault tolerance of the batch engine: crashes, hangs, retries, fallback.
+
+The injected faults fire only inside pool worker processes (guarded on
+the process name), so the sequential in-process fallback — and the
+``--jobs 1`` path — always see a healthy function.  That is exactly the
+failure mode the hardening targets: the *pool* is unreliable, the work
+itself is fine.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.batch import run_batch
+from repro.errors import InvalidParameterError
+from repro.experiments import base
+from repro.experiments.base import ExperimentResult
+from repro.obs import MetricsRegistry, Observation, observe
+
+
+def _in_pool_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _ok(experiment_id: str) -> ExperimentResult:
+    return ExperimentResult(experiment_id=experiment_id, title="stub",
+                            headers=("x",), rows=((1,),))
+
+
+def crashy():
+    """Hard-kills any pool worker that runs it; fine in the main process."""
+    if _in_pool_worker():
+        os._exit(3)
+    return _ok("crashy")
+
+
+def hangs():
+    """Never returns inside a pool worker; instant in the main process."""
+    if _in_pool_worker():
+        time.sleep(60.0)
+    return _ok("hangs")
+
+
+def napper():
+    time.sleep(0.2 if _in_pool_worker() else 0.0)
+    return _ok("napper")
+
+
+def _metric_names(registry: MetricsRegistry) -> set[str]:
+    return {m["name"] for m in registry.dump()["metrics"]}
+
+
+class TestValidation:
+    def test_rejects_negative_retries(self):
+        with pytest.raises(InvalidParameterError):
+            run_batch(["table3"], retries=-1)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(InvalidParameterError):
+            run_batch(["table3"], task_timeout=0.0)
+
+    def test_rejects_negative_respawns(self):
+        with pytest.raises(InvalidParameterError):
+            run_batch(["table3"], max_pool_respawns=-1)
+
+
+class TestCrashRecovery:
+    def test_persistent_crash_falls_back_to_sequential(self, monkeypatch):
+        monkeypatch.setitem(base._REGISTRY, "crashy", crashy)
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            with pytest.warns(RuntimeWarning, match="sequential"):
+                report = run_batch(["crashy"], jobs=2, retries=3,
+                                   retry_backoff=0.0, max_pool_respawns=1)
+        assert not report.failures
+        assert report.results[0].rows == ((1,),)
+        names = _metric_names(registry)
+        assert "batch_pool_respawns_total" in names
+        assert "batch_sequential_fallback_total" in names
+        assert "batch_task_retries_total" in names
+
+    def test_crash_with_no_retries_is_a_clean_failure(self, monkeypatch):
+        monkeypatch.setitem(base._REGISTRY, "crashy", crashy)
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            report = run_batch(["crashy"], jobs=2, retries=0,
+                               retry_backoff=0.0, max_pool_respawns=2)
+        failure, = report.failures
+        assert failure.experiment_id == "crashy"
+        assert "BrokenProcessPool" in failure.error
+        assert "batch_pool_respawns_total" in _metric_names(registry)
+
+    def test_innocent_experiments_survive_a_crashing_neighbour(
+            self, monkeypatch):
+        monkeypatch.setitem(base._REGISTRY, "crashy", crashy)
+        with pytest.warns(RuntimeWarning):
+            report = run_batch(["table3", "crashy", "table4"], jobs=2,
+                               retries=2, retry_backoff=0.0,
+                               max_pool_respawns=1)
+        assert not report.failures
+        assert {r.experiment_id for r in report.results} == {
+            "table3", "crashy", "table4"}
+
+
+class TestTransientRetry:
+    def test_transient_failure_succeeds_on_retry(self, monkeypatch, tmp_path):
+        marker = tmp_path / "first-attempt"
+
+        def flaky():
+            if not marker.exists():
+                marker.write_text("seen")
+                raise RuntimeError("transient glitch")
+            return _ok("flaky")
+
+        monkeypatch.setitem(base._REGISTRY, "flaky", flaky)
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            report = run_batch(["flaky"], jobs=2, retries=1,
+                               retry_backoff=0.0)
+        assert not report.failures
+        assert "batch_task_retries_total" in _metric_names(registry)
+
+    def test_exhausted_retries_report_the_last_error(self, monkeypatch):
+        def doomed():
+            raise RuntimeError("always broken")
+
+        monkeypatch.setitem(base._REGISTRY, "doomed", doomed)
+        report = run_batch(["doomed"], jobs=2, retries=1, retry_backoff=0.0)
+        failure, = report.failures
+        assert "always broken" in failure.error
+
+
+class TestHangDetection:
+    def test_hung_task_times_out_and_fails(self, monkeypatch):
+        monkeypatch.setitem(base._REGISTRY, "hangs", hangs)
+        registry = MetricsRegistry()
+        start = time.monotonic()
+        with observe(Observation(registry=registry)):
+            report = run_batch(["hangs"], jobs=2, retries=0,
+                               task_timeout=0.5, max_pool_respawns=2)
+        elapsed = time.monotonic() - start
+        failure, = report.failures
+        assert "TimeoutError" in failure.error
+        assert elapsed < 30.0  # the 60 s sleep was reaped, not awaited
+        assert "batch_task_timeouts_total" in _metric_names(registry)
+
+    def test_innocents_requeue_without_burning_retries(self, monkeypatch):
+        # retries=0: any attempt penalty turns into a failure, so the
+        # nappers finishing proves they were requeued penalty-free when
+        # the hung pool was torn down around them.
+        monkeypatch.setitem(base._REGISTRY, "hangs", hangs)
+        for i in range(3):
+            monkeypatch.setitem(base._REGISTRY, f"nap{i}", napper)
+        report = run_batch(["hangs", "nap0", "nap1", "nap2"], jobs=2,
+                           retries=0, task_timeout=0.6, retry_backoff=0.0,
+                           max_pool_respawns=3)
+        assert [i.experiment_id for i in report.failures] == ["hangs"]
+        succeeded = {i.experiment_id for i in report.items
+                     if i.result is not None}
+        assert succeeded == {"nap0", "nap1", "nap2"}

@@ -1,0 +1,79 @@
+"""End-to-end determinism of fault-mode experiments under parallelism.
+
+ISSUE acceptance: a seeded stochastic fault scenario must replay
+bit-identically whether the batch runs with ``--jobs 1`` or
+``--jobs 2``, and the sharded failure-rate sweep must merge to the
+same rows regardless of how its shards land on workers.
+"""
+
+from repro.batch import run_batch
+
+_FAULT_SPEC = "crash~0.02,outage~0.01+4,slow~0.01+10x2,loss:0.05,seed:7"
+_SWEEP_KWARGS = {"n_samples": 60, "seed": 11,
+                 "rates": (0.0, 0.01, 0.05)}
+
+
+def _rows(report, experiment_id):
+    for result in report.results:
+        if result.experiment_id == experiment_id:
+            return result.rows
+    raise AssertionError(
+        f"{experiment_id} missing; failures={[(i.experiment_id, i.error) for i in report.failures]}")
+
+
+class TestFailureResilienceFaultMode:
+    def test_jobs2_rows_bit_identical_to_jobs1(self):
+        kwargs = {"failure-resilience": {"faults": _FAULT_SPEC}}
+        seq = run_batch(["failure-resilience"], kwargs_by_id=kwargs, jobs=1)
+        par = run_batch(["failure-resilience"], kwargs_by_id=kwargs, jobs=2)
+        assert _rows(seq, "failure-resilience") == \
+            _rows(par, "failure-resilience")
+
+    def test_recovery_telemetry_is_replayed_identically(self):
+        kwargs = {"failure-resilience": {"faults": _FAULT_SPEC}}
+        a = run_batch(["failure-resilience"], kwargs_by_id=kwargs, jobs=1)
+        b = run_batch(["failure-resilience"], kwargs_by_id=kwargs, jobs=2)
+        meta_a = a.results[0].metadata
+        meta_b = b.results[0].metadata
+        assert meta_a["recovery"] == meta_b["recovery"]
+        assert meta_a["faults_injected"] == meta_b["faults_injected"]
+
+    def test_distinct_seeds_draw_distinct_scenarios(self):
+        base = "crash~0.05,outage~0.03+4,loss:0.1"
+        runs = {}
+        for seed in (1, 2):
+            kwargs = {"failure-resilience": {
+                "faults": f"{base},seed:{seed}"}}
+            report = run_batch(["failure-resilience"],
+                               kwargs_by_id=kwargs, jobs=1)
+            runs[seed] = report.results[0].metadata["faults_injected"]
+        # Both materialize *something* (rates are generous); the count
+        # need not differ, but determinism per seed must hold.
+        assert all(count >= 1 for count in runs.values())
+
+
+class TestShardedSweepDeterminism:
+    def test_jobs2_rows_bit_identical_to_jobs1(self):
+        kwargs = {"failure-rate-sweep": dict(_SWEEP_KWARGS)}
+        seq = run_batch(["failure-rate-sweep"], kwargs_by_id=kwargs, jobs=1)
+        par = run_batch(["failure-rate-sweep"], kwargs_by_id=kwargs, jobs=2)
+        assert _rows(seq, "failure-rate-sweep") == \
+            _rows(par, "failure-rate-sweep")
+
+    def test_sweep_is_sharded_under_the_pool(self):
+        kwargs = {"failure-rate-sweep": dict(_SWEEP_KWARGS)}
+        report = run_batch(["failure-rate-sweep"], kwargs_by_id=kwargs,
+                           jobs=2)
+        item, = report.items
+        assert item.error is None
+        assert item.shards >= 2
+
+    def test_seed_changes_the_sweep(self):
+        a = run_batch(["failure-rate-sweep"],
+                      kwargs_by_id={"failure-rate-sweep":
+                                    {**_SWEEP_KWARGS, "seed": 1}}, jobs=1)
+        b = run_batch(["failure-rate-sweep"],
+                      kwargs_by_id={"failure-rate-sweep":
+                                    {**_SWEEP_KWARGS, "seed": 2}}, jobs=1)
+        assert _rows(a, "failure-rate-sweep") != \
+            _rows(b, "failure-rate-sweep")

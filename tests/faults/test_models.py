@@ -1,0 +1,114 @@
+"""Unit tests for the fault primitives (repro.faults.models)."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import (ChannelLoss, DegradedSpeed, FaultTimeline,
+                                 PermanentCrash, RetransmitPolicy,
+                                 TransientOutage)
+
+
+class TestFaultValidation:
+    def test_crash_rejects_negative_time(self):
+        with pytest.raises(FaultInjectionError):
+            PermanentCrash(0, -1.0)
+
+    def test_outage_rejects_nonpositive_duration(self):
+        with pytest.raises(FaultInjectionError):
+            TransientOutage(0, 1.0, 0.0)
+
+    def test_slowdown_rejects_factor_below_one(self):
+        with pytest.raises(FaultInjectionError):
+            DegradedSpeed(0, 1.0, 5.0, 0.5)
+
+    def test_channel_loss_rejects_bad_probability(self):
+        with pytest.raises(FaultInjectionError):
+            ChannelLoss(p_loss=1.5)
+
+
+class TestFaultTimeline:
+    def test_compile_takes_earliest_crash(self):
+        tl = FaultTimeline.compile([PermanentCrash(0, 9.0),
+                                    PermanentCrash(0, 4.0)])
+        assert tl.crash_at == 4.0
+        assert tl.crashes_by(4.0)
+        assert not tl.crashes_by(3.999)
+
+    def test_benign_timeline(self):
+        assert FaultTimeline.compile([]).is_benign
+        assert not FaultTimeline.compile([PermanentCrash(0, 1.0)]).is_benign
+
+    def test_outage_pauses_progress(self):
+        # 10 units of compute starting at 0, with the worker down over
+        # [2, 5): completion slips by exactly the outage length.
+        tl = FaultTimeline.compile([TransientOutage(0, 2.0, 3.0)])
+        assert tl.completion_time(0.0, 10.0) == pytest.approx(13.0)
+
+    def test_outage_before_start_is_free(self):
+        tl = FaultTimeline.compile([TransientOutage(0, 2.0, 3.0)])
+        assert tl.completion_time(6.0, 10.0) == pytest.approx(16.0)
+
+    def test_slowdown_dilates_the_window(self):
+        # 10 units starting at 0; 2x slower over [0, 4): the first 4
+        # wall-clock units produce 2 units of progress, the remaining 8
+        # run at full speed.
+        tl = FaultTimeline.compile([DegradedSpeed(0, 0.0, 4.0, 2.0)])
+        assert tl.completion_time(0.0, 10.0) == pytest.approx(12.0)
+
+    def test_zero_work_completes_immediately(self):
+        tl = FaultTimeline.compile([TransientOutage(0, 0.0, 5.0)])
+        assert tl.completion_time(3.0, 0.0) == 3.0
+
+    def test_shifted_clips_and_drops_expired(self):
+        tl = FaultTimeline.compile([
+            PermanentCrash(0, 10.0),
+            TransientOutage(0, 2.0, 3.0),     # over by t=5
+            DegradedSpeed(0, 6.0, 4.0, 3.0),  # active until t=10
+        ])
+        shifted = tl.shifted(7.0)
+        assert shifted.crash_at == pytest.approx(3.0)
+        assert shifted.outages == ()          # expired
+        assert len(shifted.slowdowns) == 1    # clipped to [0, 3)
+        start, end, factor = shifted.slowdowns[0]
+        assert (start, end, factor) == pytest.approx((0.0, 3.0, 3.0))
+
+
+class TestChannelLoss:
+    def test_draws_are_deterministic_and_key_addressed(self):
+        loss = ChannelLoss(p_loss=0.5, seed=3)
+        draws = [loss.lost("work", c, a) for c in range(4) for a in range(4)]
+        again = [loss.lost("work", c, a) for c in range(4) for a in range(4)]
+        assert draws == again
+        assert any(draws) and not all(draws)
+
+    def test_draws_independent_of_call_order(self):
+        loss = ChannelLoss(p_loss=0.3, seed=9)
+        forward = [loss.lost("result", c, 0) for c in range(8)]
+        backward = [loss.lost("result", c, 0) for c in reversed(range(8))]
+        assert forward == backward[::-1]
+
+    def test_deterministic_drops(self):
+        loss = ChannelLoss(drops=frozenset({("work", 2, 0)}))
+        assert loss.lost("work", 2, 0)
+        assert not loss.lost("work", 2, 1)
+        assert not loss.lost("result", 2, 0)
+
+    def test_salt_changes_the_process(self):
+        loss = ChannelLoss(p_loss=0.5, seed=3)
+        salted = loss.with_salt(1)
+        draws = [loss.lost("work", c, 0) for c in range(32)]
+        salted_draws = [salted.lost("work", c, 0) for c in range(32)]
+        assert draws != salted_draws
+
+
+class TestRetransmitPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetransmitPolicy(max_retransmits=3, backoff=0.1,
+                                  backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(FaultInjectionError):
+            RetransmitPolicy(max_retransmits=-1)

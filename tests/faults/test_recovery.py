@@ -1,0 +1,104 @@
+"""Tests for the multi-round recovery rescheduler (repro.faults.recovery)."""
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import RecoveryError
+from repro.faults.recovery import (RecoveryPolicy, RecoveryTelemetry,
+                                   simulate_with_recovery)
+from repro.obs import MetricsRegistry, Observation, observe
+from repro.protocols.base import WorkAllocation
+from repro.protocols.fifo import fifo_allocation
+
+PARAMS = ModelParams(tau=0.02, pi=0.002, delta=1.0)
+PROFILE = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0])
+
+
+def _margin_allocation(lifespan: float = 60.0,
+                       margin: float = 0.8) -> WorkAllocation:
+    """An allocation with slack: sized for margin*L, judged against L."""
+    plan = fifo_allocation(PROFILE, PARAMS, margin * lifespan)
+    return WorkAllocation(profile=PROFILE, params=PARAMS, lifespan=lifespan,
+                          w=plan.w, startup_order=plan.startup_order,
+                          finishing_order=plan.finishing_order,
+                          protocol_name="fifo-margin")
+
+
+class TestRecoveryPolicy:
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(RecoveryError):
+            RecoveryPolicy(detection_timeout=-1.0)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(RecoveryError):
+            RecoveryPolicy(max_rounds=0)
+
+
+class TestSimulateWithRecovery:
+    def test_faultless_run_is_one_round(self):
+        alloc = _margin_allocation()
+        outcome = simulate_with_recovery(alloc, None)
+        assert outcome.telemetry.rounds == 1
+        assert outcome.telemetry.retries == 0
+        assert outcome.telemetry.work_lost == 0.0
+        assert outcome.completed_work == pytest.approx(alloc.total_work)
+
+    def test_crash_recovers_lost_work_in_later_rounds(self):
+        alloc = _margin_allocation()
+        outcome = simulate_with_recovery(alloc, "crash:0@5",
+                                         results_policy="greedy")
+        telemetry = outcome.telemetry
+        assert telemetry.rounds >= 2
+        assert telemetry.retries == telemetry.rounds - 1
+        assert telemetry.work_recovered > 0.0
+        assert outcome.crashed_computers == (0,)
+        # recovery beats the single-round skip heuristic
+        assert outcome.completed_work > outcome.first_round.completed_work
+
+    def test_max_rounds_one_disables_recovery(self):
+        alloc = _margin_allocation()
+        outcome = simulate_with_recovery(
+            alloc, "crash:0@5", policy=RecoveryPolicy(max_rounds=1),
+            results_policy="greedy")
+        assert outcome.telemetry.rounds == 1
+        assert outcome.telemetry.work_lost > 0.0
+
+    def test_accepts_scenario_string_and_replays_identically(self):
+        alloc = _margin_allocation()
+        spec = "crash~0.03,outage~0.01+4,loss:0.05,seed:23"
+        a = simulate_with_recovery(alloc, spec, results_policy="greedy")
+        b = simulate_with_recovery(alloc, spec, results_policy="greedy")
+        assert a.completed_work == b.completed_work
+        assert a.telemetry == b.telemetry
+        assert a.crashed_computers == b.crashed_computers
+
+    def test_work_is_never_double_counted(self):
+        alloc = _margin_allocation()
+        outcome = simulate_with_recovery(alloc, "crash:0@5,crash:2@10",
+                                         results_policy="greedy")
+        assert outcome.completed_work <= alloc.total_work + 1e-9
+
+    def test_all_dead_cluster_stops_cleanly(self):
+        alloc = _margin_allocation()
+        spec = "crash:0@1,crash:1@1,crash:2@1,crash:3@1"
+        outcome = simulate_with_recovery(alloc, spec, results_policy="greedy")
+        assert outcome.completed_work == 0.0
+        assert outcome.telemetry.work_lost == pytest.approx(alloc.total_work)
+        assert outcome.crashed_computers == (0, 1, 2, 3)
+
+    def test_telemetry_reaches_ambient_metrics(self):
+        alloc = _margin_allocation()
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            simulate_with_recovery(alloc, "crash:0@5",
+                                   results_policy="greedy")
+        names = {m["name"] for m in registry.dump()["metrics"]}
+        assert "sim_recovery_rounds_total" in names
+        assert "sim_recovery_retries_total" in names
+        assert "sim_work_recovered_total" in names
+
+    def test_telemetry_as_dict_round_trips(self):
+        telemetry = RecoveryTelemetry(rounds=2, retries=1, work_recovered=3.5)
+        d = telemetry.as_dict()
+        assert d["rounds"] == 2 and d["work_recovered"] == 3.5

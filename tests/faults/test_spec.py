@@ -1,0 +1,110 @@
+"""Unit tests for fault scenarios and the --faults grammar."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, FaultSpecError
+from repro.faults.models import (DegradedSpeed, PermanentCrash,
+                                 TransientOutage)
+from repro.faults.spec import FaultScenario, parse_faults
+
+
+class TestParseFaults:
+    def test_explicit_clauses(self):
+        scenario = parse_faults("crash:2@5,outage:1@10+5,slow:0@2+20x3")
+        assert scenario.faults == (PermanentCrash(2, 5.0),
+                                   TransientOutage(1, 10.0, 5.0),
+                                   DegradedSpeed(0, 2.0, 20.0, 3.0))
+        assert scenario.channel is None
+
+    def test_computer_indices_accept_c_prefix(self):
+        scenario = parse_faults("crash:C2@5")
+        assert scenario.faults == (PermanentCrash(2, 5.0),)
+
+    def test_channel_clauses(self):
+        scenario = parse_faults(
+            "loss:0.05,drop:work:1:0,retransmits:5,backoff:0.2,seed:7")
+        assert scenario.channel.p_loss == 0.05
+        assert ("work", 1, 0) in scenario.channel.drops
+        assert scenario.retransmit.max_retransmits == 5
+        assert scenario.retransmit.backoff == 0.2
+        assert scenario.seed == 7
+
+    def test_stochastic_clauses(self):
+        scenario = parse_faults("crash~0.01,outage~0.02+4,slow~0.03+10x2")
+        assert scenario.crash_rate == 0.01
+        assert (scenario.outage_rate, scenario.outage_duration) == (0.02, 4.0)
+        assert (scenario.slow_rate, scenario.slow_duration,
+                scenario.slow_factor) == (0.03, 10.0, 2.0)
+        assert scenario.is_stochastic
+
+    def test_semicolons_and_whitespace(self):
+        scenario = parse_faults(" crash:0@1 ; loss:0.1 ")
+        assert scenario.faults == (PermanentCrash(0, 1.0),)
+        assert scenario.channel.p_loss == 0.1
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "bogus:1", "crash:0", "crash:x@5", "crash:0@x",
+        "outage:0@5", "slow:0@5+2", "loss:2.0", "drop:work:1",
+        "drop:smoke:1:0", "retransmits:x",
+    ])
+    def test_malformed_specs_raise_fault_spec_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_faults(bad)
+
+
+class TestFaultScenario:
+    def test_unknown_computer_rejected_at_materialize(self):
+        scenario = FaultScenario(faults=(PermanentCrash(7, 1.0),))
+        with pytest.raises(FaultInjectionError):
+            scenario.materialize(4, 100.0)
+
+    def test_materialize_is_deterministic(self):
+        scenario = parse_faults("crash~0.02,outage~0.01+4,seed:11")
+        a = scenario.materialize(6, 100.0)
+        b = scenario.materialize(6, 100.0)
+        assert a.faults_injected == b.faults_injected
+        assert set(a.timelines) == set(b.timelines)
+        for c in a.timelines:
+            assert a.timelines[c].crash_at == b.timelines[c].crash_at
+            assert a.timelines[c].outages == b.timelines[c].outages
+
+    def test_seed_changes_the_draws(self):
+        base = "crash~0.05"
+        a = parse_faults(base + ",seed:1").materialize(16, 100.0)
+        b = parse_faults(base + ",seed:2").materialize(16, 100.0)
+        crashes_a = {c: tl.crash_at for c, tl in a.timelines.items()}
+        crashes_b = {c: tl.crash_at for c, tl in b.timelines.items()}
+        assert crashes_a != crashes_b
+
+    def test_channel_inherits_scenario_seed(self):
+        scenario = parse_faults("loss:0.1,seed:13")
+        materialized = scenario.materialize(2, 10.0)
+        assert materialized.channel.seed == 13
+
+    def test_counts_injected_faults(self):
+        scenario = parse_faults("crash:0@5,outage:1@2+3,loss:0.1")
+        materialized = scenario.materialize(4, 100.0)
+        # two worker faults + the channel process
+        assert materialized.faults_injected == 3
+
+    def test_arrivals_past_lifespan_are_discarded(self):
+        # An astronomically slow rate essentially never fires within L.
+        scenario = FaultScenario(crash_rate=1e-9, seed=0)
+        materialized = scenario.materialize(8, 10.0)
+        assert materialized.timelines == {}
+
+
+class TestMaterializedShift:
+    def test_shift_remaps_survivors_to_compact_indices(self):
+        scenario = parse_faults("crash:2@50,outage:3@40+10")
+        materialized = scenario.materialize(4, 100.0)
+        # computers 0 and 2 died; survivors [1, 3] become positions 0, 1
+        shifted = materialized.shifted(30.0, survivors=[1, 3])
+        assert set(shifted.timelines) == {1}
+        assert shifted.timelines[1].outages == ((10.0, 20.0),)
+
+    def test_shift_resalts_the_channel(self):
+        materialized = parse_faults("loss:0.2,seed:5").materialize(2, 10.0)
+        shifted = materialized.shifted(1.0, salt=3)
+        assert shifted.channel.salt == 3
+        assert materialized.channel.salt == 0

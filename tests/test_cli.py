@@ -246,3 +246,59 @@ class TestParser:
     def test_report_takes_batch_flags(self):
         args = build_parser().parse_args(["report", "--jobs", "2"])
         assert args.jobs == 2
+
+
+class TestFaultFlags:
+    def test_parses_fault_and_hardening_flags(self):
+        args = build_parser().parse_args(
+            ["run", "failure-resilience", "--faults", "crash:0@5",
+             "--task-timeout", "2.5", "--retries", "3"])
+        assert args.faults == "crash:0@5"
+        assert args.task_timeout == 2.5
+        assert args.retries == 3
+
+    def test_run_with_faults_succeeds(self, capsys):
+        assert main(["run", "failure-resilience",
+                     "--faults", "crash:0@5,seed:3"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out
+
+    def test_malformed_faults_spec_exit_code_3(self, capsys):
+        assert main(["run", "failure-resilience",
+                     "--faults", "bogus:xyz"]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error: FaultSpecError:")
+        assert err.count("\n") == 1  # one-line diagnostic
+
+    def test_faults_flag_on_faultless_experiment_warns(self, capsys):
+        assert main(["run", "table3", "--faults", "crash:0@5"]) == 0
+        assert "--faults" in capsys.readouterr().err
+
+    def test_fault_family_batch_failure_exit_code_3(self, capsys, monkeypatch):
+        from repro.errors import SimulationError
+        from repro.experiments import base
+
+        def sim_boom():
+            raise SimulationError("channel wedged")
+        monkeypatch.setitem(base._REGISTRY, "sim-boom", sim_boom)
+        assert main(["run", "sim-boom"]) == 3
+        assert "channel wedged" in capsys.readouterr().err
+
+    def test_mixed_failures_keep_generic_exit_code_1(self, capsys, monkeypatch):
+        from repro.experiments import base
+
+        def boom():
+            raise RuntimeError("plain failure")
+        monkeypatch.setitem(base._REGISTRY, "boom2", boom)
+        assert main(["run", "boom2"]) == 1
+        capsys.readouterr()
+
+    def test_jobs1_and_jobs2_fault_runs_match(self, capsys):
+        spec = "crash~0.02,loss:0.05,seed:7"
+        assert main(["run", "failure-resilience", "--faults", spec,
+                     "--jobs", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(["run", "failure-resilience", "--faults", spec,
+                     "--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        assert seq == par
