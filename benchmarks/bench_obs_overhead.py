@@ -92,7 +92,7 @@ def _time_round(observer_factory) -> float:
     for _ in range(_REPEATS):
         observer = observer_factory()
         start = time.perf_counter()
-        simulate_allocation(alloc, observer=observer)
+        simulate_allocation(alloc, observer=observer, engine="events")
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -109,7 +109,8 @@ def test_disabled_observability_is_within_noise_of_seed_engine(report_sink):
     enabled_ratio = round_enabled_s / round_disabled_s
 
     with HotPathProfiler() as prof:
-        simulate_allocation(fifo_allocation(Profile.linear(256), _PARAMS, 100.0))
+        simulate_allocation(fifo_allocation(Profile.linear(256), _PARAMS, 100.0),
+                            engine="events")
 
     baseline = {
         "events_per_burst": _EVENTS,
@@ -142,7 +143,7 @@ def test_disabled_observability_is_within_noise_of_seed_engine(report_sink):
 def test_traced_run_matches_untraced_results():
     """Observability must never change simulation semantics."""
     alloc = fifo_allocation(Profile.linear(64), _PARAMS, 100.0)
-    plain = simulate_allocation(alloc)
+    plain = simulate_allocation(alloc, engine="events")
     traced = simulate_allocation(
         alloc, observer=SimulationObserver(Tracer(), MetricsRegistry()))
     assert traced.completed_work == plain.completed_work

@@ -53,9 +53,11 @@ def _sweep(profile: Profile, make_params: Callable[[float], ModelParams],
     hecrs = np.empty(grid.size)
     for k, value in enumerate(grid):
         params = make_params(float(value))
+        # One eq.-(1) evaluation per grid point; the rate and HECR both
+        # reuse it (bit-identical to recomputing — same X float).
         xs[k] = x_measure(profile, params)
-        rates[k] = work_rate(profile, params)
-        hecrs[k] = hecr(profile, params)
+        rates[k] = work_rate(profile, params, x=xs[k])
+        hecrs[k] = hecr(profile, params, x=xs[k])
     return SweepResult(parameter=parameter, values=grid, x=xs,
                        work_rate=rates, hecr=hecrs)
 
@@ -83,6 +85,26 @@ def sweep_delta(profile: Profile, deltas: Sequence[float], *,
     """X / work rate / HECR across output/input ratios δ ∈ [0, 1]."""
     return _sweep(profile, lambda d: ModelParams(tau=tau, pi=pi, delta=d),
                   deltas, "delta")
+
+
+def _x_tau_grid(rho: np.ndarray, taus: np.ndarray, pi: float,
+                delta: float) -> np.ndarray:
+    """``X(P)`` across a τ-grid, one vectorized pass — eq. (1) row-wise.
+
+    With ``A = π+τ`` and ``τδ = τ·δ`` varying along the grid but
+    ``B = 1+(1+δ)π`` fixed, every row is exactly the 1-D
+    :func:`~repro.core.measure.x_measure` arithmetic, so each entry is
+    bit-identical to the corresponding scalar evaluation.
+    """
+    B = 1.0 + (1.0 + delta) * pi
+    A = pi + taus[:, None]
+    td = (taus * delta)[:, None]
+    denom = B * rho[None, :] + A
+    ratios = (B * rho[None, :] + td) / denom
+    prefix = np.ones_like(denom)
+    if rho.size > 1:
+        np.cumprod(ratios[:, :-1], axis=1, out=prefix[:, 1:])
+    return np.sum(prefix / denom, axis=1)
 
 
 def find_tau_crossover(p1: Profile, p2: Profile, *,
@@ -113,7 +135,13 @@ def find_tau_crossover(p1: Profile, p2: Profile, *,
         return x_measure(p1, params) - x_measure(p2, params)
 
     grid = np.geomspace(tau_low, tau_high, 64)
-    signs = np.sign([diff(t) for t in grid])
+    # Vectorized grid scan: X over the whole τ-grid in one pass per
+    # profile.  Bit-identical to 64 scalar diff() calls — B is
+    # τ-independent and the row-wise cumprod/sum reduce in the same
+    # order as the 1-D ones — so the bracket brentq refines (with the
+    # scalar diff) is exactly the one the scalar scan would have found.
+    signs = np.sign(_x_tau_grid(p1.rho, grid, pi, delta)
+                    - _x_tau_grid(p2.rho, grid, pi, delta))
     for k in range(grid.size - 1):
         if signs[k] != 0 and signs[k + 1] != 0 and signs[k] != signs[k + 1]:
             return float(brentq(diff, grid[k], grid[k + 1], xtol=xtol))

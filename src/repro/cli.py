@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault scenario for fault-aware experiments, e.g. "
                           "'outage:1@10+5,slow:0@2+20x3,loss:0.05,seed:7' "
                           "(see docs/FAULTS.md for the grammar)")
+    run.add_argument("--engine", choices=("auto", "events", "analytic"),
+                     default=None,
+                     help="simulation engine: 'auto' takes the analytic "
+                          "fast path for fault-free unobserved runs, "
+                          "'events'/'analytic' force one engine for every "
+                          "simulation (default: auto, or $REPRO_SIM_ENGINE; "
+                          "see docs/PERFORMANCE.md)")
     _add_batch_flags(run)
 
     report = sub.add_parser(
@@ -249,6 +256,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     _warn_ignored_sampling_flags(args)
     _warn_ignored_faults_flag(args)
+    if args.engine == "analytic" and args.faults:
+        print("error: --engine analytic cannot run a --faults scenario — "
+              "fault timelines require the event engine; drop --engine or "
+              "use --engine auto/events", file=sys.stderr)
+        return 3
+    if args.engine:
+        import os
+
+        from repro.simulation.runner import set_default_engine
+        # Both halves matter: set_default_engine() covers in-process runs
+        # (--jobs 1), the environment variable covers batch worker
+        # processes, which re-read it at import.
+        os.environ["REPRO_SIM_ENGINE"] = args.engine
+        set_default_engine(args.engine)
     if args.faults:
         # Validate the spec before any work: a malformed clause raises
         # FaultSpecError, which main() maps to exit code 3.

@@ -28,6 +28,7 @@ from repro.core.homogeneous import (
 )
 from repro.core.measure import (
     XDecomposition,
+    XEvaluator,
     work_production,
     work_rate,
     work_ratio,
@@ -53,6 +54,7 @@ __all__ = [
     "Profile",
     "x_measure",
     "x_measure_many",
+    "XEvaluator",
     "work_rate",
     "work_production",
     "work_ratio",

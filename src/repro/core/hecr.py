@@ -83,8 +83,13 @@ def hecr_from_x(x_value: float, n: int, params: ModelParams) -> float:
     return rho
 
 
-def hecr(profile: ProfileLike, params: ModelParams) -> float:
+def hecr(profile: ProfileLike, params: ModelParams, *,
+         x: float | None = None) -> float:
     """The HECR ``ρ_C`` of a heterogeneous cluster (Proposition 1).
+
+    A precomputed ``x`` (the profile's X-measure, e.g. from a sweep that
+    already evaluated it) skips the eq.-(1) pass; the result is
+    bit-identical because the same float feeds the closed form.
 
     Examples
     --------
@@ -98,7 +103,9 @@ def hecr(profile: ProfileLike, params: ModelParams) -> float:
     else:
         profile = Profile(profile)
         n = profile.n
-    return hecr_from_x(x_measure(profile, params), n, params)
+    if x is None:
+        x = x_measure(profile, params)
+    return hecr_from_x(x, n, params)
 
 
 def hecr_many(profiles: np.ndarray, x_values: np.ndarray, params: ModelParams) -> np.ndarray:

@@ -25,7 +25,11 @@ from repro.protocols.fifo import (
     fifo_saturation_index,
     fifo_work_fractions,
 )
-from repro.protocols.general import GeneralProtocol, lp_allocation
+from repro.protocols.general import (
+    GeneralProtocol,
+    lp_allocation,
+    lp_allocation_many,
+)
 from repro.protocols.lifo import LifoProtocol, lifo_allocation
 from repro.protocols.timeline import Interval, Timeline, build_timeline
 
@@ -41,6 +45,7 @@ __all__ = [
     "lifo_allocation",
     "GeneralProtocol",
     "lp_allocation",
+    "lp_allocation_many",
     "Interval",
     "Timeline",
     "build_timeline",

@@ -40,7 +40,41 @@ from repro.core.profile import Profile
 from repro.errors import InfeasibleScheduleError, ProtocolError
 from repro.protocols.base import Protocol, WorkAllocation, validate_order
 
-__all__ = ["GeneralProtocol", "lp_allocation"]
+__all__ = ["GeneralProtocol", "lp_allocation", "lp_allocation_many"]
+
+
+def _positions(order: tuple[int, ...], n: int) -> np.ndarray:
+    """Map an order (permutation) to each computer's position in it."""
+    pos = np.empty(n, dtype=int)
+    pos[np.asarray(order)] = np.arange(n)
+    return pos
+
+
+def _constraint_rows(rho: np.ndarray, params: ModelParams,
+                     spos: np.ndarray, fpos: np.ndarray,
+                     enforce_separation: bool) -> np.ndarray:
+    """Vectorized ``A_ub`` for one — or a batch of — (Σ, Φ) pairs.
+
+    ``spos``/``fpos`` hold each computer's startup/finishing *position*
+    and may carry leading batch dimensions; the result has shape
+    ``(..., m, n)`` with ``m = n`` (+1 when the separation row is on).
+    Entry (c, d) accumulates exactly the terms the scalar row loop used
+    to add, in the same order: ``π+τ`` when d's send precedes or is c's,
+    ``Bρ_c`` on the diagonal, ``τδ`` when d's result follows or is c's.
+    """
+    A_send = params.pi + params.tau
+    td = params.tau_delta
+    n = rho.shape[-1]
+    send_mask = spos[..., None, :] <= spos[..., :, None]
+    fin_mask = fpos[..., None, :] >= fpos[..., :, None]
+    rows = A_send * send_mask
+    diag = np.arange(n)
+    rows[..., diag, diag] += params.B * rho
+    rows = rows + td * fin_mask
+    if enforce_separation and td > 0.0:
+        sep = np.full(rows.shape[:-2] + (1, n), A_send + td)
+        rows = np.concatenate([rows, sep], axis=-2)
+    return rows
 
 
 def lp_allocation(profile: Profile, params: ModelParams, lifespan: float,
@@ -75,25 +109,9 @@ def lp_allocation(profile: Profile, params: ModelParams, lifespan: float,
     sigma = validate_order(startup_order, n, name="startup_order")
     phi = validate_order(finishing_order, n, name="finishing_order")
     rho = profile.rho
-    A_send = params.pi + params.tau          # per-unit send cost (π+τ)
-    td = params.tau_delta
-    B = params.B
 
-    spos = np.empty(n, dtype=int)
-    fpos = np.empty(n, dtype=int)
-    spos[np.asarray(sigma)] = np.arange(n)
-    fpos[np.asarray(phi)] = np.arange(n)
-
-    rows = []
-    for c in range(n):
-        row = np.zeros(n)
-        row[spos <= spos[c]] += A_send       # all sends up to and incl. c's
-        row[c] += B * rho[c]                 # c's own busy period
-        row[fpos >= fpos[c]] += td           # c's result and all later ones
-        rows.append(row)
-    if enforce_separation and td > 0.0:
-        rows.append(np.full(n, A_send + td))
-    A_ub = np.vstack(rows)
+    A_ub = _constraint_rows(rho, params, _positions(sigma, n),
+                            _positions(phi, n), enforce_separation)
     b_ub = np.full(A_ub.shape[0], float(lifespan))
 
     result = linprog(c=-np.ones(n), A_ub=A_ub, b_ub=b_ub,
@@ -105,6 +123,53 @@ def lp_allocation(profile: Profile, params: ModelParams, lifespan: float,
     return WorkAllocation(profile=profile, params=params, lifespan=lifespan,
                           w=w, startup_order=sigma, finishing_order=phi,
                           protocol_name=protocol_name)
+
+
+def lp_allocation_many(profile: Profile, params: ModelParams, lifespan: float,
+                       pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+                       *, enforce_separation: bool = True,
+                       protocol_name: str = "LP") -> list[WorkAllocation]:
+    """Solve many (Σ, Φ) protocol pairs of one cluster as a batch.
+
+    Builds every pair's constraint matrix in one broadcast pass (a
+    ``(P, m, n)`` tensor instead of P × n Python-level row loops) and
+    shares the objective/bounds/right-hand-side structure across the P
+    HiGHS solves, so enumeration studies such as
+    :mod:`repro.experiments.protocol_optimality` stop paying the
+    per-permutation assembly cost.  Each returned allocation is
+    bit-identical to the corresponding :func:`lp_allocation` call — the
+    batched builder feeds the solver the very same matrix values.
+    """
+    if lifespan <= 0 or not np.isfinite(lifespan):
+        raise ProtocolError(f"lifespan must be positive and finite, got {lifespan!r}")
+    if not pairs:
+        return []
+    n = profile.n
+    validated = [(validate_order(s, n, name="startup_order"),
+                  validate_order(f, n, name="finishing_order"))
+                 for s, f in pairs]
+    spos = np.stack([_positions(s, n) for s, _ in validated])
+    fpos = np.stack([_positions(f, n) for _, f in validated])
+    A_all = _constraint_rows(profile.rho, params, spos, fpos,
+                             enforce_separation)
+    b_ub = np.full(A_all.shape[1], float(lifespan))
+    c_obj = -np.ones(n)
+    bounds = [(0.0, None)] * n
+
+    allocations: list[WorkAllocation] = []
+    for (sigma, phi), A_ub in zip(validated, A_all):
+        result = linprog(c=c_obj, A_ub=A_ub, b_ub=b_ub, bounds=bounds,
+                         method="highs")
+        if not result.success:  # pragma: no cover - w = 0 is always feasible
+            raise InfeasibleScheduleError(
+                f"LP solver failed for ({protocol_name}) protocol: "
+                f"{result.message}")
+        w = np.clip(result.x, 0.0, None)
+        allocations.append(WorkAllocation(
+            profile=profile, params=params, lifespan=lifespan, w=w,
+            startup_order=sigma, finishing_order=phi,
+            protocol_name=protocol_name))
+    return allocations
 
 
 class GeneralProtocol(Protocol):

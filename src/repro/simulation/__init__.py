@@ -12,8 +12,11 @@ from repro.simulation.engine import Simulator
 from repro.simulation.entities import ResultSequencer, Server, Worker, WorkerRecord
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.network import SingleChannelNetwork, Transit
+from repro.simulation.fastpath import analytic_records, analytic_simulation
 from repro.simulation.runner import (
     SimulationResult,
+    default_engine,
+    set_default_engine,
     simulate_allocation,
     simulate_protocol,
 )
@@ -37,6 +40,10 @@ __all__ = [
     "SimulationResult",
     "simulate_allocation",
     "simulate_protocol",
+    "default_engine",
+    "set_default_engine",
+    "analytic_records",
+    "analytic_simulation",
     "UtilizationSummary",
     "WorkerIdleBreakdown",
     "utilization_summary",

@@ -1,0 +1,264 @@
+"""Event-free analytic simulation of fault-free CEP rounds.
+
+For a fault-free run of any :class:`~repro.protocols.base.WorkAllocation`
+the discrete-event engine is pure overhead: every event it would pop is
+the deterministic consequence of the allocation itself, so the complete
+per-worker timeline — send-preparation starts, arrival times, busy-period
+ends, result transits, completed work, makespan, channel busy time — is
+computable in closed form.  This module does exactly that, in two tiers:
+
+**Vectorized closed form** (the common case).
+    Seriatim sends are a NumPy cumulative sum of the per-quantum
+    ``(π + τ)·w`` costs; busy periods are one fused multiply-add; and the
+    finishing-order result chain ``end_k = max(earliest_k, end_{k−1}) + d_k``
+    unrolls to ``cumsum(d) + cummax(earliest − cumsum(d)_{shifted})`` —
+    no Python-level loop anywhere.  This tier applies whenever every
+    work-package reservation precedes the first result reservation,
+    which holds for every feasible FIFO/LIFO schedule and for the LP
+    allocations of :mod:`repro.protocols.general` in the paper's layout.
+
+**Grant-order merge** (the general case).
+    The single shared channel serialises messages *in reservation
+    order*, and with an adversarial (Σ, Φ) pair an early-finishing
+    worker's result reservation can interleave with — and therefore
+    delay — later work sends.  The event engine resolves this through
+    its heap; the fast path resolves it with an O(n) two-stream merge
+    that replays the exact reservation ordering (including the engine's
+    tie rule: a busy-end callback is enqueued before the competing
+    next-send callback, so on equal reservation times the result wins).
+
+Both tiers reproduce the event engine's arithmetic operation-for-
+operation wherever the order of floating-point reductions matters, so
+they agree with :func:`~repro.simulation.runner.simulate_allocation`'s
+event engine to ~1 ulp per milestone (the test suite enforces 1e-9 over
+randomized clusters and protocols; see
+``tests/properties/test_fastpath_properties.py``).
+
+What forces the event engine instead (see
+:func:`~repro.simulation.runner.simulate_allocation`'s dispatch): any
+fault or failure injection (timelines change the arithmetic), and —
+under ``engine="auto"`` — per-event observers, whose callbacks only the
+event loop can deliver.  Recovery loops
+(:func:`repro.faults.recovery.simulate_with_recovery`) always inject
+faults and therefore always use the event engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.protocols.base import WorkAllocation
+from repro.simulation.entities import WorkerRecord
+
+__all__ = ["analytic_simulation", "analytic_records"]
+
+
+def analytic_records(allocation: WorkAllocation, *,
+                     results_policy: str = "late") -> dict[int, WorkerRecord]:
+    """Closed-form per-worker milestone records for a fault-free run.
+
+    Returns a record per computer (zero-work computers keep their NaN
+    milestones, exactly like the event engine's untouched records).
+    """
+    if results_policy not in ("late", "greedy"):
+        raise SimulationError(f"unknown results_policy {results_policy!r}")
+    params = allocation.params
+    w = allocation.w
+    records = {c: WorkerRecord(computer=c, work=wc)
+               for c, wc in enumerate(w.tolist())}
+    s_order = np.asarray(allocation.startup_order)
+    sig = s_order[w[s_order] > 0.0]
+    if sig.size == 0:
+        return records
+    f_order = np.asarray(allocation.finishing_order)
+    phi = f_order[w[f_order] > 0.0]
+    has_results = params.delta > 0.0
+
+    slots: np.ndarray | None = None
+    if has_results and results_policy == "late":
+        # Same arithmetic as the runner's slot precomputation.
+        suffix = np.cumsum((params.tau_delta * w[phi])[::-1])[::-1]
+        slots = allocation.lifespan - suffix
+
+    pi, tau, td, B = params.pi, params.tau, params.tau_delta, params.B
+    rho = allocation.profile.rho
+
+    # ---- sends: candidate timeline assuming no result interleaves ----
+    w_s = w[sig]
+    send_cost = pi * w_s + tau * w_s
+    arrived = np.cumsum(send_cost)
+    prep_start = np.concatenate(([0.0], arrived[:-1]))
+    busy_end = arrived + B * rho[sig] * w_s
+
+    if not has_results:
+        for c, ps, ar, be in zip(sig.tolist(), prep_start.tolist(),
+                                 arrived.tolist(), busy_end.tolist()):
+            r = records[c]
+            r.send_prep_start = ps
+            r.arrived = ar
+            r.busy_end = be
+            # δ = 0: completion is the busy end itself (no result message).
+            r.result_start = be
+            r.result_end = be
+        return records
+
+    pos_in_sig = np.empty(allocation.n, dtype=int)
+    pos_in_sig[sig] = np.arange(sig.size)
+
+    # The last work-package reservation happens at the transit end of the
+    # second-to-last send; the first result reservation at Φ(1)'s busy
+    # end.  Strict separation ⇒ every send is granted before any result
+    # and the fully vectorized form below is exact.  On a tie the event
+    # engine grants the result first, so ties go to the merge path.
+    last_send_reserve = float(arrived[-2]) if sig.size > 1 else 0.0
+    if float(busy_end[pos_in_sig[phi[0]]]) > last_send_reserve:
+        for c, ps, ar, be in zip(sig.tolist(), prep_start.tolist(),
+                                 arrived.tolist(), busy_end.tolist()):
+            r = records[c]
+            r.send_prep_start = ps
+            r.arrived = ar
+            r.busy_end = be
+        # Result chain in finishing order, channel free after the last
+        # send: end_k = max(earliest_k, end_{k-1}) + d_k.
+        d = td * w[phi]
+        ready = busy_end[pos_in_sig[phi]]
+        earliest = np.maximum(ready, slots) if slots is not None else ready
+        cum_d = np.cumsum(d)
+        offset = np.concatenate(([0.0], cum_d[:-1]))
+        free0 = float(arrived[-1])
+        # The scan end_k = max(earliest_k, end_{k-1}) + d_k unrolls to
+        # offset_k + M_k with M_k = cummax(max(earliest_m, free0) - offset_m):
+        # every candidate start, rebased by the result work already queued.
+        M = np.maximum.accumulate(np.maximum(earliest - offset,
+                                             free0 - offset))
+        starts = offset + M
+        ends = starts + d
+        for c, st, en in zip(phi.tolist(), starts.tolist(), ends.tolist()):
+            r = records[c]
+            r.result_start = st
+            r.result_end = en
+        return records
+
+    slot_dict = (dict(zip(phi.tolist(), slots.tolist()))
+                 if slots is not None else None)
+    return _merged_records(allocation, records, sig.tolist(), phi.tolist(),
+                           slot_dict)
+
+
+def _merged_records(allocation: WorkAllocation, records: dict[int, WorkerRecord],
+                    sigma: list[int], phi: list[int],
+                    slot_starts: dict[int, float] | None) -> dict[int, WorkerRecord]:
+    """General case: replay the channel's reservation order without events.
+
+    Two streams contend for the channel, each internally ordered:
+
+    * work sends, in startup order — send *i* is reserved at the transit
+      end of send *i−1* (the server's seriatim chain);
+    * results, in finishing order — result *k* is reserved once worker
+      Φ(k) has finished computing **and** result *k−1* has been granted
+      (the sequencer's contract), i.e. at the running max of busy ends.
+
+    The merge consumes whichever stream reserves earlier; on a tie the
+    result wins (the busy-end callback sits ahead of the next-send
+    callback in the event queue).  Each grant replays the engine's exact
+    arithmetic: ``start = max(earliest, free_at)``, ``end = start + dur``.
+    """
+    params = allocation.params
+    pi, tau, td, B = params.pi, params.tau, params.tau_delta, params.B
+    rho = allocation.profile.rho
+    w = allocation.w
+
+    free_at = 0.0
+    next_send_at = 0.0           # reservation time of the next send
+    last_result_reserve = 0.0    # grant event time of the previous result
+    busy_end_of: dict[int, float] = {}
+    i = j = 0
+    ks, kf = len(sigma), len(phi)
+    inf = math.inf
+
+    while i < ks or j < kf:
+        send_reserve = next_send_at if i < ks else inf
+        if j < kf:
+            be = busy_end_of.get(phi[j])
+            result_reserve = (max(be, last_result_reserve)
+                              if be is not None else inf)
+        else:
+            result_reserve = inf
+
+        if result_reserve <= send_reserve:   # tie → result first
+            c = phi[j]
+            ready = busy_end_of[c]
+            earliest = (max(ready, slot_starts[c])
+                        if slot_starts is not None else ready)
+            start = earliest if earliest > free_at else free_at
+            end = start + td * float(w[c])
+            free_at = end
+            records[c].result_start = start
+            records[c].result_end = end
+            last_result_reserve = result_reserve
+            j += 1
+        else:
+            c = sigma[i]
+            wc = float(w[c])
+            records[c].send_prep_start = next_send_at
+            prep_end = next_send_at + pi * wc
+            start = prep_end if prep_end > free_at else free_at
+            end = start + tau * wc
+            records[c].arrived = end
+            busy_end_of[c] = end + B * float(rho[c]) * wc
+            records[c].busy_end = busy_end_of[c]
+            free_at = end
+            next_send_at = end
+            i += 1
+
+    return records
+
+
+def analytic_simulation(allocation: WorkAllocation, *,
+                        results_policy: str = "late"):
+    """Event-free equivalent of the fault-free event engine.
+
+    Returns a :class:`~repro.simulation.runner.SimulationResult` whose
+    per-worker records, completed work, makespan, network busy time and
+    transit count agree with the event engine within float rounding.
+    ``events_processed`` and ``peak_queue_depth`` are 0 — no events ran.
+    """
+    # Deferred to dodge the runner ↔ fastpath import cycle.
+    from repro.simulation.runner import SimulationResult
+
+    records = analytic_records(allocation, results_policy=results_policy)
+    params = allocation.params
+    w = allocation.w
+    active = np.flatnonzero(w > 0.0)
+
+    tol = 1e-9 * max(1.0, allocation.lifespan)
+    ends = np.array([records[c].result_end for c in active.tolist()])
+    finished = ~np.isnan(ends)
+    in_time = finished & (ends <= allocation.lifespan + tol)
+    completed = tuple(active[in_time].tolist())
+    completed_work = float(w[active[in_time]].sum())
+    makespan = float(ends[finished].max()) if finished.any() else 0.0
+
+    work_total = float(w[active].sum())
+    has_results = params.delta > 0.0
+    network_busy = params.tau * work_total
+    transits = int(active.size)
+    if has_results:
+        network_busy += params.tau_delta * work_total
+        transits += int(active.size)
+
+    return SimulationResult(
+        allocation=allocation,
+        records=tuple(records[c] for c in range(allocation.n)),
+        completed_work=completed_work,
+        completed_computers=completed,
+        events_processed=0,
+        network_busy_time=network_busy,
+        makespan=makespan,
+        failed_computers=(),
+        peak_queue_depth=0,
+        transits_granted=transits,
+    )

@@ -16,6 +16,7 @@ budgets), which the integration test suite verifies over random clusters.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,39 @@ from repro.simulation.engine import Simulator
 from repro.simulation.entities import ResultSequencer, Server, Worker, WorkerRecord
 from repro.simulation.network import SingleChannelNetwork
 
-__all__ = ["SimulationResult", "simulate_allocation", "simulate_protocol"]
+__all__ = ["SimulationResult", "simulate_allocation", "simulate_protocol",
+           "set_default_engine", "default_engine"]
+
+_ENGINES = ("auto", "events", "analytic")
+
+#: Process default for ``simulate_allocation(engine=None)``.  Seeded from
+#: the environment so the CLI's ``--engine`` choice reaches batch worker
+#: processes (which inherit the environment, not the parent's globals).
+_default_engine = os.environ.get("REPRO_SIM_ENGINE", "auto")
+
+
+def default_engine() -> str:
+    """The engine used when ``simulate_allocation`` gets ``engine=None``."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous default.
+
+    ``"auto"`` (the initial default) takes the analytic fast path for
+    every fault-free, unobserved run and the event engine otherwise;
+    ``"events"``/``"analytic"`` force one engine for all runs that do
+    not pass an explicit ``engine=``.  The initial value honours the
+    ``REPRO_SIM_ENGINE`` environment variable, which is how the CLI's
+    ``--engine`` flag crosses into batch worker processes.
+    """
+    global _default_engine
+    if engine not in _ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
 
 
 @dataclass(frozen=True)
@@ -103,13 +136,29 @@ def simulate_allocation(allocation: WorkAllocation, *,
                         failures: dict[int, float] | None = None,
                         faults: "FaultScenario | MaterializedFaults | str | None" = None,
                         skip_failed_results: bool = False,
-                        observer: SimulationObserver | None = None) -> SimulationResult:
-    """Execute a work allocation at event granularity.
+                        observer: SimulationObserver | None = None,
+                        engine: str | None = None) -> SimulationResult:
+    """Execute a work allocation at event granularity — or analytically.
 
     Parameters
     ----------
     allocation:
         The schedule to execute.
+    engine:
+        ``"events"`` — always run the discrete-event engine.
+        ``"analytic"`` — always take the event-free closed form of
+        :mod:`repro.simulation.fastpath`; raises
+        :class:`~repro.errors.SimulationError` when combined with any
+        fault or failure injection (the analytic timeline is fault-free
+        by construction).
+        ``"auto"`` — analytic whenever the run is fault-free and no
+        per-event observer is attached (explicitly or via the ambient
+        observation's tracer); the event engine otherwise.  An ambient
+        *metrics-only* observation keeps the fast path and counts its
+        use in the ``sim_fastpath_hits_total`` counter.
+        ``None`` (default) — use :func:`default_engine` (``"auto"``
+        unless overridden by :func:`set_default_engine` or the
+        ``REPRO_SIM_ENGINE`` environment variable).
     results_policy:
         ``"late"`` — results use the contiguous end-of-lifespan slots of
         the paper's layout; ``"greedy"`` — results go as early as the
@@ -145,6 +194,11 @@ def simulate_allocation(allocation: WorkAllocation, *,
     """
     if results_policy not in ("late", "greedy"):
         raise SimulationError(f"unknown results_policy {results_policy!r}")
+    if engine is None:
+        engine = _default_engine
+    if engine not in _ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {_ENGINES}")
     failures = dict(failures or {})
     for c, t in failures.items():
         if not (0 <= c < allocation.n):
@@ -160,6 +214,24 @@ def simulate_allocation(allocation: WorkAllocation, *,
             if not (0 <= c < allocation.n):
                 raise SimulationError(
                     f"fault timeline for unknown computer {c}")
+
+    # ---- engine dispatch -------------------------------------------------
+    has_faults = bool(failures) or faults is not None
+    if engine == "analytic":
+        if has_faults:
+            raise SimulationError(
+                "engine='analytic' cannot simulate faults or failures — "
+                "fault timelines change the event arithmetic; use "
+                "engine='events' (or 'auto') for fault-injected runs")
+        return _analytic_dispatch(allocation, results_policy, observer)
+    if engine == "auto" and not has_faults and observer is None:
+        ambient = current_observation()
+        if ambient is None or ambient.tracer is None:
+            # Fault-free and nobody needs per-event callbacks: the
+            # closed form is exact.  A metrics-only ambient observation
+            # still gets its run counters (and fast-path coverage).
+            return _analytic_dispatch(allocation, results_policy, None)
+
     params = allocation.params
     profile = allocation.profile
     if observer is None:
@@ -250,6 +322,56 @@ def simulate_allocation(allocation: WorkAllocation, *,
     )
 
 
+def _analytic_dispatch(allocation: WorkAllocation, results_policy: str,
+                       observer: SimulationObserver | None) -> SimulationResult:
+    """Run the event-free fast path and fold its facts into any metrics."""
+    from repro.simulation.fastpath import analytic_simulation
+
+    result = analytic_simulation(allocation, results_policy=results_policy)
+    registry = observer.registry if observer is not None else None
+    if registry is None:
+        ctx = current_observation()
+        if ctx is not None:
+            registry = ctx.registry
+    if registry is not None:
+        _record_analytic_metrics(registry, result)
+    return result
+
+
+def _record_analytic_metrics(registry, result: SimulationResult) -> None:
+    """The fast path's equivalent of the per-run event-engine metrics.
+
+    Event-granular series (queue depth, events/second) have no analytic
+    counterpart; everything derivable from the closed-form records is
+    recorded under the same metric names the event engine uses, plus the
+    ``sim_fastpath_hits_total`` coverage counter batch runs report.
+    """
+    registry.counter(
+        "sim_fastpath_hits_total",
+        "simulation runs served by the event-free analytic fast path"
+    ).inc()
+    registry.counter("sim_runs_total", "simulation runs executed").inc()
+    registry.counter(
+        "sim_channel_busy_time",
+        "simulated time units the shared channel spent occupied"
+    ).inc(result.network_busy_time)
+    registry.counter(
+        "sim_transits_total", "channel reservations granted"
+    ).inc(result.transits_granted)
+    milestones = registry.counter(
+        "sim_worker_milestones_total",
+        "per-worker milestones reached, by milestone kind")
+    arrived = sum(1 for r in result.records if not np.isnan(r.arrived))
+    computed = sum(1 for r in result.records if not np.isnan(r.busy_end))
+    delivered = sum(1 for r in result.records if r.completed)
+    if arrived:
+        milestones.inc(arrived, milestone="work_arrived")
+    if computed:
+        milestones.inc(computed, milestone="compute_done")
+    if delivered:
+        milestones.inc(delivered, milestone="result_delivered")
+
+
 def _record_run_metrics(registry, network: SingleChannelNetwork,
                         records: dict[int, WorkerRecord],
                         faults_injected: int = 0) -> None:
@@ -291,8 +413,9 @@ def _record_run_metrics(registry, network: SingleChannelNetwork,
 
 def simulate_protocol(protocol: Protocol, profile: Profile, params: ModelParams,
                       lifespan: float, *, results_policy: str = "late",
-                      observer: SimulationObserver | None = None) -> SimulationResult:
+                      observer: SimulationObserver | None = None,
+                      engine: str | None = None) -> SimulationResult:
     """Allocate with ``protocol`` and execute the result in the simulator."""
     allocation = protocol.allocate(profile, params, lifespan)
     return simulate_allocation(allocation, results_policy=results_policy,
-                               observer=observer)
+                               observer=observer, engine=engine)

@@ -131,7 +131,8 @@ def best_additive_upgrade(profile: Profile, params: ModelParams,
         new_profile=new_profile,
         x_before=x_before,
         x_after=best_x,
-        work_ratio=work_ratio(new_profile, profile, params),
+        work_ratio=work_ratio(new_profile, profile, params,
+                              x_new=best_x, x_old=x_before),
     )
 
 
@@ -147,7 +148,8 @@ def additive_work_ratios(profile: Profile, params: ModelParams,
         raise InvalidParameterError(
             f"additive term must satisfy 0 < φ < ρₙ={max_additive_term(profile)!r}, "
             f"got {phi!r}")
+    x_old = x_measure(profile, params)
     return np.array([
-        work_ratio(apply_additive(profile, c, phi), profile, params)
+        work_ratio(apply_additive(profile, c, phi), profile, params, x_old=x_old)
         for c in range(profile.n)
     ])

@@ -117,6 +117,6 @@ class TestScaleSweep:
         profile = Profile.harmonic(64)
         alloc = fifo_allocation(profile, paper_params, 10.0)
         assert check_allocation(alloc).feasible
-        result = simulate_allocation(alloc)
+        result = simulate_allocation(alloc, engine="events")
         assert result.all_completed
         assert result.events_processed >= 4 * 64

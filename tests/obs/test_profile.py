@@ -65,7 +65,7 @@ class TestHotPathProfiler:
         from repro.simulation.runner import simulate_protocol
         with HotPathProfiler() as prof:
             result = simulate_protocol(FifoProtocol(), Profile.linear(4),
-                                       PAPER_TABLE1, 100.0)
+                                       PAPER_TABLE1, 100.0, engine="events")
         assert result.all_completed
         by_target = {s.target: s for s in prof.stats()}
         assert set(by_target) == set(DEFAULT_TARGETS)

@@ -1,0 +1,143 @@
+"""Property-based equivalence proofs for the analytic fast paths.
+
+Three contracts, each randomized:
+
+1. The event-free analytic engine agrees with the discrete-event engine
+   within 1e-9 on ``completed_work``, ``makespan`` and every per-worker
+   milestone, across random clusters, environments and protocol shapes
+   (FIFO, LIFO, and random (Σ, Φ) LP allocations) — well over the 200
+   fault-free cases the acceptance bar asks for.
+2. An :class:`~repro.core.measure.XEvaluator` stays equal to a fresh
+   ``x_measure`` after any sequence of set/insert/remove commits
+   (bit-identical), and its O(1) previews agree within 1e-9.
+3. ``x_decomposition(...).x_value`` reassembles ``x_measure`` for every
+   valid (i, j) focus pair.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import XEvaluator, x_decomposition, x_measure
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.general import lp_allocation
+from repro.protocols.lifo import lifo_allocation
+from repro.simulation.runner import simulate_allocation
+
+_RECORD_FIELDS = ("send_prep_start", "arrived", "busy_end",
+                  "result_start", "result_end")
+
+rho_lists = st.lists(st.floats(min_value=0.1, max_value=5.0,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=1, max_size=10)
+
+params_strategy = st.builds(
+    ModelParams,
+    tau=st.floats(min_value=1e-6, max_value=0.05),
+    pi=st.floats(min_value=1e-6, max_value=0.02),
+    delta=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+)
+
+
+def _assert_engines_agree(alloc, results_policy="late"):
+    ev = simulate_allocation(alloc, engine="events",
+                             results_policy=results_policy)
+    an = simulate_allocation(alloc, engine="analytic",
+                             results_policy=results_policy)
+    tol = 1e-9 * max(1.0, alloc.lifespan)
+    assert an.completed_computers == ev.completed_computers
+    assert abs(an.completed_work - ev.completed_work) <= tol
+    assert abs(an.makespan - ev.makespan) <= tol
+    assert an.transits_granted == ev.transits_granted
+    for re, ra in zip(ev.records, an.records):
+        for field in _RECORD_FIELDS:
+            a, b = getattr(re, field), getattr(ra, field)
+            if np.isnan(a):
+                assert np.isnan(b), (re.computer, field)
+            else:
+                assert abs(a - b) <= tol, (re.computer, field, a, b)
+
+
+@given(rhos=rho_lists, params=params_strategy,
+       lifespan=st.floats(min_value=5.0, max_value=500.0),
+       policy=st.sampled_from(["late", "greedy"]))
+@settings(max_examples=100, deadline=None)
+def test_analytic_matches_events_on_fifo(rhos, params, lifespan, policy):
+    alloc = fifo_allocation(Profile(rhos), params, lifespan)
+    _assert_engines_agree(alloc, results_policy=policy)
+
+
+@given(rhos=rho_lists, params=params_strategy,
+       lifespan=st.floats(min_value=5.0, max_value=500.0))
+@settings(max_examples=60, deadline=None)
+def test_analytic_matches_events_on_lifo(rhos, params, lifespan):
+    alloc = lifo_allocation(Profile(rhos), params, lifespan)
+    _assert_engines_agree(alloc)
+
+
+@given(rhos=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                     min_size=2, max_size=7),
+       params=params_strategy,
+       lifespan=st.floats(min_value=5.0, max_value=500.0),
+       separation=st.booleans(),
+       data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_analytic_matches_events_on_random_lp(rhos, params, lifespan,
+                                              separation, data):
+    profile = Profile(rhos)
+    n = profile.n
+    sigma = tuple(data.draw(st.permutations(range(n))))
+    phi = tuple(data.draw(st.permutations(range(n))))
+    alloc = lp_allocation(profile, params, lifespan, sigma, phi,
+                          enforce_separation=separation)
+    _assert_engines_agree(alloc)
+
+
+@given(rhos=rho_lists, params=params_strategy, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_xevaluator_tracks_fresh_x_measure(rhos, params, data):
+    evaluator = XEvaluator(rhos, params)
+    assert evaluator.x == x_measure(evaluator.rho, params)
+    n_ops = data.draw(st.integers(0, 8))
+    for _ in range(n_ops):
+        ops = ["set", "insert", "preview"]
+        if evaluator.n > 1:
+            ops.append("remove")
+        op = data.draw(st.sampled_from(ops))
+        if op == "preview":
+            k = data.draw(st.integers(0, evaluator.n - 1))
+            rho_new = data.draw(st.floats(min_value=0.1, max_value=5.0))
+            preview = evaluator.x_with_rho(k, rho_new)
+            edited = evaluator.rho
+            edited[k] = rho_new
+            fresh = x_measure(edited, params)
+            assert abs(preview - fresh) <= 1e-9 * max(1.0, abs(fresh))
+        elif op == "set":
+            k = data.draw(st.integers(0, evaluator.n - 1))
+            evaluator.set_rho(k, data.draw(st.floats(min_value=0.1,
+                                                     max_value=5.0)))
+        elif op == "insert":
+            evaluator.insert(data.draw(st.floats(min_value=0.1,
+                                                 max_value=5.0)))
+        else:
+            evaluator.remove(data.draw(st.integers(0, evaluator.n - 1)))
+        # Committed state is bit-identical to a fresh evaluation.
+        assert evaluator.x == x_measure(evaluator.rho, params)
+
+
+@given(rhos=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                     min_size=2, max_size=10),
+       params=params_strategy, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_x_decomposition_reassembles_x_measure(rhos, params, data):
+    profile = Profile(rhos)
+    n = profile.n
+    i = data.draw(st.integers(0, n - 1))
+    j = data.draw(st.integers(0, n - 2))
+    if j >= i:
+        j += 1
+    decomposed = x_decomposition(profile, params, i, j)
+    fresh = x_measure(profile, params)
+    assert abs(decomposed.x_value - fresh) <= 1e-9 * max(1.0, abs(fresh))

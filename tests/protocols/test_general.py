@@ -1,12 +1,17 @@
 """Unit tests for repro.protocols.general — the LP scheduler."""
 
+import numpy as np
 import pytest
 
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import ProtocolError
 from repro.protocols.fifo import fifo_allocation
-from repro.protocols.general import GeneralProtocol, lp_allocation
+from repro.protocols.general import (
+    GeneralProtocol,
+    lp_allocation,
+    lp_allocation_many,
+)
 
 
 class TestLpAllocation:
@@ -62,6 +67,46 @@ class TestLpAllocation:
         without = lp_allocation(table4_profile, params, 10.0, order, order,
                                 enforce_separation=False).total_work
         assert without >= with_sep
+
+
+class TestLpAllocationMany:
+    def test_bit_identical_to_single_solves(self, heavy_comm_params,
+                                            table4_profile, rng):
+        pairs = [(tuple(rng.permutation(4).tolist()),
+                  tuple(rng.permutation(4).tolist())) for _ in range(8)]
+        batch = lp_allocation_many(table4_profile, heavy_comm_params, 20.0,
+                                   pairs)
+        assert len(batch) == len(pairs)
+        for (sigma, phi), alloc in zip(pairs, batch):
+            single = lp_allocation(table4_profile, heavy_comm_params, 20.0,
+                                   sigma, phi)
+            assert np.array_equal(alloc.w, single.w)
+            assert alloc.startup_order == single.startup_order
+            assert alloc.finishing_order == single.finishing_order
+
+    def test_separation_flag_respected(self, table4_profile):
+        params = ModelParams(tau=0.2, pi=0.01, delta=1.0)
+        order = (0, 1, 2, 3)
+        with_sep, = lp_allocation_many(table4_profile, params, 10.0,
+                                       [(order, order)],
+                                       enforce_separation=True)
+        without, = lp_allocation_many(table4_profile, params, 10.0,
+                                      [(order, order)],
+                                      enforce_separation=False)
+        assert without.total_work >= with_sep.total_work
+
+    def test_empty_batch(self, paper_params, table4_profile):
+        assert lp_allocation_many(table4_profile, paper_params, 10.0, []) == []
+
+    def test_rejects_bad_order_in_batch(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            lp_allocation_many(table4_profile, paper_params, 10.0,
+                               [((0, 1, 2, 3), (0, 1))])
+
+    def test_rejects_bad_lifespan(self, paper_params, table4_profile):
+        with pytest.raises(ProtocolError):
+            lp_allocation_many(table4_profile, paper_params, -1.0,
+                               [((0, 1, 2, 3), (0, 1, 2, 3))])
 
 
 class TestGeneralProtocolClass:

@@ -106,7 +106,7 @@ class TestAmbientPickup:
 class TestDisabledPath:
     def test_unobserved_run_unchanged_and_untraced(self):
         alloc = fifo_allocation(Profile.linear(5), _PARAMS, 150.0)
-        plain = simulate_allocation(alloc)
+        plain = simulate_allocation(alloc, engine="events")
         observer = SimulationObserver(Tracer())
         traced_result = simulate_allocation(alloc, observer=observer)
         assert plain.completed_work == traced_result.completed_work
@@ -121,7 +121,7 @@ class TestDisabledPath:
 class TestQueueStatsExposed:
     def test_peak_queue_depth_surfaced_in_result(self):
         alloc = fifo_allocation(Profile.linear(8), _PARAMS, 200.0)
-        result = simulate_allocation(alloc)
+        result = simulate_allocation(alloc, engine="events")
         assert result.peak_queue_depth >= 1
         assert result.transits_granted == 16  # one work + one result per worker
 

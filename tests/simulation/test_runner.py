@@ -91,8 +91,10 @@ class TestBookkeeping:
             result.record_for(99)
 
     def test_event_count_scales_with_cluster(self, paper_params):
-        small = simulate_protocol(FifoProtocol(), Profile.linear(2), paper_params, 60.0)
-        large = simulate_protocol(FifoProtocol(), Profile.linear(8), paper_params, 60.0)
+        small = simulate_protocol(FifoProtocol(), Profile.linear(2), paper_params,
+                                  60.0, engine="events")
+        large = simulate_protocol(FifoProtocol(), Profile.linear(8), paper_params,
+                                  60.0, engine="events")
         assert large.events_processed > small.events_processed
 
     def test_unknown_policy_rejected(self, paper_params, table4_profile):

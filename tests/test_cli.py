@@ -302,3 +302,83 @@ class TestFaultFlags:
                      "--jobs", "2"]) == 0
         par = capsys.readouterr().out
         assert seq == par
+
+
+class TestEngineFlag:
+    """`run --engine {auto,events,analytic}` selects the simulation
+    engine process-wide (and, via REPRO_SIM_ENGINE, in batch workers)."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_engine(self, monkeypatch):
+        from repro.simulation.runner import default_engine, set_default_engine
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        previous = default_engine()
+        yield
+        set_default_engine(previous)
+
+    def test_parses_engine(self):
+        args = build_parser().parse_args(
+            ["run", "table3", "--engine", "analytic"])
+        assert args.engine == "analytic"
+        assert build_parser().parse_args(["run", "table3"]).engine is None
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table3", "--engine", "warp"])
+
+    def test_engine_sets_process_default_and_env(self, capsys):
+        import os
+
+        from repro.simulation.runner import default_engine
+        assert main(["run", "table3", "--engine", "events"]) == 0
+        assert default_engine() == "events"
+        assert os.environ["REPRO_SIM_ENGINE"] == "events"
+        capsys.readouterr()
+
+    def test_analytic_with_faults_exit_code_3(self, capsys):
+        from repro.simulation.runner import default_engine
+        assert main(["run", "failure-resilience", "--faults", "crash:0@5",
+                     "--engine", "analytic"]) == 3
+        err = capsys.readouterr().err
+        assert "--engine analytic" in err
+        assert "--faults" in err
+        # Refused before any state change.
+        assert default_engine() == "auto"
+
+    def _probe_output(self, capsys, engine):
+        assert main(["run", "sim-probe", "--engine", engine,
+                     "--format", "csv"]) == 0
+        header, row = capsys.readouterr().out.strip().splitlines()
+        assert header == "work,events"
+        work, events = row.split(",")
+        return float(work), int(events)
+
+    def test_engine_governs_simulations(self, capsys, monkeypatch):
+        from repro.core.params import ModelParams
+        from repro.core.profile import Profile
+        from repro.experiments import base
+        from repro.experiments.base import ExperimentResult
+        from repro.protocols.fifo import fifo_allocation
+        from repro.simulation.runner import simulate_allocation
+
+        def sim_probe():
+            alloc = fifo_allocation(
+                Profile([1.0, 0.5, 0.25]),
+                ModelParams(tau=1e-3, pi=1e-4, delta=1.0), 20.0)
+            result = simulate_allocation(alloc)  # engine=None -> default
+            return ExperimentResult(
+                experiment_id="sim-probe", title="engine probe",
+                headers=("work", "events"),
+                rows=[(repr(result.completed_work),
+                       result.events_processed)])
+        monkeypatch.setitem(base._REGISTRY, "sim-probe", sim_probe)
+
+        analytic_work, analytic_events = self._probe_output(capsys, "analytic")
+        events_work, events_events = self._probe_output(capsys, "events")
+        auto_work, auto_events = self._probe_output(capsys, "auto")
+        assert analytic_events == 0          # no event loop ran
+        assert events_events > 0
+        assert auto_events == 0              # auto takes the fast path
+        tol = 1e-9 * max(1.0, events_work)
+        assert abs(analytic_work - events_work) <= tol
+        assert abs(auto_work - events_work) <= tol
