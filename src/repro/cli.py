@@ -3,11 +3,13 @@
 Subcommands
 -----------
 ``list``
-    Show every registered experiment.
+    Show every registered experiment (``--json`` for machine-readable).
 ``run <experiment-id> [...]``
     Run one experiment (or ``all``) and print its report.
 ``hecr --profile 1,0.5,0.25``
     Quick HECR/X computation for an ad-hoc profile.
+``serve``
+    Start the JSON-over-HTTP serving layer (see ``docs/SERVICE.md``).
 
 Examples
 --------
@@ -17,6 +19,7 @@ Examples
     repro-hetero run table3
     repro-hetero run variance-trials --trials 200 --seed 7
     repro-hetero hecr --profile 1,0.5,0.333,0.25
+    repro-hetero serve --port 8023 --batch-window 2.0
 """
 
 from __future__ import annotations
@@ -69,7 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "Heterogeneity in Computing' (IPDPS 2010)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the registered experiments")
+    list_cmd = sub.add_parser("list", help="list the registered experiments")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit the registry as a JSON array of "
+                               "{id, description, shardable} objects")
 
     run = sub.add_parser("run", help="run an experiment and print its report")
     run.add_argument("experiment", help="experiment id, or 'all'")
@@ -117,6 +123,53 @@ def build_parser() -> argparse.ArgumentParser:
     hecr_cmd.add_argument("--tau", type=float, default=PAPER_TABLE1.tau)
     hecr_cmd.add_argument("--pi", type=float, default=PAPER_TABLE1.pi)
     hecr_cmd.add_argument("--delta", type=float, default=PAPER_TABLE1.delta)
+
+    serve = sub.add_parser(
+        "serve", help="start the JSON-over-HTTP serving layer")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port; 0 asks the OS for an ephemeral port "
+                            "(default: 8023)")
+    serve.add_argument("--batch-window", type=float, default=2.0,
+                       metavar="MS",
+                       help="micro-batching window in milliseconds; 0 "
+                            "disables coalescing (default: 2.0)")
+    serve.add_argument("--max-batch", type=int, default=64, metavar="N",
+                       help="max evaluation requests solved in one "
+                            "coalesced batch (default: 64)")
+    serve.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                       help="admitted-request ceiling; excess is shed with "
+                            "503 + Retry-After (default: 64)")
+    serve.add_argument("--rate", type=float, default=0.0, metavar="RPS",
+                       help="token-bucket admission rate in requests/second; "
+                            "0 disables rate limiting (default: 0)")
+    serve.add_argument("--burst", type=float, default=64.0, metavar="N",
+                       help="token-bucket capacity (default: 64)")
+    serve.add_argument("--deadline", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="default per-request deadline; 0 = none; a "
+                            "request may override via X-Repro-Deadline-Ms "
+                            "(default: 0)")
+    serve.add_argument("--cache-ttl", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="response-cache entry lifetime; 0 disables the "
+                            "cache (default: 60)")
+    serve.add_argument("--cache-entries", type=int, default=1024, metavar="N",
+                       help="response-cache capacity (default: 1024)")
+    serve.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="worker processes for experiment dispatch "
+                            "(default: 1)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk experiment result cache")
+    serve.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="experiment result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or the platform cache home)")
+    serve.add_argument("--engine", choices=("auto", "events", "analytic"),
+                       default=None,
+                       help="force a simulation engine for the server "
+                            "process and its dispatch workers (default: "
+                            "process default / $REPRO_SIM_ENGINE)")
 
     compare_cmd = sub.add_parser(
         "compare", help="compare two clusters with every measure/predictor")
@@ -334,14 +387,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _failure_exit_code(batch)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: exit 0 on clean shutdown, 1 when the
+    bind fails, 3 for engine/simulation errors (e.g. a bad --engine or
+    $REPRO_SIM_ENGINE surfacing at boot)."""
+    from repro.obs import default_registry
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host, port=args.port,
+        batch_window=args.batch_window / 1000.0,  # CLI speaks milliseconds
+        max_batch=args.max_batch, max_inflight=args.max_inflight,
+        rate=args.rate, burst=args.burst, deadline=args.deadline,
+        cache_entries=args.cache_entries, cache_ttl=args.cache_ttl,
+        jobs=args.jobs, no_result_cache=args.no_cache,
+        result_cache_dir=args.cache_dir, engine=args.engine)
+
+    def announce(service) -> None:
+        print(f"repro-hetero serving on http://{service.host}:{service.port} "
+              f"(batch window {args.batch_window:g} ms, max in-flight "
+              f"{args.max_inflight})", file=sys.stderr)
+
+    try:
+        run_service(config, registry=default_registry(), ready=announce)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Exit codes: 0 success; 1 experiment failure; 2 unknown experiment
-    or unparseable input; 3 fault/simulation errors (malformed
-    ``--faults`` specs, :class:`~repro.errors.SimulationError` and the
-    fault/recovery error family) — reported as one stderr line, not a
-    traceback.
+    Exit codes: 0 success; 1 experiment failure (or a ``serve`` bind
+    failure); 2 unknown experiment or unparseable input; 3
+    fault/simulation errors (malformed ``--faults`` specs,
+    :class:`~repro.errors.SimulationError` and the fault/recovery error
+    family) — reported as one stderr line, not a traceback.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -355,12 +438,21 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(parser: argparse.ArgumentParser,
               args: argparse.Namespace) -> int:
     if args.command == "list":
-        for experiment_id in list_experiments():
-            print(experiment_id)
+        if args.json:
+            import json
+
+            from repro.experiments.base import experiment_index
+            print(json.dumps(experiment_index(), indent=2))
+        else:
+            for experiment_id in list_experiments():
+                print(experiment_id)
         return 0
 
     if args.command == "run":
         return _cmd_run(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     if args.command == "report":
         from repro.batch import ResultCache, default_cache_dir, run_batch

@@ -33,7 +33,8 @@ try:  # POSIX-only; gives peak RSS for the obs block when present.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     _resource = None
 
-__all__ = ["ExperimentResult", "ShardSpec", "register", "get_experiment",
+__all__ = ["ExperimentResult", "ShardSpec", "experiment_index",
+           "experiment_summary", "register", "get_experiment",
            "get_shard_spec", "list_experiments", "run_experiment",
            "run_sharded", "record_experiment_metrics"]
 
@@ -160,6 +161,32 @@ def run_sharded(spec: ShardSpec, **kwargs: Any) -> ExperimentResult:
 def list_experiments() -> list[str]:
     """All registered experiment ids, sorted."""
     return sorted(_REGISTRY)
+
+
+def experiment_summary(experiment_id: str) -> dict[str, Any]:
+    """One experiment's machine-readable registry entry.
+
+    ``description`` is the first line of the runner's docstring (empty
+    when undocumented); ``shardable`` says whether the batch engine can
+    fan the experiment out across worker processes.
+    """
+    runner = get_experiment(experiment_id)
+    doc = (runner.__doc__ or "").strip()
+    return {
+        "id": experiment_id,
+        "description": doc.splitlines()[0].strip() if doc else "",
+        "shardable": experiment_id in _SHARD_SPECS,
+    }
+
+
+def experiment_index() -> list[dict[str, Any]]:
+    """The registry as data: ``experiment_summary`` for every id, sorted.
+
+    This is the payload behind both ``repro-hetero list --json`` and the
+    service's ``GET /v1/experiments`` — one code path, one answer.
+    """
+    return [experiment_summary(experiment_id)
+            for experiment_id in list_experiments()]
 
 
 def _peak_rss_bytes() -> int | None:

@@ -22,23 +22,47 @@ import numpy as np
 from repro.core.profile import Profile
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["result_to_json", "result_to_csv", "jsonable"]
+__all__ = ["result_to_json", "result_to_csv", "jsonable", "NONFINITE_KEY",
+           "nonfinite_to_float"]
+
+#: Marker key of the sentinel object a non-finite float serialises to.
+#: ``{"__nonfinite__": "nan" | "inf" | "-inf"}`` survives strict JSON
+#: (``allow_nan=False``) and is restored to the float by
+#: :func:`repro.io.result_from_dict` — no silent NaN→null data loss.
+NONFINITE_KEY = "__nonfinite__"
+
+_NONFINITE_NAMES = {float("inf"): "inf", float("-inf"): "-inf"}
+
+
+def nonfinite_to_float(value: Any) -> float | None:
+    """The float a non-finite sentinel dict encodes, or None if it is
+    not one."""
+    if isinstance(value, dict) and set(value) == {NONFINITE_KEY} \
+            and value[NONFINITE_KEY] in ("nan", "inf", "-inf"):
+        return float(value[NONFINITE_KEY])
+    return None
 
 
 def jsonable(value: Any) -> Any:
     """Convert ``value`` into something ``json.dumps`` accepts.
 
-    Conversion rules, in order: None/bool/int/float/str pass through;
-    NumPy scalars/arrays become Python scalars/lists; Fractions become
-    floats (their ``str`` form is kept alongside nothing — callers who
-    need exactness should export before converting); Enums become their
-    values; Profiles become ρ-lists; dataclasses become dicts; mappings
-    and sequences convert recursively; everything else becomes ``str``.
+    Conversion rules, in order: None/bool/int/float/str pass through
+    (non-finite floats become ``{"__nonfinite__": ...}`` sentinels so
+    strict JSON round-trips them); NumPy scalars/arrays become Python
+    scalars/lists; Fractions become floats (their ``str`` form is kept
+    alongside nothing — callers who need exactness should export before
+    converting); Enums become their values; Profiles become ρ-lists;
+    dataclasses become dicts; mappings and sequences convert
+    recursively; everything else becomes ``str``.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):
-        return None if value != value else value  # NaN -> null
+        if value != value:
+            return {NONFINITE_KEY: "nan"}
+        if value in _NONFINITE_NAMES:
+            return {NONFINITE_KEY: _NONFINITE_NAMES[value]}
+        return value
     if isinstance(value, np.generic):
         return jsonable(value.item())
     if isinstance(value, np.ndarray):
@@ -79,5 +103,13 @@ def result_to_csv(result: ExperimentResult) -> str:
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(result.headers)
     for row in result.rows:
-        writer.writerow([jsonable(cell) for cell in row])
+        writer.writerow([_csv_cell(jsonable(cell)) for cell in row])
     return buffer.getvalue()
+
+
+def _csv_cell(value: Any) -> Any:
+    """CSV has no objects: render non-finite sentinels as their names."""
+    restored = nonfinite_to_float(value)
+    if restored is not None:
+        return value[NONFINITE_KEY]
+    return value

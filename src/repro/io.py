@@ -112,13 +112,29 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     }
 
 
+def _restore_nonfinite(value: Any) -> Any:
+    """Recursively turn ``{"__nonfinite__": ...}`` sentinels back into
+    their floats (NaN/±inf), leaving everything else untouched."""
+    from repro.experiments.export import nonfinite_to_float
+    restored = nonfinite_to_float(value)
+    if restored is not None:
+        return restored
+    if isinstance(value, dict):
+        return {k: _restore_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_restore_nonfinite(v) for v in value]
+    return value
+
+
 def result_from_dict(data: dict[str, Any]) -> Any:
     """Rebuild an :class:`~repro.experiments.base.ExperimentResult`.
 
     The inverse of :func:`result_to_dict` *up to JSON fidelity*: rows
     come back as tuples of plain JSON values and metadata as plain
     dicts/lists (NumPy arrays and dataclasses do not round-trip — they
-    were flattened on the way out).  Re-serialising the rebuilt result
+    were flattened on the way out).  Non-finite floats *do* round-trip:
+    the ``{"__nonfinite__": ...}`` sentinels ``jsonable`` emitted are
+    restored to their NaN/±inf here.  Re-serialising the rebuilt result
     therefore reproduces the original document byte for byte, which is
     the property the batch result cache relies on.
     """
@@ -128,9 +144,10 @@ def result_from_dict(data: dict[str, Any]) -> Any:
             experiment_id=str(data["experiment_id"]),
             title=str(data["title"]),
             headers=tuple(data["headers"]),
-            rows=tuple(tuple(row) for row in data["rows"]),
+            rows=tuple(tuple(_restore_nonfinite(cell) for cell in row)
+                       for row in data["rows"]),
             notes=tuple(data.get("notes", ())),
-            metadata=dict(data.get("metadata", {})),
+            metadata=_restore_nonfinite(dict(data.get("metadata", {}))),
         )
     except KeyError as exc:
         raise InvalidParameterError(f"result dict missing key: {exc}") from exc

@@ -78,6 +78,18 @@ def read_jsonl(path: str) -> list[dict[str, Any]]:
     return records
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the text exposition format.
+
+    The spec escapes exactly backslash and line feed in help text (no
+    quote escaping there, unlike label values).  Unescaped, a newline
+    smuggled into a help string — e.g. from a label derived from a raw
+    request path — would split the line and corrupt every sample below
+    it for any exposition parser.
+    """
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _escape_label_value(value: str) -> str:
     return (value.replace("\\", r"\\").replace("\n", r"\n")
                  .replace('"', r"\""))
@@ -98,7 +110,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for metric in registry.collect():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         for sample in metric.samples():
             if sample.labels:

@@ -1,0 +1,521 @@
+"""The service application: routing, validation, deadlines, telemetry.
+
+One :class:`ReproService` owns a listening socket, a
+:class:`~repro.service.coalescer.MicroBatcher`, an
+:class:`~repro.service.admission.AdmissionController`, and a
+:class:`~repro.service.respcache.ResponseCache`, and exposes:
+
+========  ============================  =====================================
+method    path                          answers
+========  ============================  =====================================
+GET       ``/healthz``                  liveness + uptime + in-flight count
+GET       ``/metrics``                  Prometheus text exposition
+GET       ``/v1/experiments``           machine-readable experiment index
+POST      ``/v1/experiments/{id}``      one experiment run (batch engine)
+POST      ``/v1/x``                     ``X(P)``
+POST      ``/v1/work``                  work rate / ``W(L;P)``
+POST      ``/v1/hecr``                  the HECR ``ρ_C``
+POST      ``/v1/allocate``              FIFO / LP work allocations
+========  ============================  =====================================
+
+Request semantics (shedding, batching, deadlines, caching) are
+documented in ``docs/SERVICE.md``.  Everything is instrumented through
+the PR-1 observability layer: ``svc_requests_total{route,code}``,
+``svc_request_seconds{route}``, ``svc_inflight``,
+``svc_shed_total{reason}``, ``svc_batch_size``, and — when a tracer is
+attached — one ``svc:<route>`` span record per request (ingested
+pre-timed, because asyncio tasks interleave and must not share the
+tracer's thread-local span stack).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Awaitable, Callable
+
+from repro import __version__
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import (FaultInjectionError, FaultSpecError,
+                          InfeasibleScheduleError, InvalidParameterError,
+                          InvalidProfileError, ProtocolError, RecoveryError,
+                          SimulationError)
+from repro.experiments.base import experiment_index, list_experiments
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer
+from repro.service.admission import AdmissionController
+from repro.service.coalescer import MicroBatcher
+from repro.service.config import ServiceConfig
+from repro.service.http import (HttpError, Request, read_request,
+                                render_response)
+from repro.service.respcache import ResponseCache
+
+__all__ = ["ReproService", "parse_eval_payload"]
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Library errors that mean "your request was invalid", not "we broke".
+_CLIENT_ERRORS = (InvalidParameterError, InvalidProfileError, ProtocolError,
+                  InfeasibleScheduleError, FaultSpecError)
+#: The CLI's exit-code-3 family, labelled for scripted clients.
+_FAULT_ERRORS = (SimulationError, FaultInjectionError, RecoveryError)
+
+
+# ---------------------------------------------------------------------------
+# request-payload validation
+# ---------------------------------------------------------------------------
+
+def _parse_params(obj: Any) -> ModelParams:
+    """``{"tau","pi","delta"}`` (defaults from Table 1) → ModelParams."""
+    if obj is None:
+        return PAPER_TABLE1
+    if not isinstance(obj, dict):
+        raise InvalidParameterError(
+            f"params must be an object with tau/pi/delta, got {type(obj).__name__}")
+    unknown = set(obj) - {"tau", "pi", "delta"}
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown params fields: {', '.join(sorted(unknown))}")
+    return ModelParams(tau=obj.get("tau", PAPER_TABLE1.tau),
+                       pi=obj.get("pi", PAPER_TABLE1.pi),
+                       delta=obj.get("delta", PAPER_TABLE1.delta))
+
+
+def _parse_profile(obj: Any) -> tuple[float, ...]:
+    if not isinstance(obj, (list, tuple)) or not obj:
+        raise InvalidProfileError(
+            "profile must be a non-empty array of positive rho values")
+    profile = Profile(obj)  # validates positivity / finiteness
+    return tuple(float(r) for r in profile)
+
+
+def _parse_lifespan(obj: Any, *, required: bool) -> float | None:
+    if obj is None:
+        if required:
+            raise InvalidParameterError("lifespan is required")
+        return None
+    if not isinstance(obj, (int, float)) or isinstance(obj, bool) \
+            or obj != obj or not (0 < obj < float("inf")):
+        raise InvalidParameterError(
+            f"lifespan must be a positive finite number, got {obj!r}")
+    return float(obj)
+
+
+def _parse_order(obj: Any, n: int, name: str) -> tuple[int, ...] | None:
+    if obj is None:
+        return None
+    if not isinstance(obj, (list, tuple)) \
+            or sorted(int(i) for i in obj if isinstance(i, int)) != list(range(n)):
+        raise ProtocolError(
+            f"{name} must be a permutation of 0..{n - 1}, got {obj!r}")
+    return tuple(int(i) for i in obj)
+
+
+def parse_eval_payload(kind: str, body: dict[str, Any]) -> dict[str, Any]:
+    """Validate one evaluation request body into its canonical payload.
+
+    The canonical payload is what the coalescer keys and solves on:
+    profile as a float tuple, params as :class:`ModelParams`, orders as
+    int tuples.  Raising here (client error → 400) keeps garbage out of
+    the batch solver entirely.
+    """
+    if not isinstance(body, dict):
+        raise InvalidParameterError("request body must be a JSON object")
+    payload: dict[str, Any] = {
+        "profile": _parse_profile(body.get("profile")),
+        "params": _parse_params(body.get("params")),
+    }
+    n = len(payload["profile"])
+    if kind == "work":
+        payload["lifespan"] = _parse_lifespan(body.get("lifespan"),
+                                              required=False)
+    elif kind == "allocate":
+        payload["lifespan"] = _parse_lifespan(body.get("lifespan"),
+                                              required=True)
+        protocol = body.get("protocol", "fifo")
+        if protocol not in ("fifo", "lp"):
+            raise ProtocolError(
+                f"protocol must be 'fifo' or 'lp', got {protocol!r}")
+        payload["protocol"] = protocol
+        startup = _parse_order(body.get("startup_order"), n, "startup_order")
+        finishing = _parse_order(body.get("finishing_order"), n,
+                                 "finishing_order")
+        if protocol == "fifo":
+            if finishing is not None and finishing != (startup or finishing):
+                raise ProtocolError(
+                    "FIFO requires finishing_order == startup_order "
+                    "(omit it, or use protocol='lp')")
+            payload["startup_order"] = startup
+        else:
+            natural = tuple(range(n))
+            payload["startup_order"] = startup or natural
+            payload["finishing_order"] = finishing or natural
+            sep = body.get("enforce_separation", True)
+            if not isinstance(sep, bool):
+                raise InvalidParameterError(
+                    f"enforce_separation must be a boolean, got {sep!r}")
+            payload["enforce_separation"] = sep
+    return payload
+
+
+def _cacheable_form(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """The canonical payload as plain JSON types (response-cache key)."""
+    params = payload["params"]
+    out: dict[str, Any] = {
+        "kind": kind,
+        "profile": list(payload["profile"]),
+        "params": {"tau": params.tau, "pi": params.pi, "delta": params.delta},
+    }
+    for field in ("lifespan", "protocol", "enforce_separation"):
+        if field in payload:
+            out[field] = payload[field]
+    for field in ("startup_order", "finishing_order"):
+        if payload.get(field) is not None:
+            out[field] = list(payload[field])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the service
+# ---------------------------------------------------------------------------
+
+class _Response:
+    """One handler's answer: status + rendered body + extras."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(self, status: int, body: bytes,
+                 content_type: str = _JSON,
+                 headers: dict[str, str] | None = None) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+
+
+def _json_response(status: int, payload: Any,
+                   headers: dict[str, str] | None = None) -> _Response:
+    body = json.dumps(payload, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8") + b"\n"
+    return _Response(status, body, headers=headers)
+
+
+def _error_response(status: int, message: str,
+                    headers: dict[str, str] | None = None,
+                    **extra: Any) -> _Response:
+    return _json_response(status, {"error": message, **extra}, headers=headers)
+
+
+class ReproService:
+    """The asyncio HTTP server around the library's hot queries.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.service.config.ServiceConfig` (defaults apply).
+    registry:
+        Metrics destination; defaults to the process-global registry so
+        ``GET /metrics`` and the CLI share one view.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`; when present every
+        request emits one pre-timed ``svc:<route>`` span record.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.tracer = tracer
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            rate=self.config.rate, burst=self.config.burst)
+        self.cache = ResponseCache(self.config.cache_entries,
+                                   self.config.cache_ttl)
+        self.batcher = MicroBatcher(window=self.config.batch_window,
+                                    max_batch=self.config.max_batch,
+                                    registry=self.registry)
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at = 0.0
+        self._result_cache = None
+        self._routes: dict[tuple[str, str], tuple[
+            Callable[[Request], Awaitable[_Response]], bool]] = {
+            ("GET", "/healthz"): (self._handle_healthz, False),
+            ("GET", "/metrics"): (self._handle_metrics, False),
+            ("GET", "/v1/experiments"): (self._handle_experiment_index, False),
+            ("POST", "/v1/x"): (self._make_eval_handler("x"), True),
+            ("POST", "/v1/work"): (self._make_eval_handler("work"), True),
+            ("POST", "/v1/hecr"): (self._make_eval_handler("hecr"), True),
+            ("POST", "/v1/allocate"): (self._make_eval_handler("allocate"),
+                                       True),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the coalescer's drain task."""
+        if self.config.engine is not None:
+            import os
+
+            from repro.simulation.runner import set_default_engine
+            # Mirror the CLI's run --engine contract: the setter covers
+            # in-process evaluation, the environment variable covers
+            # experiment-dispatch worker processes.
+            set_default_engine(self.config.engine)
+            os.environ["REPRO_SIM_ENGINE"] = self.config.engine
+        else:
+            from repro.simulation.runner import default_engine
+            default_engine()  # surface a bad $REPRO_SIM_ENGINE at boot
+        if not self.config.no_result_cache:
+            from repro.batch import ResultCache, default_cache_dir
+            self._result_cache = ResultCache(
+                self.config.result_cache_dir or default_cache_dir())
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port)
+        self._started_at = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's choice)."""
+        if self._server is None or not self._server.sockets:
+            raise InvalidParameterError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    # -- connection handling -------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_header_bytes=self.config.max_header_bytes,
+                        max_body_bytes=self.config.max_body_bytes)
+                except HttpError as exc:
+                    self._record(f"(malformed:{exc.status})", exc.status, 0.0)
+                    writer.write(render_response(
+                        exc.status,
+                        json.dumps({"error": exc.message}).encode() + b"\n",
+                        keep_alive=exc.recoverable))
+                    await writer.drain()
+                    if not exc.recoverable:
+                        break
+                    continue
+                if request is None:
+                    break
+                response = await self._respond(request)
+                writer.write(render_response(
+                    response.status, response.body,
+                    content_type=response.content_type,
+                    extra_headers=response.headers,
+                    keep_alive=request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _match(self, request: Request) -> tuple[
+            str, Callable[[Request], Awaitable[_Response]] | None, bool]:
+        """Resolve a request to ``(route_label, handler, sheddable)``."""
+        exact = self._routes.get((request.method, request.path))
+        if exact is not None:
+            return request.path, exact[0], exact[1]
+        prefix = "/v1/experiments/"
+        if request.path.startswith(prefix) and len(request.path) > len(prefix):
+            if request.method == "POST":
+                return "/v1/experiments/{id}", self._handle_experiment_run, True
+            return "/v1/experiments/{id}", None, False  # 405
+        if any(path == request.path for _, path in self._routes):
+            return request.path, None, False  # 405
+        return "(unmatched)", None, False  # 404
+
+    async def _respond(self, request: Request) -> _Response:
+        route, handler, sheddable = self._match(request)
+        start = time.perf_counter()
+        if handler is None:
+            status = 405 if route != "(unmatched)" else 404
+            message = ("method not allowed" if status == 405 else
+                       f"no route for {request.path!r}")
+            response = _error_response(status, message)
+            self._record(route, status, time.perf_counter() - start,
+                         method=request.method)
+            return response
+
+        if sheddable:
+            decision = self.admission.admit()
+            if not decision:
+                self.registry.counter(
+                    "svc_shed_total",
+                    "requests shed by admission control, by reason"
+                ).inc(reason=decision.reason)
+                response = _error_response(
+                    decision.status, f"shed: {decision.reason}",
+                    headers={"Retry-After": decision.retry_after_header},
+                    retry_after=decision.retry_after)
+                self._record(route, decision.status,
+                             time.perf_counter() - start,
+                             method=request.method)
+                return response
+            self.registry.gauge(
+                "svc_inflight", "admitted requests currently in flight"
+            ).set(self.admission.inflight)
+
+        try:
+            response = await self._run_with_deadline(handler, request)
+        except asyncio.TimeoutError:
+            response = _error_response(504, "deadline exceeded")
+        except _CLIENT_ERRORS as exc:
+            response = _error_response(400, f"{type(exc).__name__}: {exc}")
+        except _FAULT_ERRORS as exc:
+            response = _error_response(500, f"{type(exc).__name__}: {exc}",
+                                       family="fault")
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            response = _error_response(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            if sheddable:
+                self.admission.release()
+                self.registry.gauge(
+                    "svc_inflight", "admitted requests currently in flight"
+                ).set(self.admission.inflight)
+        self._record(route, response.status, time.perf_counter() - start,
+                     method=request.method)
+        return response
+
+    async def _run_with_deadline(
+            self, handler: Callable[[Request], Awaitable[_Response]],
+            request: Request) -> _Response:
+        deadline_ms = request.header_float("x-repro-deadline-ms")
+        deadline = (deadline_ms / 1000.0 if deadline_ms is not None
+                    else self.config.deadline)
+        if deadline and deadline > 0:
+            return await asyncio.wait_for(handler(request), timeout=deadline)
+        return await handler(request)
+
+    def _record(self, route: str, code: int, seconds: float,
+                method: str = "GET") -> None:
+        self.registry.counter(
+            "svc_requests_total", "HTTP requests served, by route and code"
+        ).inc(route=route, code=code)
+        self.registry.timer(
+            "svc_request_seconds", "request wall time, by route"
+        ).observe(seconds, route=route)
+        if self.tracer is not None:
+            # Pre-timed record via ingest(): concurrent asyncio tasks
+            # must not push/pop the tracer's thread-local span stack.
+            self.tracer.ingest([{
+                "type": "span", "name": f"svc:{route}",
+                "ts": time.perf_counter() - seconds - self.tracer.epoch,
+                "dur": seconds, "depth": 0,
+                "attrs": {"code": code, "method": method},
+            }])
+
+    # -- handlers ------------------------------------------------------
+    async def _handle_healthz(self, request: Request) -> _Response:
+        return _json_response(200, {
+            "status": "ok", "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "inflight": self.admission.inflight,
+        })
+
+    async def _handle_metrics(self, request: Request) -> _Response:
+        return _Response(200, prometheus_text(self.registry).encode("utf-8"),
+                         content_type=_PROM)
+
+    async def _handle_experiment_index(self, request: Request) -> _Response:
+        return _json_response(200, {"experiments": experiment_index()})
+
+    @staticmethod
+    def _json_body(request: Request) -> dict[str, Any]:
+        if not request.body:
+            return {}
+        try:
+            body = json.loads(request.body)
+        except ValueError as exc:
+            raise InvalidParameterError(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise InvalidParameterError("request body must be a JSON object")
+        return body
+
+    def _make_eval_handler(
+            self, kind: str) -> Callable[[Request], Awaitable[_Response]]:
+        async def handle(request: Request) -> _Response:
+            payload = parse_eval_payload(kind, self._json_body(request))
+            cache_key = None
+            if self.cache.enabled:
+                cache_key = self.cache.key(f"/v1/{kind}",
+                                           _cacheable_form(kind, payload))
+                body = self.cache.get(cache_key)
+                if body is not None:
+                    self.registry.counter(
+                        "svc_response_cache_hits_total",
+                        "evaluation responses served from the TTL cache"
+                    ).inc(kind=kind)
+                    return _Response(200, body)
+            result = await self.batcher.submit(kind, payload)
+            response = _json_response(200, result)
+            if cache_key is not None:
+                self.cache.put(cache_key, response.body)
+            return response
+        return handle
+
+    async def _handle_experiment_run(self, request: Request) -> _Response:
+        experiment_id = request.path.rsplit("/", 1)[-1]
+        if experiment_id not in list_experiments():
+            return _error_response(
+                404, f"unknown experiment {experiment_id!r}",
+                known=list_experiments())
+        body = self._json_body(request)
+        kwargs = body.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise InvalidParameterError("kwargs must be a JSON object")
+        from repro.batch import run_batch
+        from repro.io import result_to_dict
+
+        def run() -> Any:
+            return run_batch([experiment_id],
+                             kwargs_by_id={experiment_id: dict(kwargs)},
+                             jobs=self.config.jobs, cache=self._result_cache)
+        batch = await asyncio.get_running_loop().run_in_executor(None, run)
+        item = batch.items[0]
+        if item.error is not None:
+            family = item.error.split(":", 1)[0]
+            status = 400 if family in (
+                "InvalidParameterError", "InvalidProfileError",
+                "FaultSpecError", "ProtocolError") else 500
+            return _error_response(status, item.error,
+                                   experiment=experiment_id)
+        return _json_response(200, {
+            "experiment": experiment_id,
+            "cached": item.cached,
+            "wall_seconds": item.wall_seconds,
+            "result": result_to_dict(item.result),
+        })

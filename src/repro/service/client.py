@@ -1,0 +1,215 @@
+"""A blocking client for the serving layer (stdlib ``http.client``).
+
+:class:`ServiceClient` is the supported way to talk to a running
+``repro-hetero serve`` from scripts, tests, and the throughput
+benchmark.  It speaks plain JSON over a persistent keep-alive
+connection, raises :class:`ServiceError` for every non-2xx answer
+(carrying the status, the decoded error payload, and any
+``Retry-After`` hint so callers can implement backoff), and is safe to
+share across threads only if each thread uses its own instance — the
+underlying ``HTTPConnection`` is not thread-safe, and per-thread
+clients are exactly what a load generator wants anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx service answer (or a transport failure).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code, or 0 for transport-level failures.
+    payload:
+        The decoded JSON error body (``{}`` when undecodable).
+    retry_after:
+        Seconds suggested by the ``Retry-After`` header, 0.0 if absent —
+        non-zero exactly when the server shed the request (429/503).
+    """
+
+    def __init__(self, message: str, *, status: int = 0,
+                 payload: dict[str, Any] | None = None,
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+        self.retry_after = retry_after
+
+    @property
+    def shed(self) -> bool:
+        """True when the server refused the request under load."""
+        return self.status in (429, 503)
+
+
+class ServiceClient:
+    """One keep-alive connection to a ``repro-hetero serve`` instance.
+
+    Examples
+    --------
+    ::
+
+        with ServiceClient("127.0.0.1", 8023) as client:
+            client.x([1.0, 0.5, 0.25])["x"]
+            client.allocate([1.0, 0.5], lifespan=100.0, protocol="lp")
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: HTTPConnection | None = None
+
+    # -- plumbing ------------------------------------------------------
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                payload: dict[str, Any] | None = None, *,
+                deadline_ms: float | None = None) -> dict[str, Any]:
+        """One JSON round trip; returns the decoded 2xx body.
+
+        Raises :class:`ServiceError` for non-2xx statuses and for
+        transport failures (after dropping the connection so the next
+        call reconnects cleanly).
+        """
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Repro-Deadline-Ms"] = str(float(deadline_ms))
+        body = (json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                if payload is not None else None)
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, HTTPException) as exc:
+            self.close()
+            raise ServiceError(
+                f"transport failure talking to {self.host}:{self.port}: "
+                f"{type(exc).__name__}: {exc}") from None
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            retry_after = 0.0
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            message = (decoded.get("error")
+                       if isinstance(decoded, dict) else None)
+            raise ServiceError(
+                f"{method} {path} -> {response.status}: "
+                f"{message or raw[:200]!r}",
+                status=response.status,
+                payload=decoded if isinstance(decoded, dict) else {},
+                retry_after=retry_after)
+        return decoded
+
+    # -- endpoint helpers ----------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition (not JSON)."""
+        try:
+            conn = self._connection()
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, HTTPException) as exc:
+            self.close()
+            raise ServiceError(
+                f"transport failure talking to {self.host}:{self.port}: "
+                f"{type(exc).__name__}: {exc}") from None
+        if response.status != 200:
+            raise ServiceError(f"GET /metrics -> {response.status}",
+                               status=response.status)
+        return raw.decode("utf-8")
+
+    def experiments(self) -> list[dict[str, Any]]:
+        return self.request("GET", "/v1/experiments")["experiments"]
+
+    def run_experiment(self, experiment_id: str,
+                       **kwargs: Any) -> dict[str, Any]:
+        payload = {"kwargs": kwargs} if kwargs else None
+        return self.request("POST", f"/v1/experiments/{experiment_id}",
+                            payload)
+
+    @staticmethod
+    def _eval_payload(profile: Sequence[float],
+                      params: dict[str, float] | None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"profile": list(profile)}
+        if params is not None:
+            payload["params"] = dict(params)
+        return payload
+
+    def x(self, profile: Sequence[float], *,
+          params: dict[str, float] | None = None,
+          deadline_ms: float | None = None) -> dict[str, Any]:
+        return self.request("POST", "/v1/x",
+                            self._eval_payload(profile, params),
+                            deadline_ms=deadline_ms)
+
+    def hecr(self, profile: Sequence[float], *,
+             params: dict[str, float] | None = None,
+             deadline_ms: float | None = None) -> dict[str, Any]:
+        return self.request("POST", "/v1/hecr",
+                            self._eval_payload(profile, params),
+                            deadline_ms=deadline_ms)
+
+    def work(self, profile: Sequence[float], *,
+             lifespan: float | None = None,
+             params: dict[str, float] | None = None,
+             deadline_ms: float | None = None) -> dict[str, Any]:
+        payload = self._eval_payload(profile, params)
+        if lifespan is not None:
+            payload["lifespan"] = lifespan
+        return self.request("POST", "/v1/work", payload,
+                            deadline_ms=deadline_ms)
+
+    def allocate(self, profile: Sequence[float], *, lifespan: float,
+                 protocol: str = "fifo",
+                 startup_order: Sequence[int] | None = None,
+                 finishing_order: Sequence[int] | None = None,
+                 enforce_separation: bool = True,
+                 params: dict[str, float] | None = None,
+                 deadline_ms: float | None = None) -> dict[str, Any]:
+        payload = self._eval_payload(profile, params)
+        payload["lifespan"] = lifespan
+        payload["protocol"] = protocol
+        if startup_order is not None:
+            payload["startup_order"] = list(startup_order)
+        if finishing_order is not None:
+            payload["finishing_order"] = list(finishing_order)
+        if protocol == "lp":
+            payload["enforce_separation"] = enforce_separation
+        return self.request("POST", "/v1/allocate", payload,
+                            deadline_ms=deadline_ms)

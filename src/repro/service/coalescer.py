@@ -1,0 +1,321 @@
+"""Micro-batched evaluation: the serving layer's heart.
+
+Concurrent in-flight evaluation requests (``/v1/x``, ``/v1/work``,
+``/v1/hecr``, ``/v1/allocate``) are collected for a short window (or
+until ``max_batch`` of them are waiting) and solved **in one shot**:
+
+* identical requests are *collapsed* — one solve fans its answer out to
+  every waiter, which is what turns a thundering herd on a hot query
+  into a single evaluation;
+* requests needing ``X(P)`` share one evaluation per distinct
+  ``(profile, params)`` in the batch, served by a pool of
+  :class:`~repro.core.measure.XEvaluator` objects whose committed ``x``
+  is bit-identical to a fresh :func:`~repro.core.measure.x_measure`;
+* LP allocation requests against the same cluster are grouped and
+  solved via :func:`~repro.protocols.general.lp_allocation_many`,
+  which is bit-identical to per-pair :func:`lp_allocation` solves and
+  amortises the constraint-assembly cost PR 4 vectorised.
+
+**Bit-identity is the contract**: for any batch, every response equals
+the response the same request would have produced in a batch of one.
+All three mechanisms above only ever *reuse* a float that the
+single-request path would have computed through the same code path
+(the library's ``x=`` passthroughs are documented bit-identical), so
+the property holds by construction — and
+``tests/service/test_coalescer.py`` verifies it over randomised
+concurrent request mixes.
+
+:func:`solve_batch` is a synchronous pure function so the equivalence
+property can be tested without a running server;
+:class:`MicroBatcher` wraps it in the asyncio queue + window loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from repro.core.hecr import hecr
+from repro.core.measure import XEvaluator, work_production, work_rate
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError
+from repro.io import allocation_to_dict
+from repro.protocols.fifo import fifo_allocation
+from repro.protocols.general import lp_allocation_many
+
+__all__ = ["EVAL_KINDS", "BatchSolver", "MicroBatcher", "request_key",
+           "solve_batch"]
+
+EVAL_KINDS = ("x", "work", "hecr", "allocate")
+
+#: svc_batch_size histogram buckets: powers of two up to the default cap.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def request_key(kind: str, payload: dict[str, Any]) -> tuple:
+    """A hashable identity for one validated evaluation request.
+
+    Two requests with equal keys are *the same question* and may share
+    one solve (request collapsing).  The key covers every field that
+    reaches the solver.
+    """
+    params = payload["params"]
+    base = (kind, payload["profile"], params.tau, params.pi, params.delta)
+    if kind == "work":
+        return base + (payload.get("lifespan"),)
+    if kind == "allocate":
+        return base + (payload["lifespan"], payload["protocol"],
+                       payload.get("startup_order"),
+                       payload.get("finishing_order"),
+                       payload.get("enforce_separation", True))
+    return base
+
+
+class _XPool:
+    """LRU pool of :class:`XEvaluator` objects keyed by (profile, params).
+
+    The evaluator's committed :attr:`~repro.core.measure.XEvaluator.x`
+    is bit-identical to a fresh ``x_measure`` of the same profile, so
+    serving repeated profiles from the pool cannot move any response
+    float — it only skips re-reducing eq. (1) for hot profiles.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._entries: OrderedDict[tuple, XEvaluator] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def x(self, profile: tuple[float, ...], params: ModelParams) -> float:
+        key = (profile, params.tau, params.pi, params.delta)
+        evaluator = self._entries.get(key)
+        if evaluator is None:
+            self.misses += 1
+            evaluator = XEvaluator(profile, params)
+            self._entries[key] = evaluator
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return evaluator.x
+
+
+class BatchSolver:
+    """Stateful solver: an :class:`_XPool` plus the batch algorithm."""
+
+    def __init__(self, xpool_entries: int = 256) -> None:
+        self.xpool = _XPool(xpool_entries)
+        #: Requests answered by another identical request's solve.
+        self.collapsed = 0
+        #: LP solves that rode a shared lp_allocation_many call.
+        self.lp_grouped = 0
+
+    # -- per-kind evaluation ------------------------------------------
+    def _eval_x_family(self, kind: str, payload: dict[str, Any]) -> dict:
+        profile = payload["profile"]
+        params = payload["params"]
+        x = self.xpool.x(profile, params)
+        if kind == "x":
+            return {"x": x, "n": len(profile)}
+        if kind == "hecr":
+            return {"x": x, "hecr": hecr(Profile(profile), params, x=x),
+                    "n": len(profile)}
+        # kind == "work"
+        rate = work_rate(profile, params, x=x)
+        out = {"x": x, "work_rate": rate}
+        lifespan = payload.get("lifespan")
+        if lifespan is not None:
+            out["lifespan"] = lifespan
+            out["work"] = work_production(profile, params, lifespan, x=x)
+        return out
+
+    @staticmethod
+    def _allocation_response(allocation) -> dict:
+        return {"allocation": allocation_to_dict(allocation),
+                "total_work": float(allocation.w.sum())}
+
+    def _solve_lp_groups(self, unique: "OrderedDict[tuple, dict]",
+                         outcomes: dict[tuple, tuple[bool, Any]]) -> None:
+        """Group LP allocate requests per cluster and solve each group.
+
+        ``lp_allocation_many`` documents bit-identity with per-pair
+        ``lp_allocation`` calls, so grouping is free of float drift.  A
+        group failure (solver error) fails every request in the group
+        with the same exception a lone solve would have raised.
+        """
+        groups: OrderedDict[tuple, list[tuple]] = OrderedDict()
+        for key, payload in unique.items():
+            if key[0] != "allocate" or payload["protocol"] != "lp":
+                continue
+            params = payload["params"]
+            gkey = (payload["profile"], params.tau, params.pi, params.delta,
+                    payload["lifespan"],
+                    payload.get("enforce_separation", True))
+            groups.setdefault(gkey, []).append(key)
+        for gkey, keys in groups.items():
+            payloads = [unique[k] for k in keys]
+            first = payloads[0]
+            pairs = [(p["startup_order"], p["finishing_order"])
+                     for p in payloads]
+            try:
+                allocations = lp_allocation_many(
+                    Profile(first["profile"]), first["params"],
+                    first["lifespan"], pairs,
+                    enforce_separation=first.get("enforce_separation", True))
+            except Exception as exc:
+                for key in keys:
+                    outcomes[key] = (False, exc)
+                continue
+            if len(keys) > 1:
+                self.lp_grouped += len(keys)
+            for key, allocation in zip(keys, allocations):
+                outcomes[key] = (True, self._allocation_response(allocation))
+
+    # -- the batch algorithm ------------------------------------------
+    def solve(self, requests: Sequence[tuple[str, dict[str, Any]]]
+              ) -> list[tuple[bool, Any]]:
+        """Solve a batch; returns ``(ok, value-or-exception)`` per input.
+
+        Input order is preserved.  Failures are isolated per *unique*
+        request: one bad request cannot poison the answers of the
+        others (except LP group-mates sharing its exact cluster, which
+        would have failed identically on their own).
+        """
+        unique: OrderedDict[tuple, dict] = OrderedDict()
+        keys: list[tuple] = []
+        for kind, payload in requests:
+            key = request_key(kind, payload)
+            keys.append(key)
+            if key not in unique:
+                unique[key] = payload
+        self.collapsed += len(requests) - len(unique)
+
+        outcomes: dict[tuple, tuple[bool, Any]] = {}
+        self._solve_lp_groups(unique, outcomes)
+        for key, payload in unique.items():
+            if key in outcomes:
+                continue
+            kind = key[0]
+            try:
+                if kind == "allocate":
+                    allocation = fifo_allocation(
+                        Profile(payload["profile"]), payload["params"],
+                        payload["lifespan"],
+                        startup_order=payload.get("startup_order"))
+                    outcomes[key] = (True, self._allocation_response(allocation))
+                else:
+                    outcomes[key] = (True, self._eval_x_family(kind, payload))
+            except Exception as exc:
+                outcomes[key] = (False, exc)
+        return [outcomes[key] for key in keys]
+
+
+def solve_batch(requests: Sequence[tuple[str, dict[str, Any]]]
+                ) -> list[tuple[bool, Any]]:
+    """One-shot :class:`BatchSolver` run (fresh pool) — test entry point."""
+    return BatchSolver().solve(requests)
+
+
+class MicroBatcher:
+    """The asyncio front of :class:`BatchSolver`: queue, window, fan-out.
+
+    ``submit()`` parks a request on the queue and awaits its future;
+    the drain task gathers company for ``window`` seconds (or until
+    ``max_batch``), solves the batch synchronously on the loop thread,
+    and resolves every future.  ``window=0`` still drains whatever is
+    already queued in one batch — set ``max_batch=1`` for a strictly
+    unbatched server (the benchmark's baseline).
+    """
+
+    def __init__(self, *, window: float = 0.002, max_batch: int = 64,
+                 registry: Any = None, xpool_entries: int = 256) -> None:
+        if window < 0:
+            raise InvalidParameterError(f"window must be >= 0, got {window!r}")
+        if max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be >= 1, got {max_batch!r}")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.solver = BatchSolver(xpool_entries)
+        self._registry = registry
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self.batches = 0
+        self.requests = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop(), name="repro-service-batcher")
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while not self._queue.empty():
+            _, _, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("service stopped before the request "
+                                    "was solved"))
+
+    # -- submission ----------------------------------------------------
+    async def submit(self, kind: str, payload: dict[str, Any]) -> Any:
+        """Queue one evaluation and await its (possibly shared) answer."""
+        if kind not in EVAL_KINDS:
+            raise InvalidParameterError(
+                f"unknown evaluation kind {kind!r}; expected one of {EVAL_KINDS}")
+        if self._task is None:
+            raise InvalidParameterError(
+                "MicroBatcher.submit() before start()")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((kind, payload, future))
+        return await future
+
+    # -- the drain loop ------------------------------------------------
+    async def _gather(self) -> list[tuple[str, dict, asyncio.Future]]:
+        """Block for the first request, then coalesce companions."""
+        batch = [await self._queue.get()]
+        if self.window > 0.0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0.0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining))
+                except asyncio.TimeoutError:
+                    break
+        else:
+            while len(batch) < self.max_batch and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+        return batch
+
+    async def _drain_loop(self) -> None:
+        while True:
+            batch = await self._gather()
+            self.batches += 1
+            self.requests += len(batch)
+            if self._registry is not None:
+                self._registry.histogram(
+                    "svc_batch_size",
+                    "evaluation requests coalesced per micro-batch",
+                    buckets=BATCH_SIZE_BUCKETS).observe(float(len(batch)))
+            outcomes = self.solver.solve([(k, p) for k, p, _ in batch])
+            for (_, _, future), (ok, value) in zip(batch, outcomes):
+                if future.done():  # deadline hit while queued: nobody waits
+                    continue
+                if ok:
+                    future.set_result(value)
+                else:
+                    future.set_exception(value)

@@ -1,0 +1,99 @@
+"""Service configuration: one validated, immutable bundle of tunables.
+
+Defaults are chosen for a loopback development server; the CLI's
+``serve`` subcommand exposes the operationally interesting knobs
+(``--batch-window``, ``--max-inflight``, ``--rate``, …) and leaves the
+rest at these values.  Validation happens at construction so a
+misconfigured server refuses to start instead of misbehaving under
+load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every tunable of a :class:`~repro.service.app.ReproService`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` asks the OS for an ephemeral port
+        (the bound port is reported by ``ReproService.port``).
+    batch_window:
+        Seconds the micro-batching coalescer waits after the first
+        queued evaluation request for companions before solving
+        (``0`` disables coalescing: every request solves alone).
+    max_batch:
+        Hard cap on requests solved in one coalesced batch; a full
+        batch solves immediately without waiting out the window.
+    max_inflight:
+        Admitted-but-unanswered request ceiling; request number
+        ``max_inflight + 1`` is shed with ``503`` + ``Retry-After``.
+    rate, burst:
+        Token-bucket admission control: sustained requests/second and
+        bucket capacity.  ``rate=0`` disables rate limiting.  An empty
+        bucket sheds with ``429`` + ``Retry-After``.
+    deadline:
+        Default per-request deadline in seconds (``0`` = none).  A
+        request may lower/raise its own via the ``X-Repro-Deadline-Ms``
+        header; expiry cancels the work and answers ``504``.
+    cache_entries, cache_ttl:
+        The TTL'd LRU response cache for the deterministic evaluation
+        endpoints.  ``cache_entries=0`` or ``cache_ttl=0`` disables it.
+    jobs, no_result_cache, result_cache_dir:
+        Experiment dispatch: worker processes for
+        :func:`repro.batch.run_batch` and its on-disk
+        :class:`~repro.batch.cache.ResultCache` location / kill switch.
+    engine:
+        Optional simulation engine forced for the whole process (and
+        exported via ``$REPRO_SIM_ENGINE`` so dispatch workers inherit
+        it); ``None`` keeps the process default.
+    max_body_bytes, max_header_bytes:
+        Hard HTTP limits; oversized requests are rejected with ``413``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    batch_window: float = 0.002
+    max_batch: int = 64
+    max_inflight: int = 64
+    rate: float = 0.0
+    burst: float = 64.0
+    deadline: float = 0.0
+    cache_entries: int = 1024
+    cache_ttl: float = 60.0
+    jobs: int = 1
+    no_result_cache: bool = False
+    result_cache_dir: str | None = None
+    engine: str | None = None
+    max_body_bytes: int = 1 << 20
+    max_header_bytes: int = 32 << 10
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise InvalidParameterError(f"port must be in [0, 65535], got {self.port!r}")
+        for name, minimum in (("batch_window", 0.0), ("rate", 0.0),
+                              ("deadline", 0.0), ("cache_ttl", 0.0)):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value != value or value < minimum:
+                raise InvalidParameterError(
+                    f"{name} must be a number >= {minimum}, got {value!r}")
+        for name, minimum in (("max_batch", 1), ("max_inflight", 1),
+                              ("jobs", 1), ("cache_entries", 0),
+                              ("max_body_bytes", 1), ("max_header_bytes", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise InvalidParameterError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}")
+        if self.rate > 0 and not self.burst >= 1:
+            raise InvalidParameterError(
+                f"burst must be >= 1 when rate limiting is on, got {self.burst!r}")

@@ -1,0 +1,158 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+Just enough protocol for the service's JSON endpoints: request-line +
+header parsing with hard size limits, ``Content-Length`` bodies,
+keep-alive by default, and a response writer that always emits a
+correct ``Content-Length``.  Chunked request bodies, upgrades, and
+multi-line (obs-fold) headers are rejected rather than half-supported.
+
+The parser raises :class:`HttpError` with the *status code the client
+should see* — the connection handler turns it into a response and, for
+framing-level problems, closes the connection (once framing is in
+doubt, nothing later on the socket can be trusted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "Request", "read_request", "render_response",
+           "STATUS_REASONS"]
+
+STATUS_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_SUPPORTED_METHODS = ("GET", "POST", "HEAD", "DELETE", "PUT")
+
+
+class HttpError(Exception):
+    """A protocol-level problem, carrying the client-facing status.
+
+    ``recoverable`` says whether the connection's framing is still
+    intact (e.g. an over-long but correctly delimited body) — when
+    False the handler must close after responding.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 recoverable: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.recoverable = recoverable
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header_float(self, name: str) -> float | None:
+        """A header parsed as a finite non-negative float, else None."""
+        raw = self.headers.get(name)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value == value and 0 <= value < float("inf") else None
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       max_header_bytes: int = 32 << 10,
+                       max_body_bytes: int = 1 << 20) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for anything malformed or over-limit.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head exceeds the stream limit") from None
+    if len(head) > max_header_bytes:
+        raise HttpError(431, f"request head exceeds {max_header_bytes} bytes")
+
+    lines = head.split(b"\r\n")
+    try:
+        request_line = lines[0].decode("ascii")
+        method, target, version = request_line.split(" ")
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, "malformed request line") from None
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    if method not in _SUPPORTED_METHODS:
+        raise HttpError(501, f"method {method!r} not implemented")
+
+    headers: dict[str, str] = {}
+    for raw in lines[1:]:
+        if not raw:
+            continue
+        if raw[:1] in (b" ", b"\t"):
+            raise HttpError(400, "obs-fold header continuations not supported")
+        name, sep, value = raw.partition(b":")
+        if not sep or not name:
+            raise HttpError(400, f"malformed header line {raw[:64]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = \
+                value.decode("latin-1").strip()
+        except UnicodeDecodeError:
+            raise HttpError(400, "non-ASCII header name") from None
+
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked request bodies not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"body of {length} bytes exceeds the "
+                                 f"{max_body_bytes}-byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body") from None
+
+    parts = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(parts.query, keep_blank_values=True)}
+    return Request(method=method, path=unquote(parts.path), query=query,
+                   headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes, *,
+                    content_type: str = "application/json",
+                    extra_headers: dict[str, str] | None = None,
+                    keep_alive: bool = True) -> bytes:
+    """Serialise one response, Content-Length included."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body

@@ -1,0 +1,88 @@
+"""A TTL'd LRU cache for deterministic endpoint responses.
+
+Keys are content addresses in the style of the batch layer's
+:class:`~repro.batch.cache.ResultCache`: the SHA-256 of the canonical
+JSON form of ``(route, request payload, package version)``.  The
+version folds in so a code change invalidates every entry at once —
+the same contract that makes the on-disk result cache safe.
+
+Values are *rendered response bodies* (bytes), so a hit skips JSON
+encoding as well as evaluation.  The store is a plain ``OrderedDict``
+guarded by a lock: the server mutates it from the event-loop thread,
+but tests and the stats endpoint may peek from others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro import __version__
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded mapping of content key → (expiry, response bytes).
+
+    ``max_entries=0`` or ``ttl=0`` turns the cache into a no-op (every
+    ``get`` misses, every ``put`` is dropped) so the server logic never
+    branches on "is caching enabled".
+    """
+
+    def __init__(self, max_entries: int, ttl: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_entries = int(max_entries)
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[float, bytes]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 and self.ttl > 0
+
+    @staticmethod
+    def key(route: str, payload: Any) -> str:
+        """The content address of one request (canonical-JSON SHA-256)."""
+        canonical = json.dumps(
+            {"route": route, "payload": payload, "version": __version__},
+            sort_keys=True, separators=(",", ":"), allow_nan=False)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def get(self, key: str) -> bytes | None:
+        """The live cached body, or None (expired entries are evicted)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires, body = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def put(self, key: str, body: bytes) -> None:
+        """Store one rendered body, evicting LRU entries past the cap."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl, body)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -37,14 +37,31 @@ __all__ = ["SimulationResult", "simulate_allocation", "simulate_protocol",
 
 _ENGINES = ("auto", "events", "analytic")
 
-#: Process default for ``simulate_allocation(engine=None)``.  Seeded from
-#: the environment so the CLI's ``--engine`` choice reaches batch worker
-#: processes (which inherit the environment, not the parent's globals).
-_default_engine = os.environ.get("REPRO_SIM_ENGINE", "auto")
+#: Process default for ``simulate_allocation(engine=None)``.  ``None``
+#: means "not yet resolved": the first :func:`default_engine` call reads
+#: ``$REPRO_SIM_ENGINE`` (how the CLI's ``--engine`` choice reaches
+#: batch worker processes, which inherit the environment, not the
+#: parent's globals) and **validates** it, so a typo'd value fails with
+#: one clear error naming the variable instead of surfacing as a
+#: mystery deep inside the first simulation.
+_default_engine: str | None = None
 
 
 def default_engine() -> str:
-    """The engine used when ``simulate_allocation`` gets ``engine=None``."""
+    """The engine used when ``simulate_allocation`` gets ``engine=None``.
+
+    Resolves (and caches) ``$REPRO_SIM_ENGINE`` on first use; raises
+    :class:`~repro.errors.SimulationError` if the variable holds
+    anything but ``auto``/``events``/``analytic``.
+    """
+    global _default_engine
+    if _default_engine is None:
+        candidate = os.environ.get("REPRO_SIM_ENGINE", "auto")
+        if candidate not in _ENGINES:
+            raise SimulationError(
+                f"invalid $REPRO_SIM_ENGINE value {candidate!r}; "
+                f"expected one of {_ENGINES}")
+        _default_engine = candidate
     return _default_engine
 
 
@@ -62,7 +79,11 @@ def set_default_engine(engine: str) -> str:
     if engine not in _ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; expected one of {_ENGINES}")
-    previous = _default_engine
+    # Resolve the previous value before overwriting so callers can
+    # restore it; an unresolved default is reported as the environment's
+    # raw value (restoring a bad one re-raises, which is the point).
+    previous = (_default_engine if _default_engine is not None
+                else os.environ.get("REPRO_SIM_ENGINE", "auto"))
     _default_engine = engine
     return previous
 
@@ -195,7 +216,7 @@ def simulate_allocation(allocation: WorkAllocation, *,
     if results_policy not in ("late", "greedy"):
         raise SimulationError(f"unknown results_policy {results_policy!r}")
     if engine is None:
-        engine = _default_engine
+        engine = default_engine()
     if engine not in _ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; expected one of {_ENGINES}")

@@ -68,9 +68,25 @@ class TestRoundTrip:
         entry.write_text(json.dumps(payload))
         assert cache.get("table3", {}) is None
 
-    def test_unserialisable_result_is_skipped_not_fatal(self, tmp_path):
+    def test_nonfinite_metadata_round_trips(self, tmp_path):
+        # Non-finite floats serialise as {"__nonfinite__": ...} sentinels
+        # and come back as the floats they were — caching them is safe.
         cache = ResultCache(tmp_path)
-        bad = _result(metadata={"inf": float("inf")})
+        result = _result(metadata={"inf": float("inf"), "nan": float("nan")},
+                         rows=((1, float("-inf")),))
+        assert cache.put("table3", {}, result) is True
+        got = cache.get("table3", {})
+        assert got.metadata["inf"] == float("inf")
+        assert got.metadata["nan"] != got.metadata["nan"]  # NaN
+        assert got.rows == ((1, float("-inf")),)
+
+    def test_unserialisable_result_is_skipped_not_fatal(self, tmp_path):
+        class Unprintable:
+            def __str__(self):
+                raise ValueError("no string form")
+
+        cache = ResultCache(tmp_path)
+        bad = _result(metadata={"bad": Unprintable()})
         assert cache.put("table3", {}, bad) is False
         assert list(tmp_path.glob("*.json")) == []
 

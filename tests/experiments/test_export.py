@@ -20,8 +20,11 @@ class TestJsonable:
         assert jsonable(True) is True
         assert jsonable(None) is None
 
-    def test_nan_becomes_null(self):
-        assert jsonable(float("nan")) is None
+    def test_nonfinite_floats_become_sentinels(self):
+        # Strict-JSON-safe, and restored by repro.io.result_from_dict.
+        assert jsonable(float("nan")) == {"__nonfinite__": "nan"}
+        assert jsonable(float("inf")) == {"__nonfinite__": "inf"}
+        assert jsonable(float("-inf")) == {"__nonfinite__": "-inf"}
 
     def test_numpy_types(self):
         assert jsonable(np.float64(0.5)) == 0.5

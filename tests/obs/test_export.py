@@ -92,6 +92,28 @@ class TestPrometheusText:
         assert r'\"' in text and r'\\' in text and r'\n' in text
         assert "\nnl" not in text  # the newline itself must not survive
 
+    def test_label_value_exact_escaped_form(self):
+        # The exposition spec: label values escape backslash, double
+        # quote, and line feed — in that order, so escapes don't double.
+        # The value here is shaped like the hostile request paths the
+        # service's route labels are derived from.
+        registry = MetricsRegistry()
+        registry.counter("svc_requests_total").inc(
+            route='/v1/"x"\\path\nend')
+        text = prometheus_text(registry)
+        assert r'route="/v1/\"x\"\\path\nend"' in text
+
+    def test_help_escaping(self):
+        # HELP text escapes exactly backslash and line feed (no quote
+        # escaping there, unlike label values).  Unescaped, the newline
+        # would split the line and corrupt every sample below it.
+        registry = MetricsRegistry()
+        registry.counter("h_total", 'line one\nline "two" \\ back').inc()
+        text = prometheus_text(registry)
+        assert r'# HELP h_total line one\nline "two" \\ back' in text
+        for line in text.splitlines():
+            assert line.startswith(("#", "h_total")), line
+
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
 

@@ -1,0 +1,96 @@
+"""Unit tests for admission control (repro.service.admission)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.now += 0.5  # one token at 2/s
+        assert bucket.try_acquire() == 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.now += 1000.0
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        assert bucket.try_acquire() == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_inflight_ceiling_sheds_503(self):
+        controller = AdmissionController(max_inflight=2)
+        assert controller.admit()
+        assert controller.admit()
+        decision = controller.admit()
+        assert not decision
+        assert decision.status == 503
+        assert decision.reason == "overload"
+        assert decision.retry_after > 0
+
+    def test_release_reopens_capacity(self):
+        controller = AdmissionController(max_inflight=1)
+        assert controller.admit()
+        assert not controller.admit()
+        controller.release()
+        assert controller.admit()
+
+    def test_rate_limit_sheds_429_before_inflight(self):
+        clock = FakeClock()
+        controller = AdmissionController(max_inflight=100, rate=1.0,
+                                         burst=1.0, clock=clock)
+        assert controller.admit()
+        decision = controller.admit()
+        assert decision.status == 429
+        assert decision.reason == "ratelimit"
+        # a 429 must not consume an in-flight slot
+        assert controller.inflight == 1
+
+    def test_retry_after_header_rounds_up_with_floor_one(self):
+        clock = FakeClock()
+        controller = AdmissionController(max_inflight=10, rate=10.0,
+                                         burst=1.0, clock=clock)
+        controller.admit()
+        decision = controller.admit()
+        assert decision.retry_after == pytest.approx(0.1)
+        assert decision.retry_after_header == "1"
+
+    def test_rate_zero_disables_bucket(self):
+        controller = AdmissionController(max_inflight=3, rate=0.0)
+        assert all(controller.admit() for _ in range(3))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_inflight=0)

@@ -1,0 +1,122 @@
+"""Unit tests for the minimal HTTP/1.1 layer (repro.service.http)."""
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (HttpError, Request, read_request,
+                                render_response)
+
+
+def _parse(data: bytes, **limits):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+    return asyncio.run(main())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.body == b""
+        assert request.keep_alive is True
+
+    def test_post_with_body(self):
+        request = _parse(b"POST /v1/x HTTP/1.1\r\nContent-Length: 7\r\n\r\n"
+                         b'{"a":1}')
+        assert request.method == "POST"
+        assert request.body == b'{"a":1}'
+
+    def test_query_string_and_percent_decoding(self):
+        request = _parse(b"GET /a%20b?k=v&empty= HTTP/1.1\r\n\r\n")
+        assert request.path == "/a b"
+        assert request.query == {"k": "v", "empty": ""}
+
+    def test_connection_close(self):
+        request = _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_mid_request_eof_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET / HTTP/1.1\r\nHost")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unknown_method_is_501(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"BREW /coffee HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_transfer_encoding_is_501(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413_and_recoverable(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\nx",
+                   max_body_bytes=10)
+        assert excinfo.value.status == 413
+
+    def test_oversized_head_is_431(self):
+        huge = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 200 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            _parse(huge, max_header_bytes=64)
+        assert excinfo.value.status == 431
+
+    def test_obs_fold_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_header_names_lowercased(self):
+        request = _parse(b"GET / HTTP/1.1\r\nX-Repro-Deadline-Ms: 50\r\n\r\n")
+        assert request.headers["x-repro-deadline-ms"] == "50"
+        assert request.header_float("x-repro-deadline-ms") == 50.0
+
+    def test_header_float_rejects_junk(self):
+        request = Request("GET", "/", headers={"h": "nan", "g": "-1",
+                                               "f": "inf", "ok": "2.5"})
+        assert request.header_float("h") is None
+        assert request.header_float("g") is None
+        assert request.header_float("f") is None
+        assert request.header_float("ok") == 2.5
+        assert request.header_float("absent") is None
+
+
+class TestRenderResponse:
+    def test_content_length_matches_body(self):
+        raw = render_response(200, b'{"ok":1}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b'{"ok":1}'
+        assert b"Content-Length: 8" in head
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(429, b"{}", keep_alive=False,
+                              extra_headers={"Retry-After": "2"})
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 2" in raw
+        assert b"429 Too Many Requests" in raw
+
+    def test_parses_back(self):
+        # The response we render must be parseable by a real HTTP client;
+        # this is covered end-to-end by test_endpoints (http.client).
+        raw = render_response(503, b"shed", content_type="text/plain")
+        assert raw.index(b"\r\n\r\n") > 0

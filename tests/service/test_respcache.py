@@ -1,0 +1,60 @@
+"""Unit tests for the TTL'd LRU response cache (repro.service.respcache)."""
+
+from repro.service.respcache import ResponseCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestResponseCache:
+    def test_hit_and_miss(self):
+        cache = ResponseCache(4, 10.0, clock=FakeClock())
+        key = cache.key("/v1/x", {"profile": [1.0, 0.5]})
+        assert cache.get(key) is None
+        cache.put(key, b'{"x":1}')
+        assert cache.get(key) == b'{"x":1}'
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_keys_are_content_addresses(self):
+        a = ResponseCache.key("/v1/x", {"profile": [1.0, 0.5]})
+        b = ResponseCache.key("/v1/x", {"profile": [1.0, 0.5]})
+        c = ResponseCache.key("/v1/x", {"profile": [1.0, 0.25]})
+        d = ResponseCache.key("/v1/hecr", {"profile": [1.0, 0.5]})
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_key_folds_in_version(self, monkeypatch):
+        before = ResponseCache.key("/v1/x", {})
+        monkeypatch.setattr("repro.service.respcache.__version__", "999.0")
+        assert ResponseCache.key("/v1/x", {}) != before
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResponseCache(4, ttl=5.0, clock=clock)
+        cache.put("k", b"v")
+        clock.now = 4.9
+        assert cache.get("k") == b"v"
+        clock.now = 5.0
+        assert cache.get("k") is None
+        assert len(cache) == 0  # expired entries are evicted, not kept
+
+    def test_lru_eviction_past_cap(self):
+        cache = ResponseCache(2, 100.0, clock=FakeClock())
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        assert cache.get("a") == b"1"  # refresh a
+        cache.put("c", b"3")           # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+
+    def test_disabled_when_zero_sized_or_zero_ttl(self):
+        for cache in (ResponseCache(0, 10.0), ResponseCache(10, 0.0)):
+            assert not cache.enabled
+            cache.put("k", b"v")
+            assert cache.get("k") is None

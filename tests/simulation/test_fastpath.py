@@ -193,3 +193,25 @@ class TestDispatch:
     def test_set_default_engine_rejects_unknown(self):
         with pytest.raises(SimulationError):
             set_default_engine("warp")
+
+    def test_invalid_env_engine_fails_fast_with_clear_error(self, monkeypatch):
+        # A typo'd $REPRO_SIM_ENGINE must raise one clear error naming
+        # the variable the moment the default is resolved — not surface
+        # as a mystery deep inside the first simulation of a run.
+        from repro.simulation import runner
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        monkeypatch.setattr(runner, "_default_engine", None)
+        with pytest.raises(SimulationError, match="REPRO_SIM_ENGINE"):
+            runner.default_engine()
+        alloc = fifo_allocation(Profile.linear(3), _PARAMS, 50.0)
+        with pytest.raises(SimulationError, match="REPRO_SIM_ENGINE"):
+            simulate_allocation(alloc)
+
+    def test_valid_env_engine_is_resolved_once(self, monkeypatch):
+        from repro.simulation import runner
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "analytic")
+        monkeypatch.setattr(runner, "_default_engine", None)
+        assert runner.default_engine() == "analytic"
+        # Cached after first resolution: later env mutations don't move it.
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        assert runner.default_engine() == "analytic"

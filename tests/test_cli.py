@@ -12,6 +12,21 @@ class TestList:
         assert "table3" in out
         assert "fig4" in out
 
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.experiments.base import list_experiments
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["id"] for entry in payload] == list_experiments()
+        for entry in payload:
+            assert set(entry) == {"id", "description", "shardable"}
+            assert isinstance(entry["shardable"], bool)
+            assert "\n" not in entry["description"]
+        by_id = {entry["id"]: entry for entry in payload}
+        assert by_id["variance-trials"]["shardable"] is True
+        assert by_id["table3"]["description"]
+
 
 class TestRun:
     def test_run_table3(self, capsys):
