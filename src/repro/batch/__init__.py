@@ -15,8 +15,9 @@ See ``docs/BATCH.md`` for the execution model, the seeding scheme and
 the observability-merge semantics.
 """
 
-from repro.batch.cache import ResultCache, default_cache_dir
+from repro.batch.cache import ResultCache, cache_key, default_cache_dir
 from repro.batch.engine import BatchItem, BatchReport, run_batch
 
-__all__ = ["BatchItem", "BatchReport", "ResultCache", "default_cache_dir",
+__all__ = ["BatchItem", "BatchReport", "ResultCache", "cache_key",
+           "default_cache_dir",
            "run_batch"]

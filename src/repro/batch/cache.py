@@ -30,9 +30,24 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.export import jsonable
 from repro.io import result_from_dict, result_to_dict
 
-__all__ = ["ResultCache", "default_cache_dir"]
+__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
 
 _SCHEMA_VERSION = 1
+
+
+def cache_key(experiment_id: str, kwargs: dict[str, Any]) -> str:
+    """The content address of one experiment invocation.
+
+    Module-level so other subsystems (e.g. the run-history store) can
+    key telemetry compatibly with cached results without holding a
+    :class:`ResultCache`: the SHA-256 of the canonical JSON form of
+    ``(experiment_id, kwargs, package version)``.
+    """
+    canonical = json.dumps(
+        {"experiment_id": experiment_id, "kwargs": jsonable(kwargs),
+         "version": __version__},
+        sort_keys=True, separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -62,11 +77,7 @@ class ResultCache:
 
     def key(self, experiment_id: str, kwargs: dict[str, Any]) -> str:
         """The content address of one experiment invocation."""
-        canonical = json.dumps(
-            {"experiment_id": experiment_id, "kwargs": jsonable(kwargs),
-             "version": __version__},
-            sort_keys=True, separators=(",", ":"), allow_nan=False)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return cache_key(experiment_id, kwargs)
 
     def _path(self, experiment_id: str, key: str) -> Path:
         return self.root / f"{experiment_id}-{key[:16]}.json"

@@ -44,6 +44,7 @@ import traceback
 import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
@@ -52,7 +53,8 @@ from repro.experiments.base import (ExperimentResult, _peak_rss_bytes,
                                     get_shard_spec, record_experiment_metrics,
                                     run_experiment)
 from repro.obs.metrics import MetricsRegistry, default_registry
-from repro.obs.tracing import Observation, Tracer, current_observation, observe
+from repro.obs.tracing import (Observation, TraceContext, Tracer,
+                               current_observation, observe)
 
 from repro.batch.cache import ResultCache
 
@@ -80,6 +82,10 @@ class _Task:
     kwargs: dict[str, Any]
     shard_index: int | None = None  # None -> run the whole experiment
     capture_trace: bool = False
+    #: Parent trace context (trace id, enclosing span id, clock epoch).
+    #: When set, the worker's tracer is born linked to the session's
+    #: span tree instead of minting a disconnected trace of its own.
+    trace_context: TraceContext | None = None
 
     @property
     def cost(self) -> float:
@@ -113,7 +119,12 @@ def _execute_task(task: _Task) -> _TaskOutput:
     so one bad experiment cannot take the pool down.
     """
     registry = MetricsRegistry()
-    tracer = Tracer(keep_records=True) if task.capture_trace else None
+    if task.trace_context is not None:
+        tracer = Tracer.from_context(task.trace_context, keep_records=True)
+    elif task.capture_trace:
+        tracer = Tracer(keep_records=True)
+    else:
+        tracer = None
     rss_before = _peak_rss_bytes()
     start = time.perf_counter()
     out = _TaskOutput(experiment_id=task.experiment_id,
@@ -196,7 +207,8 @@ def run_batch(experiment_ids: Sequence[str], *,
               task_timeout: float | None = None,
               retries: int = 1,
               retry_backoff: float = 0.05,
-              max_pool_respawns: int = 2) -> BatchReport:
+              max_pool_respawns: int = 2,
+              trace_parent: str | None = None) -> BatchReport:
     """Run experiments (optionally sharded) across a worker pool.
 
     Parameters
@@ -230,10 +242,18 @@ def run_batch(experiment_ids: Sequence[str], *,
         Pool rebuild budget.  Once exhausted, remaining tasks degrade to
         sequential in-process execution (a warning is emitted and
         ``batch_sequential_fallback_total`` is incremented).
+    trace_parent:
+        Span id to parent this batch under (e.g. a service request's
+        span), so a request that fans out through the pool still reads
+        as one tree.  ``None`` roots the batch at the tracer's default.
 
     Observability: metrics and (when a tracer is ambient) trace records
     from every worker are merged into the session's ambient observation
-    or the process-global default registry.
+    or the process-global default registry.  With an ambient tracer the
+    whole invocation is wrapped in a ``batch:run`` span and every
+    worker task carries a :class:`~repro.obs.tracing.TraceContext`, so
+    worker-side spans come back already linked (single trace id, parent
+    chain through ``batch:run``) rather than as disconnected fragments.
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
@@ -254,6 +274,27 @@ def run_batch(experiment_ids: Sequence[str], *,
                 else default_registry())
     tracer = ctx.tracer if ctx is not None else None
 
+    with ExitStack() as stack:
+        if tracer is not None:
+            if trace_parent is not None:
+                stack.enter_context(tracer.attach(trace_parent))
+            stack.enter_context(tracer.span(
+                "batch:run", jobs=jobs, experiments=len(experiment_ids)))
+        return _run_batch_body(experiment_ids, kwargs_by_id, registry, tracer,
+                               jobs=jobs, cache=cache,
+                               task_timeout=task_timeout, retries=retries,
+                               retry_backoff=retry_backoff,
+                               max_pool_respawns=max_pool_respawns)
+
+
+def _run_batch_body(experiment_ids: Sequence[str],
+                    kwargs_by_id: dict[str, dict[str, Any]],
+                    registry: MetricsRegistry, tracer: Tracer | None, *,
+                    jobs: int, cache: ResultCache | None,
+                    task_timeout: float | None, retries: int,
+                    retry_backoff: float,
+                    max_pool_respawns: int) -> BatchReport:
+    """The batch loop proper, run inside the ``batch:run`` span."""
     report = BatchReport(jobs=jobs)
     batch_start = time.perf_counter()
     items: dict[str, BatchItem] = {}
@@ -470,6 +511,9 @@ def _run_pool(pending: Sequence[str], kwargs_by_id: Mapping[str, dict],
               max_pool_respawns: int = 2) -> None:
     """Execute the cache-missed experiments on a (hardened) process pool."""
     capture = tracer is not None
+    # Captured inside the ambient ``batch:run`` span, so worker roots
+    # parent onto it and worker clocks share the session epoch.
+    trace_ctx = tracer.context() if capture else None
     tasks: list[_Task] = []
     shard_specs: dict[str, Any] = {}
     shard_counts: dict[str, int] = {}
@@ -487,10 +531,11 @@ def _run_pool(pending: Sequence[str], kwargs_by_id: Mapping[str, dict],
             items[experiment_id].shards = len(shards)
             tasks.extend(
                 _Task(experiment_id, shard_kwargs, shard_index=index,
-                      capture_trace=capture)
+                      capture_trace=capture, trace_context=trace_ctx)
                 for index, shard_kwargs in enumerate(shards))
         else:
-            tasks.append(_Task(experiment_id, kwargs, capture_trace=capture))
+            tasks.append(_Task(experiment_id, kwargs, capture_trace=capture,
+                               trace_context=trace_ctx))
 
     outputs = _execute_hardened(tasks, jobs, registry, tracer,
                                 task_timeout=task_timeout, retries=retries,

@@ -10,6 +10,10 @@ Subcommands
     Quick HECR/X computation for an ad-hoc profile.
 ``serve``
     Start the JSON-over-HTTP serving layer (see ``docs/SERVICE.md``).
+``obs``
+    Inspect the persistent run-history store: ``summary``, ``runs``,
+    ``tail``, ``top``, ``compare`` (drift watchdog), ``export``
+    (Perfetto), ``prune`` (see ``docs/OBSERVABILITY.md``).
 
 Examples
 --------
@@ -20,6 +24,9 @@ Examples
     repro-hetero run variance-trials --trials 200 --seed 7
     repro-hetero hecr --profile 1,0.5,0.333,0.25
     repro-hetero serve --port 8023 --batch-window 2.0
+    repro-hetero obs tail
+    repro-hetero obs compare <baseline-run> <candidate-run>
+    repro-hetero obs export --perfetto trace.json
 """
 
 from __future__ import annotations
@@ -107,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "'events'/'analytic' force one engine for every "
                           "simulation (default: auto, or $REPRO_SIM_ENGINE; "
                           "see docs/PERFORMANCE.md)")
+    run.add_argument("--no-store", action="store_true",
+                     help="do not record this run in the run-history store "
+                          "($REPRO_OBS_DIR or the platform state home)")
     _add_batch_flags(run)
 
     report = sub.add_parser(
@@ -170,6 +180,90 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a simulation engine for the server "
                             "process and its dispatch workers (default: "
                             "process default / $REPRO_SIM_ENGINE)")
+    serve.add_argument("--log-level",
+                       choices=("debug", "info", "warning", "error"),
+                       default="warning",
+                       help="stderr logging threshold; 'info' emits one "
+                            "JSON access-log line per request "
+                            "(default: warning)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="do not persist requests/dispatches to the "
+                            "run-history store")
+    serve.add_argument("--store-dir", default=None, metavar="PATH",
+                       help="run-history store directory (default: "
+                            "$REPRO_OBS_DIR or the platform state home)")
+    serve.add_argument("--slo-latency", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="per-route SLO latency threshold behind the "
+                            "svc_slo_burn_rate gauges; 0 disables them "
+                            "(default: 0.25)")
+    serve.add_argument("--slo-objective", type=float, default=0.99,
+                       metavar="FRACTION",
+                       help="SLO success objective in (0,1); the error "
+                            "budget is 1 - objective (default: 0.99)")
+
+    obs = sub.add_parser(
+        "obs", help="inspect the persistent run-history store")
+    obs.add_argument("--store-dir", default=None, metavar="PATH",
+                     help="run-history store directory (default: "
+                          "$REPRO_OBS_DIR or the platform state home)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_sub.add_parser("summary", help="store-wide counts and extent")
+    obs_runs = obs_sub.add_parser("runs", help="list recent stored runs")
+    obs_runs.add_argument("--kind", default=None,
+                          help="filter by run kind (run, experiment, request)")
+    obs_runs.add_argument("--limit", type=int, default=20, metavar="N")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print a stored run's span records (latest by default)")
+    obs_tail.add_argument("run_id", nargs="?", default=None,
+                          help="run id or unambiguous prefix "
+                               "(default: the most recent run)")
+    obs_tail.add_argument("--follow", "-f", action="store_true",
+                          help="poll for new spans/runs until interrupted")
+    obs_tail.add_argument("--interval", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="--follow poll interval (default: 0.5)")
+    obs_top = obs_sub.add_parser(
+        "top", help="hottest span names of a stored run, by total time")
+    obs_top.add_argument("run_id", nargs="?", default=None)
+    obs_top.add_argument("--limit", type=int, default=15, metavar="N")
+    obs_compare = obs_sub.add_parser(
+        "compare",
+        help="drift watchdog: compare two runs (or BENCH_*.json files); "
+             "exits 1 when a latency-like metric regresses past the "
+             "threshold")
+    obs_compare.add_argument("baseline",
+                             help="run id/prefix, or path to a JSON "
+                                  "metrics/benchmark document")
+    obs_compare.add_argument("candidate",
+                             help="run id/prefix or JSON path "
+                                  "(default semantics: newer run)")
+    obs_compare.add_argument("--threshold", type=float, default=0.25,
+                             metavar="FRACTION",
+                             help="relative increase that counts as a "
+                                  "regression (default: 0.25)")
+    obs_compare.add_argument("--keys", default=None, metavar="REGEX",
+                             help="override the metric-name filter "
+                                  "(default: latency/seconds/ratio-like "
+                                  "keys)")
+    obs_export = obs_sub.add_parser(
+        "export", help="export a stored run's spans as Perfetto trace JSON")
+    obs_export.add_argument("run_id", nargs="?", default=None,
+                            help="run id or prefix (default: latest run "
+                                 "with spans)")
+    obs_export.add_argument("--perfetto", default="trace.perfetto.json",
+                            metavar="PATH",
+                            help="output path (default: trace.perfetto.json)")
+    obs_export.add_argument("--input", default=None, metavar="JSONL",
+                            help="convert a run --trace JSONL file instead "
+                                 "of reading the store")
+    obs_prune = obs_sub.add_parser(
+        "prune", help="apply retention to the store")
+    obs_prune.add_argument("--max-runs", type=int, default=None, metavar="N",
+                           help="keep at most the N most recent runs")
+    obs_prune.add_argument("--max-age-days", type=float, default=None,
+                           metavar="DAYS",
+                           help="drop runs started more than DAYS ago")
 
     compare_cmd = sub.add_parser(
         "compare", help="compare two clusters with every measure/predictor")
@@ -336,8 +430,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     obs_ctx = None
+    tracer = None
+    span_buffer: list[dict] = []
     if args.trace or args.metrics:
-        tracer = Tracer(sink=trace_writer, keep_records=False) if trace_writer else None
+        if trace_writer is not None:
+            def sink(record: dict, _writer=trace_writer) -> None:
+                _writer(record)
+                span_buffer.append(record)
+            tracer = Tracer(sink=sink, keep_records=False)
         obs_ctx = Observation(tracer=tracer, registry=default_registry())
 
     cache = None
@@ -384,13 +484,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"wrote {trace_writer.records_written} trace records to "
               f"{args.trace}", file=sys.stderr)
-    return _failure_exit_code(batch)
+    exit_code = _failure_exit_code(batch)
+    if not args.no_store:
+        _store_cli_run(args, batch, experiment_ids, kwargs_by_id, tracer,
+                       span_buffer, exit_code)
+    return exit_code
+
+
+def _store_cli_run(args, batch, experiment_ids, kwargs_by_id, tracer,
+                   span_buffer, exit_code) -> None:
+    """Persist one ``run`` invocation to the run-history store.
+
+    Best-effort by design: a broken state directory must not change the
+    run's output or exit code.
+    """
+    try:
+        from repro.batch.cache import cache_key
+        from repro.obs import RunStore, default_store_path, default_registry
+        from repro.simulation.runner import default_engine
+
+        store = RunStore(default_store_path())
+        run_id = store.record_run(
+            kind="run", label=args.experiment,
+            trace_id=tracer.trace_id if tracer is not None else None,
+            cache_key=(cache_key(experiment_ids[0],
+                                 kwargs_by_id[experiment_ids[0]])
+                       if len(experiment_ids) == 1 else None),
+            engine=args.engine or default_engine(),
+            status="ok" if exit_code == 0 else "failed",
+            wall_seconds=batch.wall_seconds,
+            metrics=default_registry().snapshot(),
+            extra={"jobs": args.jobs, "cache_hits": batch.cache_hits,
+                   "cache_misses": batch.cache_misses,
+                   "experiments": list(experiment_ids),
+                   "failures": [item.experiment_id
+                                for item in batch.failures],
+                   "faults": getattr(args, "faults", None),
+                   "exit_code": exit_code},
+            spans=span_buffer or None)
+        store.close()
+        if run_id is not None:
+            print(f"recorded run {run_id[:12]} in the run-history store "
+                  f"(inspect: repro-hetero obs tail {run_id[:12]})",
+                  file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 - telemetry is best-effort
+        print(f"warning: could not record run in the run-history store: "
+              f"{exc}", file=sys.stderr)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: exit 0 on clean shutdown, 1 when the
     bind fails, 3 for engine/simulation errors (e.g. a bad --engine or
     $REPRO_SIM_ENGINE surfacing at boot)."""
+    import logging
+
     from repro.obs import default_registry
     from repro.service import ServiceConfig, run_service
 
@@ -401,7 +548,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate, burst=args.burst, deadline=args.deadline,
         cache_entries=args.cache_entries, cache_ttl=args.cache_ttl,
         jobs=args.jobs, no_result_cache=args.no_cache,
-        result_cache_dir=args.cache_dir, engine=args.engine)
+        result_cache_dir=args.cache_dir, engine=args.engine,
+        no_store=args.no_store, store_dir=args.store_dir,
+        slo_latency=args.slo_latency, slo_objective=args.slo_objective,
+        log_level=args.log_level)
+
+    # Structured request logging: the access logger emits one bare JSON
+    # line per request at INFO; lifecycle/warning messages share the
+    # same stderr stream.
+    svc_logger = logging.getLogger("repro.service")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    svc_logger.addHandler(handler)
+    svc_logger.setLevel(getattr(logging, args.log_level.upper()))
 
     def announce(service) -> None:
         print(f"repro-hetero serving on http://{service.host}:{service.port} "
@@ -415,6 +574,260 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# the obs subcommand: run-history inspection + the drift watchdog
+# ---------------------------------------------------------------------------
+
+#: Metric-name fragments ``obs compare`` treats as "regressions when they
+#: grow": wall clocks, latencies, per-op costs and overhead ratios.
+_DRIFT_KEY_PATTERN = (r"(seconds|latency|_ms\b|_ns\b|duration|ratio"
+                      r"|overhead|wall|p50|p95|p99|mean_|_mean)")
+
+
+def _flatten_numeric(doc, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON document as ``dotted.path: value``."""
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            out.update(_flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(doc, (list, tuple)):
+        for index, value in enumerate(doc):
+            out.update(_flatten_numeric(value, f"{prefix}{index}."))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)) and doc == doc \
+            and abs(doc) != float("inf"):
+        out[prefix[:-1]] = float(doc)
+    return out
+
+
+def _load_compare_side(store, ref: str) -> tuple[str, dict[str, float]]:
+    """Resolve one ``obs compare`` operand to ``(label, flat metrics)``.
+
+    A path to a readable JSON file wins (committed ``BENCH_*.json``
+    baselines); otherwise the ref is treated as a stored run id/prefix
+    whose metrics snapshot (plus wall seconds) is compared.
+    """
+    import json
+    import os
+
+    if os.path.exists(ref):
+        with open(ref, "r", encoding="utf-8") as fh:
+            return ref, _flatten_numeric(json.load(fh))
+    run = store.get_run(ref) if store is not None else None
+    if run is None:
+        raise FileNotFoundError(
+            f"{ref!r} is neither a JSON file nor a stored run id/prefix")
+    doc = dict(run.get("metrics") or {})
+    if run.get("wall_seconds") is not None:
+        doc["wall_seconds"] = run["wall_seconds"]
+    return f"run {run['run_id'][:12]}", _flatten_numeric(doc)
+
+
+def _cmd_obs_compare(store, args) -> int:
+    """The drift watchdog: non-zero exit on a past-threshold regression."""
+    import re
+
+    try:
+        base_label, base = _load_compare_side(store, args.baseline)
+        cand_label, cand = _load_compare_side(store, args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pattern = re.compile(args.keys or _DRIFT_KEY_PATTERN)
+    # Histogram bucket/count series are cardinality, not cost — only the
+    # _sum (and plain scalar) keys are meaningful drift signals.
+    noise = re.compile(r"_bucket\{|_count(\{|$)")
+    shared = sorted(k for k in base.keys() & cand.keys()
+                    if pattern.search(k) and not noise.search(k))
+    if not shared:
+        print("error: no comparable latency-like metrics shared by "
+              f"{base_label} and {cand_label}", file=sys.stderr)
+        return 2
+    regressions = []
+    print(f"comparing {cand_label} against {base_label} "
+          f"(threshold +{args.threshold:.0%})")
+    for key in shared:
+        b, c = base[key], cand[key]
+        if b <= 0:
+            continue
+        change = (c - b) / b
+        marker = ""
+        if change > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((key, change))
+        print(f"  {key:<56s} {b:>12.6g} -> {c:>12.6g}  "
+              f"{change:+7.1%}{marker}")
+    if regressions:
+        worst = max(regressions, key=lambda kv: kv[1])
+        print(f"DRIFT: {len(regressions)} metric(s) regressed past "
+              f"+{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
+              file=sys.stderr)
+        return 1
+    print(f"ok: no metric regressed past +{args.threshold:.0%} "
+          f"across {len(shared)} compared keys")
+    return 0
+
+
+def _resolve_obs_run(store, run_id):
+    """Latest run when no id given; exact/prefix match otherwise."""
+    if run_id is None:
+        return store.latest()
+    return store.get_run(run_id)
+
+
+def _print_span_rows(spans, *, offset: int = 0) -> int:
+    for record in spans[offset:]:
+        kind = record.get("type", "span")
+        dur = record.get("dur")
+        dur_text = f"{dur * 1000:9.3f}ms" if dur is not None else " " * 11
+        indent = "  " * int(record.get("depth") or 0)
+        pid = (record.get("attrs") or {}).get("worker_pid")
+        pid_text = f" [pid {pid}]" if pid else ""
+        print(f"  {record.get('ts', 0.0):10.6f}s {dur_text}  "
+              f"{indent}{record.get('name', '?')} ({kind}){pid_text}")
+    return len(spans)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Dispatch ``repro-hetero obs <subcommand>``."""
+    from pathlib import Path
+
+    from repro.obs import RunStore, default_store_path
+
+    path = (Path(args.store_dir) / "runs.sqlite3" if args.store_dir
+            else default_store_path())
+    if args.obs_command != "export" or not getattr(args, "input", None):
+        store = RunStore(path)
+    else:
+        store = None
+
+    try:
+        if args.obs_command == "summary":
+            summary = store.summary()
+            print(f"run-history store: {path}")
+            for key, value in summary.items():
+                print(f"  {key:<24s} {value}")
+            return 0
+
+        if args.obs_command == "runs":
+            rows = store.runs(kind=args.kind, limit=args.limit)
+            if not rows:
+                print("(no stored runs)")
+                return 0
+            print(f"{'run id':<14s} {'kind':<11s} {'label':<26s} "
+                  f"{'status':<8s} {'wall':>9s}  started")
+            for row in rows:
+                wall = (f"{row['wall_seconds']:.3f}s"
+                        if row.get("wall_seconds") is not None else "-")
+                print(f"{row['run_id'][:12]:<14s} {row['kind']:<11s} "
+                      f"{(row['label'] or '-')[:26]:<26s} "
+                      f"{(row['status'] or '-'):<8s} {wall:>9s}  "
+                      f"{row['started_iso']}")
+            return 0
+
+        if args.obs_command == "tail":
+            run = _resolve_obs_run(store, args.run_id)
+            if run is None:
+                print("error: no matching stored run", file=sys.stderr)
+                return 2
+            print(f"run {run['run_id'][:12]} ({run['kind']}: "
+                  f"{run['label'] or '-'}, status {run['status']})")
+            seen = _print_span_rows(store.spans(run["run_id"]))
+            if not seen:
+                print("  (no span records stored; re-run with --trace to "
+                      "capture spans)")
+            if not args.follow:
+                return 0
+            import time as _time
+            try:
+                while True:
+                    _time.sleep(max(0.05, args.interval))
+                    if args.run_id is None:
+                        newest = store.latest()
+                        if newest is not None \
+                                and newest["run_id"] != run["run_id"]:
+                            run = newest
+                            seen = 0
+                            print(f"run {run['run_id'][:12]} ({run['kind']}: "
+                                  f"{run['label'] or '-'}, status "
+                                  f"{run['status']})")
+                    seen = _print_span_rows(store.spans(run["run_id"]),
+                                            offset=seen)
+            except KeyboardInterrupt:
+                return 0
+
+        if args.obs_command == "top":
+            run = _resolve_obs_run(store, args.run_id)
+            if run is None:
+                print("error: no matching stored run", file=sys.stderr)
+                return 2
+            totals: dict[str, list[float]] = {}
+            for record in store.spans(run["run_id"]):
+                if record.get("type") != "span":
+                    continue
+                cell = totals.setdefault(record["name"], [0, 0.0, 0.0])
+                dur = float(record.get("dur") or 0.0)
+                cell[0] += 1
+                cell[1] += dur
+                cell[2] = max(cell[2], dur)
+            if not totals:
+                print("(no span records stored for this run)")
+                return 0
+            print(f"hot spans of run {run['run_id'][:12]}:")
+            print(f"  {'span':<40s} {'count':>6s} {'total':>11s} "
+                  f"{'mean':>11s} {'max':>11s}")
+            ranked = sorted(totals.items(), key=lambda kv: kv[1][1],
+                            reverse=True)
+            for name, (count, total, peak) in ranked[:args.limit]:
+                print(f"  {name[:40]:<40s} {count:>6d} {total*1000:>9.3f}ms "
+                      f"{total/count*1000:>9.3f}ms {peak*1000:>9.3f}ms")
+            return 0
+
+        if args.obs_command == "compare":
+            return _cmd_obs_compare(store, args)
+
+        if args.obs_command == "export":
+            from repro.obs import read_jsonl, write_perfetto
+            if args.input:
+                try:
+                    records = read_jsonl(args.input)
+                except (OSError, ValueError) as exc:
+                    print(f"error: cannot read {args.input!r}: {exc}",
+                          file=sys.stderr)
+                    return 2
+            else:
+                run = _resolve_obs_run(store, args.run_id)
+                if run is None:
+                    print("error: no matching stored run", file=sys.stderr)
+                    return 2
+                records = store.spans(run["run_id"])
+                if not records:
+                    print(f"error: run {run['run_id'][:12]} has no stored "
+                          "span records (re-run with --trace)",
+                          file=sys.stderr)
+                    return 2
+            try:
+                write_perfetto(records, args.perfetto)
+            except OSError as exc:
+                print(f"error: cannot write {args.perfetto!r}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote {len(records)} trace events to {args.perfetto} "
+                  f"(open in ui.perfetto.dev)")
+            return 0
+
+        if args.obs_command == "prune":
+            dropped = store.prune(max_runs=args.max_runs,
+                                  max_age_days=args.max_age_days)
+            print(f"pruned {dropped} run(s)")
+            return 0
+    finally:
+        if store is not None:
+            store.close()
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -453,6 +866,9 @@ def _dispatch(parser: argparse.ArgumentParser,
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "obs":
+        return _cmd_obs(args)
 
     if args.command == "report":
         from repro.batch import ResultCache, default_cache_dir, run_batch

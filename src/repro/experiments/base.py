@@ -261,4 +261,8 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
                  if rss_before is not None and rss_after is not None else None)
     obs_block = {"wall_seconds": wall, "peak_rss_bytes": rss_delta,
                  "peak_rss_high_water_bytes": rss_after}
+    if ctx is not None and ctx.tracer is not None:
+        # Lets a run-history-store row (or any JSON consumer) join this
+        # result back to its span tree without guessing.
+        obs_block["trace_id"] = ctx.tracer.trace_id
     return replace(result, metadata={**result.metadata, "obs": obs_block})

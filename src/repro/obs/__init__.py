@@ -18,10 +18,12 @@ single ``is not None`` check.
 
 from repro.obs.export import (
     JsonlTraceWriter,
+    perfetto_trace,
     prometheus_text,
     read_jsonl,
     run_summary,
     write_metrics,
+    write_perfetto,
 )
 from repro.obs.metrics import (
     Counter,
@@ -33,11 +35,14 @@ from repro.obs.metrics import (
     set_default_registry,
 )
 from repro.obs.profile import DEFAULT_TARGETS, FunctionStat, HotPathProfiler
+from repro.obs.store import RunStore, default_store_path
 from repro.obs.tracing import (
     Observation,
     SimulationObserver,
+    TraceContext,
     Tracer,
     current_observation,
+    new_span_id,
     observe,
     traced,
 )
@@ -47,11 +52,13 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
     "default_registry", "set_default_registry",
     # tracing
-    "Tracer", "Observation", "SimulationObserver", "observe",
-    "current_observation", "traced",
+    "Tracer", "TraceContext", "Observation", "SimulationObserver", "observe",
+    "current_observation", "traced", "new_span_id",
     # export
     "JsonlTraceWriter", "read_jsonl", "prometheus_text", "write_metrics",
-    "run_summary",
+    "run_summary", "perfetto_trace", "write_perfetto",
+    # store
+    "RunStore", "default_store_path",
     # profiling
     "HotPathProfiler", "FunctionStat", "DEFAULT_TARGETS",
 ]

@@ -1,23 +1,27 @@
 """Exporters: JSONL trace streams, Prometheus text format, run summaries.
 
-Three ways out of the observability layer:
+Four ways out of the observability layer:
 
 * :class:`JsonlTraceWriter` — a tracer sink that appends one JSON object
   per line, flushed eagerly so a running simulation can be tailed;
 * :func:`prometheus_text` — the classic ``# HELP`` / ``# TYPE`` text
-  exposition of a :class:`~repro.obs.metrics.MetricsRegistry`;
+  exposition of a :class:`~repro.obs.metrics.MetricsRegistry`, with
+  optional OpenMetrics histogram exemplars (bucket → trace id);
+* :func:`perfetto_trace` / :func:`write_perfetto` — tracer records as
+  Chrome/Perfetto trace-event JSON, loadable in ``ui.perfetto.dev``;
 * :func:`run_summary` — a human-readable digest for the end of a run.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, TextIO
+from typing import Any, Iterable, TextIO
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["JsonlTraceWriter", "read_jsonl", "prometheus_text",
-           "write_metrics", "run_summary"]
+           "write_metrics", "run_summary", "perfetto_trace",
+           "write_perfetto"]
 
 
 class JsonlTraceWriter:
@@ -105,21 +109,60 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render a registry in the Prometheus text exposition format."""
+def _exemplar_suffix(metric: Any, sample: Any) -> str:
+    """OpenMetrics exemplar annotation for a ``_bucket`` sample, or ``""``.
+
+    Rendered as `` # {trace_id="..."} value timestamp`` after the bucket
+    line, which classic Prometheus parsers tolerate and OpenMetrics
+    scrapers surface as clickable exemplars.
+    """
+    if not isinstance(metric, Histogram):
+        return ""
+    if not sample.name.endswith("_bucket"):
+        return ""
+    le = None
+    bare = []
+    for key, value in sample.labels:
+        if key == "le":
+            le = value
+        else:
+            bare.append((key, value))
+    if le is None:
+        return ""
+    found = metric.exemplar_for(tuple(bare), le)
+    if found is None:
+        return ""
+    ex_labels, value, stamp = found
+    label_text = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                          for k, v in sorted(ex_labels.items()))
+    return (f" # {{{label_text}}} {_format_value(value)} "
+            f"{stamp:.3f}")
+
+
+def prometheus_text(registry: MetricsRegistry, *,
+                    exemplars: bool = False) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    With ``exemplars=True``, histogram ``_bucket`` lines carry the
+    latest recorded exemplar (OpenMetrics ``# {labels} value ts``
+    syntax), letting a dashboard jump from a latency bucket to the
+    trace that landed there.
+    """
     lines: list[str] = []
     for metric in registry.collect():
         if metric.help:
             lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         for sample in metric.samples():
+            suffix = _exemplar_suffix(metric, sample) if exemplars else ""
             if sample.labels:
                 label_text = ",".join(
                     f'{k}="{_escape_label_value(v)}"' for k, v in sample.labels)
                 lines.append(f"{sample.name}{{{label_text}}} "
-                             f"{_format_value(sample.value)}")
+                             f"{_format_value(sample.value)}{suffix}")
             else:
-                lines.append(f"{sample.name} {_format_value(sample.value)}")
+                lines.append(f"{sample.name} "
+                             f"{_format_value(sample.value)}{suffix}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -127,6 +170,63 @@ def write_metrics(registry: MetricsRegistry, path: str) -> None:
     """Write the registry's Prometheus text dump to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(prometheus_text(registry))
+
+
+def perfetto_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert tracer records to Chrome/Perfetto trace-event JSON.
+
+    Spans become ``ph: "X"`` complete events (microsecond ``ts``/``dur``
+    relative to the tracer epoch) and point events become ``ph: "i"``
+    instants.  Records are grouped into tracks by the ``worker_pid``
+    attribute (0 = the coordinating process) so a fanned-out
+    ``run_batch --jobs N`` renders as one process lane per worker, and
+    trace/span/parent ids ride along in ``args`` for cross-referencing
+    with the run-history store.
+
+    The result loads directly in ``ui.perfetto.dev`` or
+    ``chrome://tracing``.
+    """
+    events: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+    for record in records:
+        attrs = record.get("attrs") or {}
+        try:
+            pid = int(attrs.get("worker_pid", 0))
+        except (TypeError, ValueError):
+            pid = 0
+        pids_seen.add(pid)
+        args = {k: v for k, v in attrs.items() if k != "worker_pid"}
+        for key in ("trace_id", "span_id", "parent_id"):
+            if record.get(key) is not None:
+                args[key] = record[key]
+        base = {
+            "name": str(record.get("name", "?")),
+            "pid": pid,
+            "tid": int(record.get("depth", 0)),
+            "ts": round(float(record.get("ts", 0.0)) * 1e6, 3),
+            "args": args,
+        }
+        if record.get("type") == "span":
+            base["ph"] = "X"
+            base["dur"] = round(float(record.get("dur", 0.0)) * 1e6, 3)
+            base["cat"] = "span"
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+            base["cat"] = str(record.get("type", "event"))
+        events.append(base)
+    for pid in sorted(pids_seen):
+        label = "coordinator" if pid == 0 else f"worker pid={pid}"
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(records: Iterable[dict[str, Any]], path: str) -> None:
+    """Write tracer records to ``path`` as Perfetto trace-event JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(perfetto_trace(records), fh, separators=(",", ":"),
+                  default=str)
 
 
 def run_summary(registry: MetricsRegistry) -> str:

@@ -21,6 +21,7 @@ Design constraints, in order of importance:
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Any, Callable, Iterator
 
@@ -165,12 +166,15 @@ class Gauge(_Metric):
 
 
 class _HistogramCell:
-    __slots__ = ("bucket_counts", "count", "sum")
+    __slots__ = ("bucket_counts", "count", "sum", "exemplars")
 
     def __init__(self, n_buckets: int) -> None:
         self.bucket_counts = [0] * n_buckets  # cumulative at export time only
         self.count = 0
         self.sum = 0.0
+        #: bucket index -> (exemplar labels, observed value, unix time);
+        #: allocated lazily so exemplar-free histograms pay nothing.
+        self.exemplars: dict[int, tuple[dict, float, float]] | None = None
 
 
 class Histogram(_Metric):
@@ -187,17 +191,49 @@ class Histogram(_Metric):
         self.buckets = bounds
         self._cells: dict[LabelKey, _HistogramCell] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
-        """Record one observation into its bucket."""
+    def observe(self, value: float, *,
+                exemplar: dict[str, Any] | None = None,
+                **labels: Any) -> None:
+        """Record one observation into its bucket.
+
+        ``exemplar`` optionally attaches OpenMetrics-style exemplar
+        labels (typically ``{"trace_id": ...}``) to the bucket this
+        observation lands in — the latest exemplar per bucket wins, so
+        a scrape can jump from a latency bucket straight to a recent
+        trace that exhibited it.  Exemplars are process-local colour:
+        they ride :func:`repro.obs.export.prometheus_text` when asked
+        for, but are intentionally excluded from :meth:`dump_cells` /
+        :meth:`merge_cell` (merging "latest" across workers has no
+        order-independent answer).
+        """
         key = _label_key(labels)
         idx = bisect_left(self.buckets, value)
         with self._lock:
             cell = self._cells.get(key)
             if cell is None:
                 cell = self._cells[key] = _HistogramCell(len(self.buckets) + 1)
-            cell.bucket_counts[min(idx, len(self.buckets))] += 1
+            bucket = min(idx, len(self.buckets))
+            cell.bucket_counts[bucket] += 1
             cell.count += 1
             cell.sum += value
+            if exemplar:
+                if cell.exemplars is None:
+                    cell.exemplars = {}
+                cell.exemplars[bucket] = (dict(exemplar), float(value),
+                                          time.time())
+
+    def exemplar_for(self, labels: LabelKey, le: str
+                     ) -> tuple[dict, float, float] | None:
+        """The stored exemplar of one cell's ``le``-labelled bucket."""
+        cell = self._cells.get(labels)
+        if cell is None or not cell.exemplars:
+            return None
+        bounds = list(self.buckets) + [float("inf")]
+        for index, bound in enumerate(bounds):
+            text = "+Inf" if bound == float("inf") else f"{bound:g}"
+            if text == le:
+                return cell.exemplars.get(index)
+        return None
 
     def count(self, **labels: Any) -> int:
         cell = self._cells.get(_label_key(labels))

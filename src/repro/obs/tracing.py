@@ -22,13 +22,57 @@ import contextvars
 import functools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Tracer", "Observation", "SimulationObserver", "observe",
-           "current_observation", "traced"]
+__all__ = ["Tracer", "TraceContext", "Observation", "SimulationObserver",
+           "observe", "current_observation", "traced", "new_span_id"]
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-character span/trace identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+class TraceContext:
+    """A (trace_id, span_id) pair that crosses process boundaries.
+
+    The batch engine attaches one to every worker task so the worker's
+    tracer is *born linked*: its records carry the session's trace id,
+    its root spans parent onto the span that dispatched them, and —
+    because the context also carries the session tracer's monotonic
+    ``epoch``, and ``time.perf_counter`` shares its base across
+    processes on one machine — worker timestamps land directly in the
+    session's time domain.  The payload is two short strings and a
+    float, so it pickles/JSONs trivially.
+    """
+
+    __slots__ = ("trace_id", "span_id", "epoch")
+
+    def __init__(self, trace_id: str, span_id: str | None = None,
+                 epoch: float | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.epoch = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceContext(trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r}, epoch={self.epoch!r})")
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, TraceContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id
+                and other.epoch == self.epoch)
+
+    def __getstate__(self) -> tuple[str, str | None, float | None]:
+        return (self.trace_id, self.span_id, self.epoch)
+
+    def __setstate__(self, state: tuple[str, str | None, float | None]) -> None:
+        self.trace_id, self.span_id, self.epoch = state
 
 
 class Tracer:
@@ -36,16 +80,28 @@ class Tracer:
 
     Records are dicts with stable keys:
 
-    ``{"type": "span", "name", "ts", "dur", "depth", "attrs"}``
+    ``{"type": "span", "name", "ts", "dur", "depth", "attrs",
+    "trace_id", "span_id", "parent_id"}``
         A closed span.  ``ts`` is seconds since the tracer's epoch
         (monotonic clock); ``dur`` is the span's wall duration.
-    ``{"type": "event", "name", "ts", "depth", "attrs"}``
+        ``span_id`` is unique per span; ``parent_id`` is the enclosing
+        span's id (or the tracer's ``root_parent_id`` for top-level
+        spans, which is how cross-process trees link up).
+    ``{"type": "event", "name", "ts", "depth", "attrs", "trace_id",
+    "parent_id"}``
         A point event.  Simulation events carry their *simulated* time
         in ``attrs["t"]``; ``ts`` stays in the tracer's wall domain.
+        Events carry no id of their own — they are leaves.
+
+    Every record carries the tracer's ``trace_id``, so all spans of one
+    run — including records ingested from worker processes — share one
+    trace identity.
     """
 
     def __init__(self, sink: Callable[[dict], None] | None = None,
-                 keep_records: bool = True) -> None:
+                 keep_records: bool = True, *,
+                 trace_id: str | None = None,
+                 root_parent_id: str | None = None) -> None:
         self._sinks: list[Callable[[dict], None]] = [sink] if sink else []
         self._keep = keep_records
         self._records: list[dict] = []
@@ -53,13 +109,38 @@ class Tracer:
         self._lock = threading.Lock()
         self.epoch = time.perf_counter()
         self.wall_epoch = time.time()
+        self.trace_id = trace_id or new_span_id()
+        self.root_parent_id = root_parent_id
+
+    @classmethod
+    def from_context(cls, context: TraceContext, **kwargs: Any) -> "Tracer":
+        """A tracer whose records continue an existing trace.
+
+        Adopting the context's ``epoch`` puts this tracer's timestamps
+        in the originating tracer's time domain, so ingested worker
+        records line up on one timeline.
+        """
+        tracer = cls(trace_id=context.trace_id,
+                     root_parent_id=context.span_id, **kwargs)
+        if context.epoch is not None:
+            tracer.epoch = context.epoch
+        return tracer
+
+    def context(self) -> TraceContext:
+        """The current propagation context: trace id + innermost span."""
+        return TraceContext(self.trace_id, self.current_span_id(), self.epoch)
 
     # ------------------------------------------------------------------
-    def _stack(self) -> list[str]:
+    def _stack(self) -> list[tuple[str, str | None]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def current_span_id(self) -> str | None:
+        """The id new child spans would be parented to on this thread."""
+        stack = self._stack()
+        return stack[-1][1] if stack else self.root_parent_id
 
     def _emit(self, record: dict) -> None:
         if self._keep:
@@ -82,7 +163,9 @@ class Tracer:
         """
         stack = self._stack()
         depth = len(stack)
-        stack.append(name)
+        span_id = new_span_id()
+        parent_id = stack[-1][1] if stack else self.root_parent_id
+        stack.append((name, span_id))
         start = time.perf_counter()
         try:
             yield attrs
@@ -94,15 +177,66 @@ class Tracer:
             stack.pop()
             self._emit({"type": "span", "name": name,
                         "ts": start - self.epoch, "dur": end - start,
-                        "depth": depth, "attrs": attrs})
+                        "depth": depth, "attrs": attrs,
+                        "trace_id": self.trace_id, "span_id": span_id,
+                        "parent_id": parent_id})
+
+    @contextmanager
+    def attach(self, parent_id: str | None) -> Iterator[None]:
+        """Parent this thread's next top-level spans onto an existing id.
+
+        How a span opened elsewhere — typically a pre-timed request span
+        whose id was minted up front — adopts work performed on another
+        thread (the service's executor-dispatched experiment runs).  No
+        record is emitted for the attachment itself.
+        """
+        if parent_id is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(("<attached>", parent_id))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def record_span(self, name: str, *, duration: float,
+                    ts: float | None = None, span_id: str | None = None,
+                    parent_id: str | None = None, depth: int = 0,
+                    attrs: dict[str, Any] | None = None) -> str:
+        """Emit one already-timed span record; returns its span id.
+
+        For callers that measure a duration themselves and must not
+        touch the tracer's thread-local span stack — the asyncio serving
+        layer, whose concurrent tasks interleave on one thread.  ``ts``
+        defaults to "``duration`` seconds ago"; pass ``span_id`` when
+        the id was minted up front so children could link to it while
+        the span was still open.
+
+        The emitted record is shaped exactly like :meth:`span`'s, so
+        downstream consumers (store, exporters) cannot tell them apart.
+        """
+        span_id = span_id or new_span_id()
+        if ts is None:
+            ts = time.perf_counter() - duration - self.epoch
+        self._emit({"type": "span", "name": name, "ts": ts,
+                    "dur": duration, "depth": depth, "attrs": attrs or {},
+                    "trace_id": self.trace_id, "span_id": span_id,
+                    "parent_id": parent_id})
+        return span_id
 
     def event(self, name: str, **attrs: Any) -> None:
         """Emit a point event at the current instant."""
+        stack = self._stack()
         self._emit({"type": "event", "name": name,
                     "ts": time.perf_counter() - self.epoch,
-                    "depth": len(self._stack()), "attrs": attrs})
+                    "depth": len(stack), "attrs": attrs,
+                    "trace_id": self.trace_id,
+                    "parent_id": stack[-1][1] if stack
+                    else self.root_parent_id})
 
-    def ingest(self, records: Iterable[dict], **extra_attrs: Any) -> int:
+    def ingest(self, records: Iterable[dict], *,
+               parent_id: str | None = None, **extra_attrs: Any) -> int:
         """Re-emit records produced by another tracer (returns the count).
 
         The batch engine uses this to fold each worker's trace back into
@@ -110,12 +244,24 @@ class Tracer:
         (each worker has its own epoch and span stack), and any
         ``extra_attrs`` — typically a worker/task id — are merged into
         each record's ``attrs`` so the provenance survives.
+
+        Ingested records are *re-linked* into this tracer's trace:
+        every record's ``trace_id`` is rewritten to this tracer's, and
+        records without a parent (foreign roots, or records from a
+        pre-trace-identity tracer) are parented onto ``parent_id`` when
+        given.  Workers whose tracers were built
+        :meth:`from_context` arrive already linked and pass through
+        unchanged apart from the attribute merge.
         """
         count = 0
         for record in records:
             merged = dict(record)
             if extra_attrs:
                 merged["attrs"] = {**merged.get("attrs", {}), **extra_attrs}
+            if merged.get("trace_id") != self.trace_id:
+                merged["trace_id"] = self.trace_id
+            if merged.get("parent_id") is None and parent_id is not None:
+                merged["parent_id"] = parent_id
             self._emit(merged)
             count += 1
         return count

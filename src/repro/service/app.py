@@ -16,23 +16,34 @@ POST      ``/v1/x``                     ``X(P)``
 POST      ``/v1/work``                  work rate / ``W(L;P)``
 POST      ``/v1/hecr``                  the HECR ``ρ_C``
 POST      ``/v1/allocate``              FIFO / LP work allocations
+GET       ``/v1/obs/summary``           run-history store + SLO digest
+GET       ``/v1/obs/runs``              recent stored runs/requests
+GET       ``/v1/obs/runs/{id}``         one stored run with its spans
 ========  ============================  =====================================
 
 Request semantics (shedding, batching, deadlines, caching) are
-documented in ``docs/SERVICE.md``.  Everything is instrumented through
-the PR-1 observability layer: ``svc_requests_total{route,code}``,
-``svc_request_seconds{route}``, ``svc_inflight``,
-``svc_shed_total{reason}``, ``svc_batch_size``, and — when a tracer is
-attached — one ``svc:<route>`` span record per request (ingested
-pre-timed, because asyncio tasks interleave and must not share the
-tracer's thread-local span stack).
+documented in ``docs/SERVICE.md``; the telemetry surfaces in
+``docs/OBSERVABILITY.md``.  Everything is instrumented through the
+observability layer: ``svc_requests_total{route,code}``,
+``svc_request_seconds{route}`` (with trace-id exemplars),
+``svc_inflight``, ``svc_shed_total{reason}``, ``svc_batch_size``,
+``svc_slo_burn_rate{route}``, one ``svc:<route>`` span record per
+request (emitted pre-timed via ``Tracer.record_span`` because asyncio
+tasks interleave and must not share the tracer's thread-local span
+stack), a JSON access-log line per request on the
+``repro.service.access`` logger, and — unless disabled — one
+run-history-store row per ``/v1/*`` request and experiment dispatch.
+Every response carries ``X-Repro-Trace-Id`` / ``X-Repro-Span-Id``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
+import logging
 import time
+from pathlib import Path
 from typing import Any, Awaitable, Callable
 
 from repro import __version__
@@ -45,7 +56,8 @@ from repro.errors import (FaultInjectionError, FaultSpecError,
 from repro.experiments.base import experiment_index, list_experiments
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import MetricsRegistry, default_registry
-from repro.obs.tracing import Tracer
+from repro.obs.store import RunStore, default_store_path
+from repro.obs.tracing import Observation, Tracer, new_span_id, observe
 from repro.service.admission import AdmissionController
 from repro.service.coalescer import MicroBatcher
 from repro.service.config import ServiceConfig
@@ -63,6 +75,15 @@ _CLIENT_ERRORS = (InvalidParameterError, InvalidProfileError, ProtocolError,
                   InfeasibleScheduleError, FaultSpecError)
 #: The CLI's exit-code-3 family, labelled for scripted clients.
 _FAULT_ERRORS = (SimulationError, FaultInjectionError, RecoveryError)
+
+#: The current request's span id, visible to handlers running inside
+#: the request's asyncio task (set by ``_respond``).  Handlers hand it
+#: to the coalescer / batch engine as the trace parent so downstream
+#: spans link back to the request that caused them.
+_REQ_SPAN: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_span", default=None)
+
+_access_log = logging.getLogger("repro.service.access")
 
 
 # ---------------------------------------------------------------------------
@@ -230,7 +251,12 @@ class ReproService:
                  tracer: Tracer | None = None) -> None:
         self.config = config or ServiceConfig()
         self.registry = registry if registry is not None else default_registry()
-        self.tracer = tracer
+        # An injected tracer keeps span records (tests, serve --trace);
+        # otherwise a record-dropping tracer still supplies the trace id
+        # and span ids that headers, exemplars and store rows carry.
+        self._external_tracer = tracer is not None
+        self.tracer = tracer if tracer is not None else Tracer(
+            keep_records=False)
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             rate=self.config.rate, burst=self.config.burst)
@@ -238,15 +264,21 @@ class ReproService:
                                    self.config.cache_ttl)
         self.batcher = MicroBatcher(window=self.config.batch_window,
                                     max_batch=self.config.max_batch,
-                                    registry=self.registry)
+                                    registry=self.registry,
+                                    tracer=self.tracer)
         self._server: asyncio.AbstractServer | None = None
         self._started_at = 0.0
         self._result_cache = None
+        self.store: RunStore | None = None
+        #: Per-route [bad, total] request counts behind the SLO gauges.
+        self._slo_counts: dict[str, list[int]] = {}
         self._routes: dict[tuple[str, str], tuple[
             Callable[[Request], Awaitable[_Response]], bool]] = {
             ("GET", "/healthz"): (self._handle_healthz, False),
             ("GET", "/metrics"): (self._handle_metrics, False),
             ("GET", "/v1/experiments"): (self._handle_experiment_index, False),
+            ("GET", "/v1/obs/summary"): (self._handle_obs_summary, False),
+            ("GET", "/v1/obs/runs"): (self._handle_obs_runs, False),
             ("POST", "/v1/x"): (self._make_eval_handler("x"), True),
             ("POST", "/v1/work"): (self._make_eval_handler("work"), True),
             ("POST", "/v1/hecr"): (self._make_eval_handler("hecr"), True),
@@ -273,6 +305,17 @@ class ReproService:
             from repro.batch import ResultCache, default_cache_dir
             self._result_cache = ResultCache(
                 self.config.result_cache_dir or default_cache_dir())
+        if not self.config.no_store:
+            path = (Path(self.config.store_dir) / "runs.sqlite3"
+                    if self.config.store_dir else default_store_path())
+            try:
+                self.store = RunStore(path)
+            except Exception as exc:
+                # Telemetry must never keep the service from serving.
+                logging.getLogger("repro.service").warning(
+                    "run-history store unavailable (%s); continuing "
+                    "without persistence", exc)
+                self.store = None
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port)
@@ -302,6 +345,9 @@ class ReproService:
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     # -- connection handling -------------------------------------------
     async def _on_connection(self, reader: asyncio.StreamReader,
@@ -349,6 +395,11 @@ class ReproService:
         exact = self._routes.get((request.method, request.path))
         if exact is not None:
             return request.path, exact[0], exact[1]
+        prefix = "/v1/obs/runs/"
+        if request.path.startswith(prefix) and len(request.path) > len(prefix):
+            if request.method == "GET":
+                return "/v1/obs/runs/{id}", self._handle_obs_run, False
+            return "/v1/obs/runs/{id}", None, False  # 405
         prefix = "/v1/experiments/"
         if request.path.startswith(prefix) and len(request.path) > len(prefix):
             if request.method == "POST":
@@ -361,13 +412,25 @@ class ReproService:
     async def _respond(self, request: Request) -> _Response:
         route, handler, sheddable = self._match(request)
         start = time.perf_counter()
+        span_id = new_span_id()
+        token = _REQ_SPAN.set(span_id)
+        try:
+            return await self._respond_traced(request, route, handler,
+                                              sheddable, start, span_id)
+        finally:
+            _REQ_SPAN.reset(token)
+
+    async def _respond_traced(self, request: Request, route: str,
+                              handler: Callable[[Request],
+                                                Awaitable[_Response]] | None,
+                              sheddable: bool, start: float,
+                              span_id: str) -> _Response:
         if handler is None:
             status = 405 if route != "(unmatched)" else 404
             message = ("method not allowed" if status == 405 else
                        f"no route for {request.path!r}")
             response = _error_response(status, message)
-            self._record(route, status, time.perf_counter() - start,
-                         method=request.method)
+            self._finish(route, response, start, request.method, span_id)
             return response
 
         if sheddable:
@@ -381,9 +444,8 @@ class ReproService:
                     decision.status, f"shed: {decision.reason}",
                     headers={"Retry-After": decision.retry_after_header},
                     retry_after=decision.retry_after)
-                self._record(route, decision.status,
-                             time.perf_counter() - start,
-                             method=request.method)
+                self._finish(route, response, start, request.method, span_id,
+                             shed=decision.reason)
                 return response
             self.registry.gauge(
                 "svc_inflight", "admitted requests currently in flight"
@@ -406,9 +468,16 @@ class ReproService:
                 self.registry.gauge(
                     "svc_inflight", "admitted requests currently in flight"
                 ).set(self.admission.inflight)
-        self._record(route, response.status, time.perf_counter() - start,
-                     method=request.method)
+        self._finish(route, response, start, request.method, span_id)
         return response
+
+    def _finish(self, route: str, response: _Response, start: float,
+                method: str, span_id: str, shed: str | None = None) -> None:
+        """Stamp trace headers and record one finished request."""
+        response.headers.setdefault("X-Repro-Trace-Id", self.tracer.trace_id)
+        response.headers.setdefault("X-Repro-Span-Id", span_id)
+        self._record(route, response.status, time.perf_counter() - start,
+                     method=method, span_id=span_id, shed=shed)
 
     async def _run_with_deadline(
             self, handler: Callable[[Request], Awaitable[_Response]],
@@ -421,22 +490,48 @@ class ReproService:
         return await handler(request)
 
     def _record(self, route: str, code: int, seconds: float,
-                method: str = "GET") -> None:
+                method: str = "GET", *, span_id: str | None = None,
+                shed: str | None = None) -> None:
         self.registry.counter(
             "svc_requests_total", "HTTP requests served, by route and code"
         ).inc(route=route, code=code)
+        exemplar = ({"trace_id": self.tracer.trace_id, "span_id": span_id}
+                    if span_id is not None
+                    else {"trace_id": self.tracer.trace_id})
         self.registry.timer(
             "svc_request_seconds", "request wall time, by route"
-        ).observe(seconds, route=route)
-        if self.tracer is not None:
-            # Pre-timed record via ingest(): concurrent asyncio tasks
-            # must not push/pop the tracer's thread-local span stack.
-            self.tracer.ingest([{
-                "type": "span", "name": f"svc:{route}",
-                "ts": time.perf_counter() - seconds - self.tracer.epoch,
-                "dur": seconds, "depth": 0,
-                "attrs": {"code": code, "method": method},
-            }])
+        ).observe(seconds, exemplar=exemplar, route=route)
+        # Pre-timed record via record_span(): concurrent asyncio tasks
+        # must not push/pop the tracer's thread-local span stack.
+        self.tracer.record_span(
+            f"svc:{route}", duration=seconds, span_id=span_id,
+            attrs={"code": code, "method": method})
+        if self.config.slo_latency > 0:
+            counts = self._slo_counts.setdefault(route, [0, 0])
+            counts[1] += 1
+            if code >= 500 or seconds > self.config.slo_latency:
+                counts[0] += 1
+            self.registry.gauge(
+                "svc_slo_burn_rate",
+                "error-budget burn rate, by route (bad-request fraction "
+                "over the budget 1 - slo_objective; > 1 is out of SLO)"
+            ).set(
+                (counts[0] / counts[1]) / (1.0 - self.config.slo_objective),
+                route=route)
+        if _access_log.isEnabledFor(logging.INFO):
+            _access_log.info("%s", json.dumps({
+                "route": route, "method": method, "status": code,
+                "latency_ms": round(seconds * 1000.0, 3),
+                "trace_id": self.tracer.trace_id, "span_id": span_id,
+                "shed": shed,
+            }, separators=(",", ":")))
+        if (self.store is not None and route.startswith("/v1/")
+                and not route.startswith("/v1/obs")):
+            self.store.record_run(
+                kind="request", label=route,
+                trace_id=self.tracer.trace_id, status=str(code),
+                wall_seconds=seconds,
+                extra={"method": method, "span_id": span_id, "shed": shed})
 
     # -- handlers ------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> _Response:
@@ -447,8 +542,8 @@ class ReproService:
         })
 
     async def _handle_metrics(self, request: Request) -> _Response:
-        return _Response(200, prometheus_text(self.registry).encode("utf-8"),
-                         content_type=_PROM)
+        text = prometheus_text(self.registry, exemplars=True)
+        return _Response(200, text.encode("utf-8"), content_type=_PROM)
 
     async def _handle_experiment_index(self, request: Request) -> _Response:
         return _json_response(200, {"experiments": experiment_index()})
@@ -480,7 +575,8 @@ class ReproService:
                         "evaluation responses served from the TTL cache"
                     ).inc(kind=kind)
                     return _Response(200, body)
-            result = await self.batcher.submit(kind, payload)
+            result = await self.batcher.submit(kind, payload,
+                                               trace_parent=_REQ_SPAN.get())
             response = _json_response(200, result)
             if cache_key is not None:
                 self.cache.put(cache_key, response.body)
@@ -497,15 +593,40 @@ class ReproService:
         kwargs = body.get("kwargs", {})
         if not isinstance(kwargs, dict):
             raise InvalidParameterError("kwargs must be a JSON object")
-        from repro.batch import run_batch
+        from repro.batch import cache_key, run_batch
         from repro.io import result_to_dict
 
+        trace_parent = _REQ_SPAN.get()
+
         def run() -> Any:
-            return run_batch([experiment_id],
-                             kwargs_by_id={experiment_id: dict(kwargs)},
-                             jobs=self.config.jobs, cache=self._result_cache)
+            # The executor thread has no ambient observation; install
+            # one so the batch engine folds worker telemetry into this
+            # service's registry.  The tracer rides along only when one
+            # was injected (serve --trace / tests): an ambient tracer
+            # switches auto-engine runs to the event engine, which the
+            # untraced server must not do.
+            observation = Observation(
+                tracer=self.tracer if self._external_tracer else None,
+                registry=self.registry)
+            with observe(observation):
+                return run_batch([experiment_id],
+                                 kwargs_by_id={experiment_id: dict(kwargs)},
+                                 jobs=self.config.jobs,
+                                 cache=self._result_cache,
+                                 trace_parent=trace_parent)
         batch = await asyncio.get_running_loop().run_in_executor(None, run)
         item = batch.items[0]
+        if self.store is not None:
+            self.store.record_run(
+                kind="experiment", label=experiment_id,
+                trace_id=self.tracer.trace_id,
+                cache_key=cache_key(experiment_id, dict(kwargs)),
+                engine=self.config.engine,
+                status="error" if item.error is not None else "ok",
+                wall_seconds=item.wall_seconds,
+                extra={"cached": item.cached, "shards": item.shards,
+                       "jobs": self.config.jobs, "span_id": trace_parent,
+                       "error": item.error})
         if item.error is not None:
             family = item.error.split(":", 1)[0]
             status = 400 if family in (
@@ -519,3 +640,39 @@ class ReproService:
             "wall_seconds": item.wall_seconds,
             "result": result_to_dict(item.result),
         })
+
+    # -- observability endpoints ---------------------------------------
+    def _store_or_none(self) -> RunStore | None:
+        return self.store
+
+    async def _handle_obs_summary(self, request: Request) -> _Response:
+        store = self._store_or_none()
+        slo = {
+            route: {"requests": counts[1], "bad": counts[0],
+                    "burn_rate": round((counts[0] / counts[1])
+                                       / (1.0 - self.config.slo_objective), 6)}
+            for route, counts in sorted(self._slo_counts.items()) if counts[1]}
+        return _json_response(200, {
+            "store": store.summary() if store is not None else None,
+            "store_enabled": store is not None,
+            "trace_id": self.tracer.trace_id,
+            "slo": {"latency_seconds": self.config.slo_latency,
+                    "objective": self.config.slo_objective, "routes": slo},
+        })
+
+    async def _handle_obs_runs(self, request: Request) -> _Response:
+        store = self._store_or_none()
+        if store is None:
+            return _error_response(503, "run-history store is disabled")
+        return _json_response(200, {"runs": store.runs(limit=50)})
+
+    async def _handle_obs_run(self, request: Request) -> _Response:
+        store = self._store_or_none()
+        if store is None:
+            return _error_response(503, "run-history store is disabled")
+        run_id = request.path.rsplit("/", 1)[-1]
+        run = store.get_run(run_id)
+        if run is None:
+            return _error_response(404, f"no stored run matches {run_id!r}")
+        return _json_response(200, {
+            "run": run, "spans": store.spans(run["run_id"])})

@@ -33,6 +33,7 @@ property can be tested without a running server;
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from typing import Any, Sequence
 
@@ -231,7 +232,8 @@ class MicroBatcher:
     """
 
     def __init__(self, *, window: float = 0.002, max_batch: int = 64,
-                 registry: Any = None, xpool_entries: int = 256) -> None:
+                 registry: Any = None, xpool_entries: int = 256,
+                 tracer: Any = None) -> None:
         if window < 0:
             raise InvalidParameterError(f"window must be >= 0, got {window!r}")
         if max_batch < 1:
@@ -241,6 +243,7 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.solver = BatchSolver(xpool_entries)
         self._registry = registry
+        self._tracer = tracer
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: asyncio.Task | None = None
         self.batches = 0
@@ -261,15 +264,24 @@ class MicroBatcher:
                 pass
             self._task = None
         while not self._queue.empty():
-            _, _, future = self._queue.get_nowait()
+            # Entry shape is (kind, payload, future[, trace_parent]);
+            # index rather than unpack so a legacy 3-tuple still drains.
+            future = self._queue.get_nowait()[2]
             if not future.done():
                 future.set_exception(
                     ConnectionError("service stopped before the request "
                                     "was solved"))
 
     # -- submission ----------------------------------------------------
-    async def submit(self, kind: str, payload: dict[str, Any]) -> Any:
-        """Queue one evaluation and await its (possibly shared) answer."""
+    async def submit(self, kind: str, payload: dict[str, Any],
+                     trace_parent: str | None = None) -> Any:
+        """Queue one evaluation and await its (possibly shared) answer.
+
+        ``trace_parent`` is the submitting request's span id; the drain
+        loop parents its per-batch ``svc:batch`` span onto the first
+        waiter's id and lists every waiter, so a request's trace leads
+        to the batch that actually solved it.
+        """
         if kind not in EVAL_KINDS:
             raise InvalidParameterError(
                 f"unknown evaluation kind {kind!r}; expected one of {EVAL_KINDS}")
@@ -277,11 +289,12 @@ class MicroBatcher:
             raise InvalidParameterError(
                 "MicroBatcher.submit() before start()")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((kind, payload, future))
+        self._queue.put_nowait((kind, payload, future, trace_parent))
         return await future
 
     # -- the drain loop ------------------------------------------------
-    async def _gather(self) -> list[tuple[str, dict, asyncio.Future]]:
+    async def _gather(self) -> list[tuple[str, dict, asyncio.Future,
+                                          str | None]]:
         """Block for the first request, then coalesce companions."""
         batch = [await self._queue.get()]
         if self.window > 0.0:
@@ -311,8 +324,21 @@ class MicroBatcher:
                     "svc_batch_size",
                     "evaluation requests coalesced per micro-batch",
                     buckets=BATCH_SIZE_BUCKETS).observe(float(len(batch)))
-            outcomes = self.solver.solve([(k, p) for k, p, _ in batch])
-            for (_, _, future), (ok, value) in zip(batch, outcomes):
+            collapsed_before = self.solver.collapsed
+            solve_start = time.perf_counter()
+            outcomes = self.solver.solve([(k, p) for k, p, _, _ in batch])
+            if self._tracer is not None:
+                # One pre-timed span per solved batch (record_span, not
+                # span(): the drain task must not touch the tracer's
+                # thread-local span stack while request spans interleave).
+                waiters = [t for _, _, _, t in batch if t is not None]
+                self._tracer.record_span(
+                    "svc:batch", duration=time.perf_counter() - solve_start,
+                    parent_id=waiters[0] if waiters else None,
+                    attrs={"size": len(batch),
+                           "collapsed": self.solver.collapsed - collapsed_before,
+                           "waiters": waiters})
+            for (_, _, future, _), (ok, value) in zip(batch, outcomes):
                 if future.done():  # deadline hit while queued: nobody waits
                     continue
                 if ok:

@@ -57,6 +57,23 @@ class ServiceConfig:
         it); ``None`` keeps the process default.
     max_body_bytes, max_header_bytes:
         Hard HTTP limits; oversized requests are rejected with ``413``.
+    no_store, store_dir:
+        The run-history store (``repro.obs.store.RunStore``): every
+        ``/v1/*`` request and experiment dispatch is persisted for the
+        ``obs`` CLI and the ``/v1/obs/*`` endpoints.  ``no_store=True``
+        disables persistence entirely; ``store_dir`` overrides the
+        default state directory.
+    slo_latency, slo_objective:
+        The per-route SLO behind the ``svc_slo_burn_rate`` gauges: a
+        request is "good" when it answers below ``slo_latency`` seconds
+        with a non-5xx status, and the burn rate is the bad fraction
+        divided by the error budget ``1 - slo_objective`` (burn > 1
+        means the route is burning budget faster than the SLO allows).
+        ``slo_latency=0`` disables the gauges.
+    log_level:
+        Threshold for the service's stderr logging (``repro.service``
+        loggers): one JSON access-log line per request is emitted at
+        INFO, lifecycle messages at INFO, problems at WARNING+.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +92,11 @@ class ServiceConfig:
     engine: str | None = None
     max_body_bytes: int = 1 << 20
     max_header_bytes: int = 32 << 10
+    no_store: bool = False
+    store_dir: str | None = None
+    slo_latency: float = 0.25
+    slo_objective: float = 0.99
+    log_level: str = "warning"
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -97,3 +119,17 @@ class ServiceConfig:
         if self.rate > 0 and not self.burst >= 1:
             raise InvalidParameterError(
                 f"burst must be >= 1 when rate limiting is on, got {self.burst!r}")
+        if not isinstance(self.slo_latency, (int, float)) \
+                or isinstance(self.slo_latency, bool) \
+                or self.slo_latency != self.slo_latency or self.slo_latency < 0:
+            raise InvalidParameterError(
+                f"slo_latency must be a number >= 0, got {self.slo_latency!r}")
+        if not isinstance(self.slo_objective, (int, float)) \
+                or isinstance(self.slo_objective, bool) \
+                or not (0.0 < self.slo_objective < 1.0):
+            raise InvalidParameterError(
+                f"slo_objective must be in (0, 1), got {self.slo_objective!r}")
+        if self.log_level not in ("debug", "info", "warning", "error"):
+            raise InvalidParameterError(
+                f"log_level must be one of debug/info/warning/error, "
+                f"got {self.log_level!r}")

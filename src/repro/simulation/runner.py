@@ -373,6 +373,9 @@ def _record_analytic_metrics(registry, result: SimulationResult) -> None:
     ).inc()
     registry.counter("sim_runs_total", "simulation runs executed").inc()
     registry.counter(
+        "sim_engine_runs_total", "simulation runs, by dispatching engine"
+    ).inc(engine="analytic")
+    registry.counter(
         "sim_channel_busy_time",
         "simulated time units the shared channel spent occupied"
     ).inc(result.network_busy_time)
@@ -397,6 +400,9 @@ def _record_run_metrics(registry, network: SingleChannelNetwork,
                         records: dict[int, WorkerRecord],
                         faults_injected: int = 0) -> None:
     """Fold one finished run's channel and milestone facts into metrics."""
+    registry.counter(
+        "sim_engine_runs_total", "simulation runs, by dispatching engine"
+    ).inc(engine="events")
     if faults_injected:
         registry.counter(
             "sim_faults_injected_total", "fault events injected into runs"

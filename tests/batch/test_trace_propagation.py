@@ -1,0 +1,98 @@
+"""Cross-process trace propagation through the batch engine.
+
+One ``run_batch --jobs N`` must yield a *single* coherent span tree:
+every record — coordinator-side batch span, worker-side experiment and
+shard spans — carries the same trace id, and every worker root parents
+onto the coordinator's ``batch:run`` span.
+"""
+
+import pickle
+
+from repro.batch import run_batch
+from repro.obs import Observation, TraceContext, Tracer, observe
+from repro.obs.tracing import new_span_id
+
+_FAST_IDS = ["table3", "majorization"]
+_FAST_KWARGS = {"majorization": {"trials_per_size": 30, "seed": 5}}
+
+
+def _traced_batch(jobs: int, **kwargs) -> Tracer:
+    tracer = Tracer(keep_records=True)
+    with observe(Observation(tracer=tracer)):
+        report = run_batch(_FAST_IDS, kwargs_by_id=_FAST_KWARGS,
+                           jobs=jobs, **kwargs)
+    assert not report.failures
+    return tracer
+
+
+class TestTraceContext:
+    def test_pickle_round_trip(self):
+        ctx = TraceContext(trace_id="t" * 32, span_id="s" * 16, epoch=12.5)
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.trace_id == ctx.trace_id
+        assert clone.span_id == ctx.span_id
+        assert clone.epoch == ctx.epoch
+
+    def test_tracer_context_captures_active_span(self):
+        tracer = Tracer(keep_records=True)
+        with tracer.span("outer"):
+            ctx = tracer.context()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.span_id is not None
+
+    def test_from_context_links_child_tracer(self):
+        parent = Tracer(keep_records=True)
+        with parent.span("root"):
+            ctx = parent.context()
+        child = Tracer.from_context(ctx, keep_records=True)
+        with child.span("remote"):
+            pass
+        record, = child.records
+        assert record["trace_id"] == parent.trace_id
+        assert record["parent_id"] == ctx.span_id
+
+
+class TestSingleTree:
+    def _assert_one_tree(self, tracer: Tracer) -> None:
+        records = tracer.records
+        assert records, "traced batch produced no records"
+        trace_ids = {r["trace_id"] for r in records}
+        assert trace_ids == {tracer.trace_id}
+        span_ids = {r["span_id"] for r in records if "span_id" in r}
+        batch_span, = tracer.records_named("batch:run")
+        for record in records:
+            parent = record.get("parent_id")
+            if record is batch_span:
+                continue
+            assert parent is None or parent in span_ids, (
+                f"{record['name']} dangles from unknown parent {parent}")
+
+    def test_sequential_batch_is_one_tree(self):
+        self._assert_one_tree(_traced_batch(jobs=1))
+
+    def test_pool_batch_is_one_tree(self):
+        tracer = _traced_batch(jobs=2)
+        self._assert_one_tree(tracer)
+        # worker-side records were ingested with provenance
+        worker_records = [r for r in tracer.records
+                          if r["attrs"].get("worker_pid")]
+        assert worker_records, "pool run produced no worker records"
+        # every worker-side root hangs off the coordinator's batch span
+        batch_span, = tracer.records_named("batch:run")
+        roots = [r for r in worker_records if r.get("depth") == 0]
+        assert roots
+        assert {r["parent_id"] for r in roots} == {batch_span["span_id"]}
+
+    def test_trace_parent_reparents_batch_span(self):
+        request_span = new_span_id()
+        tracer = Tracer(keep_records=True)
+        with observe(Observation(tracer=tracer)):
+            report = run_batch(["table3"], jobs=1,
+                               trace_parent=request_span)
+        assert not report.failures
+        batch_span, = tracer.records_named("batch:run")
+        assert batch_span["parent_id"] == request_span
+
+    def test_untraced_batch_emits_nothing(self):
+        report = run_batch(["table3"], jobs=1)
+        assert not report.failures  # no ambient tracer, no spans, no crash

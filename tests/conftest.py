@@ -21,6 +21,19 @@ def _isolated_result_cache(tmp_path_factory, monkeypatch):
         "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("result-cache")))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path_factory, monkeypatch):
+    """Keep the run-history store out of the user's real state home.
+
+    The service and the ``run``/``obs`` CLI persist telemetry rows by
+    default; pointing ``$REPRO_OBS_DIR`` at a per-session temp directory
+    keeps test runs from reading or polluting
+    ``~/.local/state/repro-hetero``.
+    """
+    monkeypatch.setenv(
+        "REPRO_OBS_DIR", str(tmp_path_factory.mktemp("run-store")))
+
+
 @pytest.fixture
 def paper_params() -> ModelParams:
     """The Table-1 environment (τ=1e-6, π=1e-5, δ=1)."""

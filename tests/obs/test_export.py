@@ -4,10 +4,12 @@ import json
 
 from repro.obs.export import (
     JsonlTraceWriter,
+    perfetto_trace,
     prometheus_text,
     read_jsonl,
     run_summary,
     write_metrics,
+    write_perfetto,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -133,3 +135,95 @@ class TestRunSummary:
 
     def test_empty_registry(self):
         assert "(no metrics recorded)" in run_summary(MetricsRegistry())
+
+
+class TestExemplars:
+    def _histogram_with_exemplar(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("req_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05, route="/a")  # no exemplar
+        hist.observe(0.5, exemplar={"trace_id": "abc123"}, route="/a")
+        return registry
+
+    def test_bucket_line_carries_exemplar(self):
+        text = prometheus_text(self._histogram_with_exemplar(),
+                               exemplars=True)
+        lines = [ln for ln in text.splitlines() if " # {" in ln]
+        assert len(lines) == 1
+        (line,) = lines
+        assert line.startswith('req_seconds_bucket{route="/a",le="1"}')
+        assert 'trace_id="abc123"' in line
+        assert line.split(" # ")[1].startswith('{trace_id="abc123"} 0.5 ')
+
+    def test_exemplars_off_by_default(self):
+        text = prometheus_text(self._histogram_with_exemplar())
+        assert " # {" not in text
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.2, exemplar={"trace_id": "old"})
+        hist.observe(0.3, exemplar={"trace_id": "new"})
+        text = prometheus_text(registry, exemplars=True)
+        assert 'trace_id="new"' in text and 'trace_id="old"' not in text
+
+    def test_dump_and_merge_ignore_exemplars(self):
+        source = self._histogram_with_exemplar()
+        target = MetricsRegistry()
+        target.merge(source.dump())
+        # merged counts line up; exemplars (latest-wins, unmergeable)
+        # stay local to the process that recorded them
+        assert prometheus_text(target) == prometheus_text(source)
+        assert " # {" not in prometheus_text(target, exemplars=True)
+
+
+class TestPerfettoTrace:
+    def _records(self):
+        tracer = Tracer(keep_records=True)
+        with tracer.span("batch:run", jobs=2):
+            tracer.event("tick")
+        records = [dict(r) for r in tracer.records]
+        records[0]["attrs"]["worker_pid"] = 4242  # the event, worker-side
+        return records
+
+    def test_spans_become_complete_events(self):
+        doc = perfetto_trace(self._records())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (span,) = complete
+        assert span["name"] == "batch:run"
+        assert span["dur"] >= 0
+        assert span["args"]["jobs"] == 2
+        assert span["args"]["trace_id"]
+        assert span["args"]["span_id"]
+
+    def test_events_become_instants(self):
+        doc = perfetto_trace(self._records())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        (instant,) = instants
+        assert instant["name"] == "tick"
+        assert instant["s"] == "t"
+
+    def test_worker_pid_maps_to_process_lane(self):
+        doc = perfetto_trace(self._records())
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert instant["pid"] == 4242
+        assert "worker_pid" not in instant["args"]
+        names = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names[0] == "coordinator"
+        assert names[4242] == "worker pid=4242"
+
+    def test_timestamps_scaled_to_microseconds(self):
+        doc = perfetto_trace([{"type": "span", "name": "s", "ts": 0.5,
+                               "dur": 0.25, "depth": 1, "attrs": {}}])
+        span = doc["traceEvents"][0]
+        assert span["ts"] == 500000.0
+        assert span["dur"] == 250000.0
+        assert span["tid"] == 1
+
+    def test_write_perfetto_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.perfetto.json"
+        write_perfetto(self._records(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) >= 3

@@ -1,0 +1,139 @@
+"""Property-based tests for MetricsRegistry dump()/merge() (hypothesis).
+
+The batch engine ships each worker's registry back to the session
+registry as a :meth:`MetricsRegistry.dump` document and folds it in
+with :meth:`~MetricsRegistry.merge`.  Workers finish in whatever order
+the pool schedules them, so the fold must not care about order or
+grouping.  Over random observation streams these pin down:
+
+* merge is **lossless** — a dumped-and-merged histogram reproduces the
+  source's bucket counts, total count and sum exactly;
+* merge is **commutative** — folding worker dumps in any order yields
+  the same cells;
+* merge is **associative** — pre-combining two workers' dumps before
+  folding equals folding them one at a time (grouping is irrelevant);
+* splitting one observation stream across any number of workers and
+  merging recovers the unsplit registry (order-independence end to
+  end, the property the pool actually relies on).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Observation values spanning every default bucket, including the
+#: overflow (+Inf) one.  allow_nan/infinity off: a NaN observation is a
+#: caller bug, not a merge property.
+values = st.floats(min_value=0.0, max_value=20.0,
+                   allow_nan=False, allow_infinity=False)
+
+#: One labelled observation: (value, route label).
+observations = st.tuples(values, st.sampled_from(["/a", "/b", "/c"]))
+
+streams = st.lists(observations, max_size=40)
+
+
+def _registry_from(stream) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", "latency", buckets=(0.5, 2.0, 8.0))
+    for value, route in stream:
+        hist.observe(value, route=route)
+    return registry
+
+
+def _cells(registry: MetricsRegistry):
+    """Canonical cell payloads of every metric (order-normalised)."""
+    return {entry["name"]: entry["cells"]
+            for entry in registry.dump()["metrics"]}
+
+
+def _close(a: dict, b: dict) -> bool:
+    """Cell equality with float tolerance on the running sums."""
+    if a.keys() != b.keys():
+        return False
+    for name in a:
+        if len(a[name]) != len(b[name]):
+            return False
+        for (ka, pa), (kb, pb) in zip(a[name], b[name]):
+            if ka != kb:
+                return False
+            if pa["bucket_counts"] != pb["bucket_counts"]:
+                return False
+            if pa["count"] != pb["count"]:
+                return False
+            if not math.isclose(pa["sum"], pb["sum"],
+                                rel_tol=1e-9, abs_tol=1e-12):
+                return False
+    return True
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_dump_merge_is_lossless(stream):
+    source = _registry_from(stream)
+    target = MetricsRegistry()
+    target.merge(source.dump())
+    assert _close(_cells(target), _cells(source))
+
+
+@given(a=streams, b=streams)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_commutative(a, b):
+    ab, ba = MetricsRegistry(), MetricsRegistry()
+    dump_a, dump_b = _registry_from(a).dump(), _registry_from(b).dump()
+    ab.merge(dump_a)
+    ab.merge(dump_b)
+    ba.merge(dump_b)
+    ba.merge(dump_a)
+    assert _close(_cells(ab), _cells(ba))
+
+
+@given(a=streams, b=streams, c=streams)
+@settings(max_examples=75, deadline=None)
+def test_merge_is_associative(a, b, c):
+    # (a ⊕ b) ⊕ c — pre-combine a and b, then fold c
+    left = MetricsRegistry()
+    left.merge(_registry_from(a).dump())
+    left.merge(_registry_from(b).dump())
+    left.merge(_registry_from(c).dump())
+    # a ⊕ (b ⊕ c) — pre-combine b and c in a scratch registry
+    scratch = MetricsRegistry()
+    scratch.merge(_registry_from(b).dump())
+    scratch.merge(_registry_from(c).dump())
+    right = MetricsRegistry()
+    right.merge(_registry_from(a).dump())
+    right.merge(scratch.dump())
+    assert _close(_cells(left), _cells(right))
+
+
+@given(stream=streams, splits=st.lists(st.integers(0, 40), max_size=4),
+       order=st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_sharded_streams_merge_order_independently(stream, splits, order):
+    """Splitting one stream across workers and merging recovers it."""
+    bounds = sorted(min(s, len(stream)) for s in splits)
+    pieces, last = [], 0
+    for b in bounds + [len(stream)]:
+        pieces.append(stream[last:b])
+        last = b
+    dumps = [_registry_from(piece).dump() for piece in pieces]
+    order.shuffle(dumps)
+    merged = MetricsRegistry()
+    for dump in dumps:
+        merged.merge(dump)
+    assert _close(_cells(merged), _cells(_registry_from(stream)))
+
+
+@given(stream=streams)
+@settings(max_examples=50, deadline=None)
+def test_exemplars_never_leak_into_dumps(stream):
+    """Exemplars are latest-wins process-local colour: dumps omit them."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", buckets=(1.0,))
+    for value, route in stream:
+        hist.observe(value, exemplar={"trace_id": "x"}, route=route)
+    for _, payload in _cells(registry).get("lat_seconds", []):
+        assert set(payload) == {"bucket_counts", "count", "sum"}
