@@ -1,0 +1,221 @@
+"""ProfileBatch columnar-kernel throughput and parity guard.
+
+Measures the :mod:`repro.core.batch_kernels` columnar layer against the
+scalar kernels it absorbs and records the results to
+``BENCH_profile_batch.json`` at the repo root — the perf trajectory
+baseline future PRs regress against:
+
+1. **X throughput** — construct a fresh :class:`ProfileBatch` from an
+   (m, n) ρ-matrix and evaluate every row's X, versus a scalar
+   ``x_measure`` loop.  The batch path must sustain ≥10⁶ X evaluations
+   per second at n = 32 (the acceptance floor, asserted every run).
+2. **HECR throughput** — :meth:`ProfileBatch.hecr` (Proposition 1,
+   vectorised) versus a scalar ``hecr_from_x`` loop over the same
+   precomputed X column.
+3. **Edit previews** — :meth:`BatchXEvaluator.x_with_rho_many`, one
+   single-ρ edit preview per row, versus a loop of per-row
+   :class:`~repro.core.measure.XEvaluator` previews.
+
+Every section re-asserts scalar parity *before* timing — bitwise for X
+and previews, ≤1e-12 relative for HECR (NumPy's SIMD ``log1p``/``expm1``
+may differ from libm by 1 ulp).  A fast path that drifts is not a
+speedup.
+
+Timings use best-of-N minima.  Speedups are recorded both ways: as
+``*_speedup`` (human-facing, higher is better) and as ``*_cost_ratio``
+(batch seconds over scalar seconds — machine-independent, *lower* is
+better) so the CI ``obs compare`` drift watchdog, which flags increases,
+can gate the ratios.  With ``REPRO_PERF_CHECK=1`` the run compares
+against the committed baseline and fails if any speedup kept less than
+75% of its committed value — the CI ``perf`` job runs in this mode.  A
+fresh measurement is always written to
+``benchmarks/output/profile-batch-measured.json`` for the watchdog.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch_kernels import BatchXEvaluator, ProfileBatch
+from repro.core.hecr import hecr_from_x
+from repro.core.measure import XEvaluator, x_measure
+from repro.core.params import PAPER_TABLE1
+from repro.errors import InvalidParameterError
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_profile_batch.json"
+MEASURED_PATH = Path(__file__).resolve().parent / "output" / "profile-batch-measured.json"
+
+_PARAMS = PAPER_TABLE1
+_M = 4096
+_N = 32
+_REPEATS = 9
+#: The sub-100µs batch kernels need many repeats for a stable minimum.
+_FAST_REPEATS = 30
+_SCALAR_REPEATS = 5
+
+#: Acceptance floor: fresh-construct-then-X throughput at n = 32.
+_X_EVALS_PER_SEC_FLOOR = 1.0e6
+#: Check mode fails when a speedup keeps less than this fraction of its
+#: committed baseline value.  Looser than the fast-path guard's 0.75:
+#: the batch sides here are tens of microseconds, where scheduler noise
+#: moves even a best-of-N minimum by tens of percent run to run, while
+#: a real regression (de-vectorising a kernel) costs 20x or more.
+_REGRESSION_KEEP = 0.5
+#: The speedups guarded in check mode.
+_GUARDED = ("x_speedup", "hecr_speedup", "preview_speedup")
+
+
+def _best(fn, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rho_matrix() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return 10.0 ** rng.uniform(-2, 1, size=(_M, _N))
+
+
+def _x_throughput(rows: np.ndarray) -> dict[str, float]:
+    # Parity first: every batch X must be bitwise the scalar x_measure.
+    xs = ProfileBatch(rows, copy=False).x(_PARAMS)
+    for i in (0, _M // 2, _M - 1):
+        assert xs[i] == x_measure(rows[i], _PARAMS)
+
+    def batch():
+        return ProfileBatch(rows, copy=False).x(_PARAMS)
+
+    def scalar_loop():
+        return [x_measure(row, _PARAMS) for row in rows]
+
+    batch_s = _best(batch)
+    loop_s = _best(scalar_loop, repeats=_SCALAR_REPEATS)
+    return {
+        "x_batch_seconds": batch_s,
+        "x_scalar_loop_seconds": loop_s,
+        "x_evals_per_sec": round(_M / batch_s),
+        "x_speedup": round(loop_s / batch_s, 2),
+        "x_cost_ratio": round(batch_s / loop_s, 5),
+    }
+
+
+def _hecr_throughput(rows: np.ndarray) -> dict[str, float]:
+    batch = ProfileBatch(rows, copy=False)
+    xs = batch.x(_PARAMS)
+    hs = batch.hecr(_PARAMS, x=xs)
+
+    def scalar_loop():
+        out = []
+        for x in xs:
+            try:
+                out.append(hecr_from_x(float(x), _N, _PARAMS))
+            except InvalidParameterError:
+                out.append(float("nan"))
+        return out
+
+    # Parity: finite rows to <=1e-12 relative, refusals exactly NaN.
+    for h, s in zip(hs, scalar_loop()):
+        assert math.isclose(h, s, rel_tol=1e-12) or (
+            math.isnan(h) and math.isnan(s))
+
+    batch_s = _best(lambda: batch.hecr(_PARAMS, x=xs), repeats=_FAST_REPEATS)
+    loop_s = _best(scalar_loop, repeats=_SCALAR_REPEATS)
+    return {
+        "hecr_batch_seconds": batch_s,
+        "hecr_scalar_loop_seconds": loop_s,
+        "hecr_evals_per_sec": round(_M / batch_s),
+        "hecr_speedup": round(loop_s / batch_s, 2),
+        "hecr_cost_ratio": round(batch_s / loop_s, 5),
+    }
+
+
+def _preview_throughput(rows: np.ndarray) -> dict[str, float]:
+    rng = np.random.default_rng(11)
+    indices = rng.integers(0, _N, size=_M)
+    values = 10.0 ** rng.uniform(-2, 1, size=_M)
+    batch_ev = BatchXEvaluator(rows, _PARAMS)
+    previews = batch_ev.x_with_rho(indices, values)
+    # Parity: each preview is bitwise the per-row incremental evaluator.
+    for i in (0, _M // 2, _M - 1):
+        solo = XEvaluator(rows[i], _PARAMS)
+        assert previews[i] == solo.x_with_rho(int(indices[i]), float(values[i]))
+
+    evaluators = [XEvaluator(row, _PARAMS) for row in rows]
+
+    def scalar_loop():
+        return [ev.x_with_rho(int(k), float(v))
+                for ev, k, v in zip(evaluators, indices, values)]
+
+    batch_s = _best(lambda: batch_ev.x_with_rho(indices, values),
+                    repeats=_FAST_REPEATS)
+    loop_s = _best(scalar_loop, repeats=_SCALAR_REPEATS)
+    return {
+        "preview_batch_seconds": batch_s,
+        "preview_scalar_loop_seconds": loop_s,
+        "preview_evals_per_sec": round(_M / batch_s),
+        "preview_speedup": round(loop_s / batch_s, 2),
+        "preview_cost_ratio": round(batch_s / loop_s, 5),
+    }
+
+
+def test_profile_batch_throughput_and_baseline(report_sink):
+    committed = (json.loads(BASELINE_PATH.read_text())
+                 if BASELINE_PATH.exists() else None)
+    check_mode = os.environ.get("REPRO_PERF_CHECK", "") == "1"
+
+    rows = _rho_matrix()
+    measured: dict[str, float] = {"batch_m": _M, "batch_n": _N}
+    measured.update(_x_throughput(rows))
+    measured.update(_hecr_throughput(rows))
+    measured.update(_preview_throughput(rows))
+
+    lines = [
+        f"ProfileBatch columnar kernels, m={_M} n={_N}",
+        f"  X        batch {measured['x_batch_seconds'] * 1e3:7.3f} ms "
+        f"({measured['x_evals_per_sec'] / 1e6:.2f} M evals/s), "
+        f"scalar loop {measured['x_scalar_loop_seconds'] * 1e3:7.1f} ms "
+        f"(x{measured['x_speedup']:.1f})",
+        f"  HECR     batch {measured['hecr_batch_seconds'] * 1e6:7.1f} us "
+        f"({measured['hecr_evals_per_sec'] / 1e6:.0f} M evals/s), "
+        f"scalar loop {measured['hecr_scalar_loop_seconds'] * 1e3:7.1f} ms "
+        f"(x{measured['hecr_speedup']:.1f})",
+        f"  previews batch {measured['preview_batch_seconds'] * 1e3:7.3f} ms "
+        f"({measured['preview_evals_per_sec'] / 1e6:.2f} M evals/s), "
+        f"XEvaluator loop {measured['preview_scalar_loop_seconds'] * 1e3:7.1f} ms "
+        f"(x{measured['preview_speedup']:.1f})",
+    ]
+    report_sink("profile-batch", "\n".join(lines))
+
+    # Always leave a fresh measurement for the CI drift watchdog.
+    MEASURED_PATH.parent.mkdir(parents=True, exist_ok=True)
+    MEASURED_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+    if not check_mode:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+
+    assert measured["x_evals_per_sec"] >= _X_EVALS_PER_SEC_FLOOR, (
+        f"ProfileBatch X throughput is only "
+        f"{measured['x_evals_per_sec'] / 1e6:.2f}M evals/s at n={_N} "
+        f"(floor {_X_EVALS_PER_SEC_FLOOR / 1e6:.0f}M)")
+
+    if check_mode:
+        assert committed is not None, (
+            f"REPRO_PERF_CHECK=1 but no committed baseline at {BASELINE_PATH}")
+        regressions = []
+        for key in _GUARDED:
+            floor = committed[key] * _REGRESSION_KEEP
+            if measured[key] < floor:
+                regressions.append(
+                    f"{key}: {measured[key]:.2f}x vs committed "
+                    f"{committed[key]:.2f}x (floor {floor:.2f}x)")
+        assert not regressions, (
+            "columnar-kernel speedup regressed >25% vs "
+            "BENCH_profile_batch.json:\n  " + "\n  ".join(regressions))

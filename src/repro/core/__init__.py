@@ -10,9 +10,23 @@ This subpackage implements the paper's primary mathematical objects:
 * :mod:`repro.core.homogeneous` — homogeneous-cluster closed forms (eq. (2));
 * :mod:`repro.core.hecr` — the Homogeneous-Equivalent Computing Rate
   (Proposition 1);
+* :mod:`repro.core.batch_kernels` — columnar many-profile kernels
+  (:class:`~repro.core.batch_kernels.ProfileBatch`): vectorised
+  X/W/HECR, row statistics, pairwise predictor kernels and batched
+  single-ρ edit previews, each bit-identical per row to its scalar
+  counterpart;
 * :mod:`repro.core.exact` — exact-rational ground-truth evaluation.
 """
 
+from repro.core.batch_kernels import (
+    BatchXEvaluator,
+    ProfileBatch,
+    hecr_from_x_many,
+    majorization_predictions,
+    minorization_predictions,
+    moment_predictions,
+    variance_predictions,
+)
 from repro.core.compare import ClusterComparison, compare_clusters
 from repro.core.exact import (
     homogeneous_x_exact,
@@ -52,6 +66,13 @@ __all__ = [
     "FIG34_CALIBRATION",
     "NEGLIGIBLE_OVERHEADS",
     "Profile",
+    "ProfileBatch",
+    "BatchXEvaluator",
+    "hecr_from_x_many",
+    "moment_predictions",
+    "variance_predictions",
+    "minorization_predictions",
+    "majorization_predictions",
     "x_measure",
     "x_measure_many",
     "XEvaluator",

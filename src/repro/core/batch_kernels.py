@@ -1,0 +1,602 @@
+"""Columnar many-profile kernels: the ``(m, n)`` ρ-matrix fast path.
+
+Every §4 study — the variance-predictor trials, the majorization
+ablation, HECR calibration — is defined over *populations* of clusters,
+tens of thousands of random profile comparisons per table row, and the
+serving layer coalesces whole micro-batches of profile evaluations.
+Evaluating one :class:`~repro.core.profile.Profile` at a time makes the
+Python interpreter the bottleneck long before NumPy is.
+
+:class:`ProfileBatch` stores m same-size profiles as one C-contiguous
+``(m, n)`` ρ-matrix, validates it **once** at construction, and exposes
+row-vectorised kernels for everything the scalar core computes:
+
+* ``x`` — eq. (1) via one batched exclusive cumulative product;
+* ``work_rates`` / ``work_production`` — Theorem 2;
+* ``hecr`` — Proposition 1's closed form (:func:`hecr_from_x_many`);
+* the §4.2 row statistics (variance, geometric/harmonic mean, min-ρ);
+* pairwise predictor kernels (:func:`moment_predictions`,
+  :func:`minorization_predictions`, :func:`majorization_predictions`)
+  over two aligned batches;
+* :class:`BatchXEvaluator` — the incremental single-ρ edit previews of
+  :class:`~repro.core.measure.XEvaluator`, one O(1) query *per row*.
+
+**Parity is the contract.**  Each kernel performs, per row, exactly the
+elementwise arithmetic and the same NumPy reduction its scalar
+counterpart performs on a 1-D array.  NumPy's pairwise summation (and
+``var``/``mean`` reductions built on it) produce bit-identical results
+for a contiguous row of an ``(m, n)`` array and the equivalent 1-D
+array, so ``ProfileBatch(rows).x(params)[i] == x_measure(rows[i],
+params)`` holds **bitwise** — not merely to tolerance — which is what
+lets the service coalescer route its bit-identity-guaranteed responses
+through the batch without moving a single float.  The one exception is
+HECR: NumPy's SIMD ``log1p``/``expm1`` over arrays may differ from the
+scalar path's libm calls by 1 ulp, so :func:`hecr_from_x_many` agrees
+with :func:`~repro.core.hecr.hecr_from_x` to ≤1e-12 relative rather
+than bitwise.  The property suite
+(``tests/properties/test_batch_parity_properties.py``) pins both
+contracts for every kernel over random batches.
+
+Empty-batch semantics: an ``(0, n)`` matrix is a valid batch of zero
+profiles — every kernel returns a shape-``(0,)`` (or ``(0, …)``) result,
+so sharded pipelines handle empty shards without special-casing.  An
+``(m, 0)`` matrix (profiles with zero computers) is rejected with a
+shape-specific error at construction.
+
+This module sits at the bottom of the core dependency stack (it imports
+only ``params``, ``profile`` and ``errors``);
+:mod:`repro.core.measure` and :mod:`repro.core.hecr` build their batch
+entry points on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import InvalidParameterError, InvalidProfileError
+
+__all__ = [
+    "ProfileBatch",
+    "BatchXEvaluator",
+    "hecr_from_x_many",
+    "moment_predictions",
+    "variance_predictions",
+    "minorization_predictions",
+    "majorization_predictions",
+    "MOMENT_STATISTICS",
+]
+
+#: Tolerances mirrored from the scalar predictor modules (kept as local
+#: constants so this module stays importable from ``repro.core`` without
+#: touching ``repro.predictors``, which imports core).
+_MEAN_RTOL = 1e-9       # predictors.variance.MEAN_RTOL
+_MAJORIZATION_RTOL = 1e-9  # predictors.majorization._RTOL
+
+#: Per-params derived-column cache entries kept per batch (LRU-ish: the
+#: oldest key is dropped; real workloads touch one or two param sets).
+_COLUMN_CACHE_ENTRIES = 8
+
+
+def _validate_matrix(rho, *, copy: bool) -> np.ndarray:
+    arr = np.array(rho, dtype=float, copy=True) if copy \
+        else np.ascontiguousarray(rho, dtype=float)
+    if arr.ndim != 2:
+        raise InvalidParameterError(
+            f"profiles must be 2-D (m, n), got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise InvalidParameterError(
+            f"profiles must have at least one computer per row (n >= 1), "
+            f"got shape {arr.shape}")
+    # np.any/np.all on an (0, n) matrix are vacuously fine: an empty
+    # batch of well-shaped profiles is valid and yields empty results.
+    if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("profiles must be positive and finite")
+    return arr
+
+
+class _Columns:
+    """Derived per-(τ, π, δ) columns shared by the X/W/HECR kernels.
+
+    ``b_rho = B·ρ`` feeds the LP constraint builder; ``denom = Bρ + A``
+    and ``numer = Bρ + τδ`` are eq. (1)'s per-computer factors;
+    ``prefix`` is the exclusive cumulative product of
+    ``ratios = numer/denom``; ``terms = prefix/denom`` sums to ``x``.
+    ``cum`` (the inclusive cumulative sum of ``terms``, needed only by
+    edit previews) is computed lazily on first access so the hot
+    construct-then-X path skips one full (m, n) pass.
+    """
+
+    __slots__ = ("b_rho", "denom", "numer", "ratios", "prefix", "terms",
+                 "x", "_cum")
+
+    def __init__(self, b_rho: np.ndarray, denom: np.ndarray,
+                 numer: np.ndarray, ratios: np.ndarray, prefix: np.ndarray,
+                 terms: np.ndarray, x: np.ndarray) -> None:
+        self.b_rho = b_rho
+        self.denom = denom
+        self.numer = numer
+        self.ratios = ratios
+        self.prefix = prefix
+        self.terms = terms
+        self.x = x
+        self._cum: np.ndarray | None = None
+
+    @property
+    def cum(self) -> np.ndarray:
+        if self._cum is None:
+            self._cum = np.cumsum(self.terms, axis=1)
+        return self._cum
+
+
+def _build_columns(arr: np.ndarray, params: ModelParams) -> _Columns:
+    A, B, td = params.A, params.B, params.tau_delta
+    b_rho = B * arr
+    denom = b_rho + A
+    numer = b_rho + td
+    ratios = numer / denom
+    # Exclusive prefix product per row: [1, r1, r1·r2, …] — the same
+    # sequential cumprod x_measure runs on its 1-D array.
+    prefix = np.empty_like(denom)
+    prefix[:, 0] = 1.0
+    np.cumprod(ratios[:, :-1], axis=1, out=prefix[:, 1:])
+    terms = prefix / denom
+    # Row-wise pairwise summation over contiguous memory: bit-identical
+    # to float(np.sum(...)) of the row on its own.
+    x = np.sum(terms, axis=1)
+    return _Columns(b_rho=b_rho, denom=denom, numer=numer, ratios=ratios,
+                    prefix=prefix, terms=terms, x=x)
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
+class ProfileBatch:
+    """m same-size heterogeneity profiles as one validated ρ-matrix.
+
+    Parameters
+    ----------
+    rho:
+        Array-like of shape ``(m, n)``: m profiles of n computers each.
+        Every entry must be positive and finite; ``m = 0`` is allowed
+        (the empty batch), ``n = 0`` is not.
+    copy:
+        Copy the input (default).  ``copy=False`` adopts the array
+        without copying when it is already C-contiguous ``float64`` —
+        the caller must then not mutate it.
+
+    Notes
+    -----
+    Construction cost is one O(m·n) validation pass.  Derived columns
+    (``Bρ + A``, ``Bρ + τδ``, prefix products, X) are computed lazily
+    per parameter set and cached, so asking for ``x`` and then ``hecr``
+    under the same params runs eq. (1) once.
+    """
+
+    __slots__ = ("_rho", "_columns", "_sorted_desc")
+
+    def __init__(self, rho, *, copy: bool = True) -> None:
+        self._rho = _validate_matrix(rho, copy=copy)
+        self._columns: dict[tuple[float, float, float], _Columns] = {}
+        self._sorted_desc: np.ndarray | None = None
+
+    @classmethod
+    def from_profiles(cls, profiles) -> "ProfileBatch":
+        """Stack an iterable of equal-size :class:`Profile` objects."""
+        rows = [p.rho if isinstance(p, Profile) else np.asarray(p, dtype=float)
+                for p in profiles]
+        if not rows:
+            raise InvalidParameterError(
+                "from_profiles needs at least one profile; build an empty "
+                "batch with ProfileBatch(np.empty((0, n)))")
+        sizes = {r.shape for r in rows}
+        if len(sizes) != 1:
+            raise InvalidProfileError(
+                f"cannot batch profiles of different sizes: {sorted(sizes)}")
+        return cls(np.stack(rows), copy=False)
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def rho(self) -> np.ndarray:
+        """The ``(m, n)`` ρ-matrix as a read-only view."""
+        return _readonly(self._rho)
+
+    @property
+    def m(self) -> int:
+        """Number of profiles in the batch."""
+        return int(self._rho.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of computers per profile."""
+        return int(self._rho.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m, self.n)
+
+    def __len__(self) -> int:
+        return self.m
+
+    def row(self, i: int) -> Profile:
+        """Row ``i`` as a scalar :class:`Profile`."""
+        return Profile(self._rho[i])
+
+    def __repr__(self) -> str:
+        return f"ProfileBatch(m={self.m}, n={self.n})"
+
+    # -- derived columns ----------------------------------------------
+    def columns(self, params: ModelParams) -> _Columns:
+        """The cached derived columns for ``params`` (computed once)."""
+        key = (params.tau, params.pi, params.delta)
+        cols = self._columns.get(key)
+        if cols is None:
+            cols = _build_columns(self._rho, params)
+            self._columns[key] = cols
+            while len(self._columns) > _COLUMN_CACHE_ENTRIES:
+                self._columns.pop(next(iter(self._columns)))
+        return cols
+
+    # -- eq. (1) / Theorem 2 kernels ----------------------------------
+    def x(self, params: ModelParams) -> np.ndarray:
+        """``X(Pᵢ)`` per row — bit-identical to per-row ``x_measure``."""
+        return self.columns(params).x.copy()
+
+    def work_rates(self, params: ModelParams, *,
+                   x: np.ndarray | None = None) -> np.ndarray:
+        """Per-row asymptotic work rate ``1/(τδ + 1/X)`` (Theorem 2)."""
+        if x is None:
+            x = self.columns(params).x
+        return 1.0 / (params.tau_delta + 1.0 / x)
+
+    def work_production(self, params: ModelParams, lifespan: float, *,
+                        x: np.ndarray | None = None) -> np.ndarray:
+        """Per-row ``W(L; Pᵢ) = L / (τδ + 1/X(Pᵢ))``."""
+        if lifespan <= 0 or not np.isfinite(lifespan):
+            raise InvalidParameterError(
+                f"lifespan must be positive and finite, got {lifespan!r}")
+        return lifespan * self.work_rates(params, x=x)
+
+    def hecr(self, params: ModelParams, *,
+             x: np.ndarray | None = None) -> np.ndarray:
+        """Per-row HECR (Proposition 1); NaN for saturated/unreachable rows.
+
+        See :func:`hecr_from_x_many` for the NaN contract.
+        """
+        if x is None:
+            x = self.columns(params).x
+        return hecr_from_x_many(x, self.n, params)
+
+    def evaluator(self, params: ModelParams) -> "BatchXEvaluator":
+        """A :class:`BatchXEvaluator` over this batch's current rows."""
+        return BatchXEvaluator(self._rho, params)
+
+    # -- §4.2 row statistics ------------------------------------------
+    def means(self) -> np.ndarray:
+        """Row arithmetic means (``Profile.mean`` per row, bitwise)."""
+        return self._rho.mean(axis=1)
+
+    def variances(self) -> np.ndarray:
+        """Row population variances — eq. (7), ``Profile.variance``."""
+        return self._rho.var(axis=1)
+
+    def stds(self) -> np.ndarray:
+        """Row population standard deviations."""
+        return self._rho.std(axis=1)
+
+    def geometric_means(self) -> np.ndarray:
+        """Row geometric means ``exp(mean(log ρ))``."""
+        return np.exp(np.mean(np.log(self._rho), axis=1))
+
+    def harmonic_means(self) -> np.ndarray:
+        """Row harmonic means ``n / Σ(1/ρ)`` — the ablation's statistic."""
+        return self.n / np.sum(1.0 / self._rho, axis=1)
+
+    def min_rho(self) -> np.ndarray:
+        """Row minima (each profile's fastest computer)."""
+        return self._rho.min(axis=1)
+
+    def max_rho(self) -> np.ndarray:
+        """Row maxima (each profile's slowest computer)."""
+        return self._rho.max(axis=1)
+
+    def totals(self) -> np.ndarray:
+        """Row sums of ρ — majorization's conserved budget."""
+        return self._rho.sum(axis=1)
+
+    def sorted_desc(self) -> np.ndarray:
+        """Rows sorted nonincreasing (power order), cached, read-only."""
+        if self._sorted_desc is None:
+            self._sorted_desc = np.sort(self._rho, axis=1)[:, ::-1]
+        return _readonly(self._sorted_desc)
+
+
+# ---------------------------------------------------------------------
+# Proposition 1, vectorised (the fixed hecr_many core)
+# ---------------------------------------------------------------------
+def hecr_from_x_many(x_values: np.ndarray, n: int,
+                     params: ModelParams) -> np.ndarray:
+    """Vectorised Proposition-1 closed form over precomputed X-values.
+
+    Parameters
+    ----------
+    x_values:
+        Shape ``(m,)`` of positive X-measures.
+    n:
+        Common cluster size (≥ 1).
+    params:
+        Architectural model parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m,)`` of HECRs.  An entry is **NaN** whenever the
+        scalar :func:`~repro.core.hecr.hecr_from_x` would refuse the
+        row: X at/above the ``1/(A − τδ)`` saturation bound *or* a
+        derived rate that is non-positive (a cluster more powerful than
+        any finite-rate homogeneous one at this float resolution).
+        Finite entries agree with the scalar path to ≤1e-12 relative
+        (NumPy's vectorised ``log1p``/``expm1`` can differ from libm by
+        1 ulp); every other batch kernel is bitwise.
+        Returning NaN for the whole non-positive/saturated family —
+        rather than only for ``eps`` rounding to 1 — is what keeps the
+        batch path sign-consistent with the scalar path: near the bound
+        the closed form's cancellation can otherwise emit small
+        *negative* rates.  The NaN set matches the scalar refusal set
+        exactly (``eps >= 1`` or derived rate ≤ 0): a padded
+        ``eps >= 1 − 1e-14`` band would wrongly NaN large-gap rows the
+        scalar path accepts.
+
+    Raises
+    ------
+    InvalidParameterError
+        For ``n < 1`` or non-positive/non-finite ``x_values`` — those
+        are caller bugs, not saturated clusters.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    x = np.asarray(x_values, dtype=float)
+    if np.any(x <= 0.0) or not np.all(np.isfinite(x)):
+        raise InvalidParameterError("x_values must be positive")
+    A, B, td = params.A, params.B, params.tau_delta
+    gap = A - td
+    if gap == 0.0:
+        # A = τδ limit: X(P^(ρ)) = n/(Bρ + A)  ⇒  ρ = (n/X − A)/B
+        out = (n / x - A) / B
+        out[out <= 0.0] = np.nan
+        return out
+    eps = gap * x
+    # Mathematically eps < 1 strictly for every real profile, but
+    # extreme profiles can round eps to 1.0 in float64; and just below
+    # the bound the ``gap/(B·(1−D)) − A/B`` difference can cancel to a
+    # non-positive rate.  Both regimes mean "beyond any finite
+    # homogeneous equivalent's resolution": report NaN for them.  The
+    # cutoff is ``eps >= 1.0`` — exactly the scalar path's refusal, no
+    # wider: in large-gap regimes a rate just below the bound is still
+    # positive and valid, and a padded band would NaN rows the scalar
+    # path accepts.
+    saturated = eps >= 1.0
+    eps_safe = np.where(saturated, 0.5, eps)
+    one_minus_D = -np.expm1(np.log1p(-eps_safe) / n)
+    out = gap / (B * one_minus_D) - A / B
+    out[saturated | (out <= 0.0)] = np.nan
+    return out
+
+
+# ---------------------------------------------------------------------
+# Pairwise predictor kernels (two aligned batches → {0, 1, −1} per row)
+# ---------------------------------------------------------------------
+#: The §4.3 ablation statistics: name → (ProfileBatch method name,
+#: larger_wins), mirroring ``repro.predictors.variance.MOMENT_PREDICTORS``.
+MOMENT_STATISTICS: dict[str, tuple[str, bool]] = {
+    "variance": ("variances", True),
+    "geometric-mean": ("geometric_means", False),
+    "harmonic-mean": ("harmonic_means", False),
+    "min-rho": ("min_rho", False),
+}
+
+
+def _require_aligned(a: ProfileBatch, b: ProfileBatch) -> None:
+    if a.shape != b.shape:
+        raise InvalidProfileError(
+            f"pairwise prediction compares aligned equal-size batches "
+            f"(got shapes {a.shape} vs {b.shape})")
+
+
+def moment_predictions(batch_a: ProfileBatch, batch_b: ProfileBatch,
+                       statistic: str = "variance") -> np.ndarray:
+    """Row-wise moment-predictor calls, one per aligned pair.
+
+    Returns an int array over rows: 0 when the statistic says the first
+    profile wins, 1 for the second, −1 on an exact tie — the semantics
+    of each ``MOMENT_PREDICTORS[statistic]`` scalar predictor, without
+    the per-pair Python call.
+    """
+    _require_aligned(batch_a, batch_b)
+    try:
+        method, larger_wins = MOMENT_STATISTICS[statistic]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown moment statistic {statistic!r}; expected one of "
+            f"{sorted(MOMENT_STATISTICS)}") from None
+    sa = getattr(batch_a, method)()
+    sb = getattr(batch_b, method)()
+    out = np.where((sa > sb) == larger_wins, 0, 1)
+    out[sa == sb] = -1
+    return out
+
+
+def variance_predictions(batch_a: ProfileBatch,
+                         batch_b: ProfileBatch) -> np.ndarray:
+    """Row-wise Theorem-5 variance predictions over equal-mean pairs.
+
+    The batched :func:`~repro.predictors.variance.variance_prediction`:
+    enforces the equal-mean precondition per row (same relative
+    tolerance), then 0/1/−1 by variance comparison.
+    """
+    _require_aligned(batch_a, batch_b)
+    mean_a = batch_a.means()
+    mean_b = batch_b.means()
+    scale = np.maximum(np.maximum(np.abs(mean_a), np.abs(mean_b)), 1e-300)
+    bad = np.abs(mean_a - mean_b) > _MEAN_RTOL * scale
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        raise InvalidProfileError(
+            f"variance prediction requires equal mean speeds "
+            f"(row {i}: {float(mean_a[i])!r} vs {float(mean_b[i])!r})")
+    return moment_predictions(batch_a, batch_b, "variance")
+
+
+def minorization_predictions(batch_a: ProfileBatch,
+                             batch_b: ProfileBatch) -> np.ndarray:
+    """Row-wise Proposition-2 verdicts: 0/1 for a strict minorizer, −1
+    when neither profile entrywise-dominates after power-ordering."""
+    _require_aligned(batch_a, batch_b)
+    a = batch_a.sorted_desc()
+    b = batch_b.sorted_desc()
+    first = np.all(a <= b, axis=1) & np.any(a < b, axis=1)
+    second = np.all(b <= a, axis=1) & np.any(b < a, axis=1)
+    return np.where(first, 0, np.where(second, 1, -1))
+
+
+def majorization_predictions(batch_a: ProfileBatch,
+                             batch_b: ProfileBatch) -> np.ndarray:
+    """Row-wise majorization predictions over equal-sum pairs.
+
+    Exactly :func:`~repro.predictors.majorization.majorization_prediction`
+    per row — same descending partial-sum comparison, same relative
+    tolerance, same abstention (−1) on equivalent or incomparable rows —
+    with the cumulative sums batched.
+    """
+    _require_aligned(batch_a, batch_b)
+    a = batch_a.sorted_desc()
+    b = batch_b.sorted_desc()
+    total_a = a.sum(axis=1)
+    total_b = b.sum(axis=1)
+    tol = _MAJORIZATION_RTOL * np.maximum(total_a, 1e-300)
+    bad = np.abs(total_a - total_b) > tol
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        raise InvalidProfileError(
+            f"majorization compares equal-sum profiles "
+            f"(row {i}: {float(total_a[i])!r} vs {float(total_b[i])!r})")
+    ca = np.cumsum(a, axis=1)
+    cb = np.cumsum(b, axis=1)
+    first = np.all(ca[:, :-1] >= cb[:, :-1] - tol[:, None], axis=1)
+    second = np.all(cb[:, :-1] >= ca[:, :-1] - tol[:, None], axis=1)
+    out = np.full(batch_a.m, -1, dtype=int)
+    out[first & ~second] = 0
+    out[second & ~first] = 1
+    return out
+
+
+# ---------------------------------------------------------------------
+# Batched incremental single-ρ edits
+# ---------------------------------------------------------------------
+class BatchXEvaluator:
+    """The :class:`~repro.core.measure.XEvaluator` generalised to a batch.
+
+    Holds the eq.-(1) cumulative state for every row of an ``(m, n)``
+    ρ-matrix, so *"what would X be if row i's ρ_k became ρ'?"* is one
+    O(1) vectorised query across all m rows (:meth:`x_with_rho`) — the
+    speedup planner's candidate scan for a whole population of clusters
+    in a single NumPy expression.
+
+    As with the scalar evaluator, commits (:meth:`set_rho`) rebuild in
+    O(m·n) and leave :attr:`x` bit-identical per row to a fresh
+    ``x_measure``; only the O(1) previews re-associate the sum and may
+    differ at the ~1-ulp-per-term level.
+    """
+
+    __slots__ = ("_params", "_rho", "_d", "_r", "_prefix", "_terms",
+                 "_cum", "_x")
+
+    def __init__(self, rho, params: ModelParams) -> None:
+        self._params = params
+        self._rho = _validate_matrix(rho, copy=True)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        cols = _build_columns(self._rho, self._params)
+        self._d = cols.denom
+        self._r = cols.ratios
+        self._prefix = cols.prefix
+        self._terms = cols.terms
+        self._cum = cols.cum
+        self._x = cols.x
+
+    # -- state ---------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return int(self._rho.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self._rho.shape[1])
+
+    @property
+    def params(self) -> ModelParams:
+        return self._params
+
+    @property
+    def rho(self) -> np.ndarray:
+        """A copy of the current ρ-matrix."""
+        return self._rho.copy()
+
+    @property
+    def x(self) -> np.ndarray:
+        """Per-row ``X`` — bit-identical to per-row ``x_measure``."""
+        return self._x.copy()
+
+    def _validate_edit(self, k, rho_new) -> tuple[np.ndarray, np.ndarray]:
+        try:
+            idx = np.broadcast_to(np.asarray(k, dtype=int), (self.m,))
+            vals = np.broadcast_to(np.asarray(rho_new, dtype=float), (self.m,))
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"edit indices/values must be scalars or shape ({self.m},) "
+                f"arrays: {exc}") from exc
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            raise InvalidParameterError(
+                f"edit indices must lie in [0, {self.n}), got "
+                f"[{idx.min()}, {idx.max()}]")
+        if np.any(vals <= 0.0) or not np.all(np.isfinite(vals)):
+            raise InvalidParameterError(
+                "replacement rho values must be positive and finite")
+        return idx, vals
+
+    @staticmethod
+    def _pick(arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return np.take_along_axis(arr, idx[:, None], axis=1)[:, 0]
+
+    # -- O(1)-per-row preview -----------------------------------------
+    def x_with_rho(self, k, rho_new) -> np.ndarray:
+        """Per-row ``X`` with ρ at column ``k`` replaced by ``rho_new``.
+
+        ``k`` and ``rho_new`` may be scalars (same edit in every row) or
+        shape-``(m,)`` arrays (one edit per row).  Does not mutate the
+        evaluator.  Row i agrees bitwise with the scalar evaluator's
+        ``x_with_rho`` on the same row, hence with a fresh ``x_measure``
+        of the edited profile to ~1 ulp per term.
+        """
+        idx, vals = self._validate_edit(k, rho_new)
+        p = self._params
+        d_new = p.B * vals + p.A
+        r_new = (p.B * vals + p.tau_delta) / d_new
+        head = np.where(idx > 0,
+                        self._pick(self._cum, np.maximum(idx - 1, 0)), 0.0)
+        tail = self._cum[:, -1] - self._pick(self._cum, idx)
+        return head + self._pick(self._prefix, idx) / d_new \
+            + r_new * (tail / self._pick(self._r, idx))
+
+    # -- O(m·n) commit -------------------------------------------------
+    def set_rho(self, k, rho_new) -> np.ndarray:
+        """Commit the edit in every row; returns the exact new per-row X."""
+        idx, vals = self._validate_edit(k, rho_new)
+        np.put_along_axis(self._rho, idx[:, None], vals[:, None], axis=1)
+        self._rebuild()
+        return self.x

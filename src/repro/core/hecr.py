@@ -28,6 +28,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from repro.core.batch_kernels import hecr_from_x_many
 from repro.core.homogeneous import homogeneous_x
 from repro.core.measure import x_measure
 from repro.core.params import ModelParams
@@ -37,6 +38,12 @@ from repro.errors import InvalidParameterError
 __all__ = ["hecr", "hecr_from_x", "hecr_bisect", "hecr_many"]
 
 ProfileLike = Union[Profile, Iterable[float]]
+
+#: Cap on bracket-widening halvings/doublings in :func:`hecr_bisect` —
+#: 64 octaves span far more than float64's dynamic range ever needs, and
+#: the cap keeps saturated targets (see the bracket comment below) from
+#: widening forever.
+_MAX_WIDENINGS = 64
 
 
 def hecr_from_x(x_value: float, n: int, params: ModelParams) -> float:
@@ -124,35 +131,24 @@ def hecr_many(profiles: np.ndarray, x_values: np.ndarray, params: ModelParams) -
     Returns
     -------
     numpy.ndarray
-        Shape ``(m,)`` of HECRs.  Entries are NaN for *saturated*
-        clusters whose X rounds to the 1/(A−τδ) bound in float64 — such
-        clusters sit beyond the resolution of any finite homogeneous
-        equivalent.
+        Shape ``(m,)`` of HECRs.  Entries are NaN for rows the scalar
+        :func:`hecr_from_x` would refuse: *saturated* clusters whose X
+        rounds to the 1/(A−τδ) bound in float64, **and** clusters whose
+        derived rate comes out non-positive (just below the bound the
+        closed form's cancellation would otherwise emit a small negative
+        rate where the scalar path raises).  Both families sit beyond
+        the resolution of any finite homogeneous equivalent.
     """
     arr = np.asarray(profiles, dtype=float)
     x = np.asarray(x_values, dtype=float)
     if arr.ndim != 2 or x.shape != (arr.shape[0],):
         raise InvalidParameterError(
             f"shape mismatch: profiles {arr.shape}, x_values {x.shape}")
-    n = arr.shape[1]
-    A, B, td = params.A, params.B, params.tau_delta
-    gap = A - td
-    if gap == 0.0:
-        return (n / x - A) / B
-    eps = gap * x
-    if np.any(eps <= 0.0):
-        raise InvalidParameterError("x_values must be positive")
-    # Mathematically eps < 1 − (τδ/A)^n strictly for every real profile,
-    # but extreme profiles (thousands of near-floor ρ values) can round
-    # eps to 1.0 in float64.  Those clusters are saturated — beyond any
-    # finite homogeneous equivalent's resolution — so report NaN for them
-    # instead of a garbage rate.
-    saturated = eps >= 1.0 - 1e-14
-    eps_safe = np.where(saturated, 0.5, eps)
-    one_minus_D = -np.expm1(np.log1p(-eps_safe) / n)
-    out = gap / (B * one_minus_D) - A / B
-    out[saturated] = np.nan
-    return out
+    if arr.shape[1] == 0:
+        raise InvalidParameterError(
+            f"profiles must have at least one computer per row (n >= 1), "
+            f"got shape {arr.shape}")
+    return hecr_from_x_many(x, arr.shape[1], params)
 
 
 def hecr_bisect(profile: ProfileLike, params: ModelParams, *,
@@ -182,12 +178,32 @@ def hecr_bisect(profile: ProfileLike, params: ModelParams, *,
 
     # Bracket: a homogeneous cluster at the profile's fastest rate is at
     # least as powerful (minorization), one at the slowest rate at most.
+    # Float rounding can leave either endpoint on the wrong side, so
+    # widen until the bracket actually brackets — one halving/doubling
+    # is not always enough.  If the cap is exhausted on the lo side, no
+    # homogeneous rate reaches the target at all: eq. (1)'s cumprod-sum
+    # has rounded X(P) past the float image of eq. (2)'s expm1 form
+    # (X(P^(ρ)) plateaus below the target as ρ → 0), the same saturated
+    # family for which the closed form raises — so raise, rather than
+    # silently converge onto an arbitrary bound.
     lo = profile.fastest_rho  # X(P^(lo)) >= target
     hi = profile.slowest_rho  # X(P^(hi)) <= target
-    if homogeneous_x(n, lo, params) < target:  # numerical safety margin
+    for _ in range(_MAX_WIDENINGS):
+        if homogeneous_x(n, lo, params) >= target:
+            break
         lo *= 0.5
-    if homogeneous_x(n, hi, params) > target:
+    else:
+        raise InvalidParameterError(
+            f"X(P)={target!r} exceeds every homogeneous n={n} cluster's "
+            f"float-representable X-measure (saturated cluster); no "
+            f"homogeneous equivalent exists")
+    for _ in range(_MAX_WIDENINGS):
+        if homogeneous_x(n, hi, params) <= target:
+            break
         hi *= 2.0
+    else:  # pragma: no cover - X(P^(ρ)) → 0 as ρ → ∞, so hi always lands
+        raise InvalidParameterError(
+            f"could not bracket X(P)={target!r} from above for n={n}")
 
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)

@@ -37,6 +37,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from repro.core.batch_kernels import ProfileBatch
 from repro.core.params import ModelParams
 from repro.core.profile import Profile
 from repro.errors import InvalidParameterError
@@ -112,7 +113,10 @@ def x_measure_many(profiles: np.ndarray, params: ModelParams) -> np.ndarray:
     ----------
     profiles:
         Array of shape ``(m, n)``: m profiles of n computers each.  Every
-        entry must be positive.
+        entry must be positive.  ``m = 0`` (the empty batch) is valid and
+        yields a shape-``(0,)`` result, so sharded pipelines can pass
+        empty shards through; ``n = 0`` is rejected with a shape-specific
+        error.
     params:
         Architectural model parameters.
 
@@ -123,21 +127,15 @@ def x_measure_many(profiles: np.ndarray, params: ModelParams) -> np.ndarray:
 
     Notes
     -----
-    Used by the §4.3 experiments, which compare tens of thousands of
-    random cluster pairs; batching the cumulative products row-wise is an
-    order of magnitude faster than looping over :func:`x_measure`.
+    A thin wrapper over :class:`~repro.core.batch_kernels.ProfileBatch`
+    (construct one directly to reuse the derived columns across X, work
+    and HECR kernels).  Each row is bit-identical to the corresponding
+    :func:`x_measure` call.  Used by the §4.3 experiments, which compare
+    tens of thousands of random cluster pairs; batching the cumulative
+    products row-wise is an order of magnitude faster than looping over
+    :func:`x_measure`.
     """
-    arr = np.asarray(profiles, dtype=float)
-    if arr.ndim != 2:
-        raise InvalidParameterError(f"profiles must be 2-D (m, n), got shape {arr.shape}")
-    if arr.size == 0 or np.any(arr <= 0) or not np.all(np.isfinite(arr)):
-        raise InvalidParameterError("profiles must be non-empty, positive and finite")
-    A, B, td = params.A, params.B, params.tau_delta
-    denom = B * arr + A
-    ratios = (B * arr + td) / denom
-    prefix = np.ones_like(denom)
-    np.cumprod(ratios[:, :-1], axis=1, out=prefix[:, 1:])
-    return np.sum(prefix / denom, axis=1)
+    return ProfileBatch(profiles, copy=False).x(params)
 
 
 def work_rate(profile: ProfileLike, params: ModelParams, *,
@@ -295,6 +293,37 @@ class XEvaluator:
         tail = float(self._cum[-1] - self._cum[k])
         return head + float(self._prefix[k]) / d_new \
             + r_new * (tail / float(self._r[k]))
+
+    def x_with_rho_many(self, indices, values) -> np.ndarray:
+        """Preview many independent single-ρ edits at once — O(candidates).
+
+        For each candidate ``(indices[c], values[c])``, the X of the
+        profile with that one ρ replaced: the vectorised form of calling
+        :meth:`x_with_rho` per candidate (bit-identical per entry — the
+        same elementwise formula evaluates on arrays).  Turns the
+        speedup planner's per-candidate Python loop into one NumPy
+        expression.  Does not mutate the evaluator.
+        """
+        idx = np.asarray(indices, dtype=int)
+        vals = np.asarray(values, dtype=float)
+        if idx.shape != vals.shape or idx.ndim != 1:
+            raise InvalidParameterError(
+                f"indices and values must be matching 1-D arrays, got "
+                f"shapes {idx.shape} and {vals.shape}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self._rho.size):
+            raise InvalidParameterError(
+                f"edit indices must lie in [0, {self._rho.size}), got "
+                f"[{idx.min()}, {idx.max()}]")
+        if np.any(vals <= 0.0) or not np.all(np.isfinite(vals)):
+            raise InvalidParameterError(
+                "replacement rho values must be positive and finite")
+        p = self._params
+        d_new = p.B * vals + p.A
+        r_new = (p.B * vals + p.tau_delta) / d_new
+        head = np.where(idx > 0, self._cum[np.maximum(idx - 1, 0)], 0.0)
+        tail = self._cum[-1] - self._cum[idx]
+        return head + self._prefix[idx] / d_new \
+            + r_new * (tail / self._r[idx])
 
     # -- O(n) commits ---------------------------------------------------
     def set_rho(self, k: int, rho_new: float) -> float:

@@ -23,12 +23,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.measure import x_measure
+from repro.core.batch_kernels import ProfileBatch, majorization_predictions
 from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.experiments.base import (ExperimentResult, ShardSpec, register,
                                     run_sharded)
 from repro.experiments.variance_trials import trial_shards
-from repro.predictors.majorization import majorization_prediction
 from repro.sampling.equal_mean import equal_mean_pair
 
 __all__ = ["run_majorization_study", "run_majorization_shard"]
@@ -41,28 +40,35 @@ def run_majorization_shard(*, n: int, strategy: str, chunk_trials: int,
                            params: ModelParams) -> dict:
     """Score one chunk of §4.3 pairs (picklable worker entry point)."""
     rng = np.random.default_rng(seed_seq)
-    counts = {"n": n, "trials": chunk_trials, "comparable": 0, "correct": 0,
-              "comparable_wrong": 0, "var_bad": 0, "var_bad_incomparable": 0,
-              "bad_but_comparable": 0}
-    for _ in range(chunk_trials):
+    profiles_a = np.empty((chunk_trials, n))
+    profiles_b = np.empty((chunk_trials, n))
+    for t in range(chunk_trials):
         p1, p2 = equal_mean_pair(rng, n, strategy=strategy)
-        x1, x2 = x_measure(p1, params), x_measure(p2, params)
-        truth = 0 if x1 > x2 else 1
-        call = majorization_prediction(p1, p2)
-        if call != -1:
-            counts["comparable"] += 1
-            if call == truth:
-                counts["correct"] += 1
-            else:
-                counts["comparable_wrong"] += 1
-        var_call = 0 if p1.variance > p2.variance else 1
-        if var_call != truth:
-            counts["var_bad"] += 1
-            if call == -1:
-                counts["var_bad_incomparable"] += 1
-            else:
-                counts["bad_but_comparable"] += 1
-    return counts
+        profiles_a[t] = p1.rho
+        profiles_b[t] = p2.rho
+
+    # Columnar scoring: X, variances and the majorization calls each
+    # reduce one ProfileBatch per side — count-identical to the scalar
+    # per-pair loop this replaces (the batch kernels are bitwise equal
+    # per row to x_measure / Profile.variance / majorization_prediction).
+    batch_a = ProfileBatch(profiles_a, copy=False)
+    batch_b = ProfileBatch(profiles_b, copy=False)
+    truth = np.where(batch_a.x(params) > batch_b.x(params), 0, 1)
+    call = majorization_predictions(batch_a, batch_b)
+    var_call = np.where(batch_a.variances() > batch_b.variances(), 0, 1)
+
+    comparable = call != -1
+    var_bad = var_call != truth
+    return {
+        "n": n,
+        "trials": chunk_trials,
+        "comparable": int(np.count_nonzero(comparable)),
+        "correct": int(np.count_nonzero(comparable & (call == truth))),
+        "comparable_wrong": int(np.count_nonzero(comparable & (call != truth))),
+        "var_bad": int(np.count_nonzero(var_bad)),
+        "var_bad_incomparable": int(np.count_nonzero(var_bad & ~comparable)),
+        "bad_but_comparable": int(np.count_nonzero(var_bad & comparable)),
+    }
 
 
 def _split_majorization(params: ModelParams = PAPER_TABLE1,

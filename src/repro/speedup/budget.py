@@ -163,11 +163,13 @@ def greedy_budgeted_upgrades(profile: Profile, params: ModelParams,
                              budget: float) -> BudgetPlan:
     """Greedy heuristic: repeatedly buy the best affordable ΔX-per-cost.
 
-    Each round previews every remaining affordable option with an
-    :class:`~repro.core.measure.XEvaluator` — an O(1) incremental query
-    per candidate instead of a fresh O(n) ``x_measure`` — and buys the
-    one with the largest X gain per unit cost (free options rank by raw
-    gain); a machine is upgraded at most once.  O(rounds · (|options| + n)).
+    Each round previews every remaining affordable option in one
+    :meth:`~repro.core.measure.XEvaluator.x_with_rho_many` call — a
+    vectorised O(1)-per-candidate incremental query instead of a fresh
+    O(n) ``x_measure`` each — and buys the one with the largest X gain
+    per unit cost (free options rank by raw gain; ties keep the
+    earliest-listed option); a machine is upgraded at most once.
+    O(rounds · (|options| + n)).
     """
     _validate_inputs(profile, options, budget)
     evaluator = XEvaluator(profile, params)
@@ -180,20 +182,25 @@ def greedy_budgeted_upgrades(profile: Profile, params: ModelParams,
 
     while True:
         x_current = evaluator.x
-        best_option = None
-        best_score = 0.0
-        for option in remaining:
-            if option.index in upgraded or spent + option.cost > budget:
-                continue
-            if option.new_rho >= current[option.index]:
-                continue  # a previous purchase made this option moot
-            gain = evaluator.x_with_rho(option.index, option.new_rho) - x_current
-            score = gain / option.cost if option.cost > 0 else np.inf if gain > 0 else 0.0
-            if score > best_score:
-                best_score = score
-                best_option = option
-        if best_option is None:
+        eligible = [option for option in remaining
+                    if option.index not in upgraded
+                    and spent + option.cost <= budget
+                    # a previous purchase can make an option moot:
+                    and option.new_rho < current[option.index]]
+        if not eligible:
             break
+        indices = np.array([option.index for option in eligible])
+        values = np.array([option.new_rho for option in eligible])
+        costs = np.array([option.cost for option in eligible])
+        gains = evaluator.x_with_rho_many(indices, values) - x_current
+        scores = np.empty(len(eligible))
+        paid = costs > 0.0
+        scores[paid] = gains[paid] / costs[paid]
+        scores[~paid] = np.where(gains[~paid] > 0.0, np.inf, 0.0)
+        best = int(np.argmax(scores))   # first occurrence wins ties
+        if scores[best] <= 0.0:
+            break
+        best_option = eligible[best]
         chosen.append(best_option)
         upgraded.add(best_option.index)
         spent += best_option.cost

@@ -114,3 +114,73 @@ class TestHecrMany:
     def test_shape_mismatch_rejected(self, paper_params):
         with pytest.raises(InvalidParameterError):
             hecr_many(np.ones((3, 2)), np.ones(2), paper_params)
+
+    def test_near_saturated_rate_is_nan_not_negative(self, paper_params):
+        # Regression: just below the eps >= 1 - 1e-14 cutoff the closed
+        # form's cancellation yields a small *negative* rate (-9.95e-07
+        # at this x), which hecr_many used to return where the scalar
+        # path raises.  The whole non-positive family must be NaN.
+        n = 4
+        x = (1.0 - 5e-14) / paper_params.A_minus_tau_delta
+        batch = hecr_many(np.full((1, n), 0.5), np.array([x]), paper_params)
+        assert np.isnan(batch[0])          # not -9.95e-07
+        with pytest.raises(InvalidParameterError):
+            hecr_from_x(x, n, paper_params)
+
+    def test_near_bound_large_gap_rate_stays_finite(self):
+        # Regression (converse direction): the NaN family must match the
+        # scalar refusal set *exactly*.  A padded ``eps >= 1 - 1e-14``
+        # cutoff NaN-ed this large-gap row (eps = 1 - 1.8e-15) even
+        # though the scalar closed form happily returns a positive rate.
+        params = ModelParams(tau=0.5, pi=0.0, delta=0.0)
+        profiles = np.array([[7.81300120e-03, 2.50704307e-02, 5.71952579e-03,
+                              1.68593371e-03, 1.99446808e-02, 1.29856016e-02,
+                              1.77344792e-02, 1.01874701e-03]])
+        xs = x_measure_many(profiles, params)
+        eps = (params.A - params.tau_delta) * xs[0]
+        assert 1.0 - 1e-14 < eps < 1.0  # inside the old padded band
+        scalar = hecr_from_x(float(xs[0]), profiles.shape[1], params)
+        batch = hecr_many(profiles, xs, params)
+        assert scalar > 0.0
+        assert batch[0] == pytest.approx(scalar, rel=1e-12)
+
+    def test_empty_batch_returns_empty(self, paper_params):
+        out = hecr_many(np.empty((0, 5)), np.empty(0), paper_params)
+        assert out.shape == (0,)
+
+    def test_zero_computer_rows_rejected(self, paper_params):
+        with pytest.raises(InvalidParameterError, match="at least one computer"):
+            hecr_many(np.empty((2, 0)), np.empty(2), paper_params)
+
+
+class TestHecrBisectBracket:
+    # A wide-dynamic-range profile whose eq.-(1) X rounds past the float
+    # image of eq. (2): no homogeneous rate reaches the target, however
+    # far the lo bracket widens.
+    _PARAMS = ModelParams(tau=1.5472e-08, pi=7.6138e-05, delta=0.504094)
+    _N = 48
+
+    def _saturated_profile(self) -> Profile:
+        return Profile(10 ** np.random.default_rng(7).uniform(-6, 0, self._N))
+
+    def test_unbracketable_target_raises_like_closed_form(self):
+        # Regression: the one-shot `lo *= 0.5` widening left a
+        # non-bracketing interval here and bisection silently converged
+        # onto the bound fastest_rho/2.  All three paths must now agree
+        # this cluster has no homogeneous equivalent: bisect raises,
+        # the closed form raises, the batch path is NaN.
+        profile = self._saturated_profile()
+        with pytest.raises(InvalidParameterError, match="no.*homogeneous"):
+            hecr_bisect(profile, self._PARAMS)
+        with pytest.raises(InvalidParameterError):
+            hecr(profile, self._PARAMS)
+        x = x_measure(profile, self._PARAMS)
+        batch = hecr_many(profile.rho[None, :], np.array([x]), self._PARAMS)
+        assert np.isnan(batch[0])
+
+    def test_bracketing_profiles_still_match_closed_form(self):
+        # Same extreme regime, one decade less spread: bracketing holds
+        # and the two independent inversions must keep agreeing.
+        profile = Profile(10 ** np.random.default_rng(7).uniform(-5, 0, self._N))
+        assert hecr_bisect(profile, self._PARAMS) == pytest.approx(
+            hecr(profile, self._PARAMS), rel=1e-11)

@@ -129,6 +129,20 @@ class TestXMeasureMany:
         with pytest.raises(InvalidParameterError):
             x_measure_many(np.array([[1.0, 0.0]]), paper_params)
 
+    def test_empty_batch_returns_empty(self, paper_params):
+        # Regression: (0, n) used to be rejected as "must be non-empty,
+        # positive and finite", breaking empty-shard pipelines.  A batch
+        # of zero profiles is valid and evaluates to zero X values.
+        out = x_measure_many(np.empty((0, 4)), paper_params)
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_zero_computer_rows_rejected(self, paper_params):
+        # (m, 0) stays a hard error, with a message naming the shape.
+        with pytest.raises(InvalidParameterError,
+                           match="at least one computer"):
+            x_measure_many(np.empty((3, 0)), paper_params)
+
 
 class TestXDecomposition:
     @pytest.mark.parametrize("params", PARAM_GRID)
