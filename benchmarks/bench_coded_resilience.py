@@ -1,0 +1,115 @@
+"""Coded-resilience benchmark: redundancy's tail-latency win, on record.
+
+Runs the ``coded-resilience`` experiment on its default grid and
+records the full table to ``BENCH_coded_resilience.json`` at the repo
+root — the resilience trajectory future PRs regress against.  Three
+contracts are asserted every run:
+
+1. **The coded win.**  At a crash rate where recovery still mostly
+   completes (0.005), at least one proactive scheme must beat the
+   detect→reschedule posture on work-weighted p99 quantum latency —
+   the headline claim of the coded-computation literature — while its
+   waste fraction is honestly reported alongside.
+2. **Shard determinism.**  ``--jobs 2`` must produce bit-identical rows
+   to ``--jobs 1`` (the ShardSpec contract), and a direct sequential
+   call must reproduce the batch rows from the same seed.
+3. **Replayability.**  Re-running from the recorded seed reproduces
+   the table row for row.
+
+The experiment is a deterministic simulation, so with
+``REPRO_PERF_CHECK=1`` (the CI mode) the freshly measured rows must
+match the committed baseline *exactly* — any drift means the scheduler,
+fault engine, or allocation rule changed semantics, which is a
+regression here even if it is a speedup elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.batch import run_batch
+from repro.experiments import run_coded_resilience
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_coded_resilience.json"
+
+#: The crash rate the p99 claim is judged at: high enough that faults
+#: bite, low enough that recovery's rows are not fully censored at L.
+_CLAIM_RATE = 0.005
+
+
+def _rows_by_policy(result, rate):
+    return {row[1]: row for row in result.rows if row[0] == rate}
+
+
+def test_coded_resilience_benchmark(report_sink):
+    committed = (json.loads(BASELINE_PATH.read_text())
+                 if BASELINE_PATH.exists() else None)
+    check_mode = os.environ.get("REPRO_PERF_CHECK", "") == "1"
+
+    seq = run_batch(["coded-resilience"], jobs=1)
+    par = run_batch(["coded-resilience"], jobs=2)
+    result_seq, = seq.results
+    result_par, = par.results
+
+    # Contract 2: jobs-1 and jobs-2 merge to bit-identical tables, and
+    # the sequential library entry point agrees with both.
+    assert result_seq.rows == result_par.rows, \
+        "coded-resilience rows differ between --jobs 1 and --jobs 2"
+    direct = run_coded_resilience()
+    assert direct.rows == result_seq.rows, \
+        "sequential run_coded_resilience() disagrees with the batch path"
+
+    # Contract 3: the recorded seed replays the whole grid.
+    replay = run_coded_resilience(seed=result_seq.metadata["seed"])
+    assert replay.rows == result_seq.rows, \
+        "replay from the recorded seed did not reproduce the table"
+
+    # Contract 1: the coded p99 win at the claim rate, waste on record.
+    cells = _rows_by_policy(result_seq, _CLAIM_RATE)
+    recovery_p99 = cells["recovery"][4]
+    coded = {p: row for p, row in cells.items() if p != "recovery"}
+    assert coded, "no coded policies in the grid"
+    best_policy, best_row = min(coded.items(), key=lambda kv: kv[1][4])
+    assert best_row[4] < recovery_p99, (
+        f"no coded scheme beat recovery's p99 at rate {_CLAIM_RATE}: "
+        f"recovery {recovery_p99} vs best coded {best_row[4]} "
+        f"({best_policy})")
+    for policy, row in coded.items():
+        assert 0.0 < row[5] < 100.0, (
+            f"{policy} reports an implausible waste fraction {row[5]}%")
+
+    measured = {
+        "headers": list(result_seq.headers),
+        "rows": [list(row) for row in result_seq.rows],
+        "seed": result_seq.metadata["seed"],
+        "claim_rate": _CLAIM_RATE,
+        "recovery_p99_at_claim_rate": recovery_p99,
+        "best_coded_policy": best_policy,
+        "best_coded_p99_at_claim_rate": best_row[4],
+        "waste_pct_by_policy": {
+            p: row[5] for p, row in cells.items()},
+    }
+
+    lines = [
+        result_seq.render(),
+        f"p99 @ rate {_CLAIM_RATE}: recovery {recovery_p99:.2f} vs "
+        f"{best_policy} {best_row[4]:.2f} "
+        f"(waste {best_row[5]:.1f}%)",
+    ]
+    report_sink("coded-resilience", "\n".join(lines))
+
+    if not check_mode:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        return
+
+    # CI mode: the simulation is deterministic — exact match required.
+    assert committed is not None, (
+        f"REPRO_PERF_CHECK=1 but no committed baseline at {BASELINE_PATH}")
+    assert measured["rows"] == committed["rows"], (
+        "coded-resilience table drifted from BENCH_coded_resilience.json "
+        "(deterministic simulation: investigate the semantic change and "
+        "re-commit the baseline deliberately)")
+    assert measured["best_coded_p99_at_claim_rate"] < \
+        measured["recovery_p99_at_claim_rate"]

@@ -107,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault scenario for fault-aware experiments, e.g. "
                           "'outage:1@10+5,slow:0@2+20x3,loss:0.05,seed:7' "
                           "(see docs/FAULTS.md for the grammar)")
+    run.add_argument("--scheme", default=None, metavar="SPEC",
+                     help="redundancy scheme for coded experiments: "
+                          "'replication:<r>' or 'mds:<k>/<n>' (see "
+                          "docs/FAULTS.md § Proactive redundancy)")
     run.add_argument("--engine", choices=("auto", "events", "analytic"),
                      default=None,
                      help="simulation engine: 'auto' takes the analytic "
@@ -282,7 +286,10 @@ _SAMPLING_EXPERIMENTS = ("variance-trials", "variance-threshold",
                          "moment-ablation")
 
 #: Experiments that accept a ``--faults`` scenario.
-_FAULT_EXPERIMENTS = ("failure-resilience",)
+_FAULT_EXPERIMENTS = ("failure-resilience", "coded-resilience")
+
+#: Experiments that accept a ``--scheme`` redundancy spec.
+_SCHEME_EXPERIMENTS = ("coded-resilience",)
 
 
 def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
@@ -293,6 +300,8 @@ def _experiment_kwargs(experiment_id: str, args: argparse.Namespace) -> dict:
         kwargs["seed"] = args.seed
     if getattr(args, "faults", None) and experiment_id in _FAULT_EXPERIMENTS:
         kwargs["faults"] = args.faults
+    if getattr(args, "scheme", None) and experiment_id in _SCHEME_EXPERIMENTS:
+        kwargs["scheme"] = args.scheme
     return kwargs
 
 
@@ -368,6 +377,16 @@ def _warn_ignored_faults_flag(args: argparse.Namespace) -> None:
           file=sys.stderr)
 
 
+def _warn_ignored_scheme_flag(args: argparse.Namespace) -> None:
+    if not getattr(args, "scheme", None):
+        return
+    if args.experiment == "all" or args.experiment in _SCHEME_EXPERIMENTS:
+        return
+    print(f"warning: --scheme ignored — experiment {args.experiment!r} "
+          f"takes no redundancy scheme (coded: "
+          f"{', '.join(_SCHEME_EXPERIMENTS)})", file=sys.stderr)
+
+
 def _failure_exit_code(batch) -> int:
     """0 clean; 3 when every failure is in the fault/simulation family
     (so scripts can distinguish 'the scenario broke the run' from an
@@ -403,6 +422,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     _warn_ignored_sampling_flags(args)
     _warn_ignored_faults_flag(args)
+    _warn_ignored_scheme_flag(args)
+    if args.scheme:
+        # A malformed --scheme is invalid input, not a fault-family
+        # failure: report and exit 2 before any work starts.
+        from repro.coded import parse_scheme
+        from repro.errors import CodedSchemeError
+        try:
+            parse_scheme(args.scheme)
+        except CodedSchemeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.engine == "analytic" and args.faults:
         print("error: --engine analytic cannot run a --faults scenario — "
               "fault timelines require the event engine; drop --engine or "

@@ -1,0 +1,33 @@
+"""Proactive redundancy: replication-r and MDS-coded worksharing.
+
+The reactive posture (:mod:`repro.faults.recovery`) detects lost work
+and reschedules it; this package provisions against loss up front —
+each quantum is sent redundantly (replication) or as coded shares
+(MDS), speed-sized over the heterogeneity profile, and declared done at
+its k-th distinct delivery.  See ``docs/FAULTS.md`` § "Proactive
+redundancy" for the scheme grammar and the waste-vs-tail-latency
+tradeoff, and the ``coded-resilience`` experiment for the head-to-head
+comparison against detect→reschedule recovery.
+"""
+
+from repro.coded.collector import (CodedCollector, CodedOutcome,
+                                   QuantumStatus, simulate_coded)
+from repro.coded.schemes import (DEFAULT_MARGIN, CodedPlan, CodedQuantum,
+                                 MDSScheme, RedundancyScheme,
+                                 ReplicationScheme, parse_scheme,
+                                 scheme_from_spec)
+
+__all__ = [
+    "CodedCollector",
+    "CodedOutcome",
+    "CodedPlan",
+    "CodedQuantum",
+    "DEFAULT_MARGIN",
+    "MDSScheme",
+    "QuantumStatus",
+    "RedundancyScheme",
+    "ReplicationScheme",
+    "parse_scheme",
+    "scheme_from_spec",
+    "simulate_coded",
+]

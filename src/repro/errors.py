@@ -20,6 +20,7 @@ __all__ = [
     "FaultInjectionError",
     "FaultSpecError",
     "RecoveryError",
+    "CodedSchemeError",
 ]
 
 
@@ -101,4 +102,15 @@ class RecoveryError(ReproError, RuntimeError):
 
     Raised, for example, for a non-positive recovery-round budget or a
     detection timeout that is negative.
+    """
+
+
+class CodedSchemeError(ProtocolError):
+    """A proactive-redundancy scheme is malformed.
+
+    Raised for a replication factor below 1, an MDS scheme with
+    ``k > n`` shares, or an unparseable ``--scheme`` string.  Subclasses
+    :class:`ProtocolError`: a redundancy scheme is a statement about how
+    work is laid out across the cluster, and the CLI/service map it to
+    the same invalid-input surface (exit code 2 / HTTP 400).
     """

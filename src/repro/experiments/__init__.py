@@ -22,6 +22,7 @@ id                        reproduces
 ``majorization``          extension — the partial order behind Theorem 5
 ``tau-sweep``             extension — environment sensitivity across network speeds
 ``failure-rate-sweep``    extension — expected work under random crashes
+``coded-resilience``      extension — proactive redundancy vs recovery
 ========================  =====================================================
 """
 
@@ -36,6 +37,7 @@ from repro.experiments.base import (
     run_sharded,
 )
 from repro.experiments.barchart import render_profile_bars, render_snapshot_strip
+from repro.experiments.coded_resilience import run_coded_resilience
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.failure_rate_sweep import run_failure_rate_sweep
 from repro.experiments.failure_resilience import run_failure_resilience
@@ -90,6 +92,7 @@ __all__ = [
     "run_majorization_study",
     "run_tau_sweep",
     "run_failure_rate_sweep",
+    "run_coded_resilience",
     "collect_trials",
     "trial_shards",
     "run_trial_shard",

@@ -295,15 +295,17 @@ class RetransmitPolicy:
 
     A lost attempt still occupies the channel (the time is spent); the
     sender then waits an exponentially growing backoff before the next
-    attempt, up to ``max_retransmits`` retries.  A message that exhausts
-    its budget is *permanently lost* — for a work package the quantum
-    never reaches its worker, for a result the finishing-order contract
-    decides what stalls.
+    attempt, up to ``max_retransmits`` retries and capped at
+    ``max_backoff`` per wait (uncapped by default).  A message that
+    exhausts its budget is *permanently lost* — for a work package the
+    quantum never reaches its worker, for a result the finishing-order
+    contract decides what stalls.
     """
 
     max_retransmits: int = 3
     backoff: float = 0.1
     backoff_factor: float = 2.0
+    max_backoff: float = float("inf")
 
     def __post_init__(self) -> None:
         if self.max_retransmits < 0:
@@ -315,7 +317,17 @@ class RetransmitPolicy:
         if self.backoff_factor < 1.0 or not np.isfinite(self.backoff_factor):
             raise FaultInjectionError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
+        if np.isnan(self.max_backoff) or self.max_backoff <= 0.0:
+            raise FaultInjectionError(
+                f"max_backoff must be positive (inf disables the cap), "
+                f"got {self.max_backoff!r}")
 
     def delay(self, retransmit_index: int) -> float:
-        """Backoff before retransmit ``retransmit_index`` (1-based)."""
-        return self.backoff * self.backoff_factor ** (retransmit_index - 1)
+        """Backoff before retransmit ``retransmit_index`` (1-based).
+
+        Monotone non-decreasing in the index and capped at
+        ``max_backoff`` — both properties are pinned by hypothesis
+        tests, along with bit-determinism across processes.
+        """
+        return min(self.backoff * self.backoff_factor ** (retransmit_index - 1),
+                   self.max_backoff)

@@ -33,8 +33,13 @@ clause                     meaning
                            is deterministically lost
 ``retransmits:<n>``        retransmission budget per message (default 3)
 ``backoff:<t>``            base retransmission backoff in sim time units
+``maxbackoff:<t>``         cap on any single backoff wait (default: none)
 ``seed:<n>``               entropy for the stochastic draws (default 0)
 =========================  ==================================================
+
+Parse errors name the offending clause *and* its position (clause
+index and character offset) in the ``--faults`` string, so multi-clause
+specs fail actionably.
 
 Example: ``outage:1@10+5,slow:0@2+20x3,loss:0.05,seed:7`` — a transient
 + straggler + channel-loss mix, fully deterministic under seed 7.
@@ -202,36 +207,115 @@ class FaultScenario:
 _COMPUTER = re.compile(r"^[cC]?(\d+)$")
 
 
-def _computer(token: str, clause: str) -> int:
+def _computer(token: str) -> int:
     m = _COMPUTER.match(token)
     if m is None:
-        raise FaultSpecError(
-            f"bad computer index {token!r} in clause {clause!r}")
+        raise FaultSpecError(f"bad computer index {token!r}")
     return int(m.group(1))
 
 
-def _number(token: str, clause: str, what: str = "number") -> float:
+def _number(token: str, what: str = "number") -> float:
     try:
         return float(token)
     except ValueError:
-        raise FaultSpecError(
-            f"bad {what} {token!r} in clause {clause!r}") from None
+        raise FaultSpecError(f"bad {what} {token!r}") from None
 
 
-def _integer(token: str, clause: str) -> int:
+def _integer(token: str) -> int:
     try:
         return int(token)
     except ValueError:
-        raise FaultSpecError(
-            f"bad integer {token!r} in clause {clause!r}") from None
+        raise FaultSpecError(f"bad integer {token!r}") from None
 
 
-def _split_window(body: str, clause: str) -> tuple[str, str]:
+def _split_window(body: str) -> tuple[str, str]:
     if "+" not in body:
-        raise FaultSpecError(
-            f"clause {clause!r} needs a '+<duration>' window")
+        raise FaultSpecError("needs a '+<duration>' window")
     at, _, duration = body.partition("+")
     return at, duration
+
+
+def _parse_clause(clause: str, faults: list, drops: set,
+                  rates: dict) -> dict:
+    """Parse one clause, mutating ``faults``/``drops``/``rates`` in place.
+
+    Returns the scalar settings (seed, loss, retransmission knobs) the
+    clause established, if any.  Raised messages describe only the
+    *local* defect — :func:`parse_faults` wraps them with the clause
+    text and its position in the full spec string.
+    """
+    stochastic = False
+    if ":" in clause:
+        head, _, body = clause.partition(":")
+    elif "~" in clause:
+        head, _, body = clause.partition("~")
+        stochastic = True
+    else:
+        raise FaultSpecError("expected '<kind>:<spec>' or '<kind>~<rate>'")
+    head = head.strip().lower()
+    if not stochastic and "~" in head:
+        raise FaultSpecError("expected '<kind>:<spec>' or '<kind>~<rate>'")
+
+    if head == "seed":
+        return {"seed": _integer(body)}
+    if head == "loss":
+        return {"p_loss": _number(body, "loss probability")}
+    if head == "retransmits":
+        return {"retransmits": _integer(body)}
+    if head == "backoff":
+        return {"backoff": _number(body, "backoff")}
+    if head == "maxbackoff":
+        return {"max_backoff": _number(body, "backoff cap")}
+    if head == "drop":
+        parts = body.split(":")
+        if len(parts) != 3:
+            raise FaultSpecError("must be drop:<kind>:<c>:<attempt>")
+        kind = parts[0].strip().lower()
+        drops.add((kind, _computer(parts[1]), _integer(parts[2])))
+    elif head == "crash":
+        if stochastic:
+            rates["crash_rate"] = _number(body, "rate")
+        else:
+            if "@" not in body:
+                raise FaultSpecError("must be crash:<c>@<t>")
+            c, _, t = body.partition("@")
+            faults.append(PermanentCrash(_computer(c), _number(t, "time")))
+    elif head == "outage":
+        if stochastic:
+            rate, duration = _split_window(body)
+            rates["outage_rate"] = _number(rate, "rate")
+            rates["outage_duration"] = _number(duration, "duration")
+        else:
+            if "@" not in body:
+                raise FaultSpecError("must be outage:<c>@<t>+<d>")
+            c, _, window = body.partition("@")
+            at, duration = _split_window(window)
+            faults.append(TransientOutage(
+                _computer(c), _number(at, "time"),
+                _number(duration, "duration")))
+    elif head == "slow":
+        if stochastic:
+            rate, window = _split_window(body)
+            if "x" not in window:
+                raise FaultSpecError("needs 'x<factor>'")
+            duration, _, factor = window.partition("x")
+            rates["slow_rate"] = _number(rate, "rate")
+            rates["slow_duration"] = _number(duration, "duration")
+            rates["slow_factor"] = _number(factor, "factor")
+        else:
+            if "@" not in body:
+                raise FaultSpecError("must be slow:<c>@<t>+<d>x<f>")
+            c, _, window = body.partition("@")
+            at, rest = _split_window(window)
+            if "x" not in rest:
+                raise FaultSpecError("needs 'x<factor>'")
+            duration, _, factor = rest.partition("x")
+            faults.append(DegradedSpeed(
+                _computer(c), _number(at, "time"),
+                _number(duration, "duration"), _number(factor, "factor")))
+    else:
+        raise FaultSpecError(f"unknown fault kind {head!r}")
+    return {}
 
 
 def parse_faults(text: str) -> FaultScenario:
@@ -240,8 +324,10 @@ def parse_faults(text: str) -> FaultScenario:
     Raises
     ------
     FaultSpecError
-        On any malformed clause — the CLI maps this (with the rest of
-        the fault/recovery family) to exit code 3.
+        On any malformed clause — the message names the clause and its
+        position (index and character offset) in the spec string; the
+        CLI maps this (with the rest of the fault/recovery family) to
+        exit code 3.
     """
     faults: list[WorkerFault] = []
     drops: set[tuple[str, int, int]] = set()
@@ -249,93 +335,29 @@ def parse_faults(text: str) -> FaultScenario:
     seed = 0
     retransmits: int | None = None
     backoff: float | None = None
+    max_backoff: float | None = None
     rates: dict[str, float] = {}
 
-    clauses = [c.strip() for c in re.split(r"[,;]", text) if c.strip()]
+    # Split on [,;] but keep each clause's character offset so parse
+    # errors can point back into the original string.
+    clauses = [(m.group().strip(),
+                m.start() + len(m.group()) - len(m.group().lstrip()))
+               for m in re.finditer(r"[^,;]+", text) if m.group().strip()]
     if not clauses:
         raise FaultSpecError(f"empty fault specification {text!r}")
-    for clause in clauses:
-        stochastic = False
-        if ":" in clause:
-            head, _, body = clause.partition(":")
-        elif "~" in clause:
-            head, _, body = clause.partition("~")
-            stochastic = True
-        else:
-            raise FaultSpecError(f"unparseable fault clause {clause!r}")
-        head = head.strip().lower()
-        if not stochastic and "~" in head:
-            raise FaultSpecError(f"unparseable fault clause {clause!r}")
-
-        if head == "seed":
-            seed = _integer(body, clause)
-        elif head == "loss":
-            p_loss = _number(body, clause, "loss probability")
-        elif head == "retransmits":
-            retransmits = _integer(body, clause)
-        elif head == "backoff":
-            backoff = _number(body, clause, "backoff")
-        elif head == "drop":
-            parts = body.split(":")
-            if len(parts) != 3:
-                raise FaultSpecError(
-                    f"drop clause must be drop:<kind>:<c>:<attempt>, "
-                    f"got {clause!r}")
-            kind = parts[0].strip().lower()
-            drops.add((kind, _computer(parts[1], clause),
-                       _integer(parts[2], clause)))
-        elif head == "crash":
-            if stochastic:
-                rates["crash_rate"] = _number(body, clause, "rate")
-            else:
-                if "@" not in body:
-                    raise FaultSpecError(
-                        f"crash clause must be crash:<c>@<t>, got {clause!r}")
-                c, _, t = body.partition("@")
-                faults.append(PermanentCrash(_computer(c, clause),
-                                             _number(t, clause, "time")))
-        elif head == "outage":
-            if stochastic:
-                rate, duration = _split_window(body, clause)
-                rates["outage_rate"] = _number(rate, clause, "rate")
-                rates["outage_duration"] = _number(duration, clause, "duration")
-            else:
-                if "@" not in body:
-                    raise FaultSpecError(
-                        f"outage clause must be outage:<c>@<t>+<d>, "
-                        f"got {clause!r}")
-                c, _, window = body.partition("@")
-                at, duration = _split_window(window, clause)
-                faults.append(TransientOutage(
-                    _computer(c, clause), _number(at, clause, "time"),
-                    _number(duration, clause, "duration")))
-        elif head == "slow":
-            if stochastic:
-                rate, window = _split_window(body, clause)
-                if "x" not in window:
-                    raise FaultSpecError(
-                        f"slow clause needs 'x<factor>', got {clause!r}")
-                duration, _, factor = window.partition("x")
-                rates["slow_rate"] = _number(rate, clause, "rate")
-                rates["slow_duration"] = _number(duration, clause, "duration")
-                rates["slow_factor"] = _number(factor, clause, "factor")
-            else:
-                if "@" not in body:
-                    raise FaultSpecError(
-                        f"slow clause must be slow:<c>@<t>+<d>x<f>, "
-                        f"got {clause!r}")
-                c, _, window = body.partition("@")
-                at, rest = _split_window(window, clause)
-                if "x" not in rest:
-                    raise FaultSpecError(
-                        f"slow clause needs 'x<factor>', got {clause!r}")
-                duration, _, factor = rest.partition("x")
-                faults.append(DegradedSpeed(
-                    _computer(c, clause), _number(at, clause, "time"),
-                    _number(duration, clause, "duration"),
-                    _number(factor, clause, "factor")))
-        else:
-            raise FaultSpecError(f"unknown fault clause {clause!r}")
+    for position, (clause, offset) in enumerate(clauses, start=1):
+        try:
+            settings = _parse_clause(clause, faults, drops, rates)
+        except FaultSpecError as exc:
+            raise FaultSpecError(
+                f"bad fault clause {clause!r} (clause {position} of "
+                f"{len(clauses)}, at char {offset} of the spec): {exc}"
+            ) from None
+        seed = settings.get("seed", seed)
+        p_loss = settings.get("p_loss", p_loss)
+        retransmits = settings.get("retransmits", retransmits)
+        backoff = settings.get("backoff", backoff)
+        max_backoff = settings.get("max_backoff", max_backoff)
 
     channel = None
     if p_loss > 0.0 or drops:
@@ -349,6 +371,8 @@ def parse_faults(text: str) -> FaultScenario:
         retransmit_kwargs["max_retransmits"] = retransmits
     if backoff is not None:
         retransmit_kwargs["backoff"] = backoff
+    if max_backoff is not None:
+        retransmit_kwargs["max_backoff"] = max_backoff
     try:
         return FaultScenario(faults=tuple(faults), channel=channel,
                              retransmit=RetransmitPolicy(**retransmit_kwargs),

@@ -49,10 +49,10 @@ from typing import Any, Awaitable, Callable
 from repro import __version__
 from repro.core.params import PAPER_TABLE1, ModelParams
 from repro.core.profile import Profile
-from repro.errors import (FaultInjectionError, FaultSpecError,
-                          InfeasibleScheduleError, InvalidParameterError,
-                          InvalidProfileError, ProtocolError, RecoveryError,
-                          SimulationError)
+from repro.errors import (CodedSchemeError, FaultInjectionError,
+                          FaultSpecError, InfeasibleScheduleError,
+                          InvalidParameterError, InvalidProfileError,
+                          ProtocolError, RecoveryError, SimulationError)
 from repro.experiments.base import experiment_index, list_experiments
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -136,6 +136,59 @@ def _parse_order(obj: Any, n: int, name: str) -> tuple[int, ...] | None:
     return tuple(int(i) for i in obj)
 
 
+def _parse_scheme_body(obj: Any) -> tuple:
+    """Validate a ``"scheme"`` object into its canonical hashable tuple.
+
+    Accepted forms: ``{"kind": "replication", "r": 2}`` and
+    ``{"kind": "mds", "k": 2, "n": 3}`` (``shares`` is an accepted
+    alias for ``n``).  Returns ``("replication", r)`` or
+    ``("mds", k, n)`` — what the coalescer keys and solves on.
+    """
+    from repro.coded import scheme_from_spec
+
+    if not isinstance(obj, dict):
+        raise CodedSchemeError(
+            f"scheme must be an object with a 'kind', got {obj!r}")
+    kind = obj.get("kind")
+    extra = set(obj) - {"kind", "r", "k", "n", "shares"}
+    if extra:
+        raise CodedSchemeError(
+            f"unknown scheme fields {sorted(extra)!r}")
+
+    def _int_field(name: str, default: Any = None) -> int:
+        value = obj.get(name, default)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CodedSchemeError(
+                f"scheme field {name!r} must be an integer, got {value!r}")
+        return value
+
+    if kind == "replication":
+        spec = ("replication", _int_field("r", 2))
+    elif kind == "mds":
+        shares = obj.get("n", obj.get("shares"))
+        if shares is None:
+            raise CodedSchemeError("mds scheme needs 'k' and 'n'")
+        spec = ("mds", _int_field("k"),
+                _int_field("n" if "n" in obj else "shares"))
+    else:
+        raise CodedSchemeError(
+            f"scheme kind must be 'replication' or 'mds', got {kind!r}")
+    scheme_from_spec(spec)  # range-check (r >= 1, k <= n) before keying
+    return spec
+
+
+def _parse_margin(obj: Any) -> float:
+    from repro.coded import DEFAULT_MARGIN
+
+    if obj is None:
+        return DEFAULT_MARGIN
+    if not isinstance(obj, (int, float)) or isinstance(obj, bool) \
+            or obj != obj or not (0.0 < obj <= 1.0):
+        raise InvalidParameterError(
+            f"margin must be a number in (0, 1], got {obj!r}")
+    return float(obj)
+
+
 def parse_eval_payload(kind: str, body: dict[str, Any]) -> dict[str, Any]:
     """Validate one evaluation request body into its canonical payload.
 
@@ -165,6 +218,18 @@ def parse_eval_payload(kind: str, body: dict[str, Any]) -> dict[str, Any]:
         startup = _parse_order(body.get("startup_order"), n, "startup_order")
         finishing = _parse_order(body.get("finishing_order"), n,
                                  "finishing_order")
+        scheme = body.get("scheme")
+        if scheme is not None:
+            if protocol != "fifo":
+                raise ProtocolError(
+                    "a redundancy scheme requires protocol 'fifo' (the "
+                    "coded plan derives its own layout from the FIFO base)")
+            if startup is not None or finishing is not None:
+                raise ProtocolError(
+                    "a redundancy scheme fixes its own orders; omit "
+                    "startup_order/finishing_order")
+            payload["scheme"] = _parse_scheme_body(scheme)
+            payload["scheme_margin"] = _parse_margin(body.get("margin"))
         if protocol == "fifo":
             if finishing is not None and finishing != (startup or finishing):
                 raise ProtocolError(
@@ -191,10 +256,11 @@ def _cacheable_form(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
         "profile": list(payload["profile"]),
         "params": {"tau": params.tau, "pi": params.pi, "delta": params.delta},
     }
-    for field in ("lifespan", "protocol", "enforce_separation"):
+    for field in ("lifespan", "protocol", "enforce_separation",
+                  "scheme_margin"):
         if field in payload:
             out[field] = payload[field]
-    for field in ("startup_order", "finishing_order"):
+    for field in ("startup_order", "finishing_order", "scheme"):
         if payload.get(field) is not None:
             out[field] = list(payload[field])
     return out

@@ -77,7 +77,9 @@ def request_key(kind: str, payload: dict[str, Any]) -> tuple:
         return base + (payload["lifespan"], payload["protocol"],
                        payload.get("startup_order"),
                        payload.get("finishing_order"),
-                       payload.get("enforce_separation", True))
+                       payload.get("enforce_separation", True),
+                       payload.get("scheme"),
+                       payload.get("scheme_margin"))
     return base
 
 
@@ -219,6 +221,26 @@ class BatchSolver:
         return {"allocation": allocation_to_dict(allocation),
                 "total_work": float(allocation.w.sum())}
 
+    @staticmethod
+    def _coded_response(payload: dict[str, Any]) -> dict:
+        """Solve an allocate request carrying a redundancy scheme.
+
+        Returns the redundant plan plus the coded structure: useful
+        work, expected waste fraction, per-quantum membership.
+        """
+        # Imported here, not at module scope: the coded package is only
+        # needed for scheme-carrying requests, and the lazy import keeps
+        # the hot x/work/allocate path's import graph unchanged.
+        from repro.coded import scheme_from_spec
+
+        scheme = scheme_from_spec(payload["scheme"])
+        plan = scheme.plan(Profile(payload["profile"]), payload["params"],
+                           payload["lifespan"],
+                           margin=payload["scheme_margin"])
+        return {"allocation": allocation_to_dict(plan.allocation),
+                "total_work": float(plan.allocation.w.sum()),
+                "coded": plan.as_dict()}
+
     def _solve_lp_groups(self, unique: "OrderedDict[tuple, dict]",
                          outcomes: dict[tuple, tuple[bool, Any]]) -> None:
         """Group LP allocate requests per cluster and solve each group.
@@ -283,7 +305,9 @@ class BatchSolver:
                 continue
             kind = key[0]
             try:
-                if kind == "allocate":
+                if kind == "allocate" and payload.get("scheme") is not None:
+                    outcomes[key] = (True, self._coded_response(payload))
+                elif kind == "allocate":
                     allocation = fifo_allocation(
                         Profile(payload["profile"]), payload["params"],
                         payload["lifespan"],

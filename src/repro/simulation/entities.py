@@ -127,6 +127,10 @@ class ResultSequencer:
             earliest = self._ready[c]
             if self._slot_starts is not None:
                 earliest = max(earliest, self._slot_starts[c])
+            # The grant decision is being made *now*: a worker unblocked
+            # late (its Φ-predecessor failed after this one became
+            # ready) must not book the channel in the simulator's past.
+            earliest = max(earliest, self._sim.now)
             transit = self._network.reserve("result", c, earliest, duration)
             if not transit.delivered:
                 # The channel ate the result: the server never saw Φ(k).

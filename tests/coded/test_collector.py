@@ -1,0 +1,137 @@
+"""Tests for fastest-k collection and simulate_coded (repro.coded.collector)."""
+
+import math
+
+import pytest
+
+from repro.coded import (CodedCollector, MDSScheme, ReplicationScheme,
+                         simulate_coded)
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.obs import MetricsRegistry, Observation, observe
+from repro.obs.tracing import Tracer
+
+PARAMS = ModelParams(tau=0.01, pi=0.001, delta=1.0)
+PROFILE = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0,
+                   1.0 / 5.0, 1.0 / 6.0])
+LIFESPAN = 60.0
+
+
+class TestFaultFree:
+    def test_all_quanta_decode(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan)
+        assert outcome.completed_quanta == len(plan.quanta)
+        assert outcome.completed_work == pytest.approx(plan.useful_work)
+
+    def test_realized_waste_matches_expected_on_full_delivery(self):
+        plan = MDSScheme(2, 4).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan)
+        # every share arrives, so realized waste equals the plan's
+        assert outcome.realized_waste_fraction == pytest.approx(
+            plan.expected_waste_fraction)
+
+    def test_completion_time_is_kth_delivery(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan)
+        for status in outcome.statuses:
+            assert len(status.deliveries) == len(status.quantum.members)
+            times = [t for _, t in status.deliveries]
+            assert times == sorted(times)
+            assert status.completion_time == pytest.approx(
+                times[status.quantum.k - 1])
+
+    def test_makespan_not_after_raw_simulation(self):
+        # Decoding at the k-th of n shares can only stop the clock
+        # earlier than waiting for every share.
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan)
+        assert outcome.makespan <= outcome.result.makespan + 1e-12
+
+
+class TestUnderFaults:
+    def test_mds_survives_one_crash_per_group(self):
+        # MDS(2,3): any single member of each triple may die and the
+        # quantum still decodes from the surviving pair.
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        victim = plan.quanta[0].members[0]
+        outcome = simulate_coded(plan, f"crash:{victim}@0.01")
+        assert outcome.completed_quanta == len(plan.quanta)
+        assert outcome.completed_work == pytest.approx(plan.useful_work)
+
+    def test_quorum_loss_fails_the_quantum(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        q = plan.quanta[0]
+        spec = ",".join(f"crash:{c}@0.01" for c in q.members[:2])
+        outcome = simulate_coded(plan, spec)
+        status = outcome.statuses[q.index]
+        assert not status.completed
+        assert math.isnan(status.completion_time)
+        assert outcome.completed_quanta == len(plan.quanta) - 1
+
+    def test_replication_first_delivery_wins(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan)
+        for status in outcome.statuses:
+            # quorum 1: the decode instant is the *earliest* delivery
+            assert status.completion_time == pytest.approx(
+                min(t for _, t in status.deliveries))
+
+    def test_waste_accounting_conserves_delivered_mass(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        outcome = simulate_coded(plan, "crash~0.02,loss:0.05,seed:7")
+        assert outcome.delivered_share_work <= plan.sent_work + 1e-9
+        assert outcome.waste_work == pytest.approx(
+            outcome.delivered_share_work - outcome.completed_work)
+        assert 0.0 <= outcome.realized_waste_fraction <= 1.0
+
+    def test_replay_is_deterministic(self):
+        plan = MDSScheme(3, 4).plan(PROFILE, PARAMS, LIFESPAN)
+        spec = "crash~0.03,outage~0.01+4,loss:0.05,seed:23"
+        a = simulate_coded(plan, spec)
+        b = simulate_coded(plan, spec)
+        assert a.completed_work == b.completed_work
+        assert [s.deliveries for s in a.statuses] == \
+               [s.deliveries for s in b.statuses]
+
+
+class TestCollector:
+    def test_collect_ignores_unassigned_workers(self):
+        # A worker whose base share was clipped to zero has no quantum;
+        # the collector must not blow up on its record.
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        result = simulate_coded(plan).result
+        statuses = CodedCollector(plan).collect(result)
+        assert len(statuses) == len(plan.quanta)
+
+
+class TestObservability:
+    def test_metrics_reach_ambient_registry(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            simulate_coded(plan)
+        names = {m["name"] for m in registry.dump()["metrics"]}
+        assert "sim_coded_quanta_total" in names
+        assert "sim_coded_quanta_completed_total" in names
+        assert "sim_coded_shares_delivered_total" in names
+        assert "sim_coded_work_completed_total" in names
+
+    def test_waste_counter_emitted_under_redundancy(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        registry = MetricsRegistry()
+        with observe(Observation(registry=registry)):
+            simulate_coded(plan)
+        names = {m["name"] for m in registry.dump()["metrics"]}
+        assert "sim_coded_waste_work_total" in names
+
+    def test_span_records_scheme_attributes(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        tracer = Tracer()
+        with observe(Observation(tracer=tracer)):
+            simulate_coded(plan)
+        spans = tracer.records_named("sim.coded")
+        assert len(spans) == 1
+        attrs = spans[0]["attrs"]
+        assert attrs["scheme"] == "mds-2/3"
+        assert attrs["completed_quanta"] == len(plan.quanta)

@@ -1,0 +1,159 @@
+"""Tests for proactive-redundancy schemes (repro.coded.schemes)."""
+
+import numpy as np
+import pytest
+
+from repro.coded.schemes import (DEFAULT_MARGIN, MDSScheme, ReplicationScheme,
+                                 parse_scheme, scheme_from_spec)
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.errors import CodedSchemeError
+from repro.protocols.fifo import fifo_allocation
+
+PARAMS = ModelParams(tau=0.01, pi=0.001, delta=1.0)
+PROFILE = Profile([1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0,
+                   1.0 / 5.0, 1.0 / 6.0])
+LIFESPAN = 60.0
+
+
+class TestReplicationPlan:
+    def test_groups_are_speed_sorted_and_disjoint(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        rho = PROFILE.rho
+        seen = set()
+        for q in plan.quanta:
+            assert len(q.members) == 2
+            # members are contiguous in the speed order: the whole group
+            # is at least as fast as every later group's members
+            assert not seen & set(q.members)
+            seen |= set(q.members)
+        # fastest (lowest rho) workers land in the first quantum
+        first = plan.quanta[0].members
+        fastest = sorted(range(PROFILE.n), key=lambda c: rho[c])[:2]
+        assert sorted(first) == sorted(fastest)
+
+    def test_share_is_group_min_of_base_plan(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        base = fifo_allocation(PROFILE, PARAMS, DEFAULT_MARGIN * LIFESPAN)
+        for q in plan.quanta:
+            assert q.share == pytest.approx(min(base.w[c] for c in q.members))
+
+    def test_allocation_never_exceeds_base(self):
+        # min-of-group clipping only shrinks quanta: feasibility holds.
+        plan = ReplicationScheme(3).plan(PROFILE, PARAMS, LIFESPAN)
+        base = fifo_allocation(PROFILE, PARAMS, DEFAULT_MARGIN * LIFESPAN)
+        assert np.all(plan.allocation.w <= base.w + 1e-12)
+
+    def test_waste_fraction_replication_r(self):
+        # Full groups: waste is exactly (r-1)/r.
+        for r in (2, 3):
+            plan = ReplicationScheme(r).plan(PROFILE, PARAMS, LIFESPAN)
+            assert plan.expected_waste_fraction == pytest.approx((r - 1) / r)
+
+    def test_quantum_work_is_single_share(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        for q in plan.quanta:
+            assert q.k == 1
+            assert q.work == pytest.approx(q.share)
+            assert q.sent_work == pytest.approx(2 * q.share)
+
+    def test_quantum_of_maps_members_back(self):
+        plan = ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN)
+        for q in plan.quanta:
+            for c in q.members:
+                assert plan.quantum_of[c] == q.index
+
+    def test_replication_1_is_wasteless(self):
+        plan = ReplicationScheme(1).plan(PROFILE, PARAMS, LIFESPAN)
+        assert plan.expected_waste_fraction == pytest.approx(0.0)
+        assert len(plan.quanta) == PROFILE.n
+
+
+class TestMDSPlan:
+    def test_waste_fraction_mds(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        assert plan.expected_waste_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_quantum_work_is_k_shares(self):
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        for q in plan.quanta:
+            assert q.work == pytest.approx(q.k * q.share)
+
+    def test_trailing_group_clips_quorum(self):
+        # 6 workers in groups of 4: the trailing pair gets k_eff = 2.
+        plan = MDSScheme(3, 4).plan(PROFILE, PARAMS, LIFESPAN)
+        sizes = sorted(len(q.members) for q in plan.quanta)
+        assert sizes == [2, 4]
+        trailing = next(q for q in plan.quanta if len(q.members) == 2)
+        assert trailing.k == 2
+
+    def test_expected_latency_tracks_group_speed(self):
+        # Groups of slower workers carry strictly later k-th order stats
+        # per unit share; with shares also sized to speed the first
+        # (fastest) group must never be estimated slower than the last.
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        assert len(plan.expected_latency) == len(plan.quanta)
+        assert all(t > 0.0 for t in plan.expected_latency)
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+        plan = MDSScheme(2, 3).plan(PROFILE, PARAMS, LIFESPAN)
+        d = plan.as_dict()
+        json.dumps(d)  # must not raise
+        assert d["kind"] == "mds"
+        assert d["scheme"] == "mds-2/3"
+        assert d["expected_waste_fraction"] == pytest.approx(1.0 / 3.0)
+        assert len(d["quanta"]) == len(plan.quanta)
+
+
+class TestPlanValidation:
+    def test_margin_out_of_range_rejected(self):
+        for margin in (0.0, -0.5, 1.5):
+            with pytest.raises(CodedSchemeError):
+                ReplicationScheme(2).plan(PROFILE, PARAMS, LIFESPAN,
+                                          margin=margin)
+
+    def test_too_few_workers_rejected(self):
+        with pytest.raises(CodedSchemeError):
+            MDSScheme(3, 8).plan(PROFILE, PARAMS, LIFESPAN)
+
+    def test_bad_scheme_parameters_rejected(self):
+        with pytest.raises(CodedSchemeError):
+            ReplicationScheme(0)
+        with pytest.raises(CodedSchemeError):
+            MDSScheme(4, 3)  # k > n
+        with pytest.raises(CodedSchemeError):
+            MDSScheme(0, 3)
+
+
+class TestParseScheme:
+    def test_replication_grammar(self):
+        scheme = parse_scheme("replication:3")
+        assert isinstance(scheme, ReplicationScheme)
+        assert scheme.r == 3
+
+    def test_mds_grammar(self):
+        scheme = parse_scheme(" MDS:2/4 ")
+        assert isinstance(scheme, MDSScheme)
+        assert (scheme.k, scheme.shares) == (2, 4)
+
+    @pytest.mark.parametrize("bad", [
+        "bogus", "replication:", "replication:x", "mds:2",
+        "mds:a/b", "parity:1", "mds:4/3",
+    ])
+    def test_malformed_scheme_raises(self, bad):
+        with pytest.raises(CodedSchemeError):
+            parse_scheme(bad)
+
+    def test_scheme_from_spec_tuples(self):
+        assert scheme_from_spec(("replication", 2)) == ReplicationScheme(2)
+        assert scheme_from_spec(("mds", 2, 3)) == MDSScheme(2, 3)
+        assert scheme_from_spec("replication:2") == ReplicationScheme(2)
+        scheme = MDSScheme(2, 3)
+        assert scheme_from_spec(scheme) is scheme
+
+    @pytest.mark.parametrize("bad", [42, ("mds", 2), ("replication", 1, 2),
+                                     ("parity", 3)])
+    def test_scheme_from_spec_rejects_junk(self, bad):
+        with pytest.raises(CodedSchemeError):
+            scheme_from_spec(bad)

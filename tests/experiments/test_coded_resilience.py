@@ -1,0 +1,99 @@
+"""Tests for the coded-resilience extension experiment."""
+
+import pytest
+
+from repro.batch import run_batch
+from repro.errors import CodedSchemeError, ExperimentError, FaultSpecError
+from repro.experiments import run_coded_resilience
+from repro.experiments.coded_resilience import coded_shards
+
+_SMALL = dict(n=6, rates=(0.0, 0.01), trials=2, lifespan=40.0, seed=5)
+
+
+class TestCodedResilience:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_coded_resilience(**_SMALL)
+
+    def test_grid_shape(self, result):
+        policies = result.metadata["policies"]
+        assert policies == ["recovery", "replication-2", "mds-3/4"]
+        assert len(result.rows) == len(_SMALL["rates"]) * len(policies)
+        rates = sorted({row[0] for row in result.rows})
+        assert rates == [0.0, 0.01]
+
+    def test_fault_free_coded_completes_everything(self, result):
+        for row in result.rows:
+            rate, policy, completed_pct = row[0], row[1], row[2]
+            if rate == 0.0:
+                assert completed_pct == pytest.approx(100.0, abs=0.1)
+
+    def test_coded_waste_matches_scheme_structure(self, result):
+        # The realized waste of a fault-free coded run is the scheme's
+        # structural redundancy; recovery at rate 0 wastes ~nothing.
+        at_zero = {row[1]: row[5] for row in result.rows if row[0] == 0.0}
+        assert at_zero["recovery"] == pytest.approx(0.0, abs=0.5)
+        assert at_zero["replication-2"] == pytest.approx(50.0, abs=1.0)
+        # 6 workers under mds-3/4: one full group (25% waste) plus a
+        # clipped pair (0% waste) — strictly between.
+        assert 0.0 < at_zero["mds-3/4"] < 50.0
+
+    def test_p99_censored_at_lifespan(self, result):
+        for row in result.rows:
+            assert 0.0 < row[4] <= _SMALL["lifespan"] + 1e-9
+
+    def test_scheme_kwarg_restricts_the_coded_side(self):
+        result = run_coded_resilience(scheme="replication:3", n=6,
+                                      rates=(0.0,), trials=1, seed=5)
+        assert result.metadata["policies"] == ["recovery", "replication-3"]
+
+    def test_faults_kwarg_replaces_base_scenario(self):
+        result = run_coded_resilience(faults="loss:0.0,seed:9", n=4,
+                                      rates=(0.0,), trials=1, seed=5)
+        # lossless base at rate 0: everything completes for all policies
+        for row in result.rows:
+            assert row[2] == pytest.approx(100.0, abs=0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_trials_and_n(self):
+        with pytest.raises(ExperimentError):
+            coded_shards(tau=0.01, pi=0.001, delta=1.0, lifespan=60.0, n=8,
+                         rates=(0.0,), trials=0, margin=0.8, faults=None,
+                         scheme=None, seed=1)
+        with pytest.raises(ExperimentError):
+            coded_shards(tau=0.01, pi=0.001, delta=1.0, lifespan=60.0, n=1,
+                         rates=(0.0,), trials=2, margin=0.8, faults=None,
+                         scheme=None, seed=1)
+        with pytest.raises(ExperimentError):
+            coded_shards(tau=0.01, pi=0.001, delta=1.0, lifespan=60.0, n=8,
+                         rates=(), trials=2, margin=0.8, faults=None,
+                         scheme=None, seed=1)
+
+    def test_rejects_malformed_faults_and_scheme_up_front(self):
+        with pytest.raises(FaultSpecError):
+            run_coded_resilience(faults="bogus:1", rates=(0.0,), trials=1)
+        with pytest.raises(CodedSchemeError):
+            run_coded_resilience(scheme="parity:1", rates=(0.0,), trials=1)
+
+
+class TestShardedDeterminism:
+    def test_jobs2_rows_bit_identical_to_jobs1(self):
+        kwargs = {"coded-resilience": dict(_SMALL)}
+        seq = run_batch(["coded-resilience"], kwargs_by_id=kwargs, jobs=1)
+        par = run_batch(["coded-resilience"], kwargs_by_id=kwargs, jobs=2)
+        assert seq.results[0].rows == par.results[0].rows
+
+    def test_runs_as_one_shard_per_rate(self):
+        kwargs = {"coded-resilience": dict(_SMALL)}
+        report = run_batch(["coded-resilience"], kwargs_by_id=kwargs, jobs=2)
+        item, = report.items
+        assert item.error is None
+        assert item.shards == len(_SMALL["rates"])
+
+    def test_seed_replays_and_changes_the_grid(self):
+        a = run_coded_resilience(**_SMALL)
+        b = run_coded_resilience(**_SMALL)
+        c = run_coded_resilience(**{**_SMALL, "seed": 6, "rates": (0.01,)})
+        assert a.rows == b.rows
+        assert [r for r in a.rows if r[0] == 0.01] != c.rows

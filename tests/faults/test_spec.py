@@ -45,11 +45,40 @@ class TestParseFaults:
     @pytest.mark.parametrize("bad", [
         "", "   ", "bogus:1", "crash:0", "crash:x@5", "crash:0@x",
         "outage:0@5", "slow:0@5+2", "loss:2.0", "drop:work:1",
-        "drop:smoke:1:0", "retransmits:x",
+        "drop:smoke:1:0", "retransmits:x", "maxbackoff:0", "maxbackoff:x",
     ])
     def test_malformed_specs_raise_fault_spec_error(self, bad):
         with pytest.raises(FaultSpecError):
             parse_faults(bad)
+
+    def test_maxbackoff_clause_caps_retransmit_delays(self):
+        scenario = parse_faults(
+            "loss:0.1,retransmits:5,backoff:0.2,maxbackoff:1.5")
+        policy = scenario.retransmit
+        assert policy.max_backoff == 1.5
+        delays = [policy.delay(i) for i in range(1, 7)]
+        assert delays == pytest.approx([0.2, 0.4, 0.8, 1.5, 1.5, 1.5])
+
+    def test_error_names_offending_clause_and_position(self):
+        # Regression: a bad clause mid-spec must be identified by its
+        # own text, ordinal, and character offset — not just "bad spec".
+        with pytest.raises(FaultSpecError) as err:
+            parse_faults("crash:0@5,slow:1@2+3")
+        message = str(err.value)
+        assert "'slow:1@2+3'" in message
+        assert "clause 2 of 2" in message
+        assert "at char 10" in message
+
+    def test_error_position_counts_all_clauses(self):
+        # Regression: ordinal/offset bookkeeping holds past two clauses
+        # and across the channel-clause family too.
+        with pytest.raises(FaultSpecError) as err:
+            parse_faults("loss:0.05,crash:0@5,bogus:xyz")
+        message = str(err.value)
+        assert "'bogus:xyz'" in message
+        assert "clause 3 of 3" in message
+        assert "at char 20" in message
+        assert "unknown fault kind 'bogus'" in message
 
 
 class TestFaultScenario:

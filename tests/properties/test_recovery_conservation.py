@@ -1,0 +1,82 @@
+"""Conservation properties for the multi-round recovery rescheduler.
+
+Recovery must never mint work: each recovery round is scaled to the
+work actually missing, so the work it schedules — and a fortiori the
+work it completes — is bounded by what the previous rounds lost, and
+the grand total delivered can never exceed the original allocation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ModelParams
+from repro.core.profile import Profile
+from repro.faults.recovery import simulate_with_recovery
+from repro.protocols.base import WorkAllocation
+from repro.protocols.fifo import fifo_allocation
+
+PARAMS = ModelParams(tau=0.02, pi=0.002, delta=1.0)
+LIFESPAN = 50.0
+
+profiles = st.lists(st.floats(min_value=0.15, max_value=1.0, allow_nan=False),
+                    min_size=3, max_size=5)
+scenarios = st.one_of(
+    st.builds("crash:{}@{:.2f}".format,
+              st.integers(min_value=0, max_value=2),
+              st.floats(min_value=0.5, max_value=20.0)),
+    st.builds("crash~{:.3f},loss:{:.2f},seed:{}".format,
+              st.floats(min_value=0.001, max_value=0.05),
+              st.floats(min_value=0.0, max_value=0.1),
+              st.integers(min_value=0, max_value=99)),
+)
+
+
+def _margin_allocation(rhos):
+    profile = Profile(rhos)
+    plan = fifo_allocation(profile, PARAMS, 0.8 * LIFESPAN)
+    return WorkAllocation(profile=profile, params=PARAMS, lifespan=LIFESPAN,
+                          w=plan.w, startup_order=plan.startup_order,
+                          finishing_order=plan.finishing_order,
+                          protocol_name="fifo-margin")
+
+
+@given(rhos=profiles, spec=scenarios)
+@settings(max_examples=25, deadline=None)
+def test_recovery_never_mints_work(rhos, spec):
+    alloc = _margin_allocation(rhos)
+    outcome = simulate_with_recovery(alloc, spec, results_policy="greedy")
+    total = alloc.total_work
+    tol = 1e-9 * max(1.0, total)
+
+    # Round k+1 reschedules only what is still missing after round k:
+    # its allocation (hence its completed work) is bounded by the
+    # cumulative shortfall of every earlier round.
+    lost_so_far = 0.0
+    for round_no, result in enumerate(outcome.rounds):
+        if round_no > 0:
+            scheduled = float(result.allocation.total_work)
+            assert scheduled <= lost_so_far + tol
+            assert result.completed_work <= lost_so_far + tol
+        lost_so_far += float(result.allocation.total_work
+                             - result.completed_work)
+
+    # Telemetry agrees with the per-round ledger.
+    recovered = sum(r.completed_work for r in outcome.rounds[1:])
+    assert outcome.telemetry.work_recovered <= total - \
+        outcome.first_round.completed_work + tol
+    assert abs(outcome.telemetry.work_recovered - recovered) <= tol
+
+    # And the grand total never exceeds what was originally allocated.
+    assert outcome.completed_work <= total + tol
+
+
+@given(rhos=profiles, spec=scenarios)
+@settings(max_examples=20, deadline=None)
+def test_work_lost_is_the_residual_shortfall(rhos, spec):
+    alloc = _margin_allocation(rhos)
+    outcome = simulate_with_recovery(alloc, spec, results_policy="greedy")
+    tol = 1e-9 * max(1.0, alloc.total_work)
+    final = outcome.rounds[-1]
+    residual = float(final.allocation.total_work - final.completed_work)
+    assert abs(outcome.telemetry.work_lost - max(0.0, residual)) <= \
+        tol + 1e-9 * max(1.0, residual)

@@ -1,0 +1,89 @@
+"""Property-based tests for the retransmission backoff policy.
+
+Three contracts the simulator leans on:
+
+* ``delay`` is monotone non-decreasing in the retransmit index — a
+  later retry never waits less than an earlier one;
+* ``delay`` never exceeds ``max_backoff``;
+* loss draws and backoff delays are *bit-deterministic across
+  processes* — the property that keeps fault-injected runs
+  batch-shardable (``--jobs N`` row-identical).
+"""
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.models import ChannelLoss, RetransmitPolicy
+
+policies = st.builds(
+    RetransmitPolicy,
+    max_retransmits=st.integers(min_value=0, max_value=8),
+    backoff=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    backoff_factor=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    max_backoff=st.one_of(
+        st.just(float("inf")),
+        st.floats(min_value=1e-3, max_value=100.0, allow_nan=False)),
+)
+
+
+@given(policy=policies)
+@settings(max_examples=80, deadline=None)
+def test_delay_monotone_non_decreasing(policy):
+    delays = [policy.delay(i) for i in range(1, 12)]
+    assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+
+@given(policy=policies, index=st.integers(min_value=1, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_delay_respects_the_cap(policy, index):
+    delay = policy.delay(index)
+    assert delay <= policy.max_backoff
+    assert delay >= 0.0
+
+
+@given(policy=policies, index=st.integers(min_value=1, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_delay_is_pure(policy, index):
+    # Same (policy, index) -> bit-identical float, call after call.
+    assert policy.delay(index) == policy.delay(index)
+
+
+#: Runs in a *separate interpreter* and prints the same digest the
+#: in-process half computes: hex floats for a grid of delays plus the
+#: loss decisions for a grid of (kind, computer, attempt) keys.
+_SUBPROCESS_PROG = """
+import json, sys
+from repro.faults.models import ChannelLoss, RetransmitPolicy
+
+spec = json.loads(sys.stdin.read())
+policy = RetransmitPolicy(**spec["policy"])
+delays = [policy.delay(i).hex() for i in range(1, 9)]
+loss = ChannelLoss(p_loss=spec["p_loss"], seed=spec["seed"])
+draws = [loss.lost(kind, c, a)
+         for kind in ("work", "result")
+         for c in range(4) for a in range(4)]
+print(json.dumps({"delays": delays, "draws": draws}))
+"""
+
+
+def test_delays_and_loss_draws_bit_deterministic_across_processes():
+    spec = {"policy": {"max_retransmits": 5, "backoff": 0.17,
+                       "backoff_factor": 2.3, "max_backoff": 1.9},
+            "p_loss": 0.3, "seed": 42}
+    policy = RetransmitPolicy(**spec["policy"])
+    loss = ChannelLoss(p_loss=spec["p_loss"], seed=spec["seed"])
+    local = {
+        "delays": [policy.delay(i).hex() for i in range(1, 9)],
+        "draws": [loss.lost(kind, c, a)
+                  for kind in ("work", "result")
+                  for c in range(4) for a in range(4)],
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_PROG],
+        input=json.dumps(spec), capture_output=True, text=True, check=True)
+    remote = json.loads(proc.stdout)
+    assert remote == local

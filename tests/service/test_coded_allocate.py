@@ -1,0 +1,162 @@
+"""Service-layer tests for scheme-carrying /v1/allocate requests."""
+
+import pytest
+
+from repro.coded import DEFAULT_MARGIN, MDSScheme, ReplicationScheme
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.errors import (CodedSchemeError, InvalidParameterError,
+                          ProtocolError)
+from repro.obs.metrics import MetricsRegistry
+from repro.service import ServiceConfig, ServiceError, ServiceThread
+from repro.service.app import parse_eval_payload
+from repro.service.coalescer import request_key, solve_batch
+
+PROFILE = [1.0, 0.5, 0.25, 0.2]
+BODY = {"profile": PROFILE, "lifespan": 60.0}
+
+
+def _body(**extra):
+    return {**BODY, **extra}
+
+
+class TestParsePayload:
+    def test_scheme_becomes_canonical_tuple(self):
+        payload = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "replication", "r": 3}))
+        assert payload["scheme"] == ("replication", 3)
+        assert payload["scheme_margin"] == DEFAULT_MARGIN
+
+    def test_mds_accepts_shares_alias_and_margin(self):
+        payload = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "shares": 3},
+                              margin=0.5))
+        assert payload["scheme"] == ("mds", 2, 3)
+        assert payload["scheme_margin"] == 0.5
+
+    def test_no_scheme_leaves_payload_unchanged(self):
+        payload = parse_eval_payload("allocate", _body())
+        assert "scheme" not in payload
+        assert "scheme_margin" not in payload
+
+    @pytest.mark.parametrize("scheme", [
+        {"kind": "mds", "k": 3, "n": 2},          # k > n
+        {"kind": "parity", "r": 2},               # unknown kind
+        {"kind": "replication", "r": "two"},      # non-integer
+        {"kind": "replication", "r": 2, "x": 1},  # unknown field
+        "replication:2",                          # must be an object
+    ])
+    def test_bad_schemes_rejected(self, scheme):
+        with pytest.raises(CodedSchemeError):
+            parse_eval_payload("allocate", _body(scheme=scheme))
+
+    def test_scheme_requires_fifo_protocol(self):
+        with pytest.raises(ProtocolError):
+            parse_eval_payload(
+                "allocate", _body(protocol="lp",
+                                  scheme={"kind": "replication", "r": 2}))
+
+    def test_scheme_rejects_explicit_orders(self):
+        with pytest.raises(ProtocolError):
+            parse_eval_payload(
+                "allocate", _body(startup_order=[3, 2, 1, 0],
+                                  scheme={"kind": "replication", "r": 2}))
+
+    def test_bad_margin_rejected(self):
+        for margin in (0.0, 2.0, "x", True):
+            with pytest.raises(InvalidParameterError):
+                parse_eval_payload(
+                    "allocate",
+                    _body(scheme={"kind": "replication", "r": 2},
+                          margin=margin))
+
+
+class TestCoalescerIdentity:
+    def test_key_distinguishes_scheme_and_margin(self):
+        plain = parse_eval_payload("allocate", _body())
+        rep = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "replication", "r": 2}))
+        mds = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "n": 3}))
+        tight = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "n": 3},
+                              margin=0.5))
+        keys = {request_key("allocate", p) for p in (plain, rep, mds, tight)}
+        assert len(keys) == 4
+
+    def test_equal_scheme_requests_collapse_to_one_key(self):
+        a = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "shares": 3}))
+        b = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "n": 3}))
+        assert request_key("allocate", a) == request_key("allocate", b)
+
+    def test_solve_matches_library_plan(self):
+        payload = parse_eval_payload(
+            "allocate", _body(scheme={"kind": "mds", "k": 2, "n": 2}))
+        (ok, response), = solve_batch([("allocate", payload)])
+        assert ok
+        plan = MDSScheme(2, 2).plan(Profile(PROFILE), PAPER_TABLE1, 60.0,
+                                    margin=DEFAULT_MARGIN)
+        assert response["allocation"]["w"] == [float(v)
+                                               for v in plan.allocation.w]
+        assert response["total_work"] == float(plan.allocation.w.sum())
+        assert response["coded"]["expected_waste_fraction"] == \
+            plan.expected_waste_fraction
+        assert response["coded"]["scheme"] == "mds-2/2"
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServiceConfig(port=0, result_cache_dir=str(tmp_path / "cache"))
+    with ServiceThread(config, registry=MetricsRegistry()) as thread:
+        yield thread
+
+
+class TestEndpoint:
+    def test_allocate_with_scheme_returns_redundant_plan(self, server):
+        with server.client() as client:
+            got = client.request(
+                "POST", "/v1/allocate",
+                _body(scheme={"kind": "replication", "r": 2}))
+        plan = ReplicationScheme(2).plan(Profile(PROFILE), PAPER_TABLE1, 60.0)
+        assert got["allocation"]["w"] == [float(v) for v in plan.allocation.w]
+        assert got["allocation"]["protocol_name"] == "coded-replication-2"
+        assert got["coded"]["expected_waste_fraction"] == \
+            pytest.approx(plan.expected_waste_fraction)
+        assert len(got["coded"]["quanta"]) == len(plan.quanta)
+
+    def test_scheme_and_plain_responses_are_cached_apart(self, server):
+        with server.client() as client:
+            plain = client.request("POST", "/v1/allocate", _body())
+            coded = client.request(
+                "POST", "/v1/allocate",
+                _body(scheme={"kind": "replication", "r": 2}))
+            plain_again = client.request("POST", "/v1/allocate", _body())
+        assert "coded" not in plain
+        assert "coded" in coded
+        assert plain_again == plain
+
+    def test_bad_scheme_bodies_are_400(self, server):
+        bad = (
+            _body(scheme={"kind": "mds", "k": 3, "n": 2}),
+            _body(scheme={"kind": "parity", "r": 2}),
+            _body(scheme={"kind": "replication", "r": 2}, protocol="lp"),
+            _body(scheme={"kind": "replication", "r": 2},
+                  startup_order=[3, 2, 1, 0]),
+            _body(scheme={"kind": "replication", "r": 2}, margin=1.5),
+        )
+        with server.client() as client:
+            for body in bad:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.request("POST", "/v1/allocate", body)
+                assert excinfo.value.status == 400
+
+    def test_infeasible_scheme_is_400_not_500(self, server):
+        # more shares than workers: CodedSchemeError at solve time
+        with server.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request(
+                    "POST", "/v1/allocate",
+                    _body(scheme={"kind": "mds", "k": 2, "n": 8}))
+            assert excinfo.value.status == 400
