@@ -10,6 +10,9 @@ The subsystem behind ``repro-hetero run all --jobs N``:
 * :mod:`repro.batch.cache` — a content-addressed on-disk result cache
   keyed by ``(experiment_id, kwargs, seed, package version)`` so
   repeated ``run all`` / ``report`` invocations skip unchanged work.
+* :mod:`repro.batch.shared_cache` — a process-shared on-disk tier with
+  claim-file single-flight dedup, used by ``serve --workers N`` so one
+  fleet computes each hot answer once.
 
 See ``docs/BATCH.md`` for the execution model, the seeding scheme and
 the observability-merge semantics.
@@ -17,7 +20,8 @@ the observability-merge semantics.
 
 from repro.batch.cache import ResultCache, cache_key, default_cache_dir
 from repro.batch.engine import BatchItem, BatchReport, run_batch
+from repro.batch.shared_cache import SharedCache
 
-__all__ = ["BatchItem", "BatchReport", "ResultCache", "cache_key",
-           "default_cache_dir",
+__all__ = ["BatchItem", "BatchReport", "ResultCache", "SharedCache",
+           "cache_key", "default_cache_dir",
            "run_batch"]

@@ -21,7 +21,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -29,6 +28,7 @@ from repro import __version__
 from repro.experiments.base import ExperimentResult
 from repro.experiments.export import jsonable
 from repro.io import result_from_dict, result_to_dict
+from repro.util.fsio import atomic_write_text
 
 __all__ = ["ResultCache", "cache_key", "default_cache_dir"]
 
@@ -119,14 +119,7 @@ class ResultCache:
             return False
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(document)
-                os.replace(tmp_name, path)
-            except BaseException:
-                os.unlink(tmp_name)
-                raise
+            atomic_write_text(path, document)
         except OSError:
             return False
         return True

@@ -1,0 +1,333 @@
+"""A process-shared on-disk cache tier with single-flight dedup.
+
+``repro-hetero serve --workers N`` runs N independent processes behind
+one listening port.  Without coordination, N workers receiving the same
+expensive request at the same time would compute it N times — the exact
+waste the in-process coalescer eliminates for *one* event loop.  This
+module is the cross-process analogue, built on two primitives:
+
+**Atomic publish.**  Entries are JSON documents under one directory,
+content-addressed by the caller's key (the service reuses
+:func:`repro.batch.cache.cache_key` and the response-cache key, so all
+tiers agree on identity).  Writers publish via
+:func:`repro.util.fsio.atomic_write_text`; readers see a complete old
+document or a complete new one, never a torn write.
+
+**Claim files (single flight).**  ``get_or_compute`` elects exactly one
+*leader* per key via ``O_CREAT | O_EXCL`` on a sidecar ``.claim`` file —
+the one atomic test-and-set the filesystem gives us.  The leader
+computes and publishes; every *follower* polls for the published entry
+and returns the same bytes without computing.  A claim names its
+holder's pid and birth time, so a crashed leader cannot deadlock its
+followers: a claim whose process is gone (or whose age exceeds
+``stale_claim``) is *taken over* — the follower atomically replaces the
+claim with its own and promotes itself to leader.  Takeover is
+last-writer-wins; in the pathological window where two followers take
+over simultaneously both may compute, which is safe (publishes are
+atomic and the value is a pure function of the key) and bounded (the
+normal path computes exactly once — the property pinned by
+``tests/properties/test_single_flight_properties.py``).
+
+Entries may carry an absolute expiry (the service's response-cache tier
+reuses its TTL); experiment results are published without one, matching
+the :class:`~repro.batch.cache.ResultCache` contract that a code change
+(version folded into the key) is what invalidates them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import InvalidParameterError
+from repro.util.fsio import atomic_write_text
+
+__all__ = ["SharedCache", "SingleFlightStats"]
+
+_SCHEMA_VERSION = 1
+
+#: ``get_or_compute`` outcome labels, in the order a request cascades:
+#: published entry found (``hit``), claim won (``leader``), leader's
+#: publish awaited (``follower``), or computed without a shared tier /
+#: after an unpublishable leader (``local``).
+OUTCOMES = ("hit", "leader", "follower", "local")
+
+
+class SingleFlightStats:
+    """Counters for one :class:`SharedCache` instance (one process)."""
+
+    __slots__ = ("hits", "leads", "follows", "locals", "takeovers")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.leads = 0
+        self.follows = 0
+        self.locals = 0
+        self.takeovers = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "leads": self.leads,
+                "follows": self.follows, "locals": self.locals,
+                "takeovers": self.takeovers}
+
+
+class SharedCache:
+    """A directory of atomically-published, claim-guarded JSON values.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``<key>.json`` entries and ``<key>.claim``
+        sidecars; created on first write.
+    stale_claim:
+        Seconds after which a claim whose holder cannot be confirmed
+        alive is considered abandoned and may be taken over.  Claims of
+        *dead* local processes are taken over immediately.
+    poll_interval:
+        Follower poll cadence while awaiting a leader's publish.
+    """
+
+    def __init__(self, root: str | Path, *, stale_claim: float = 30.0,
+                 poll_interval: float = 0.005) -> None:
+        if not stale_claim > 0:
+            raise InvalidParameterError(
+                f"stale_claim must be positive, got {stale_claim!r}")
+        if not poll_interval > 0:
+            raise InvalidParameterError(
+                f"poll_interval must be positive, got {poll_interval!r}")
+        self.root = Path(root)
+        self.stale_claim = float(stale_claim)
+        self.poll_interval = float(poll_interval)
+        self.stats = SingleFlightStats()
+
+    # -- paths ---------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{_safe(key)}.json"
+
+    def _claim_path(self, key: str) -> Path:
+        return self.root / f"{_safe(key)}.claim"
+
+    # -- the published tier --------------------------------------------
+    def get(self, key: str) -> Any | None:
+        """The published value, or ``None`` on any kind of miss.
+
+        Expired and damaged entries degrade to misses (and are removed
+        best-effort): this tier can lose entries, never corrupt them.
+        Tombstones (a leader that computed an unpublishable value) also
+        read as misses — :meth:`get_or_compute` inspects them itself.
+        """
+        value = self._read_entry(key)
+        if value is None or value.get("tombstone"):
+            return None
+        return value["value"]
+
+    def get_with_expiry(self, key: str) -> tuple[Any, float | None] | None:
+        """Like :meth:`get`, plus the entry's absolute expiry (epoch).
+
+        The response-cache tier uses this to promote a shared hit into
+        process memory *without extending its lifetime*: the in-memory
+        copy inherits the remaining TTL, not a fresh one.
+        """
+        document = self._read_entry(key)
+        if document is None or document.get("tombstone"):
+            return None
+        return document["value"], document.get("expires")
+
+    def _read_entry(self, key: str) -> dict[str, Any] | None:
+        path = self._entry_path(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if (document.get("schema_version") != _SCHEMA_VERSION
+                    or document.get("key") != key):
+                return None
+            expires = document.get("expires")
+            if expires is not None and time.time() >= expires:
+                _unlink_quietly(path)
+                return None
+            return document
+        except (OSError, ValueError, AttributeError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, value: Any, *, ttl: float | None = None,
+            tombstone: bool = False) -> bool:
+        """Atomically publish ``value``; False when it defies JSON/disk."""
+        document = {"schema_version": _SCHEMA_VERSION, "key": key,
+                    "expires": (time.time() + ttl) if ttl else None,
+                    "value": value}
+        if tombstone:
+            document["tombstone"] = True
+        try:
+            text = json.dumps(document, separators=(",", ":"),
+                              allow_nan=False)
+        except (TypeError, ValueError):
+            return False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self._entry_path(key), text)
+        except OSError:
+            return False
+        return True
+
+    # -- the claim protocol --------------------------------------------
+    def try_claim(self, key: str) -> str | None:
+        """Win the key's claim (→ a release token) or ``None`` if held."""
+        token = f"{os.getpid()}-{os.urandom(8).hex()}"
+        body = json.dumps({"pid": os.getpid(), "token": token,
+                           "time": time.time()})
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self._claim_path(key),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None
+        except OSError:
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        return token
+
+    def release_claim(self, key: str, token: str) -> None:
+        """Drop the claim if (and only if) ``token`` still holds it."""
+        path = self._claim_path(key)
+        try:
+            holder = json.loads(path.read_text(encoding="utf-8"))
+            if holder.get("token") == token:
+                _unlink_quietly(path)
+        except (OSError, ValueError, AttributeError):
+            pass
+
+    def _claim_is_stale(self, key: str) -> bool:
+        """True when the claim's holder is provably gone or too old."""
+        path = self._claim_path(key)
+        try:
+            holder = json.loads(path.read_text(encoding="utf-8"))
+            born = float(holder["time"])
+            pid = int(holder["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable mid-write is expected for a moment; only age
+            # can condemn a claim we cannot parse.
+            try:
+                born = path.stat().st_mtime
+            except OSError:
+                return False  # claim vanished: not stale, gone
+            return time.time() - born > self.stale_claim
+        if time.time() - born > self.stale_claim:
+            return True
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # holder is dead; nobody will publish or release
+        except PermissionError:
+            return False  # alive, different uid
+        return False
+
+    def _take_over(self, key: str) -> str | None:
+        """Atomically replace a stale claim with our own (→ token).
+
+        Last writer wins; the small window where two takers race is
+        resolved by re-reading the claim — only the taker whose token
+        survived is leader.
+        """
+        token = f"{os.getpid()}-{os.urandom(8).hex()}"
+        body = json.dumps({"pid": os.getpid(), "token": token,
+                           "time": time.time()})
+        path = self._claim_path(key)
+        try:
+            atomic_write_text(path, body)
+            holder = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if holder.get("token") != token:
+            return None
+        self.stats.takeovers += 1
+        return token
+
+    # -- single flight -------------------------------------------------
+    def get_or_compute(self, key: str, compute: Callable[[], Any], *,
+                       ttl: float | None = None,
+                       wait_timeout: float = 600.0,
+                       publishable: Callable[[Any], bool] | None = None,
+                       ) -> tuple[Any, str]:
+        """One value per key, however many processes ask at once.
+
+        Returns ``(value, outcome)`` with ``outcome`` one of
+        :data:`OUTCOMES`.  The leader's ``compute()`` exceptions
+        propagate to the leader only — its claim is released so a
+        follower can retry rather than deadlock.  When ``publishable``
+        rejects the computed value (e.g. an experiment that errored), a
+        short-lived tombstone is published so followers stop waiting
+        and compute locally.  A follower that outwaits ``wait_timeout``
+        also degrades to a local compute: the shared tier can only ever
+        *save* work, never wedge a request.
+        """
+        start = time.monotonic()
+        poll = self.poll_interval
+        while True:
+            value = self._read_entry(key)
+            if value is not None:
+                if value.get("tombstone"):
+                    self.stats.locals += 1
+                    return compute(), "local"
+                self.stats.hits += 1
+                return value["value"], "hit"
+
+            token = self.try_claim(key)
+            if token is None and self._claim_is_stale(key):
+                token = self._take_over(key)
+            if token is not None:
+                try:
+                    # Double-check under the claim: the previous leader
+                    # may have published and released between our entry
+                    # read above and the claim acquisition, and leading
+                    # now would compute a second time.
+                    entry = self._read_entry(key)
+                    if entry is not None and not entry.get("tombstone"):
+                        self.stats.hits += 1
+                        return entry["value"], "hit"
+                    result = self._lead(key, compute, ttl, publishable)
+                finally:
+                    self.release_claim(key, token)
+                return result
+
+            if time.monotonic() - start > wait_timeout:
+                self.stats.locals += 1
+                return compute(), "local"
+            time.sleep(poll)
+            poll = min(poll * 1.5, 0.05)
+            entry = self._read_entry(key)
+            if entry is not None and not entry.get("tombstone"):
+                self.stats.follows += 1
+                return entry["value"], "follower"
+
+    def _lead(self, key: str, compute: Callable[[], Any],
+              ttl: float | None,
+              publishable: Callable[[Any], bool] | None) -> tuple[Any, str]:
+        value = compute()
+        if publishable is not None and not publishable(value):
+            # Let waiting followers fail over to their own compute
+            # promptly instead of outwaiting the claim.
+            self.put(key, None, ttl=5.0, tombstone=True)
+            self.stats.locals += 1
+            return value, "local"
+        self.put(key, value, ttl=ttl)
+        self.stats.leads += 1
+        return value, "leader"
+
+
+def _safe(key: str) -> str:
+    """Keys become filenames; anything exotic is hex-armoured."""
+    if key and all(c.isalnum() or c in "-_." for c in key):
+        return key
+    return "x" + key.encode("utf-8", "surrogatepass").hex()
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

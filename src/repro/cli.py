@@ -205,6 +205,35 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="SLO success objective in (0,1); the error "
                             "budget is 1 - objective (default: 0.99)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes sharing the port via a "
+                            "pre-fork supervisor (SO_REUSEPORT); --rate/"
+                            "--max-inflight/--burst are cluster totals "
+                            "split across workers (default: 1)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, seconds to finish in-flight "
+                            "requests after the listener closes; new "
+                            "requests during the drain answer 503 + "
+                            "Retry-After (default: 5)")
+    serve.add_argument("--shared-cache-dir", default=None, metavar="PATH",
+                       help="cross-worker shared cache directory (response "
+                            "cache tier + single-flight experiment dedup); "
+                            "default: a per-run temporary directory when "
+                            "--workers > 1, disabled otherwise")
+    serve.add_argument("--no-shared-cache", action="store_true",
+                       help="keep each worker's caches process-private "
+                            "(disables cross-worker single-flight dedup)")
+    serve.add_argument("--socket-mode",
+                       choices=("auto", "reuseport", "inherit"),
+                       default="auto",
+                       help="how workers share the port: kernel-balanced "
+                            "SO_REUSEPORT sockets or one inherited "
+                            "listener (default: auto)")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                       help="with --workers > 1, serve an aggregate "
+                            "/metrics + /healthz for the whole fleet on "
+                            "this port (0 = ephemeral; default: disabled)")
 
     obs = sub.add_parser(
         "obs", help="inspect the persistent run-history store")
@@ -565,7 +594,8 @@ def _store_cli_run(args, batch, experiment_ids, kwargs_by_id, tracer,
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: exit 0 on clean shutdown, 1 when the
     bind fails, 3 for engine/simulation errors (e.g. a bad --engine or
-    $REPRO_SIM_ENGINE surfacing at boot)."""
+    $REPRO_SIM_ENGINE surfacing at boot), 4 when a worker's respawn
+    budget is exhausted under ``--workers``."""
     import logging
 
     from repro.obs import default_registry
@@ -581,16 +611,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result_cache_dir=args.cache_dir, engine=args.engine,
         no_store=args.no_store, store_dir=args.store_dir,
         slo_latency=args.slo_latency, slo_objective=args.slo_objective,
-        log_level=args.log_level)
+        log_level=args.log_level,
+        workers=args.workers, drain_timeout=args.drain_timeout,
+        shared_cache_dir=args.shared_cache_dir,
+        no_shared_cache=args.no_shared_cache,
+        socket_mode=args.socket_mode, metrics_port=args.metrics_port)
 
     # Structured request logging: the access logger emits one bare JSON
     # line per request at INFO; lifecycle/warning messages share the
-    # same stderr stream.
+    # same stderr stream.  Workers inherit this via fork.
     svc_logger = logging.getLogger("repro.service")
     handler = logging.StreamHandler(sys.stderr)
     handler.setFormatter(logging.Formatter("%(message)s"))
     svc_logger.addHandler(handler)
     svc_logger.setLevel(getattr(logging, args.log_level.upper()))
+
+    if config.workers > 1:
+        from repro.service.supervisor import Supervisor
+        try:
+            return Supervisor(config).run()
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
 
     def announce(service) -> None:
         print(f"repro-hetero serving on http://{service.host}:{service.port} "

@@ -64,12 +64,26 @@ class _Metric:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 constant_labels: dict[str, Any] | None = None) -> None:
         if not name or not name.replace("_", "").replace(":", "").isalnum():
             raise InvalidParameterError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
+        self.constant_labels = dict(constant_labels or {})
         self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, Any]) -> LabelKey:
+        """The cell key: the call's labels over the registry's constants.
+
+        Constant labels (e.g. ``worker="3"`` on every metric of one
+        serving worker) are folded into every cell at update time, so
+        dumps merged across processes keep per-worker series distinct
+        without any call site knowing which process it runs in.
+        """
+        if self.constant_labels:
+            return _label_key({**self.constant_labels, **labels})
+        return _label_key(labels)
 
     def samples(self) -> Iterator[Sample]:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -86,8 +100,9 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 constant_labels: dict[str, Any] | None = None) -> None:
+        super().__init__(name, help, constant_labels)
         self._values: dict[LabelKey, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
@@ -95,13 +110,13 @@ class Counter(_Metric):
         if amount < 0:
             raise InvalidParameterError(
                 f"counter {self.name!r} cannot decrease (amount={amount!r})")
-        key = _label_key(labels)
+        key = self._key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         """Current count of one labelled cell (0.0 if never incremented)."""
-        return self._values.get(_label_key(labels), 0.0)
+        return self._values.get(self._key(labels), 0.0)
 
     def samples(self) -> Iterator[Sample]:
         with self._lock:
@@ -123,16 +138,17 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 constant_labels: dict[str, Any] | None = None) -> None:
+        super().__init__(name, help, constant_labels)
         self._values: dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
         with self._lock:
-            self._values[_label_key(labels)] = float(value)
+            self._values[self._key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
-        key = _label_key(labels)
+        key = self._key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
@@ -141,13 +157,13 @@ class Gauge(_Metric):
 
     def set_to_max(self, value: float, **labels: Any) -> None:
         """Keep the cell at the maximum it has ever been set to."""
-        key = _label_key(labels)
+        key = self._key(labels)
         with self._lock:
             if value > self._values.get(key, float("-inf")):
                 self._values[key] = float(value)
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        return self._values.get(self._key(labels), 0.0)
 
     def samples(self) -> Iterator[Sample]:
         with self._lock:
@@ -161,8 +177,12 @@ class Gauge(_Metric):
 
     def merge_cell(self, labels: LabelKey, payload: Any) -> None:
         # Gauges are last-writer metrics; across workers "the largest any
-        # worker saw" is the only order-independent combination.
-        self.set_to_max(float(payload), **dict(labels))
+        # worker saw" is the only order-independent combination.  Merge
+        # on the dumped key verbatim — the source registry's constant
+        # labels are already baked into it.
+        with self._lock:
+            if float(payload) > self._values.get(labels, float("-inf")):
+                self._values[labels] = float(payload)
 
 
 class _HistogramCell:
@@ -183,8 +203,9 @@ class Histogram(_Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
-        super().__init__(name, help)
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                 constant_labels: dict[str, Any] | None = None) -> None:
+        super().__init__(name, help, constant_labels)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds or any(b != b for b in bounds):
             raise InvalidParameterError(f"invalid histogram buckets {buckets!r}")
@@ -206,7 +227,7 @@ class Histogram(_Metric):
         :meth:`merge_cell` (merging "latest" across workers has no
         order-independent answer).
         """
-        key = _label_key(labels)
+        key = self._key(labels)
         idx = bisect_left(self.buckets, value)
         with self._lock:
             cell = self._cells.get(key)
@@ -236,16 +257,16 @@ class Histogram(_Metric):
         return None
 
     def count(self, **labels: Any) -> int:
-        cell = self._cells.get(_label_key(labels))
+        cell = self._cells.get(self._key(labels))
         return cell.count if cell else 0
 
     def sum(self, **labels: Any) -> float:
-        cell = self._cells.get(_label_key(labels))
+        cell = self._cells.get(self._key(labels))
         return cell.sum if cell else 0.0
 
     def bucket_counts(self, **labels: Any) -> dict[float, int]:
         """Cumulative per-bucket counts, keyed by upper bound (inf last)."""
-        cell = self._cells.get(_label_key(labels))
+        cell = self._cells.get(self._key(labels))
         bounds = list(self.buckets) + [float("inf")]
         if cell is None:
             return {b: 0 for b in bounds}
@@ -336,11 +357,18 @@ class MetricsRegistry:
     ``registry.counter("x")`` always returns the same object for the
     same name; asking for an existing name with a different kind raises,
     so two subsystems cannot silently fight over one series.
+
+    ``constant_labels`` stamps every cell of every metric the registry
+    creates — a serving worker builds its registry with
+    ``constant_labels={"worker": "3"}`` and every existing call site
+    gains the label for free; :meth:`dump`/:meth:`merge` then keep
+    per-worker series distinct in the supervisor aggregate.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, constant_labels: dict[str, Any] | None = None) -> None:
         self._metrics: dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        self.constant_labels = dict(constant_labels or {})
 
     def _get_or_create(self, cls: type, name: str, help: str,
                        **kwargs: Any) -> Any:
@@ -352,7 +380,8 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as "
                         f"{type(existing).__name__}, not {cls.__name__}")
                 return existing
-            metric = cls(name, help, **kwargs)
+            metric = cls(name, help,
+                         constant_labels=self.constant_labels, **kwargs)
             self._metrics[name] = metric
             return metric
 

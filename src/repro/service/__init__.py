@@ -32,15 +32,20 @@ Layout
 :mod:`repro.service.runtime`
     Blocking entry points: :func:`run_service` (the CLI's ``serve``)
     and :class:`ServiceThread` (a background server for tests).
+:mod:`repro.service.supervisor`
+    :class:`Supervisor` — the pre-fork multi-worker mode behind
+    ``serve --workers N``: SO_REUSEPORT port sharing, per-worker
+    admission budgets, crash restarts, aggregate metrics.
 
 See ``docs/SERVICE.md`` for endpoint semantics, batching guarantees,
-and shedding behaviour.
+shedding behaviour, and the multi-worker scale-out model.
 """
 
 from repro.service.app import ReproService
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import ServiceConfig
 from repro.service.runtime import ServiceThread, run_service
+from repro.service.supervisor import Supervisor
 
 __all__ = ["ReproService", "ServiceClient", "ServiceError", "ServiceConfig",
-           "ServiceThread", "run_service"]
+           "ServiceThread", "Supervisor", "run_service"]

@@ -326,8 +326,14 @@ class ReproService:
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             rate=self.config.rate, burst=self.config.burst)
+        self.shared = None
+        if (self.config.shared_cache_dir is not None
+                and not self.config.no_shared_cache):
+            from repro.batch.shared_cache import SharedCache
+            self.shared = SharedCache(self.config.shared_cache_dir)
         self.cache = ResponseCache(self.config.cache_entries,
-                                   self.config.cache_ttl)
+                                   self.config.cache_ttl,
+                                   shared=self.shared)
         self.batcher = MicroBatcher(window=self.config.batch_window,
                                     max_batch=self.config.max_batch,
                                     registry=self.registry,
@@ -336,6 +342,9 @@ class ReproService:
         self._started_at = 0.0
         self._result_cache = None
         self.store: RunStore | None = None
+        self._draining = False
+        self._active_requests = 0
+        self._writers: set[asyncio.StreamWriter] = set()
         #: Per-route [bad, total] request counts behind the SLO gauges.
         self._slo_counts: dict[str, list[int]] = {}
         self._routes: dict[tuple[str, str], tuple[
@@ -353,8 +362,13 @@ class ReproService:
         }
 
     # -- lifecycle -----------------------------------------------------
-    async def start(self) -> None:
-        """Bind the socket and start the coalescer's drain task."""
+    async def start(self, sock: Any = None) -> None:
+        """Bind the socket and start the coalescer's drain task.
+
+        ``sock`` optionally supplies an already-bound (``SO_REUSEPORT``)
+        or already-listening (inherited) socket — how supervisor workers
+        share one port; ``None`` binds ``config.host:config.port``.
+        """
         if self.config.engine is not None:
             import os
 
@@ -383,8 +397,13 @@ class ReproService:
                     "without persistence", exc)
                 self.store = None
         self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, host=self.config.host, port=self.config.port)
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.config.host,
+                port=self.config.port)
         self._started_at = time.monotonic()
 
     @property
@@ -406,18 +425,45 @@ class ReproService:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        await self.batcher.stop()
+        """Drain and shut down: the clean-exit path for SIGTERM/SIGINT."""
+        await self.drain(self.config.drain_timeout)
         if self.store is not None:
             self.store.close()
             self.store = None
 
+    async def drain(self, timeout: float) -> None:
+        """Stop accepting, finish in-flight work, then close connections.
+
+        The sequence a load balancer expects: the listening socket
+        closes first (no new connections), requests already being
+        processed get up to ``timeout`` seconds to answer, and requests
+        arriving on *existing* keep-alive connections during the drain
+        are answered ``503`` + ``Retry-After`` instead of a reset.
+        Idempotent; ``stop()`` calls it with the configured timeout.
+        """
+        self._draining = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        deadline = time.monotonic() + timeout
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        # Whatever is still connected now is either idle keep-alive or
+        # past its drain budget: close the transports so the per-
+        # connection tasks unblock from read_request and exit.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-dead transports
+                pass
+        if server is not None:
+            await server.wait_closed()
+        await self.batcher.stop()
+
     # -- connection handling -------------------------------------------
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -436,7 +482,26 @@ class ReproService:
                     continue
                 if request is None:
                     break
-                response = await self._respond(request)
+                if self._draining:
+                    # A keep-alive connection outlived the listening
+                    # socket; tell the client to retry elsewhere rather
+                    # than resetting its connection mid-request.
+                    self.registry.counter(
+                        "svc_shed_total",
+                        "requests shed by admission control, by reason"
+                    ).inc(reason="draining")
+                    writer.write(render_response(
+                        503, json.dumps({"error": "shed: draining",
+                                         "retry_after": 1.0}).encode() + b"\n",
+                        extra_headers={"Retry-After": "1"},
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                self._active_requests += 1
+                try:
+                    response = await self._respond(request)
+                finally:
+                    self._active_requests -= 1
                 writer.write(render_response(
                     response.status, response.body,
                     content_type=response.content_type,
@@ -449,6 +514,7 @@ class ReproService:
                 asyncio.CancelledError):
             pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -601,11 +667,14 @@ class ReproService:
 
     # -- handlers ------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> _Response:
-        return _json_response(200, {
+        payload: dict[str, Any] = {
             "status": "ok", "version": __version__,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "inflight": self.admission.inflight,
-        })
+        }
+        if self.config.worker_index is not None:
+            payload["worker"] = self.config.worker_index
+        return _json_response(200, payload)
 
     async def _handle_metrics(self, request: Request) -> _Response:
         text = prometheus_text(self.registry, exemplars=True)
@@ -640,6 +709,12 @@ class ReproService:
                         "svc_response_cache_hits_total",
                         "evaluation responses served from the TTL cache"
                     ).inc(kind=kind)
+                    if self.cache.last_tier == "shared":
+                        self.registry.counter(
+                            "svc_shared_cache_hits_total",
+                            "responses served from the cross-worker "
+                            "shared cache tier"
+                        ).inc(kind=kind)
                     return _Response(200, body)
             result = await self.batcher.submit(kind, payload,
                                                trace_parent=_REQ_SPAN.get())
@@ -663,8 +738,9 @@ class ReproService:
         from repro.io import result_to_dict
 
         trace_parent = _REQ_SPAN.get()
+        dispatch_key = cache_key(experiment_id, dict(kwargs))
 
-        def run() -> Any:
+        def run() -> dict[str, Any]:
             # The executor thread has no ambient observation; install
             # one so the batch engine folds worker telemetry into this
             # service's registry.  The tracer rides along only when one
@@ -675,36 +751,59 @@ class ReproService:
                 tracer=self.tracer if self._external_tracer else None,
                 registry=self.registry)
             with observe(observation):
-                return run_batch([experiment_id],
-                                 kwargs_by_id={experiment_id: dict(kwargs)},
-                                 jobs=self.config.jobs,
-                                 cache=self._result_cache,
-                                 trace_parent=trace_parent)
-        batch = await asyncio.get_running_loop().run_in_executor(None, run)
-        item = batch.items[0]
+                batch = run_batch([experiment_id],
+                                  kwargs_by_id={experiment_id: dict(kwargs)},
+                                  jobs=self.config.jobs,
+                                  cache=self._result_cache,
+                                  trace_parent=trace_parent)
+            item = batch.items[0]
+            return {"cached": item.cached, "shards": item.shards,
+                    "wall_seconds": item.wall_seconds, "error": item.error,
+                    "result": (result_to_dict(item.result)
+                               if item.error is None else None)}
+
+        def dispatch() -> tuple[dict[str, Any], str]:
+            # Single flight across workers: N processes receiving this
+            # exact dispatch concurrently compute it once; the rest get
+            # the leader's published document.  Error documents are
+            # never published — each worker sees its own failure.
+            if self.shared is None:
+                return run(), "local"
+            return self.shared.get_or_compute(
+                "dispatch-" + dispatch_key, run,
+                publishable=lambda doc: doc["error"] is None)
+
+        item, outcome = await asyncio.get_running_loop().run_in_executor(
+            None, dispatch)
+        self.registry.counter(
+            "svc_dispatch_single_flight_total",
+            "experiment dispatches by single-flight outcome "
+            "(leader computed / follower awaited / hit / local)"
+        ).inc(experiment=experiment_id, outcome=outcome)
         if self.store is not None:
             self.store.record_run(
                 kind="experiment", label=experiment_id,
                 trace_id=self.tracer.trace_id,
-                cache_key=cache_key(experiment_id, dict(kwargs)),
+                cache_key=dispatch_key,
                 engine=self.config.engine,
-                status="error" if item.error is not None else "ok",
-                wall_seconds=item.wall_seconds,
-                extra={"cached": item.cached, "shards": item.shards,
+                status="error" if item["error"] is not None else "ok",
+                wall_seconds=item["wall_seconds"],
+                extra={"cached": item["cached"], "shards": item["shards"],
                        "jobs": self.config.jobs, "span_id": trace_parent,
-                       "error": item.error})
-        if item.error is not None:
-            family = item.error.split(":", 1)[0]
+                       "dedup": outcome, "error": item["error"]})
+        if item["error"] is not None:
+            family = item["error"].split(":", 1)[0]
             status = 400 if family in (
                 "InvalidParameterError", "InvalidProfileError",
                 "FaultSpecError", "ProtocolError") else 500
-            return _error_response(status, item.error,
+            return _error_response(status, item["error"],
                                    experiment=experiment_id)
         return _json_response(200, {
             "experiment": experiment_id,
-            "cached": item.cached,
-            "wall_seconds": item.wall_seconds,
-            "result": result_to_dict(item.result),
+            "cached": item["cached"],
+            "wall_seconds": item["wall_seconds"],
+            "dedup": outcome,
+            "result": item["result"],
         })
 
     # -- observability endpoints ---------------------------------------

@@ -74,6 +74,38 @@ class ServiceConfig:
         Threshold for the service's stderr logging (``repro.service``
         loggers): one JSON access-log line per request is emitted at
         INFO, lifecycle messages at INFO, problems at WARNING+.
+    workers, worker_index:
+        Pre-fork scale-out: ``workers > 1`` makes ``serve`` run a
+        supervisor with that many worker processes sharing the port
+        (``SO_REUSEPORT`` when the platform has it).  ``worker_index``
+        identifies one worker inside its own process — the supervisor
+        sets it; user configs leave it at ``None``.  Note the global
+        ``rate``/``max_inflight``/``burst`` are *totals*: the
+        supervisor splits them into per-worker budgets.
+    drain_timeout:
+        Seconds a stopping server waits for in-flight requests after it
+        stops accepting; new requests during the drain answer ``503`` +
+        ``Retry-After`` instead of a connection reset.
+    shared_cache_dir, no_shared_cache:
+        The cross-process cache tier (``repro.batch.shared_cache``)
+        shared by the workers' response caches and experiment dispatch.
+        Defaults to a directory under the result-cache root; multi-
+        worker serving creates it automatically.  ``no_shared_cache``
+        keeps every worker's caches process-private (dedup off).
+    socket_mode:
+        How workers share the listening port: ``"reuseport"`` (each
+        worker binds its own ``SO_REUSEPORT`` socket — kernel load
+        balancing), ``"inherit"`` (the supervisor binds and listens,
+        workers accept on the inherited socket), or ``"auto"`` (use
+        ``SO_REUSEPORT`` when available, else inherit).
+    metrics_flush_path, metrics_flush_interval:
+        Worker-side metrics export for the supervisor aggregate: each
+        worker atomically rewrites a JSON registry dump at this path
+        every ``metrics_flush_interval`` seconds.  Set by the
+        supervisor; ``None`` disables flushing.
+    metrics_port:
+        Supervisor-side aggregate ``/metrics`` + ``/healthz`` listener
+        (``0`` = ephemeral, ``None`` disables the aggregate endpoint).
     """
 
     host: str = "127.0.0.1"
@@ -97,6 +129,15 @@ class ServiceConfig:
     slo_latency: float = 0.25
     slo_objective: float = 0.99
     log_level: str = "warning"
+    workers: int = 1
+    worker_index: int | None = None
+    drain_timeout: float = 5.0
+    shared_cache_dir: str | None = None
+    no_shared_cache: bool = False
+    socket_mode: str = "auto"
+    metrics_flush_path: str | None = None
+    metrics_flush_interval: float = 0.5
+    metrics_port: int | None = None
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -133,3 +174,28 @@ class ServiceConfig:
             raise InvalidParameterError(
                 f"log_level must be one of debug/info/warning/error, "
                 f"got {self.log_level!r}")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be an integer >= 1, got {self.workers!r}")
+        if self.worker_index is not None and (
+                not isinstance(self.worker_index, int)
+                or isinstance(self.worker_index, bool)
+                or self.worker_index < 0):
+            raise InvalidParameterError(
+                f"worker_index must be None or an integer >= 0, "
+                f"got {self.worker_index!r}")
+        for name in ("drain_timeout", "metrics_flush_interval"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value != value or value < 0:
+                raise InvalidParameterError(
+                    f"{name} must be a number >= 0, got {value!r}")
+        if self.socket_mode not in ("auto", "reuseport", "inherit"):
+            raise InvalidParameterError(
+                f"socket_mode must be one of auto/reuseport/inherit, "
+                f"got {self.socket_mode!r}")
+        if self.metrics_port is not None and not (0 <= self.metrics_port <= 65535):
+            raise InvalidParameterError(
+                f"metrics_port must be None or in [0, 65535], "
+                f"got {self.metrics_port!r}")

@@ -98,6 +98,64 @@ class TestRoundTrip:
         assert cache.get("table3", {}) is None
 
 
+class TestAtomicWrites:
+    """The shared tier may be off; single-process writes stay atomic."""
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.put("table3", {}, _result()) is True
+        assert [p.suffix for p in tmp_path.iterdir()] == [".json"]
+
+    def test_failed_replace_leaves_no_partial_entry(self, tmp_path,
+                                                    monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.util.fsio.os.replace", explode)
+        assert cache.put("table3", {}, _result()) is False
+        # Neither a destination entry nor an orphaned temp file: the
+        # failure degrades to "not cached", never to a torn document.
+        assert list(tmp_path.iterdir()) == []
+        assert cache.get("table3", {}) is None
+
+    def test_concurrent_writers_never_tear_an_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        titles = ("alpha", "beta")
+        stop = threading.Event()
+
+        def writer(title: str) -> None:
+            while not stop.is_set():
+                cache.put("table3", {}, _result(title=title))
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in titles]
+        for t in threads:
+            t.start()
+        try:
+            reads = 0
+            while reads < 200:
+                entries = list(tmp_path.glob("table3-*.json"))
+                if not entries:
+                    continue
+                # Raw read + parse: a torn write would fail json.loads,
+                # which cache.get would silently mask as a miss.
+                try:
+                    text = entries[0].read_text()
+                except OSError:
+                    continue  # entry replaced mid-stat; retry
+                document = json.loads(text)
+                assert document["result"]["title"] in titles
+                reads += 1
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+
 class TestDefaultDir:
     def test_env_override_wins(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))

@@ -1,0 +1,203 @@
+"""Unit tests for the process-shared cache tier (repro.batch.shared_cache)."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.batch.shared_cache import SharedCache
+from repro.errors import InvalidParameterError
+
+
+class TestPublishedTier:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        assert cache.get("k") is None
+        assert cache.put("k", {"answer": 42}) is True
+        assert cache.get("k") == {"answer": 42}
+
+    def test_ttl_expiry(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.put("k", "v", ttl=0.05)
+        assert cache.get("k") == "v"
+        time.sleep(0.08)
+        assert cache.get("k") is None
+        # expired entries are evicted, not left to rot
+        assert not cache._entry_path("k").exists()
+
+    def test_no_ttl_means_no_expiry(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.put("k", "v")
+        got = cache.get_with_expiry("k")
+        assert got == ("v", None)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.put("k", "v")
+        cache._entry_path("k").write_text("{not json")
+        assert cache.get("k") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.put("k", "v")
+        # Simulate a renamed/collided file: key inside != key asked for.
+        doc = json.loads(cache._entry_path("k").read_text())
+        cache._entry_path("other").write_text(json.dumps(doc))
+        assert cache.get("other") is None
+
+    def test_unjsonable_value_is_not_published(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        assert cache.put("k", float("inf")) is False
+        assert cache.get("k") is None
+
+    def test_exotic_keys_become_safe_filenames(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        key = "a/b:c d\x00e"
+        cache.put(key, "v")
+        assert cache.get(key) == "v"
+        assert all(p.parent == tmp_path for p in tmp_path.iterdir())
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            SharedCache(tmp_path, stale_claim=0)
+        with pytest.raises(InvalidParameterError):
+            SharedCache(tmp_path, poll_interval=-1)
+
+
+class TestClaims:
+    def test_first_claimant_wins(self, tmp_path):
+        a, b = SharedCache(tmp_path), SharedCache(tmp_path)
+        token = a.try_claim("k")
+        assert token is not None
+        assert b.try_claim("k") is None
+        a.release_claim("k", token)
+        assert b.try_claim("k") is not None
+
+    def test_release_requires_matching_token(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        token = cache.try_claim("k")
+        cache.release_claim("k", "not-the-token")
+        assert cache.try_claim("k") is None  # still held
+        cache.release_claim("k", token)
+        assert cache.try_claim("k") is not None
+
+    def test_dead_pid_claim_is_stale(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache._claim_path("k").write_text(json.dumps(
+            {"pid": 2 ** 22 + 1, "token": "x", "time": time.time()}))
+        assert cache._claim_is_stale("k") is True
+
+    def test_live_claim_is_not_stale(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.try_claim("k")  # our own pid, fresh
+        assert cache._claim_is_stale("k") is False
+
+    def test_old_claim_is_stale_even_if_unparseable(self, tmp_path):
+        cache = SharedCache(tmp_path, stale_claim=0.05)
+        path = cache._claim_path("k")
+        path.write_text("garbage")
+        old = time.time() - 1.0
+        os.utime(path, (old, old))
+        assert cache._claim_is_stale("k") is True
+
+
+class TestGetOrCompute:
+    def test_leader_computes_and_publishes(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        value, outcome = cache.get_or_compute("k", lambda: {"n": 1})
+        assert (value, outcome) == ({"n": 1}, "leader")
+        assert cache.get("k") == {"n": 1}
+        assert not cache._claim_path("k").exists()  # claim released
+
+    def test_second_call_is_a_hit(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.get_or_compute("k", lambda: "v")
+        calls = []
+        value, outcome = cache.get_or_compute(
+            "k", lambda: calls.append(1) or "recomputed")
+        assert (value, outcome) == ("v", "hit")
+        assert calls == []
+
+    def test_follower_awaits_the_leader(self, tmp_path):
+        leader_cache = SharedCache(tmp_path)
+        follower_cache = SharedCache(tmp_path, poll_interval=0.002)
+        gate = threading.Event()
+        computes = []
+
+        def slow_compute():
+            computes.append(1)
+            gate.wait(5.0)
+            return "computed-once"
+
+        results = {}
+
+        def leader():
+            results["leader"] = leader_cache.get_or_compute("k", slow_compute)
+
+        def follower():
+            results["follower"] = follower_cache.get_or_compute(
+                "k", slow_compute)
+
+        t_leader = threading.Thread(target=leader)
+        t_leader.start()
+        while not computes:  # leader holds the claim now
+            time.sleep(0.001)
+        t_follower = threading.Thread(target=follower)
+        t_follower.start()
+        time.sleep(0.05)  # follower is polling against the claim
+        gate.set()
+        t_leader.join(10)
+        t_follower.join(10)
+        assert computes == [1]
+        assert results["leader"] == ("computed-once", "leader")
+        assert results["follower"] == ("computed-once", "follower")
+
+    def test_leader_exception_releases_the_claim(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("compute failed")))
+        # The claim must not wedge the key forever.
+        value, outcome = cache.get_or_compute("k", lambda: "second-try")
+        assert (value, outcome) == ("second-try", "leader")
+
+    def test_unpublishable_value_tombstones(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        value, outcome = cache.get_or_compute(
+            "k", lambda: {"error": "boom"},
+            publishable=lambda v: v.get("error") is None)
+        assert outcome == "local"
+        assert value == {"error": "boom"}
+        # Followers see the tombstone and compute locally too.
+        value2, outcome2 = cache.get_or_compute(
+            "k", lambda: {"error": "again"},
+            publishable=lambda v: v.get("error") is None)
+        assert (value2["error"], outcome2) == ("again", "local")
+
+    def test_crashed_claimant_is_taken_over(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        # A claim from a process that no longer exists (pid beyond
+        # pid_max) with a fresh timestamp: dead-pid takeover, not age.
+        cache._claim_path("k").write_text(json.dumps(
+            {"pid": 2 ** 22 + 1, "token": "x", "time": time.time()}))
+        value, outcome = cache.get_or_compute("k", lambda: "rescued")
+        assert (value, outcome) == ("rescued", "leader")
+        assert cache.stats.takeovers == 1
+
+    def test_wait_timeout_degrades_to_local_compute(self, tmp_path):
+        holder = SharedCache(tmp_path)
+        waiter = SharedCache(tmp_path, poll_interval=0.002)
+        holder.try_claim("k")  # a live claim that never publishes
+        value, outcome = waiter.get_or_compute("k", lambda: "gave-up",
+                                               wait_timeout=0.05)
+        assert (value, outcome) == ("gave-up", "local")
+
+    def test_stats_accumulate(self, tmp_path):
+        cache = SharedCache(tmp_path)
+        cache.get_or_compute("k", lambda: "v")
+        cache.get_or_compute("k", lambda: "v")
+        stats = cache.stats.as_dict()
+        assert stats["leads"] == 1
+        assert stats["hits"] == 1

@@ -1,0 +1,136 @@
+"""Property-based tests for cross-process single-flight dedup (hypothesis).
+
+``serve --workers N`` routes identical concurrent requests to different
+worker processes; :meth:`SharedCache.get_or_compute` must guarantee
+that however many claimants pile onto one key:
+
+* **exactly one compute** happens on the normal path — the rest are
+  served the leader's published value;
+* **all K results are identical** — byte-for-byte the same document;
+* **a crashed claimant cannot deadlock the rest** — a claim whose
+  holder is dead (or too old) is taken over and the key still resolves
+  for every waiter, with at most one extra compute per takeover race.
+
+Each claimant here gets its *own* :class:`SharedCache` instance over
+one shared root, mirroring N processes that share nothing but the
+directory.  Compute counts are tallied through an ``O_APPEND`` log
+file — the same cross-process-safe channel a forked worker would use —
+so the property holds even if a future refactor moves claimants into
+real subprocesses.
+"""
+
+import json
+import os
+import threading
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.shared_cache import SharedCache
+
+#: Claimant counts worth exercising: the degenerate single claimant,
+#: typical worker counts, and an oversubscribed pile-up.
+claimant_counts = st.integers(min_value=1, max_value=8)
+
+#: Compute durations around the claim-poll timescale, so runs explore
+#: "leader publishes before followers ever poll" and "followers poll
+#: many times" interleavings.
+compute_delays = st.floats(min_value=0.0, max_value=0.02,
+                           allow_nan=False, allow_infinity=False)
+
+
+def _race(root, claimants: int, delay: float, *, key: str = "k",
+          prepare=None) -> tuple[list, int]:
+    """Run K fresh-instance claimants at once; (results, computes)."""
+    log_path = os.path.join(root, "compute.log")
+
+    def compute():
+        # O_APPEND writes are atomic for sub-PIPE_BUF payloads: a
+        # correct cross-process tally even under true concurrency.
+        fd = os.open(log_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND)
+        try:
+            os.write(fd, b"x\n")
+        finally:
+            os.close(fd)
+        time.sleep(delay)
+        return {"value": "computed", "key": key}
+
+    if prepare is not None:
+        prepare()
+    barrier = threading.Barrier(claimants)
+    results: list = [None] * claimants
+
+    def claimant(i: int) -> None:
+        cache = SharedCache(root, poll_interval=0.001)
+        barrier.wait()
+        results[i] = cache.get_or_compute(key, compute, wait_timeout=30.0)
+
+    threads = [threading.Thread(target=claimant, args=(i,))
+               for i in range(claimants)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert all(not t.is_alive() for t in threads), "claimant deadlocked"
+    try:
+        with open(log_path, "rb") as fh:
+            computes = fh.read().count(b"\n")
+    except OSError:
+        computes = 0
+    return results, computes
+
+
+class TestSingleFlight:
+    @given(claimants=claimant_counts, delay=compute_delays)
+    @settings(max_examples=20, deadline=None)
+    def test_exactly_one_compute_and_identical_results(self, tmp_path_factory,
+                                                       claimants, delay):
+        root = str(tmp_path_factory.mktemp("flight"))
+        results, computes = _race(root, claimants, delay)
+        assert computes == 1
+        values = [value for value, _outcome in results]
+        assert all(v == values[0] for v in values)
+        outcomes = sorted(outcome for _value, outcome in results)
+        assert outcomes.count("leader") == 1
+        assert all(o in ("leader", "follower", "hit") for o in outcomes)
+
+    @given(claimants=claimant_counts, delay=compute_delays)
+    @settings(max_examples=15, deadline=None)
+    def test_dead_claimant_cannot_deadlock(self, tmp_path_factory,
+                                           claimants, delay):
+        """Crash simulation: a fresh claim from a dead pid pre-exists.
+
+        Every claimant must still resolve (takeover), results stay
+        identical, and the compute count stays bounded: 1 normally,
+        at most ``claimants`` in the pathological window where several
+        waiters take the stale claim over simultaneously.
+        """
+        root = str(tmp_path_factory.mktemp("flight"))
+        probe = SharedCache(root)
+
+        def plant_dead_claim():
+            probe.root.mkdir(parents=True, exist_ok=True)
+            probe._claim_path("k").write_text(json.dumps(
+                {"pid": 2 ** 22 + 1, "token": "dead", "time": time.time()}))
+
+        results, computes = _race(root, claimants, delay,
+                                  prepare=plant_dead_claim)
+        assert 1 <= computes <= claimants
+        values = [value for value, _outcome in results]
+        assert all(v == values[0] for v in values)
+
+    @given(claimants=claimant_counts)
+    @settings(max_examples=10, deadline=None)
+    def test_distinct_keys_do_not_serialise(self, tmp_path_factory,
+                                            claimants):
+        """Single flight is per key: K distinct keys compute K times."""
+        root = str(tmp_path_factory.mktemp("flight"))
+        caches = [SharedCache(root) for _ in range(claimants)]
+        results = []
+        for i, cache in enumerate(caches):
+            results.append(cache.get_or_compute(f"key-{i}",
+                                                lambda i=i: {"n": i}))
+        assert [value for value, _ in results] == [
+            {"n": i} for i in range(claimants)]
+        assert all(outcome == "leader" for _, outcome in results)

@@ -1,0 +1,86 @@
+"""Unit tests for the crash-safe write primitive (repro.util.fsio)."""
+
+import os
+import threading
+
+import pytest
+
+from repro.util.fsio import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, "one")
+        assert target.read_text() == "one"
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "doc.json", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_failed_replace_leaves_destination_untouched(self, tmp_path,
+                                                         monkeypatch):
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, "original")
+
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr("repro.util.fsio.os.replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "replacement")
+        assert target.read_text() == "original"
+        # ... and the temp file was cleaned up, not orphaned.
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_missing_parent_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write_text(tmp_path / "nowhere" / "doc.json", "x")
+
+    def test_durable_fsyncs(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr("repro.util.fsio.os.fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        atomic_write_text(tmp_path / "doc.json", "x", durable=True)
+        assert len(synced) == 1
+
+    def test_reader_never_sees_a_partial_document(self, tmp_path):
+        """The satellite regression: concurrent writers + a reader.
+
+        Two threads repeatedly rewrite the same file with distinct
+        complete documents while a reader polls it; every successful
+        read must be one of the complete documents, never a torn mix.
+        """
+        target = tmp_path / "doc.txt"
+        documents = ["A" * 4096 + "\n", "B" * 4096 + "\n"]
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def writer(doc: str) -> None:
+            while not stop.is_set():
+                atomic_write_text(target, doc)
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    text = target.read_text()
+                except OSError:
+                    continue
+                if text not in documents:
+                    torn.append(text)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(d,))
+                   for d in documents] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(timeout=10)
+        stop_timer.cancel()
+        stop.set()
+        assert torn == []
