@@ -1,0 +1,174 @@
+"""Stream-layer throughput guard: windows must stay cheap per event.
+
+Measures :class:`repro.stream.engine.StreamProcessor` end to end on a
+synthetic drifting trace and records the results to
+``BENCH_stream_throughput.json`` at the repo root:
+
+1. **Ingest throughput** — events/second through feed-close-emit with
+   calibration off, the floor the CLI's stdin path inherits.
+2. **Calibration overhead** — the same trace with the online (τ, π, δ,
+   ρ) fit on, as ``calibration_cost_ratio`` (calibrated seconds over
+   uncalibrated seconds — machine-independent, lower is better).
+3. **Shadow overhead** — one extra what-if evaluation per window, as
+   ``shadow_cost_ratio`` over the plain calibrated run.
+4. **Per-event unit cost** — one admitted event against one scalar
+   ``x_measure`` evaluation on the same cluster size, as
+   ``event_over_x_cost_ratio``; this pins the stream layer's bookkeeping
+   to the repo's canonical kernel cost instead of wall-clock.
+
+Timings use best-of-N minima.  The ``*_cost_ratio`` keys are what the
+CI ``obs compare`` drift watchdog gates (its default key pattern matches
+``ratio``); with ``REPRO_PERF_CHECK=1`` this run additionally fails hard
+when a ratio exceeds its committed value by more than
+``_REGRESSION_ALLOWANCE``.  A fresh measurement is always written to
+``benchmarks/output/stream-throughput-measured.json`` for the watchdog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.measure import x_measure
+from repro.core.params import PAPER_TABLE1
+from repro.core.profile import Profile
+from repro.stream import StreamProcessor, synthetic_trace
+
+BASELINE_PATH = (Path(__file__).resolve().parent.parent
+                 / "BENCH_stream_throughput.json")
+MEASURED_PATH = (Path(__file__).resolve().parent / "output"
+                 / "stream-throughput-measured.json")
+
+_PROFILE = Profile([1.0, 0.7, 0.5, 0.35, 0.25, 0.17, 0.12, 0.08])
+_WINDOWS = 40
+_WINDOW = 10.0
+_REPEATS = 5
+_X_REPEATS = 20_000
+
+#: Absolute acceptance floor on uncalibrated ingest (events/second).
+#: Conservative: the hot path is pure-Python dict/list bookkeeping plus
+#: one ProfileBatch evaluation per *window*, so even busy CI machines
+#: clear this by an order of magnitude.
+_EVENTS_PER_SEC_FLOOR = 5_000.0
+
+#: Check mode fails when a cost ratio grows beyond committed * allowance.
+#: Ratios of two in-process timings are stable run to run; 2x headroom
+#: only trips on real regressions (e.g. a per-event refit).
+_REGRESSION_ALLOWANCE = 2.0
+_GUARDED = ("calibration_cost_ratio", "shadow_cost_ratio",
+            "event_over_x_cost_ratio")
+
+
+def _trace() -> list:
+    return list(synthetic_trace(
+        profile=_PROFILE, params=PAPER_TABLE1, windows=_WINDOWS,
+        window=_WINDOW, drift_worker=1, drift_factor=2.0, drift_window=5))
+
+
+def _best_replay(events, **kwargs) -> float:
+    best = float("inf")
+    for _ in range(_REPEATS):
+        processor = StreamProcessor(_WINDOW, params=PAPER_TABLE1, **kwargs)
+        start = time.perf_counter()
+        for _record in processor.process(events):
+            pass
+        processor.finish()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_stream_throughput_and_baseline(report_sink):
+    committed = (json.loads(BASELINE_PATH.read_text())
+                 if BASELINE_PATH.exists() else None)
+    check_mode = os.environ.get("REPRO_PERF_CHECK", "") == "1"
+
+    events = _trace()
+    plain_s = _best_replay(events, calibrate=False)
+    calibrated_s = _best_replay(events, calibrate=True)
+    shadow_s = _best_replay(events, calibrate=True,
+                            what_if=list(map(float, _PROFILE.rho)))
+
+    rho = np.asarray(_PROFILE.rho, dtype=float)
+    start = time.perf_counter()
+    for _ in range(_X_REPEATS):
+        x_measure(rho, PAPER_TABLE1)
+    x_unit_s = (time.perf_counter() - start) / _X_REPEATS
+
+    per_event_s = plain_s / len(events)
+    measured = {
+        "events": len(events),
+        "windows": _WINDOWS,
+        "cluster_n": _PROFILE.n,
+        "plain_replay_seconds": plain_s,
+        "calibrated_replay_seconds": calibrated_s,
+        "shadow_replay_seconds": shadow_s,
+        "events_per_sec": round(len(events) / plain_s),
+        "calibration_cost_ratio": round(calibrated_s / plain_s, 4),
+        "shadow_cost_ratio": round(shadow_s / calibrated_s, 4),
+        "x_measure_unit_seconds": x_unit_s,
+        "event_over_x_cost_ratio": round(per_event_s / x_unit_s, 3),
+    }
+
+    lines = [
+        f"stream throughput, n={_PROFILE.n} x {_WINDOWS} windows "
+        f"({len(events)} events)",
+        f"  uncalibrated {plain_s * 1e3:7.2f} ms "
+        f"({measured['events_per_sec'] / 1e3:.1f} k events/s)",
+        f"  calibrated   {calibrated_s * 1e3:7.2f} ms "
+        f"(x{measured['calibration_cost_ratio']:.2f})",
+        f"  + shadow     {shadow_s * 1e3:7.2f} ms "
+        f"(x{measured['shadow_cost_ratio']:.2f} vs calibrated)",
+        f"  one event costs {measured['event_over_x_cost_ratio']:.1f} "
+        f"x_measure evaluations",
+    ]
+    report_sink("stream-throughput", "\n".join(lines))
+
+    # Always leave a fresh measurement for the CI drift watchdog.
+    MEASURED_PATH.parent.mkdir(parents=True, exist_ok=True)
+    MEASURED_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+    if not check_mode:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+
+    assert measured["events_per_sec"] >= _EVENTS_PER_SEC_FLOOR, (
+        f"stream ingest is only {measured['events_per_sec']:.0f} events/s "
+        f"(floor {_EVENTS_PER_SEC_FLOOR:.0f}) — something heavy landed on "
+        f"the per-event path")
+
+    if check_mode:
+        assert committed is not None, (
+            f"REPRO_PERF_CHECK=1 but no committed baseline at "
+            f"{BASELINE_PATH}")
+        regressions = []
+        for key in _GUARDED:
+            ceiling = committed[key] * _REGRESSION_ALLOWANCE
+            if measured[key] > ceiling:
+                regressions.append(
+                    f"{key}: {measured[key]:.3f} vs committed "
+                    f"{committed[key]:.3f} (ceiling {ceiling:.3f})")
+        assert not regressions, (
+            "stream cost ratio regressed vs BENCH_stream_throughput.json:"
+            "\n  " + "\n  ".join(regressions))
+
+
+def test_calibration_does_not_change_uncalibrated_records():
+    """The calibrator must be a pure observer of the window stream."""
+    events = _trace()
+
+    def windows(calibrate):
+        processor = StreamProcessor(_WINDOW, params=PAPER_TABLE1,
+                                    calibrate=calibrate)
+        records = list(processor.process(events))
+        records.extend(processor.finish())
+        return records
+
+    off = windows(False)
+    on = windows(True)
+    assert len(off) == len(on)
+    for a, b in zip(off, on):
+        if a["kind"] == "window":
+            assert a["events"] == b["events"]
+            assert a["declared"] == b["declared"]

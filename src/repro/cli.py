@@ -10,6 +10,10 @@ Subcommands
     Quick HECR/X computation for an ad-hoc profile.
 ``serve``
     Start the JSON-over-HTTP serving layer (see ``docs/SERVICE.md``).
+``stream``
+    Run the streaming digital twin over a JSONL event trace: event-time
+    windows, per-window re-evaluation, online (τ, π, δ, ρ) calibration
+    (see ``docs/STREAM.md``).
 ``obs``
     Inspect the persistent run-history store: ``summary``, ``runs``,
     ``tail``, ``top``, ``compare`` (drift watchdog), ``export``
@@ -24,6 +28,7 @@ Examples
     repro-hetero run variance-trials --trials 200 --seed 7
     repro-hetero hecr --profile 1,0.5,0.333,0.25
     repro-hetero serve --port 8023 --batch-window 2.0
+    repro-hetero stream --source trace.jsonl --window 10 --what-if 1,1,0.5
     repro-hetero obs tail
     repro-hetero obs compare <baseline-run> <candidate-run>
     repro-hetero obs export --perfetto trace.json
@@ -297,6 +302,46 @@ def build_parser() -> argparse.ArgumentParser:
     obs_prune.add_argument("--max-age-days", type=float, default=None,
                            metavar="DAYS",
                            help="drop runs started more than DAYS ago")
+
+    stream = sub.add_parser(
+        "stream", help="run the streaming digital twin over an event trace")
+    stream.add_argument("--source", default="-", metavar="PATH",
+                        help="JSONL event source: a file path, or '-' for "
+                             "stdin (default: -)")
+    stream.add_argument("--window", type=float, default=10.0,
+                        metavar="SPAN",
+                        help="event-time window size, in the trace's time "
+                             "units (default: 10)")
+    stream.add_argument("--what-if", default=None, metavar="PROFILE",
+                        help="shadow profile evaluated alongside the real "
+                             "cluster each window, e.g. 1,1,0.5")
+    stream.add_argument("--calibrate", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="fit (tau, pi, delta, rho) online from observed "
+                             "completions (default: --calibrate)")
+    stream.add_argument("--tau", type=float, default=PAPER_TABLE1.tau)
+    stream.add_argument("--pi", type=float, default=PAPER_TABLE1.pi)
+    stream.add_argument("--delta", type=float, default=PAPER_TABLE1.delta)
+    stream.add_argument("--forget", type=float, default=0.35,
+                        metavar="FACTOR",
+                        help="calibrator retention per window in (0, 1]; "
+                             "smaller forgets faster (default: 0.35)")
+    stream.add_argument("--drift-threshold", type=float, default=0.1,
+                        metavar="FRACTION",
+                        help="relative rho deviation that counts as drift in "
+                             "the summary's speeds: clauses (default: 0.1)")
+    stream.add_argument("--replay", default=None, metavar="RUN_ID",
+                        help="replay the recorded events of a stored stream "
+                             "run (id or prefix) instead of reading --source")
+    stream.add_argument("--output", default=None, metavar="PATH",
+                        help="write window-record JSONL to PATH instead of "
+                             "stdout")
+    stream.add_argument("--no-store", action="store_true",
+                        help="do not record this stream run (disables later "
+                             "--replay of it)")
+    stream.add_argument("--store-dir", default=None, metavar="PATH",
+                        help="run-history store directory (default: "
+                             "$REPRO_OBS_DIR or the platform state home)")
 
     compare_cmd = sub.add_parser(
         "compare", help="compare two clusters with every measure/predictor")
@@ -650,6 +695,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# the stream subcommand: the streaming digital twin (docs/STREAM.md)
+# ---------------------------------------------------------------------------
+
+
+def _stream_store(args):
+    """Open the run-history store for ``stream``, best-effort.
+
+    Returns None (with a warning) when the state directory is broken —
+    telemetry must never take the stream down.  ``--replay`` needs the
+    store to *read*, so that path raises instead.
+    """
+    from pathlib import Path
+
+    from repro.obs import RunStore, default_store_path
+
+    path = (Path(args.store_dir) / "runs.sqlite3" if args.store_dir
+            else default_store_path())
+    try:
+        return RunStore(path)
+    except Exception as exc:  # noqa: BLE001 - telemetry is best-effort
+        if args.replay:
+            raise
+        print(f"warning: run-history store unavailable ({exc}); "
+              "stream run will not be recorded", file=sys.stderr)
+        return None
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """The ``stream`` subcommand: exit 0 on success, 1 on I/O failure,
+    2 for malformed events (line + char offset on stderr), bad
+    profiles, or an unknown ``--replay`` run."""
+    from contextlib import ExitStack
+
+    from repro.errors import StreamError, StreamEventError
+    from repro.obs import default_registry
+    from repro.stream import (StreamProcessor, file_source, record_to_line,
+                              stdin_source, store_source)
+
+    params = ModelParams(tau=args.tau, pi=args.pi, delta=args.delta)
+    what_if = None
+    if args.what_if:
+        try:
+            what_if = [float(part) for part in args.what_if.split(",")
+                       if part.strip()]
+        except ValueError:
+            print(f"error: could not parse what-if profile "
+                  f"{args.what_if!r}", file=sys.stderr)
+            return 2
+
+    store = None
+    if not args.no_store or args.replay:
+        try:
+            store = _stream_store(args)
+        except Exception as exc:  # noqa: BLE001 - surfaced as bad input
+            print(f"error: cannot open run-history store for --replay: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+
+    with ExitStack() as stack:
+        if store is not None:
+            stack.callback(store.close)
+        try:
+            if args.replay:
+                events = store_source(store, args.replay)
+                label = f"replay:{args.replay[:12]}"
+            elif args.source == "-":
+                events = stdin_source(sys.stdin)
+                label = "stdin"
+            else:
+                events = file_source(args.source)
+                label = args.source
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot open event source {args.source!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+        try:
+            processor = StreamProcessor(
+                args.window, params=params, calibrate=args.calibrate,
+                what_if=what_if, forget=args.forget,
+                drift_threshold=args.drift_threshold,
+                registry=default_registry(),
+                store=None if args.no_store else store, label=label)
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+        if args.output:
+            try:
+                out = stack.enter_context(
+                    open(args.output, "w", encoding="utf-8"))
+            except OSError as exc:
+                print(f"error: cannot open output file {args.output!r}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+        else:
+            out = sys.stdout
+
+        try:
+            for record in processor.process(events):
+                out.write(record_to_line(record) + "\n")
+                out.flush()
+            for record in processor.finish():
+                out.write(record_to_line(record) + "\n")
+                out.flush()
+        except StreamEventError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: reading event source failed: {exc}",
+                  file=sys.stderr)
+            return 1
+
+        windows = processor.windows
+        print(f"processed {windows.events_total} events into "
+              f"{windows.windows_closed} windows "
+              f"({windows.late_total} late)", file=sys.stderr)
+        if processor.run_id is not None:
+            print(f"recorded stream run {processor.run_id[:12]} "
+                  f"(replay: repro-hetero stream --replay "
+                  f"{processor.run_id[:12]})", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # the obs subcommand: run-history inspection + the drift watchdog
 # ---------------------------------------------------------------------------
 
@@ -751,17 +924,49 @@ def _resolve_obs_run(store, run_id):
     return store.get_run(run_id)
 
 
+def _stream_window_suffix(attrs: dict) -> str:
+    """Per-window digest appended to ``stream:window`` span rows."""
+    parts = [f"w{attrs.get('window')}",
+             f"workers={attrs.get('workers')}",
+             f"events={attrs.get('events')}"]
+    if attrs.get("late"):
+        parts.append(f"late={attrs['late']}")
+    if attrs.get("work_rate") is not None:
+        parts.append(f"rate={attrs['work_rate']:.4g}")
+    calibration = attrs.get("calibration") or {}
+    if calibration.get("mape") is not None:
+        parts.append(f"mape={100.0 * calibration['mape']:.2f}%")
+    return "  [" + " ".join(parts) + "]"
+
+
 def _print_span_rows(spans, *, offset: int = 0) -> int:
     for record in spans[offset:]:
         kind = record.get("type", "span")
         dur = record.get("dur")
         dur_text = f"{dur * 1000:9.3f}ms" if dur is not None else " " * 11
         indent = "  " * int(record.get("depth") or 0)
-        pid = (record.get("attrs") or {}).get("worker_pid")
-        pid_text = f" [pid {pid}]" if pid else ""
+        attrs = record.get("attrs") or {}
+        pid = attrs.get("worker_pid")
+        extra = f" [pid {pid}]" if pid else ""
+        if record.get("name") == "stream:window" and attrs:
+            extra += _stream_window_suffix(attrs)
         print(f"  {record.get('ts', 0.0):10.6f}s {dur_text}  "
-              f"{indent}{record.get('name', '?')} ({kind}){pid_text}")
+              f"{indent}{record.get('name', '?')} ({kind}){extra}")
     return len(spans)
+
+
+def _print_stream_series(run: dict) -> None:
+    """Show a stream run's ``stream_*`` metric series under ``obs tail``."""
+    metrics = run.get("metrics") or {}
+    series = {}
+    for name in sorted(metrics):
+        if name.startswith("stream_"):
+            series.update(metrics[name].get("series") or {})
+    if not series:
+        return
+    print("  stream series:")
+    for key in sorted(series):
+        print(f"    {key:<52s} {series[key]:.6g}")
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -808,6 +1013,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 return 2
             print(f"run {run['run_id'][:12]} ({run['kind']}: "
                   f"{run['label'] or '-'}, status {run['status']})")
+            if run.get("kind") == "stream":
+                _print_stream_series(run)
             seen = _print_span_rows(store.spans(run["run_id"]))
             if not seen:
                 print("  (no span records stored; re-run with --trace to "
@@ -942,6 +1149,9 @@ def _dispatch(parser: argparse.ArgumentParser,
 
     if args.command == "obs":
         return _cmd_obs(args)
+
+    if args.command == "stream":
+        return _cmd_stream(args)
 
     if args.command == "report":
         from repro.batch import ResultCache, default_cache_dir, run_batch

@@ -21,6 +21,8 @@ __all__ = [
     "FaultSpecError",
     "RecoveryError",
     "CodedSchemeError",
+    "StreamError",
+    "StreamEventError",
 ]
 
 
@@ -103,6 +105,30 @@ class RecoveryError(ReproError, RuntimeError):
     Raised, for example, for a non-positive recovery-round budget or a
     detection timeout that is negative.
     """
+
+
+class StreamError(ReproError, RuntimeError):
+    """The streaming digital-twin layer was misconfigured.
+
+    Raised, for example, for a non-positive window size or a replay
+    source pointed at a stored run that recorded no events.
+    """
+
+
+class StreamEventError(StreamError, ValueError):
+    """A stream event could not be parsed or validated.
+
+    Messages name the line number and character offset of the defect
+    (the same contract :func:`repro.faults.spec.parse_faults` gives
+    fault clauses), and the CLI/service map the class to the
+    invalid-input surface (exit code 2 / HTTP 400).
+    """
+
+    def __init__(self, message: str, *, field: str | None = None) -> None:
+        super().__init__(message)
+        #: The offending JSON field, when the defect is attributable to
+        #: one — lets the line-level wrapper point at its char offset.
+        self.field = field
 
 
 class CodedSchemeError(ProtocolError):

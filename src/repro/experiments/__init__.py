@@ -23,6 +23,7 @@ id                        reproduces
 ``tau-sweep``             extension — environment sensitivity across network speeds
 ``failure-rate-sweep``    extension — expected work under random crashes
 ``coded-resilience``      extension — proactive redundancy vs recovery
+``stream-replay``         extension — online calibration payoff under drift
 ========================  =====================================================
 """
 
@@ -50,6 +51,7 @@ from repro.experiments.params_tables import run_table1, run_table2
 from repro.experiments.protocol_optimality import run_protocol_optimality
 from repro.experiments.saturation import run_saturation
 from repro.experiments.sensitivity_sweep import run_tau_sweep
+from repro.experiments.stream_replay import run_stream_replay
 from repro.experiments.table3 import PAPER_TABLE3_VALUES, run_table3
 from repro.experiments.table4 import PAPER_TABLE4_RATIOS, run_table4
 from repro.experiments.tables import render_table
@@ -93,6 +95,7 @@ __all__ = [
     "run_tau_sweep",
     "run_failure_rate_sweep",
     "run_coded_resilience",
+    "run_stream_replay",
     "collect_trials",
     "trial_shards",
     "run_trial_shard",

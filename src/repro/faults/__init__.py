@@ -10,6 +10,10 @@ misbehaves.  It generalises the simulator's original single fault shape
   then back (progress pauses, nothing is forgotten);
 * :class:`~repro.faults.models.DegradedSpeed` — a straggler whose ρ is
   inflated by a factor over a window;
+* :class:`~repro.faults.models.SpeedPhase` — first-class time-varying ρ
+  (any positive factor, speed-ups included): a declared trajectory, not
+  a fault — the ``speeds:`` clause, and what the stream calibrator
+  emits for drifting workers;
 * :class:`~repro.faults.models.ChannelLoss` — message loss on the shared
   channel, with retransmission under a
   :class:`~repro.faults.models.RetransmitPolicy`.
@@ -34,6 +38,7 @@ from repro.faults.models import (
     FaultTimeline,
     PermanentCrash,
     RetransmitPolicy,
+    SpeedPhase,
     TransientOutage,
 )
 from repro.faults.recovery import (
@@ -48,6 +53,7 @@ __all__ = [
     "PermanentCrash",
     "TransientOutage",
     "DegradedSpeed",
+    "SpeedPhase",
     "FaultTimeline",
     "ChannelLoss",
     "RetransmitPolicy",

@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import FaultInjectionError
 
 __all__ = ["PermanentCrash", "TransientOutage", "DegradedSpeed",
-           "FaultTimeline", "ChannelLoss", "RetransmitPolicy"]
+           "SpeedPhase", "FaultTimeline", "ChannelLoss", "RetransmitPolicy"]
 
 
 def _check_time(value: float, name: str) -> float:
@@ -107,6 +107,36 @@ class DegradedSpeed:
         return self.start + self.duration
 
 
+@dataclass(frozen=True)
+class SpeedPhase:
+    """Computer ``computer`` runs at ``factor×`` its nominal ρ over a window.
+
+    The first-class, non-fault form of time-varying speed: unlike
+    :class:`DegradedSpeed` the factor may be *any* positive value —
+    ``factor > 1`` is a slowdown, ``factor < 1`` a speed-up (e.g. a
+    worker shedding a co-tenant mid-lifespan).  Declared in the
+    scenario grammar as ``speeds:<c>@<t>+<d>x<f>``; the stream
+    calibrator emits one per drifting worker it observes.
+    """
+
+    computer: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.start, "speed-phase start")
+        _check_duration(self.duration, "speed-phase duration")
+        if self.factor <= 0.0 or not np.isfinite(self.factor):
+            raise FaultInjectionError(
+                f"speed factor must be positive and finite, "
+                f"got {self.factor!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
 class FaultTimeline:
     """One worker's compiled fault behaviour.
 
@@ -147,6 +177,9 @@ class FaultTimeline:
             elif isinstance(fault, DegradedSpeed):
                 if fault.duration > 0.0 and fault.factor > 1.0:
                     slowdowns.append((fault.start, fault.end, fault.factor))
+            elif isinstance(fault, SpeedPhase):
+                if fault.duration > 0.0 and fault.factor != 1.0:
+                    slowdowns.append((fault.start, fault.end, fault.factor))
             else:
                 raise FaultInjectionError(
                     f"unknown worker fault {fault!r}")
@@ -168,11 +201,14 @@ class FaultTimeline:
         for start, end in self.outages:
             if start <= t < end:
                 return 0.0
-        factor = 1.0
+        # Where windows overlap the largest factor applies — "faults
+        # don't cancel": a speed-up phase (factor < 1) never masks a
+        # concurrent slowdown, but alone it does accelerate the worker.
+        factor = None
         for start, end, f in self.slowdowns:
-            if start <= t < end and f > factor:
+            if start <= t < end and (factor is None or f > factor):
                 factor = f
-        return 1.0 / factor
+        return 1.0 if factor is None else 1.0 / factor
 
     def completion_time(self, start: float, nominal: float) -> float:
         """When a quantum started at ``start`` with nominal duration

@@ -23,6 +23,11 @@ clause                     meaning
 ``crash:<c>@<t>``          permanent crash of computer c at time t
 ``outage:<c>@<t>+<d>``     computer c down over [t, t+d)
 ``slow:<c>@<t>+<d>x<f>``   computer c runs f× slower over [t, t+d)
+``speeds:<c>@<t>+<d>x<f>`` computer c's speed scales by 1/f over [t, t+d):
+                           a first-class time-varying-ρ declaration, not a
+                           fault — any positive f is allowed (f < 1 is a
+                           speed-up); the stream calibrator emits one per
+                           drifting worker it observes
 ``crash~<rate>``           each worker crashes at exponential rate `rate`
 ``outage~<rate>+<d>``      each worker suffers one outage of length d,
                            arriving at exponential rate `rate`
@@ -56,11 +61,11 @@ import numpy as np
 from repro.errors import FaultInjectionError, FaultSpecError
 from repro.faults.models import (ChannelLoss, DegradedSpeed, FaultTimeline,
                                  PermanentCrash, RetransmitPolicy,
-                                 TransientOutage)
+                                 SpeedPhase, TransientOutage)
 
 __all__ = ["FaultScenario", "MaterializedFaults", "parse_faults"]
 
-WorkerFault = PermanentCrash | TransientOutage | DegradedSpeed
+WorkerFault = PermanentCrash | TransientOutage | DegradedSpeed | SpeedPhase
 
 
 @dataclass(frozen=True)
@@ -313,6 +318,22 @@ def _parse_clause(clause: str, faults: list, drops: set,
             faults.append(DegradedSpeed(
                 _computer(c), _number(at, "time"),
                 _number(duration, "duration"), _number(factor, "factor")))
+    elif head == "speeds":
+        # First-class time-varying ρ (any positive factor), no '~' form:
+        # a declared speed trajectory is not a stochastic fault.
+        if stochastic:
+            raise FaultSpecError("speeds has no stochastic '~' form; "
+                                 "must be speeds:<c>@<t>+<d>x<f>")
+        if "@" not in body:
+            raise FaultSpecError("must be speeds:<c>@<t>+<d>x<f>")
+        c, _, window = body.partition("@")
+        at, rest = _split_window(window)
+        if "x" not in rest:
+            raise FaultSpecError("needs 'x<factor>'")
+        duration, _, factor = rest.partition("x")
+        faults.append(SpeedPhase(
+            _computer(c), _number(at, "time"),
+            _number(duration, "duration"), _number(factor, "factor")))
     else:
         raise FaultSpecError(f"unknown fault kind {head!r}")
     return {}

@@ -52,7 +52,8 @@ from repro.core.profile import Profile
 from repro.errors import (CodedSchemeError, FaultInjectionError,
                           FaultSpecError, InfeasibleScheduleError,
                           InvalidParameterError, InvalidProfileError,
-                          ProtocolError, RecoveryError, SimulationError)
+                          ProtocolError, RecoveryError, SimulationError,
+                          StreamError, StreamEventError)
 from repro.experiments.base import experiment_index, list_experiments
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -72,7 +73,8 @@ _PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Library errors that mean "your request was invalid", not "we broke".
 _CLIENT_ERRORS = (InvalidParameterError, InvalidProfileError, ProtocolError,
-                  InfeasibleScheduleError, FaultSpecError)
+                  InfeasibleScheduleError, FaultSpecError, StreamEventError,
+                  StreamError)
 #: The CLI's exit-code-3 family, labelled for scripted clients.
 _FAULT_ERRORS = (SimulationError, FaultInjectionError, RecoveryError)
 
@@ -347,6 +349,11 @@ class ReproService:
         self._writers: set[asyncio.StreamWriter] = set()
         #: Per-route [bad, total] request counts behind the SLO gauges.
         self._slo_counts: dict[str, list[int]] = {}
+        #: The one live stream session (docs/STREAM.md): created lazily
+        #: by the first POST /v1/stream/events, serialised by the lock —
+        #: event-time windowing is stateful and order-sensitive.
+        self._stream = None
+        self._stream_lock = asyncio.Lock()
         self._routes: dict[tuple[str, str], tuple[
             Callable[[Request], Awaitable[_Response]], bool]] = {
             ("GET", "/healthz"): (self._handle_healthz, False),
@@ -359,6 +366,9 @@ class ReproService:
             ("POST", "/v1/hecr"): (self._make_eval_handler("hecr"), True),
             ("POST", "/v1/allocate"): (self._make_eval_handler("allocate"),
                                        True),
+            ("POST", "/v1/stream/events"): (self._handle_stream_events,
+                                            True),
+            ("GET", "/v1/stream/state"): (self._handle_stream_state, False),
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -427,6 +437,12 @@ class ReproService:
     async def stop(self) -> None:
         """Drain and shut down: the clean-exit path for SIGTERM/SIGINT."""
         await self.drain(self.config.drain_timeout)
+        async with self._stream_lock:
+            if self._stream is not None:
+                # Flush the live stream session so its run row finalises
+                # (status "ok" + recorded events) instead of dangling.
+                self._stream.finish()
+                self._stream = None
         if self.store is not None:
             self.store.close()
             self.store = None
@@ -805,6 +821,76 @@ class ReproService:
             "dedup": outcome,
             "result": item["result"],
         })
+
+    # -- stream endpoints (docs/STREAM.md) ------------------------------
+    def _new_stream_processor(self, body: dict[str, Any]):
+        """Build the session processor from the creating request's body.
+
+        Session knobs (``window``, ``params``, ``what_if``,
+        ``calibrate``, ``forget``) are read only here — on the first
+        POST, or one carrying ``reset``; later posts just feed events.
+        """
+        from repro.stream import StreamProcessor
+
+        window = body.get("window", 10.0)
+        if isinstance(window, bool) or not isinstance(window, (int, float)):
+            raise InvalidParameterError(
+                f"window must be a positive number, got {window!r}")
+        calibrate = body.get("calibrate", True)
+        if not isinstance(calibrate, bool):
+            raise InvalidParameterError(
+                f"calibrate must be a boolean, got {calibrate!r}")
+        what_if = body.get("what_if")
+        if what_if is not None and not isinstance(what_if, (list, tuple)):
+            raise InvalidParameterError(
+                "what_if must be an array of positive rho values")
+        forget = body.get("forget", 0.35)
+        if isinstance(forget, bool) or not isinstance(forget, (int, float)):
+            raise InvalidParameterError(
+                f"forget must be a number in (0, 1], got {forget!r}")
+        return StreamProcessor(
+            float(window), params=_parse_params(body.get("params")),
+            calibrate=calibrate, what_if=what_if, forget=float(forget),
+            registry=self.registry, store=self.store, label="service")
+
+    async def _handle_stream_events(self, request: Request) -> _Response:
+        from repro.stream import event_from_dict
+
+        body = self._json_body(request)
+        events = body.get("events", [])
+        if not isinstance(events, list):
+            raise InvalidParameterError(
+                "events must be a JSON array of event objects")
+        async with self._stream_lock:
+            if body.get("reset") and self._stream is not None:
+                self._stream.finish()
+                self._stream = None
+            if self._stream is None:
+                self._stream = self._new_stream_processor(body)
+            processor = self._stream
+            records: list[dict] = []
+            for index, obj in enumerate(events):
+                if not isinstance(obj, dict):
+                    raise StreamEventError(
+                        f"event {index} must be a JSON object, "
+                        f"got {type(obj).__name__}")
+                records.extend(processor.feed(event_from_dict(obj)))
+            if body.get("finish"):
+                records.extend(processor.finish())
+                self._stream = None
+            state = processor.state_view()
+        self.registry.counter(
+            "svc_stream_events_total",
+            "events accepted by POST /v1/stream/events").inc(len(events))
+        return _json_response(200, {"accepted": len(events),
+                                    "windows": records, "state": state})
+
+    async def _handle_stream_state(self, request: Request) -> _Response:
+        async with self._stream_lock:
+            if self._stream is None:
+                return _json_response(200, {"active": False, "state": None})
+            return _json_response(200, {"active": True,
+                                        "state": self._stream.state_view()})
 
     # -- observability endpoints ---------------------------------------
     def _store_or_none(self) -> RunStore | None:

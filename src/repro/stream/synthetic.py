@@ -1,0 +1,179 @@
+"""Deterministic synthetic event traces for the stream layer.
+
+:func:`synthetic_trace` builds the stream a well-behaved cluster would
+emit: one ``topology`` snapshot, then per event-time window one FIFO
+round sized by :func:`~repro.protocols.fifo.fifo_allocation` and timed
+by the closed-form :func:`~repro.simulation.fastpath.analytic_records`
+— every ``task_completed`` event carries the exact milestone fields
+(``sent``, ``arrived``, ``completed``, ``result_started``) the
+calibrator fits against.
+
+Drift is first-class: from ``drift_window`` on, ``drift_worker``
+computes ``drift_factor×`` slower (its effective ρ is scaled), which is
+exactly the scenario the acceptance tests replay — a worker slowing 2×
+mid-stream, recovered by the calibrator.  Optional multiplicative
+``jitter`` perturbs the milestone durations through per-window
+``SeedSequence`` children, so noisy traces are still bit-reproducible.
+
+Runnable as a module for the CI determinism smoke and the README demo::
+
+    python -m repro.stream.synthetic --windows 6 --profile 1,0.5,0.25 \
+        --drift-worker 2 --drift-factor 2 --drift-window 3 > trace.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import StreamError
+from repro.protocols.fifo import fifo_allocation
+from repro.simulation.fastpath import analytic_records
+from repro.stream.events import StreamEvent, event_to_line
+
+__all__ = ["synthetic_trace", "write_trace"]
+
+
+def synthetic_trace(*, profile: Profile | list[float],
+                    params: ModelParams = PAPER_TABLE1,
+                    windows: int = 6, window: float = 10.0,
+                    fill: float = 0.9,
+                    drift_worker: int | None = None,
+                    drift_factor: float = 1.0, drift_window: int = 0,
+                    jitter: float = 0.0, seed: int = 0
+                    ) -> Iterator[StreamEvent]:
+    """Yield the event stream of ``windows`` FIFO rounds (see module doc).
+
+    Parameters
+    ----------
+    profile:
+        The cluster's declared ρ (what the ``topology`` event reports).
+    windows / window:
+        How many event-time windows, each this many time units wide.
+    fill:
+        Fraction of each window the FIFO round is planned to occupy —
+        the slack keeps every completion inside its own window.
+    drift_worker / drift_factor / drift_window:
+        From window ``drift_window`` on, the given worker runs
+        ``drift_factor×`` slower than declared (ρ scaled up).
+    jitter:
+        Relative stddev of multiplicative noise on every milestone
+        duration (0 = the exact closed-form timeline).
+    seed:
+        Entropy for the jitter draws (per-window ``SeedSequence``
+        children — the trace is a pure function of its arguments).
+    """
+    if not isinstance(profile, Profile):
+        profile = Profile(profile)
+    if windows < 1:
+        raise StreamError(f"windows must be >= 1, got {windows}")
+    if not (0.0 < fill <= 1.0):
+        raise StreamError(f"fill must lie in (0, 1], got {fill!r}")
+    if drift_worker is not None and not (0 <= drift_worker < profile.n):
+        raise StreamError(
+            f"drift_worker {drift_worker} outside the {profile.n}-worker "
+            f"cluster")
+    if drift_factor <= 0.0:
+        raise StreamError(f"drift_factor must be > 0, got {drift_factor!r}")
+
+    yield StreamEvent(time=0.0, type="topology",
+                      workers=tuple(enumerate(profile.rho.tolist())))
+
+    seeds = np.random.SeedSequence(seed).spawn(windows) if jitter > 0.0 \
+        else [None] * windows
+    for k in range(windows):
+        start = k * window
+        rho = profile.rho.copy()
+        if (drift_worker is not None and drift_factor != 1.0
+                and k >= drift_window):
+            rho[drift_worker] *= drift_factor
+        true_profile = Profile(rho)
+        allocation = fifo_allocation(true_profile, params, window * fill)
+        records = analytic_records(allocation)
+        rng = (np.random.default_rng(seeds[k]) if seeds[k] is not None
+               else None)
+        events = []
+        for c in range(true_profile.n):
+            r = records[c]
+            if r.work <= 0.0 or not np.isfinite(r.result_end):
+                continue
+            sent, arrived = r.send_prep_start, r.arrived
+            completed, res_start = r.busy_end, r.result_start
+            res_end = r.result_end
+            if rng is not None:
+                d_send = (arrived - sent) * (1.0 + jitter * rng.standard_normal())
+                d_busy = (completed - arrived) * (1.0 + jitter * rng.standard_normal())
+                d_res = (res_end - res_start) * (1.0 + jitter * rng.standard_normal())
+                arrived = sent + max(d_send, 0.0)
+                completed = arrived + max(d_busy, 0.0)
+                res_start = completed
+                res_end = res_start + max(d_res, 0.0)
+            events.append(StreamEvent(
+                time=start + res_end, type="task_completed", worker=c,
+                work=float(r.work), sent=start + sent,
+                arrived=start + arrived, completed=start + completed,
+                result_started=start + res_start))
+        events.sort(key=lambda e: (e.time, e.worker))
+        yield from events
+
+
+def write_trace(stream, **kwargs) -> int:
+    """Write :func:`synthetic_trace` as JSONL; returns the line count."""
+    count = 0
+    for event in synthetic_trace(**kwargs):
+        stream.write(event_to_line(event) + "\n")
+        count += 1
+    return count
+
+
+def _main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream.synthetic",
+        description="emit a deterministic synthetic event trace as JSONL")
+    parser.add_argument("--profile", default="1,0.5,0.25",
+                        help="comma-separated declared rho values")
+    parser.add_argument("--windows", type=int, default=6)
+    parser.add_argument("--window", type=float, default=10.0)
+    parser.add_argument("--fill", type=float, default=0.9)
+    parser.add_argument("--tau", type=float, default=PAPER_TABLE1.tau)
+    parser.add_argument("--pi", type=float, default=PAPER_TABLE1.pi)
+    parser.add_argument("--delta", type=float, default=PAPER_TABLE1.delta)
+    parser.add_argument("--drift-worker", type=int, default=None)
+    parser.add_argument("--drift-factor", type=float, default=1.0)
+    parser.add_argument("--drift-window", type=int, default=0)
+    parser.add_argument("--jitter", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="-", metavar="PATH",
+                        help="output path (default: stdout)")
+    args = parser.parse_args(argv)
+    try:
+        rho = [float(part) for part in args.profile.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: could not parse profile {args.profile!r}",
+              file=sys.stderr)
+        return 2
+    kwargs = dict(profile=rho,
+                  params=ModelParams(tau=args.tau, pi=args.pi,
+                                     delta=args.delta),
+                  windows=args.windows, window=args.window, fill=args.fill,
+                  drift_worker=args.drift_worker,
+                  drift_factor=args.drift_factor,
+                  drift_window=args.drift_window,
+                  jitter=args.jitter, seed=args.seed)
+    if args.out == "-":
+        write_trace(sys.stdout, **kwargs)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            count = write_trace(fh, **kwargs)
+        print(f"wrote {count} events to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

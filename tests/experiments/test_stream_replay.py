@@ -1,0 +1,69 @@
+"""Tests for the stream-replay experiment (the ISSUE acceptance gate)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import run_stream_replay
+from repro.batch import run_batch
+
+_SMALL = dict(drift_factors=(1.0, 2.0), windows=6, drift_window=2,
+              forget=0.25, seed=11)
+
+
+class TestAcceptance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_stream_replay()
+
+    def test_calibrated_mape_beats_baseline_under_drift(self, result):
+        for factor, mape, baseline, *_ in result.rows:
+            if factor > 1.0:
+                assert mape < baseline
+
+    def test_refit_allocation_within_10pct_of_oracle(self, result):
+        for row in result.rows:
+            calibrated_pct = row[3]
+            assert calibrated_pct >= 90.0
+
+    def test_declared_plan_collapses_under_drift(self, result):
+        by_factor = {row[0]: row for row in result.rows}
+        assert by_factor[3.0][4] < by_factor[3.0][3]
+
+    def test_digest_column_present(self, result):
+        for row in result.rows:
+            digest = row[5]
+            assert len(digest) == 12
+            assert int(digest, 16) >= 0
+
+
+class TestShardedDeterminism:
+    def test_jobs2_rows_bit_identical_to_jobs1(self):
+        kwargs = {"stream-replay": dict(_SMALL)}
+        seq = run_batch(["stream-replay"], kwargs_by_id=kwargs, jobs=1)
+        par = run_batch(["stream-replay"], kwargs_by_id=kwargs, jobs=2)
+        assert seq.results[0].rows == par.results[0].rows
+
+    def test_runs_as_one_shard_per_factor(self):
+        kwargs = {"stream-replay": dict(_SMALL)}
+        report = run_batch(["stream-replay"], kwargs_by_id=kwargs, jobs=2)
+        item, = report.items
+        assert item.error is None
+        assert item.shards == len(_SMALL["drift_factors"])
+
+    def test_same_seed_same_rows(self):
+        assert run_stream_replay(**_SMALL).rows == \
+            run_stream_replay(**_SMALL).rows
+
+
+class TestValidation:
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(ExperimentError, match="windows"):
+            run_stream_replay(windows=3, drift_window=2)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ExperimentError, match="drift factor"):
+            run_stream_replay(drift_factors=(0.0,))
+
+    def test_bad_drift_worker_rejected(self):
+        with pytest.raises(ExperimentError, match="drift worker"):
+            run_stream_replay(drift_worker=17)

@@ -1,0 +1,64 @@
+"""SpeedPhase and the promoted ``speeds:`` grammar clause."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, FaultSpecError
+from repro.faults import FaultTimeline, SpeedPhase, parse_faults
+
+
+class TestSpeedPhaseModel:
+    def test_speedup_factors_below_one_allowed(self):
+        phase = SpeedPhase(computer=0, start=5.0, duration=10.0, factor=0.5)
+        assert phase.end == 15.0
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("inf"),
+                                        float("nan")])
+    def test_nonpositive_factor_rejected(self, factor):
+        with pytest.raises(FaultInjectionError, match="speed factor"):
+            SpeedPhase(computer=0, start=0.0, duration=1.0, factor=factor)
+
+    def test_timeline_applies_phase_speed(self):
+        timeline = FaultTimeline.compile(
+            [SpeedPhase(computer=0, start=10.0, duration=10.0, factor=2.0)])
+        assert timeline._speed(5.0) == 1.0
+        assert timeline._speed(15.0) == 0.5
+        assert timeline._speed(25.0) == 1.0
+
+    def test_unit_factor_compiles_benign(self):
+        timeline = FaultTimeline.compile(
+            [SpeedPhase(computer=0, start=0.0, duration=5.0, factor=1.0)])
+        assert timeline.is_benign
+
+
+class TestSpeedsClause:
+    def test_round_trip_through_the_grammar(self):
+        scenario = parse_faults("speeds:2@30+15x0.8")
+        fault, = scenario.faults
+        assert fault == SpeedPhase(computer=2, start=30.0, duration=15.0,
+                                   factor=0.8)
+
+    def test_speedup_clause_accepted_where_slow_rejects(self):
+        # ``slow:`` is a fault (factor >= 1); ``speeds:`` is a declared
+        # trajectory and welcomes factors < 1.
+        assert parse_faults("speeds:0@0+10x0.25").faults
+        with pytest.raises(FaultInjectionError, match=">= 1"):
+            parse_faults("slow:0@0+10x0.25")
+
+    def test_no_stochastic_form(self):
+        with pytest.raises(FaultSpecError, match="no stochastic"):
+            parse_faults("speeds~0.1@0+10x2")
+
+    @pytest.mark.parametrize("clause", [
+        "speeds:1",               # no window
+        "speeds:1@5",             # no duration
+        "speeds:1@5+10",          # no factor
+        "speeds:1@5+10x0",        # factor must be positive
+    ])
+    def test_malformed_clauses_rejected(self, clause):
+        with pytest.raises((FaultSpecError, FaultInjectionError)):
+            parse_faults(clause)
+
+    def test_mixes_with_the_rest_of_the_grammar(self):
+        scenario = parse_faults("crash:0@50,speeds:1@10+20x2,seed:9")
+        assert len(scenario.faults) == 2
+        assert scenario.seed == 9

@@ -1,0 +1,102 @@
+"""Property-based tests for the streaming window/replay invariants.
+
+Three ISSUE-pinned properties:
+
+* the window grid **partitions event time** — every finite time maps to
+  exactly one window index, with half-open bounds;
+* a **closed window never reopens** — late events are counted, never
+  admitted, no matter how the stream is ordered;
+* replay is **shuffle-invariant within a window** — reordering events
+  that share a window leaves the emitted record JSONL byte-identical,
+  because windows sort canonically at close.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream import (StreamEvent, StreamProcessor, WindowManager,
+                          record_to_line)
+
+sizes = st.floats(min_value=0.1, max_value=1e3, allow_nan=False,
+                  allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+
+
+def _tick(time, worker=0, work=1.0):
+    return StreamEvent(time=time, type="task_completed", worker=worker,
+                       work=work)
+
+
+@given(size=sizes, time_a=times, time_b=times)
+@settings(max_examples=200, deadline=None)
+def test_window_grid_partitions_event_time(size, time_a, time_b):
+    manager = WindowManager(size)
+    for time in (time_a, time_b):
+        start, end = manager.bounds(manager.index_of(time))
+        # Half-open membership: each time falls inside its own window.
+        assert start <= time < end
+    # The index map is monotone, so windows tile the line in order.
+    if time_a <= time_b:
+        assert manager.index_of(time_a) <= manager.index_of(time_b)
+    else:
+        assert manager.index_of(time_b) <= manager.index_of(time_a)
+    # Adjacent windows tile the line (float grids are only approximately
+    # adjacent: start + size vs (index + 1) * size differ in the lsb).
+    index = manager.index_of(time_a)
+    assert manager.bounds(index)[1] == pytest.approx(
+        manager.bounds(index + 1)[0], rel=1e-12)
+
+
+@given(size=sizes, event_times=st.lists(times, min_size=2, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_closed_windows_never_reopen(size, event_times):
+    manager = WindowManager(size)
+    closed = []
+    for time in event_times:
+        closed.extend(manager.add(_tick(time)))
+    tail = manager.flush()
+    if tail is not None:
+        closed.append(tail)
+    indices = [w.index for w in closed]
+    # Each index closes at most once, in strictly increasing order.
+    assert indices == sorted(set(indices))
+    # Every admitted event sits in the window its time maps to.
+    for window in closed:
+        assert all(manager.index_of(e.time) == window.index
+                   for e in window.events)
+    # Conservation: every event is either admitted to some window or late.
+    admitted = sum(len(w.events) for w in closed)
+    assert manager.events_total == len(event_times)
+    assert manager.late_total == len(event_times) - admitted
+
+
+@given(event_times=st.lists(
+           st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+           min_size=1, max_size=30),
+       seed=st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_replay_is_shuffle_invariant_within_windows(event_times, seed):
+    size = 10.0
+    events = [_tick(t, worker=i % 3, work=1.0 + (i % 5))
+              for i, t in enumerate(sorted(event_times))]
+
+    def records(stream):
+        processor = StreamProcessor(size, calibrate=False)
+        lines = [record_to_line(r) for r in processor.process(stream)]
+        lines += [record_to_line(r) for r in processor.finish()]
+        return lines
+
+    # Shuffle each window's events among themselves, preserving the
+    # relative order of windows (so no event turns late).
+    by_window: dict[int, list[StreamEvent]] = {}
+    for event in events:
+        by_window.setdefault(int(event.time // size), []).append(event)
+    shuffled = []
+    for index in sorted(by_window):
+        bucket = list(by_window[index])
+        seed.shuffle(bucket)
+        shuffled.extend(bucket)
+
+    assert records(shuffled) == records(events)

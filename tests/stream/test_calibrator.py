@@ -1,0 +1,128 @@
+"""Calibrator tests: exact recovery, drift convergence, clause emission."""
+
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import StreamError
+from repro.faults.spec import parse_faults
+from repro.stream import Calibrator, WindowManager, synthetic_trace
+
+TRUE = ModelParams(tau=1e-4, pi=1e-3, delta=0.6)
+PROFILE = Profile([1.0, 0.5, 0.25])
+
+
+def _windows(events, size=10.0):
+    manager = WindowManager(size)
+    out = []
+    for event in events:
+        out.extend(manager.add(event))
+    tail = manager.flush()
+    if tail is not None:
+        out.append(tail)
+    return out
+
+
+def _declared(profile=PROFILE):
+    return dict(enumerate(float(r) for r in profile.rho))
+
+
+class TestExactRecovery:
+    def test_noise_free_trace_recovers_parameters(self):
+        # Start the fit from a *wrong* initial model; the closed-form
+        # solve should land on the trace's true (tau, pi, delta, rho).
+        calibrator = Calibrator(PAPER_TABLE1, forget=0.5)
+        events = synthetic_trace(profile=PROFILE, params=TRUE, windows=4)
+        snapshot = None
+        for window in _windows(events):
+            snapshot = calibrator.observe_window(window, _declared())
+        assert snapshot.tau == pytest.approx(TRUE.tau, rel=1e-6)
+        assert snapshot.pi == pytest.approx(TRUE.pi, rel=1e-6)
+        assert snapshot.delta == pytest.approx(TRUE.delta, rel=1e-6)
+        for worker, rho in _declared().items():
+            assert snapshot.rho[worker] == pytest.approx(rho, rel=1e-9)
+
+    def test_one_step_ahead_mape_scores_before_update(self):
+        calibrator = Calibrator(PAPER_TABLE1, forget=0.5)
+        events = synthetic_trace(profile=PROFILE, params=TRUE, windows=2)
+        first, second = _windows(events)[:2]
+        snap1 = calibrator.observe_window(first, _declared())
+        # Window 1 is scored by window 0's (already converged) fit, so
+        # its honest one-step MAPE beats the wrong initial model's.
+        snap2 = calibrator.observe_window(second, _declared())
+        assert snap2.mape < snap2.baseline_mape
+
+    def test_no_observations_gives_none_mape(self):
+        calibrator = Calibrator(PAPER_TABLE1)
+        events = [e for e in synthetic_trace(profile=PROFILE, windows=1)
+                  if e.type == "topology"]
+        window = _windows(events)[0]
+        snapshot = calibrator.observe_window(window, _declared())
+        assert snapshot.mape is None
+        assert snapshot.baseline_mape is None
+        assert snapshot.tau == pytest.approx(PAPER_TABLE1.tau, rel=1e-9)
+
+
+class TestDriftConvergence:
+    def test_drift_recovered_to_2pct_mape(self):
+        # Acceptance criterion: a worker silently slowing 2x mid-stream
+        # is recovered to <= 2% one-step-ahead MAPE, while the
+        # uncalibrated baseline stays wrong.
+        calibrator = Calibrator(PAPER_TABLE1, forget=0.25)
+        events = synthetic_trace(profile=PROFILE, params=PAPER_TABLE1,
+                                 windows=10, drift_worker=1,
+                                 drift_factor=2.0, drift_window=2)
+        last = None
+        for window in _windows(events):
+            last = calibrator.observe_window(window, _declared())
+        assert last.mape is not None and last.mape <= 0.02
+        assert last.baseline_mape > 0.03
+        assert last.rho[1] == pytest.approx(1.0, rel=0.02)
+
+    def test_undrifted_workers_stay_anchored(self):
+        calibrator = Calibrator(PAPER_TABLE1, forget=0.25)
+        events = synthetic_trace(profile=PROFILE, params=PAPER_TABLE1,
+                                 windows=8, drift_worker=1,
+                                 drift_factor=2.0, drift_window=2)
+        for window in _windows(events):
+            last = calibrator.observe_window(window, _declared())
+        assert last.rho[0] == pytest.approx(1.0, rel=1e-3)
+        assert last.rho[2] == pytest.approx(0.25, rel=1e-3)
+
+
+class TestDriftSurfacing:
+    @pytest.fixture()
+    def drifted(self):
+        calibrator = Calibrator(PAPER_TABLE1, forget=0.25)
+        events = synthetic_trace(profile=PROFILE, params=PAPER_TABLE1,
+                                 windows=8, drift_worker=1,
+                                 drift_factor=2.0, drift_window=2)
+        for window in _windows(events):
+            calibrator.observe_window(window, _declared())
+        return calibrator
+
+    def test_drift_factors_name_only_the_drifter(self, drifted):
+        factors = drifted.drift_factors(threshold=0.1)
+        assert set(factors) == {1}
+        assert all(f > 1.0 for _, _, f in factors[1])
+
+    def test_speed_clauses_parse_back_into_the_grammar(self, drifted):
+        clauses = drifted.speed_clauses(threshold=0.1)
+        assert clauses
+        assert all(c.startswith("speeds:1@") for c in clauses)
+        scenario = parse_faults(",".join(clauses))
+        assert len(scenario.faults) == len(clauses)
+
+    def test_agreeing_adjacent_windows_merge(self, drifted):
+        timelines = drifted.speed_timelines(threshold=0.1)
+        spans = timelines[1].slowdowns
+        # Converged windows collapse into fewer phases than drifted
+        # windows observed.
+        assert len(spans) < len(drifted.drift_factors(threshold=0.1)[1])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("forget", [0.0, -0.5, 1.5])
+    def test_bad_forget_rejected(self, forget):
+        with pytest.raises(StreamError, match="forget"):
+            Calibrator(PAPER_TABLE1, forget=forget)

@@ -1,0 +1,120 @@
+"""End-to-end tests for ``repro-hetero stream`` (determinism, errors)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.stream import event_to_line, synthetic_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    lines = [event_to_line(e)
+             for e in synthetic_trace(profile=[1.0, 0.5, 0.25, 0.125],
+                                      windows=3)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestDeterminism:
+    def test_double_run_is_byte_identical(self, trace_file, capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(["stream", "--source", str(trace_file),
+                         "--no-store"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        kinds = [json.loads(line)["kind"]
+                 for line in outputs[0].splitlines()]
+        assert kinds[-1] == "summary"
+
+    def test_stdin_source_matches_file_source(self, trace_file, capsys,
+                                              monkeypatch):
+        assert main(["stream", "--source", str(trace_file),
+                     "--no-store"]) == 0
+        from_file = capsys.readouterr().out
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(trace_file.read_text()))
+        assert main(["stream", "--no-store"]) == 0
+        assert capsys.readouterr().out == from_file
+
+
+class TestReplay:
+    def test_replay_reproduces_window_records(self, trace_file, tmp_path,
+                                              capsys):
+        store_dir = str(tmp_path / "state")
+        assert main(["stream", "--source", str(trace_file),
+                     "--store-dir", store_dir]) == 0
+        captured = capsys.readouterr()
+        original = captured.out
+        line = next(ln for ln in captured.err.splitlines()
+                    if "recorded stream run" in ln)
+        run_id = line.split()[3]
+        assert main(["stream", "--replay", run_id, "--no-store",
+                     "--store-dir", store_dir]) == 0
+        assert capsys.readouterr().out == original
+
+    def test_replay_unknown_run_exits_2(self, tmp_path, capsys):
+        assert main(["stream", "--replay", "feedbead", "--store-dir",
+                     str(tmp_path / "state")]) == 2
+        assert "no stored stream run" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_malformed_event_exits_2_with_position(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "worker_joined", "time": 0.0, "worker": 0}\n'
+            '{"type": "task_completed", "time": 1.0}\n',
+            encoding="utf-8")
+        assert main(["stream", "--source", str(path), "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "at char" in err
+
+    def test_missing_source_exits_1(self, tmp_path, capsys):
+        assert main(["stream", "--source", str(tmp_path / "nope.jsonl"),
+                     "--no-store"]) == 1
+        assert "cannot open event source" in capsys.readouterr().err
+
+    def test_bad_what_if_exits_2(self, trace_file, capsys):
+        assert main(["stream", "--source", str(trace_file), "--no-store",
+                     "--what-if", "1,zero"]) == 2
+        assert "what-if" in capsys.readouterr().err
+
+    def test_bad_window_exits_2(self, trace_file, capsys):
+        assert main(["stream", "--source", str(trace_file), "--no-store",
+                     "--window", "-5"]) == 2
+        assert "window size" in capsys.readouterr().err
+
+
+class TestSurfaces:
+    def test_what_if_shadow_appears_in_records(self, trace_file, capsys):
+        assert main(["stream", "--source", str(trace_file), "--no-store",
+                     "--what-if", "1,1,1,1,1"]) == 0
+        first = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert first["shadow"]["n"] == 5
+        assert "work_rate_delta_pct" in first["shadow"]
+
+    def test_output_file_holds_the_records(self, trace_file, tmp_path,
+                                           capsys):
+        out_path = tmp_path / "records.jsonl"
+        assert main(["stream", "--source", str(trace_file), "--no-store",
+                     "--output", str(out_path)]) == 0
+        assert capsys.readouterr().out == ""
+        lines = out_path.read_text().splitlines()
+        assert json.loads(lines[-1])["kind"] == "summary"
+
+    def test_obs_tail_shows_stream_series(self, trace_file, tmp_path,
+                                          capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "state"))
+        assert main(["stream", "--source", str(trace_file)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail"]) == 0
+        out = capsys.readouterr().out
+        assert "stream:window" in out
+        assert "stream series:" in out
+        assert "stream_calibration_mape" in out

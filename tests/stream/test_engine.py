@@ -1,0 +1,168 @@
+"""StreamProcessor tests: records, shadow mode, store lifecycle, replay."""
+
+import json
+
+import pytest
+
+from repro.core.params import PAPER_TABLE1, ModelParams
+from repro.core.profile import Profile
+from repro.errors import StreamError
+from repro.obs import MetricsRegistry, RunStore
+from repro.stream import (StreamProcessor, parse_event_line, record_to_line,
+                          store_source, synthetic_trace)
+
+PROFILE = Profile([1.0, 0.5, 0.25])
+
+
+def _run(processor, events):
+    records = list(processor.process(events))
+    records.extend(processor.finish())
+    return records
+
+
+def _trace(**kwargs):
+    kwargs.setdefault("profile", PROFILE)
+    kwargs.setdefault("params", PAPER_TABLE1)
+    kwargs.setdefault("windows", 3)
+    return list(synthetic_trace(**kwargs))
+
+
+class TestRecords:
+    def test_window_records_then_summary(self):
+        records = _run(StreamProcessor(10.0), _trace())
+        kinds = [r["kind"] for r in records]
+        assert kinds[-1] == "summary"
+        assert set(kinds[:-1]) == {"window"}
+        window = records[0]
+        assert window["evaluation"]["n"] == len(PROFILE.rho)
+        fractions = window["evaluation"]["allocation"].values()
+        assert sum(fractions) == pytest.approx(1.0)
+        assert window["calibration"] is not None
+
+    def test_records_are_strict_sorted_json(self):
+        for record in _run(StreamProcessor(10.0), _trace()):
+            line = record_to_line(record)
+            # Strict JSON (no NaN/Infinity) with byte-stable key order.
+            parsed = json.loads(line, parse_constant=pytest.fail)
+            assert record_to_line(parsed) == line
+
+    def test_calibrate_off_uses_declared_model(self):
+        processor = StreamProcessor(10.0, calibrate=False)
+        records = _run(processor, _trace())
+        window = records[0]
+        assert window["calibration"] is None
+        assert window["params"]["tau"] == PAPER_TABLE1.tau
+        assert window["workers"] == window["declared"]
+
+    def test_empty_stream_summary_only(self):
+        records = _run(StreamProcessor(10.0), [])
+        assert [r["kind"] for r in records] == ["summary"]
+        assert records[0]["windows"] == 0
+
+    def test_summary_surfaces_drift_clauses(self):
+        processor = StreamProcessor(10.0, forget=0.25)
+        records = _run(processor, _trace(windows=8, drift_worker=1,
+                                         drift_factor=2.0, drift_window=2))
+        drift = records[-1]["drift"]
+        assert drift["workers"] == ["1"]
+        assert all(c.startswith("speeds:1@") for c in drift["clauses"])
+
+
+class TestShadowMode:
+    def test_shadow_evaluated_with_deltas(self):
+        processor = StreamProcessor(10.0, what_if=[1.0, 1.0, 1.0, 1.0])
+        window = _run(processor, _trace())[0]
+        shadow = window["shadow"]
+        assert shadow["n"] == 4
+        real_rate = window["evaluation"]["work_rate"]
+        assert shadow["work_rate_delta"] == pytest.approx(
+            shadow["work_rate"] - real_rate)
+        assert shadow["work_rate_delta_pct"] == pytest.approx(
+            100.0 * shadow["work_rate_delta"] / real_rate)
+
+    def test_shadow_does_not_perturb_real_evaluation(self):
+        plain = _run(StreamProcessor(10.0), _trace())
+        shadowed = _run(StreamProcessor(10.0, what_if=[2.0]), _trace())
+        for a, b in zip(plain, shadowed):
+            if a["kind"] == "window":
+                assert a["evaluation"] == b["evaluation"]
+
+    @pytest.mark.parametrize("bad", [[], [0.0], [-1.0], [float("nan")]])
+    def test_bad_shadow_profile_rejected(self, bad):
+        with pytest.raises(StreamError, match="what-if"):
+            StreamProcessor(10.0, what_if=bad)
+
+
+class TestMetrics:
+    def test_stream_series_published(self):
+        registry = MetricsRegistry()
+        _run(StreamProcessor(10.0, registry=registry), _trace())
+        snapshot = registry.snapshot()
+        assert snapshot["stream_windows_total"]["series"]
+        assert any(name == "stream_calibration_mape" for name in snapshot)
+        rho = snapshot["stream_rho"]["series"]
+        assert len(rho) == len(PROFILE.rho)
+
+
+class TestStoreLifecycle:
+    def test_run_row_running_then_ok(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite3") as store:
+            processor = StreamProcessor(10.0, store=store, label="twin")
+            events = _trace()
+            for event in events[:2]:
+                processor.feed(event)
+            live = store.get_run(processor.run_id)
+            assert live["status"] == "running"
+            _run(processor, events[2:])
+            done = store.get_run(processor.run_id)
+            assert done["status"] == "ok"
+            assert done["kind"] == "stream"
+            assert done["extra"]["events_truncated"] is False
+            spans = store.spans(processor.run_id)
+            assert spans
+            assert all(s["name"] == "stream:window" for s in spans)
+
+    def test_replay_from_store_is_bit_identical(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite3") as store:
+            original = StreamProcessor(10.0, store=store)
+            first = [record_to_line(r)
+                     for r in _run(original, _trace(windows=4))]
+            replayed = StreamProcessor(10.0)
+            second = [record_to_line(r)
+                      for r in _run(replayed,
+                                    store_source(store, original.run_id))]
+            assert second == first
+
+    def test_event_log_truncation_disables_replay(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr("repro.stream.engine.EVENT_LOG_LIMIT", 3)
+        with RunStore(tmp_path / "runs.sqlite3") as store:
+            processor = StreamProcessor(10.0, store=store)
+            _run(processor, _trace())
+            row = store.get_run(processor.run_id)
+            assert row["extra"]["events_truncated"] is True
+            assert row["extra"]["events"] is None
+            with pytest.raises(StreamError, match="truncated"):
+                list(store_source(store, processor.run_id))
+
+
+class TestStateView:
+    def test_state_tracks_progress_and_survives_finish(self):
+        processor = StreamProcessor(10.0, params=ModelParams(
+            tau=1e-4, pi=1e-3, delta=0.5))
+        view = processor.state_view()
+        assert view["current_window"] is None
+        assert view["last_window"] is None
+        records = _run(processor, _trace())
+        view = processor.state_view()
+        assert view["windows_closed"] == records[-1]["windows"]
+        assert view["last_window"] is None  # summary record has no window
+        assert view["calibrating"] is True
+        assert set(view["workers"]) == {"0", "1", "2"}
+
+    def test_feed_accepts_parsed_lines(self):
+        processor = StreamProcessor(10.0)
+        line = ('{"type": "worker_joined", "time": 0.0, "worker": 0, '
+                '"rho": 1.0}')
+        assert processor.feed(parse_event_line(line)) == []
+        assert processor.state_view()["buffered_events"] == 1
